@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the kernels behind the paper's figures:
+//! local vs propagated reads (Fig. 8/11/13), write propagation paths
+//! (generated-trigger deltas vs view recomputation — the ablation called
+//! out in DESIGN.md), point lookups through view chains, and the Database
+//! Evolution Operation itself (Sec. 8.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use inverda_core::{Inverda, WritePath};
+use inverda_workloads::tasky;
+
+const N: usize = 2_000;
+
+fn db_with_data(evolved: bool) -> Inverda {
+    let db = tasky::build();
+    tasky::load_tasks(&db, N);
+    if evolved {
+        db.execute("MATERIALIZE 'TasKy2';").unwrap();
+    }
+    db
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_reads");
+    let initial = db_with_data(false);
+    let evolved = db_with_data(true);
+    g.bench_function("tasky_local", |b| {
+        b.iter(|| initial.scan("TasKy", "Task").unwrap().len())
+    });
+    g.bench_function("tasky2_through_chain", |b| {
+        b.iter(|| initial.scan("TasKy2", "Task").unwrap().len())
+    });
+    g.bench_function("tasky2_local", |b| {
+        b.iter(|| evolved.scan("TasKy2", "Task").unwrap().len())
+    });
+    g.bench_function("tasky_through_chain", |b| {
+        b.iter(|| evolved.scan("TasKy", "Task").unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_point_lookups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_lookups");
+    let initial = db_with_data(false);
+    let key = initial.scan("Do!", "Todo").unwrap().keys().next().unwrap();
+    g.bench_function("do_get_through_two_smos", |b| {
+        b.iter(|| initial.get("Do!", "Todo", key).unwrap())
+    });
+    let local_key = initial.scan("TasKy", "Task").unwrap().keys().next().unwrap();
+    g.bench_function("tasky_get_local", |b| {
+        b.iter(|| initial.get("TasKy", "Task", local_key).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_write_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_write_paths");
+    g.sample_size(10);
+    for (label, path) in [
+        ("delta_rules", WritePath::Delta),
+        ("recompute", WritePath::Recompute),
+    ] {
+        g.bench_function(format!("insert_via_do_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let db = db_with_data(false);
+                    db.set_write_path(path);
+                    db
+                },
+                |db| {
+                    for i in 0..10 {
+                        db.insert(
+                            "Do!",
+                            "Todo",
+                            vec![
+                                format!("author{i:03}").into(),
+                                format!("bench todo {i}").into(),
+                            ],
+                        )
+                        .unwrap();
+                    }
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_evolution_op(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evolution_op");
+    g.bench_function("create_three_versions", |b| {
+        b.iter(tasky::build)
+    });
+    g.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(10);
+    g.bench_function("materialize_tasky2_and_back", |b| {
+        b.iter_batched(
+            || db_with_data(false),
+            |db| {
+                db.execute("MATERIALIZE 'TasKy2';").unwrap();
+                db.execute("MATERIALIZE 'TasKy';").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reads,
+    bench_point_lookups,
+    bench_write_paths,
+    bench_evolution_op,
+    bench_migration
+);
+criterion_main!(benches);

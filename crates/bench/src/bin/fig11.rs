@@ -1,0 +1,84 @@
+//! Figure 11: access performance of every TasKy schema version under each
+//! of the five valid materialization schemas (Table 2, including the
+//! intermediate stages [S] and [D]), for three workloads
+//! ((a) standard mix, (b) 100 % reads, (c) 100 % inserts).
+
+use inverda_bench::{banner, env_usize, time};
+use inverda_catalog::MaterializationSchema;
+use inverda_workloads::tasky::{self, run_mix};
+use inverda_workloads::Mix;
+
+/// The five valid materialization schemas with the paper's abbreviations
+/// ([S] = SPLIT, [DC] = DROP COLUMN, [D] = DECOMPOSE, [RC] = RENAME COLUMN),
+/// ordered as in Figure 11's x-axis (Do! side → initial → TasKy2 side).
+fn materializations(db: &inverda_core::Inverda) -> Vec<(String, MaterializationSchema)> {
+    let mut all = db.with_genealogy(|g| {
+        MaterializationSchema::enumerate_valid(g)
+            .into_iter()
+            .map(|m| {
+                let mut tags: Vec<&str> = m
+                    .smos()
+                    .map(|id| match g.smo(id).derived.kind {
+                        "SPLIT" => "S",
+                        "DROP COLUMN" => "DC",
+                        "DECOMPOSE" => "D",
+                        "RENAME COLUMN" => "RC",
+                        other => other,
+                    })
+                    .collect();
+                tags.sort();
+                (format!("[{}]", tags.join(",")), m)
+            })
+            .collect::<Vec<_>>()
+    });
+    // Order: [DC,S], [S], [], [D], [D,RC].
+    let order = ["[DC,S]", "[S]", "[]", "[D]", "[D,RC]"];
+    all.sort_by_key(|(label, _)| {
+        order
+            .iter()
+            .position(|o| o == label)
+            .unwrap_or(usize::MAX)
+    });
+    all
+}
+
+fn main() {
+    let n = env_usize("INVERDA_TASKS", 5_000);
+    let ops = env_usize("INVERDA_OPS", 40);
+    banner(
+        &format!("Workloads on all 5 materializations of TasKy ({n} tasks, {ops} ops/cell)"),
+        "Figure 11 (a/b/c)",
+    );
+
+    for (mix, mix_label) in [
+        (Mix::STANDARD, "(a) mix 50r/20i/20u/10d"),
+        (Mix::READ_ONLY, "(b) 100% reads"),
+        (Mix::INSERT_ONLY, "(c) 100% inserts"),
+    ] {
+        println!("\n--- {mix_label} --- QET per version [s]");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12}",
+            "material.", "TasKy", "Do!", "TasKy2"
+        );
+        let reference = tasky::build();
+        for (label, m) in materializations(&reference) {
+            let db = tasky::build();
+            tasky::load_tasks(&db, n);
+            // Rebuild the schema on this db's own SMO ids (identical
+            // genealogy => identical id assignment).
+            db.materialize_exact(m).unwrap();
+            let mut rng = tasky::rng(7);
+            let mut row = format!("{label:<12}");
+            for version in ["TasKy", "Do!", "TasKy2"] {
+                let table = tasky::main_table(version);
+                let mut keys = db.scan(version, table).unwrap().keys().collect::<Vec<_>>();
+                let (d, _) = time(|| run_mix(&db, version, mix, ops, &mut keys, &mut rng));
+                row.push_str(&format!(" {:>12.3}", d.as_secs_f64()));
+            }
+            println!("{row}");
+        }
+    }
+    println!("\nPaper's shape: each version is fastest when its own table versions are");
+    println!("materialized (x-axis minima at [DC,S] for Do!, [] for TasKy, [D,RC] for");
+    println!("TasKy2); the globally optimal schema depends on the workload mix.");
+}

@@ -1,0 +1,77 @@
+//! Figure 13 + the two-SMO study of Section 8.3: scaling behaviour of
+//! two-SMO chains and the calculated-vs-measured combination check.
+//!
+//! For each pair `V1 –SMO1→ V2 –SMO2→ V3`:
+//!   t_local   = read V2.R with V2 materialized
+//!   t1        = read V2.R with V1 materialized (one hop)
+//!   t2        = read V3   with V2 materialized (one hop)
+//!   measured  = read V3   with V1 materialized (two hops)
+//!   calculated = t1 + t2 − t_local   (the data for SMO2 is already "in
+//!                memory" after SMO1, Section 8.3)
+
+use inverda_bench::{banner, env_usize, median_time};
+use inverda_workloads::micro::{build_pair, PairSmo, FIRSTS, SECONDS};
+
+fn measure(first: PairSmo, second: PairSmo, n: usize) -> (f64, f64, f64, f64, String) {
+    let s = build_pair(first, second, n);
+    let db = &s.db;
+    db.execute("MATERIALIZE 'V2';").unwrap();
+    let t_local = median_time(3, || db.scan("V2", s.v2_table).unwrap().len()).as_secs_f64();
+    let t2 = median_time(3, || db.scan("V3", s.v3_table).unwrap().len()).as_secs_f64();
+    db.execute("MATERIALIZE 'V1';").unwrap();
+    let t1 = median_time(3, || db.scan("V2", s.v2_table).unwrap().len()).as_secs_f64();
+    let measured = median_time(3, || db.scan("V3", s.v3_table).unwrap().len()).as_secs_f64();
+    (t_local, t1, t2, measured, s.label)
+}
+
+fn main() {
+    let base = env_usize("INVERDA_PAIR_ROWS", 2_000);
+    banner(
+        "Two-SMO chains: scaling and combination (2nd SMO = ADD COLUMN sweep)",
+        "Figure 13 / Section 8.3",
+    );
+
+    // --- Scaling sweep with ADD COLUMN as 2nd SMO (the figure).
+    println!("tuples | pair            | local [ms] | 1 SMO [ms] | 2 SMOs measured | calculated");
+    for &first in FIRSTS {
+        for n in [base / 4, base / 2, base] {
+            let (t_local, t1, t2, measured, label) = measure(first, PairSmo::AddColumn, n);
+            let calculated = (t1 + t2 - t_local).max(0.0);
+            println!(
+                "{n:>6} | {label:<15} | {:>10.2} | {:>10.2} | {:>15.2} | {:>10.2}",
+                t_local * 1e3,
+                t1 * 1e3,
+                measured * 1e3,
+                calculated * 1e3
+            );
+        }
+    }
+
+    // --- All pairs: average speedup of local access and average deviation
+    // of calculated vs measured (paper: speedup 2.1×, deviation 6.3 %).
+    let mut speedups = Vec::new();
+    let mut deviations = Vec::new();
+    for &first in FIRSTS {
+        for &second in SECONDS {
+            let (t_local, t1, t2, measured, _label) = measure(first, second, base / 2);
+            if t_local > 0.0 && measured > 0.0 {
+                speedups.push(t1 / t_local);
+                let calculated = t1 + t2 - t_local;
+                deviations.push(((measured - calculated) / measured).abs());
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!(
+        "average speedup of local access over one-SMO propagation: {:.2}x  (paper: 2.1x)",
+        avg(&speedups)
+    );
+    println!(
+        "average |measured − calculated| / measured over all {} pairs: {:.1} %  (paper: 6.3 %)",
+        speedups.len(),
+        avg(&deviations) * 100.0
+    );
+    println!("\nPaper's shape: local access is consistently faster; combining two SMOs");
+    println!("costs roughly the sum of the individual hops — no superlinear penalty.");
+}

@@ -1,0 +1,94 @@
+//! Figure 9: accumulated propagation overhead while the workload shifts
+//! from TasKy to TasKy2 (Technology Adoption Life Cycle), for the two fixed
+//! materializations vs InVerDa's flexible materialization (which migrates
+//! once the evolved side dominates; migration cost included).
+
+use inverda_bench::{banner, env_usize, time};
+use inverda_core::Inverda;
+use inverda_workloads::adoption::adoption_fraction;
+use inverda_workloads::tasky::{self, run_mix};
+use inverda_workloads::Mix;
+
+struct Run {
+    label: &'static str,
+    flexible: bool,
+    start_evolved: bool,
+}
+
+fn main() {
+    let n = env_usize("INVERDA_TASKS", 5_000);
+    let slices = env_usize("INVERDA_SLICES", 20);
+    let ops = env_usize("INVERDA_OPS", 30);
+    banner(
+        &format!(
+            "Flexible materialization, TasKy→TasKy2 shift ({n} tasks, {slices} slices × {ops} ops)"
+        ),
+        "Figure 9",
+    );
+
+    let runs = [
+        Run {
+            label: "fixed initial materialization",
+            flexible: false,
+            start_evolved: false,
+        },
+        Run {
+            label: "fixed evolved materialization",
+            flexible: false,
+            start_evolved: true,
+        },
+        Run {
+            label: "flexible materialization",
+            flexible: true,
+            start_evolved: false,
+        },
+    ];
+
+    println!("slice  newer-version-share  accumulated overhead [s]");
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for run in &runs {
+        let db: Inverda = tasky::build();
+        tasky::load_tasks(&db, n);
+        if run.start_evolved {
+            db.execute("MATERIALIZE 'TasKy2';").unwrap();
+        }
+        let mut rng = tasky::rng(42);
+        let mut keys_old = db.scan("TasKy", "Task").unwrap().keys().collect::<Vec<_>>();
+        let mut keys_new = keys_old.clone();
+        let mut acc = 0.0f64;
+        let mut series = Vec::with_capacity(slices);
+        let mut migrated = run.start_evolved;
+        for slice in 0..slices {
+            let share = adoption_fraction(slice, slices);
+            if run.flexible && !migrated && share > 0.5 {
+                // DBA flips the switch: one line, cost charged to the curve.
+                let (d, _) = time(|| db.execute("MATERIALIZE 'TasKy2';").unwrap());
+                acc += d.as_secs_f64();
+                migrated = true;
+            }
+            let new_ops = (ops as f64 * share).round() as usize;
+            let old_ops = ops - new_ops;
+            let (d, _) = time(|| {
+                run_mix(&db, "TasKy", Mix::STANDARD, old_ops, &mut keys_old, &mut rng);
+                run_mix(&db, "TasKy2", Mix::STANDARD, new_ops, &mut keys_new, &mut rng);
+            });
+            acc += d.as_secs_f64();
+            series.push(acc);
+        }
+        curves.push((run.label.to_string(), series));
+    }
+    for slice in 0..slices {
+        let share = adoption_fraction(slice, slices);
+        print!("{slice:>5}  {share:>19.2}");
+        for (_, series) in &curves {
+            print!("  {:>10.3}", series[slice]);
+        }
+        println!();
+    }
+    println!("\ncolumns: {}", curves.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>().join(" | "));
+    for (label, series) in &curves {
+        println!("final accumulated overhead, {label}: {:.3} s", series.last().unwrap());
+    }
+    println!("\nPaper's shape: the flexible curve tracks the cheaper fixed curve on");
+    println!("each side of the adoption midpoint and ends below both fixed curves.");
+}

@@ -1,0 +1,160 @@
+//! Section 5 / Appendix A: mechanical bidirectionality proofs.
+//!
+//! Composes γ_src ∘ γ_tgt (condition 27) and γ_tgt ∘ γ_src (condition 26)
+//! for every syntactically verifiable SMO and simplifies with the paper's
+//! Lemmas 1–5 until only identity rules remain, printing the resulting rule
+//! sets and (with `INVERDA_PROOF_TRACE=1`) the full derivation transcript.
+
+use inverda_bench::banner;
+use inverda_bidel::ast::{DecomposeKind, JoinKind, Smo, SplitArm, TableSig};
+use inverda_bidel::semantics::derive_smo;
+use inverda_bidel::verify::{syntactically_verifiable, verify_round_trip, RoundTrip};
+use inverda_storage::Expr;
+use std::collections::BTreeMap;
+
+fn schemas(entries: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+    entries
+        .iter()
+        .map(|(t, cols)| (t.to_string(), cols.iter().map(|c| c.to_string()).collect()))
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Mechanical bidirectionality proofs (Lemmas 1-5)",
+        "Section 5, Appendix A/B",
+    );
+    let trace = std::env::var("INVERDA_PROOF_TRACE").is_ok();
+
+    let cases: Vec<(&str, Smo, BTreeMap<String, Vec<String>>)> = vec![
+        (
+            "SPLIT (two arms, overlapping conditions)",
+            Smo::Split {
+                table: "T".into(),
+                first: SplitArm {
+                    table: "R".into(),
+                    condition: Expr::col("a").lt(Expr::lit(5)),
+                },
+                second: Some(SplitArm {
+                    table: "S".into(),
+                    condition: Expr::col("a").ge(Expr::lit(3)),
+                }),
+            },
+            schemas(&[("T", &["a", "b"])]),
+        ),
+        (
+            "MERGE",
+            Smo::Merge {
+                first: SplitArm {
+                    table: "R".into(),
+                    condition: Expr::col("a").lt(Expr::lit(0)),
+                },
+                second: SplitArm {
+                    table: "S".into(),
+                    condition: Expr::col("a").ge(Expr::lit(0)),
+                },
+                into: "T".into(),
+            },
+            schemas(&[("R", &["a"]), ("S", &["a"])]),
+        ),
+        (
+            "ADD COLUMN",
+            Smo::AddColumn {
+                table: "R".into(),
+                column: "b".into(),
+                function: Expr::col("a"),
+            },
+            schemas(&[("R", &["a"])]),
+        ),
+        (
+            "DROP COLUMN",
+            Smo::DropColumn {
+                table: "R".into(),
+                column: "b".into(),
+                default: Expr::lit(0),
+            },
+            schemas(&[("R", &["a", "b"])]),
+        ),
+        (
+            "JOIN ON PK",
+            Smo::Join {
+                left: "S".into(),
+                right: "T".into(),
+                into: "R".into(),
+                on: JoinKind::Pk,
+                outer: false,
+            },
+            schemas(&[("S", &["a"]), ("T", &["b"])]),
+        ),
+        (
+            "DECOMPOSE ON PK",
+            Smo::Decompose {
+                table: "R".into(),
+                first: TableSig {
+                    name: "S".into(),
+                    columns: vec!["a".into()],
+                },
+                second: TableSig {
+                    name: "T".into(),
+                    columns: vec!["b".into()],
+                },
+                on: DecomposeKind::Pk,
+            },
+            schemas(&[("R", &["a", "b"])]),
+        ),
+        (
+            "RENAME COLUMN",
+            Smo::RenameColumn {
+                table: "A".into(),
+                column: "x".into(),
+                to: "y".into(),
+            },
+            schemas(&[("A", &["x"])]),
+        ),
+    ];
+
+    let mut proved = 0usize;
+    let mut total = 0usize;
+    for (label, smo, src) in cases {
+        let derived = derive_smo(&smo, &src).expect("derivable");
+        if !syntactically_verifiable(&derived) {
+            println!("\n### {label}: uses id generators — verified semantically (proptest)");
+            continue;
+        }
+        for rt in [RoundTrip::FromSource, RoundTrip::FromTarget] {
+            total += 1;
+            let report = verify_round_trip(&derived, rt);
+            let verdict = if report.is_proved() {
+                proved += 1;
+                "PROVED identity"
+            } else {
+                "NOT proved"
+            };
+            println!("\n### {label} — {rt:?}: {verdict}");
+            println!("simplified composition:");
+            for rule in &report.simplified.rules {
+                println!("  {rule}");
+            }
+            if !report.residual_aux_rules.is_empty() {
+                println!("residual aux rules (information the round trip stores):");
+                for r in &report.residual_aux_rules {
+                    println!("  {r}");
+                }
+            }
+            if trace {
+                println!("derivation ({} steps):", report.derivation.steps.len());
+                for step in &report.derivation.steps {
+                    println!("  - {step}");
+                }
+            } else {
+                println!(
+                    "({} lemma applications; set INVERDA_PROOF_TRACE=1 for the transcript)",
+                    report.derivation.steps.len()
+                );
+            }
+        }
+    }
+    println!("\n{proved}/{total} round trips mechanically proved.");
+    println!("Id-generating SMOs (FK/cond decompose, cond join) are covered by the");
+    println!("semantic property tests in crates/core/tests/roundtrip_laws.rs.");
+}

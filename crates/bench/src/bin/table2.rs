@@ -1,0 +1,43 @@
+//! Table 2: the five valid materialization schemas of the TasKy example
+//! and the physical table schema each implies.
+
+use inverda_bench::banner;
+use inverda_bidel::{parse_script, Statement};
+use inverda_catalog::{Genealogy, MaterializationSchema};
+use inverda_workloads::tasky;
+
+fn main() {
+    banner("Valid materialization schemas of TasKy", "Table 2");
+    let mut g = Genealogy::new();
+    for script in [tasky::SCRIPT_TASKY, tasky::SCRIPT_DO, tasky::SCRIPT_TASKY2] {
+        for stmt in parse_script(script).unwrap().statements {
+            if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
+                g.create_schema_version(&name, from.as_deref(), &smos)
+                    .unwrap();
+            }
+        }
+    }
+    let all = MaterializationSchema::enumerate_valid(&g);
+    println!("{:<40} P (physical tables)", "M (materialized SMOs)");
+    for m in &all {
+        let smo_names: Vec<String> = m
+            .smos()
+            .map(|id| g.smo(id).derived.kind.to_string())
+            .collect();
+        let m_label = if smo_names.is_empty() {
+            "{} (initial)".to_string()
+        } else {
+            format!("{{{}}}", smo_names.join(", "))
+        };
+        let p: Vec<String> = m
+            .physical_tables(&g)
+            .into_iter()
+            .map(|tv| {
+                let t = g.table_version(tv);
+                format!("{}-{}", t.name, t.rel)
+            })
+            .collect();
+        println!("{:<40} {{{}}}", m_label, p.join(", "));
+    }
+    println!("\ntotal: {} valid materialization schemas (paper: 5)", all.len());
+}

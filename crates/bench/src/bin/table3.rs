@@ -1,0 +1,65 @@
+//! Table 3: code-size ratio between handwritten SQL and BiDEL for the
+//! three phases of the TasKy example (initial / evolution / migration).
+
+use inverda_bench::banner;
+use inverda_sqlgen::handwritten::{
+    BIDEL_EVOLUTION, BIDEL_INITIAL, BIDEL_MIGRATION, EVOLUTION_SQL, INITIAL_SQL, MIGRATION_SQL,
+};
+use inverda_sqlgen::CodeMetrics;
+
+fn row(phase: &str, sql: &CodeMetrics, bidel: &CodeMetrics) {
+    let (l, s, c) = sql.ratio_to(bidel);
+    println!(
+        "{phase:<11} | BiDEL: {:>3} LoC {:>3} stmt {:>5} chars | SQL: {:>4} LoC {:>4} stmt {:>6} chars | ratio ×{:.2} / ×{:.2} / ×{:.2}",
+        bidel.lines, bidel.statements, bidel.characters,
+        sql.lines, sql.statements, sql.characters,
+        l, s, c
+    );
+}
+
+fn main() {
+    banner("BiDEL vs handwritten SQL code sizes", "Table 3");
+    let pairs = [
+        ("Initially", INITIAL_SQL, BIDEL_INITIAL),
+        ("Evolution", EVOLUTION_SQL, BIDEL_EVOLUTION),
+        ("Migration", MIGRATION_SQL, BIDEL_MIGRATION),
+    ];
+    for (phase, sql, bidel) in pairs {
+        row(
+            phase,
+            &CodeMetrics::measure(sql),
+            &CodeMetrics::measure(bidel),
+        );
+    }
+    println!();
+    println!("Paper reference ratios: evolution ×119.67 LoC, ×49.33 stmts, ×62.35 chars;");
+    println!("                        migration ×182.00 LoC, ×79.00 stmts, ×222.58 chars.");
+    println!("(Our handwritten corpus is an independent transcription; the orders of");
+    println!("magnitude — not the exact counts — are the reproduction target.)");
+
+    // Also show the InVerDa-*generated* SQL for the same genealogy: the
+    // code a developer is spared from maintaining.
+    use inverda_bidel::{parse_script, Statement};
+    use inverda_catalog::{Genealogy, MaterializationSchema};
+    let mut g = Genealogy::new();
+    for script in [
+        inverda_workloads::tasky::SCRIPT_TASKY,
+        inverda_workloads::tasky::SCRIPT_DO,
+        inverda_workloads::tasky::SCRIPT_TASKY2,
+    ] {
+        for stmt in parse_script(script).unwrap().statements {
+            if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
+                g.create_schema_version(&name, from.as_deref(), &smos)
+                    .unwrap();
+            }
+        }
+    }
+    let generated =
+        inverda_sqlgen::generate::full_script(&g, &MaterializationSchema::initial());
+    let m = CodeMetrics::measure(&generated);
+    println!(
+        "\nGenerated delta code (all three versions, initial materialization): \
+         {} LoC, {} statements, {} chars — written by InVerDa, not the developer.",
+        m.lines, m.statements, m.characters
+    );
+}

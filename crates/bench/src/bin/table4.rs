@@ -1,0 +1,31 @@
+//! Table 4: SMO-type histogram of the 171-version Wikimedia evolution.
+
+use inverda_bench::banner;
+use inverda_workloads::wikimedia;
+
+fn main() {
+    banner("SMOs in the Wikimedia database evolution", "Table 4");
+    let db = inverda_core::Inverda::new(); // histogram is derived from the scripts
+    let hist = wikimedia::smo_histogram(&db);
+    let order = [
+        ("CREATE TABLE", 42),
+        ("DROP TABLE", 10),
+        ("RENAME TABLE", 1),
+        ("ADD COLUMN", 95),
+        ("DROP COLUMN", 21),
+        ("RENAME COLUMN", 36),
+        ("JOIN", 0),
+        ("DECOMPOSE", 4),
+        ("MERGE", 2),
+        ("SPLIT", 0),
+    ];
+    println!("{:<15} {:>10} {:>8}", "SMO", "occurrences", "paper");
+    let mut total = 0usize;
+    for (kind, paper) in order {
+        let ours = hist.get(kind).copied().unwrap_or(0);
+        total += ours;
+        let mark = if ours == paper { "" } else { "  <- MISMATCH" };
+        println!("{kind:<15} {ours:>10} {paper:>8}{mark}");
+    }
+    println!("{:<15} {total:>10} {:>8}", "total", 211);
+}

@@ -1,0 +1,391 @@
+//! AST for BiDEL statements and SMOs (paper Figure 2).
+
+use inverda_storage::Expr;
+use std::fmt;
+
+/// A parsed BiDEL script: a sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// Statements in order.
+    pub statements: Vec<Statement>,
+}
+
+/// A top-level BiDEL / InVerDa statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE SCHEMA VERSION name [FROM old] WITH smo1; …; smon;`
+    CreateSchemaVersion {
+        /// New schema version name.
+        name: String,
+        /// Source schema version (absent for initial versions built from
+        /// `CREATE TABLE` SMOs only).
+        from: Option<String>,
+        /// The evolution's SMOs, in order.
+        smos: Vec<Smo>,
+    },
+    /// `DROP SCHEMA VERSION v;`
+    DropSchemaVersion {
+        /// Schema version to drop.
+        name: String,
+    },
+    /// `MATERIALIZE 'v'` or `MATERIALIZE 'v.table1', 'v.table2'` — the DBA's
+    /// Database Migration Operation (Section 7).
+    Materialize {
+        /// Schema-version or version-qualified table-version names.
+        targets: Vec<String>,
+    },
+}
+
+/// Signature of a decompose target: `S(s1, …, sn)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSig {
+    /// Table name.
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+}
+
+impl fmt::Display for TableSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.columns.join(", "))
+    }
+}
+
+/// One arm of a `SPLIT`: `R WITH cR`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitArm {
+    /// Target table name.
+    pub table: String,
+    /// Partition condition over the source columns.
+    pub condition: Expr,
+}
+
+/// How a `DECOMPOSE` relates its two targets (paper Table 5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecomposeKind {
+    /// `ON PK` — both targets keep the source key (Appendix B.2).
+    Pk,
+    /// `ON FK fk` / `ON FOREIGN KEY fk` — the first target gets a generated
+    /// foreign key column `fk` referencing the second target (Appendix B.3).
+    Fk(String),
+    /// `ON condition` — targets get fresh identifiers, related by the
+    /// condition (Appendix B.4).
+    Cond(Expr),
+}
+
+/// How a `JOIN` matches its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinKind {
+    /// `ON PK` — equal keys (Appendix B.5).
+    Pk,
+    /// `ON FK fk` — first input's column `fk` references the second input's
+    /// key (variant of B.5/B.6, see Table 5).
+    Fk(String),
+    /// `ON condition` (Appendix B.6).
+    Cond(Expr),
+}
+
+/// A Schema Modification Operation (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Smo {
+    /// `CREATE TABLE R(c1, …, cn)`
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// Column names.
+        columns: Vec<String>,
+    },
+    /// `DROP TABLE R` — the new version no longer contains R.
+    DropTable {
+        /// Dropped table name.
+        table: String,
+    },
+    /// `RENAME TABLE R INTO R'`
+    RenameTable {
+        /// Old name.
+        table: String,
+        /// New name.
+        to: String,
+    },
+    /// `RENAME COLUMN r IN R TO r'`
+    RenameColumn {
+        /// Table containing the column.
+        table: String,
+        /// Old column name.
+        column: String,
+        /// New column name.
+        to: String,
+    },
+    /// `ADD COLUMN a AS f(r1,…,rn) INTO R` — `f` computes the new column's
+    /// value from the existing columns when data flows forward.
+    AddColumn {
+        /// Table to extend.
+        table: String,
+        /// New column name.
+        column: String,
+        /// Value function.
+        function: Expr,
+    },
+    /// `DROP COLUMN r FROM R DEFAULT f(r1,…,rn)` — `f` recomputes the
+    /// dropped column when a tuple written in the new version propagates
+    /// back to the old one.
+    DropColumn {
+        /// Table to shrink.
+        table: String,
+        /// Dropped column.
+        column: String,
+        /// Backward default function.
+        default: Expr,
+    },
+    /// `DECOMPOSE TABLE R INTO S(…), T(…) ON (PK | FK fk | cond)`
+    Decompose {
+        /// Source table.
+        table: String,
+        /// First target signature.
+        first: TableSig,
+        /// Second target signature.
+        second: TableSig,
+        /// Relationship kind.
+        on: DecomposeKind,
+    },
+    /// `[OUTER] JOIN TABLE R, S INTO T ON (PK | FK fk | cond)`
+    Join {
+        /// Left input table.
+        left: String,
+        /// Right input table.
+        right: String,
+        /// Result table name.
+        into: String,
+        /// Match kind.
+        on: JoinKind,
+        /// Outer join keeps unmatched tuples via ω-padding (inverse of
+        /// DECOMPOSE); inner join parks them in auxiliary tables.
+        outer: bool,
+    },
+    /// `SPLIT TABLE T INTO R WITH cR [, S WITH cS]` — horizontal partition.
+    Split {
+        /// Source table.
+        table: String,
+        /// First partition.
+        first: SplitArm,
+        /// Optional second partition.
+        second: Option<SplitArm>,
+    },
+    /// `MERGE TABLE R (cR), S (cS) INTO T` — inverse of SPLIT; the
+    /// conditions say which T-tuples belong to R / S on backward propagation.
+    Merge {
+        /// First input and its membership condition.
+        first: SplitArm,
+        /// Second input and its membership condition.
+        second: SplitArm,
+        /// Result table.
+        into: String,
+    },
+}
+
+impl Smo {
+    /// A short tag naming the SMO type (used in catalogs and reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Smo::CreateTable { .. } => "CREATE TABLE",
+            Smo::DropTable { .. } => "DROP TABLE",
+            Smo::RenameTable { .. } => "RENAME TABLE",
+            Smo::RenameColumn { .. } => "RENAME COLUMN",
+            Smo::AddColumn { .. } => "ADD COLUMN",
+            Smo::DropColumn { .. } => "DROP COLUMN",
+            Smo::Decompose { .. } => "DECOMPOSE",
+            Smo::Join { .. } => "JOIN",
+            Smo::Split { .. } => "SPLIT",
+            Smo::Merge { .. } => "MERGE",
+        }
+    }
+
+    /// Names of the source-version tables this SMO consumes.
+    pub fn source_tables(&self) -> Vec<&str> {
+        match self {
+            Smo::CreateTable { .. } => vec![],
+            Smo::DropTable { table }
+            | Smo::RenameTable { table, .. }
+            | Smo::RenameColumn { table, .. }
+            | Smo::AddColumn { table, .. }
+            | Smo::DropColumn { table, .. }
+            | Smo::Decompose { table, .. }
+            | Smo::Split { table, .. } => vec![table],
+            Smo::Join { left, right, .. } => vec![left, right],
+            Smo::Merge { first, second, .. } => vec![&first.table, &second.table],
+        }
+    }
+
+    /// Names of the target-version tables this SMO produces.
+    pub fn target_tables(&self) -> Vec<&str> {
+        match self {
+            Smo::CreateTable { table, .. } => vec![table],
+            Smo::DropTable { .. } => vec![],
+            Smo::RenameTable { to, .. } => vec![to],
+            Smo::RenameColumn { table, .. } => vec![table],
+            Smo::AddColumn { table, .. } | Smo::DropColumn { table, .. } => vec![table],
+            Smo::Decompose { first, second, .. } => vec![&first.name, &second.name],
+            Smo::Join { into, .. } => vec![into],
+            Smo::Split { first, second, .. } => {
+                let mut v = vec![first.table.as_str()];
+                if let Some(s) = second {
+                    v.push(&s.table);
+                }
+                v
+            }
+            Smo::Merge { into, .. } => vec![into],
+        }
+    }
+}
+
+impl fmt::Display for Smo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Smo::CreateTable { table, columns } => {
+                write!(f, "CREATE TABLE {table}({})", columns.join(", "))
+            }
+            Smo::DropTable { table } => write!(f, "DROP TABLE {table}"),
+            Smo::RenameTable { table, to } => write!(f, "RENAME TABLE {table} INTO {to}"),
+            Smo::RenameColumn { table, column, to } => {
+                write!(f, "RENAME COLUMN {column} IN {table} TO {to}")
+            }
+            Smo::AddColumn {
+                table,
+                column,
+                function,
+            } => write!(f, "ADD COLUMN {column} AS {function} INTO {table}"),
+            Smo::DropColumn {
+                table,
+                column,
+                default,
+            } => write!(f, "DROP COLUMN {column} FROM {table} DEFAULT {default}"),
+            Smo::Decompose {
+                table,
+                first,
+                second,
+                on,
+            } => {
+                write!(f, "DECOMPOSE TABLE {table} INTO {first}, {second} ON ")?;
+                match on {
+                    DecomposeKind::Pk => write!(f, "PK"),
+                    DecomposeKind::Fk(fk) => write!(f, "FOREIGN KEY {fk}"),
+                    DecomposeKind::Cond(c) => write!(f, "{c}"),
+                }
+            }
+            Smo::Join {
+                left,
+                right,
+                into,
+                on,
+                outer,
+            } => {
+                if *outer {
+                    write!(f, "OUTER ")?;
+                }
+                write!(f, "JOIN TABLE {left}, {right} INTO {into} ON ")?;
+                match on {
+                    JoinKind::Pk => write!(f, "PK"),
+                    JoinKind::Fk(fk) => write!(f, "FOREIGN KEY {fk}"),
+                    JoinKind::Cond(c) => write!(f, "{c}"),
+                }
+            }
+            Smo::Split {
+                table,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "SPLIT TABLE {table} INTO {} WITH {}",
+                    first.table, first.condition
+                )?;
+                if let Some(s) = second {
+                    write!(f, ", {} WITH {}", s.table, s.condition)?;
+                }
+                Ok(())
+            }
+            Smo::Merge {
+                first,
+                second,
+                into,
+            } => write!(
+                f,
+                "MERGE TABLE {} ({}), {} ({}) INTO {into}",
+                first.table, first.condition, second.table, second.condition
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateSchemaVersion { name, from, smos } => {
+                write!(f, "CREATE SCHEMA VERSION {name}")?;
+                if let Some(from) = from {
+                    write!(f, " FROM {from}")?;
+                }
+                write!(f, " WITH ")?;
+                for smo in smos {
+                    write!(f, "{smo}; ")?;
+                }
+                Ok(())
+            }
+            Statement::DropSchemaVersion { name } => write!(f, "DROP SCHEMA VERSION {name};"),
+            Statement::Materialize { targets } => {
+                let quoted: Vec<String> = targets.iter().map(|t| format!("'{t}'")).collect();
+                write!(f, "MATERIALIZE {};", quoted.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_and_target_tables() {
+        let split = Smo::Split {
+            table: "Task".into(),
+            first: SplitArm {
+                table: "Todo".into(),
+                condition: Expr::col("prio").eq(Expr::lit(1)),
+            },
+            second: None,
+        };
+        assert_eq!(split.source_tables(), vec!["Task"]);
+        assert_eq!(split.target_tables(), vec!["Todo"]);
+        assert_eq!(split.kind(), "SPLIT");
+
+        let join = Smo::Join {
+            left: "A".into(),
+            right: "B".into(),
+            into: "C".into(),
+            on: JoinKind::Pk,
+            outer: false,
+        };
+        assert_eq!(join.source_tables(), vec!["A", "B"]);
+        assert_eq!(join.target_tables(), vec!["C"]);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let smo = Smo::Decompose {
+            table: "task".into(),
+            first: TableSig {
+                name: "task".into(),
+                columns: vec!["task".into(), "prio".into()],
+            },
+            second: TableSig {
+                name: "author".into(),
+                columns: vec!["author".into()],
+            },
+            on: DecomposeKind::Fk("author".into()),
+        };
+        assert_eq!(
+            smo.to_string(),
+            "DECOMPOSE TABLE task INTO task(task, prio), author(author) ON FOREIGN KEY author"
+        );
+    }
+}

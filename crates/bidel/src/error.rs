@@ -1,0 +1,52 @@
+//! Error type for BiDEL parsing and semantics derivation.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, or deriving SMO semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BidelError {
+    /// Lexer error with position.
+    Lex {
+        /// Byte offset in the script.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parser error.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Semantic error when deriving an SMO (unknown table, bad columns…).
+    Semantics {
+        /// Description.
+        message: String,
+    },
+}
+
+impl BidelError {
+    /// Convenience constructor for semantic errors.
+    pub fn semantics(message: impl Into<String>) -> Self {
+        BidelError::Semantics {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BidelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BidelError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            BidelError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            BidelError::Semantics { message } => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BidelError {}

@@ -1,0 +1,353 @@
+//! Lexer for BiDEL scripts.
+//!
+//! Identifiers may end in `!` (the paper's `Do!` schema version). Keywords
+//! are not reserved at the lexer level — the parser matches identifiers
+//! case-insensitively, so tables may be named `task` even though `TABLE` is
+//! a keyword elsewhere.
+
+use crate::error::BidelError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `||`
+    Concat,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenize a script. Comments (`-- …` to end of line) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let push = |out: &mut Vec<SpannedToken>, token: Token| {
+            out.push(SpannedToken {
+                token,
+                offset: start,
+            });
+        };
+        match c {
+            '(' => {
+                push(&mut out, Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                push(&mut out, Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                push(&mut out, Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                push(&mut out, Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Token::Star);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                push(&mut out, Token::Percent);
+                i += 1;
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push(&mut out, Token::Concat);
+                    i += 2;
+                } else {
+                    return Err(BidelError::Lex {
+                        offset: i,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    push(&mut out, Token::Ne);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Ge);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(BidelError::Lex {
+                        offset: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(BidelError::Lex {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            let ch_start = i;
+                            let mut ch_end = i + 1;
+                            while ch_end < bytes.len() && !input.is_char_boundary(ch_end) {
+                                ch_end += 1;
+                            }
+                            s.push_str(&input[ch_start..ch_end]);
+                            i = ch_end;
+                        }
+                    }
+                }
+                push(&mut out, Token::Str(s));
+            }
+            _ if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_digit()
+                        || (bytes[end] == b'.'
+                            && end + 1 < bytes.len()
+                            && (bytes[end + 1] as char).is_ascii_digit()
+                            && !is_float))
+                {
+                    if bytes[end] == b'.' {
+                        is_float = true;
+                    }
+                    end += 1;
+                }
+                let text = &input[i..end];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| BidelError::Lex {
+                        offset: i,
+                        message: format!("bad float literal '{text}'"),
+                    })?;
+                    push(&mut out, Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| BidelError::Lex {
+                        offset: i,
+                        message: format!("bad integer literal '{text}'"),
+                    })?;
+                    push(&mut out, Token::Int(v));
+                }
+                i = end;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let ch = bytes[end] as char;
+                    if ch.is_alphanumeric() || ch == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Allow one trailing '!' (schema versions like `Do!`).
+                if end < bytes.len() && bytes[end] == b'!' && bytes.get(end + 1) != Some(&b'=') {
+                    end += 1;
+                }
+                push(&mut out, Token::Ident(input[i..end].to_string()));
+                i = end;
+            }
+            _ => {
+                return Err(BidelError::Lex {
+                    offset: i,
+                    message: format!("unexpected character '{c}'"),
+                })
+            }
+        }
+    }
+    out.push(SpannedToken {
+        token: Token::Eof,
+        offset: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_bang_idents() {
+        let t = toks("CREATE SCHEMA VERSION Do! FROM TasKy");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("CREATE".into()),
+                Token::Ident("SCHEMA".into()),
+                Token::Ident("VERSION".into()),
+                Token::Ident("Do!".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("TasKy".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let t = toks("prio = 1 AND x <= 2.5 OR y <> z");
+        assert!(t.contains(&Token::Eq));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Int(1)));
+        assert!(t.contains(&Token::Float(2.5)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = toks("'TasKy2.task', 'it''s'");
+        assert_eq!(t[0], Token::Str("TasKy2.task".into()));
+        assert_eq!(t[2], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("a -- comment\n b");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bang_not_equal_disambiguation() {
+        let t = toks("a != b");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ne,
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+}

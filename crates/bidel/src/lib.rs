@@ -1,0 +1,36 @@
+//! # inverda-bidel
+//!
+//! **BiDEL** — the Bidirectional Database Evolution Language of the paper
+//! (Section 4, Figure 2, Appendix B).
+//!
+//! BiDEL extends the relationally complete DEL CoDEL with *bidirectional*
+//! Schema Modification Operations (SMOs): every SMO carries enough parameters
+//! to propagate reads and writes between the old and the new schema version
+//! in **both** directions. This crate provides:
+//!
+//! * the SMO and statement AST ([`ast`]),
+//! * a lexer and recursive-descent parser for the Figure 2 syntax
+//!   ([`lexer`], [`parser`]),
+//! * the semantics of every SMO as a pair of Datalog rule sets γ_tgt / γ_src
+//!   plus the side schemas (data tables, auxiliary tables) they operate on
+//!   ([`semantics`]); the rule templates follow Section 4 and Appendix B,
+//! * a formal verification harness ([`verify`]) that mechanically re-derives
+//!   the paper's bidirectionality proofs (conditions 26/27) by composing the
+//!   two mappings and simplifying with Lemmas 1–5.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod semantics;
+pub mod verify;
+
+pub use ast::{DecomposeKind, JoinKind, Script, Smo, SplitArm, Statement, TableSig};
+pub use error::BidelError;
+pub use parser::parse_script;
+pub use semantics::{derive_smo, DerivedSmo, SharedAux, TableRef};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BidelError>;

@@ -1,0 +1,689 @@
+//! Recursive-descent parser for BiDEL scripts (grammar of Figure 2).
+//!
+//! ```text
+//! script      := statement*
+//! statement   := create_version | drop_version | materialize
+//! create_version := CREATE SCHEMA VERSION ident [FROM ident] WITH smo (';' smo?)*
+//! drop_version   := DROP SCHEMA VERSION ident ';'?
+//! materialize    := MATERIALIZE string (',' string)* ';'?
+//! smo        := CREATE TABLE … | DROP TABLE … | RENAME TABLE … |
+//!               RENAME COLUMN … | ADD COLUMN … | DROP COLUMN … |
+//!               DECOMPOSE TABLE … | [OUTER] JOIN TABLE … |
+//!               SPLIT TABLE … | MERGE TABLE …
+//! ```
+//!
+//! Keywords are case-insensitive; an SMO list ends when the next tokens
+//! start a new top-level statement or the input ends.
+
+use crate::ast::{DecomposeKind, JoinKind, Script, Smo, SplitArm, Statement, TableSig};
+use crate::error::BidelError;
+use crate::lexer::{tokenize, SpannedToken, Token};
+use crate::Result;
+use inverda_storage::{BinaryOp, CmpOp, Expr, Value};
+
+/// Parse a full BiDEL script.
+pub fn parse_script(input: &str) -> Result<Script> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    while !p.at_eof() {
+        statements.push(p.statement()?);
+    }
+    Ok(Script { statements })
+}
+
+/// Parse a single condition / function expression (used by tests and tools).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> BidelError {
+        BidelError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn is_kw_at(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_at(n), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword '{kw}', found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_token(&mut self, t: Token) -> Result<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.error(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    // ---------------------------------------------------------------- stmts
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.is_kw("CREATE") && self.is_kw_at(1, "SCHEMA") {
+            return self.create_schema_version();
+        }
+        if self.is_kw("DROP") && self.is_kw_at(1, "SCHEMA") {
+            self.bump();
+            self.bump();
+            self.expect_kw("VERSION")?;
+            let name = self.ident()?;
+            let _ = self.expect_token(Token::Semicolon);
+            return Ok(Statement::DropSchemaVersion { name });
+        }
+        if self.is_kw("MATERIALIZE") {
+            self.bump();
+            let mut targets = vec![self.string()?];
+            while matches!(self.peek(), Token::Comma) {
+                self.bump();
+                targets.push(self.string()?);
+            }
+            let _ = self.expect_token(Token::Semicolon);
+            return Ok(Statement::Materialize { targets });
+        }
+        Err(self.error(format!(
+            "expected CREATE SCHEMA VERSION / DROP SCHEMA VERSION / MATERIALIZE, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn create_schema_version(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("SCHEMA")?;
+        self.expect_kw("VERSION")?;
+        let name = self.ident()?;
+        let from = if self.eat_kw("FROM") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect_kw("WITH")?;
+        let mut smos = Vec::new();
+        loop {
+            smos.push(self.smo()?);
+            // SMOs are ';'-terminated; the list ends at EOF or the start of
+            // the next top-level statement.
+            let _ = self.expect_token(Token::Semicolon);
+            if self.at_eof() || self.at_statement_start() {
+                break;
+            }
+        }
+        Ok(Statement::CreateSchemaVersion { name, from, smos })
+    }
+
+    fn at_statement_start(&self) -> bool {
+        (self.is_kw("CREATE") && self.is_kw_at(1, "SCHEMA"))
+            || (self.is_kw("DROP") && self.is_kw_at(1, "SCHEMA"))
+            || self.is_kw("MATERIALIZE")
+    }
+
+    // ----------------------------------------------------------------- smos
+
+    fn smo(&mut self) -> Result<Smo> {
+        if self.is_kw("CREATE") && self.is_kw_at(1, "TABLE") {
+            self.bump();
+            self.bump();
+            let table = self.ident()?;
+            let columns = self.column_list()?;
+            return Ok(Smo::CreateTable { table, columns });
+        }
+        if self.is_kw("DROP") && self.is_kw_at(1, "TABLE") {
+            self.bump();
+            self.bump();
+            let table = self.ident()?;
+            return Ok(Smo::DropTable { table });
+        }
+        if self.is_kw("RENAME") && self.is_kw_at(1, "TABLE") {
+            self.bump();
+            self.bump();
+            let table = self.ident()?;
+            self.expect_kw("INTO")?;
+            let to = self.ident()?;
+            return Ok(Smo::RenameTable { table, to });
+        }
+        if self.is_kw("RENAME") && self.is_kw_at(1, "COLUMN") {
+            self.bump();
+            self.bump();
+            let column = self.ident()?;
+            self.expect_kw("IN")?;
+            let table = self.ident()?;
+            self.expect_kw("TO")?;
+            let to = self.ident()?;
+            return Ok(Smo::RenameColumn { table, column, to });
+        }
+        if self.is_kw("ADD") && self.is_kw_at(1, "COLUMN") {
+            self.bump();
+            self.bump();
+            let column = self.ident()?;
+            self.expect_kw("AS")?;
+            let function = self.expr()?;
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            return Ok(Smo::AddColumn {
+                table,
+                column,
+                function,
+            });
+        }
+        if self.is_kw("DROP") && self.is_kw_at(1, "COLUMN") {
+            self.bump();
+            self.bump();
+            let column = self.ident()?;
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            self.expect_kw("DEFAULT")?;
+            let default = self.expr()?;
+            return Ok(Smo::DropColumn {
+                table,
+                column,
+                default,
+            });
+        }
+        if self.is_kw("DECOMPOSE") {
+            self.bump();
+            self.expect_kw("TABLE")?;
+            let table = self.ident()?;
+            self.expect_kw("INTO")?;
+            let first = self.table_sig()?;
+            self.expect_token(Token::Comma)?;
+            let second = self.table_sig()?;
+            self.expect_kw("ON")?;
+            let on = self.decompose_kind()?;
+            return Ok(Smo::Decompose {
+                table,
+                first,
+                second,
+                on,
+            });
+        }
+        if self.is_kw("OUTER") || self.is_kw("JOIN") {
+            let outer = self.eat_kw("OUTER");
+            self.expect_kw("JOIN")?;
+            self.expect_kw("TABLE")?;
+            let left = self.ident()?;
+            self.expect_token(Token::Comma)?;
+            let right = self.ident()?;
+            self.expect_kw("INTO")?;
+            let into = self.ident()?;
+            self.expect_kw("ON")?;
+            let on = self.join_kind()?;
+            return Ok(Smo::Join {
+                left,
+                right,
+                into,
+                on,
+                outer,
+            });
+        }
+        if self.is_kw("SPLIT") {
+            self.bump();
+            self.expect_kw("TABLE")?;
+            let table = self.ident()?;
+            self.expect_kw("INTO")?;
+            let first = self.split_arm()?;
+            let second = if matches!(self.peek(), Token::Comma) {
+                self.bump();
+                Some(self.split_arm()?)
+            } else {
+                None
+            };
+            return Ok(Smo::Split {
+                table,
+                first,
+                second,
+            });
+        }
+        if self.is_kw("MERGE") {
+            self.bump();
+            self.expect_kw("TABLE")?;
+            let first = self.merge_arm()?;
+            self.expect_token(Token::Comma)?;
+            let second = self.merge_arm()?;
+            self.expect_kw("INTO")?;
+            let into = self.ident()?;
+            return Ok(Smo::Merge {
+                first,
+                second,
+                into,
+            });
+        }
+        Err(self.error(format!("expected an SMO, found {:?}", self.peek())))
+    }
+
+    fn column_list(&mut self) -> Result<Vec<String>> {
+        self.expect_token(Token::LParen)?;
+        let mut cols = vec![self.ident()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            cols.push(self.ident()?);
+        }
+        self.expect_token(Token::RParen)?;
+        Ok(cols)
+    }
+
+    fn table_sig(&mut self) -> Result<TableSig> {
+        let name = self.ident()?;
+        let columns = self.column_list()?;
+        Ok(TableSig { name, columns })
+    }
+
+    fn split_arm(&mut self) -> Result<SplitArm> {
+        let table = self.ident()?;
+        self.expect_kw("WITH")?;
+        let condition = self.expr()?;
+        Ok(SplitArm { table, condition })
+    }
+
+    fn merge_arm(&mut self) -> Result<SplitArm> {
+        let table = self.ident()?;
+        self.expect_token(Token::LParen)?;
+        let condition = self.expr()?;
+        self.expect_token(Token::RParen)?;
+        Ok(SplitArm { table, condition })
+    }
+
+    fn decompose_kind(&mut self) -> Result<DecomposeKind> {
+        if self.is_kw("PK") {
+            self.bump();
+            return Ok(DecomposeKind::Pk);
+        }
+        if self.is_kw("FK") {
+            self.bump();
+            return Ok(DecomposeKind::Fk(self.ident()?));
+        }
+        if self.is_kw("FOREIGN") {
+            self.bump();
+            self.expect_kw("KEY")?;
+            return Ok(DecomposeKind::Fk(self.ident()?));
+        }
+        Ok(DecomposeKind::Cond(self.expr()?))
+    }
+
+    fn join_kind(&mut self) -> Result<JoinKind> {
+        if self.is_kw("PK") {
+            self.bump();
+            return Ok(JoinKind::Pk);
+        }
+        if self.is_kw("FK") {
+            self.bump();
+            return Ok(JoinKind::Fk(self.ident()?));
+        }
+        if self.is_kw("FOREIGN") {
+            self.bump();
+            self.expect_kw("KEY")?;
+            return Ok(JoinKind::Fk(self.ident()?));
+        }
+        Ok(JoinKind::Cond(self.expr()?))
+    }
+
+    // ----------------------------------------------------------------- expr
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.is_kw("OR") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            e = e.or(rhs);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.is_kw("AND") {
+            self.bump();
+            let rhs = self.not_expr()?;
+            e = e.and(rhs);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.is_kw("NOT") {
+            self.bump();
+            return Ok(self.not_expr()?.negate());
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Token::Eq => Some(CmpOp::Eq),
+            Token::Ne => Some(CmpOp::Ne),
+            Token::Lt => Some(CmpOp::Lt),
+            Token::Le => Some(CmpOp::Le),
+            Token::Gt => Some(CmpOp::Gt),
+            Token::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)));
+        }
+        if self.is_kw("IS") {
+            self.bump();
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let test = Expr::IsNull(Box::new(lhs));
+            return Ok(if negated { test.negate() } else { test });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => Some(BinaryOp::Add),
+                Token::Minus => Some(BinaryOp::Sub),
+                Token::Concat => Some(BinaryOp::Concat),
+                _ => None,
+            };
+            match op {
+                Some(op) => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    e = Expr::Binary(Box::new(e), op, Box::new(rhs));
+                }
+                None => return Ok(e),
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => Some(BinaryOp::Mul),
+                Token::Slash => Some(BinaryOp::Div),
+                Token::Percent => Some(BinaryOp::Mod),
+                _ => None,
+            };
+            match op {
+                Some(op) => {
+                    self.bump();
+                    let rhs = self.primary()?;
+                    e = Expr::Binary(Box::new(e), op, Box::new(rhs));
+                }
+                None => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::lit(v))
+            }
+            Token::Float(v) => {
+                self.bump();
+                Ok(Expr::lit(v))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::lit(Value::text(s)))
+            }
+            Token::Minus => {
+                self.bump();
+                let inner = self.primary()?;
+                Ok(Expr::Binary(
+                    Box::new(Expr::lit(0)),
+                    BinaryOp::Sub,
+                    Box::new(inner),
+                ))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_token(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Expr::lit(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Expr::lit(true));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Expr::lit(false));
+                }
+                self.bump();
+                if matches!(self.peek(), Token::LParen) {
+                    // Function call.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Token::RParen) {
+                        args.push(self.expr()?);
+                        while matches!(self.peek(), Token::Comma) {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect_token(Token::RParen)?;
+                    Ok(Expr::Call(name.to_lowercase(), args))
+                } else {
+                    Ok(Expr::col(name))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_do_script() {
+        // Figure 1, left side.
+        let script = parse_script(
+            "CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+             SPLIT TABLE Task INTO Todo WITH prio=1; \
+             DROP COLUMN prio FROM Todo DEFAULT 1;",
+        )
+        .unwrap();
+        assert_eq!(script.statements.len(), 1);
+        let Statement::CreateSchemaVersion { name, from, smos } = &script.statements[0] else {
+            panic!("wrong statement kind");
+        };
+        assert_eq!(name, "Do!");
+        assert_eq!(from.as_deref(), Some("TasKy"));
+        assert_eq!(smos.len(), 2);
+        assert!(matches!(&smos[0], Smo::Split { table, first, second: None }
+            if table == "Task" && first.table == "Todo"));
+        assert!(matches!(&smos[1], Smo::DropColumn { table, column, .. }
+            if table == "Todo" && column == "prio"));
+    }
+
+    #[test]
+    fn parses_the_papers_tasky2_script() {
+        // Figure 1, right side.
+        let script = parse_script(
+            "CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH \
+             DECOMPOSE TABLE task INTO task(task,prio), author(author) ON FOREIGN KEY author; \
+             RENAME COLUMN author IN author TO name;",
+        )
+        .unwrap();
+        let Statement::CreateSchemaVersion { smos, .. } = &script.statements[0] else {
+            panic!("wrong statement kind");
+        };
+        assert!(matches!(&smos[0], Smo::Decompose { on: DecomposeKind::Fk(fk), .. } if fk == "author"));
+        assert!(matches!(&smos[1], Smo::RenameColumn { table, column, to }
+            if table == "author" && column == "author" && to == "name"));
+    }
+
+    #[test]
+    fn parses_materialize_variants() {
+        let s = parse_script("MATERIALIZE 'TasKy2';").unwrap();
+        assert_eq!(
+            s.statements[0],
+            Statement::Materialize {
+                targets: vec!["TasKy2".into()]
+            }
+        );
+        let s = parse_script("MATERIALIZE 'TasKy2.task', 'TasKy2.author';").unwrap();
+        assert_eq!(
+            s.statements[0],
+            Statement::Materialize {
+                targets: vec!["TasKy2.task".into(), "TasKy2.author".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn parses_multiple_statements() {
+        let s = parse_script(
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b); \
+             CREATE SCHEMA VERSION V2 FROM V1 WITH ADD COLUMN c AS a + b INTO T; \
+             DROP SCHEMA VERSION V1; \
+             MATERIALIZE 'V2';",
+        )
+        .unwrap();
+        assert_eq!(s.statements.len(), 4);
+    }
+
+    #[test]
+    fn parses_all_smo_kinds() {
+        let script = parse_script(
+            "CREATE SCHEMA VERSION V2 FROM V1 WITH \
+             CREATE TABLE N(x, y); \
+             DROP TABLE Old; \
+             RENAME TABLE A INTO B; \
+             RENAME COLUMN c IN B TO d; \
+             ADD COLUMN e AS d * 2 INTO B; \
+             DROP COLUMN e FROM B DEFAULT 0; \
+             DECOMPOSE TABLE R INTO S(a), T(b) ON PK; \
+             DECOMPOSE TABLE R2 INTO S2(a), T2(b) ON a = b; \
+             OUTER JOIN TABLE S, T INTO R ON PK; \
+             JOIN TABLE S2, T2 INTO R2 ON FK fk; \
+             SPLIT TABLE X INTO Y WITH a < 5, Z WITH a >= 5; \
+             MERGE TABLE Y (a < 5), Z (a >= 5) INTO X;",
+        )
+        .unwrap();
+        let Statement::CreateSchemaVersion { smos, .. } = &script.statements[0] else {
+            panic!()
+        };
+        assert_eq!(smos.len(), 12);
+        assert!(matches!(smos[8], Smo::Join { outer: true, .. }));
+        assert!(matches!(smos[9], Smo::Join { outer: false, on: JoinKind::Fk(_), .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("a + b * 2 = 10 AND NOT c < 5 OR d IS NULL").unwrap();
+        let text = e.to_string();
+        assert_eq!(
+            text,
+            "(((a + (b * 2)) = 10 AND NOT (c < 5)) OR d IS NULL)"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_script("HELLO WORLD").is_err());
+        assert!(parse_script("CREATE SCHEMA VERSION V WITH FROB TABLE x;").is_err());
+        assert!(parse_expr("a +").is_err());
+    }
+
+    #[test]
+    fn function_calls_in_expressions() {
+        let e = parse_expr("concat(first, ' ', last)").unwrap();
+        assert_eq!(e.to_string(), "concat(first, ' ', last)");
+    }
+}

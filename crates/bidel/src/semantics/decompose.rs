@@ -1,0 +1,699 @@
+//! DECOMPOSE ON PK / FK / condition (Appendix B.2, B.3, B.4).
+//!
+//! * **ON PK** (B.2): both targets keep the source key; gaps from the
+//!   inverse outer join are filled with ω (NULL).
+//! * **ON FOREIGN KEY fk** (B.3): the second target's rows get generated
+//!   identifiers (deduplicated by payload — "we eliminate all duplicates in
+//!   the new address table"); the first target gains the foreign-key column.
+//!   The source-side auxiliary `ID_R(p, t)` stores the assignment so reads
+//!   are repeatable. De-staged relative to the paper, see the module docs of
+//!   [`crate::semantics`].
+//! * **ON condition** (B.4): both targets get fresh identifiers; the shared
+//!   `ID(r, s, t)` table relates them to the source rows, `R⁻` remembers
+//!   deleted source rows whose targets still condition-match.
+
+use crate::ast::TableSig;
+use crate::error::BidelError;
+use crate::semantics::{
+    all_null, aux_rel, gen_name, key_atom, not_all_null, pvar, src_rel, tgt_rel, user_expr,
+    DerivedSmo, ObserveHint, SharedAux, TableRef,
+};
+use crate::Result;
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_storage::{Expr, Value};
+
+/// Terms of an atom over the full source table, with all payload vars bound.
+fn full_terms(key: &str, columns: &[String]) -> Vec<Term> {
+    let mut t = vec![Term::var(key)];
+    t.extend(columns.iter().map(|c| Term::var(pvar(c))));
+    t
+}
+
+/// Head terms reconstructing the source row: vars for available columns,
+/// ω (NULL) for the missing side.
+fn source_head(rel: &str, key: &str, columns: &[String], available: &[String]) -> Atom {
+    let mut terms = vec![Term::var(key)];
+    for c in columns {
+        if available.contains(c) {
+            terms.push(Term::var(pvar(c)));
+        } else {
+            terms.push(Term::Const(Value::Null));
+        }
+    }
+    Atom::new(rel, terms)
+}
+
+// ---------------------------------------------------------------- ON PK
+
+/// `DECOMPOSE TABLE R INTO S(A), T(B) ON PK` (Appendix B.2). Column overlap
+/// between A and B is allowed; shared columns act as join constraints on
+/// reconstruction.
+pub fn decompose_pk(
+    table: &str,
+    first: &TableSig,
+    second: &TableSig,
+    columns: &[String],
+) -> Result<DerivedSmo> {
+    crate::semantics::require_cover(&first.columns, &second.columns, columns, "DECOMPOSE ON PK")?;
+    if first.columns.is_empty() || second.columns.is_empty() {
+        return Err(BidelError::semantics(
+            "DECOMPOSE ON PK: targets must have at least one column",
+        ));
+    }
+    let src = TableRef::new(table, src_rel(table), columns.to_vec());
+    let s = TableRef::new(&first.name, tgt_rel(&first.name), first.columns.clone());
+    let t = TableRef::new(&second.name, tgt_rel(&second.name), second.columns.clone());
+    let p = "p";
+
+    // γ_tgt — Rules 133/134 with explicit ω guards.
+    let to_tgt = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&s.rel, full_terms(p, &s.columns)),
+            vec![
+                Literal::Pos(Atom::new(&src.rel, full_terms(p, columns))),
+                Literal::Cond(not_all_null(&s.columns)),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&t.rel, full_terms(p, &t.columns)),
+            vec![
+                Literal::Pos(Atom::new(&src.rel, full_terms(p, columns))),
+                Literal::Cond(not_all_null(&t.columns)),
+            ],
+        ),
+    ]);
+
+    // γ_src — Rules 135–137.
+    let to_src = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&src.rel, full_terms(p, columns)),
+            vec![
+                Literal::Pos(Atom::new(&s.rel, full_terms(p, &s.columns))),
+                Literal::Pos(Atom::new(&t.rel, full_terms(p, &t.columns))),
+            ],
+        ),
+        Rule::new(
+            source_head(&src.rel, p, columns, &s.columns),
+            vec![
+                Literal::Pos(Atom::new(&s.rel, full_terms(p, &s.columns))),
+                Literal::Neg(key_atom(&t.rel, p, t.columns.len())),
+            ],
+        ),
+        Rule::new(
+            source_head(&src.rel, p, columns, &t.columns),
+            vec![
+                Literal::Pos(Atom::new(&t.rel, full_terms(p, &t.columns))),
+                Literal::Neg(key_atom(&s.rel, p, s.columns.len())),
+            ],
+        ),
+    ]);
+
+    Ok(DerivedSmo {
+        kind: "DECOMPOSE",
+        src_data: vec![src],
+        tgt_data: vec![s, t],
+        src_aux: vec![],
+        tgt_aux: vec![],
+        shared_aux: vec![],
+        to_tgt,
+        to_src,
+        generators: vec![],
+        observe_hints: vec![],
+        moves_data: true,
+    })
+}
+
+// ---------------------------------------------------------------- ON FK
+
+/// `DECOMPOSE TABLE R INTO S(A), T(B) ON FOREIGN KEY fk` (Appendix B.3).
+/// `S` receives the extra column `fk` referencing `T`'s generated key.
+pub fn decompose_fk(
+    table: &str,
+    first: &TableSig,
+    second: &TableSig,
+    fk: &str,
+    columns: &[String],
+) -> Result<DerivedSmo> {
+    crate::semantics::require_cover(&first.columns, &second.columns, columns, "DECOMPOSE ON FK")?;
+    for c in &first.columns {
+        if second.columns.contains(c) {
+            return Err(BidelError::semantics(format!(
+                "DECOMPOSE ON FK: column '{c}' may not occur in both targets"
+            )));
+        }
+    }
+    if first.columns.contains(&fk.to_string()) {
+        return Err(BidelError::semantics(format!(
+            "DECOMPOSE ON FK: foreign key column '{fk}' collides with a column of '{}'",
+            first.name
+        )));
+    }
+    if second.columns.is_empty() {
+        return Err(BidelError::semantics(
+            "DECOMPOSE ON FK: the referenced target needs at least one column",
+        ));
+    }
+    let a = first.columns.clone();
+    let b = second.columns.clone();
+    let src = TableRef::new(table, src_rel(table), columns.to_vec());
+    let mut s_cols = a.clone();
+    s_cols.push(fk.to_string());
+    let s = TableRef::new(&first.name, tgt_rel(&first.name), s_cols);
+    let t = TableRef::new(&second.name, tgt_rel(&second.name), b.clone());
+    let id_aux = TableRef::new(
+        "IDR",
+        aux_rel(&format!("ID_{table}")),
+        vec!["t".to_string()],
+    );
+    let generator = gen_name(&format!("{table}.{}", second.name));
+    let p = "p";
+    let tv = "t"; // the generated identifier variable
+
+    // Atom helpers.
+    let r_full = || Atom::new(&src.rel, full_terms(p, columns));
+    let b_vars: Vec<Term> = b.iter().map(|c| Term::var(pvar(c))).collect();
+    let id_atom = |t_term: Term| Atom::new(&id_aux.rel, vec![Term::var(p), t_term]);
+    // S head: key p, A columns, then fk.
+    let s_head = |fk_term: Term| {
+        let mut terms = vec![Term::var(p)];
+        terms.extend(a.iter().map(|c| Term::var(pvar(c))));
+        terms.push(fk_term);
+        Atom::new(&s.rel, terms)
+    };
+    let t_head = || {
+        let mut terms = vec![Term::var(tv)];
+        terms.extend(b_vars.iter().cloned());
+        Atom::new(&t.rel, terms)
+    };
+    // ¬S(_, …, fk = t): S pattern keyed anywhere with the fk value.
+    let s_fk_pattern = |t_term: Term| {
+        let mut terms = vec![Term::Anon];
+        terms.extend(std::iter::repeat_n(Term::Anon, a.len()));
+        terms.push(t_term);
+        Atom::new(&s.rel, terms)
+    };
+    let skolem = || Literal::Skolem {
+        var: tv.into(),
+        generator: generator.clone(),
+        args: b.iter().map(|c| Term::var(pvar(c))).collect(),
+    };
+
+    // γ_tgt (de-staged B.3; Rules 141–146).
+    let to_tgt = RuleSet::new(vec![
+        Rule::new(
+            t_head(),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Pos(id_atom(Term::var(tv))),
+                Literal::Cond(Expr::IsNull(Box::new(Expr::col(tv))).negate()),
+            ],
+        ),
+        Rule::new(
+            t_head(),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_atom(Term::Anon)),
+                Literal::Cond(not_all_null(&b)),
+                skolem(),
+            ],
+        ),
+        Rule::new(
+            s_head(Term::var(tv)),
+            vec![Literal::Pos(r_full()), Literal::Pos(id_atom(Term::var(tv)))],
+        ),
+        Rule::new(
+            s_head(Term::var(tv)),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_atom(Term::Anon)),
+                Literal::Cond(not_all_null(&b)),
+                skolem(),
+            ],
+        ),
+        Rule::new(
+            s_head(Term::Const(Value::Null)),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_atom(Term::Anon)),
+                Literal::Cond(all_null(&b)),
+            ],
+        ),
+    ]);
+
+    // γ_src — Rules 147–152.
+    let s_full = || {
+        let mut terms = vec![Term::var(p)];
+        terms.extend(a.iter().map(|c| Term::var(pvar(c))));
+        terms.push(Term::var(tv));
+        Atom::new(&s.rel, terms)
+    };
+    let to_src = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&src.rel, full_terms(p, columns)),
+            vec![Literal::Pos(s_full()), Literal::Pos(t_head())],
+        ),
+        Rule::new(
+            source_head(&src.rel, p, columns, &a),
+            vec![Literal::Pos({
+                let mut terms = vec![Term::var(p)];
+                terms.extend(a.iter().map(|c| Term::var(pvar(c))));
+                terms.push(Term::Const(Value::Null));
+                Atom::new(&s.rel, terms)
+            })],
+        ),
+        Rule::new(
+            {
+                // Orphan T rows surface keyed by their own id (Rule 149).
+                let mut terms = vec![Term::var(tv)];
+                for c in columns {
+                    if b.contains(c) {
+                        terms.push(Term::var(pvar(c)));
+                    } else {
+                        terms.push(Term::Const(Value::Null));
+                    }
+                }
+                Atom::new(&src.rel, terms)
+            },
+            vec![
+                Literal::Pos(t_head()),
+                Literal::Neg(s_fk_pattern(Term::var(tv))),
+            ],
+        ),
+        Rule::new(
+            id_atom(Term::var(tv)),
+            vec![
+                Literal::Pos(s_full()),
+                Literal::Pos(key_atom(&t.rel, tv, b.len())),
+            ],
+        ),
+        Rule::new(
+            id_atom(Term::Const(Value::Null)),
+            vec![Literal::Pos({
+                let mut terms = vec![Term::var(p)];
+                terms.extend(std::iter::repeat_n(Term::Anon, a.len()));
+                terms.push(Term::Const(Value::Null));
+                Atom::new(&s.rel, terms)
+            })],
+        ),
+        Rule::new(
+            Atom::new(&id_aux.rel, vec![Term::var(tv), Term::var(tv)]),
+            vec![
+                Literal::Pos(key_atom(&t.rel, tv, b.len())),
+                Literal::Neg(s_fk_pattern(Term::var(tv))),
+            ],
+        ),
+    ]);
+
+    Ok(DerivedSmo {
+        kind: "DECOMPOSE",
+        src_data: vec![src],
+        tgt_data: vec![s, t.clone()],
+        src_aux: vec![id_aux],
+        tgt_aux: vec![],
+        shared_aux: vec![],
+        to_tgt,
+        to_src,
+        generators: vec![generator.clone()],
+        observe_hints: vec![ObserveHint {
+            generator,
+            relation: t.rel,
+        }],
+        moves_data: true,
+    })
+}
+
+// ---------------------------------------------------------------- ON COND
+
+/// `DECOMPOSE TABLE R INTO S(A), T(B) ON c(A,B)` (Appendix B.4). Both
+/// targets get fresh identifiers; the shared `ID` table relates them.
+pub fn decompose_cond(
+    table: &str,
+    first: &TableSig,
+    second: &TableSig,
+    condition: &Expr,
+    columns: &[String],
+) -> Result<DerivedSmo> {
+    crate::semantics::require_cover(&first.columns, &second.columns, columns, "DECOMPOSE ON cond")?;
+    for c in &first.columns {
+        if second.columns.contains(c) {
+            return Err(BidelError::semantics(format!(
+                "DECOMPOSE ON cond: column '{c}' may not occur in both targets"
+            )));
+        }
+    }
+    let a = first.columns.clone();
+    let b = second.columns.clone();
+    for c in condition.referenced_columns() {
+        if !columns.contains(&c) {
+            return Err(BidelError::semantics(format!(
+                "DECOMPOSE ON cond: condition references unknown column '{c}'"
+            )));
+        }
+    }
+    let cond = user_expr(condition);
+    let src = TableRef::new(table, src_rel(table), columns.to_vec());
+    let s = TableRef::new(&first.name, tgt_rel(&first.name), a.clone());
+    let t = TableRef::new(&second.name, tgt_rel(&second.name), b.clone());
+    let id = TableRef::new(
+        "ID",
+        aux_rel(&format!("ID_{table}")),
+        vec!["s".to_string(), "t".to_string()],
+    );
+    let id_old = id.rel.clone();
+    let id_new = format!("{}@new", id.rel);
+    let r_minus = TableRef::new(
+        "Rminus",
+        aux_rel(&format!("{table}-")),
+        vec!["t".to_string()],
+    );
+    let gen_s = gen_name(&format!("{table}.{}", first.name));
+    let gen_t = gen_name(&format!("{table}.{}", second.name));
+    let gen_r = gen_name(&format!("{table}.self"));
+
+    let (rv, sv, tv) = ("r", "s", "t");
+    let r_full = || Atom::new(&src.rel, full_terms(rv, columns));
+    let s_atom = |key: &str| Atom::new(&s.rel, full_terms(key, &a));
+    let t_atom = |key: &str| Atom::new(&t.rel, full_terms(key, &b));
+    let sn_atom = |key: &str| Atom::new("Sn", full_terms(key, &a));
+    let tn_atom = |key: &str| Atom::new("Tn", full_terms(key, &b));
+    let id_o = |r: Term, s: Term, t: Term| Atom::new(&id_old, vec![r, s, t]);
+    let id_n = |r: Term, s: Term, t: Term| Atom::new(&id_new, vec![r, s, t]);
+    let skolem = |var: &str, generator: &str, cols: &[String]| Literal::Skolem {
+        var: var.into(),
+        generator: generator.into(),
+        args: cols.iter().map(|c| Term::var(pvar(c))).collect(),
+    };
+
+    // γ_tgt — Rules 157–164 with ω-guarded ID derivation.
+    let mut to_tgt = vec![
+        // Sn.
+        Rule::new(
+            sn_atom(sv),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Pos(id_o(Term::var(rv), Term::var(sv), Term::Anon)),
+            ],
+        ),
+        Rule::new(
+            sn_atom(sv),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_o(Term::var(rv), Term::Anon, Term::Anon)),
+                Literal::Cond(not_all_null(&a)),
+                skolem(sv, &gen_s, &a),
+            ],
+        ),
+        Rule::new(
+            sn_atom(rv),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_o(Term::var(rv), Term::Anon, Term::Anon)),
+                Literal::Cond(all_null(&a)),
+            ],
+        ),
+        // Tn.
+        Rule::new(
+            tn_atom(tv),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Pos(id_o(Term::var(rv), Term::Anon, Term::var(tv))),
+            ],
+        ),
+        Rule::new(
+            tn_atom(tv),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_o(Term::var(rv), Term::Anon, Term::Anon)),
+                Literal::Cond(not_all_null(&b)),
+                skolem(tv, &gen_t, &b),
+            ],
+        ),
+        Rule::new(
+            tn_atom(rv),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Neg(id_o(Term::var(rv), Term::Anon, Term::Anon)),
+                Literal::Cond(all_null(&b)),
+            ],
+        ),
+        // ID (rule 163, split by ω cases).
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(tv)),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Cond(not_all_null(&a)),
+                Literal::Cond(not_all_null(&b)),
+                Literal::Pos(sn_atom(sv)),
+                Literal::Pos(tn_atom(tv)),
+            ],
+        ),
+        Rule::new(
+            id_n(Term::var(rv), Term::var(rv), Term::var(tv)),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Cond(all_null(&a)),
+                Literal::Cond(not_all_null(&b)),
+                Literal::Pos(tn_atom(tv)),
+            ],
+        ),
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(rv)),
+            vec![
+                Literal::Pos(r_full()),
+                Literal::Cond(not_all_null(&a)),
+                Literal::Cond(all_null(&b)),
+                Literal::Pos(sn_atom(sv)),
+            ],
+        ),
+        // R⁻ (rule 164).
+        Rule::new(
+            Atom::new(&r_minus.rel, vec![Term::var(sv), Term::var(tv)]),
+            vec![
+                Literal::Pos(sn_atom(sv)),
+                Literal::Pos(tn_atom(tv)),
+                Literal::Cond(cond.clone()),
+                Literal::Neg(Atom::new(&src.rel, {
+                    let mut terms = vec![Term::Anon];
+                    terms.extend(columns.iter().map(|c| Term::var(pvar(c))));
+                    terms
+                })),
+            ],
+        ),
+        // Copies to the canonical target names.
+        Rule::new(s_atom(sv), vec![Literal::Pos(sn_atom(sv))]),
+        Rule::new(t_atom(tv), vec![Literal::Pos(tn_atom(tv))]),
+    ];
+
+    // γ_src — Rules 165–171 (registry replaces unconditional id retention).
+    let to_src = vec![
+        Rule::new(
+            Atom::new("Ro", full_terms(rv, columns)),
+            vec![
+                Literal::Pos(id_o(Term::var(rv), Term::var(sv), Term::var(tv))),
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Ro", full_terms(rv, columns)),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+                Literal::Neg(Atom::new(
+                    &r_minus.rel,
+                    vec![Term::var(sv), Term::var(tv)],
+                )),
+                Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
+                skolem(rv, &gen_r, columns),
+            ],
+        ),
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(tv)),
+            vec![
+                Literal::Pos(id_o(Term::var(rv), Term::var(sv), Term::var(tv))),
+                Literal::Pos(key_atom(&s.rel, sv, a.len())),
+                Literal::Pos(key_atom(&t.rel, tv, b.len())),
+            ],
+        ),
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(tv)),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+                Literal::Neg(Atom::new(
+                    &r_minus.rel,
+                    vec![Term::var(sv), Term::var(tv)],
+                )),
+                Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
+                skolem(rv, &gen_r, columns),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&src.rel, full_terms(rv, columns)),
+            vec![Literal::Pos(Atom::new("Ro", full_terms(rv, columns)))],
+        ),
+        Rule::new(
+            source_head(&src.rel, sv, columns, &a),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Neg(id_n(Term::Anon, Term::var(sv), Term::Anon)),
+            ],
+        ),
+        Rule::new(
+            source_head(&src.rel, tv, columns, &b),
+            vec![
+                Literal::Pos(t_atom(tv)),
+                Literal::Neg(id_n(Term::Anon, Term::Anon, Term::var(tv))),
+            ],
+        ),
+    ];
+
+    // Order: R⁻ rule must see Sn/Tn fully derived — it already follows them.
+    let _ = &mut to_tgt;
+
+    Ok(DerivedSmo {
+        kind: "DECOMPOSE",
+        src_data: vec![src.clone()],
+        tgt_data: vec![s.clone(), t.clone()],
+        src_aux: vec![],
+        tgt_aux: vec![r_minus],
+        shared_aux: vec![SharedAux {
+            table: id,
+            old_name: id_old,
+            new_name: id_new,
+        }],
+        to_tgt: RuleSet::new(to_tgt),
+        to_src: RuleSet::new(to_src),
+        generators: vec![gen_s.clone(), gen_t.clone(), gen_r.clone()],
+        observe_hints: vec![
+            ObserveHint {
+                generator: gen_s,
+                relation: s.rel,
+            },
+            ObserveHint {
+                generator: gen_t,
+                relation: t.rel,
+            },
+            ObserveHint {
+                generator: gen_r,
+                relation: src.rel,
+            },
+        ],
+        moves_data: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(name: &str, cols: &[&str]) -> TableSig {
+        TableSig {
+            name: name.into(),
+            columns: cols.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn pk_decompose_shape() {
+        let d = decompose_pk(
+            "R",
+            &sig("S", &["a"]),
+            &sig("T", &["b"]),
+            &["a".into(), "b".into()],
+        )
+        .unwrap();
+        assert_eq!(d.to_tgt.len(), 2);
+        assert_eq!(d.to_src.len(), 3);
+        assert!(d.src_aux.is_empty() && d.tgt_aux.is_empty());
+        // ω reconstruction: missing T side yields NULL for b.
+        let rule = &d.to_src.rules[1];
+        assert!(rule.head.terms.contains(&Term::Const(Value::Null)));
+    }
+
+    #[test]
+    fn pk_decompose_with_overlap() {
+        let d = decompose_pk(
+            "R",
+            &sig("S", &["a", "shared"]),
+            &sig("T", &["shared", "b"]),
+            &["a".into(), "shared".into(), "b".into()],
+        )
+        .unwrap();
+        // Shared column appears as the same variable in both body atoms of
+        // the reconstruction rule -> acts as a join constraint.
+        let rule = &d.to_src.rules[0];
+        let text = rule.to_string();
+        assert!(text.matches("c_shared").count() >= 3, "{text}");
+    }
+
+    #[test]
+    fn fk_decompose_tasky2_shape() {
+        // The paper's TasKy2 evolution.
+        let d = decompose_fk(
+            "Task",
+            &sig("Task", &["task", "prio"]),
+            &sig("Author", &["author"]),
+            "author",
+            &["author".into(), "task".into(), "prio".into()],
+        )
+        .unwrap();
+        assert_eq!(d.tgt_data[0].columns, vec!["task", "prio", "author"]);
+        assert_eq!(d.tgt_data[1].columns, vec!["author"]);
+        assert_eq!(d.src_aux.len(), 1); // ID_R
+        assert_eq!(d.generators.len(), 1);
+        assert_eq!(d.observe_hints.len(), 1);
+        assert_eq!(d.to_tgt.len(), 5);
+        assert_eq!(d.to_src.len(), 6);
+        // De-staged: γ_tgt must not reference its own heads.
+        let heads = d.to_tgt.head_relations();
+        for r in &d.to_tgt.rules {
+            for rel in r.body_relations() {
+                assert!(!heads.contains(&rel.to_string()), "staged rule: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fk_decompose_rejects_bad_columns() {
+        assert!(decompose_fk(
+            "R",
+            &sig("S", &["a"]),
+            &sig("T", &["a"]),
+            "fk",
+            &["a".into()],
+        )
+        .is_err());
+        assert!(decompose_fk(
+            "R",
+            &sig("S", &["a"]),
+            &sig("T", &["b"]),
+            "a",
+            &["a".into(), "b".into()],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cond_decompose_has_shared_id() {
+        let d = decompose_cond(
+            "R",
+            &sig("S", &["a"]),
+            &sig("T", &["b"]),
+            &Expr::col("a").eq(Expr::col("b")),
+            &["a".into(), "b".into()],
+        )
+        .unwrap();
+        assert_eq!(d.shared_aux.len(), 1);
+        assert_eq!(d.shared_aux[0].old_name, "aux#ID_R");
+        assert_eq!(d.shared_aux[0].new_name, "aux#ID_R@new");
+        assert_eq!(d.tgt_aux.len(), 1); // R⁻
+        assert_eq!(d.generators.len(), 3);
+        // γ_tgt is staged (copies reference Sn/Tn) — expected.
+        let heads = d.to_tgt.head_relations();
+        assert!(heads.contains(&"Sn".to_string()));
+        assert!(heads.contains(&"tgt#S".to_string()));
+    }
+}

@@ -1,0 +1,769 @@
+//! JOIN SMOs: inner joins ON PK (B.5), ON FK (B.5 variant, Table 5) and ON
+//! condition (B.6); outer joins are the inverses of the corresponding
+//! DECOMPOSE SMOs.
+//!
+//! Inner joins park unmatched tuples in target-side auxiliaries (`S⁺`,
+//! `T⁺`) so nothing is lost while the data lives on the target side; outer
+//! joins ω-pad them instead (Appendix B.2–B.4 inverses).
+
+use crate::ast::TableSig;
+use crate::error::BidelError;
+use crate::semantics::{
+    aux_rel, gen_name, key_atom, pvar, src_rel, tgt_rel, user_expr, DerivedSmo, ObserveHint,
+    SharedAux, TableRef,
+};
+use crate::Result;
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_storage::Expr;
+
+fn full_terms(key: &str, columns: &[String]) -> Vec<Term> {
+    let mut t = vec![Term::var(key)];
+    t.extend(columns.iter().map(|c| Term::var(pvar(c))));
+    t
+}
+
+fn check_disjoint(a: &[String], b: &[String], what: &str) -> Result<()> {
+    for c in a {
+        if b.contains(c) {
+            return Err(BidelError::semantics(format!(
+                "{what}: column '{c}' occurs in both inputs"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- ON PK
+
+/// `JOIN TABLE S, T INTO R ON PK` (Appendix B.5). Shared columns join.
+pub fn join_pk(
+    left: &str,
+    right: &str,
+    into: &str,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Result<DerivedSmo> {
+    let a = left_cols.to_vec();
+    let b = right_cols.to_vec();
+    let mut r_cols = a.clone();
+    for c in &b {
+        if !r_cols.contains(c) {
+            r_cols.push(c.clone());
+        }
+    }
+    let s = TableRef::new(left, src_rel(left), a.clone());
+    let t = TableRef::new(right, src_rel(right), b.clone());
+    let r = TableRef::new(into, tgt_rel(into), r_cols.clone());
+    let s_plus = TableRef::new("Splus", aux_rel(&format!("{left}+")), a.clone());
+    let t_plus = TableRef::new("Tplus", aux_rel(&format!("{right}+")), b.clone());
+    let p = "p";
+
+    // γ_tgt — Rules 177–179.
+    let to_tgt = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&r.rel, full_terms(p, &r_cols)),
+            vec![
+                Literal::Pos(Atom::new(&s.rel, full_terms(p, &a))),
+                Literal::Pos(Atom::new(&t.rel, full_terms(p, &b))),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&s_plus.rel, full_terms(p, &a)),
+            vec![
+                Literal::Pos(Atom::new(&s.rel, full_terms(p, &a))),
+                Literal::Neg(key_atom(&t.rel, p, b.len())),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&t_plus.rel, full_terms(p, &b)),
+            vec![
+                Literal::Pos(Atom::new(&t.rel, full_terms(p, &b))),
+                Literal::Neg(key_atom(&s.rel, p, a.len())),
+            ],
+        ),
+    ]);
+
+    // γ_src — Rules 180–183.
+    let project = |cols: &[String]| {
+        let mut terms = vec![Term::var(p)];
+        for c in &r_cols {
+            if cols.contains(c) {
+                terms.push(Term::var(pvar(c)));
+            } else {
+                terms.push(Term::Anon);
+            }
+        }
+        Atom::new(&r.rel, terms)
+    };
+    let to_src = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&s.rel, full_terms(p, &a)),
+            vec![Literal::Pos(project(&a))],
+        ),
+        Rule::new(
+            Atom::new(&s.rel, full_terms(p, &a)),
+            vec![Literal::Pos(Atom::new(&s_plus.rel, full_terms(p, &a)))],
+        ),
+        Rule::new(
+            Atom::new(&t.rel, full_terms(p, &b)),
+            vec![Literal::Pos(project(&b))],
+        ),
+        Rule::new(
+            Atom::new(&t.rel, full_terms(p, &b)),
+            vec![Literal::Pos(Atom::new(&t_plus.rel, full_terms(p, &b)))],
+        ),
+    ]);
+
+    Ok(DerivedSmo {
+        kind: "JOIN",
+        src_data: vec![s, t],
+        tgt_data: vec![r],
+        src_aux: vec![],
+        tgt_aux: vec![s_plus, t_plus],
+        shared_aux: vec![],
+        to_tgt,
+        to_src,
+        generators: vec![],
+        observe_hints: vec![],
+        moves_data: true,
+    })
+}
+
+/// `OUTER JOIN TABLE S, T INTO R ON PK` — inverse of DECOMPOSE ON PK.
+pub fn outer_join_pk(
+    left: &str,
+    right: &str,
+    into: &str,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Result<DerivedSmo> {
+    let mut r_cols = left_cols.to_vec();
+    for c in right_cols {
+        if !r_cols.contains(c) {
+            r_cols.push(c.clone());
+        }
+    }
+    let d = super::decompose::decompose_pk(
+        into,
+        &TableSig {
+            name: left.to_string(),
+            columns: left_cols.to_vec(),
+        },
+        &TableSig {
+            name: right.to_string(),
+            columns: right_cols.to_vec(),
+        },
+        &r_cols,
+    )?;
+    // The decompose builder names `into` as source and the join inputs as
+    // targets; inversion swaps them into join orientation.
+    Ok(fix_outer_names(d.inverted("OUTER JOIN"), left, right, into))
+}
+
+/// `OUTER JOIN TABLE S, T INTO R ON FK fk` — inverse of DECOMPOSE ON FK.
+/// `S` must carry the foreign-key column `fk`; it disappears in `R`.
+pub fn outer_join_fk(
+    left: &str,
+    right: &str,
+    into: &str,
+    fk: &str,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Result<DerivedSmo> {
+    if !left_cols.contains(&fk.to_string()) {
+        return Err(BidelError::semantics(format!(
+            "OUTER JOIN ON FK: '{left}' has no column '{fk}'"
+        )));
+    }
+    let a: Vec<String> = left_cols
+        .iter()
+        .filter(|c| *c != fk)
+        .cloned()
+        .collect();
+    let mut r_cols = a.clone();
+    r_cols.extend(right_cols.iter().cloned());
+    let d = super::decompose::decompose_fk(
+        into,
+        &TableSig {
+            name: left.to_string(),
+            columns: a,
+        },
+        &TableSig {
+            name: right.to_string(),
+            columns: right_cols.to_vec(),
+        },
+        fk,
+        &r_cols,
+    )?;
+    Ok(fix_outer_names(d.inverted("OUTER JOIN"), left, right, into))
+}
+
+/// `OUTER JOIN TABLE S, T INTO R ON c(A,B)` — inverse of DECOMPOSE ON cond.
+pub fn outer_join_cond(
+    left: &str,
+    right: &str,
+    into: &str,
+    condition: &Expr,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Result<DerivedSmo> {
+    check_disjoint(left_cols, right_cols, "OUTER JOIN ON cond")?;
+    let mut r_cols = left_cols.to_vec();
+    r_cols.extend(right_cols.iter().cloned());
+    let d = super::decompose::decompose_cond(
+        into,
+        &TableSig {
+            name: left.to_string(),
+            columns: left_cols.to_vec(),
+        },
+        &TableSig {
+            name: right.to_string(),
+            columns: right_cols.to_vec(),
+        },
+        condition,
+        &r_cols,
+    )?;
+    Ok(fix_outer_names(d.inverted("OUTER JOIN"), left, right, into))
+}
+
+/// After inverting a decompose, the relation-name prefixes are wrong way
+/// around (`src#`/`tgt#` encode roles, and roles swapped). Rewrite them.
+fn fix_outer_names(d: DerivedSmo, _left: &str, _right: &str, _into: &str) -> DerivedSmo {
+    use inverda_datalog::simplify::rename_relations;
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<String, String> = BTreeMap::new();
+    // Decompose named: src#into (now tgt side) and tgt#left / tgt#right
+    // (now src side). Swap the prefixes to match the join orientation.
+    for t in &d.tgt_data {
+        map.insert(t.rel.clone(), t.rel.replacen("src#", "tgt#", 1));
+    }
+    for s in &d.src_data {
+        map.insert(s.rel.clone(), s.rel.replacen("tgt#", "src#", 1));
+    }
+    let fix_ref = |t: &TableRef| TableRef {
+        name: t.name.clone(),
+        rel: map.get(&t.rel).cloned().unwrap_or_else(|| t.rel.clone()),
+        columns: t.columns.clone(),
+    };
+    DerivedSmo {
+        kind: d.kind,
+        src_data: d.src_data.iter().map(fix_ref).collect(),
+        tgt_data: d.tgt_data.iter().map(fix_ref).collect(),
+        src_aux: d.src_aux.clone(),
+        tgt_aux: d.tgt_aux.clone(),
+        shared_aux: d.shared_aux.clone(),
+        to_tgt: rename_relations(&d.to_tgt, &map),
+        to_src: rename_relations(&d.to_src, &map),
+        generators: d.generators.clone(),
+        observe_hints: d
+            .observe_hints
+            .iter()
+            .map(|h| ObserveHint {
+                generator: h.generator.clone(),
+                relation: map
+                    .get(&h.relation)
+                    .cloned()
+                    .unwrap_or_else(|| h.relation.clone()),
+            })
+            .collect(),
+        moves_data: d.moves_data,
+    }
+}
+
+// ---------------------------------------------------------------- ON FK
+
+/// `JOIN TABLE S, T INTO R ON FK fk` — inner join along a foreign key
+/// (variant of B.5, see Table 5). `R` keeps the fk column, so the join is
+/// losslessly invertible; unmatched rows park in `S⁺` / `T⁺`.
+pub fn join_fk(
+    left: &str,
+    right: &str,
+    into: &str,
+    fk: &str,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Result<DerivedSmo> {
+    if !left_cols.contains(&fk.to_string()) {
+        return Err(BidelError::semantics(format!(
+            "JOIN ON FK: '{left}' has no column '{fk}'"
+        )));
+    }
+    check_disjoint(left_cols, right_cols, "JOIN ON FK")?;
+    let a = left_cols.to_vec();
+    let b = right_cols.to_vec();
+    let mut r_cols = a.clone();
+    r_cols.extend(b.iter().cloned());
+    let s = TableRef::new(left, src_rel(left), a.clone());
+    let t = TableRef::new(right, src_rel(right), b.clone());
+    let r = TableRef::new(into, tgt_rel(into), r_cols.clone());
+    let s_plus = TableRef::new("Splus", aux_rel(&format!("{left}+")), a.clone());
+    let t_plus = TableRef::new("Tplus", aux_rel(&format!("{right}+")), b.clone());
+    let p = "p";
+    let fkv = pvar(fk);
+
+    // ¬S(_, …, fk = x, …): any S row referencing x.
+    let s_ref_pattern = |x: Term| {
+        let mut terms = vec![Term::Anon];
+        for c in &a {
+            if c == fk {
+                terms.push(x.clone());
+            } else {
+                terms.push(Term::Anon);
+            }
+        }
+        Atom::new(&s.rel, terms)
+    };
+
+    let to_tgt = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&r.rel, full_terms(p, &r_cols)),
+            vec![
+                Literal::Pos(Atom::new(&s.rel, full_terms(p, &a))),
+                // T keyed by the fk value.
+                Literal::Pos(Atom::new(&t.rel, {
+                    let mut terms = vec![Term::Var(fkv.clone())];
+                    terms.extend(b.iter().map(|c| Term::var(pvar(c))));
+                    terms
+                })),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&s_plus.rel, full_terms(p, &a)),
+            vec![
+                Literal::Pos(Atom::new(&s.rel, full_terms(p, &a))),
+                Literal::Neg(Atom::new(&t.rel, {
+                    let mut terms = vec![Term::Var(fkv.clone())];
+                    terms.extend(std::iter::repeat_n(Term::Anon, b.len()));
+                    terms
+                })),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&t_plus.rel, full_terms("t", &b)),
+            vec![
+                Literal::Pos(Atom::new(&t.rel, full_terms("t", &b))),
+                Literal::Neg(s_ref_pattern(Term::var("t"))),
+            ],
+        ),
+    ]);
+
+    let project = |cols: &[String], key: Term| {
+        let mut terms = vec![key];
+        for c in &r_cols {
+            if cols.contains(c) {
+                terms.push(Term::var(pvar(c)));
+            } else {
+                terms.push(Term::Anon);
+            }
+        }
+        Atom::new(&r.rel, terms)
+    };
+    let to_src = RuleSet::new(vec![
+        Rule::new(
+            Atom::new(&s.rel, full_terms(p, &a)),
+            vec![Literal::Pos(project(&a, Term::var(p)))],
+        ),
+        Rule::new(
+            Atom::new(&s.rel, full_terms(p, &a)),
+            vec![Literal::Pos(Atom::new(&s_plus.rel, full_terms(p, &a)))],
+        ),
+        // T keyed by the fk column value found in R.
+        Rule::new(
+            Atom::new(&t.rel, {
+                let mut terms = vec![Term::Var(fkv.clone())];
+                terms.extend(b.iter().map(|c| Term::var(pvar(c))));
+                terms
+            }),
+            vec![Literal::Pos(project(
+                &{
+                    let mut cols = b.clone();
+                    cols.push(fk.to_string());
+                    cols
+                },
+                Term::Anon,
+            ))],
+        ),
+        Rule::new(
+            Atom::new(&t.rel, full_terms("t", &b)),
+            vec![Literal::Pos(Atom::new(&t_plus.rel, full_terms("t", &b)))],
+        ),
+    ]);
+
+    Ok(DerivedSmo {
+        kind: "JOIN",
+        src_data: vec![s, t],
+        tgt_data: vec![r],
+        src_aux: vec![],
+        tgt_aux: vec![s_plus, t_plus],
+        shared_aux: vec![],
+        to_tgt,
+        to_src,
+        generators: vec![],
+        observe_hints: vec![],
+        moves_data: true,
+    })
+}
+
+// ---------------------------------------------------------------- ON COND
+
+/// `JOIN TABLE S, T INTO R ON c(A,B)` (Appendix B.6).
+pub fn join_cond(
+    left: &str,
+    right: &str,
+    into: &str,
+    condition: &Expr,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Result<DerivedSmo> {
+    check_disjoint(left_cols, right_cols, "JOIN ON cond")?;
+    let a = left_cols.to_vec();
+    let b = right_cols.to_vec();
+    for c in condition.referenced_columns() {
+        if !a.contains(&c) && !b.contains(&c) {
+            return Err(BidelError::semantics(format!(
+                "JOIN ON cond: condition references unknown column '{c}'"
+            )));
+        }
+    }
+    let cond = user_expr(condition);
+    let mut r_cols = a.clone();
+    r_cols.extend(b.iter().cloned());
+    let s = TableRef::new(left, src_rel(left), a.clone());
+    let t = TableRef::new(right, src_rel(right), b.clone());
+    let r = TableRef::new(into, tgt_rel(into), r_cols.clone());
+    let s_plus = TableRef::new("Splus", aux_rel(&format!("{left}+")), a.clone());
+    let t_plus = TableRef::new("Tplus", aux_rel(&format!("{right}+")), b.clone());
+    let r_minus = TableRef::new(
+        "Rminus",
+        aux_rel(&format!("{into}-")),
+        vec!["t".to_string()],
+    );
+    let id = TableRef::new(
+        "ID",
+        aux_rel(&format!("ID_{into}")),
+        vec!["s".to_string(), "t".to_string()],
+    );
+    let id_old = id.rel.clone();
+    let id_new = format!("{}@new", id.rel);
+    let gen_r = gen_name(&format!("{into}.self"));
+    let gen_s = gen_name(&format!("{into}.{left}"));
+    let gen_t = gen_name(&format!("{into}.{right}"));
+
+    let (rv, sv, tv) = ("r", "s", "t");
+    let id_o = |r: Term, s: Term, t: Term| Atom::new(&id_old, vec![r, s, t]);
+    let id_n = |r: Term, s: Term, t: Term| Atom::new(&id_new, vec![r, s, t]);
+    let s_atom = |key: &str| Atom::new(&s.rel, full_terms(key, &a));
+    let t_atom = |key: &str| Atom::new(&t.rel, full_terms(key, &b));
+    let r_atom = |key: &str| Atom::new(&r.rel, full_terms(key, &r_cols));
+    let skolem = |var: &str, generator: &str, cols: &[String]| Literal::Skolem {
+        var: var.into(),
+        generator: generator.into(),
+        args: cols.iter().map(|c| Term::var(pvar(c))).collect(),
+    };
+
+    // γ_tgt — Rules 187–192 (c required on survivors; registry supplies
+    // repeatable ids — see module docs for the deviations).
+    let to_tgt = RuleSet::new(vec![
+        Rule::new(
+            r_atom(rv),
+            vec![
+                Literal::Pos(id_o(Term::var(rv), Term::var(sv), Term::var(tv))),
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+            ],
+        ),
+        Rule::new(
+            r_atom(rv),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+                Literal::Neg(Atom::new(
+                    &r_minus.rel,
+                    vec![Term::var(sv), Term::var(tv)],
+                )),
+                Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
+                skolem(rv, &gen_r, &r_cols),
+            ],
+        ),
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(tv)),
+            vec![
+                Literal::Pos(id_o(Term::var(rv), Term::var(sv), Term::var(tv))),
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+            ],
+        ),
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(tv)),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+                Literal::Neg(Atom::new(
+                    &r_minus.rel,
+                    vec![Term::var(sv), Term::var(tv)],
+                )),
+                Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
+                skolem(rv, &gen_r, &r_cols),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&s_plus.rel, full_terms(sv, &a)),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Neg(id_n(Term::Anon, Term::var(sv), Term::Anon)),
+            ],
+        ),
+        Rule::new(
+            Atom::new(&t_plus.rel, full_terms(tv, &b)),
+            vec![
+                Literal::Pos(t_atom(tv)),
+                Literal::Neg(id_n(Term::Anon, Term::Anon, Term::var(tv))),
+            ],
+        ),
+    ]);
+
+    // γ_src — Rules 193–200.
+    let to_src = RuleSet::new(vec![
+        Rule::new(
+            s_atom(sv),
+            vec![
+                Literal::Pos({
+                    let mut terms = vec![Term::var(rv)];
+                    for c in &r_cols {
+                        if a.contains(c) {
+                            terms.push(Term::var(pvar(c)));
+                        } else {
+                            terms.push(Term::Anon);
+                        }
+                    }
+                    Atom::new(&r.rel, terms)
+                }),
+                Literal::Pos(id_o(Term::var(rv), Term::var(sv), Term::Anon)),
+            ],
+        ),
+        Rule::new(
+            s_atom(sv),
+            vec![
+                Literal::Pos({
+                    let mut terms = vec![Term::var(rv)];
+                    for c in &r_cols {
+                        if a.contains(c) {
+                            terms.push(Term::var(pvar(c)));
+                        } else {
+                            terms.push(Term::Anon);
+                        }
+                    }
+                    Atom::new(&r.rel, terms)
+                }),
+                Literal::Neg(id_o(Term::var(rv), Term::Anon, Term::Anon)),
+                skolem(sv, &gen_s, &a),
+            ],
+        ),
+        Rule::new(
+            s_atom(sv),
+            vec![Literal::Pos(Atom::new(&s_plus.rel, full_terms(sv, &a)))],
+        ),
+        Rule::new(
+            t_atom(tv),
+            vec![
+                Literal::Pos({
+                    let mut terms = vec![Term::var(rv)];
+                    for c in &r_cols {
+                        if b.contains(c) {
+                            terms.push(Term::var(pvar(c)));
+                        } else {
+                            terms.push(Term::Anon);
+                        }
+                    }
+                    Atom::new(&r.rel, terms)
+                }),
+                Literal::Pos(id_o(Term::var(rv), Term::Anon, Term::var(tv))),
+            ],
+        ),
+        Rule::new(
+            t_atom(tv),
+            vec![
+                Literal::Pos({
+                    let mut terms = vec![Term::var(rv)];
+                    for c in &r_cols {
+                        if b.contains(c) {
+                            terms.push(Term::var(pvar(c)));
+                        } else {
+                            terms.push(Term::Anon);
+                        }
+                    }
+                    Atom::new(&r.rel, terms)
+                }),
+                Literal::Neg(id_o(Term::var(rv), Term::Anon, Term::Anon)),
+                skolem(tv, &gen_t, &b),
+            ],
+        ),
+        Rule::new(
+            t_atom(tv),
+            vec![Literal::Pos(Atom::new(&t_plus.rel, full_terms(tv, &b)))],
+        ),
+        // ID over the reconstructed sides (Rule 199).
+        Rule::new(
+            id_n(Term::var(rv), Term::var(sv), Term::var(tv)),
+            vec![
+                Literal::Pos(r_atom(rv)),
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+            ],
+        ),
+        // R⁻ (Rule 200).
+        Rule::new(
+            Atom::new(&r_minus.rel, vec![Term::var(sv), Term::var(tv)]),
+            vec![
+                Literal::Pos(s_atom(sv)),
+                Literal::Pos(t_atom(tv)),
+                Literal::Cond(cond.clone()),
+                Literal::Neg(Atom::new(&r.rel, {
+                    let mut terms = vec![Term::Anon];
+                    terms.extend(r_cols.iter().map(|c| Term::var(pvar(c))));
+                    terms
+                })),
+            ],
+        ),
+    ]);
+
+    Ok(DerivedSmo {
+        kind: "JOIN",
+        src_data: vec![s.clone(), t.clone()],
+        tgt_data: vec![r.clone()],
+        src_aux: vec![r_minus],
+        tgt_aux: vec![s_plus, t_plus],
+        shared_aux: vec![SharedAux {
+            table: id,
+            old_name: id_old,
+            new_name: id_new,
+        }],
+        to_tgt,
+        to_src,
+        generators: vec![gen_r.clone(), gen_s.clone(), gen_t.clone()],
+        observe_hints: vec![
+            ObserveHint {
+                generator: gen_r,
+                relation: r.rel,
+            },
+            ObserveHint {
+                generator: gen_s,
+                relation: s.rel,
+            },
+            ObserveHint {
+                generator: gen_t,
+                relation: t.rel,
+            },
+        ],
+        moves_data: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_pk_shape() {
+        let d = join_pk("S", "T", "R", &["a".into()], &["b".into()]).unwrap();
+        assert_eq!(d.tgt_data[0].columns, vec!["a", "b"]);
+        assert_eq!(d.tgt_aux.len(), 2);
+        assert_eq!(d.to_tgt.len(), 3);
+        assert_eq!(d.to_src.len(), 4);
+    }
+
+    #[test]
+    fn join_pk_with_shared_columns() {
+        let d = join_pk(
+            "S",
+            "T",
+            "R",
+            &["a".into(), "k".into()],
+            &["k".into(), "b".into()],
+        )
+        .unwrap();
+        assert_eq!(d.tgt_data[0].columns, vec!["a", "k", "b"]);
+    }
+
+    #[test]
+    fn join_fk_keeps_fk_column() {
+        let d = join_fk(
+            "Task",
+            "Author",
+            "Flat",
+            "author_id",
+            &["task".into(), "author_id".into()],
+            &["name".into()],
+        )
+        .unwrap();
+        assert_eq!(d.tgt_data[0].columns, vec!["task", "author_id", "name"]);
+        // The join rule binds T's key with the fk variable.
+        let join_rule = &d.to_tgt.rules[0];
+        let text = join_rule.to_string();
+        assert!(text.contains("src#Author(c_author_id"), "{text}");
+    }
+
+    #[test]
+    fn join_fk_rejects_missing_fk() {
+        assert!(join_fk("S", "T", "R", "zz", &["a".into()], &["b".into()]).is_err());
+    }
+
+    #[test]
+    fn outer_join_pk_is_decompose_inverse_with_fixed_names() {
+        let d = outer_join_pk("S", "T", "R", &["a".into()], &["b".into()]).unwrap();
+        assert_eq!(d.kind, "OUTER JOIN");
+        assert_eq!(d.src_data.len(), 2);
+        assert_eq!(d.src_data[0].rel, "src#S");
+        assert_eq!(d.tgt_data[0].rel, "tgt#R");
+        // γ_tgt of the outer join = γ_src of the decompose (3 rules).
+        assert_eq!(d.to_tgt.len(), 3);
+        // All rule relations must use the fixed prefixes.
+        for rule in d.to_tgt.rules.iter().chain(d.to_src.rules.iter()) {
+            let text = rule.to_string();
+            assert!(!text.contains("src#R("), "unfixed name in {text}");
+        }
+    }
+
+    #[test]
+    fn join_cond_has_shared_id_and_generators() {
+        let d = join_cond(
+            "S",
+            "T",
+            "R",
+            &Expr::col("a").eq(Expr::col("b")),
+            &["a".into()],
+            &["b".into()],
+        )
+        .unwrap();
+        assert_eq!(d.shared_aux.len(), 1);
+        assert_eq!(d.generators.len(), 3);
+        assert_eq!(d.src_aux.len(), 1); // R⁻
+        assert_eq!(d.tgt_aux.len(), 2); // S⁺, T⁺
+    }
+
+    #[test]
+    fn join_cond_rejects_overlap_and_unknown_cols() {
+        assert!(join_cond(
+            "S",
+            "T",
+            "R",
+            &Expr::lit(true),
+            &["a".into()],
+            &["a".into()],
+        )
+        .is_err());
+        assert!(join_cond(
+            "S",
+            "T",
+            "R",
+            &Expr::col("zz").eq(Expr::lit(1)),
+            &["a".into()],
+            &["b".into()],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! SPLIT (Section 4, Rules 12–25) and its inverse MERGE.
+//!
+//! `SPLIT TABLE T INTO R WITH cR [, S WITH cS]` horizontally partitions T.
+//! The auxiliary tables cover every way the target side can diverge from a
+//! plain partition (Section 4):
+//!
+//! * `T'` (target-side): source tuples matching neither condition;
+//! * `R⁻`, `S⁻` (source-side): *lost twins* — a tuple satisfying both
+//!   conditions appears in R and S; deleting one twin must not resurrect it
+//!   from the other;
+//! * `S⁺` (source-side): *separated twins* — twins updated to different
+//!   values; T keeps the R twin (primus inter pares), `S⁺` the S twin;
+//! * `R*`, `S*` (source-side): tuples written to R / S that violate the
+//!   partition condition and must still live there.
+
+use crate::ast::SplitArm;
+use crate::error::BidelError;
+use crate::semantics::{
+    aux_rel, key_atom, pvars, src_rel, table_atom, tgt_rel, user_expr, DerivedSmo, TableRef,
+};
+use crate::Result;
+use inverda_datalog::ast::{lists_ne, Atom, Literal, Rule, RuleSet, Term};
+
+/// Build SPLIT semantics. `second` is the optional second partition arm.
+pub fn split(
+    table: &str,
+    first: &SplitArm,
+    second: Option<&SplitArm>,
+    columns: &[String],
+) -> Result<DerivedSmo> {
+    build(
+        TableRef::new(table, src_rel(table), columns.to_vec()),
+        TableRef::new(&first.table, tgt_rel(&first.table), columns.to_vec()),
+        user_expr(&first.condition),
+        second.map(|s| {
+            (
+                TableRef::new(&s.table, tgt_rel(&s.table), columns.to_vec()),
+                user_expr(&s.condition),
+            )
+        }),
+        "SPLIT",
+    )
+}
+
+/// Build MERGE semantics — the inverse of a two-arm SPLIT (Appendix B).
+pub fn merge(
+    first: &SplitArm,
+    second: &SplitArm,
+    into: &str,
+    first_cols: &[String],
+    second_cols: &[String],
+) -> Result<DerivedSmo> {
+    if first_cols != second_cols {
+        return Err(BidelError::semantics(format!(
+            "MERGE requires equal schemas: {}({}) vs {}({})",
+            first.table,
+            first_cols.join(", "),
+            second.table,
+            second_cols.join(", ")
+        )));
+    }
+    let d = build(
+        // Roles swapped: in the underlying SPLIT, `into` is the source and
+        // the merge inputs are the targets — inversion swaps them back.
+        TableRef::new(into, tgt_rel(into), first_cols.to_vec()),
+        TableRef::new(&first.table, src_rel(&first.table), first_cols.to_vec()),
+        user_expr(&first.condition),
+        Some((
+            TableRef::new(&second.table, src_rel(&second.table), second_cols.to_vec()),
+            user_expr(&second.condition),
+        )),
+        "SPLIT",
+    )?;
+    Ok(d.inverted("MERGE"))
+}
+
+/// Shared builder. `t` plays the unsplit role, `r`/`s` the partitions;
+/// conditions are already over payload variables.
+fn build(
+    t: TableRef,
+    r: TableRef,
+    c_r: inverda_storage::Expr,
+    s_arm: Option<(TableRef, inverda_storage::Expr)>,
+    kind: &'static str,
+) -> Result<DerivedSmo> {
+    let cols = t.columns.clone();
+    if cols.is_empty() {
+        return Err(BidelError::semantics(
+            "SPLIT/MERGE of a zero-column table is not supported",
+        ));
+    }
+    let arity = cols.len();
+    let p = "p";
+    let t_atom = || table_atom(&t.rel, p, &cols);
+    let r_atom = || table_atom(&r.rel, p, &cols);
+
+    // Auxiliary tables.
+    let r_minus = TableRef::new("Rminus", aux_rel(&format!("{}-", r.name)), Vec::<String>::new());
+    let r_star = TableRef::new("Rstar", aux_rel(&format!("{}*", r.name)), Vec::<String>::new());
+    let t_prime = TableRef::new("Tprime", aux_rel(&format!("{}'", t.name)), cols.clone());
+
+    let mut to_tgt = Vec::new();
+    let mut to_src = Vec::new();
+    let mut src_aux = vec![r_minus.clone(), r_star.clone()];
+    let tgt_aux = vec![t_prime.clone()];
+
+    match &s_arm {
+        Some((s, c_s)) => {
+            let s_atom = || table_atom(&s.rel, p, &cols);
+            let s_plus = TableRef::new("Splus", aux_rel(&format!("{}+", s.name)), cols.clone());
+            let s_minus =
+                TableRef::new("Sminus", aux_rel(&format!("{}-", s.name)), Vec::<String>::new());
+            let s_star =
+                TableRef::new("Sstar", aux_rel(&format!("{}*", s.name)), Vec::<String>::new());
+
+            // γ_tgt — Rules 12–17.
+            to_tgt.push(Rule::new(
+                r_atom(),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Cond(c_r.clone()),
+                    Literal::Neg(Atom::vars(&r_minus.rel, &[p])),
+                ],
+            ));
+            to_tgt.push(Rule::new(
+                r_atom(),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Pos(Atom::vars(&r_star.rel, &[p])),
+                ],
+            ));
+            to_tgt.push(Rule::new(
+                s_atom(),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Cond(c_s.clone()),
+                    Literal::Neg(Atom::vars(&s_minus.rel, &[p])),
+                    Literal::Neg(key_atom(&s_plus.rel, p, arity)),
+                ],
+            ));
+            to_tgt.push(Rule::new(
+                s_atom(),
+                vec![Literal::Pos(table_atom(&s_plus.rel, p, &cols))],
+            ));
+            to_tgt.push(Rule::new(
+                s_atom(),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Pos(Atom::vars(&s_star.rel, &[p])),
+                    Literal::Neg(key_atom(&s_plus.rel, p, arity)),
+                ],
+            ));
+            to_tgt.push(Rule::new(
+                table_atom(&t_prime.rel, p, &cols),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Cond(c_r.clone().negate()),
+                    Literal::Cond(c_s.clone().negate()),
+                    Literal::Neg(Atom::vars(&r_star.rel, &[p])),
+                    Literal::Neg(Atom::vars(&s_star.rel, &[p])),
+                ],
+            ));
+
+            // γ_src — Rules 18–25.
+            to_src.push(Rule::new(
+                t_atom(),
+                vec![Literal::Pos(r_atom())],
+            ));
+            to_src.push(Rule::new(
+                t_atom(),
+                vec![
+                    Literal::Pos(s_atom()),
+                    Literal::Neg(key_atom(&r.rel, p, arity)),
+                ],
+            ));
+            to_src.push(Rule::new(
+                t_atom(),
+                vec![Literal::Pos(table_atom(&t_prime.rel, p, &cols))],
+            ));
+            to_src.push(Rule::new(
+                Atom::vars(&r_minus.rel, &[p]),
+                vec![
+                    Literal::Pos(s_atom()),
+                    Literal::Neg(key_atom(&r.rel, p, arity)),
+                    Literal::Cond(c_r.clone()),
+                ],
+            ));
+            to_src.push(Rule::new(
+                Atom::vars(&r_star.rel, &[p]),
+                vec![Literal::Pos(r_atom()), Literal::Cond(c_r.clone().negate())],
+            ));
+            // Separated twins: S's payload (fresh variables) differs from
+            // R's payload (Rule 23).
+            let primed: Vec<String> = cols.iter().map(|c| format!("c2_{c}")).collect();
+            let mut s_terms = vec![Term::var(p)];
+            s_terms.extend(primed.iter().map(|v| Term::var(v.clone())));
+            let mut splus_head_terms = vec![Term::var(p)];
+            splus_head_terms.extend(primed.iter().map(|v| Term::var(v.clone())));
+            let payload_vars = pvars(&cols);
+            let payload_refs: Vec<&str> = payload_vars.iter().map(String::as_str).collect();
+            let primed_refs: Vec<&str> = primed.iter().map(String::as_str).collect();
+            to_src.push(Rule::new(
+                Atom::new(&s_plus.rel, splus_head_terms),
+                vec![
+                    Literal::Pos(Atom::new(&s.rel, s_terms)),
+                    Literal::Pos(r_atom()),
+                    Literal::Cond(lists_ne(&primed_refs, &payload_refs)),
+                ],
+            ));
+            to_src.push(Rule::new(
+                Atom::vars(&s_minus.rel, &[p]),
+                vec![
+                    Literal::Pos(r_atom()),
+                    Literal::Neg(key_atom(&s.rel, p, arity)),
+                    Literal::Cond(c_s.clone()),
+                ],
+            ));
+            to_src.push(Rule::new(
+                Atom::vars(&s_star.rel, &[p]),
+                vec![Literal::Pos(s_atom()), Literal::Cond(c_s.clone().negate())],
+            ));
+
+            src_aux.extend([s_plus, s_minus, s_star]);
+            Ok(DerivedSmo {
+                kind,
+                src_data: vec![t],
+                tgt_data: vec![r, s.clone()],
+                src_aux,
+                tgt_aux,
+                shared_aux: vec![],
+                to_tgt: RuleSet::new(to_tgt),
+                to_src: RuleSet::new(to_src),
+                generators: vec![],
+                observe_hints: vec![],
+                moves_data: true,
+            })
+        }
+        None => {
+            // Single-arm split: R = σ_cR(T); everything else lives in T'.
+            to_tgt.push(Rule::new(
+                r_atom(),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Cond(c_r.clone()),
+                    Literal::Neg(Atom::vars(&r_minus.rel, &[p])),
+                ],
+            ));
+            to_tgt.push(Rule::new(
+                r_atom(),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Pos(Atom::vars(&r_star.rel, &[p])),
+                ],
+            ));
+            to_tgt.push(Rule::new(
+                table_atom(&t_prime.rel, p, &cols),
+                vec![
+                    Literal::Pos(t_atom()),
+                    Literal::Cond(c_r.clone().negate()),
+                    Literal::Neg(Atom::vars(&r_star.rel, &[p])),
+                ],
+            ));
+            to_src.push(Rule::new(t_atom(), vec![Literal::Pos(r_atom())]));
+            to_src.push(Rule::new(
+                t_atom(),
+                vec![Literal::Pos(table_atom(&t_prime.rel, p, &cols))],
+            ));
+            to_src.push(Rule::new(
+                Atom::vars(&r_star.rel, &[p]),
+                vec![Literal::Pos(r_atom()), Literal::Cond(c_r.clone().negate())],
+            ));
+            // R⁻ has no producer in the single-arm case (no second twin to
+            // lose): keep the table so deletes through R stay deletes.
+            Ok(DerivedSmo {
+                kind,
+                src_data: vec![t],
+                tgt_data: vec![r],
+                src_aux,
+                tgt_aux,
+                shared_aux: vec![],
+                to_tgt: RuleSet::new(to_tgt),
+                to_src: RuleSet::new(to_src),
+                generators: vec![],
+                observe_hints: vec![],
+                moves_data: true,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_storage::Expr;
+
+    fn tasky_split() -> DerivedSmo {
+        // The paper's Do! split: SPLIT TABLE Task INTO Todo WITH prio=1.
+        split(
+            "Task",
+            &SplitArm {
+                table: "Todo".into(),
+                condition: Expr::col("prio").eq(Expr::lit(1)),
+            },
+            None,
+            &["author".into(), "task".into(), "prio".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_arm_split_shape() {
+        let d = tasky_split();
+        assert_eq!(d.kind, "SPLIT");
+        assert_eq!(d.src_data[0].rel, "src#Task");
+        assert_eq!(d.tgt_data[0].rel, "tgt#Todo");
+        assert_eq!(d.src_aux.len(), 2); // R⁻, R*
+        assert_eq!(d.tgt_aux.len(), 1); // T'
+        assert_eq!(d.to_tgt.len(), 3);
+        assert_eq!(d.to_src.len(), 3);
+        assert!(d.moves_data);
+    }
+
+    #[test]
+    fn two_arm_split_has_all_paper_rules() {
+        let d = split(
+            "T",
+            &SplitArm {
+                table: "R".into(),
+                condition: Expr::col("a").lt(Expr::lit(5)),
+            },
+            Some(&SplitArm {
+                table: "S".into(),
+                condition: Expr::col("a").ge(Expr::lit(3)),
+            }),
+            &["a".into(), "b".into()],
+        )
+        .unwrap();
+        // γ_tgt: Rules 12-17 -> 6 rules; γ_src: Rules 18-25 -> 8 rules.
+        assert_eq!(d.to_tgt.len(), 6);
+        assert_eq!(d.to_src.len(), 8);
+        assert_eq!(d.src_aux.len(), 5); // R⁻, R*, S⁺, S⁻, S*
+        assert_eq!(d.tgt_aux.len(), 1); // T'
+        let heads_tgt = d.to_tgt.head_relations();
+        assert!(heads_tgt.contains(&"tgt#R".to_string()));
+        assert!(heads_tgt.contains(&"tgt#S".to_string()));
+        assert!(heads_tgt.contains(&"aux#T'".to_string()));
+        let heads_src = d.to_src.head_relations();
+        assert!(heads_src.contains(&"src#T".to_string()));
+        assert!(heads_src.contains(&"aux#S+".to_string()));
+    }
+
+    #[test]
+    fn merge_is_inverse_of_split() {
+        let d = merge(
+            &SplitArm {
+                table: "R".into(),
+                condition: Expr::col("a").lt(Expr::lit(5)),
+            },
+            &SplitArm {
+                table: "S".into(),
+                condition: Expr::col("a").ge(Expr::lit(5)),
+            },
+            "T",
+            &["a".into()],
+            &["a".into()],
+        )
+        .unwrap();
+        assert_eq!(d.kind, "MERGE");
+        // Sources and targets swapped relative to SPLIT.
+        assert_eq!(d.src_data.len(), 2);
+        assert_eq!(d.tgt_data.len(), 1);
+        assert_eq!(d.tgt_data[0].rel, "tgt#T");
+        // γ_tgt of MERGE = γ_src of SPLIT (8 rules).
+        assert_eq!(d.to_tgt.len(), 8);
+        assert_eq!(d.to_src.len(), 6);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_schemas() {
+        let r = merge(
+            &SplitArm {
+                table: "R".into(),
+                condition: Expr::lit(true),
+            },
+            &SplitArm {
+                table: "S".into(),
+                condition: Expr::lit(true),
+            },
+            "T",
+            &["a".into()],
+            &["b".into()],
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! CREATE TABLE, DROP TABLE, RENAME TABLE, RENAME COLUMN.
+//!
+//! The paper: "creating, dropping, and renaming tables as well as renaming
+//! columns exclusively affects the schema version catalog and does not
+//! include any kind of data evolution, hence there is no need to define
+//! mapping rules for these SMOs." We still emit identity rule sets for the
+//! renames so the propagation engine can treat every SMO uniformly; they
+//! reduce to per-tuple copies. CREATE/DROP TABLE have no mappings at all —
+//! their tables begin/end at this point of the genealogy, and materializing
+//! them never relocates data (`moves_data = false`).
+
+use crate::error::BidelError;
+use crate::semantics::{src_rel, table_atom, tgt_rel, DerivedSmo, TableRef};
+use crate::Result;
+use inverda_datalog::ast::{Literal, Rule, RuleSet};
+
+/// `CREATE TABLE R(c1,…,cn)`.
+pub fn create_table(table: &str, columns: &[String]) -> Result<DerivedSmo> {
+    if columns.is_empty() {
+        return Err(BidelError::semantics(format!(
+            "CREATE TABLE {table}: at least one column required"
+        )));
+    }
+    for (i, c) in columns.iter().enumerate() {
+        if columns[..i].contains(c) {
+            return Err(BidelError::semantics(format!(
+                "CREATE TABLE {table}: duplicate column '{c}'"
+            )));
+        }
+    }
+    Ok(DerivedSmo {
+        kind: "CREATE TABLE",
+        src_data: vec![],
+        tgt_data: vec![TableRef::new(table, tgt_rel(table), columns.to_vec())],
+        src_aux: vec![],
+        tgt_aux: vec![],
+        shared_aux: vec![],
+        to_tgt: RuleSet::default(),
+        to_src: RuleSet::default(),
+        generators: vec![],
+        observe_hints: vec![],
+        moves_data: false,
+    })
+}
+
+/// `DROP TABLE R` — the table version ends here; data stays reachable for
+/// the older versions that still contain it.
+pub fn drop_table(table: &str, columns: &[String]) -> Result<DerivedSmo> {
+    Ok(DerivedSmo {
+        kind: "DROP TABLE",
+        src_data: vec![TableRef::new(table, src_rel(table), columns.to_vec())],
+        tgt_data: vec![],
+        src_aux: vec![],
+        tgt_aux: vec![],
+        shared_aux: vec![],
+        to_tgt: RuleSet::default(),
+        to_src: RuleSet::default(),
+        generators: vec![],
+        observe_hints: vec![],
+        moves_data: false,
+    })
+}
+
+/// `RENAME TABLE R INTO R'` — identity mapping, new name.
+pub fn rename_table(table: &str, to: &str, columns: &[String]) -> Result<DerivedSmo> {
+    if table == to {
+        return Err(BidelError::semantics(format!(
+            "RENAME TABLE {table}: old and new name are identical"
+        )));
+    }
+    identity_smo("RENAME TABLE", table, to, columns, columns)
+}
+
+/// `RENAME COLUMN r IN R TO r'` — identity mapping, new column label.
+pub fn rename_column(
+    table: &str,
+    column: &str,
+    to: &str,
+    columns: &[String],
+) -> Result<DerivedSmo> {
+    let idx = columns.iter().position(|c| c == column).ok_or_else(|| {
+        BidelError::semantics(format!(
+            "RENAME COLUMN: '{column}' does not exist in '{table}'"
+        ))
+    })?;
+    if columns.contains(&to.to_string()) {
+        return Err(BidelError::semantics(format!(
+            "RENAME COLUMN: '{to}' already exists in '{table}'"
+        )));
+    }
+    let mut new_cols = columns.to_vec();
+    new_cols[idx] = to.to_string();
+    identity_smo("RENAME COLUMN", table, table, columns, &new_cols)
+}
+
+/// Identity SMO: positionally copies rows; only labels change.
+fn identity_smo(
+    kind: &'static str,
+    src_name: &str,
+    tgt_name: &str,
+    src_cols: &[String],
+    tgt_cols: &[String],
+) -> Result<DerivedSmo> {
+    let src = TableRef::new(src_name, src_rel(src_name), src_cols.to_vec());
+    let tgt = TableRef::new(tgt_name, tgt_rel(tgt_name), tgt_cols.to_vec());
+    // Use the *source* column list for payload variables in both atoms so
+    // the rules are positional copies.
+    let to_tgt = RuleSet::new(vec![Rule::new(
+        {
+            let mut a = table_atom(&tgt.rel, "p", src_cols);
+            a.relation = tgt.rel.clone();
+            a
+        },
+        vec![Literal::Pos(table_atom(&src.rel, "p", src_cols))],
+    )]);
+    let to_src = RuleSet::new(vec![Rule::new(
+        table_atom(&src.rel, "p", src_cols),
+        vec![Literal::Pos({
+            let mut a = table_atom(&tgt.rel, "p", src_cols);
+            a.relation = tgt.rel.clone();
+            a
+        })],
+    )]);
+    Ok(DerivedSmo {
+        kind,
+        src_data: vec![src],
+        tgt_data: vec![tgt],
+        src_aux: vec![],
+        tgt_aux: vec![],
+        shared_aux: vec![],
+        to_tgt,
+        to_src,
+        generators: vec![],
+        observe_hints: vec![],
+        moves_data: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_shape() {
+        let d = create_table("T", &["a".into(), "b".into()]).unwrap();
+        assert!(d.src_data.is_empty());
+        assert_eq!(d.tgt_data[0].columns, vec!["a", "b"]);
+        assert!(!d.moves_data);
+        assert!(d.to_tgt.is_empty() && d.to_src.is_empty());
+        assert!(create_table("T", &[]).is_err());
+        assert!(create_table("T", &["a".into(), "a".into()]).is_err());
+    }
+
+    #[test]
+    fn drop_table_keeps_source() {
+        let d = drop_table("T", &["a".into()]).unwrap();
+        assert_eq!(d.src_data.len(), 1);
+        assert!(d.tgt_data.is_empty());
+        assert!(!d.moves_data);
+    }
+
+    #[test]
+    fn rename_column_changes_label_only() {
+        // The paper's: RENAME COLUMN author IN author TO name.
+        let d = rename_column("author", "author", "name", &["author".into()]).unwrap();
+        assert_eq!(d.tgt_data[0].columns, vec!["name"]);
+        assert_eq!(d.to_tgt.len(), 1);
+        assert_eq!(
+            d.to_tgt.rules[0].to_string(),
+            "tgt#author(p, c_author) ← src#author(p, c_author)"
+        );
+        assert!(rename_column("t", "zz", "name", &["a".into()]).is_err());
+        assert!(rename_column("t", "a", "b", &["a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn rename_table_identity() {
+        let d = rename_table("A", "B", &["x".into()]).unwrap();
+        assert_eq!(d.src_data[0].rel, "src#A");
+        assert_eq!(d.tgt_data[0].rel, "tgt#B");
+        assert!(rename_table("A", "A", &["x".into()]).is_err());
+    }
+}

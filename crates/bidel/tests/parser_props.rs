@@ -1,0 +1,112 @@
+//! Property test: pretty-printing a parsed BiDEL script re-parses to the
+//! same AST (display/parse round trip), over randomly generated SMOs.
+
+use inverda_bidel::ast::{DecomposeKind, JoinKind, Smo, SplitArm, Statement, TableSig};
+use inverda_bidel::parse_script;
+use inverda_storage::Expr;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn cols() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::btree_set("[a-z][a-z0-9]{0,5}", 1..4)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn cond() -> impl Strategy<Value = Expr> {
+    ("[a-z][a-z0-9]{0,4}", 0i64..100, prop::bool::ANY).prop_map(|(c, v, lt)| {
+        if lt {
+            Expr::col(c).lt(Expr::lit(v))
+        } else {
+            Expr::col(c).ge(Expr::lit(v))
+        }
+    })
+}
+
+fn arb_smo() -> impl Strategy<Value = Smo> {
+    prop_oneof![
+        (ident(), cols()).prop_map(|(table, columns)| Smo::CreateTable { table, columns }),
+        ident().prop_map(|table| Smo::DropTable { table }),
+        (ident(), ident()).prop_map(|(table, to)| Smo::RenameTable { table, to }),
+        (ident(), ident(), ident())
+            .prop_map(|(table, column, to)| Smo::RenameColumn { table, column, to }),
+        (ident(), ident(), cond()).prop_map(|(table, column, function)| Smo::AddColumn {
+            table,
+            column,
+            function
+        }),
+        (ident(), ident(), 0i64..50).prop_map(|(table, column, d)| Smo::DropColumn {
+            table,
+            column,
+            default: Expr::lit(d)
+        }),
+        (ident(), ident(), cols(), ident(), cols(), prop::bool::ANY).prop_map(
+            |(table, n1, c1, n2, c2, pk)| Smo::Decompose {
+                table,
+                first: TableSig { name: n1, columns: c1 },
+                second: TableSig { name: n2, columns: c2 },
+                on: if pk {
+                    DecomposeKind::Pk
+                } else {
+                    DecomposeKind::Fk("fkcol".into())
+                },
+            }
+        ),
+        (ident(), ident(), ident(), prop::bool::ANY, prop::bool::ANY).prop_map(
+            |(left, right, into, outer, pk)| Smo::Join {
+                left,
+                right,
+                into,
+                on: if pk { JoinKind::Pk } else { JoinKind::Fk("fkcol".into()) },
+                outer,
+            }
+        ),
+        (ident(), ident(), cond(), prop::option::of((ident(), cond()))).prop_map(
+            |(table, t1, c1, second)| Smo::Split {
+                table,
+                first: SplitArm { table: t1, condition: c1 },
+                second: second.map(|(t, c)| SplitArm { table: t, condition: c }),
+            }
+        ),
+        (ident(), cond(), ident(), cond(), ident()).prop_map(|(t1, c1, t2, c2, into)| {
+            Smo::Merge {
+                first: SplitArm { table: t1, condition: c1 },
+                second: SplitArm { table: t2, condition: c2 },
+                into,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(smos in prop::collection::vec(arb_smo(), 1..5)) {
+        let stmt = Statement::CreateSchemaVersion {
+            name: "V2".into(),
+            from: Some("V1".into()),
+            smos: smos.clone(),
+        };
+        let text = stmt.to_string();
+        let reparsed = parse_script(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        prop_assert_eq!(reparsed.statements.len(), 1);
+        match &reparsed.statements[0] {
+            Statement::CreateSchemaVersion { smos: parsed, .. } => {
+                prop_assert_eq!(parsed, &smos, "round trip of: {}", text);
+            }
+            other => prop_assert!(false, "unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialize_round_trip(targets in prop::collection::vec("[A-Za-z][A-Za-z0-9_.]{0,12}", 1..4)) {
+        let stmt = Statement::Materialize { targets: targets.clone() };
+        let reparsed = parse_script(&stmt.to_string()).unwrap();
+        prop_assert_eq!(
+            &reparsed.statements[0],
+            &Statement::Materialize { targets }
+        );
+    }
+}

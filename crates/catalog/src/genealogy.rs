@@ -1,0 +1,601 @@
+//! The genealogy hypergraph: table versions, SMO instances, schema versions.
+
+use crate::error::CatalogError;
+use crate::Result;
+use inverda_bidel::semantics::ObserveHint;
+use inverda_bidel::{derive_smo, DerivedSmo, SharedAux, Smo, TableRef};
+use inverda_datalog::simplify::{rename_generators, rename_relations};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a table version (a vertex of the hypergraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableVersionId(pub u32);
+
+impl fmt::Display for TableVersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tv{}", self.0)
+    }
+}
+
+/// Identifier of an SMO instance (a hyperedge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmoId(pub u32);
+
+impl fmt::Display for SmoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "smo{}", self.0)
+    }
+}
+
+/// A table version: one vertex of the genealogy.
+#[derive(Debug, Clone)]
+pub struct TableVersion {
+    /// Identifier.
+    pub id: TableVersionId,
+    /// User-visible table name within the schema version(s) exposing it.
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Globally unique relation name (`tv<N>`), used as the physical table
+    /// name and as the relation name inside instantiated rule sets.
+    pub rel: String,
+    /// The (single) incoming SMO that created this table version.
+    pub created_by: SmoId,
+}
+
+/// An SMO instance: one hyperedge, with its instantiated semantics.
+#[derive(Debug, Clone)]
+pub struct SmoInstance {
+    /// Identifier.
+    pub id: SmoId,
+    /// The parsed SMO.
+    pub smo: Smo,
+    /// Source table versions.
+    pub sources: Vec<TableVersionId>,
+    /// Target table versions.
+    pub targets: Vec<TableVersionId>,
+    /// Semantics with globally unique relation / generator names.
+    pub derived: DerivedSmo,
+    /// The schema version whose evolution introduced this SMO.
+    pub introduced_in: String,
+}
+
+impl SmoInstance {
+    /// Whether materializing this SMO moves data (CREATE/DROP TABLE do not).
+    pub fn moves_data(&self) -> bool {
+        self.derived.moves_data
+    }
+}
+
+/// A schema version: a named subset of table versions.
+#[derive(Debug, Clone)]
+pub struct SchemaVersion {
+    /// Version name (e.g. `TasKy2`).
+    pub name: String,
+    /// The version this one was evolved from.
+    pub parent: Option<String>,
+    /// Table name → table version.
+    pub tables: BTreeMap<String, TableVersionId>,
+    /// SMO instances of the evolution that created this version, in order.
+    pub evolution: Vec<SmoId>,
+}
+
+/// The genealogy of schema versions (Figure 4).
+#[derive(Debug, Clone, Default)]
+pub struct Genealogy {
+    table_versions: BTreeMap<TableVersionId, TableVersion>,
+    smos: BTreeMap<SmoId, SmoInstance>,
+    versions: BTreeMap<String, SchemaVersion>,
+    /// Outgoing SMO instances per table version.
+    out_edges: BTreeMap<TableVersionId, Vec<SmoId>>,
+    next_tv: u32,
+    next_smo: u32,
+}
+
+/// The result of registering one evolution: the new SMO instances, in order.
+#[derive(Debug, Clone)]
+pub struct EvolutionOutcome {
+    /// New schema version name.
+    pub version: String,
+    /// Newly registered SMO instances.
+    pub new_smos: Vec<SmoId>,
+    /// Newly created table versions.
+    pub new_tables: Vec<TableVersionId>,
+}
+
+impl Genealogy {
+    /// Empty genealogy.
+    pub fn new() -> Self {
+        Genealogy::default()
+    }
+
+    /// Look up a table version.
+    pub fn table_version(&self, id: TableVersionId) -> &TableVersion {
+        &self.table_versions[&id]
+    }
+
+    /// Look up an SMO instance.
+    pub fn smo(&self, id: SmoId) -> &SmoInstance {
+        &self.smos[&id]
+    }
+
+    /// All SMO instances, ascending by id.
+    pub fn smos(&self) -> impl Iterator<Item = &SmoInstance> {
+        self.smos.values()
+    }
+
+    /// All table versions, ascending by id.
+    pub fn table_versions(&self) -> impl Iterator<Item = &TableVersion> {
+        self.table_versions.values()
+    }
+
+    /// A schema version by name.
+    pub fn version(&self, name: &str) -> Result<&SchemaVersion> {
+        self.versions.get(name).ok_or_else(|| CatalogError::UnknownVersion {
+            version: name.to_string(),
+        })
+    }
+
+    /// All schema version names (sorted).
+    pub fn version_names(&self) -> Vec<&str> {
+        self.versions.keys().map(String::as_str).collect()
+    }
+
+    /// Whether a schema version exists.
+    pub fn has_version(&self, name: &str) -> bool {
+        self.versions.contains_key(name)
+    }
+
+    /// The table version backing `version.table`.
+    pub fn resolve(&self, version: &str, table: &str) -> Result<TableVersionId> {
+        let v = self.version(version)?;
+        v.tables
+            .get(table)
+            .copied()
+            .ok_or_else(|| CatalogError::UnknownTable {
+                version: version.to_string(),
+                table: table.to_string(),
+            })
+    }
+
+    /// Outgoing SMO instances of a table version.
+    pub fn outgoing(&self, id: TableVersionId) -> &[SmoId] {
+        self.out_edges.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The incoming SMO of a table version.
+    pub fn incoming(&self, id: TableVersionId) -> SmoId {
+        self.table_versions[&id].created_by
+    }
+
+    /// Register a new schema version evolved from `from` with `smos`.
+    ///
+    /// This is the catalog side of the paper's **Database Evolution
+    /// Operation**: each SMO's semantics is derived from the current table
+    /// schemas, its relations are renamed to globally unique names, and the
+    /// new version's table set is computed. Complexity is `O(N + M)` in the
+    /// number of SMOs `N` and untouched table versions `M` — delta code is
+    /// local to each SMO (Section 8.1).
+    pub fn create_schema_version(
+        &mut self,
+        name: &str,
+        from: Option<&str>,
+        smos: &[Smo],
+    ) -> Result<EvolutionOutcome> {
+        if self.versions.contains_key(name) {
+            return Err(CatalogError::VersionExists {
+                version: name.to_string(),
+            });
+        }
+        // Working table map: starts as the parent's tables.
+        let mut tables: BTreeMap<String, TableVersionId> = match from {
+            Some(parent) => self.version(parent)?.tables.clone(),
+            None => BTreeMap::new(),
+        };
+        let mut new_smos = Vec::new();
+        let mut new_tables = Vec::new();
+
+        for smo in smos {
+            // Source schemas visible to this SMO.
+            let src_schemas: BTreeMap<String, Vec<String>> = tables
+                .iter()
+                .map(|(n, id)| (n.clone(), self.table_versions[id].columns.clone()))
+                .collect();
+            let derived = derive_smo(smo, &src_schemas)?;
+
+            let smo_id = SmoId(self.next_smo);
+            self.next_smo += 1;
+
+            // Resolve sources and build the global rename map.
+            let mut rel_map: BTreeMap<String, String> = BTreeMap::new();
+            let mut gen_map: BTreeMap<String, String> = BTreeMap::new();
+            let mut source_ids = Vec::new();
+            for src in &derived.src_data {
+                let tv_id = *tables.get(&src.name).ok_or_else(|| {
+                    CatalogError::UnknownTable {
+                        version: name.to_string(),
+                        table: src.name.clone(),
+                    }
+                })?;
+                rel_map.insert(src.rel.clone(), self.table_versions[&tv_id].rel.clone());
+                source_ids.push(tv_id);
+            }
+            // Allocate target table versions.
+            let mut target_ids = Vec::new();
+            let mut renamed_tgts = Vec::new();
+            for tgt in &derived.tgt_data {
+                let tv_id = TableVersionId(self.next_tv);
+                self.next_tv += 1;
+                let rel = tv_id.to_string();
+                rel_map.insert(tgt.rel.clone(), rel.clone());
+                self.table_versions.insert(
+                    tv_id,
+                    TableVersion {
+                        id: tv_id,
+                        name: tgt.name.clone(),
+                        columns: tgt.columns.clone(),
+                        rel,
+                        created_by: smo_id,
+                    },
+                );
+                target_ids.push(tv_id);
+                new_tables.push(tv_id);
+                renamed_tgts.push(tv_id);
+            }
+            // Rename aux tables and generators.
+            let aux_name = |tag: &str| {
+                // Distinct punctuation must stay distinct: `R-` (lost twins)
+                // and `R*` (condition violators) are different tables.
+                let mut sanitized = String::with_capacity(tag.len() + 6);
+                for c in tag.chars() {
+                    match c {
+                        '-' => sanitized.push_str("_minus"),
+                        '+' => sanitized.push_str("_plus"),
+                        '*' => sanitized.push_str("_star"),
+                        '\'' => sanitized.push_str("_prime"),
+                        c if c.is_alphanumeric() => sanitized.push(c),
+                        _ => sanitized.push('_'),
+                    }
+                }
+                format!("{smo_id}_aux_{sanitized}")
+            };
+            let fix_aux = |t: &TableRef, rel_map: &mut BTreeMap<String, String>| -> TableRef {
+                let global = aux_name(t.rel.trim_start_matches("aux#"));
+                rel_map.insert(t.rel.clone(), global.clone());
+                TableRef {
+                    name: t.name.clone(),
+                    rel: global,
+                    columns: t.columns.clone(),
+                }
+            };
+            let src_aux: Vec<TableRef> = derived
+                .src_aux
+                .iter()
+                .map(|t| fix_aux(t, &mut rel_map))
+                .collect();
+            let tgt_aux: Vec<TableRef> = derived
+                .tgt_aux
+                .iter()
+                .map(|t| fix_aux(t, &mut rel_map))
+                .collect();
+            let shared_aux: Vec<SharedAux> = derived
+                .shared_aux
+                .iter()
+                .map(|s| {
+                    let table = fix_aux(&s.table, &mut rel_map);
+                    let new_name = format!("{}@new", table.rel);
+                    rel_map.insert(s.new_name.clone(), new_name.clone());
+                    SharedAux {
+                        old_name: table.rel.clone(),
+                        new_name,
+                        table,
+                    }
+                })
+                .collect();
+            for g in &derived.generators {
+                gen_map.insert(
+                    g.clone(),
+                    format!("{smo_id}_gen_{}", g.trim_start_matches("gen#").replace('#', "_")),
+                );
+            }
+
+            // Apply renames to the rule sets and hints.
+            let to_tgt =
+                rename_generators(&rename_relations(&derived.to_tgt, &rel_map), &gen_map);
+            let to_src =
+                rename_generators(&rename_relations(&derived.to_src, &rel_map), &gen_map);
+            let observe_hints: Vec<ObserveHint> = derived
+                .observe_hints
+                .iter()
+                .map(|h| ObserveHint {
+                    generator: gen_map
+                        .get(&h.generator)
+                        .cloned()
+                        .unwrap_or_else(|| h.generator.clone()),
+                    relation: rel_map
+                        .get(&h.relation)
+                        .cloned()
+                        .unwrap_or_else(|| h.relation.clone()),
+                })
+                .collect();
+            let generators: Vec<String> = derived
+                .generators
+                .iter()
+                .map(|g| gen_map[g].clone())
+                .collect();
+            let src_data: Vec<TableRef> = derived
+                .src_data
+                .iter()
+                .map(|t| TableRef {
+                    name: t.name.clone(),
+                    rel: rel_map[&t.rel].clone(),
+                    columns: t.columns.clone(),
+                })
+                .collect();
+            let tgt_data: Vec<TableRef> = derived
+                .tgt_data
+                .iter()
+                .map(|t| TableRef {
+                    name: t.name.clone(),
+                    rel: rel_map[&t.rel].clone(),
+                    columns: t.columns.clone(),
+                })
+                .collect();
+            let derived_global = DerivedSmo {
+                kind: derived.kind,
+                src_data,
+                tgt_data,
+                src_aux,
+                tgt_aux,
+                shared_aux,
+                to_tgt,
+                to_src,
+                generators,
+                observe_hints,
+                moves_data: derived.moves_data,
+            };
+
+            // Update the working table map: consumed sources disappear,
+            // targets appear under their user names.
+            for (src_name, tv_id) in derived_global
+                .src_data
+                .iter()
+                .map(|t| (t.name.clone(), ()))
+                .zip(source_ids.iter())
+                .map(|((n, ()), id)| (n, *id))
+            {
+                let _ = tv_id;
+                tables.remove(&src_name);
+            }
+            for (tgt, tv_id) in derived_global.tgt_data.iter().zip(renamed_tgts.iter()) {
+                if tables.contains_key(&tgt.name) {
+                    return Err(CatalogError::TableExists {
+                        version: name.to_string(),
+                        table: tgt.name.clone(),
+                    });
+                }
+                tables.insert(tgt.name.clone(), *tv_id);
+            }
+
+            // Register the edge.
+            for src_id in &source_ids {
+                self.out_edges.entry(*src_id).or_default().push(smo_id);
+            }
+            self.smos.insert(
+                smo_id,
+                SmoInstance {
+                    id: smo_id,
+                    smo: smo.clone(),
+                    sources: source_ids,
+                    targets: target_ids,
+                    derived: derived_global,
+                    introduced_in: name.to_string(),
+                },
+            );
+            new_smos.push(smo_id);
+        }
+
+        self.versions.insert(
+            name.to_string(),
+            SchemaVersion {
+                name: name.to_string(),
+                parent: from.map(String::from),
+                tables,
+                evolution: new_smos.clone(),
+            },
+        );
+        Ok(EvolutionOutcome {
+            version: name.to_string(),
+            new_smos,
+            new_tables,
+        })
+    }
+
+    /// Drop a schema version from the catalog. The version's SMOs and table
+    /// versions are kept while they still connect or serve the remaining
+    /// versions ("the respective SMOs are only removed in case they are no
+    /// longer part of an evolution that connects two remaining schema
+    /// versions"). Returns the table versions whose data tables are no
+    /// longer referenced by any remaining version and have no outgoing SMOs
+    /// — candidates for physical cleanup by the engine.
+    pub fn drop_schema_version(&mut self, name: &str) -> Result<Vec<TableVersionId>> {
+        if !self.versions.contains_key(name) {
+            return Err(CatalogError::UnknownVersion {
+                version: name.to_string(),
+            });
+        }
+        // A version that other versions were evolved from must stay while
+        // they exist (its SMOs connect them).
+        let dependents: Vec<&str> = self
+            .versions
+            .values()
+            .filter(|v| v.parent.as_deref() == Some(name))
+            .map(|v| v.name.as_str())
+            .collect();
+        if !dependents.is_empty() {
+            return Err(CatalogError::VersionInUse {
+                version: name.to_string(),
+                reason: format!(
+                    "versions evolved from it still exist: {}",
+                    dependents.join(", ")
+                ),
+            });
+        }
+        self.versions.remove(name);
+        // Conservative GC: table versions in no remaining version and with
+        // no outgoing SMOs (leaves of the genealogy) are unreachable.
+        let referenced: std::collections::BTreeSet<TableVersionId> = self
+            .versions
+            .values()
+            .flat_map(|v| v.tables.values().copied())
+            .collect();
+        let orphans: Vec<TableVersionId> = self
+            .table_versions
+            .keys()
+            .copied()
+            .filter(|id| !referenced.contains(id) && self.outgoing(*id).is_empty())
+            .collect();
+        Ok(orphans)
+    }
+
+    /// All SMO instance ids, ascending.
+    pub fn smo_ids(&self) -> Vec<SmoId> {
+        self.smos.keys().copied().collect()
+    }
+
+    /// Count of table versions.
+    pub fn table_version_count(&self) -> usize {
+        self.table_versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_bidel::parse_script;
+    use inverda_bidel::Statement;
+
+    /// Build the paper's TasKy genealogy (Figure 4).
+    pub(crate) fn tasky_genealogy() -> Genealogy {
+        let mut g = Genealogy::new();
+        let script = parse_script(
+            "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
+             CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+               SPLIT TABLE Task INTO Todo WITH prio = 1; \
+               DROP COLUMN prio FROM Todo DEFAULT 1; \
+             CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH \
+               DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author; \
+               RENAME COLUMN author IN Author TO name;",
+        )
+        .unwrap();
+        for stmt in script.statements {
+            match stmt {
+                Statement::CreateSchemaVersion { name, from, smos } => {
+                    g.create_schema_version(&name, from.as_deref(), &smos)
+                        .unwrap();
+                }
+                other => panic!("unexpected statement {other:?}"),
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn tasky_genealogy_structure_matches_figure_4() {
+        let g = tasky_genealogy();
+        assert_eq!(g.version_names(), vec!["Do!", "TasKy", "TasKy2"]);
+        // TasKy: 1 table; Do!: 1 table; TasKy2: 2 tables.
+        assert_eq!(g.version("TasKy").unwrap().tables.len(), 1);
+        assert_eq!(g.version("Do!").unwrap().tables.len(), 1);
+        assert_eq!(g.version("TasKy2").unwrap().tables.len(), 2);
+        // 5 SMO instances: CREATE, SPLIT, DROP COLUMN, DECOMPOSE, RENAME.
+        assert_eq!(g.smo_ids().len(), 5);
+        // Task-0 has two outgoing SMOs (SPLIT and DECOMPOSE).
+        let task0 = g.resolve("TasKy", "Task").unwrap();
+        assert_eq!(g.outgoing(task0).len(), 2);
+        // Do!'s Todo is the target of the DROP COLUMN, chained after SPLIT.
+        let todo = g.resolve("Do!", "Todo").unwrap();
+        let drop_col = g.smo(g.incoming(todo));
+        assert_eq!(drop_col.derived.kind, "DROP COLUMN");
+        let split_target = drop_col.sources[0];
+        assert_eq!(g.smo(g.incoming(split_target)).derived.kind, "SPLIT");
+    }
+
+    #[test]
+    fn rule_sets_use_globally_unique_relations() {
+        let g = tasky_genealogy();
+        for smo in g.smos() {
+            for rule in smo
+                .derived
+                .to_tgt
+                .rules
+                .iter()
+                .chain(smo.derived.to_src.rules.iter())
+            {
+                let text = rule.to_string();
+                assert!(
+                    !text.contains("src#") && !text.contains("tgt#") && !text.contains("aux#"),
+                    "unrenamed relation in {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn versions_share_unevolved_table_versions() {
+        let mut g = tasky_genealogy();
+        // Evolve TasKy2 once more, touching only `Task`.
+        let script = parse_script(
+            "CREATE SCHEMA VERSION TasKy3 FROM TasKy2 WITH \
+             ADD COLUMN done AS 0 INTO Task;",
+        )
+        .unwrap();
+        let Statement::CreateSchemaVersion { name, from, smos } = &script.statements[0] else {
+            panic!()
+        };
+        g.create_schema_version(name, from.as_deref(), smos).unwrap();
+        // Author is shared between TasKy2 and TasKy3.
+        assert_eq!(
+            g.resolve("TasKy2", "Author").unwrap(),
+            g.resolve("TasKy3", "Author").unwrap()
+        );
+        assert_ne!(
+            g.resolve("TasKy2", "Task").unwrap(),
+            g.resolve("TasKy3", "Task").unwrap()
+        );
+    }
+
+    #[test]
+    fn duplicate_version_and_unknown_table_errors() {
+        let mut g = tasky_genealogy();
+        assert!(matches!(
+            g.create_schema_version("TasKy", None, &[]),
+            Err(CatalogError::VersionExists { .. })
+        ));
+        let script = parse_script(
+            "CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE NoSuch;",
+        )
+        .unwrap();
+        let Statement::CreateSchemaVersion { name, from, smos } = &script.statements[0] else {
+            panic!()
+        };
+        assert!(g.create_schema_version(name, from.as_deref(), smos).is_err());
+    }
+
+    #[test]
+    fn drop_version_respects_dependencies() {
+        let mut g = tasky_genealogy();
+        // TasKy has children Do! and TasKy2 -> cannot drop.
+        assert!(matches!(
+            g.drop_schema_version("TasKy"),
+            Err(CatalogError::VersionInUse { .. })
+        ));
+        // Do! is a leaf -> droppable; its Todo table version is orphaned.
+        let todo = g.resolve("Do!", "Todo").unwrap();
+        let orphans = g.drop_schema_version("Do!").unwrap();
+        assert!(orphans.contains(&todo));
+        assert!(!g.has_version("Do!"));
+        assert!(g.drop_schema_version("Do!").is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Materialization schemas (Section 7) and storage-case resolution
+//! (Section 6, Figure 6).
+//!
+//! The materialization states of all SMO instances form the
+//! *materialization schema* `M`; it determines the *physical table schema*
+//! `P` — which table versions are directly stored. A schema is valid iff
+//!
+//! * (55) every source table version of a materialized SMO has its incoming
+//!   SMO materialized (the data has actually arrived there), and
+//! * (56) no source table version is claimed by two materialized outgoing
+//!   SMOs (non-redundant materialization).
+//!
+//! `CREATE TABLE` SMOs are always materialized ("the initially materialized
+//! tables are the targets of create table SMOs"); `DROP TABLE` SMOs never
+//! move data, so they are never members of `M`.
+
+use crate::genealogy::{Genealogy, SmoId, TableVersionId};
+use crate::{CatalogError, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A materialization schema: the set of materialized, data-moving SMOs.
+/// CREATE TABLE SMOs are implicitly materialized and not stored here.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MaterializationSchema {
+    materialized: BTreeSet<SmoId>,
+}
+
+impl MaterializationSchema {
+    /// The initial materialization: only CREATE TABLE SMOs are materialized
+    /// ("Initially, all SMOs except of the create table SMOs are
+    /// virtualized").
+    pub fn initial() -> Self {
+        MaterializationSchema::default()
+    }
+
+    /// Build from an explicit set of data-moving SMOs.
+    pub fn from_smos(smos: impl IntoIterator<Item = SmoId>) -> Self {
+        MaterializationSchema {
+            materialized: smos.into_iter().collect(),
+        }
+    }
+
+    /// Whether the SMO is materialized under this schema. CREATE TABLE SMOs
+    /// always are; DROP TABLE SMOs never.
+    pub fn is_materialized(&self, g: &Genealogy, smo: SmoId) -> bool {
+        let inst = g.smo(smo);
+        if inst.derived.kind == "CREATE TABLE" {
+            return true;
+        }
+        if !inst.moves_data() {
+            return false;
+        }
+        self.materialized.contains(&smo)
+    }
+
+    /// The explicitly materialized (data-moving) SMOs.
+    pub fn smos(&self) -> impl Iterator<Item = SmoId> + '_ {
+        self.materialized.iter().copied()
+    }
+
+    /// Number of explicitly materialized SMOs.
+    pub fn len(&self) -> usize {
+        self.materialized.len()
+    }
+
+    /// True for the initial materialization.
+    pub fn is_empty(&self) -> bool {
+        self.materialized.is_empty()
+    }
+
+    /// Check validity conditions (55) and (56).
+    pub fn validate(&self, g: &Genealogy) -> Result<()> {
+        for smo_id in &self.materialized {
+            let inst = g.smo(*smo_id);
+            if !inst.moves_data() {
+                return Err(CatalogError::InvalidMaterialization {
+                    reason: format!("{smo_id} ({}) does not move data", inst.derived.kind),
+                });
+            }
+            for src in &inst.sources {
+                // (55): the data must have arrived at every source.
+                let incoming = g.incoming(*src);
+                if !self.is_materialized(g, incoming) {
+                    return Err(CatalogError::InvalidMaterialization {
+                        reason: format!(
+                            "condition (55): source {src} of materialized {smo_id} has \
+                             unmaterialized incoming SMO {incoming}"
+                        ),
+                    });
+                }
+                // (56): no sibling outgoing SMO may also be materialized.
+                for other in g.outgoing(*src) {
+                    if other != smo_id && self.materialized.contains(other) {
+                        return Err(CatalogError::InvalidMaterialization {
+                            reason: format!(
+                                "condition (56): table version {src} is source of two \
+                                 materialized SMOs {smo_id} and {other}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The physical table schema `P`: table versions directly stored.
+    pub fn physical_tables(&self, g: &Genealogy) -> Vec<TableVersionId> {
+        g.table_versions()
+            .filter(|tv| matches!(self.storage_of(g, tv.id), StorageCase::Local))
+            .map(|tv| tv.id)
+            .collect()
+    }
+
+    /// Resolve the storage case of a table version (Section 6, Figure 6).
+    pub fn storage_of(&self, g: &Genealogy, tv: TableVersionId) -> StorageCase {
+        // Case 2 (forwards): one outgoing SMO is materialized — the data
+        // lives in newer versions.
+        for out in g.outgoing(tv) {
+            if self.is_materialized(g, *out) {
+                return StorageCase::Forward(*out);
+            }
+        }
+        // Case 1 (local): the incoming SMO is materialized.
+        let incoming = g.incoming(tv);
+        if self.is_materialized(g, incoming) {
+            return StorageCase::Local;
+        }
+        // Case 3 (backwards): the data lives in older versions.
+        StorageCase::Backward(incoming)
+    }
+
+    /// Enumerate every valid materialization schema of the genealogy.
+    ///
+    /// The count depends on the evolution's structure: a linear chain of N
+    /// dependent SMOs has N+1 valid schemas, N independent SMOs have 2^N
+    /// (Section 8.3); TasKy has exactly five (Table 2).
+    pub fn enumerate_valid(g: &Genealogy) -> Vec<MaterializationSchema> {
+        let movers: Vec<SmoId> = g
+            .smos()
+            .filter(|s| s.moves_data())
+            .map(|s| s.id)
+            .collect();
+        let mut out = Vec::new();
+        let mut current = BTreeSet::new();
+        enumerate(g, &movers, 0, &mut current, &mut out);
+        out.sort();
+        out
+    }
+
+    /// Derive the materialization schema that stores the given table
+    /// versions physically: every SMO on the ancestry path of each target
+    /// must be materialized.
+    pub fn for_table_versions(
+        g: &Genealogy,
+        targets: &[TableVersionId],
+    ) -> Result<MaterializationSchema> {
+        let mut materialized = BTreeSet::new();
+        let mut stack: Vec<SmoId> = targets.iter().map(|t| g.incoming(*t)).collect();
+        while let Some(smo_id) = stack.pop() {
+            let inst = g.smo(smo_id);
+            if inst.derived.kind == "CREATE TABLE" {
+                continue;
+            }
+            if inst.moves_data() && !materialized.insert(smo_id) {
+                continue;
+            }
+            for src in &inst.sources {
+                stack.push(g.incoming(*src));
+            }
+        }
+        let schema = MaterializationSchema { materialized };
+        schema.validate(g)?;
+        Ok(schema)
+    }
+}
+
+fn enumerate(
+    g: &Genealogy,
+    movers: &[SmoId],
+    idx: usize,
+    current: &mut BTreeSet<SmoId>,
+    out: &mut Vec<MaterializationSchema>,
+) {
+    if idx == movers.len() {
+        let schema = MaterializationSchema {
+            materialized: current.clone(),
+        };
+        if schema.validate(g).is_ok() {
+            out.push(schema);
+        }
+        return;
+    }
+    enumerate(g, movers, idx + 1, current, out);
+    current.insert(movers[idx]);
+    // Prune: partial sets that already violate (55)/(56) cannot become
+    // valid by adding more SMOs only for (56); (55) can be repaired later,
+    // so validate fully only at the leaves but prune (56) violations here.
+    let inst = g.smo(movers[idx]);
+    let violates_56 = inst.sources.iter().any(|src| {
+        g.outgoing(*src)
+            .iter()
+            .any(|o| *o != movers[idx] && current.contains(o))
+    });
+    if !violates_56 {
+        enumerate(g, movers, idx + 1, current, out);
+    }
+    current.remove(&movers[idx]);
+}
+
+/// Where a table version's data physically lives (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageCase {
+    /// Case 1: the table version's own data table is physical.
+    Local,
+    /// Case 2: the data moved forwards through this materialized outgoing
+    /// SMO; access propagates with its γ_src (read) / γ_tgt (write).
+    Forward(SmoId),
+    /// Case 3: the data still lives behind this virtualized incoming SMO;
+    /// access propagates with its γ_tgt (read) / γ_src (write).
+    Backward(SmoId),
+}
+
+impl fmt::Display for MaterializationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.materialized.iter().map(|s| s.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_bidel::{parse_script, Statement};
+
+    fn tasky() -> Genealogy {
+        let mut g = Genealogy::new();
+        let script = parse_script(
+            "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
+             CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+               SPLIT TABLE Task INTO Todo WITH prio = 1; \
+               DROP COLUMN prio FROM Todo DEFAULT 1; \
+             CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH \
+               DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author; \
+               RENAME COLUMN author IN Author TO name;",
+        )
+        .unwrap();
+        for stmt in script.statements {
+            if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
+                g.create_schema_version(&name, from.as_deref(), &smos)
+                    .unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn tasky_has_exactly_five_valid_materializations() {
+        // Table 2 of the paper.
+        let g = tasky();
+        let all = MaterializationSchema::enumerate_valid(&g);
+        assert_eq!(all.len(), 5, "{all:?}");
+        // They are: {}, {SPLIT}, {SPLIT, DROP COLUMN}, {DECOMPOSE},
+        // {DECOMPOSE, RENAME COLUMN}.
+        let sizes: Vec<usize> = all.iter().map(|m| m.len()).collect();
+        assert_eq!(sizes.iter().filter(|s| **s == 0).count(), 1);
+        assert_eq!(sizes.iter().filter(|s| **s == 1).count(), 2);
+        assert_eq!(sizes.iter().filter(|s| **s == 2).count(), 2);
+    }
+
+    #[test]
+    fn initial_materialization_stores_create_targets() {
+        let g = tasky();
+        let m = MaterializationSchema::initial();
+        m.validate(&g).unwrap();
+        let p = m.physical_tables(&g);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0], g.resolve("TasKy", "Task").unwrap());
+    }
+
+    #[test]
+    fn storage_cases_match_figure_6() {
+        let g = tasky();
+        let m = MaterializationSchema::initial();
+        let task0 = g.resolve("TasKy", "Task").unwrap();
+        let todo = g.resolve("Do!", "Todo").unwrap();
+        assert_eq!(m.storage_of(&g, task0), StorageCase::Local);
+        assert!(matches!(m.storage_of(&g, todo), StorageCase::Backward(_)));
+
+        // Materialize TasKy2: Task-0 reads forwards, TasKy2 tables local.
+        let tasky2_tables: Vec<TableVersionId> = vec![
+            g.resolve("TasKy2", "Task").unwrap(),
+            g.resolve("TasKy2", "Author").unwrap(),
+        ];
+        let m2 = MaterializationSchema::for_table_versions(&g, &tasky2_tables).unwrap();
+        assert_eq!(m2.len(), 2); // DECOMPOSE + RENAME COLUMN
+        assert!(matches!(m2.storage_of(&g, task0), StorageCase::Forward(_)));
+        for t in &tasky2_tables {
+            assert_eq!(m2.storage_of(&g, *t), StorageCase::Local);
+        }
+        let p = m2.physical_tables(&g);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn condition_56_rejects_sibling_materialization() {
+        let g = tasky();
+        // SPLIT and DECOMPOSE share source Task-0.
+        let task0 = g.resolve("TasKy", "Task").unwrap();
+        let outgoing = g.outgoing(task0);
+        assert_eq!(outgoing.len(), 2);
+        let both = MaterializationSchema::from_smos(outgoing.iter().copied());
+        let err = both.validate(&g).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidMaterialization { .. }));
+    }
+
+    #[test]
+    fn condition_55_rejects_gaps_in_the_chain() {
+        let g = tasky();
+        // DROP COLUMN without SPLIT: data has not arrived at Todo-0.
+        let todo = g.resolve("Do!", "Todo").unwrap();
+        let drop_col = g.incoming(todo);
+        let m = MaterializationSchema::from_smos([drop_col]);
+        let err = m.validate(&g).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidMaterialization { .. }));
+    }
+
+    #[test]
+    fn for_table_versions_builds_the_full_chain() {
+        let g = tasky();
+        let todo = g.resolve("Do!", "Todo").unwrap();
+        let m = MaterializationSchema::for_table_versions(&g, &[todo]).unwrap();
+        assert_eq!(m.len(), 2); // SPLIT + DROP COLUMN
+        assert_eq!(m.storage_of(&g, todo), StorageCase::Local);
+    }
+
+    #[test]
+    fn linear_chain_has_n_plus_one_materializations() {
+        // Lower bound of Section 8.3: one table with N ADD COLUMN SMOs has
+        // N+1 valid materializations (each prefix of the chain).
+        let mut g = Genealogy::new();
+        let script = parse_script(
+            "CREATE SCHEMA VERSION V0 WITH CREATE TABLE T(a); \
+             CREATE SCHEMA VERSION V1 FROM V0 WITH ADD COLUMN b AS a INTO T; \
+             CREATE SCHEMA VERSION V2 FROM V1 WITH ADD COLUMN c AS a INTO T; \
+             CREATE SCHEMA VERSION V3 FROM V2 WITH ADD COLUMN d AS a INTO T;",
+        )
+        .unwrap();
+        for stmt in script.statements {
+            if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
+                g.create_schema_version(&name, from.as_deref(), &smos)
+                    .unwrap();
+            }
+        }
+        assert_eq!(MaterializationSchema::enumerate_valid(&g).len(), 4);
+    }
+
+    #[test]
+    fn independent_smos_multiply_materializations() {
+        // Upper bound: N independent SMOs -> 2^N.
+        let mut g = Genealogy::new();
+        let script = parse_script(
+            "CREATE SCHEMA VERSION V0 WITH CREATE TABLE A(x); CREATE TABLE B(y); \
+             CREATE SCHEMA VERSION V1 FROM V0 WITH \
+               ADD COLUMN x2 AS x INTO A; \
+               ADD COLUMN y2 AS y INTO B;",
+        )
+        .unwrap();
+        for stmt in script.statements {
+            if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
+                g.create_schema_version(&name, from.as_deref(), &smos)
+                    .unwrap();
+            }
+        }
+        assert_eq!(MaterializationSchema::enumerate_valid(&g).len(), 4);
+    }
+}

@@ -1,0 +1,381 @@
+//! The [`Inverda`] database facade.
+
+use crate::edb::VersionedEdb;
+use crate::Result;
+use inverda_bidel::{parse_script, Smo, Statement};
+use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase};
+use inverda_datalog::eval::IdSource;
+use inverda_datalog::SkolemRegistry;
+use inverda_storage::{Key, Relation, Row, Storage, TableSchema, Value};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// How logical writes are propagated to physical storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePath {
+    /// Mechanically derived update-propagation rules — minimal writes
+    /// (the paper's generated triggers; Section 6).
+    #[default]
+    Delta,
+    /// Reference implementation: recompute both full side states per SMO
+    /// hop and diff. Exact but `O(data)` per write; used for the ablation
+    /// benchmark and as the oracle in equivalence tests.
+    Recompute,
+}
+
+/// Mutable catalog state guarded by the database's lock.
+pub struct State {
+    /// The genealogy hypergraph.
+    pub genealogy: Genealogy,
+    /// Current materialization schema.
+    pub materialization: MaterializationSchema,
+    /// Current write path.
+    pub write_path: WritePath,
+}
+
+/// Shared skolem-id registry (usable from read paths). Fresh identifiers
+/// are minted from the storage engine's global key sequence so generated
+/// ids never collide with tuple identifiers — the id-generating SMOs key
+/// rows by them (Appendix B.3, Rules 149/152).
+pub struct SharedIds(pub Mutex<SkolemRegistry>);
+
+/// Per-call [`IdSource`] adapter binding the registry to the key sequence.
+pub struct IdMinter<'a> {
+    registry: &'a Mutex<SkolemRegistry>,
+    sequences: &'a inverda_storage::SequenceSet,
+}
+
+impl IdSource for IdMinter<'_> {
+    fn generate(&self, generator: &str, args: &[Value]) -> u64 {
+        self.registry
+            .lock()
+            .get_or_create_with(generator, args, || self.sequences.next_key().0)
+    }
+}
+
+/// Outcome of executing a BiDEL script.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionOutcome {
+    /// Names of schema versions created.
+    pub created_versions: Vec<String>,
+    /// Names of schema versions dropped.
+    pub dropped_versions: Vec<String>,
+    /// Number of MATERIALIZE statements executed.
+    pub migrations: usize,
+}
+
+/// An InVerDa database: one data set, many co-existing schema versions.
+pub struct Inverda {
+    pub(crate) storage: Storage,
+    pub(crate) state: RwLock<State>,
+    pub(crate) ids: SharedIds,
+    /// Serializes logical writes and migrations.
+    pub(crate) write_lock: Mutex<()>,
+}
+
+impl Default for Inverda {
+    fn default() -> Self {
+        Inverda::new()
+    }
+}
+
+impl Inverda {
+    /// The id source bound to this database's key sequence.
+    pub(crate) fn id_source(&self) -> IdMinter<'_> {
+        IdMinter {
+            registry: &self.ids.0,
+            sequences: self.storage.sequences(),
+        }
+    }
+
+    /// Fresh, empty database.
+    pub fn new() -> Self {
+        Inverda {
+            storage: Storage::new(),
+            state: RwLock::new(State {
+                genealogy: Genealogy::new(),
+                materialization: MaterializationSchema::initial(),
+                write_path: WritePath::default(),
+            }),
+            ids: SharedIds(Mutex::new(SkolemRegistry::new())),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Execute a BiDEL script: `CREATE SCHEMA VERSION … WITH …;`,
+    /// `DROP SCHEMA VERSION …;`, `MATERIALIZE '…';`.
+    pub fn execute(&self, script: &str) -> Result<ExecutionOutcome> {
+        let script = parse_script(script)?;
+        let mut outcome = ExecutionOutcome::default();
+        for stmt in script.statements {
+            match stmt {
+                Statement::CreateSchemaVersion { name, from, smos } => {
+                    self.create_schema_version(&name, from.as_deref(), &smos)?;
+                    outcome.created_versions.push(name);
+                }
+                Statement::DropSchemaVersion { name } => {
+                    self.drop_schema_version(&name)?;
+                    outcome.dropped_versions.push(name);
+                }
+                Statement::Materialize { targets } => {
+                    self.materialize(&targets)?;
+                    outcome.migrations += 1;
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// The paper's **Database Evolution Operation**: register the SMOs in
+    /// the catalog and generate delta code. The new version is immediately
+    /// readable and writable; no data moves.
+    pub fn create_schema_version(
+        &self,
+        name: &str,
+        from: Option<&str>,
+        smos: &[Smo],
+    ) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let mut state = self.state.write();
+        let outcome = state.genealogy.create_schema_version(name, from, smos)?;
+        // Physical side effects: data tables for CREATE TABLE targets,
+        // auxiliary tables for the initially-virtualized new SMOs.
+        for smo_id in &outcome.new_smos {
+            let inst = state.genealogy.smo(*smo_id);
+            if inst.derived.kind == "CREATE TABLE" {
+                for tv_id in &inst.targets {
+                    let tv = state.genealogy.table_version(*tv_id);
+                    self.storage
+                        .create_table(TableSchema::new(tv.rel.clone(), tv.columns.clone())?)?;
+                }
+            }
+            if inst.moves_data() {
+                // New SMOs start virtualized: source-side aux + shared aux.
+                for aux in inst
+                    .derived
+                    .src_aux
+                    .iter()
+                    .chain(inst.derived.shared_aux.iter().map(|s| &s.table))
+                {
+                    self.storage
+                        .create_table(TableSchema::new(aux.rel.clone(), aux.columns.clone())?)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop a schema version. Data shared with other versions is kept;
+    /// physical tables reachable from no remaining version are deleted.
+    pub fn drop_schema_version(&self, name: &str) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let mut state = self.state.write();
+        let orphans = state.genealogy.drop_schema_version(name)?;
+        for tv in orphans {
+            // Orphans may or may not be physical depending on M.
+            let rel = {
+                // The table version entry may already be gone if a previous
+                // drop removed it; resolve defensively.
+                state.genealogy.table_version(tv).rel.clone()
+            };
+            if self.storage.has_table(&rel) {
+                self.storage.drop_table(&rel)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of all schema versions.
+    pub fn versions(&self) -> Vec<String> {
+        self.state
+            .read()
+            .genealogy
+            .version_names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// Table names of a schema version.
+    pub fn tables_of(&self, version: &str) -> Result<Vec<String>> {
+        let state = self.state.read();
+        Ok(state
+            .genealogy
+            .version(version)?
+            .tables
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    /// Column names of `version.table`.
+    pub fn columns_of(&self, version: &str, table: &str) -> Result<Vec<String>> {
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        Ok(state.genealogy.table_version(tv).columns.clone())
+    }
+
+    /// Read the full state of `version.table` — every schema version acts
+    /// like a full-fledged single-schema database, wherever the data lives.
+    pub fn scan(&self, version: &str, table: &str) -> Result<Arc<Relation>> {
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        let rel = state.genealogy.table_version(tv).rel.clone();
+        let ids = self.id_source();
+        let edb = VersionedEdb::new(
+            &state.genealogy,
+            &state.materialization,
+            &self.storage,
+            &ids,
+        );
+        use inverda_datalog::eval::EdbView;
+        Ok(edb.full(&rel)?)
+    }
+
+    /// Point lookup by tuple identifier.
+    pub fn get(&self, version: &str, table: &str, key: Key) -> Result<Option<Row>> {
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        let rel = state.genealogy.table_version(tv).rel.clone();
+        let ids = self.id_source();
+        let edb = VersionedEdb::new(
+            &state.genealogy,
+            &state.materialization,
+            &self.storage,
+            &ids,
+        );
+        use inverda_datalog::eval::EdbView;
+        Ok(edb.by_key(&rel, key)?)
+    }
+
+    /// Number of rows visible in `version.table`.
+    pub fn count(&self, version: &str, table: &str) -> Result<usize> {
+        Ok(self.scan(version, table)?.len())
+    }
+
+    /// Switch the write-propagation implementation (ablation control).
+    pub fn set_write_path(&self, path: WritePath) {
+        self.state.write().write_path = path;
+    }
+
+    /// The current write path.
+    pub fn write_path(&self) -> WritePath {
+        self.state.read().write_path
+    }
+
+    /// Display form of the current materialization schema.
+    pub fn materialization_display(&self) -> String {
+        self.state.read().materialization.to_string()
+    }
+
+    /// The current materialization schema.
+    pub fn materialization(&self) -> MaterializationSchema {
+        self.state.read().materialization.clone()
+    }
+
+    /// Physical data tables (`version-independent` relation names) currently
+    /// stored, with row counts — diagnostics for the physical table schema.
+    pub fn physical_tables(&self) -> Vec<(String, usize)> {
+        self.storage
+            .table_names()
+            .into_iter()
+            .map(|name| {
+                let rows = self.storage.row_count(&name).unwrap_or(0);
+                (name, rows)
+            })
+            .collect()
+    }
+
+    /// The physical table schema `P` as user-visible names.
+    pub fn physical_table_versions(&self) -> Vec<String> {
+        let state = self.state.read();
+        state
+            .materialization
+            .physical_tables(&state.genealogy)
+            .into_iter()
+            .map(|tv| {
+                let t = state.genealogy.table_version(tv);
+                format!("{} [{}]", t.name, t.rel)
+            })
+            .collect()
+    }
+
+    /// Resolve `version.table` to its storage case (diagnostics / tests).
+    pub fn storage_case(&self, version: &str, table: &str) -> Result<&'static str> {
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        Ok(
+            match state.materialization.storage_of(&state.genealogy, tv) {
+                StorageCase::Local => "local",
+                StorageCase::Forward(_) => "forward",
+                StorageCase::Backward(_) => "backward",
+            },
+        )
+    }
+
+    /// Run a closure against the genealogy (for tooling that needs the
+    /// catalog structure, e.g. enumerating valid materialization schemas).
+    pub fn with_genealogy<T>(&self, f: impl FnOnce(&Genealogy) -> T) -> T {
+        f(&self.state.read().genealogy)
+    }
+
+    /// Seed the skolem registry with known `generator(payload) → id`
+    /// assignments (bulk loads with externally assigned identifiers).
+    pub fn observe_ids(&self, generator: &str, assignments: &[(Vec<Value>, u64)]) {
+        let mut reg = self.ids.0.lock();
+        for (args, id) in assignments {
+            reg.observe(generator, args, *id);
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasky_db() -> Inverda {
+        let db = Inverda::new();
+        db.execute(
+            "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_initial_version_with_table() {
+        let db = tasky_db();
+        assert_eq!(db.versions(), vec!["TasKy"]);
+        assert_eq!(db.tables_of("TasKy").unwrap(), vec!["Task"]);
+        assert_eq!(
+            db.columns_of("TasKy", "Task").unwrap(),
+            vec!["author", "task", "prio"]
+        );
+        assert_eq!(db.count("TasKy", "Task").unwrap(), 0);
+        assert_eq!(db.storage_case("TasKy", "Task").unwrap(), "local");
+    }
+
+    #[test]
+    fn evolution_exposes_new_version_immediately() {
+        let db = tasky_db();
+        db.execute(
+            "CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+             SPLIT TABLE Task INTO Todo WITH prio = 1; \
+             DROP COLUMN prio FROM Todo DEFAULT 1;",
+        )
+        .unwrap();
+        assert_eq!(db.tables_of("Do!").unwrap(), vec!["Todo"]);
+        assert_eq!(db.columns_of("Do!", "Todo").unwrap(), vec!["author", "task"]);
+        assert_eq!(db.count("Do!", "Todo").unwrap(), 0);
+        assert_eq!(db.storage_case("Do!", "Todo").unwrap(), "backward");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let db = tasky_db();
+        assert!(db.scan("Nope", "Task").is_err());
+        assert!(db.scan("TasKy", "Nope").is_err());
+        assert!(db.execute("CREATE SCHEMA VERSION TasKy WITH CREATE TABLE X(a);").is_err());
+    }
+}

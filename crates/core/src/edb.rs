@@ -1,0 +1,262 @@
+//! Lazy versioned EDB: resolves any table version's state by expanding SMO
+//! mappings toward the physical storage.
+//!
+//! This is the engine-side equivalent of the generated *views* (Section 6):
+//! each virtual table version is defined by the mapping rules of exactly one
+//! adjacent SMO instance — γ_src of a materialized outgoing SMO (Case 2,
+//! forwards) or γ_tgt of the virtualized incoming SMO (Case 3, backwards) —
+//! and those rules reference relations one step closer to the data, so
+//! resolution recurses along the genealogy and terminates at physical
+//! tables. Key lookups are pushed through the mapping rules instead of
+//! materializing whole relations, like a DBMS optimizer pushing a key
+//! predicate into a view.
+
+use crate::Result;
+use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase, TableVersionId};
+use inverda_datalog::eval::{evaluate, EdbView, Evaluator, IdSource};
+use inverda_datalog::{DatalogError, RuleSet};
+use inverda_storage::{Key, Relation, Row, Storage};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Read view over the whole versioned database under one materialization
+/// schema. Caches resolved relations for the lifetime of the view (one
+/// statement / one propagation step).
+pub struct VersionedEdb<'a> {
+    genealogy: &'a Genealogy,
+    materialization: &'a MaterializationSchema,
+    storage: &'a Storage,
+    ids: &'a dyn IdSource,
+    /// rel name → table version (for virtual resolution).
+    rel_index: BTreeMap<String, TableVersionId>,
+    /// aux rel name → (owning SMO, lives on target side). A non-physical
+    /// aux table is part of the *derived* state of its side and resolves
+    /// through the owning SMO's mapping.
+    aux_index: BTreeMap<String, (inverda_catalog::SmoId, bool)>,
+    /// rel name → column names (for derived relation schemas).
+    head_columns: BTreeMap<String, Vec<String>>,
+    cache: RefCell<BTreeMap<String, Arc<Relation>>>,
+    key_cache: RefCell<BTreeMap<(String, Key), Option<Row>>>,
+}
+
+impl<'a> VersionedEdb<'a> {
+    /// Build a view for the given catalog state.
+    pub fn new(
+        genealogy: &'a Genealogy,
+        materialization: &'a MaterializationSchema,
+        storage: &'a Storage,
+        ids: &'a dyn IdSource,
+    ) -> Self {
+        let mut rel_index = BTreeMap::new();
+        let mut aux_index = BTreeMap::new();
+        let mut head_columns = BTreeMap::new();
+        for tv in genealogy.table_versions() {
+            rel_index.insert(tv.rel.clone(), tv.id);
+            head_columns.insert(tv.rel.clone(), tv.columns.clone());
+        }
+        for smo in genealogy.smos() {
+            for aux in &smo.derived.src_aux {
+                aux_index.insert(aux.rel.clone(), (smo.id, false));
+            }
+            for aux in &smo.derived.tgt_aux {
+                aux_index.insert(aux.rel.clone(), (smo.id, true));
+            }
+            for aux in smo.derived.all_aux() {
+                head_columns.insert(aux.rel.clone(), aux.columns.clone());
+            }
+            for shared in &smo.derived.shared_aux {
+                head_columns.insert(shared.new_name.clone(), shared.table.columns.clone());
+            }
+        }
+        VersionedEdb {
+            genealogy,
+            materialization,
+            storage,
+            ids,
+            rel_index,
+            aux_index,
+            head_columns,
+            cache: RefCell::new(BTreeMap::new()),
+            key_cache: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Column-name map for derived heads (shared with the delta engine).
+    pub fn head_columns(&self) -> &BTreeMap<String, Vec<String>> {
+        &self.head_columns
+    }
+
+    /// The mapping that defines a virtual table version, together with the
+    /// head name to extract: γ_src of the materialized outgoing SMO
+    /// (forwards) or γ_tgt of the virtualized incoming SMO (backwards).
+    fn defining_rules(&self, tv: TableVersionId) -> Option<&'a RuleSet> {
+        match self.materialization.storage_of(self.genealogy, tv) {
+            StorageCase::Local => None,
+            StorageCase::Forward(m) => Some(&self.genealogy.smo(m).derived.to_src),
+            StorageCase::Backward(m) => Some(&self.genealogy.smo(m).derived.to_tgt),
+        }
+    }
+
+    fn resolve_with(&self, relation: &str, rules: &RuleSet) -> Result<Arc<Relation>> {
+        let out = evaluate(rules, self, self.ids, &self.head_columns)
+            .map_err(crate::CoreError::from)?;
+        let mut cache = self.cache.borrow_mut();
+        let mut requested = None;
+        for (head, rel) in out {
+            // Cache sibling heads too — one evaluation serves every output
+            // of the defining SMO: the side's table versions and its
+            // (virtual) aux tables. Shared `@new` heads describe the next
+            // physical state, not current state, and intermediate heads
+            // (Sn, Ro, …) are artifacts — skip both.
+            if self.rel_index.contains_key(&head)
+                || (self.aux_index.contains_key(&head) && !self.storage.has_table(&head))
+            {
+                let shared = Arc::new(rel);
+                if head == relation {
+                    requested = Some(Arc::clone(&shared));
+                }
+                cache.insert(head, shared);
+            }
+        }
+        match requested {
+            Some(rel) => Ok(rel),
+            // An aux table the mapping derives no rules for is empty by
+            // construction (e.g. the single-arm split's R⁻, which has no
+            // second twin to lose).
+            None if self.aux_index.contains_key(relation) => {
+                let columns = self
+                    .head_columns
+                    .get(relation)
+                    .cloned()
+                    .unwrap_or_default();
+                let empty = Arc::new(Relation::new(
+                    inverda_storage::TableSchema::new(relation.to_string(), columns)
+                        .expect("valid aux schema"),
+                ));
+                cache.insert(relation.to_string(), Arc::clone(&empty));
+                Ok(empty)
+            }
+            None => Err(crate::CoreError::from(DatalogError::UnboundRelation {
+                relation: relation.to_string(),
+            })),
+        }
+    }
+
+    fn resolve_virtual(&self, relation: &str, tv: TableVersionId) -> Result<Arc<Relation>> {
+        let rules = self
+            .defining_rules(tv)
+            .expect("virtual table version must have defining rules");
+        self.resolve_with(relation, rules)
+    }
+
+    /// Resolve a non-physical aux table: it is part of its side's derived
+    /// state, so evaluate the mapping *toward* that side.
+    fn resolve_virtual_aux(
+        &self,
+        relation: &str,
+        smo: inverda_catalog::SmoId,
+        tgt_side: bool,
+    ) -> Result<Arc<Relation>> {
+        let inst = self.genealogy.smo(smo);
+        let rules = if tgt_side {
+            &inst.derived.to_tgt
+        } else {
+            &inst.derived.to_src
+        };
+        self.resolve_with(relation, rules)
+    }
+}
+
+/// Whether a rule set consumes its own heads (old/new staging).
+pub fn staged(rules: &RuleSet) -> bool {
+    let heads: std::collections::BTreeSet<String> =
+        rules.head_relations().into_iter().collect();
+    rules
+        .rules
+        .iter()
+        .any(|r| r.body_relations().iter().any(|rel| heads.contains(*rel)))
+}
+
+impl EdbView for VersionedEdb<'_> {
+    fn full(&self, relation: &str) -> inverda_datalog::Result<Arc<Relation>> {
+        if let Some(hit) = self.cache.borrow().get(relation) {
+            return Ok(Arc::clone(hit));
+        }
+        // Physical tables (data tables in P, aux tables, shared aux).
+        if self.storage.has_table(relation) {
+            let rel = self
+                .storage
+                .snapshot(relation)
+                .map_err(DatalogError::Storage)?;
+            let shared = Arc::new(rel);
+            self.cache
+                .borrow_mut()
+                .insert(relation.to_string(), Arc::clone(&shared));
+            return Ok(shared);
+        }
+        // Virtual table versions and virtual aux tables.
+        let resolved = if let Some(tv) = self.rel_index.get(relation).copied() {
+            self.resolve_virtual(relation, tv)
+        } else if let Some((smo, tgt_side)) = self.aux_index.get(relation).copied() {
+            self.resolve_virtual_aux(relation, smo, tgt_side)
+        } else {
+            return Err(DatalogError::UnboundRelation {
+                relation: relation.to_string(),
+            });
+        };
+        resolved.map_err(|e| match e {
+            crate::CoreError::Datalog(d) => d,
+            other => DatalogError::UnboundRelation {
+                relation: format!("{relation} ({other})"),
+            },
+        })
+    }
+
+    fn by_key(&self, relation: &str, key: Key) -> inverda_datalog::Result<Option<Row>> {
+        if let Some(hit) = self.cache.borrow().get(relation) {
+            return Ok(hit.get(key).cloned());
+        }
+        if let Some(hit) = self.key_cache.borrow().get(&(relation.to_string(), key)) {
+            return Ok(hit.clone());
+        }
+        if self.storage.has_table(relation) {
+            let row = self
+                .storage
+                .with_table(relation, |rel| rel.get(key).cloned())
+                .map_err(DatalogError::Storage)?;
+            return Ok(row);
+        }
+        let Some(tv) = self.rel_index.get(relation).copied() else {
+            // Virtual aux tables resolve through their full state.
+            if self.aux_index.contains_key(relation) {
+                return Ok(self.full(relation)?.get(key).cloned());
+            }
+            return Err(DatalogError::UnboundRelation {
+                relation: relation.to_string(),
+            });
+        };
+        let Some(rules) = self.defining_rules(tv) else {
+            return Err(DatalogError::UnboundRelation {
+                relation: relation.to_string(),
+            });
+        };
+        // Staged rule sets (the id-generating SMOs) consume their own
+        // intermediate heads, which are not resolvable relations — fall back
+        // to full resolution for them.
+        if staged(rules) {
+            return Ok(self.full(relation)?.get(key).cloned());
+        }
+        // Push the key through the defining mapping.
+        let mut ev = Evaluator::new(self, self.ids);
+        let row = ev.head_row_for_key(rules, relation, key)?;
+        self.key_cache
+            .borrow_mut()
+            .insert((relation.to_string(), key), row.clone());
+        Ok(row)
+    }
+
+    fn contains(&self, relation: &str) -> bool {
+        self.storage.has_table(relation) || self.rel_index.contains_key(relation)
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the InVerDa engine.
+
+use inverda_bidel::BidelError;
+use inverda_catalog::CatalogError;
+use inverda_datalog::DatalogError;
+use inverda_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by InVerDa operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Storage-level failure.
+    Storage(StorageError),
+    /// Rule evaluation / propagation failure.
+    Datalog(DatalogError),
+    /// BiDEL parse or semantics failure.
+    Bidel(BidelError),
+    /// Catalog failure.
+    Catalog(CatalogError),
+    /// Write addressed a row that does not exist in the versioned view.
+    MissingRow {
+        /// Schema version addressed.
+        version: String,
+        /// Table addressed.
+        table: String,
+        /// Missing key.
+        key: u64,
+    },
+    /// Bad MATERIALIZE target syntax.
+    BadMaterializeTarget {
+        /// The offending target string.
+        target: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Datalog(e) => write!(f, "{e}"),
+            CoreError::Bidel(e) => write!(f, "{e}"),
+            CoreError::Catalog(e) => write!(f, "{e}"),
+            CoreError::MissingRow {
+                version,
+                table,
+                key,
+            } => write!(f, "no row #{key} in {version}.{table}"),
+            CoreError::BadMaterializeTarget { target } => {
+                write!(f, "bad MATERIALIZE target '{target}' (expected 'Version' or 'Version.table')")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<DatalogError> for CoreError {
+    fn from(e: DatalogError) -> Self {
+        CoreError::Datalog(e)
+    }
+}
+
+impl From<BidelError> for CoreError {
+    fn from(e: BidelError) -> Self {
+        CoreError::Bidel(e)
+    }
+}
+
+impl From<CatalogError> for CoreError {
+    fn from(e: CatalogError) -> Self {
+        CoreError::Catalog(e)
+    }
+}

@@ -1,0 +1,522 @@
+//! Write propagation: the engine-side equivalent of the generated triggers.
+//!
+//! A logical write on `version.table` becomes a [`Delta`] on that table
+//! version and is pushed, hop by hop, toward the physical storage:
+//!
+//! * **Case 1 (local)** — applied to the physical data table directly;
+//! * **Case 2 (forwards)** — mapped through γ_tgt of the materialized
+//!   outgoing SMO onto the target-side tables (data, auxiliary, shared);
+//! * **Case 3 (backwards)** — mapped through γ_src of the virtualized
+//!   incoming SMO onto the source side.
+//!
+//! At each hop the mapping's update-propagation rules produce exact deltas
+//! for *all* relations of the destination side, including the auxiliary
+//! tables that preserve otherwise-lost information (lost twins, separated
+//! twins, condition violators, computed values, generated identifiers).
+//!
+//! Deletes additionally purge key-matching rows from the physical auxiliary
+//! tables of *adjacent* SMOs that the propagation path does not traverse:
+//! the paper's laws only constrain round trips of states, and without the
+//! purge a separated twin recorded in `S⁺` would resurrect a tuple deleted
+//! through the side that physically stores it (see DESIGN.md).
+
+use crate::database::{Inverda, State, WritePath};
+use crate::edb::VersionedEdb;
+use crate::error::CoreError;
+use crate::Result;
+use inverda_catalog::{SmoId, StorageCase, TableVersionId};
+use inverda_datalog::delta::{propagate, propagate_by_recompute, Delta, DeltaMap};
+use inverda_storage::{Key, Row, Value, WriteBatch};
+use std::collections::BTreeMap;
+
+impl Inverda {
+    /// Insert a row into `version.table`; returns the InVerDa identifier.
+    pub fn insert(&self, version: &str, table: &str, row: Vec<Value>) -> Result<Key> {
+        Ok(self.insert_many(version, table, vec![row])?[0])
+    }
+
+    /// Insert many rows in one propagation round (bulk load).
+    pub fn insert_many(
+        &self,
+        version: &str,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Vec<Key>> {
+        let _guard = self.write_lock.lock();
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        let arity = state.genealogy.table_version(tv).columns.len();
+        let mut delta = Delta::new();
+        let mut keys = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != arity {
+                return Err(CoreError::Storage(
+                    inverda_storage::StorageError::ArityMismatch {
+                        table: table.to_string(),
+                        expected: arity,
+                        got: row.len(),
+                    },
+                ));
+            }
+            let key = self.storage.sequences().next_key();
+            delta.inserts.insert(key, row);
+            keys.push(key);
+        }
+        self.apply_logical(&state, tv, delta)?;
+        Ok(keys)
+    }
+
+    /// Replace the row under `key` in `version.table`.
+    pub fn update(&self, version: &str, table: &str, key: Key, row: Vec<Value>) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        let old = self.current_row(&state, tv, key)?.ok_or(CoreError::MissingRow {
+            version: version.to_string(),
+            table: table.to_string(),
+            key: key.0,
+        })?;
+        if old == row {
+            return Ok(());
+        }
+        self.apply_logical(&state, tv, Delta::update(key, old, row))
+    }
+
+    /// Delete the row under `key` from `version.table`.
+    pub fn delete(&self, version: &str, table: &str, key: Key) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let state = self.state.read();
+        let tv = state.genealogy.resolve(version, table)?;
+        let old = self.current_row(&state, tv, key)?.ok_or(CoreError::MissingRow {
+            version: version.to_string(),
+            table: table.to_string(),
+            key: key.0,
+        })?;
+        self.apply_logical(&state, tv, Delta::delete(key, old))
+    }
+
+    fn current_row(&self, state: &State, tv: TableVersionId, key: Key) -> Result<Option<Row>> {
+        let rel = state.genealogy.table_version(tv).rel.clone();
+        let ids = self.id_source();
+        let edb = VersionedEdb::new(
+            &state.genealogy,
+            &state.materialization,
+            &self.storage,
+            &ids,
+        );
+        use inverda_datalog::eval::EdbView;
+        Ok(edb.by_key(&rel, key)?)
+    }
+
+    /// Propagate a logical delta on a table version to physical storage and
+    /// apply it atomically.
+    pub(crate) fn apply_logical(
+        &self,
+        state: &State,
+        tv: TableVersionId,
+        delta: Delta,
+    ) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        {
+            let ids = self.id_source();
+            let edb = VersionedEdb::new(
+                &state.genealogy,
+                &state.materialization,
+                &self.storage,
+                &ids,
+            );
+            let mut pending: BTreeMap<TableVersionId, (Delta, Option<SmoId>)> = BTreeMap::new();
+            pending.insert(tv, (delta, None));
+            self.drain(state, &edb, &mut pending, &mut batch)?;
+        }
+        self.storage.apply(&batch)?;
+        Ok(())
+    }
+
+    /// Process pending per-table-version deltas until all reach physical
+    /// storage. Deltas heading through the same SMO hop are combined so
+    /// multi-source SMOs (MERGE, JOIN) see all their changed inputs at once.
+    fn drain(
+        &self,
+        state: &State,
+        edb: &VersionedEdb<'_>,
+        pending: &mut BTreeMap<TableVersionId, (Delta, Option<SmoId>)>,
+        batch: &mut WriteBatch,
+    ) -> Result<()> {
+        let g = &state.genealogy;
+        let m = &state.materialization;
+        // Relations whose rows persist generator assignments: applying a
+        // delta to them must keep the skolem registry in sync, or a later
+        // occurrence of a replaced payload would reuse a repurposed id.
+        let hint_map: BTreeMap<&str, &str> = g
+            .smos()
+            .flat_map(|s| {
+                s.derived
+                    .observe_hints
+                    .iter()
+                    .map(|h| (h.relation.as_str(), h.generator.as_str()))
+            })
+            .collect();
+        while let Some((&tv, _)) = pending.iter().next() {
+            let case = m.storage_of(g, tv);
+            match case {
+                StorageCase::Local => {
+                    let (delta, arrived) = pending.remove(&tv).expect("present");
+                    let rel = g.table_version(tv).rel.clone();
+                    self.purge_sibling_aux(state, tv, &delta, arrived, None, batch);
+                    if let Some(generator) = hint_map.get(rel.as_str()) {
+                        self.sync_registry(generator, &delta);
+                    }
+                    apply_delta_physically(&rel, &delta, batch);
+                }
+                StorageCase::Forward(smo) | StorageCase::Backward(smo) => {
+                    // Gather every pending delta that departs through `smo`.
+                    let departing: Vec<TableVersionId> = pending
+                        .iter()
+                        .filter(|(id, _)| match m.storage_of(g, **id) {
+                            StorageCase::Forward(s) | StorageCase::Backward(s) => s == smo,
+                            StorageCase::Local => false,
+                        })
+                        .map(|(id, _)| *id)
+                        .collect();
+                    let inst = g.smo(smo);
+                    let forwards = matches!(case, StorageCase::Forward(_));
+                    let rules = if forwards {
+                        &inst.derived.to_tgt
+                    } else {
+                        &inst.derived.to_src
+                    };
+                    let mut input = DeltaMap::new();
+                    for id in &departing {
+                        let (delta, arrived) = pending.remove(id).expect("present");
+                        self.purge_sibling_aux(state, *id, &delta, arrived, Some(smo), batch);
+                        input.insert(g.table_version(*id).rel.clone(), delta);
+                    }
+                    let ids = self.id_source();
+                    let head_deltas = match state.write_path {
+                        WritePath::Delta => {
+                            propagate(rules, edb, &input, &ids, edb.head_columns())?
+                        }
+                        WritePath::Recompute => propagate_by_recompute(
+                            rules,
+                            edb,
+                            &input,
+                            &ids,
+                            edb.head_columns(),
+                        )?,
+                    };
+                    // Distribute: data heads continue; aux and shared heads
+                    // are physical on the destination side.
+                    let next_data = if forwards {
+                        inst.derived.tgt_data.iter().zip(inst.targets.iter())
+                    } else {
+                        inst.derived.src_data.iter().zip(inst.sources.iter())
+                    };
+                    let next_index: BTreeMap<&str, TableVersionId> = next_data
+                        .map(|(t, id)| (t.rel.as_str(), *id))
+                        .collect();
+                    let aux_side = if forwards {
+                        &inst.derived.tgt_aux
+                    } else {
+                        &inst.derived.src_aux
+                    };
+                    for (rel, d) in head_deltas {
+                        if d.is_empty() {
+                            continue;
+                        }
+                        if let Some(next_tv) = next_index.get(rel.as_str()) {
+                            match pending.get_mut(next_tv) {
+                                Some((existing, _)) => existing.merge(&d),
+                                None => {
+                                    pending.insert(*next_tv, (d, Some(smo)));
+                                }
+                            }
+                            continue;
+                        }
+                        if let Some(shared) = inst
+                            .derived
+                            .shared_aux
+                            .iter()
+                            .find(|s| s.new_name == rel)
+                        {
+                            apply_delta_physically(&shared.table.rel, &d, batch);
+                            continue;
+                        }
+                        if aux_side.iter().any(|a| a.rel == rel) {
+                            apply_delta_physically(&rel, &d, batch);
+                        }
+                        // Intermediate heads (Sn, Tn, Ro, …) are discarded.
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Keep the skolem registry consistent with a physical id-bearing
+    /// relation: replaced payloads are forgotten, new payloads recorded.
+    fn sync_registry(&self, generator: &str, delta: &Delta) {
+        let mut reg = self.ids.0.lock();
+        for row in delta.deletes.values() {
+            reg.unobserve(generator, row);
+        }
+        for (key, row) in &delta.inserts {
+            reg.observe(generator, row, key.0);
+        }
+    }
+
+    /// Purge key-matching rows of physical auxiliary tables of SMOs adjacent
+    /// to `tv` that the propagation neither arrived through nor departs
+    /// through. Only pure deletes purge — updates keep twins separated.
+    fn purge_sibling_aux(
+        &self,
+        state: &State,
+        tv: TableVersionId,
+        delta: &Delta,
+        arrived: Option<SmoId>,
+        departing: Option<SmoId>,
+        batch: &mut WriteBatch,
+    ) {
+        let g = &state.genealogy;
+        let m = &state.materialization;
+        let deleted: Vec<Key> = delta
+            .deletes
+            .keys()
+            .filter(|k| !delta.inserts.contains_key(k))
+            .copied()
+            .collect();
+        if deleted.is_empty() {
+            return;
+        }
+        let mut adjacent: Vec<SmoId> = vec![g.incoming(tv)];
+        adjacent.extend(g.outgoing(tv).iter().copied());
+        for smo in adjacent {
+            if Some(smo) == arrived || Some(smo) == departing {
+                continue;
+            }
+            let inst = g.smo(smo);
+            if !inst.moves_data() {
+                continue;
+            }
+            // Physical aux of this SMO under the current materialization.
+            let aux = if m.is_materialized(g, smo) {
+                &inst.derived.tgt_aux
+            } else {
+                &inst.derived.src_aux
+            };
+            for a in aux.iter().chain(inst.derived.shared_aux.iter().map(|s| &s.table)) {
+                for k in &deleted {
+                    batch.delete_if_present(a.rel.clone(), *k);
+                }
+            }
+        }
+    }
+}
+
+/// Turn a delta into physical write ops (tolerant: propagation is exact,
+/// but aux purges may have removed rows already).
+fn apply_delta_physically(rel: &str, delta: &Delta, batch: &mut WriteBatch) {
+    for key in delta.deletes.keys() {
+        if !delta.inserts.contains_key(key) {
+            batch.delete_if_present(rel.to_string(), *key);
+        }
+    }
+    for (key, row) in &delta.inserts {
+        batch.upsert(rel.to_string(), *key, row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_storage::Value;
+
+    fn tasky_full() -> Inverda {
+        let db = Inverda::new();
+        db.execute(
+            "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
+             CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+               SPLIT TABLE Task INTO Todo WITH prio = 1; \
+               DROP COLUMN prio FROM Todo DEFAULT 1; \
+             CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH \
+               DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author; \
+               RENAME COLUMN author IN Author TO name;",
+        )
+        .unwrap();
+        db
+    }
+
+    fn seed(db: &Inverda) -> Vec<Key> {
+        // Figure 1's data set.
+        db.insert_many(
+            "TasKy",
+            "Task",
+            vec![
+                vec!["Ann".into(), "Organize party".into(), 3.into()],
+                vec!["Ben".into(), "Learn for exam".into(), 2.into()],
+                vec!["Ann".into(), "Write paper".into(), 1.into()],
+                vec!["Ben".into(), "Clean room".into(), 1.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_1_views_from_initial_materialization() {
+        let db = tasky_full();
+        let keys = seed(&db);
+        // TasKy sees all 4 tasks.
+        assert_eq!(db.count("TasKy", "Task").unwrap(), 4);
+        // Do! sees the two prio-1 tasks, without the prio column.
+        let todo = db.scan("Do!", "Todo").unwrap();
+        assert_eq!(todo.len(), 2);
+        assert!(todo.contains_key(keys[2]));
+        assert!(todo.contains_key(keys[3]));
+        assert_eq!(
+            todo.get(keys[2]).unwrap(),
+            &vec![Value::text("Ann"), Value::text("Write paper")]
+        );
+        // TasKy2: 4 tasks with fk, 2 authors.
+        let task2 = db.scan("TasKy2", "Task").unwrap();
+        assert_eq!(task2.len(), 4);
+        let authors = db.scan("TasKy2", "Author").unwrap();
+        assert_eq!(authors.len(), 2);
+        // Tasks reference author ids that exist in Author.
+        for (_, row) in task2.iter() {
+            let fk = row[2].clone();
+            let fk_key = match fk {
+                Value::Int(i) => Key(i as u64),
+                other => panic!("non-id fk {other}"),
+            };
+            assert!(authors.contains_key(fk_key), "dangling fk {fk_key}");
+        }
+    }
+
+    #[test]
+    fn writes_in_do_propagate_backwards() {
+        // "When a new entry is inserted in Todo, this will automatically
+        // insert a corresponding task with priority 1 to Task in TasKy."
+        let db = tasky_full();
+        seed(&db);
+        let k = db
+            .insert("Do!", "Todo", vec!["Eve".into(), "New task".into()])
+            .unwrap();
+        let task = db.scan("TasKy", "Task").unwrap();
+        assert_eq!(
+            task.get(k).unwrap(),
+            &vec![
+                Value::text("Eve"),
+                Value::text("New task"),
+                Value::Int(1)
+            ]
+        );
+        // And it is visible in TasKy2 as well.
+        assert!(db.scan("TasKy2", "Task").unwrap().contains_key(k));
+
+        // Updates and deletes propagate too.
+        db.update("Do!", "Todo", k, vec!["Eve".into(), "Edited".into()])
+            .unwrap();
+        assert_eq!(
+            db.get("TasKy", "Task", k).unwrap().unwrap()[1],
+            Value::text("Edited")
+        );
+        db.delete("Do!", "Todo", k).unwrap();
+        assert!(db.get("TasKy", "Task", k).unwrap().is_none());
+        assert!(db.get("TasKy2", "Task", k).unwrap().is_none());
+    }
+
+    #[test]
+    fn writes_in_tasky2_propagate_backwards_through_fk_decompose() {
+        let db = tasky_full();
+        seed(&db);
+        let authors = db.scan("TasKy2", "Author").unwrap();
+        let ann_id = authors
+            .iter()
+            .find(|(_, row)| row[0] == Value::text("Ann"))
+            .map(|(k, _)| k)
+            .unwrap();
+        // Insert a task for the existing author Ann through TasKy2.
+        let k = db
+            .insert(
+                "TasKy2",
+                "Task",
+                vec!["Fix bug".into(), 2.into(), Value::Int(ann_id.0 as i64)],
+            )
+            .unwrap();
+        let row = db.get("TasKy", "Task", k).unwrap().unwrap();
+        assert_eq!(
+            row,
+            vec![Value::text("Ann"), Value::text("Fix bug"), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn update_through_tasky_changes_do_view() {
+        let db = tasky_full();
+        let keys = seed(&db);
+        // Raising prio of "Organize party" to 1 adds it to Do!.
+        db.update(
+            "TasKy",
+            "Task",
+            keys[0],
+            vec!["Ann".into(), "Organize party".into(), 1.into()],
+        )
+        .unwrap();
+        assert_eq!(db.count("Do!", "Todo").unwrap(), 3);
+        // Lowering "Write paper" to 2 removes it.
+        db.update(
+            "TasKy",
+            "Task",
+            keys[2],
+            vec!["Ann".into(), "Write paper".into(), 2.into()],
+        )
+        .unwrap();
+        assert_eq!(db.count("Do!", "Todo").unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_rows_are_reported() {
+        let db = tasky_full();
+        seed(&db);
+        assert!(matches!(
+            db.delete("Do!", "Todo", Key(99_999)),
+            Err(CoreError::MissingRow { .. })
+        ));
+        assert!(matches!(
+            db.update("TasKy", "Task", Key(99_999), vec![
+                "x".into(),
+                "y".into(),
+                1.into()
+            ]),
+            Err(CoreError::MissingRow { .. })
+        ));
+    }
+
+    #[test]
+    fn recompute_path_agrees_with_delta_path() {
+        let run = |path: WritePath| {
+            let db = tasky_full();
+            db.set_write_path(path);
+            let keys = seed(&db);
+            db.insert("Do!", "Todo", vec!["Eve".into(), "t5".into()])
+                .unwrap();
+            db.update(
+                "TasKy",
+                "Task",
+                keys[0],
+                vec!["Ann".into(), "Organize party".into(), 1.into()],
+            )
+            .unwrap();
+            db.delete("Do!", "Todo", keys[3]).unwrap();
+            let mut out = Vec::new();
+            for (v, t) in [("TasKy", "Task"), ("Do!", "Todo"), ("TasKy2", "Task"), ("TasKy2", "Author")] {
+                let rel = db.scan(v, t).unwrap();
+                out.push(format!("{v}.{t}: {rel}"));
+            }
+            out.join("\n")
+        };
+        // Key sequences are deterministic, so the final states must match
+        // exactly between the two write paths.
+        assert_eq!(run(WritePath::Delta), run(WritePath::Recompute));
+    }
+}

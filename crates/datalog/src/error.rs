@@ -1,0 +1,82 @@
+//! Error type for the Datalog engine.
+
+use inverda_storage::StorageError;
+use std::fmt;
+
+/// Errors raised during rule evaluation, delta propagation or simplification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A body literal references a relation not bound in the EDB and not
+    /// derived by an earlier rule.
+    UnboundRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// The arity of an atom does not match the relation it addresses.
+    ArityMismatch {
+        /// Relation addressed.
+        relation: String,
+        /// Terms in the atom (including the key position).
+        atom_arity: usize,
+        /// Key + payload width of the relation.
+        relation_arity: usize,
+    },
+    /// A rule is unsafe: some literal can never be scheduled because its
+    /// variables are not bound by any positive literal.
+    UnsafeRule {
+        /// Display form of the offending rule.
+        rule: String,
+    },
+    /// Two derivations produced different payloads for the same head key —
+    /// the rule set violates the key-uniqueness design invariant.
+    KeyConflict {
+        /// Head relation.
+        relation: String,
+        /// Conflicting key.
+        key: u64,
+    },
+    /// A head key evaluated to something that is not a non-negative integer.
+    BadKey {
+        /// Head relation.
+        relation: String,
+        /// Display form of the bad value.
+        value: String,
+    },
+    /// Error bubbled up from expression evaluation / storage.
+    Storage(StorageError),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnboundRelation { relation } => {
+                write!(f, "relation '{relation}' is not bound in the EDB")
+            }
+            DatalogError::ArityMismatch {
+                relation,
+                atom_arity,
+                relation_arity,
+            } => write!(
+                f,
+                "atom over '{relation}' has {atom_arity} terms but the relation has arity {relation_arity}"
+            ),
+            DatalogError::UnsafeRule { rule } => write!(f, "unsafe rule: {rule}"),
+            DatalogError::KeyConflict { relation, key } => write!(
+                f,
+                "conflicting derivations for key #{key} in head relation '{relation}'"
+            ),
+            DatalogError::BadKey { relation, value } => {
+                write!(f, "head key of '{relation}' evaluated to non-key value {value}")
+            }
+            DatalogError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<StorageError> for DatalogError {
+    fn from(e: StorageError) -> Self {
+        DatalogError::Storage(e)
+    }
+}

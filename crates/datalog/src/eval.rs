@@ -1,0 +1,909 @@
+//! Staged, non-recursive rule evaluation.
+//!
+//! Evaluation follows the paper's reading of a rule set: rules are processed
+//! in order; each rule's body is matched against the EDB *plus* all heads
+//! derived by earlier rules (which realizes the `old`/`new` staging of the
+//! id-generating SMOs). Derived heads shadow EDB relations of the same name.
+//!
+//! Two entry points:
+//!
+//! * [`evaluate`] — full bottom-up evaluation of a rule set;
+//! * [`Evaluator::head_row_for_key`] — key-seeded evaluation used by the
+//!   delta engine and by lazy view expansion: computes the single row a head
+//!   relation derives for one key, pushing the key binding into body atoms
+//!   (the engine-side analogue of a DBMS optimizer pushing a key predicate
+//!   into a generated view).
+
+use crate::ast::{Atom, Literal, Rule, RuleSet, Term};
+use crate::error::DatalogError;
+use crate::skolem::SkolemRegistry;
+use crate::Result;
+use inverda_storage::{Key, Relation, Row, RowContext, TableSchema, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Read access to the extensional database during evaluation.
+///
+/// Implementations may serve relations lazily — the InVerDa core resolves
+/// *virtual* table versions through SMO mappings on demand, so a key lookup
+/// on a virtual relation need not materialize the whole relation. Relations
+/// are returned as `Arc` so repeated `full` calls stay cheap.
+pub trait EdbView {
+    /// Full state of the relation.
+    fn full(&self, relation: &str) -> Result<Arc<Relation>>;
+
+    /// The row stored under `key`, if any.
+    fn by_key(&self, relation: &str, key: Key) -> Result<Option<Row>> {
+        Ok(self.full(relation)?.get(key).cloned())
+    }
+
+    /// Whether the relation is served by this view.
+    fn contains(&self, relation: &str) -> bool;
+}
+
+/// A source of memoized skolem identifiers usable behind a shared reference
+/// (rule evaluation happens on read paths too, which may mint fresh ids for
+/// new payloads).
+pub trait IdSource {
+    /// The id for `(generator, args)`, minted on first use.
+    fn generate(&self, generator: &str, args: &[Value]) -> u64;
+}
+
+impl IdSource for RefCell<SkolemRegistry> {
+    fn generate(&self, generator: &str, args: &[Value]) -> u64 {
+        self.borrow_mut().get_or_create(generator, args)
+    }
+}
+
+/// A plain map-backed EDB.
+#[derive(Debug, Clone, Default)]
+pub struct MapEdb(pub BTreeMap<String, Arc<Relation>>);
+
+impl MapEdb {
+    /// Empty EDB.
+    pub fn new() -> Self {
+        MapEdb(BTreeMap::new())
+    }
+
+    /// Insert a relation under its own name.
+    pub fn add(&mut self, rel: Relation) -> &mut Self {
+        self.0.insert(rel.name().to_string(), Arc::new(rel));
+        self
+    }
+
+    /// Insert a shared relation under the given name.
+    pub fn add_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) -> &mut Self {
+        self.0.insert(name.into(), rel);
+        self
+    }
+}
+
+impl EdbView for MapEdb {
+    fn full(&self, relation: &str) -> Result<Arc<Relation>> {
+        self.0
+            .get(relation)
+            .cloned()
+            .ok_or_else(|| DatalogError::UnboundRelation {
+                relation: relation.to_string(),
+            })
+    }
+
+    fn by_key(&self, relation: &str, key: Key) -> Result<Option<Row>> {
+        match self.0.get(relation) {
+            Some(rel) => Ok(rel.get(key).cloned()),
+            None => Err(DatalogError::UnboundRelation {
+                relation: relation.to_string(),
+            }),
+        }
+    }
+
+    fn contains(&self, relation: &str) -> bool {
+        self.0.contains_key(relation)
+    }
+}
+
+/// Variable bindings during rule evaluation.
+pub type Bindings = BTreeMap<String, Value>;
+
+struct BindingsCtx<'a>(&'a Bindings);
+
+impl RowContext for BindingsCtx<'_> {
+    fn value_of(&self, column: &str) -> Option<Value> {
+        self.0.get(column).cloned()
+    }
+}
+
+/// Convert a key to its binding value.
+pub fn key_value(key: Key) -> Value {
+    Value::Int(key.0 as i64)
+}
+
+/// Convert a binding value back to a key.
+pub fn value_key(relation: &str, v: &Value) -> Result<Key> {
+    match v {
+        Value::Int(i) if *i >= 0 => Ok(Key(*i as u64)),
+        other => Err(DatalogError::BadKey {
+            relation: relation.to_string(),
+            value: other.to_string(),
+        }),
+    }
+}
+
+/// Evaluate a rule set bottom-up against an EDB.
+///
+/// Returns the derived relations keyed by head name. `head_columns` supplies
+/// column names for derived relations; heads without an entry get synthetic
+/// positional names (`c0`, `c1`, …).
+pub fn evaluate(
+    rules: &RuleSet,
+    edb: &dyn EdbView,
+    ids: &dyn IdSource,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<BTreeMap<String, Relation>> {
+    let mut ev = Evaluator::new(edb, ids);
+    for rule in &rules.rules {
+        ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
+        let results = ev.eval_rule(rule, None, &Bindings::new())?;
+        for bindings in results {
+            ev.emit(rule, &bindings)?;
+        }
+    }
+    Ok(ev.derived)
+}
+
+/// The evaluation engine. Holds derived heads (which shadow the EDB) and a
+/// memo for key-seeded head evaluation.
+pub struct Evaluator<'a> {
+    edb: &'a dyn EdbView,
+    ids: &'a dyn IdSource,
+    /// Fully evaluated heads (full evaluation mode).
+    pub derived: BTreeMap<String, Relation>,
+    by_key_memo: BTreeMap<(String, Key), Option<Row>>,
+}
+
+enum RelHandle<'a> {
+    Borrowed(&'a Relation),
+    Shared(Arc<Relation>),
+}
+
+impl std::ops::Deref for RelHandle<'_> {
+    type Target = Relation;
+
+    fn deref(&self) -> &Relation {
+        match self {
+            RelHandle::Borrowed(r) => r,
+            RelHandle::Shared(r) => r,
+        }
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// New evaluator over an EDB.
+    pub fn new(edb: &'a dyn EdbView, ids: &'a dyn IdSource) -> Self {
+        Evaluator {
+            edb,
+            ids,
+            derived: BTreeMap::new(),
+            by_key_memo: BTreeMap::new(),
+        }
+    }
+
+    fn ensure_head(
+        &mut self,
+        head: &str,
+        arity: usize,
+        head_columns: &BTreeMap<String, Vec<String>>,
+    ) {
+        if !self.derived.contains_key(head) {
+            let columns: Vec<String> = match head_columns.get(head) {
+                Some(cols) => cols.clone(),
+                None => (0..arity).map(|i| format!("c{i}")).collect(),
+            };
+            let schema = TableSchema::new(head.to_string(), columns).expect("unique columns");
+            self.derived.insert(head.to_string(), Relation::new(schema));
+        }
+    }
+
+    /// Add the head tuple induced by complete `bindings` to the derived head.
+    fn emit(&mut self, rule: &Rule, bindings: &Bindings) -> Result<()> {
+        let (key, row) = head_tuple(rule, bindings)?;
+        let rel = self
+            .derived
+            .get_mut(&rule.head.relation)
+            .expect("head relation pre-created");
+        match rel.get(key) {
+            Some(existing) if *existing == row => Ok(()),
+            Some(_) => Err(DatalogError::KeyConflict {
+                relation: rule.head.relation.clone(),
+                key: key.0,
+            }),
+            None => {
+                rel.upsert(key, row).map_err(DatalogError::from)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve a relation for matching: derived heads shadow the EDB.
+    fn relation_full(&self, name: &str) -> Result<RelHandle<'_>> {
+        if let Some(rel) = self.derived.get(name) {
+            return Ok(RelHandle::Borrowed(rel));
+        }
+        Ok(RelHandle::Shared(self.edb.full(name)?))
+    }
+
+    fn relation_by_key(&self, name: &str, key: Key) -> Result<Option<Row>> {
+        if let Some(rel) = self.derived.get(name) {
+            return Ok(rel.get(key).cloned());
+        }
+        self.edb.by_key(name, key)
+    }
+
+    /// All bindings satisfying the rule body, with `skip` (a body literal
+    /// index) excluded and `seed` pre-bound. Returns complete binding sets
+    /// (every rule variable bound).
+    pub fn eval_rule(
+        &mut self,
+        rule: &Rule,
+        skip: Option<usize>,
+        seed: &Bindings,
+    ) -> Result<Vec<Bindings>> {
+        let order = schedule(rule, skip, seed)?;
+        let mut results = Vec::new();
+        self.join(rule, &order, 0, seed.clone(), &mut results)?;
+        Ok(results)
+    }
+
+    fn join(
+        &mut self,
+        rule: &Rule,
+        order: &[usize],
+        depth: usize,
+        bindings: Bindings,
+        out: &mut Vec<Bindings>,
+    ) -> Result<()> {
+        if depth == order.len() {
+            out.push(bindings);
+            return Ok(());
+        }
+        let lit = &rule.body[order[depth]];
+        match lit {
+            Literal::Pos(atom) => {
+                let matches = self.match_atom(atom, &bindings)?;
+                for b in matches {
+                    self.join(rule, order, depth + 1, b, out)?;
+                }
+            }
+            Literal::Neg(atom) => {
+                if !self.atom_has_match(atom, &bindings)? {
+                    self.join(rule, order, depth + 1, bindings, out)?;
+                }
+            }
+            Literal::Cond(expr) => {
+                if expr.matches(&BindingsCtx(&bindings)).map_err(DatalogError::from)? {
+                    self.join(rule, order, depth + 1, bindings, out)?;
+                }
+            }
+            Literal::Assign { var, expr } => {
+                let v = expr.eval(&BindingsCtx(&bindings)).map_err(DatalogError::from)?;
+                match bindings.get(var) {
+                    Some(bound) if *bound == v => {
+                        self.join(rule, order, depth + 1, bindings, out)?
+                    }
+                    Some(_) => {} // equality check failed
+                    None => {
+                        let mut b = bindings;
+                        b.insert(var.clone(), v);
+                        self.join(rule, order, depth + 1, b, out)?;
+                    }
+                }
+            }
+            Literal::Skolem {
+                var,
+                generator,
+                args,
+            } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for t in args {
+                    match t {
+                        Term::Var(name) => match bindings.get(name) {
+                            Some(v) => vals.push(v.clone()),
+                            None => {
+                                return Err(DatalogError::UnsafeRule {
+                                    rule: rule.to_string(),
+                                })
+                            }
+                        },
+                        Term::Const(c) => vals.push(c.clone()),
+                        Term::Anon => {
+                            return Err(DatalogError::UnsafeRule {
+                                rule: rule.to_string(),
+                            })
+                        }
+                    }
+                }
+                let id = self.ids.generate(generator, &vals);
+                let v = Value::Int(id as i64);
+                match bindings.get(var) {
+                    Some(bound) if *bound == v => {
+                        self.join(rule, order, depth + 1, bindings, out)?
+                    }
+                    Some(_) => {}
+                    None => {
+                        let mut b = bindings;
+                        b.insert(var.clone(), v);
+                        self.join(rule, order, depth + 1, b, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All binding extensions matching a positive atom.
+    fn match_atom(&mut self, atom: &Atom, bindings: &Bindings) -> Result<Vec<Bindings>> {
+        // Key-bound fast path.
+        if let Some(kv) = resolved_term(&atom.terms[0], bindings) {
+            // A non-key value (e.g. NULL from an ω fk) matches nothing.
+            let Ok(key) = value_key(&atom.relation, &kv) else {
+                return Ok(Vec::new());
+            };
+            let row = self.relation_by_key(&atom.relation, key)?;
+            let mut out = Vec::new();
+            if let Some(row) = row {
+                check_arity(atom, row.len() + 1)?;
+                if let Some(b) = unify_row(atom, key, &row, bindings) {
+                    out.push(b);
+                }
+            }
+            return Ok(out);
+        }
+        let rel = self.relation_full(&atom.relation)?;
+        check_arity(atom, rel.schema().arity() + 1)?;
+        let mut out = Vec::new();
+        for (key, row) in rel.iter() {
+            if let Some(b) = unify_row(atom, key, row, bindings) {
+                out.push(b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether any tuple matches the atom under the bindings (for negation).
+    fn atom_has_match(&mut self, atom: &Atom, bindings: &Bindings) -> Result<bool> {
+        if let Some(kv) = resolved_term(&atom.terms[0], bindings) {
+            let Ok(key) = value_key(&atom.relation, &kv) else {
+                return Ok(false);
+            };
+            return Ok(match self.relation_by_key(&atom.relation, key)? {
+                Some(row) => unify_row(atom, key, &row, bindings).is_some(),
+                None => false,
+            });
+        }
+        let rel = self.relation_full(&atom.relation)?;
+        check_arity(atom, rel.schema().arity() + 1)?;
+        for (key, row) in rel.iter() {
+            if unify_row(atom, key, row, bindings).is_some() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Key-seeded evaluation: the row `head` derives for `key` under the
+    /// given rule set, or `None`. Memoized per (head, key).
+    ///
+    /// Falls back to full evaluation of the head when the key binding cannot
+    /// be pushed into a rule's body (e.g. the key is produced by a skolem
+    /// function — the id-generating SMOs).
+    pub fn head_row_for_key(
+        &mut self,
+        rules: &RuleSet,
+        head: &str,
+        key: Key,
+    ) -> Result<Option<Row>> {
+        if let Some(memo) = self.by_key_memo.get(&(head.to_string(), key)) {
+            return Ok(memo.clone());
+        }
+        // If the head was already fully derived, serve from it.
+        if let Some(rel) = self.derived.get(head) {
+            let row = rel.get(key).cloned();
+            self.by_key_memo.insert((head.to_string(), key), row.clone());
+            return Ok(row);
+        }
+        let mut found: Option<Row> = None;
+        for rule in rules.rules_for(head) {
+            let rows = match rule.head_key_var() {
+                Some(kvar) if seedable(rule, kvar) => {
+                    let mut seed = Bindings::new();
+                    seed.insert(kvar.to_string(), key_value(key));
+                    let bindings = self.eval_rule(rule, None, &seed)?;
+                    bindings
+                        .iter()
+                        .map(|b| head_tuple(rule, b))
+                        .collect::<Result<Vec<_>>>()?
+                }
+                _ => {
+                    // Key not pushable: evaluate the rule fully and filter.
+                    let bindings = self.eval_rule(rule, None, &Bindings::new())?;
+                    bindings
+                        .iter()
+                        .map(|b| head_tuple(rule, b))
+                        .collect::<Result<Vec<_>>>()?
+                        .into_iter()
+                        .filter(|(k, _)| *k == key)
+                        .collect()
+                }
+            };
+            for (k, row) in rows {
+                if k != key {
+                    continue;
+                }
+                match &found {
+                    Some(existing) if *existing == row => {}
+                    Some(_) => {
+                        return Err(DatalogError::KeyConflict {
+                            relation: head.to_string(),
+                            key: key.0,
+                        })
+                    }
+                    None => found = Some(row),
+                }
+            }
+        }
+        self.by_key_memo
+            .insert((head.to_string(), key), found.clone());
+        Ok(found)
+    }
+}
+
+/// Whether the rule's key variable occurs in some body atom, so that seeding
+/// it restricts evaluation.
+fn seedable(rule: &Rule, key_var: &str) -> bool {
+    rule.body.iter().any(|lit| match lit {
+        Literal::Pos(a) => a.variables().contains(&key_var),
+        _ => false,
+    })
+}
+
+/// Build the head tuple from complete bindings.
+fn head_tuple(rule: &Rule, bindings: &Bindings) -> Result<(Key, Row)> {
+    let head = &rule.head;
+    let mut values = Vec::with_capacity(head.terms.len());
+    for t in &head.terms {
+        match t {
+            Term::Var(v) => match bindings.get(v) {
+                Some(val) => values.push(val.clone()),
+                None => {
+                    return Err(DatalogError::UnsafeRule {
+                        rule: rule.to_string(),
+                    })
+                }
+            },
+            Term::Const(c) => values.push(c.clone()),
+            Term::Anon => {
+                return Err(DatalogError::UnsafeRule {
+                    rule: rule.to_string(),
+                })
+            }
+        }
+    }
+    let key = value_key(&head.relation, &values[0])?;
+    Ok((key, values[1..].to_vec()))
+}
+
+/// Try to extend `bindings` so the atom matches `(key, row)`.
+fn unify_row(atom: &Atom, key: Key, row: &[Value], bindings: &Bindings) -> Option<Bindings> {
+    let mut out = bindings.clone();
+    let kv = key_value(key);
+    if !unify_term(&atom.terms[0], &kv, &mut out) {
+        return None;
+    }
+    for (t, v) in atom.terms[1..].iter().zip(row.iter()) {
+        if !unify_term(t, v, &mut out) {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+fn unify_term(term: &Term, value: &Value, bindings: &mut Bindings) -> bool {
+    match term {
+        Term::Anon => true,
+        Term::Const(c) => c == value,
+        Term::Var(v) => match bindings.get(v) {
+            Some(bound) => bound == value,
+            None => {
+                bindings.insert(v.clone(), value.clone());
+                true
+            }
+        },
+    }
+}
+
+/// The value a term resolves to under the bindings, if fully resolved.
+fn resolved_term(term: &Term, bindings: &Bindings) -> Option<Value> {
+    match term {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => bindings.get(v).cloned(),
+        Term::Anon => None,
+    }
+}
+
+fn check_arity(atom: &Atom, relation_arity: usize) -> Result<()> {
+    if atom.terms.len() != relation_arity {
+        return Err(DatalogError::ArityMismatch {
+            relation: atom.relation.clone(),
+            atom_arity: atom.terms.len(),
+            relation_arity,
+        });
+    }
+    Ok(())
+}
+
+/// Compute a safe evaluation order for the body literals.
+///
+/// Positive atoms are always schedulable; negations, conditions and
+/// assignments wait until their variables are bound. Among schedulable
+/// positive atoms, those with a resolvable key term are preferred (index
+/// lookup beats scan).
+fn schedule(rule: &Rule, skip: Option<usize>, seed: &Bindings) -> Result<Vec<usize>> {
+    let mut bound: BTreeSet<String> = seed.keys().cloned().collect();
+    let mut remaining: Vec<usize> = (0..rule.body.len())
+        .filter(|i| Some(*i) != skip)
+        .collect();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // 1. Any non-atom literal whose inputs are bound, or negation with
+        //    all vars bound — cheap filters first.
+        let ready_filter = remaining.iter().position(|&i| match &rule.body[i] {
+            Literal::Neg(a) => a
+                .variables()
+                .iter()
+                .all(|v| bound.contains(&v.to_string())),
+            Literal::Cond(e) => e.referenced_columns().iter().all(|c| bound.contains(c)),
+            Literal::Assign { expr, .. } => expr
+                .referenced_columns()
+                .iter()
+                .all(|c| bound.contains(c)),
+            Literal::Skolem { args, .. } => args
+                .iter()
+                .filter_map(|t| t.as_var())
+                .all(|v| bound.contains(&v.to_string())),
+            Literal::Pos(_) => false,
+        });
+        if let Some(pos) = ready_filter {
+            let i = remaining.remove(pos);
+            for v in rule.body[i].variables() {
+                bound.insert(v);
+            }
+            order.push(i);
+            continue;
+        }
+        // 2. A positive atom, preferring one with a bound key term.
+        let keyed = remaining.iter().position(|&i| match &rule.body[i] {
+            Literal::Pos(a) => match a.key_term() {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v),
+                Term::Anon => false,
+            },
+            _ => false,
+        });
+        let any_pos = keyed.or_else(|| {
+            remaining
+                .iter()
+                .position(|&i| rule.body[i].is_positive_atom())
+        });
+        match any_pos {
+            Some(pos) => {
+                let i = remaining.remove(pos);
+                for v in rule.body[i].variables() {
+                    bound.insert(v);
+                }
+                order.push(i);
+            }
+            None => {
+                return Err(DatalogError::UnsafeRule {
+                    rule: rule.to_string(),
+                })
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_storage::Expr;
+
+    fn ids() -> RefCell<SkolemRegistry> {
+        RefCell::new(SkolemRegistry::new())
+    }
+
+    fn edb_task() -> MapEdb {
+        // The paper's TasKy table: Task(author, task, prio).
+        let mut t = Relation::with_columns("T", ["author", "task", "prio"]);
+        t.insert(Key(1), vec!["Ann".into(), "Organize party".into(), 3.into()])
+            .unwrap();
+        t.insert(Key(2), vec!["Ben".into(), "Learn for exam".into(), 2.into()])
+            .unwrap();
+        t.insert(Key(3), vec!["Ann".into(), "Write paper".into(), 1.into()])
+            .unwrap();
+        t.insert(Key(4), vec!["Ben".into(), "Clean room".into(), 1.into()])
+            .unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(t);
+        edb
+    }
+
+    fn split_rules() -> RuleSet {
+        // Simplified SPLIT (clean state): R = σ_{prio=1}(T), S = σ_{prio>=2}(T),
+        // T' = rest (empty here since conditions cover everything).
+        let vars = ["p", "author", "task", "prio"];
+        RuleSet::new(vec![
+            Rule::new(
+                Atom::vars("R", &vars),
+                vec![
+                    Literal::Pos(Atom::vars("T", &vars)),
+                    Literal::Cond(Expr::col("prio").eq(Expr::lit(1))),
+                ],
+            ),
+            Rule::new(
+                Atom::vars("S", &vars),
+                vec![
+                    Literal::Pos(Atom::vars("T", &vars)),
+                    Literal::Cond(Expr::col("prio").ge(Expr::lit(2))),
+                ],
+            ),
+            Rule::new(
+                Atom::vars("T2", &vars),
+                vec![
+                    Literal::Pos(Atom::vars("T", &vars)),
+                    Literal::Cond(
+                        Expr::col("prio")
+                            .eq(Expr::lit(1))
+                            .negate()
+                            .and(Expr::col("prio").ge(Expr::lit(2)).negate()),
+                    ),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn split_selects_partitions() {
+        let edb = edb_task();
+        let sk = ids();
+        let out = evaluate(&split_rules(), &edb, &sk, &BTreeMap::new()).unwrap();
+        assert_eq!(out["R"].len(), 2);
+        assert_eq!(out["S"].len(), 2);
+        assert_eq!(out["T2"].len(), 0);
+        assert!(out["R"].contains_key(Key(3)));
+        assert!(out["R"].contains_key(Key(4)));
+    }
+
+    #[test]
+    fn union_with_negation_reconstructs_source() {
+        // γsrc of SPLIT (rules 18-20 shape): T ← R; T ← S, ¬R(p,_); T ← T'.
+        let vars = ["p", "a"];
+        let rules = RuleSet::new(vec![
+            Rule::new(
+                Atom::vars("T", &vars),
+                vec![Literal::Pos(Atom::vars("R", &vars))],
+            ),
+            Rule::new(
+                Atom::vars("T", &vars),
+                vec![
+                    Literal::Pos(Atom::vars("S", &vars)),
+                    Literal::Neg(Atom::new("R", vec![Term::var("p"), Term::Anon])),
+                ],
+            ),
+            Rule::new(
+                Atom::vars("T", &vars),
+                vec![Literal::Pos(Atom::vars("Tp", &vars))],
+            ),
+        ]);
+        let mut r = Relation::with_columns("R", ["a"]);
+        r.insert(Key(1), vec![Value::Int(10)]).unwrap();
+        r.insert(Key(2), vec![Value::Int(20)]).unwrap();
+        let mut s = Relation::with_columns("S", ["a"]);
+        // Twin of key 1 (same value) and an S-only tuple.
+        s.insert(Key(1), vec![Value::Int(10)]).unwrap();
+        s.insert(Key(5), vec![Value::Int(50)]).unwrap();
+        let mut tp = Relation::with_columns("Tp", ["a"]);
+        tp.insert(Key(9), vec![Value::Int(90)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(r).add(s).add(tp);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        let t = &out["T"];
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(Key(1)), Some(&vec![Value::Int(10)]));
+        assert_eq!(t.get(Key(5)), Some(&vec![Value::Int(50)]));
+        assert_eq!(t.get(Key(9)), Some(&vec![Value::Int(90)]));
+    }
+
+    #[test]
+    fn key_conflict_detected() {
+        // Two rules derive different payloads for the same key.
+        let rules = RuleSet::new(vec![
+            Rule::new(
+                Atom::vars("H", &["p", "a"]),
+                vec![Literal::Pos(Atom::vars("X", &["p", "a"]))],
+            ),
+            Rule::new(
+                Atom::vars("H", &["p", "b"]),
+                vec![Literal::Pos(Atom::vars("Y", &["p", "b"]))],
+            ),
+        ]);
+        let mut x = Relation::with_columns("X", ["a"]);
+        x.insert(Key(1), vec![Value::Int(1)]).unwrap();
+        let mut y = Relation::with_columns("Y", ["b"]);
+        y.insert(Key(1), vec![Value::Int(2)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(x).add(y);
+        let sk = ids();
+        let err = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, DatalogError::KeyConflict { .. }));
+    }
+
+    #[test]
+    fn assignment_computes_new_column() {
+        // ADD COLUMN shape: R'(p, a, b) ← R(p, a), b = a * 2.
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("Rp", &["p", "a", "b"]),
+            vec![
+                Literal::Pos(Atom::vars("R", &["p", "a"])),
+                Literal::Assign {
+                    var: "b".into(),
+                    expr: inverda_storage::Expr::Binary(
+                        Box::new(Expr::col("a")),
+                        inverda_storage::BinaryOp::Mul,
+                        Box::new(Expr::lit(2)),
+                    ),
+                },
+            ],
+        )]);
+        let mut r = Relation::with_columns("R", ["a"]);
+        r.insert(Key(1), vec![Value::Int(21)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(r);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        assert_eq!(out["Rp"].get(Key(1)), Some(&vec![Value::Int(21), Value::Int(42)]));
+    }
+
+    #[test]
+    fn skolem_assignment_generates_stable_ids() {
+        // FK-decompose shape: Author(t, name) ← T(p, name), t = id(name).
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("Author", &["t", "name"]),
+            vec![
+                Literal::Pos(Atom::vars("T", &["p", "name"])),
+                Literal::Skolem {
+                    var: "t".into(),
+                    generator: "id_Author".into(),
+                    args: vec![Term::var("name")],
+                },
+            ],
+        )]);
+        let mut t = Relation::with_columns("T", ["name"]);
+        t.insert(Key(1), vec!["Ann".into()]).unwrap();
+        t.insert(Key(2), vec!["Ben".into()]).unwrap();
+        t.insert(Key(3), vec!["Ann".into()]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(t);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        // Two distinct authors -> two rows (duplicate "Ann" collapses by id).
+        assert_eq!(out["Author"].len(), 2);
+    }
+
+    #[test]
+    fn staged_heads_visible_to_later_rules() {
+        // Second rule reads the head of the first.
+        let rules = RuleSet::new(vec![
+            Rule::new(
+                Atom::vars("A", &["p", "x"]),
+                vec![Literal::Pos(Atom::vars("In", &["p", "x"]))],
+            ),
+            Rule::new(
+                Atom::vars("B", &["p", "x"]),
+                vec![
+                    Literal::Pos(Atom::vars("A", &["p", "x"])),
+                    Literal::Cond(Expr::col("x").gt(Expr::lit(1))),
+                ],
+            ),
+        ]);
+        let mut input = Relation::with_columns("In", ["x"]);
+        input.insert(Key(1), vec![Value::Int(1)]).unwrap();
+        input.insert(Key(2), vec![Value::Int(5)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(input);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        assert_eq!(out["B"].len(), 1);
+        assert!(out["B"].contains_key(Key(2)));
+    }
+
+    #[test]
+    fn missing_relation_is_reported() {
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("H", &["p"]),
+            vec![Literal::Pos(Atom::vars("Ghost", &["p"]))],
+        )]);
+        let edb = MapEdb::new();
+        let sk = ids();
+        let err = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, DatalogError::UnboundRelation { .. }));
+    }
+
+    #[test]
+    fn head_row_for_key_matches_full_eval() {
+        let edb = edb_task();
+        let rules = split_rules();
+        let sk = ids();
+        let full = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        let sk2 = ids();
+        let mut ev = Evaluator::new(&edb, &sk2);
+        for key in [Key(1), Key(2), Key(3), Key(4), Key(99)] {
+            let seeded = ev.head_row_for_key(&rules, "R", key).unwrap();
+            assert_eq!(seeded.as_ref(), full["R"].get(key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn null_key_binding_matches_nothing() {
+        // Joining through an ω (NULL) foreign key finds no partner rather
+        // than erroring (FK-decompose Rule 147 with a NULL fk).
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("H", &["p", "t"]),
+            vec![
+                Literal::Pos(Atom::vars("S", &["p", "t"])),
+                Literal::Pos(Atom::new(
+                    "T",
+                    vec![Term::var("t"), Term::Anon],
+                )),
+            ],
+        )]);
+        let mut s = Relation::with_columns("S", ["t"]);
+        s.insert(Key(1), vec![Value::Null]).unwrap();
+        let mut t = Relation::with_columns("T", ["b"]);
+        t.insert(Key(7), vec![Value::Int(1)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(s).add(t);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        assert!(out["H"].is_empty());
+    }
+
+    #[test]
+    fn schedule_rejects_unsafe_rules() {
+        // Negation over a variable never bound positively.
+        let rule = Rule::new(
+            Atom::vars("H", &["p"]),
+            vec![Literal::Neg(Atom::vars("X", &["p"]))],
+        );
+        assert!(schedule(&rule, None, &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn duplicate_variable_in_atom_requires_equal_values() {
+        // H(p, a) ← X(p, a, a): both payload cells must be equal.
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("H", &["p", "a"]),
+            vec![Literal::Pos(Atom::vars("X", &["p", "a", "a"]))],
+        )]);
+        let mut x = Relation::with_columns("X", ["c1", "c2"]);
+        x.insert(Key(1), vec![Value::Int(7), Value::Int(7)]).unwrap();
+        x.insert(Key(2), vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(x);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        assert_eq!(out["H"].len(), 1);
+        assert!(out["H"].contains_key(Key(1)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # inverda-datalog
+//!
+//! The Datalog formalism of the paper, executable.
+//!
+//! Section 4 of the paper defines the semantics of every BiDEL SMO as a pair
+//! of Datalog rule sets (γ_tgt, γ_src) mapping the *source side* state of an
+//! SMO instance to its *target side* state and back. This crate provides:
+//!
+//! * the rule AST ([`ast`]) matching the paper's extended Datalog — positive
+//!   and negative atoms over keyed relations, condition predicates `c(A)`,
+//!   function assignments `a = f(…)`, and the skolem generators `idT(B)` of
+//!   the id-generating SMOs (Appendix B.3/B.4/B.6);
+//! * a staged, non-recursive evaluation engine ([`eval`]) — rules are
+//!   evaluated in order, later rules may reference earlier heads (the paper's
+//!   `old`/`new` sequencing);
+//! * mechanical **update propagation** ([`delta`]) deriving minimal write
+//!   deltas through a rule set, the engine-side equivalent of the paper's
+//!   generated triggers (Section 6, Rules 52–54, citing Behrend et al.);
+//! * the five **simplification lemmas** of Section 5 ([`simplify`]) as
+//!   executable rule-set transformations, used to re-derive the paper's
+//!   bidirectionality proofs (Appendix A) mechanically.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod delta;
+pub mod error;
+pub mod eval;
+pub mod simplify;
+pub mod skolem;
+
+pub use ast::{Atom, Literal, Rule, RuleSet, Term};
+pub use delta::{Delta, DeltaMap, PatchedEdb};
+pub use error::DatalogError;
+pub use eval::{evaluate, EdbView, MapEdb};
+pub use skolem::SkolemRegistry;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DatalogError>;

@@ -1,0 +1,149 @@
+//! Skolem id-generating functions (`idT(B)` in Appendix B.3/B.4/B.6).
+//!
+//! The paper: "On every call, the function idT(B) returns a new unique
+//! identifier for the payload data B in table T. In our implementation, this
+//! is merely a regular SQL sequence and the mapping rules ensure that an
+//! already generated identifier is reused for the same data."
+//!
+//! The registry memoizes `(generator, argument tuple) → id` so that equal
+//! payloads always receive the same identifier — within one rule evaluation
+//! (set semantics would otherwise be violated) and across evaluations
+//! (repeatable reads on generated identifiers).
+
+use inverda_storage::Value;
+use std::collections::BTreeMap;
+
+/// Memoized id-generating sequences.
+#[derive(Debug, Default, Clone)]
+pub struct SkolemRegistry {
+    memo: BTreeMap<(String, Vec<Value>), u64>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl SkolemRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        SkolemRegistry::default()
+    }
+
+    /// The id for `(generator, args)`, minting a fresh one on first call.
+    pub fn get_or_create(&mut self, generator: &str, args: &[Value]) -> u64 {
+        if let Some(id) = self.memo.get(&(generator.to_string(), args.to_vec())) {
+            return *id;
+        }
+        let counter = self.counters.entry(generator.to_string()).or_insert(0);
+        *counter += 1;
+        let id = *counter;
+        self.memo
+            .insert((generator.to_string(), args.to_vec()), id);
+        id
+    }
+
+    /// The id for `(generator, args)`, minting via `mint` on first call.
+    ///
+    /// Generated identifiers enter the same keyspace as the InVerDa tuple
+    /// identifier `p` (e.g. Appendix B.3's Rules 149/152 key source rows by
+    /// the generated `t`), so the engine mints them from the global key
+    /// sequence rather than per-generator counters.
+    pub fn get_or_create_with(
+        &mut self,
+        generator: &str,
+        args: &[Value],
+        mint: impl FnOnce() -> u64,
+    ) -> u64 {
+        if let Some(id) = self.memo.get(&(generator.to_string(), args.to_vec())) {
+            return *id;
+        }
+        let id = mint();
+        self.memo
+            .insert((generator.to_string(), args.to_vec()), id);
+        id
+    }
+
+    /// Record an externally assigned id (e.g. read back from a persisted
+    /// `ID` auxiliary table after a migration or data load) so future mints
+    /// neither collide with nor contradict it.
+    pub fn observe(&mut self, generator: &str, args: &[Value], id: u64) {
+        self.memo.insert((generator.to_string(), args.to_vec()), id);
+        let counter = self.counters.entry(generator.to_string()).or_insert(0);
+        if *counter < id {
+            *counter = id;
+        }
+    }
+
+    /// Forget the assignment for `(generator, args)` — used when the
+    /// physical row carrying the id changes payload or is deleted, so a
+    /// later occurrence of the old payload mints a fresh id instead of
+    /// colliding with the repurposed one.
+    pub fn unobserve(&mut self, generator: &str, args: &[Value]) {
+        self.memo.remove(&(generator.to_string(), args.to_vec()));
+    }
+
+    /// Forget every assignment of a generator (migration re-seeds from the
+    /// relocated tables afterwards).
+    pub fn purge_generator(&mut self, generator: &str) {
+        self.memo.retain(|(g, _), _| g != generator);
+    }
+
+    /// The memoized id, if any, without minting.
+    pub fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
+        self.memo
+            .get(&(generator.to_string(), args.to_vec()))
+            .copied()
+    }
+
+    /// Number of memoized assignments (diagnostics).
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True iff nothing has been generated or observed.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_args_same_id() {
+        let mut r = SkolemRegistry::new();
+        let a = r.get_or_create("id_Author", &[Value::text("Ann")]);
+        let b = r.get_or_create("id_Author", &[Value::text("Ann")]);
+        let c = r.get_or_create("id_Author", &[Value::text("Ben")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generators_are_independent() {
+        let mut r = SkolemRegistry::new();
+        let a = r.get_or_create("id_A", &[Value::Int(1)]);
+        let b = r.get_or_create("id_B", &[Value::Int(1)]);
+        assert_eq!(a, 1);
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn observe_prevents_collisions() {
+        let mut r = SkolemRegistry::new();
+        r.observe("id_T", &[Value::text("x")], 10);
+        assert_eq!(r.peek("id_T", &[Value::text("x")]), Some(10));
+        let fresh = r.get_or_create("id_T", &[Value::text("y")]);
+        assert!(fresh > 10);
+        // Re-query of observed payload returns the observed id.
+        assert_eq!(r.get_or_create("id_T", &[Value::text("x")]), 10);
+    }
+
+    #[test]
+    fn len_counts_assignments() {
+        let mut r = SkolemRegistry::new();
+        assert!(r.is_empty());
+        r.get_or_create("g", &[Value::Int(1)]);
+        r.get_or_create("g", &[Value::Int(1)]);
+        r.get_or_create("g", &[Value::Int(2)]);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the incremental delta engine agrees with full two-state
+//! recomputation on the SPLIT rule shapes, for arbitrary states and writes.
+
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_datalog::delta::{propagate, propagate_by_recompute, Delta, DeltaMap};
+use inverda_datalog::eval::MapEdb;
+use inverda_datalog::SkolemRegistry;
+use inverda_storage::{Expr, Key, Relation, Value};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// γ_tgt of a two-arm SPLIT with overlapping conditions and aux guards —
+/// the richest non-staged rule shape (Rules 12–17).
+fn split_gamma_tgt() -> RuleSet {
+    let vars = ["p", "a"];
+    let c_r = Expr::col("a").lt(Expr::lit(6));
+    let c_s = Expr::col("a").ge(Expr::lit(3));
+    RuleSet::new(vec![
+        Rule::new(
+            Atom::vars("R", &vars),
+            vec![
+                Literal::Pos(Atom::vars("T", &vars)),
+                Literal::Cond(c_r.clone()),
+                Literal::Neg(Atom::vars("Rminus", &["p"])),
+            ],
+        ),
+        Rule::new(
+            Atom::vars("R", &vars),
+            vec![
+                Literal::Pos(Atom::vars("T", &vars)),
+                Literal::Pos(Atom::vars("Rstar", &["p"])),
+            ],
+        ),
+        Rule::new(
+            Atom::vars("S", &vars),
+            vec![
+                Literal::Pos(Atom::vars("T", &vars)),
+                Literal::Cond(c_s.clone()),
+                Literal::Neg(Atom::vars("Sminus", &["p"])),
+                Literal::Neg(Atom::new("Splus", vec![Term::var("p"), Term::Anon])),
+            ],
+        ),
+        Rule::new(
+            Atom::vars("S", &vars),
+            vec![Literal::Pos(Atom::vars("Splus", &vars))],
+        ),
+        Rule::new(
+            Atom::vars("Tprime", &vars),
+            vec![
+                Literal::Pos(Atom::vars("T", &vars)),
+                Literal::Cond(c_r.negate()),
+                Literal::Cond(c_s.negate()),
+            ],
+        ),
+    ])
+}
+
+fn keyed_rel(name: &str, cols: &[&str], rows: &BTreeMap<u64, Vec<Value>>) -> Relation {
+    let mut rel = Relation::with_columns(name, cols.to_vec());
+    for (k, row) in rows {
+        rel.insert(Key(*k), row.clone()).unwrap();
+    }
+    rel
+}
+
+fn arb_state() -> impl Strategy<Value = (BTreeMap<u64, Vec<Value>>, Vec<u64>, BTreeMap<u64, Vec<Value>>)>
+{
+    (
+        prop::collection::btree_map(0u64..24, (0i64..10).prop_map(|a| vec![Value::Int(a)]), 0..16),
+        prop::collection::vec(0u64..24, 0..4),
+        prop::collection::btree_map(0u64..24, (0i64..10).prop_map(|a| vec![Value::Int(a)]), 0..4),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum W {
+    Ins(u64, i64),
+    Del(u64),
+    Upd(u64, i64),
+}
+
+fn arb_writes() -> impl Strategy<Value = Vec<W>> {
+    prop::collection::vec(
+        prop_oneof![
+            (24u64..40, 0i64..10).prop_map(|(k, a)| W::Ins(k, a)),
+            (0u64..24).prop_map(W::Del),
+            (0u64..24, 0i64..10).prop_map(|(k, a)| W::Upd(k, a)),
+        ],
+        1..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn delta_equals_recompute_on_split_rules(
+        (t_rows, rminus_keys, splus_rows) in arb_state(),
+        writes in arb_writes(),
+    ) {
+        // EDB: T plus aux tables in an arbitrary (even inconsistent) state.
+        let mut edb = MapEdb::new();
+        edb.add(keyed_rel("T", &["a"], &t_rows));
+        let mut rminus = Relation::with_columns("Rminus", [] as [&str; 0]);
+        for k in &rminus_keys {
+            let _ = rminus.insert(Key(*k), vec![]);
+        }
+        edb.add(rminus);
+        edb.add(keyed_rel("Splus", &["a"], &splus_rows));
+        edb.add(Relation::with_columns("Sminus", [] as [&str; 0]));
+        edb.add(Relation::with_columns("Rstar", [] as [&str; 0]));
+
+        // Build the input delta on T from the write list.
+        let mut delta = Delta::new();
+        for w in &writes {
+            match w {
+                W::Ins(k, a) => {
+                    if !t_rows.contains_key(k) && !delta.inserts.contains_key(&Key(*k)) {
+                        delta.inserts.insert(Key(*k), vec![Value::Int(*a)]);
+                    }
+                }
+                W::Del(k) => {
+                    if let Some(row) = t_rows.get(k) {
+                        delta.deletes.entry(Key(*k)).or_insert_with(|| row.clone());
+                    }
+                }
+                W::Upd(k, a) => {
+                    if let Some(row) = t_rows.get(k) {
+                        if let std::collections::btree_map::Entry::Vacant(e) = delta.deletes.entry(Key(*k)) {
+                            e.insert(row.clone());
+                            delta.inserts.insert(Key(*k), vec![Value::Int(*a)]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut input = DeltaMap::new();
+        input.insert("T".to_string(), delta);
+
+        let rules = split_gamma_tgt();
+        let ids1 = RefCell::new(SkolemRegistry::new());
+        let fast = propagate(&rules, &edb, &input, &ids1, &BTreeMap::new()).unwrap();
+        let ids2 = RefCell::new(SkolemRegistry::new());
+        let slow =
+            propagate_by_recompute(&rules, &edb, &input, &ids2, &BTreeMap::new()).unwrap();
+        let slow: DeltaMap = slow.into_iter().filter(|(_, d)| !d.is_empty()).collect();
+        let fast: DeltaMap = fast.into_iter().filter(|(_, d)| !d.is_empty()).collect();
+        prop_assert_eq!(fast, slow);
+    }
+}

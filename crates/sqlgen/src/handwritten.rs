@@ -1,0 +1,357 @@
+//! The handwritten-SQL baseline of Table 3: what a developer writes to keep
+//! TasKy and TasKy2 co-existing *without* InVerDa, transcribed for
+//! PostgreSQL in the style of the paper's experiment (Section 8.1).
+//!
+//! Three phases, mirroring Table 3's columns:
+//!
+//! * [`INITIAL_SQL`] — create the initial TasKy schema (identical effort
+//!   with or without InVerDa);
+//! * [`EVOLUTION_SQL`] — expose TasKy2 as views + triggers while the data
+//!   stays in the TasKy layout, including the auxiliary structures for
+//!   generated author identifiers;
+//! * [`MIGRATION_SQL`] — physically migrate to the TasKy2 layout and
+//!   rewrite *all* delta code (TasKy and Do! must stay alive).
+//!
+//! The corresponding BiDEL scripts are [`BIDEL_INITIAL`], [`BIDEL_EVOLUTION`]
+//! and [`BIDEL_MIGRATION`].
+
+/// BiDEL: initial schema version.
+pub const BIDEL_INITIAL: &str =
+    "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio);";
+
+/// BiDEL: the TasKy2 evolution (3 logical lines, as in the paper).
+pub const BIDEL_EVOLUTION: &str = "\
+CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author;
+RENAME COLUMN author IN Author TO name;";
+
+/// BiDEL: the migration (1 line).
+pub const BIDEL_MIGRATION: &str = "MATERIALIZE 'TasKy2';";
+
+/// Handwritten SQL: initial schema (same as with InVerDa).
+pub const INITIAL_SQL: &str =
+    "CREATE TABLE task(p bigint PRIMARY KEY, author text, task text, prio int);";
+
+/// Handwritten SQL: create the co-existing TasKy2 schema version while the
+/// data remains stored in the TasKy layout.
+pub const EVOLUTION_SQL: &str = r#"
+-- ============================================================
+-- TasKy2 as a co-existing schema version over the TasKy layout
+-- ============================================================
+CREATE SCHEMA tasky2;
+
+-- Auxiliary structures: stable author identifiers for the decomposition.
+CREATE SEQUENCE tasky2.author_id_seq;
+CREATE TABLE tasky2.author_ids (
+  p bigint PRIMARY KEY,
+  author_id bigint NOT NULL
+);
+CREATE TABLE tasky2.author_names (
+  author_id bigint PRIMARY KEY,
+  name text NOT NULL UNIQUE
+);
+
+CREATE FUNCTION tasky2.author_id_for(n text) RETURNS bigint AS $$
+DECLARE aid bigint;
+BEGIN
+  SELECT author_id INTO aid FROM tasky2.author_names WHERE name = n;
+  IF aid IS NULL THEN
+    aid := nextval('tasky2.author_id_seq');
+    INSERT INTO tasky2.author_names(author_id, name) VALUES (aid, n);
+  END IF;
+  RETURN aid;
+END $$ LANGUAGE plpgsql;
+
+-- Keep the id assignment in sync with the stored tasks.
+CREATE FUNCTION tasky2.sync_ids() RETURNS trigger AS $$
+BEGIN
+  IF TG_OP = 'DELETE' THEN
+    DELETE FROM tasky2.author_ids WHERE p = OLD.p;
+    DELETE FROM tasky2.author_names a
+      WHERE NOT EXISTS (SELECT 1 FROM task t
+                        WHERE t.author = a.name AND t.p <> OLD.p);
+    RETURN OLD;
+  END IF;
+  INSERT INTO tasky2.author_ids(p, author_id)
+    VALUES (NEW.p, tasky2.author_id_for(NEW.author))
+    ON CONFLICT (p) DO UPDATE SET author_id = EXCLUDED.author_id;
+  IF TG_OP = 'UPDATE' AND OLD.author <> NEW.author THEN
+    DELETE FROM tasky2.author_names a
+      WHERE a.name = OLD.author
+        AND NOT EXISTS (SELECT 1 FROM task t
+                        WHERE t.author = a.name AND t.p <> OLD.p);
+  END IF;
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER task_sync_ids
+  AFTER INSERT OR UPDATE OR DELETE ON task
+  FOR EACH ROW EXECUTE FUNCTION tasky2.sync_ids();
+
+-- Views exposing the TasKy2 schema version.
+CREATE VIEW tasky2.task (p, task, prio, author) AS
+  SELECT t.p, t.task, t.prio, i.author_id
+  FROM task t JOIN tasky2.author_ids i ON i.p = t.p;
+
+CREATE VIEW tasky2.author (p, name) AS
+  SELECT a.author_id, a.name
+  FROM tasky2.author_names a;
+
+-- Write support: INSTEAD OF triggers on tasky2.task.
+CREATE FUNCTION tasky2.task_ins() RETURNS trigger AS $$
+DECLARE n text;
+BEGIN
+  SELECT name INTO n FROM tasky2.author_names WHERE author_id = NEW.author;
+  IF n IS NULL THEN
+    RAISE EXCEPTION 'unknown author id %', NEW.author;
+  END IF;
+  INSERT INTO task(p, author, task, prio)
+    VALUES (COALESCE(NEW.p, nextval('task_p_seq')), n, NEW.task, NEW.prio);
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER tasky2_task_ins INSTEAD OF INSERT ON tasky2.task
+  FOR EACH ROW EXECUTE FUNCTION tasky2.task_ins();
+
+CREATE FUNCTION tasky2.task_upd() RETURNS trigger AS $$
+DECLARE n text;
+BEGIN
+  SELECT name INTO n FROM tasky2.author_names WHERE author_id = NEW.author;
+  IF n IS NULL THEN
+    RAISE EXCEPTION 'unknown author id %', NEW.author;
+  END IF;
+  UPDATE task SET author = n, task = NEW.task, prio = NEW.prio
+    WHERE p = OLD.p;
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER tasky2_task_upd INSTEAD OF UPDATE ON tasky2.task
+  FOR EACH ROW EXECUTE FUNCTION tasky2.task_upd();
+
+CREATE FUNCTION tasky2.task_del() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task WHERE p = OLD.p;
+  RETURN OLD;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER tasky2_task_del INSTEAD OF DELETE ON tasky2.task
+  FOR EACH ROW EXECUTE FUNCTION tasky2.task_del();
+
+-- Write support: INSTEAD OF triggers on tasky2.author.
+CREATE FUNCTION tasky2.author_ins() RETURNS trigger AS $$
+BEGIN
+  INSERT INTO tasky2.author_names(author_id, name)
+    VALUES (COALESCE(NEW.p, nextval('tasky2.author_id_seq')), NEW.name);
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER tasky2_author_ins INSTEAD OF INSERT ON tasky2.author
+  FOR EACH ROW EXECUTE FUNCTION tasky2.author_ins();
+
+CREATE FUNCTION tasky2.author_upd() RETURNS trigger AS $$
+BEGIN
+  UPDATE tasky2.author_names SET name = NEW.name WHERE author_id = OLD.p;
+  UPDATE task t SET author = NEW.name
+    FROM tasky2.author_ids i
+    WHERE i.p = t.p AND i.author_id = OLD.p;
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER tasky2_author_upd INSTEAD OF UPDATE ON tasky2.author
+  FOR EACH ROW EXECUTE FUNCTION tasky2.author_upd();
+
+CREATE FUNCTION tasky2.author_del() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task t USING tasky2.author_ids i
+    WHERE i.p = t.p AND i.author_id = OLD.p;
+  DELETE FROM tasky2.author_names WHERE author_id = OLD.p;
+  RETURN OLD;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER tasky2_author_del INSTEAD OF DELETE ON tasky2.author
+  FOR EACH ROW EXECUTE FUNCTION tasky2.author_del();
+
+-- Backfill the auxiliary structures from the existing data.
+INSERT INTO tasky2.author_names(author_id, name)
+  SELECT nextval('tasky2.author_id_seq'), author
+  FROM (SELECT DISTINCT author FROM task) d;
+INSERT INTO tasky2.author_ids(p, author_id)
+  SELECT t.p, a.author_id
+  FROM task t JOIN tasky2.author_names a ON a.name = t.author;
+"#;
+
+/// Handwritten SQL: migrate the physical layout to TasKy2 and rewrite the
+/// delta code of the still-alive TasKy and Do! versions.
+pub const MIGRATION_SQL: &str = r#"
+-- ============================================================
+-- Physical migration to the TasKy2 layout
+-- ============================================================
+BEGIN;
+
+-- New physical tables.
+CREATE TABLE task2 (
+  p bigint PRIMARY KEY,
+  task text,
+  prio int,
+  author bigint NOT NULL
+);
+CREATE TABLE author2 (
+  p bigint PRIMARY KEY,
+  name text NOT NULL UNIQUE
+);
+
+-- Move the data.
+INSERT INTO author2(p, name)
+  SELECT author_id, name FROM tasky2.author_names;
+INSERT INTO task2(p, task, prio, author)
+  SELECT t.p, t.task, t.prio, i.author_id
+  FROM task t JOIN tasky2.author_ids i ON i.p = t.p;
+
+-- Tear down the old delta code and the old physical table.
+DROP TRIGGER task_sync_ids ON task;
+DROP FUNCTION tasky2.sync_ids();
+DROP VIEW tasky2.task;
+DROP VIEW tasky2.author;
+DROP TABLE tasky2.author_ids;
+DROP TABLE tasky2.author_names;
+DROP TABLE task;
+
+-- TasKy2 now reads the physical tables directly.
+CREATE VIEW tasky2.task AS SELECT p, task, prio, author FROM task2;
+CREATE VIEW tasky2.author AS SELECT p, name FROM author2;
+
+-- TasKy becomes a view over the new layout.
+CREATE VIEW task (p, author, task, prio) AS
+  SELECT t.p, a.name, t.task, t.prio
+  FROM task2 t JOIN author2 a ON a.p = t.author;
+
+CREATE FUNCTION task_ins() RETURNS trigger AS $$
+DECLARE aid bigint;
+BEGIN
+  SELECT p INTO aid FROM author2 WHERE name = NEW.author;
+  IF aid IS NULL THEN
+    aid := nextval('tasky2.author_id_seq');
+    INSERT INTO author2(p, name) VALUES (aid, NEW.author);
+  END IF;
+  INSERT INTO task2(p, task, prio, author)
+    VALUES (COALESCE(NEW.p, nextval('task_p_seq')), NEW.task, NEW.prio, aid);
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER task_ins_t INSTEAD OF INSERT ON task
+  FOR EACH ROW EXECUTE FUNCTION task_ins();
+
+CREATE FUNCTION task_upd() RETURNS trigger AS $$
+DECLARE aid bigint;
+BEGIN
+  SELECT p INTO aid FROM author2 WHERE name = NEW.author;
+  IF aid IS NULL THEN
+    aid := nextval('tasky2.author_id_seq');
+    INSERT INTO author2(p, name) VALUES (aid, NEW.author);
+  END IF;
+  UPDATE task2 SET task = NEW.task, prio = NEW.prio, author = aid
+    WHERE p = OLD.p;
+  DELETE FROM author2 a
+    WHERE a.name = OLD.author
+      AND NOT EXISTS (SELECT 1 FROM task2 t WHERE t.author = a.p);
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER task_upd_t INSTEAD OF UPDATE ON task
+  FOR EACH ROW EXECUTE FUNCTION task_upd();
+
+CREATE FUNCTION task_del() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task2 WHERE p = OLD.p;
+  DELETE FROM author2 a
+    WHERE a.name = OLD.author
+      AND NOT EXISTS (SELECT 1 FROM task2 t WHERE t.author = a.p);
+  RETURN OLD;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER task_del_t INSTEAD OF DELETE ON task
+  FOR EACH ROW EXECUTE FUNCTION task_del();
+
+-- Do! keeps working: its view/triggers were defined over `task`, which is
+-- now itself a view — PostgreSQL does not allow INSTEAD OF triggers to
+-- cascade through views onto views, so Do!'s delta code must be rewritten
+-- against the new physical tables as well.
+DROP VIEW IF EXISTS dolist.todo;
+CREATE VIEW dolist.todo (p, author, task) AS
+  SELECT t.p, a.name, t.task
+  FROM task2 t JOIN author2 a ON a.p = t.author
+  WHERE t.prio = 1;
+
+CREATE OR REPLACE FUNCTION dolist.todo_ins() RETURNS trigger AS $$
+DECLARE aid bigint;
+BEGIN
+  SELECT p INTO aid FROM author2 WHERE name = NEW.author;
+  IF aid IS NULL THEN
+    aid := nextval('tasky2.author_id_seq');
+    INSERT INTO author2(p, name) VALUES (aid, NEW.author);
+  END IF;
+  INSERT INTO task2(p, task, prio, author)
+    VALUES (COALESCE(NEW.p, nextval('task_p_seq')), NEW.task, 1, aid);
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER dolist_todo_ins INSTEAD OF INSERT ON dolist.todo
+  FOR EACH ROW EXECUTE FUNCTION dolist.todo_ins();
+
+CREATE OR REPLACE FUNCTION dolist.todo_del() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task2 WHERE p = OLD.p;
+  RETURN OLD;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER dolist_todo_del INSTEAD OF DELETE ON dolist.todo
+  FOR EACH ROW EXECUTE FUNCTION dolist.todo_del();
+
+CREATE OR REPLACE FUNCTION dolist.todo_upd() RETURNS trigger AS $$
+DECLARE aid bigint;
+BEGIN
+  SELECT p INTO aid FROM author2 WHERE name = NEW.author;
+  IF aid IS NULL THEN
+    aid := nextval('tasky2.author_id_seq');
+    INSERT INTO author2(p, name) VALUES (aid, NEW.author);
+  END IF;
+  UPDATE task2 SET task = NEW.task, author = aid WHERE p = OLD.p;
+  RETURN NEW;
+END $$ LANGUAGE plpgsql;
+CREATE TRIGGER dolist_todo_upd INSTEAD OF UPDATE ON dolist.todo
+  FOR EACH ROW EXECUTE FUNCTION dolist.todo_upd();
+
+COMMIT;
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CodeMetrics;
+
+    #[test]
+    fn bidel_scripts_are_tiny() {
+        let m = CodeMetrics::measure(BIDEL_EVOLUTION);
+        assert_eq!(m.lines, 3);
+        let m = CodeMetrics::measure(BIDEL_MIGRATION);
+        assert_eq!(m.lines, 1);
+        assert_eq!(m.statements, 1);
+    }
+
+    #[test]
+    fn handwritten_sql_is_orders_of_magnitude_larger() {
+        let evo_sql = CodeMetrics::measure(EVOLUTION_SQL);
+        let evo_bidel = CodeMetrics::measure(BIDEL_EVOLUTION);
+        let (loc_ratio, _, chars_ratio) = evo_sql.ratio_to(&evo_bidel);
+        assert!(loc_ratio > 30.0, "LOC ratio {loc_ratio}");
+        assert!(chars_ratio > 20.0, "chars ratio {chars_ratio}");
+
+        let mig_sql = CodeMetrics::measure(MIGRATION_SQL);
+        let mig_bidel = CodeMetrics::measure(BIDEL_MIGRATION);
+        let (loc_ratio, _, _) = mig_sql.ratio_to(&mig_bidel);
+        assert!(loc_ratio > 80.0, "migration LOC ratio {loc_ratio}");
+    }
+
+    #[test]
+    fn initial_effort_is_identical() {
+        let sql = CodeMetrics::measure(INITIAL_SQL);
+        let bidel = CodeMetrics::measure(BIDEL_INITIAL);
+        assert_eq!(sql.lines, bidel.lines);
+        assert_eq!(sql.statements, bidel.statements);
+    }
+
+    #[test]
+    fn bidel_scripts_parse() {
+        inverda_bidel::parse_script(BIDEL_INITIAL).unwrap();
+        inverda_bidel::parse_script(BIDEL_EVOLUTION).unwrap();
+        inverda_bidel::parse_script(BIDEL_MIGRATION).unwrap();
+    }
+}

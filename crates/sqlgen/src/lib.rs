@@ -1,0 +1,29 @@
+//! # inverda-sqlgen
+//!
+//! SQL delta-code generation — the textual artifact the paper's prototype
+//! installs into PostgreSQL, and the measuring stick of its Table 3.
+//!
+//! * [`views`] translates γ mapping rule sets into `CREATE VIEW` statements
+//!   following the general pattern of the paper's Figure 7 (one `UNION`
+//!   branch per rule; positive literals in `FROM`, shared variables as join
+//!   conditions, negative literals as `NOT EXISTS`).
+//! * [`triggers`] generates the write-side delta code (`INSTEAD OF`
+//!   triggers with insert/update/delete propagation statements).
+//! * [`generate`] walks a catalog genealogy and emits the complete delta
+//!   code for every table version under a materialization schema.
+//! * [`metrics`] implements the paper's code-size measures: lines of code,
+//!   statements, and characters with consecutive whitespace collapsed.
+//! * [`handwritten`] is the handwritten-SQL baseline corpus for the TasKy
+//!   example (what a developer would write without InVerDa), used to
+//!   regenerate Table 3.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod handwritten;
+pub mod metrics;
+pub mod triggers;
+pub mod views;
+
+pub use generate::delta_code_for_catalog;
+pub use metrics::CodeMetrics;

@@ -1,0 +1,185 @@
+//! Trigger generation: the write-side delta code.
+//!
+//! The paper (Section 6): "For writing, InVerDa generates three triggers on
+//! each table version: for inserts, deletes, and updates", derived from the
+//! same rule sets via update propagation, with `old ¬R(p,A)` guards for
+//! minimality. We emit PostgreSQL-flavoured `INSTEAD OF` trigger functions:
+//! per mapping rule one propagation statement per write kind, binding the
+//! changed tuple into each body literal that matches the written table.
+
+use crate::views::{expr_sql, select_branch};
+use inverda_datalog::ast::{Literal, Rule, RuleSet, Term};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Generate the three `INSTEAD OF` triggers for writes on `view_name`
+/// (a table version's view), where `rules` is the mapping toward the
+/// physical side and `written_rel` the rule-set relation the view stands
+/// for.
+pub fn trigger_sql(view_name: &str, written_rel: &str, rules: &RuleSet) -> String {
+    let mut out = String::new();
+    for (kind, keyword) in [
+        ("ins", "INSERT"),
+        ("upd", "UPDATE"),
+        ("del", "DELETE"),
+    ] {
+        let _ = writeln!(
+            out,
+            "CREATE FUNCTION {view_name}_{kind}() RETURNS trigger AS $$"
+        );
+        let _ = writeln!(out, "BEGIN");
+        let mut any = false;
+        for rule in &rules.rules {
+            for (i, lit) in rule.body.iter().enumerate() {
+                let touches = match lit {
+                    Literal::Pos(a) | Literal::Neg(a) => a.relation == written_rel,
+                    _ => false,
+                };
+                if !touches {
+                    continue;
+                }
+                any = true;
+                out.push_str(&propagation_statement(rule, i, keyword));
+            }
+        }
+        if !any {
+            let _ = writeln!(out, "  -- no propagation required");
+        }
+        let _ = writeln!(out, "  RETURN NEW;");
+        let _ = writeln!(out, "END $$ LANGUAGE plpgsql;");
+        let _ = writeln!(
+            out,
+            "CREATE TRIGGER {view_name}_{kind}_t INSTEAD OF {keyword} ON {view_name} \
+             FOR EACH ROW EXECUTE FUNCTION {view_name}_{kind}();"
+        );
+    }
+    out
+}
+
+/// One propagation statement: the rule's head is (re)derived for the
+/// written tuple bound at body position `pos` (the paper's Rules 52–54
+/// shape, with a `NOT EXISTS` minimality guard).
+fn propagation_statement(rule: &Rule, pos: usize, keyword: &str) -> String {
+    let head = &rule.head;
+    let mut s = String::new();
+    let bound_row = if keyword == "DELETE" { "OLD" } else { "NEW" };
+    // Bind the written literal's variables to NEW./OLD. columns.
+    let mut binding: BTreeMap<String, String> = BTreeMap::new();
+    if let Literal::Pos(atom) | Literal::Neg(atom) = &rule.body[pos] {
+        for (i, term) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = term {
+                binding.insert(v.clone(), format!("{bound_row}.c{i}"));
+            }
+        }
+    }
+    match keyword {
+        "INSERT" | "UPDATE" => {
+            let _ = writeln!(s, "  INSERT INTO {} ", head.relation);
+            let derived = derived_select(rule, pos, &binding);
+            s.push_str(&derived);
+            let guard: Vec<String> = head
+                .terms
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Term::Var(v) => binding.get(v).map(|b| format!("g.c{i} = {b}")),
+                    _ => None,
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  ON CONFLICT (c0) DO UPDATE SET {};",
+                if guard.is_empty() {
+                    "c0 = EXCLUDED.c0".to_string()
+                } else {
+                    "/* refresh payload */ c0 = EXCLUDED.c0".to_string()
+                }
+            );
+        }
+        "DELETE" => {
+            let key = match head.terms.first() {
+                Some(Term::Var(v)) => binding
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| format!("{bound_row}.c0")),
+                _ => format!("{bound_row}.c0"),
+            };
+            let _ = writeln!(
+                s,
+                "  DELETE FROM {} WHERE c0 = {key} AND NOT EXISTS (",
+                head.relation
+            );
+            s.push_str(&derived_select(rule, pos, &binding));
+            let _ = writeln!(s, "  );");
+        }
+        _ => unreachable!(),
+    }
+    s
+}
+
+/// The SELECT re-deriving the head for the bound tuple: the original rule
+/// branch with the written literal replaced by the NEW/OLD bindings.
+fn derived_select(rule: &Rule, pos: usize, binding: &BTreeMap<String, String>) -> String {
+    let remaining = Rule::new(
+        rule.head.clone(),
+        rule.body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, l)| l.clone())
+            .collect(),
+    );
+    let branch = select_branch(&remaining);
+    // Substitute NEW./OLD. bindings for the removed literal's variables.
+    let mut s = branch;
+    for (var, col) in binding {
+        s = s.replace(&format!("/*unbound {var}*/NULL"), col);
+    }
+    s
+}
+
+/// Render a user condition with NEW-row bindings (used for partition checks
+/// in handwritten-style triggers).
+pub fn condition_on_new(e: &inverda_storage::Expr, columns: &[String]) -> String {
+    let binding: BTreeMap<String, String> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (format!("c_{c}"), format!("NEW.c{}", i + 1)))
+        .collect();
+    expr_sql(e, &binding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_datalog::ast::Atom;
+    use inverda_storage::Expr;
+
+    fn rules() -> RuleSet {
+        RuleSet::new(vec![Rule::new(
+            Atom::vars("R", &["p", "a"]),
+            vec![
+                Literal::Pos(Atom::vars("T", &["p", "a"])),
+                Literal::Cond(Expr::col("c_x").gt(Expr::lit(0))),
+            ],
+        )])
+    }
+
+    #[test]
+    fn three_triggers_generated() {
+        let sql = trigger_sql("v_T", "T", &rules());
+        assert_eq!(sql.matches("CREATE TRIGGER").count(), 3);
+        assert_eq!(sql.matches("INSTEAD OF").count(), 3);
+        assert!(sql.contains("INSTEAD OF INSERT"));
+        assert!(sql.contains("INSTEAD OF UPDATE"));
+        assert!(sql.contains("INSTEAD OF DELETE"));
+        assert!(sql.contains("INSERT INTO R"));
+        assert!(sql.contains("DELETE FROM R"));
+    }
+
+    #[test]
+    fn unrelated_views_have_no_propagation() {
+        let sql = trigger_sql("v_X", "NoSuchRel", &rules());
+        assert!(sql.contains("no propagation required"));
+    }
+}

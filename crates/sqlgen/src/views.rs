@@ -1,0 +1,268 @@
+//! Datalog → `CREATE VIEW` translation (paper Figure 7).
+//!
+//! Each rule becomes one `SELECT` branch of a `UNION`: the rule head's
+//! terms form the select list, positive body atoms the `FROM` clause,
+//! repeated variables the join conditions, condition literals `WHERE`
+//! predicates, and negative literals `NOT EXISTS` subselects. Skolem
+//! id-generators appear as calls to the engine-provided function
+//! `inverda_id(generator, args…)` (a memoized sequence, Appendix B.3).
+
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_storage::Expr;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Generate a `CREATE VIEW` statement for `view_name` defined by the rules
+/// deriving head `head` in `rules`. `columns` names the view's columns.
+pub fn view_sql(view_name: &str, head: &str, columns: &[String], rules: &RuleSet) -> String {
+    let defining: Vec<&Rule> = rules.rules_for(head);
+    let mut out = String::new();
+    let cols = std::iter::once("p".to_string())
+        .chain(columns.iter().cloned())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "CREATE VIEW {view_name} ({cols}) AS");
+    if defining.is_empty() {
+        let _ = writeln!(out, "SELECT NULL WHERE FALSE;");
+        return out;
+    }
+    for (i, rule) in defining.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out, "UNION");
+        }
+        out.push_str(&select_branch(rule));
+    }
+    out.push_str(";\n");
+    out
+}
+
+/// One `SELECT` branch for a rule (Figure 7's subquery pattern).
+pub fn select_branch(rule: &Rule) -> String {
+    let mut from: Vec<(String, &Atom)> = Vec::new();
+    let mut wheres: Vec<String> = Vec::new();
+    // Variable -> first SQL column that binds it.
+    let mut binding: BTreeMap<String, String> = BTreeMap::new();
+
+    for lit in &rule.body {
+        if let Literal::Pos(atom) = lit {
+            let alias = format!("t{}", from.len());
+            for (pos, term) in atom.terms.iter().enumerate() {
+                let col = format!("{alias}.c{pos}");
+                match term {
+                    Term::Var(v) => match binding.get(v) {
+                        Some(first) => wheres.push(format!("{first} = {col}")),
+                        None => {
+                            binding.insert(v.clone(), col);
+                        }
+                    },
+                    Term::Const(c) => wheres.push(format!("{col} = {c}")),
+                    Term::Anon => {}
+                }
+            }
+            from.push((alias, atom));
+        }
+    }
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(_) => {}
+            Literal::Neg(atom) => wheres.push(not_exists(atom, &binding)),
+            Literal::Cond(e) => wheres.push(expr_sql(e, &binding)),
+            Literal::Assign { var, expr } => {
+                let sql = expr_sql(expr, &binding);
+                // Bind the variable to the expression if unbound, otherwise
+                // emit an equality check.
+                match binding.get(var) {
+                    Some(first) => wheres.push(format!("{first} = {sql}")),
+                    None => {
+                        binding.insert(var.clone(), sql);
+                    }
+                }
+            }
+            Literal::Skolem {
+                var,
+                generator,
+                args,
+            } => {
+                let args_sql: Vec<String> = args
+                    .iter()
+                    .map(|t| term_sql(t, &binding))
+                    .collect();
+                let call = format!("inverda_id('{generator}', {})", args_sql.join(", "));
+                match binding.get(var) {
+                    Some(first) => wheres.push(format!("{first} = {call}")),
+                    None => {
+                        binding.insert(var.clone(), call);
+                    }
+                }
+            }
+        }
+    }
+
+    let select_list: Vec<String> = rule
+        .head
+        .terms
+        .iter()
+        .map(|t| term_sql(t, &binding))
+        .collect();
+    let from_list: Vec<String> = from
+        .iter()
+        .map(|(alias, atom)| format!("{} {alias}", quote_rel(&atom.relation)))
+        .collect();
+    let mut s = String::new();
+    let _ = writeln!(s, "  SELECT {}", select_list.join(", "));
+    if !from_list.is_empty() {
+        let _ = writeln!(s, "  FROM {}", from_list.join(", "));
+    }
+    if !wheres.is_empty() {
+        let _ = writeln!(s, "  WHERE {}", wheres.join("\n    AND "));
+    }
+    s
+}
+
+fn not_exists(atom: &Atom, binding: &BTreeMap<String, String>) -> String {
+    let alias = "n";
+    let mut conds = Vec::new();
+    for (pos, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Var(v) => {
+                if let Some(col) = binding.get(v) {
+                    conds.push(format!("{alias}.c{pos} = {col}"));
+                }
+            }
+            Term::Const(c) => conds.push(format!("{alias}.c{pos} = {c}")),
+            Term::Anon => {}
+        }
+    }
+    let where_clause = if conds.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", conds.join(" AND "))
+    };
+    format!(
+        "NOT EXISTS (SELECT 1 FROM {} {alias}{where_clause})",
+        quote_rel(&atom.relation)
+    )
+}
+
+fn term_sql(term: &Term, binding: &BTreeMap<String, String>) -> String {
+    match term {
+        Term::Var(v) => binding
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| format!("/*unbound {v}*/NULL")),
+        Term::Const(c) => c.to_string(),
+        Term::Anon => "NULL".to_string(),
+    }
+}
+
+/// Render an expression with column references substituted by their SQL
+/// bindings.
+pub fn expr_sql(e: &Expr, binding: &BTreeMap<String, String>) -> String {
+    match e {
+        Expr::Column(c) => binding
+            .get(c)
+            .cloned()
+            .unwrap_or_else(|| format!("/*unbound {c}*/NULL")),
+        Expr::Lit(v) => v.to_string(),
+        Expr::Cmp(a, op, b) => format!(
+            "{} {} {}",
+            expr_sql(a, binding),
+            op.sql(),
+            expr_sql(b, binding)
+        ),
+        Expr::Binary(a, op, b) => format!(
+            "({} {} {})",
+            expr_sql(a, binding),
+            op.sql(),
+            expr_sql(b, binding)
+        ),
+        Expr::And(a, b) => format!("({} AND {})", expr_sql(a, binding), expr_sql(b, binding)),
+        Expr::Or(a, b) => format!("({} OR {})", expr_sql(a, binding), expr_sql(b, binding)),
+        Expr::Not(a) => format!("NOT ({})", expr_sql(a, binding)),
+        Expr::IsNull(a) => format!("{} IS NULL", expr_sql(a, binding)),
+        Expr::Call(name, args) => {
+            let parts: Vec<String> = args.iter().map(|a| expr_sql(a, binding)).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+    }
+}
+
+/// Quote a generated relation name (they contain `@` for shared-aux states).
+fn quote_rel(rel: &str) -> String {
+    if rel.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        rel.to_string()
+    } else {
+        format!("\"{rel}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_datalog::ast::{Atom, Literal, Rule};
+
+    fn split_src_rules() -> RuleSet {
+        // T ← R; T ← S, ¬R(p,_); plus a condition rule.
+        RuleSet::new(vec![
+            Rule::new(
+                Atom::vars("T", &["p", "a"]),
+                vec![Literal::Pos(Atom::vars("R", &["p", "a"]))],
+            ),
+            Rule::new(
+                Atom::vars("T", &["p", "a"]),
+                vec![
+                    Literal::Pos(Atom::vars("S", &["p", "a"])),
+                    Literal::Neg(Atom::new("R", vec![Term::var("p"), Term::Anon])),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn view_is_union_of_rule_branches() {
+        let sql = view_sql("v_T", "T", &["a".to_string()], &split_src_rules());
+        assert!(sql.starts_with("CREATE VIEW v_T (p, a) AS"));
+        assert_eq!(sql.matches("SELECT").count(), 3); // 2 branches + NOT EXISTS
+        assert_eq!(sql.matches("UNION").count(), 1);
+        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM R n WHERE n.c0 = t0.c0)"));
+    }
+
+    #[test]
+    fn conditions_and_joins_render() {
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("J", &["p", "a", "b"]),
+            vec![
+                Literal::Pos(Atom::vars("S", &["p", "a"])),
+                Literal::Pos(Atom::vars("T", &["p", "b"])),
+                Literal::Cond(Expr::col("a").lt(Expr::col("b"))),
+            ],
+        )]);
+        let sql = view_sql("v_J", "J", &["a".into(), "b".into()], &rules);
+        // Shared key variable p joins the two atoms.
+        assert!(sql.contains("t0.c0 = t1.c0"), "{sql}");
+        assert!(sql.contains("t0.c1 < t1.c1"), "{sql}");
+    }
+
+    #[test]
+    fn skolem_renders_as_generator_call() {
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("A", &["t", "name"]),
+            vec![
+                Literal::Pos(Atom::vars("T", &["p", "name"])),
+                Literal::Skolem {
+                    var: "t".into(),
+                    generator: "gen_author".into(),
+                    args: vec![Term::var("name")],
+                },
+            ],
+        )]);
+        let sql = view_sql("v_A", "A", &["name".into()], &rules);
+        assert!(sql.contains("inverda_id('gen_author', t0.c1)"), "{sql}");
+    }
+
+    #[test]
+    fn empty_head_yields_empty_view() {
+        let sql = view_sql("v_X", "X", &[], &RuleSet::default());
+        assert!(sql.contains("WHERE FALSE"));
+    }
+}

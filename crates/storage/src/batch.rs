@@ -1,0 +1,188 @@
+//! Atomic write batches.
+//!
+//! One logical write on a schema version fans out — through the SMO delta
+//! rules — into many physical writes across data tables and auxiliary tables.
+//! The paper's prototype rides on the host DBMS's transactions ("maintaining
+//! transaction guarantees"); here a [`WriteBatch`] is applied atomically by
+//! the engine: either every operation succeeds or the storage state is
+//! rolled back to the pre-batch state.
+
+use crate::relation::Row;
+use crate::value::Key;
+
+/// A single physical write operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    /// Insert `row` under `key` into `table`. Fails if the key exists.
+    Insert {
+        /// Target physical table.
+        table: String,
+        /// Tuple identifier.
+        key: Key,
+        /// Row payload.
+        row: Row,
+    },
+    /// Insert-or-replace `row` under `key`.
+    Upsert {
+        /// Target physical table.
+        table: String,
+        /// Tuple identifier.
+        key: Key,
+        /// Row payload.
+        row: Row,
+    },
+    /// Delete the row under `key`. Fails if absent.
+    Delete {
+        /// Target physical table.
+        table: String,
+        /// Tuple identifier.
+        key: Key,
+    },
+    /// Delete the row under `key` if it exists (no-op otherwise).
+    DeleteIfPresent {
+        /// Target physical table.
+        table: String,
+        /// Tuple identifier.
+        key: Key,
+    },
+    /// Replace the row under `key`. Fails if absent.
+    Update {
+        /// Target physical table.
+        table: String,
+        /// Tuple identifier.
+        key: Key,
+        /// New row payload.
+        row: Row,
+    },
+}
+
+impl WriteOp {
+    /// The table this operation touches.
+    pub fn table(&self) -> &str {
+        match self {
+            WriteOp::Insert { table, .. }
+            | WriteOp::Upsert { table, .. }
+            | WriteOp::Delete { table, .. }
+            | WriteOp::DeleteIfPresent { table, .. }
+            | WriteOp::Update { table, .. } => table,
+        }
+    }
+
+    /// The key this operation addresses.
+    pub fn key(&self) -> Key {
+        match self {
+            WriteOp::Insert { key, .. }
+            | WriteOp::Upsert { key, .. }
+            | WriteOp::Delete { key, .. }
+            | WriteOp::DeleteIfPresent { key, .. }
+            | WriteOp::Update { key, .. } => *key,
+        }
+    }
+}
+
+/// An ordered list of write operations applied atomically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WriteBatch {
+    /// Operations in application order.
+    pub ops: Vec<WriteOp>,
+}
+
+impl WriteBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queue an insert.
+    pub fn insert(&mut self, table: impl Into<String>, key: Key, row: Row) -> &mut Self {
+        self.ops.push(WriteOp::Insert {
+            table: table.into(),
+            key,
+            row,
+        });
+        self
+    }
+
+    /// Queue an upsert.
+    pub fn upsert(&mut self, table: impl Into<String>, key: Key, row: Row) -> &mut Self {
+        self.ops.push(WriteOp::Upsert {
+            table: table.into(),
+            key,
+            row,
+        });
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, table: impl Into<String>, key: Key) -> &mut Self {
+        self.ops.push(WriteOp::Delete {
+            table: table.into(),
+            key,
+        });
+        self
+    }
+
+    /// Queue a tolerant delete.
+    pub fn delete_if_present(&mut self, table: impl Into<String>, key: Key) -> &mut Self {
+        self.ops.push(WriteOp::DeleteIfPresent {
+            table: table.into(),
+            key,
+        });
+        self
+    }
+
+    /// Queue an update.
+    pub fn update(&mut self, table: impl Into<String>, key: Key, row: Row) -> &mut Self {
+        self.ops.push(WriteOp::Update {
+            table: table.into(),
+            key,
+            row,
+        });
+        self
+    }
+
+    /// Append all ops of another batch.
+    pub fn extend(&mut self, other: WriteBatch) -> &mut Self {
+        self.ops.extend(other.ops);
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let mut b = WriteBatch::new();
+        b.insert("T", Key(1), vec![Value::Int(1)])
+            .delete("T", Key(2))
+            .update("U", Key(3), vec![Value::Int(9)]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.ops[0].table(), "T");
+        assert_eq!(b.ops[2].table(), "U");
+        assert_eq!(b.ops[1].key(), Key(2));
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = WriteBatch::new();
+        a.insert("T", Key(1), vec![]);
+        let mut b = WriteBatch::new();
+        b.delete("T", Key(1));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,349 @@
+//! The storage engine: a namespace of physical tables plus sequences.
+//!
+//! Concurrency model: a single `RwLock` over the table map. InVerDa's write
+//! propagation touches several tables per logical write and the paper's
+//! evaluation measures single-thread performance; a coarse lock keeps batch
+//! application trivially atomic while still allowing concurrent readers.
+
+use crate::batch::{WriteBatch, WriteOp};
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::TableSchema;
+use crate::value::Key;
+use crate::Result;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Named monotonic sequences.
+///
+/// `next_key()` serves the global InVerDa identifier sequence `p`; named
+/// sequences back the skolem `idT(B)` functions of the id-generating SMOs
+/// ("in our implementation, this is merely a regular SQL sequence",
+/// Appendix B.3).
+#[derive(Debug, Default)]
+pub struct SequenceSet {
+    key_seq: AtomicU64,
+    named: Mutex<BTreeMap<String, u64>>,
+}
+
+impl SequenceSet {
+    /// Fresh sequence set starting at 1.
+    pub fn new() -> Self {
+        SequenceSet {
+            key_seq: AtomicU64::new(1),
+            named: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Next value of the global key sequence.
+    pub fn next_key(&self) -> Key {
+        Key(self.key_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Bump the key sequence so it exceeds `floor` (used when loading data
+    /// with externally assigned keys).
+    pub fn ensure_key_above(&self, floor: u64) {
+        self.key_seq.fetch_max(floor + 1, Ordering::Relaxed);
+    }
+
+    /// Next value of the named sequence (created on first use, starting at 1).
+    pub fn next(&self, name: &str) -> u64 {
+        let mut named = self.named.lock();
+        let counter = named.entry(name.to_string()).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    /// Current value of the key sequence (for diagnostics).
+    pub fn current_key(&self) -> u64 {
+        self.key_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// A namespace of physical tables.
+#[derive(Debug, Default)]
+pub struct Storage {
+    tables: RwLock<BTreeMap<String, Relation>>,
+    sequences: SequenceSet,
+}
+
+impl Storage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Storage {
+            tables: RwLock::new(BTreeMap::new()),
+            sequences: SequenceSet::new(),
+        }
+    }
+
+    /// The sequence set.
+    pub fn sequences(&self) -> &SequenceSet {
+        &self.sequences
+    }
+
+    /// Create an empty table. Fails if the name is taken.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(StorageError::TableExists { table: schema.name });
+        }
+        tables.insert(schema.name.clone(), Relation::new(schema));
+        Ok(())
+    }
+
+    /// Create a table pre-filled with `rel`'s rows (used by migration).
+    pub fn create_table_with(&self, rel: Relation) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(rel.name()) {
+            return Err(StorageError::TableExists {
+                table: rel.name().to_string(),
+            });
+        }
+        tables.insert(rel.name().to_string(), rel);
+        Ok(())
+    }
+
+    /// Drop a table, returning its final contents.
+    pub fn drop_table(&self, name: &str) -> Result<Relation> {
+        self.tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// True iff the physical table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Names of all physical tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Schema of a physical table.
+    pub fn schema_of(&self, name: &str) -> Result<TableSchema> {
+        self.with_table(name, |rel| rel.schema().clone())
+    }
+
+    /// Number of rows in a physical table.
+    pub fn row_count(&self, name: &str) -> Result<usize> {
+        self.with_table(name, |rel| rel.len())
+    }
+
+    /// Run a closure against a read-locked table.
+    pub fn with_table<T>(&self, name: &str, f: impl FnOnce(&Relation) -> T) -> Result<T> {
+        let tables = self.tables.read();
+        let rel = tables.get(name).ok_or_else(|| StorageError::UnknownTable {
+            table: name.to_string(),
+        })?;
+        Ok(f(rel))
+    }
+
+    /// Clone a table's current state (a consistent snapshot).
+    pub fn snapshot(&self, name: &str) -> Result<Relation> {
+        self.with_table(name, |rel| rel.clone())
+    }
+
+    /// Snapshot several tables under one read lock (mutually consistent).
+    pub fn snapshot_many(&self, names: &[&str]) -> Result<Vec<Relation>> {
+        let tables = self.tables.read();
+        names
+            .iter()
+            .map(|name| {
+                tables
+                    .get(*name)
+                    .cloned()
+                    .ok_or_else(|| StorageError::UnknownTable {
+                        table: (*name).to_string(),
+                    })
+            })
+            .collect()
+    }
+
+    /// Apply a batch atomically: on any failure the pre-batch state of every
+    /// touched table is restored and the error returned.
+    pub fn apply(&self, batch: &WriteBatch) -> Result<()> {
+        let mut tables = self.tables.write();
+        // Undo log: table name -> its state before the first mutation.
+        let mut undo: BTreeMap<String, Relation> = BTreeMap::new();
+        for op in &batch.ops {
+            let name = op.table().to_string();
+            let rel = match tables.get_mut(&name) {
+                Some(rel) => rel,
+                None => {
+                    let err = StorageError::UnknownTable { table: name };
+                    Self::rollback(&mut tables, undo);
+                    return Err(err);
+                }
+            };
+            if !undo.contains_key(rel.name()) {
+                undo.insert(rel.name().to_string(), rel.clone());
+            }
+            let res = match op {
+                WriteOp::Insert { key, row, .. } => rel.insert(*key, row.clone()),
+                WriteOp::Upsert { key, row, .. } => rel.upsert(*key, row.clone()),
+                WriteOp::Delete { key, .. } => rel.delete(*key).map(|_| ()),
+                WriteOp::DeleteIfPresent { key, .. } => {
+                    rel.delete_if_present(*key);
+                    Ok(())
+                }
+                WriteOp::Update { key, row, .. } => rel.update(*key, row.clone()).map(|_| ()),
+            };
+            if let Err(err) = res {
+                Self::rollback(&mut tables, undo);
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    fn rollback(tables: &mut BTreeMap<String, Relation>, undo: BTreeMap<String, Relation>) {
+        for (name, rel) in undo {
+            tables.insert(name, rel);
+        }
+    }
+
+    /// Replace a table's entire contents (used by migration when moving data
+    /// to a new physical schema).
+    pub fn replace_table(&self, rel: Relation) -> Result<()> {
+        let mut tables = self.tables.write();
+        if !tables.contains_key(rel.name()) {
+            return Err(StorageError::UnknownTable {
+                table: rel.name().to_string(),
+            });
+        }
+        tables.insert(rel.name().to_string(), rel);
+        Ok(())
+    }
+
+    /// Total number of rows across all tables (diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.tables.read().values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn storage_with_t() -> Storage {
+        let s = Storage::new();
+        s.create_table(TableSchema::new("T", ["a", "b"]).unwrap())
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let s = storage_with_t();
+        assert!(s.has_table("T"));
+        assert!(s.create_table(TableSchema::new("T", ["x"]).unwrap()).is_err());
+        s.drop_table("T").unwrap();
+        assert!(!s.has_table("T"));
+        assert!(s.drop_table("T").is_err());
+    }
+
+    #[test]
+    fn batch_applies_atomically() {
+        let s = storage_with_t();
+        let mut good = WriteBatch::new();
+        good.insert("T", Key(1), vec![Value::Int(1), Value::Int(2)]);
+        s.apply(&good).unwrap();
+        assert_eq!(s.row_count("T").unwrap(), 1);
+
+        // Second op fails (duplicate key) -> first op must be rolled back.
+        let mut bad = WriteBatch::new();
+        bad.insert("T", Key(2), vec![Value::Int(3), Value::Int(4)])
+            .insert("T", Key(1), vec![Value::Int(5), Value::Int(6)]);
+        assert!(s.apply(&bad).is_err());
+        assert_eq!(s.row_count("T").unwrap(), 1);
+        assert!(s.with_table("T", |r| r.get(Key(2)).is_none()).unwrap());
+    }
+
+    #[test]
+    fn batch_against_missing_table_rolls_back() {
+        let s = storage_with_t();
+        let mut bad = WriteBatch::new();
+        bad.insert("T", Key(7), vec![Value::Int(0), Value::Int(0)])
+            .insert("NoSuch", Key(8), vec![]);
+        assert!(s.apply(&bad).is_err());
+        assert_eq!(s.row_count("T").unwrap(), 0);
+    }
+
+    #[test]
+    fn sequences_are_monotonic_and_independent() {
+        let s = Storage::new();
+        let k1 = s.sequences().next_key();
+        let k2 = s.sequences().next_key();
+        assert!(k2 > k1);
+        assert_eq!(s.sequences().next("id_Author"), 1);
+        assert_eq!(s.sequences().next("id_Author"), 2);
+        assert_eq!(s.sequences().next("id_Task"), 1);
+        s.sequences().ensure_key_above(1000);
+        assert!(s.sequences().next_key().0 > 1000);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let s = storage_with_t();
+        let mut b = WriteBatch::new();
+        b.insert("T", Key(1), vec![Value::Int(1), Value::Int(1)]);
+        s.apply(&b).unwrap();
+        let snap = s.snapshot("T").unwrap();
+        let mut b2 = WriteBatch::new();
+        b2.delete("T", Key(1));
+        s.apply(&b2).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(s.row_count("T").unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_many_is_consistent() {
+        let s = storage_with_t();
+        s.create_table(TableSchema::new("U", ["x"]).unwrap()).unwrap();
+        let rels = s.snapshot_many(&["T", "U"]).unwrap();
+        assert_eq!(rels.len(), 2);
+        assert!(s.snapshot_many(&["T", "Nope"]).is_err());
+    }
+
+    #[test]
+    fn replace_table_swaps_contents() {
+        let s = storage_with_t();
+        let mut new_rel = Relation::with_columns("T", ["a", "b"]);
+        new_rel
+            .insert(Key(42), vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        s.replace_table(new_rel).unwrap();
+        assert_eq!(s.row_count("T").unwrap(), 1);
+        let orphan = Relation::with_columns("Ghost", ["x"]);
+        assert!(s.replace_table(orphan).is_err());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::sync::Arc;
+        let s = Arc::new(storage_with_t());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let key = Key((t * 1000 + i) as u64);
+                    let mut b = WriteBatch::new();
+                    b.insert("T", key, vec![Value::Int(t as i64), Value::Int(i as i64)]);
+                    s.apply(&b).unwrap();
+                    let _ = s.snapshot("T").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.row_count("T").unwrap(), 200);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists.
+    TableExists {
+        /// Offending table name.
+        table: String,
+    },
+    /// The named table does not exist.
+    UnknownTable {
+        /// Missing table name.
+        table: String,
+    },
+    /// The named column does not exist in the table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// A column name occurs twice in one schema.
+    DuplicateColumn {
+        /// Offending table name.
+        table: String,
+        /// Duplicated column name.
+        column: String,
+    },
+    /// A row's arity does not match the table schema.
+    ArityMismatch {
+        /// Table written to.
+        table: String,
+        /// Columns the schema defines.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Insert with a key that is already present.
+    DuplicateKey {
+        /// Table written to.
+        table: String,
+        /// The colliding key value.
+        key: u64,
+    },
+    /// Update/delete addressed a key that is not present.
+    MissingKey {
+        /// Table written to.
+        table: String,
+        /// The missing key value.
+        key: u64,
+    },
+    /// Expression evaluation failure (unknown column, bad operand types…).
+    Expression {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists { table } => write!(f, "table '{table}' already exists"),
+            StorageError::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            StorageError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column '{column}' in table '{table}'")
+            }
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch on table '{table}': schema has {expected} columns, row has {got}"
+            ),
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key #{key} in table '{table}'")
+            }
+            StorageError::MissingKey { table, key } => {
+                write!(f, "missing key #{key} in table '{table}'")
+            }
+            StorageError::Expression { message } => write!(f, "expression error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl StorageError {
+    /// Convenience constructor for expression errors.
+    pub fn expr(message: impl Into<String>) -> Self {
+        StorageError::Expression {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::UnknownColumn {
+            table: "Task".into(),
+            column: "prio".into(),
+        };
+        assert!(e.to_string().contains("prio"));
+        assert!(e.to_string().contains("Task"));
+        let e = StorageError::ArityMismatch {
+            table: "T".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

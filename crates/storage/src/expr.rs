@@ -1,0 +1,540 @@
+//! Scalar expressions: the `cR`/`cS` split conditions, join conditions
+//! `c(A,B)`, and column functions `f(r1,…,rn)` of BiDEL SMOs.
+//!
+//! Expressions are evaluated against a [`RowContext`] binding column names to
+//! values, which lets one expression be evaluated against tuples of any table
+//! version that provides the referenced attributes.
+
+use crate::error::StorageError;
+use crate::value::Value;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to two values. `Null` compared with anything yields `false`
+    /// (SQL's UNKNOWN collapsed for filtering), except `Eq`/`Ne` between two
+    /// nulls which follow `IS [NOT] DISTINCT FROM` semantics so that ω
+    /// markers can be tested.
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        use CmpOp::*;
+        match (a.is_null(), b.is_null()) {
+            (true, true) => matches!(self, Eq | Le | Ge),
+            (true, false) | (false, true) => matches!(self, Ne),
+            (false, false) => match self {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+            },
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Binary arithmetic / string operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+` (numeric addition; string concatenation when both sides text)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl BinaryOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column of the current row by name.
+    Column(String),
+    /// A literal value.
+    Lit(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Binary arithmetic / concat.
+    Binary(Box<Expr>, BinaryOp, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `IS NULL` test.
+    IsNull(Box<Expr>),
+    /// Built-in scalar function call (`lower`, `upper`, `abs`, `length`,
+    /// `coalesce`, `concat`).
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ne, Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluate against a row context.
+    pub fn eval(&self, ctx: &dyn RowContext) -> Result<Value> {
+        match self {
+            Expr::Column(name) => ctx
+                .value_of(name)
+                .ok_or_else(|| StorageError::expr(format!("unbound column '{name}'"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(a, op, b) => {
+                let va = a.eval(ctx)?;
+                let vb = b.eval(ctx)?;
+                Ok(Value::Bool(op.apply(&va, &vb)))
+            }
+            Expr::Binary(a, op, b) => {
+                let va = a.eval(ctx)?;
+                let vb = b.eval(ctx)?;
+                eval_binary(*op, &va, &vb)
+            }
+            Expr::And(a, b) => Ok(Value::Bool(
+                a.eval(ctx)?.is_truthy() && b.eval(ctx)?.is_truthy(),
+            )),
+            Expr::Or(a, b) => Ok(Value::Bool(
+                a.eval(ctx)?.is_truthy() || b.eval(ctx)?.is_truthy(),
+            )),
+            Expr::Not(a) => Ok(Value::Bool(!a.eval(ctx)?.is_truthy())),
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(ctx)?.is_null())),
+            Expr::Call(name, args) => {
+                let vals: Vec<Value> = args.iter().map(|e| e.eval(ctx)).collect::<Result<_>>()?;
+                eval_call(name, &vals)
+            }
+        }
+    }
+
+    /// Evaluate as a boolean condition.
+    pub fn matches(&self, ctx: &dyn RowContext) -> Result<bool> {
+        Ok(self.eval(ctx)?.is_truthy())
+    }
+
+    /// Column names referenced anywhere in the expression (sorted, deduped).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Lit(_) => {}
+            Expr::Cmp(a, _, b) | Expr::Binary(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.collect_columns(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrite column references via the mapping (used when an SMO renames
+    /// columns between versions).
+    pub fn rename_columns(&self, mapping: &BTreeMap<String, String>) -> Expr {
+        match self {
+            Expr::Column(c) => Expr::Column(mapping.get(c).cloned().unwrap_or_else(|| c.clone())),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(a, op, b) => Expr::Cmp(
+                Box::new(a.rename_columns(mapping)),
+                *op,
+                Box::new(b.rename_columns(mapping)),
+            ),
+            Expr::Binary(a, op, b) => Expr::Binary(
+                Box::new(a.rename_columns(mapping)),
+                *op,
+                Box::new(b.rename_columns(mapping)),
+            ),
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.rename_columns(mapping)),
+                Box::new(b.rename_columns(mapping)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.rename_columns(mapping)),
+                Box::new(b.rename_columns(mapping)),
+            ),
+            Expr::Not(a) => Expr::Not(Box::new(a.rename_columns(mapping))),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.rename_columns(mapping))),
+            Expr::Call(name, args) => Expr::Call(
+                name.clone(),
+                args.iter().map(|a| a.rename_columns(mapping)).collect(),
+            ),
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Concat => Ok(Value::text(format!(
+            "{}{}",
+            display_raw(a),
+            display_raw(b)
+        ))),
+        Add if matches!((a, b), (Value::Text(_), Value::Text(_))) => {
+            Ok(Value::text(format!("{}{}", display_raw(a), display_raw(b))))
+        }
+        _ => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => match op {
+                Add => Ok(Value::Int(x.wrapping_add(*y))),
+                Sub => Ok(Value::Int(x.wrapping_sub(*y))),
+                Mul => Ok(Value::Int(x.wrapping_mul(*y))),
+                Div => {
+                    if *y == 0 {
+                        Err(StorageError::expr("division by zero"))
+                    } else {
+                        Ok(Value::Int(x / y))
+                    }
+                }
+                Mod => {
+                    if *y == 0 {
+                        Err(StorageError::expr("modulo by zero"))
+                    } else {
+                        Ok(Value::Int(x % y))
+                    }
+                }
+                Concat => unreachable!(),
+            },
+            _ => {
+                let (x, y) = match (a.as_float(), b.as_float()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(StorageError::expr(format!(
+                            "cannot apply {} to {a} and {b}",
+                            op.sql()
+                        )))
+                    }
+                };
+                match op {
+                    Add => Ok(Value::Float(x + y)),
+                    Sub => Ok(Value::Float(x - y)),
+                    Mul => Ok(Value::Float(x * y)),
+                    Div => Ok(Value::Float(x / y)),
+                    Mod => Ok(Value::Float(x % y)),
+                    Concat => unreachable!(),
+                }
+            }
+        },
+    }
+}
+
+fn display_raw(v: &Value) -> String {
+    match v {
+        Value::Text(t) => t.to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn eval_call(name: &str, args: &[Value]) -> Result<Value> {
+    match (name, args) {
+        ("lower", [Value::Text(t)]) => Ok(Value::text(t.to_lowercase())),
+        ("upper", [Value::Text(t)]) => Ok(Value::text(t.to_uppercase())),
+        ("length", [Value::Text(t)]) => Ok(Value::Int(t.chars().count() as i64)),
+        ("abs", [Value::Int(i)]) => Ok(Value::Int(i.abs())),
+        ("abs", [Value::Float(f)]) => Ok(Value::Float(f.abs())),
+        ("coalesce", vals) => Ok(vals
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        ("concat", vals) => Ok(Value::text(
+            vals.iter().map(display_raw).collect::<String>(),
+        )),
+        (_, [v]) if v.is_null() => Ok(Value::Null),
+        _ => Err(StorageError::expr(format!(
+            "unknown function or bad arguments: {name}/{}",
+            args.len()
+        ))),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(a, op, b) => write!(f, "{a} {} {b}", op.sql()),
+            Expr::Binary(a, op, b) => write!(f, "({a} {} {b})", op.sql()),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "NOT ({a})"),
+            Expr::IsNull(a) => write!(f, "{a} IS NULL"),
+            Expr::Call(name, args) => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{name}({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+/// Binds column names to values during expression evaluation.
+pub trait RowContext {
+    /// The value bound to `column`, if any.
+    fn value_of(&self, column: &str) -> Option<Value>;
+}
+
+impl RowContext for BTreeMap<String, Value> {
+    fn value_of(&self, column: &str) -> Option<Value> {
+        self.get(column).cloned()
+    }
+}
+
+/// Context pairing a schema's column list with one row.
+pub struct NamedRow<'a> {
+    /// Column names, aligned with `row`.
+    pub columns: &'a [String],
+    /// The row payload.
+    pub row: &'a [Value],
+}
+
+impl RowContext for NamedRow<'_> {
+    fn value_of(&self, column: &str) -> Option<Value> {
+        self.columns
+            .iter()
+            .position(|c| c == column)
+            .map(|i| self.row[i].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn split_condition_prio_eq_1() {
+        // The paper's Do! split: SPLIT TABLE Task INTO Todo WITH prio=1
+        let cond = Expr::col("prio").eq(Expr::lit(1));
+        assert!(cond.matches(&ctx(&[("prio", Value::Int(1))])).unwrap());
+        assert!(!cond.matches(&ctx(&[("prio", Value::Int(3))])).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_follow_distinct_from_semantics() {
+        let eq = Expr::col("a").eq(Expr::col("b"));
+        let ne = Expr::col("a").ne(Expr::col("b"));
+        let both_null = ctx(&[("a", Value::Null), ("b", Value::Null)]);
+        let one_null = ctx(&[("a", Value::Null), ("b", Value::Int(1))]);
+        assert!(eq.matches(&both_null).unwrap());
+        assert!(!ne.matches(&both_null).unwrap());
+        assert!(!eq.matches(&one_null).unwrap());
+        assert!(ne.matches(&one_null).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let e = Expr::Binary(
+            Box::new(Expr::lit(7)),
+            BinaryOp::Add,
+            Box::new(Expr::lit(5)),
+        );
+        assert_eq!(e.eval(&ctx(&[])).unwrap(), Value::Int(12));
+        let div = Expr::Binary(
+            Box::new(Expr::lit(1)),
+            BinaryOp::Div,
+            Box::new(Expr::lit(0)),
+        );
+        assert!(div.eval(&ctx(&[])).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let e = Expr::Binary(
+            Box::new(Expr::col("a")),
+            BinaryOp::Mul,
+            Box::new(Expr::lit(2)),
+        );
+        assert_eq!(e.eval(&ctx(&[("a", Value::Null)])).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn functions() {
+        let c = ctx(&[("name", Value::text("Ann"))]);
+        assert_eq!(
+            Expr::Call("lower".into(), vec![Expr::col("name")])
+                .eval(&c)
+                .unwrap(),
+            Value::text("ann")
+        );
+        assert_eq!(
+            Expr::Call("length".into(), vec![Expr::col("name")])
+                .eval(&c)
+                .unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Expr::Call(
+                "coalesce".into(),
+                vec![Expr::lit(Value::Null), Expr::lit(5)]
+            )
+            .eval(&c)
+            .unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Expr::Call(
+                "concat".into(),
+                vec![Expr::col("name"), Expr::lit("!")]
+            )
+            .eval(&c)
+            .unwrap(),
+            Value::text("Ann!")
+        );
+    }
+
+    #[test]
+    fn referenced_columns_collects_and_dedups() {
+        let e = Expr::col("b")
+            .eq(Expr::lit(1))
+            .and(Expr::col("a").gt(Expr::col("b")));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn rename_columns_rewrites_refs() {
+        let e = Expr::col("author").eq(Expr::lit("Ann"));
+        let mut m = BTreeMap::new();
+        m.insert("author".to_string(), "name".to_string());
+        assert_eq!(e.rename_columns(&m), Expr::col("name").eq(Expr::lit("Ann")));
+    }
+
+    #[test]
+    fn named_row_context() {
+        let cols = vec!["a".to_string(), "b".to_string()];
+        let row = vec![Value::Int(1), Value::text("x")];
+        let ctx = NamedRow {
+            columns: &cols,
+            row: &row,
+        };
+        assert_eq!(ctx.value_of("b"), Some(Value::text("x")));
+        assert_eq!(ctx.value_of("zz"), None);
+    }
+
+    #[test]
+    fn unbound_column_is_an_error() {
+        let e = Expr::col("missing");
+        assert!(e.eval(&ctx(&[])).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::col("prio").eq(Expr::lit(1)).and(Expr::col("a").lt(Expr::col("b")));
+        assert_eq!(e.to_string(), "(prio = 1 AND a < b)");
+    }
+}

@@ -1,0 +1,352 @@
+//! Keyed relations: the unit of data every mapping rule consumes/produces.
+//!
+//! A [`Relation`] is a set of rows indexed by the InVerDa identifier `p`
+//! ([`Key`]). The unique key makes relations behave as sets (the paper's
+//! bridge between SQL multisets and Datalog sets) and makes diffing two side
+//! states — the heart of write propagation and migration — a linear merge.
+
+use crate::error::StorageError;
+use crate::schema::TableSchema;
+use crate::value::{Key, Value};
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row's payload (the key is stored separately as the map key).
+pub type Row = Vec<Value>;
+
+/// A named, keyed relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: TableSchema,
+    rows: BTreeMap<Key, Row>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Relation {
+            schema,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// Empty relation with name and columns (panics on duplicate columns —
+    /// callers constructing literals in code).
+    pub fn with_columns(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Relation::new(TableSchema::new(name, columns).expect("valid schema"))
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row under `key`. Fails if the key exists or arity mismatches.
+    pub fn insert(&mut self, key: Key, row: Row) -> Result<()> {
+        self.check_arity(&row)?;
+        if self.rows.contains_key(&key) {
+            return Err(StorageError::DuplicateKey {
+                table: self.schema.name.clone(),
+                key: key.0,
+            });
+        }
+        self.rows.insert(key, row);
+        Ok(())
+    }
+
+    /// Insert or replace a row under `key`.
+    pub fn upsert(&mut self, key: Key, row: Row) -> Result<()> {
+        self.check_arity(&row)?;
+        self.rows.insert(key, row);
+        Ok(())
+    }
+
+    /// Remove the row under `key`, returning it.
+    pub fn delete(&mut self, key: Key) -> Result<Row> {
+        self.rows
+            .remove(&key)
+            .ok_or_else(|| StorageError::MissingKey {
+                table: self.schema.name.clone(),
+                key: key.0,
+            })
+    }
+
+    /// Remove the row under `key` if present.
+    pub fn delete_if_present(&mut self, key: Key) -> Option<Row> {
+        self.rows.remove(&key)
+    }
+
+    /// Replace the row under `key`. Fails if absent.
+    pub fn update(&mut self, key: Key, row: Row) -> Result<Row> {
+        self.check_arity(&row)?;
+        match self.rows.get_mut(&key) {
+            Some(slot) => Ok(std::mem::replace(slot, row)),
+            None => Err(StorageError::MissingKey {
+                table: self.schema.name.clone(),
+                key: key.0,
+            }),
+        }
+    }
+
+    /// Row lookup by key.
+    pub fn get(&self, key: Key) -> Option<&Row> {
+        self.rows.get(&key)
+    }
+
+    /// True iff a row with this key exists.
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.rows.contains_key(&key)
+    }
+
+    /// Iterate `(key, row)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &Row)> + '_ {
+        self.rows.iter().map(|(k, r)| (*k, r))
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Value of `column` in the row under `key`.
+    pub fn value(&self, key: Key, column: &str) -> Option<&Value> {
+        let idx = self.schema.column_index(column)?;
+        self.rows.get(&key).map(|r| &r[idx])
+    }
+
+    /// Project to the named columns (key is always carried along).
+    pub fn project(&self, columns: &[&str]) -> Result<Relation> {
+        let idxs: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                self.schema
+                    .column_index(c)
+                    .ok_or_else(|| StorageError::UnknownColumn {
+                        table: self.schema.name.clone(),
+                        column: (*c).to_string(),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        let schema = TableSchema::new(self.schema.name.clone(), columns.iter().copied())?;
+        let mut out = Relation::new(schema);
+        for (k, row) in &self.rows {
+            let projected: Row = idxs.iter().map(|&i| row[i].clone()).collect();
+            out.rows.insert(*k, projected);
+        }
+        Ok(out)
+    }
+
+    /// Keep only rows satisfying the predicate.
+    pub fn filter(&self, mut pred: impl FnMut(Key, &Row) -> bool) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        for (k, row) in &self.rows {
+            if pred(*k, row) {
+                out.rows.insert(*k, row.clone());
+            }
+        }
+        out
+    }
+
+    /// Rename the relation (schema name only).
+    pub fn renamed(mut self, name: impl Into<String>) -> Relation {
+        self.schema.name = name.into();
+        self
+    }
+
+    /// Set-difference by (key,row): rows of `self` not present identically in
+    /// `other`. Schemas must have equal arity.
+    pub fn minus(&self, other: &Relation) -> Relation {
+        self.filter(|k, row| other.get(k) != Some(row))
+    }
+
+    /// The delta turning `from` into `self`, as (deletes, inserts, updates).
+    ///
+    /// * deletes: keys in `from` missing from `self`
+    /// * inserts: keys in `self` missing from `from`
+    /// * updates: keys in both with differing payload (new row reported)
+    pub fn diff(&self, from: &Relation) -> RelationDelta {
+        let mut delta = RelationDelta::default();
+        for (k, row) in &from.rows {
+            match self.rows.get(k) {
+                None => delta.deletes.push((*k, row.clone())),
+                Some(new_row) if new_row != row => {
+                    delta.updates.push((*k, row.clone(), new_row.clone()))
+                }
+                _ => {}
+            }
+        }
+        for (k, row) in &self.rows {
+            if !from.rows.contains_key(k) {
+                delta.inserts.push((*k, row.clone()));
+            }
+        }
+        delta
+    }
+
+    /// Remove every row. Keeps the schema.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    fn check_arity(&self, row: &Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (k, row) in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {k}: [{}]", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Differences between two relation states, produced by [`Relation::diff`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Rows present only in the old state: `(key, old_row)`.
+    pub deletes: Vec<(Key, Row)>,
+    /// Rows present only in the new state: `(key, new_row)`.
+    pub inserts: Vec<(Key, Row)>,
+    /// Rows present in both with changed payload: `(key, old_row, new_row)`.
+    pub updates: Vec<(Key, Row, Row)>,
+}
+
+impl RelationDelta {
+    /// True iff nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.inserts.is_empty() && self.updates.is_empty()
+    }
+
+    /// Total number of changed rows.
+    pub fn len(&self) -> usize {
+        self.deletes.len() + self.inserts.len() + self.updates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let mut r = Relation::with_columns("Task", ["author", "task", "prio"]);
+        r.insert(Key(1), vec!["Ann".into(), "Organize party".into(), 3.into()])
+            .unwrap();
+        r.insert(Key(2), vec!["Ben".into(), "Learn for exam".into(), 2.into()])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_delete_update_roundtrip() {
+        let mut r = rel();
+        assert_eq!(r.len(), 2);
+        assert!(r.insert(Key(1), vec!["x".into(), "y".into(), 1.into()]).is_err());
+        let old = r
+            .update(Key(1), vec!["Ann".into(), "Write paper".into(), 1.into()])
+            .unwrap();
+        assert_eq!(old[1], Value::text("Organize party"));
+        assert_eq!(r.value(Key(1), "task"), Some(&Value::text("Write paper")));
+        let removed = r.delete(Key(2)).unwrap();
+        assert_eq!(removed[0], Value::text("Ben"));
+        assert!(r.delete(Key(2)).is_err());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = rel();
+        assert!(matches!(
+            r.insert(Key(9), vec!["only-one".into()]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn project_keeps_keys() {
+        let r = rel();
+        let p = r.project(&["task"]).unwrap();
+        assert_eq!(p.schema().columns, vec!["task"]);
+        assert_eq!(p.value(Key(2), "task"), Some(&Value::text("Learn for exam")));
+        assert!(r.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn filter_by_prio() {
+        let r = rel();
+        let urgent = r.filter(|_, row| row[2] == Value::Int(2));
+        assert_eq!(urgent.len(), 1);
+        assert!(urgent.contains_key(Key(2)));
+    }
+
+    #[test]
+    fn diff_computes_minimal_delta() {
+        let old = rel();
+        let mut new = rel();
+        new.delete(Key(2)).unwrap();
+        new.insert(Key(3), vec!["Ann".into(), "Write paper".into(), 1.into()])
+            .unwrap();
+        new.update(Key(1), vec!["Ann".into(), "Organize party".into(), 2.into()])
+            .unwrap();
+        let d = new.diff(&old);
+        assert_eq!(d.deletes.len(), 1);
+        assert_eq!(d.inserts.len(), 1);
+        assert_eq!(d.updates.len(), 1);
+        assert_eq!(d.deletes[0].0, Key(2));
+        assert_eq!(d.inserts[0].0, Key(3));
+        assert_eq!(d.updates[0].0, Key(1));
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(new.diff(&new).is_empty());
+    }
+
+    #[test]
+    fn minus_removes_identical_rows() {
+        let a = rel();
+        let mut b = rel();
+        b.update(Key(1), vec!["Ann".into(), "Changed".into(), 3.into()])
+            .unwrap();
+        let m = a.minus(&b);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(Key(1)));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut r = Relation::with_columns("T", ["a"]);
+        for k in [5u64, 1, 3] {
+            r.insert(Key(k), vec![Value::Int(k as i64)]).unwrap();
+        }
+        let keys: Vec<u64> = r.keys().map(|k| k.0).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Table schemas: a name plus an ordered list of column names.
+//!
+//! InVerDa works purely on the relational structure — the paper restricts
+//! BiDEL's expressiveness to the relational algebra and defers constraint
+//! evolution to future work — so a schema here is just the column list.
+//! The identifier column `p` is implicit and never appears in the list.
+
+use crate::error::StorageError;
+use crate::Result;
+use std::fmt;
+
+/// Schema of one (physical or virtual) table: its name and column names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableSchema {
+    /// Table name, unique within one storage namespace.
+    pub name: String,
+    /// Ordered column names (the implicit key column `p` is not listed).
+    pub columns: Vec<String>,
+}
+
+impl TableSchema {
+    /// Create a schema; column names must be unique.
+    pub fn new(name: impl Into<String>, columns: impl IntoIterator<Item = impl Into<String>>) -> Result<Self> {
+        let name = name.into();
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(StorageError::DuplicateColumn {
+                    table: name,
+                    column: c.clone(),
+                });
+            }
+        }
+        Ok(TableSchema { name, columns })
+    }
+
+    /// Number of columns (excluding the implicit key).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    /// Whether the schema contains the column.
+    pub fn has_column(&self, column: &str) -> bool {
+        self.column_index(column).is_some()
+    }
+
+    /// A copy with the table renamed.
+    pub fn renamed(&self, new_name: impl Into<String>) -> Self {
+        TableSchema {
+            name: new_name.into(),
+            columns: self.columns.clone(),
+        }
+    }
+
+    /// A copy with one column renamed.
+    pub fn with_renamed_column(&self, old: &str, new: &str) -> Result<Self> {
+        let idx = self
+            .column_index(old)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: old.to_string(),
+            })?;
+        if self.has_column(new) {
+            return Err(StorageError::DuplicateColumn {
+                table: self.name.clone(),
+                column: new.to_string(),
+            });
+        }
+        let mut columns = self.columns.clone();
+        columns[idx] = new.to_string();
+        Ok(TableSchema {
+            name: self.name.clone(),
+            columns,
+        })
+    }
+
+    /// A copy with one column appended.
+    pub fn with_column(&self, column: &str) -> Result<Self> {
+        if self.has_column(column) {
+            return Err(StorageError::DuplicateColumn {
+                table: self.name.clone(),
+                column: column.to_string(),
+            });
+        }
+        let mut columns = self.columns.clone();
+        columns.push(column.to_string());
+        Ok(TableSchema {
+            name: self.name.clone(),
+            columns,
+        })
+    }
+
+    /// A copy with one column removed.
+    pub fn without_column(&self, column: &str) -> Result<Self> {
+        let idx = self
+            .column_index(column)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: column.to_string(),
+            })?;
+        let mut columns = self.columns.clone();
+        columns.remove(idx);
+        Ok(TableSchema {
+            name: self.name.clone(),
+            columns,
+        })
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        assert!(TableSchema::new("t", ["a", "b", "a"]).is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = TableSchema::new("Task", ["author", "task", "prio"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("task"), Some(1));
+        assert!(s.has_column("prio"));
+        assert!(!s.has_column("missing"));
+    }
+
+    #[test]
+    fn rename_column() {
+        let s = TableSchema::new("Author", ["author"]).unwrap();
+        let s2 = s.with_renamed_column("author", "name").unwrap();
+        assert_eq!(s2.columns, vec!["name"]);
+        assert!(s.with_renamed_column("nope", "x").is_err());
+        let s3 = TableSchema::new("T", ["a", "b"]).unwrap();
+        assert!(s3.with_renamed_column("a", "b").is_err());
+    }
+
+    #[test]
+    fn add_and_drop_column() {
+        let s = TableSchema::new("T", ["a"]).unwrap();
+        let s2 = s.with_column("b").unwrap();
+        assert_eq!(s2.columns, vec!["a", "b"]);
+        assert!(s2.with_column("a").is_err());
+        let s3 = s2.without_column("a").unwrap();
+        assert_eq!(s3.columns, vec!["b"]);
+        assert!(s3.without_column("zz").is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = TableSchema::new("Todo", ["author", "task"]).unwrap();
+        assert_eq!(s.to_string(), "Todo(author, task)");
+    }
+}

@@ -1,0 +1,73 @@
+//! The Technology Adoption Life Cycle curve (Figures 9/10).
+//!
+//! The paper: "Assume, over time the workload changes from 0 % access to
+//! TasKy2 and 100 % to TasKy to the opposite … according to the Technology
+//! Adoption Life Cycle." We model adoption as the logistic CDF, the
+//! standard S-curve underlying the adoption life cycle.
+
+/// Fraction of accesses going to the *new* version in time slice
+/// `slice ∈ 0..slices` (monotone 0 → 1, S-shaped).
+pub fn adoption_fraction(slice: usize, slices: usize) -> f64 {
+    if slices <= 1 {
+        return 1.0;
+    }
+    // Centered logistic with k chosen so the tails are ~1 % / 99 %.
+    let t = slice as f64 / (slices - 1) as f64; // 0..1
+    let k = 10.0;
+    let raw = 1.0 / (1.0 + f64::exp(-k * (t - 0.5)));
+    // Normalize so slice 0 is exactly 0 and the last slice exactly 1.
+    let lo = 1.0 / (1.0 + f64::exp(k * 0.5));
+    let hi = 1.0 / (1.0 + f64::exp(-k * 0.5));
+    (raw - lo) / (hi - lo)
+}
+
+/// A two-phase adoption (Figure 10): users move Do! → TasKy → TasKy2.
+/// Returns `(do_fraction, tasky_fraction, tasky2_fraction)` per slice.
+pub fn two_phase_adoption(slice: usize, slices: usize) -> (f64, f64, f64) {
+    // First half: Do! -> TasKy; second half: TasKy -> TasKy2, overlapping.
+    let half = slices / 2;
+    let first = adoption_fraction(slice.min(half), half.max(1));
+    let second = if slice > half {
+        adoption_fraction(slice - half, slices - half)
+    } else {
+        0.0
+    };
+    let do_frac = (1.0 - first).max(0.0);
+    let tasky2_frac = second;
+    let tasky_frac = (1.0 - do_frac - tasky2_frac).max(0.0);
+    (do_frac, tasky_frac, tasky2_frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_curve_endpoints_and_monotone() {
+        let n = 100;
+        assert!(adoption_fraction(0, n).abs() < 1e-9);
+        assert!((adoption_fraction(n - 1, n) - 1.0).abs() < 1e-9);
+        let mut prev = -1.0;
+        for s in 0..n {
+            let f = adoption_fraction(s, n);
+            assert!(f >= prev);
+            prev = f;
+        }
+        // Midpoint is ~50 %.
+        let mid = adoption_fraction(n / 2, n);
+        assert!((mid - 0.5).abs() < 0.05, "{mid}");
+    }
+
+    #[test]
+    fn two_phase_fractions_sum_to_one() {
+        let n = 100;
+        for s in 0..n {
+            let (a, b, c) = two_phase_adoption(s, n);
+            assert!((a + b + c - 1.0).abs() < 1e-6, "slice {s}: {a} {b} {c}");
+        }
+        let (a0, _, c0) = two_phase_adoption(0, n);
+        assert!(a0 > 0.99 && c0 < 0.01);
+        let (a1, _, c1) = two_phase_adoption(n - 1, n);
+        assert!(a1 < 0.01 && c1 > 0.99);
+    }
+}

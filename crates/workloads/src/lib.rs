@@ -1,0 +1,109 @@
+//! # inverda-workloads
+//!
+//! Workload and scenario generators for the paper's evaluation (Section 8):
+//!
+//! * [`tasky`] — the running TasKy / Do! / TasKy2 example (Figure 1), its
+//!   data generator, the workload mixes of Figures 8/9/11, and a
+//!   *hand-written* delta-code baseline implementing the same co-existing
+//!   versions directly against the storage engine (the paper's handwritten
+//!   SQL competitor);
+//! * [`wikimedia`] — a synthetic 171-version Wikimedia evolution history
+//!   reproducing Table 4's SMO histogram, with an Akan-wiki-sized data
+//!   loader (Figure 12);
+//! * [`micro`] — two-SMO chain scenarios for the scaling micro-benchmark
+//!   (Figure 13);
+//! * [`adoption`] — the Technology Adoption Life Cycle curve driving the
+//!   workload shift of Figures 9/10.
+
+#![warn(missing_docs)]
+
+pub mod adoption;
+pub mod micro;
+pub mod tasky;
+pub mod wikimedia;
+
+/// A workload mix in percent (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Percent of read operations (table scans).
+    pub reads: u32,
+    /// Percent of inserts.
+    pub inserts: u32,
+    /// Percent of updates.
+    pub updates: u32,
+    /// Percent of deletes.
+    pub deletes: u32,
+}
+
+impl Mix {
+    /// The paper's standard mix: 50 % reads, 20 % inserts, 20 % updates,
+    /// 10 % deletes (Section 8.3).
+    pub const STANDARD: Mix = Mix {
+        reads: 50,
+        inserts: 20,
+        updates: 20,
+        deletes: 10,
+    };
+    /// 100 % reads (Figure 11b).
+    pub const READ_ONLY: Mix = Mix {
+        reads: 100,
+        inserts: 0,
+        updates: 0,
+        deletes: 0,
+    };
+    /// 100 % inserts (Figure 11c).
+    pub const INSERT_ONLY: Mix = Mix {
+        reads: 0,
+        inserts: 100,
+        updates: 0,
+        deletes: 0,
+    };
+
+    /// Pick an operation kind for `roll` ∈ 0..100.
+    pub fn pick(&self, roll: u32) -> OpKind {
+        let r = roll % 100;
+        if r < self.reads {
+            OpKind::Read
+        } else if r < self.reads + self.inserts {
+            OpKind::Insert
+        } else if r < self.reads + self.inserts + self.updates {
+            OpKind::Update
+        } else {
+            OpKind::Delete
+        }
+    }
+}
+
+/// A workload operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Full scan of the version's main table.
+    Read,
+    /// Insert of a fresh row.
+    Insert,
+    /// Update of an existing row.
+    Update,
+    /// Delete of an existing row.
+    Delete,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_picks_proportionally() {
+        let mut counts = [0usize; 4];
+        for roll in 0..100 {
+            match Mix::STANDARD.pick(roll) {
+                OpKind::Read => counts[0] += 1,
+                OpKind::Insert => counts[1] += 1,
+                OpKind::Update => counts[2] += 1,
+                OpKind::Delete => counts[3] += 1,
+            }
+        }
+        assert_eq!(counts, [50, 20, 20, 10]);
+        assert_eq!(Mix::READ_ONLY.pick(99), OpKind::Read);
+        assert_eq!(Mix::INSERT_ONLY.pick(0), OpKind::Insert);
+    }
+}

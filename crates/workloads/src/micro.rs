@@ -1,0 +1,255 @@
+//! Two-SMO chain scenarios for the scaling micro-benchmark (Figure 13 and
+//! the "all possible evolutions with two SMOs" study of Section 8.3).
+//!
+//! Each scenario is `V1 –SMO1→ V2 –SMO2→ V3` where V2 always contains a
+//! table `R(a, b, c)` (the paper's setup); the tuple count of R is the
+//! sweep parameter. Renames and create/drop SMOs are excluded ("they have
+//! no relevant performance overhead in the first place").
+
+use inverda_core::Inverda;
+use inverda_storage::Value;
+
+/// The SMO kinds that participate in the pair micro-benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairSmo {
+    /// `ADD COLUMN d AS a + b INTO R`
+    AddColumn,
+    /// `DROP COLUMN c FROM R DEFAULT 0`
+    DropColumn,
+    /// `SPLIT TABLE R INTO R WITH a < N/2, Rx WITH a >= N/2`
+    Split,
+    /// `MERGE` (first position only: V1 has two halves merged into R).
+    Merge,
+    /// `DECOMPOSE TABLE R INTO R(a, b), Rx(c) ON PK`
+    DecomposePk,
+    /// `JOIN` (first position only: V1 has two PK-related tables).
+    JoinPk,
+    /// `DECOMPOSE TABLE R INTO R(a, c), Rx(b) ON FOREIGN KEY fk`
+    DecomposeFk,
+}
+
+/// All kinds usable as the first SMO.
+pub const FIRSTS: &[PairSmo] = &[
+    PairSmo::AddColumn,
+    PairSmo::DropColumn,
+    PairSmo::Split,
+    PairSmo::Merge,
+    PairSmo::DecomposePk,
+    PairSmo::JoinPk,
+    PairSmo::DecomposeFk,
+];
+
+/// All kinds usable as the second SMO (single-input shapes).
+pub const SECONDS: &[PairSmo] = &[
+    PairSmo::AddColumn,
+    PairSmo::DropColumn,
+    PairSmo::Split,
+    PairSmo::DecomposePk,
+    PairSmo::DecomposeFk,
+];
+
+impl PairSmo {
+    /// Short label (paper's abbreviations: A = add, D = decompose, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            PairSmo::AddColumn => "ADD",
+            PairSmo::DropColumn => "DROP",
+            PairSmo::Split => "SPLIT",
+            PairSmo::Merge => "MERGE",
+            PairSmo::DecomposePk => "DEC_PK",
+            PairSmo::JoinPk => "JOIN_PK",
+            PairSmo::DecomposeFk => "DEC_FK",
+        }
+    }
+}
+
+/// A built two-SMO scenario.
+pub struct PairScenario {
+    /// The database with versions V1, V2, V3.
+    pub db: Inverda,
+    /// Table to read in V2 (always `R`).
+    pub v2_table: &'static str,
+    /// Table to read in V3 (the evolved `R`).
+    pub v3_table: &'static str,
+    /// Scenario label (`first→second`).
+    pub label: String,
+}
+
+/// SMO1 as a BiDEL fragment producing V2's `R(a, b, c)` from V1, plus V1's
+/// DDL.
+fn first_script(kind: PairSmo, n: usize) -> (String, String) {
+    let half = (n / 2) as i64;
+    match kind {
+        PairSmo::AddColumn => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE R(a, b);".into(),
+            "CREATE SCHEMA VERSION V2 FROM V1 WITH ADD COLUMN c AS a + b INTO R;".into(),
+        ),
+        PairSmo::DropColumn => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE R(a, b, c, d);".into(),
+            "CREATE SCHEMA VERSION V2 FROM V1 WITH DROP COLUMN d FROM R DEFAULT 0;".into(),
+        ),
+        PairSmo::Split => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b, c);".into(),
+            format!(
+                "CREATE SCHEMA VERSION V2 FROM V1 WITH \
+                 SPLIT TABLE T INTO R WITH a < {half}, Rest WITH a >= {half};"
+            ),
+        ),
+        PairSmo::Merge => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE Lo(a, b, c); CREATE TABLE Hi(a, b, c);"
+                .into(),
+            format!(
+                "CREATE SCHEMA VERSION V2 FROM V1 WITH \
+                 MERGE TABLE Lo (a < {half}), Hi (a >= {half}) INTO R;"
+            ),
+        ),
+        PairSmo::DecomposePk => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b, c, x);".into(),
+            "CREATE SCHEMA VERSION V2 FROM V1 WITH \
+             DECOMPOSE TABLE T INTO R(a, b, c), X(x) ON PK;"
+                .into(),
+        ),
+        PairSmo::JoinPk => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b, c);".into(),
+            // Produce two PK-related halves, then join them back — the
+            // measured hop is the JOIN.
+            "CREATE SCHEMA VERSION V1b FROM V1 WITH \
+               DECOMPOSE TABLE T INTO S(a), U(b, c) ON PK; \
+             CREATE SCHEMA VERSION V2 FROM V1b WITH \
+               JOIN TABLE S, U INTO R ON PK;"
+                .into(),
+        ),
+        PairSmo::DecomposeFk => (
+            "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b, c, w);".into(),
+            "CREATE SCHEMA VERSION V2 FROM V1 WITH \
+             DECOMPOSE TABLE T INTO R(a, b, c), W(w) ON FOREIGN KEY fk; \
+             DROP COLUMN fk FROM R DEFAULT NULL;"
+                .into(),
+        ),
+    }
+}
+
+/// SMO2 as a BiDEL fragment evolving V2's `R` into V3. Returns the script
+/// and the table to observe in V3.
+fn second_script(kind: PairSmo, n: usize) -> (String, &'static str) {
+    let half = (n / 2) as i64;
+    match kind {
+        PairSmo::AddColumn => (
+            "CREATE SCHEMA VERSION V3 FROM V2 WITH ADD COLUMN e AS a + 1 INTO R;".into(),
+            "R",
+        ),
+        PairSmo::DropColumn => (
+            "CREATE SCHEMA VERSION V3 FROM V2 WITH DROP COLUMN c FROM R DEFAULT 0;".into(),
+            "R",
+        ),
+        PairSmo::Split => (
+            format!(
+                "CREATE SCHEMA VERSION V3 FROM V2 WITH \
+                 SPLIT TABLE R INTO R WITH a < {half}, R2 WITH a >= {half};"
+            ),
+            "R",
+        ),
+        PairSmo::DecomposePk => (
+            "CREATE SCHEMA VERSION V3 FROM V2 WITH \
+             DECOMPOSE TABLE R INTO R(a, b), C(c) ON PK;"
+                .into(),
+            "R",
+        ),
+        PairSmo::DecomposeFk => (
+            "CREATE SCHEMA VERSION V3 FROM V2 WITH \
+             DECOMPOSE TABLE R INTO R(a, c), B2(b) ON FOREIGN KEY fk2;"
+                .into(),
+            "R",
+        ),
+        PairSmo::Merge | PairSmo::JoinPk => unreachable!("multi-input SMOs are first-only"),
+    }
+}
+
+/// Column arity of V1's load surface per first-SMO kind.
+fn v1_tables(kind: PairSmo) -> Vec<(&'static str, usize)> {
+    match kind {
+        PairSmo::AddColumn => vec![("R", 2)],
+        PairSmo::DropColumn => vec![("R", 4)],
+        PairSmo::Split | PairSmo::JoinPk => vec![("T", 3)],
+        PairSmo::DecomposePk | PairSmo::DecomposeFk => vec![("T", 4)],
+        PairSmo::Merge => vec![("Lo", 3), ("Hi", 3)],
+    }
+}
+
+/// Build a pair scenario with `n` tuples, loaded at V1.
+pub fn build_pair(first: PairSmo, second: PairSmo, n: usize) -> PairScenario {
+    let (v1, smo1) = first_script(first, n);
+    let (smo2, v3_table) = second_script(second, n);
+    let db = Inverda::new();
+    db.execute(&v1).expect("V1");
+    db.execute(&smo1).expect("SMO1");
+    db.execute(&smo2).expect("SMO2");
+    // Load. `a` spans 0..n so split conditions partition evenly.
+    for (table, arity) in v1_tables(first) {
+        let range: Box<dyn Iterator<Item = usize>> = match (first, table) {
+            (PairSmo::Merge, "Lo") => Box::new(0..n / 2),
+            (PairSmo::Merge, "Hi") => Box::new(n / 2..n),
+            _ => Box::new(0..n),
+        };
+        let rows: Vec<Vec<Value>> = range
+            .map(|i| {
+                (0..arity)
+                    .map(|col| match col {
+                        0 => Value::Int(i as i64),
+                        1 => Value::Int((i % 97) as i64),
+                        _ => Value::Int((i % 13) as i64),
+                    })
+                    .collect()
+            })
+            .collect();
+        db.insert_many("V1", table, rows).expect("load");
+    }
+    PairScenario {
+        db,
+        v2_table: "R",
+        v3_table,
+        label: format!("{}→{}", first.label(), second.label()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_first_yields_r_abc_in_v2() {
+        for &first in FIRSTS {
+            let s = build_pair(first, PairSmo::AddColumn, 40);
+            let cols = s.db.columns_of("V2", "R").expect(s.label.as_str());
+            assert_eq!(
+                cols,
+                vec!["a", "b", "c"],
+                "{}: V2.R columns",
+                s.label
+            );
+            let count = s.db.count("V2", "R").unwrap();
+            assert!(count > 0, "{}: empty V2.R", s.label);
+        }
+    }
+
+    #[test]
+    fn every_pair_builds_and_reads_v3() {
+        for &first in FIRSTS {
+            for &second in SECONDS {
+                let s = build_pair(first, second, 24);
+                let n3 = s.db.count("V3", s.v3_table).expect(s.label.as_str());
+                assert!(n3 > 0, "{}: empty V3", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_reads_survive_materialization_changes() {
+        let s = build_pair(PairSmo::Split, PairSmo::AddColumn, 30);
+        let before = s.db.count("V3", "R").unwrap();
+        s.db.execute("MATERIALIZE 'V2';").unwrap();
+        assert_eq!(s.db.count("V3", "R").unwrap(), before);
+        s.db.execute("MATERIALIZE 'V3';").unwrap();
+        assert_eq!(s.db.count("V3", "R").unwrap(), before);
+    }
+}

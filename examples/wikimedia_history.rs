@@ -1,0 +1,52 @@
+//! The 171-version Wikimedia evolution benchmark: install the full history,
+//! load wiki-shaped data in the 109th version, and read it through schema
+//! versions decades of releases apart (Section 8.1/8.3).
+//!
+//! Run with: `cargo run --release --example wikimedia_history`
+
+use inverda::workloads::wikimedia;
+
+fn main() {
+    println!("installing {} schema versions (211 SMOs)…", wikimedia::VERSIONS);
+    let t = std::time::Instant::now();
+    let db = wikimedia::install();
+    println!("installed in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    // Load a small Akan-wiki-shaped data set at the 109th version.
+    db.execute(&format!(
+        "MATERIALIZE '{}';",
+        wikimedia::version_name(wikimedia::LOAD_VERSION)
+    ))
+    .unwrap();
+    wikimedia::load_akan(&db, wikimedia::LOAD_VERSION, 0.005);
+    println!(
+        "loaded ~{} pages / ~{} links at {}",
+        (wikimedia::AKAN_PAGES as f64 * 0.005) as usize,
+        (wikimedia::AKAN_LINKS as f64 * 0.005) as usize,
+        wikimedia::version_name(wikimedia::LOAD_VERSION)
+    );
+
+    // The same data is visible through every schema version.
+    for v in [1, 28, 109, 171] {
+        let name = wikimedia::version_name(v);
+        let pages = db.count(&name, "page").unwrap();
+        let cols = db.columns_of(&name, "page").unwrap();
+        println!("{name}: page has {pages} rows and {} columns: {:?}", cols.len(), cols);
+    }
+
+    // Write through the oldest version; read through the newest.
+    let v1 = wikimedia::version_name(1);
+    let v171 = wikimedia::version_name(171);
+    let k = db
+        .insert(
+            &v1,
+            "page",
+            vec!["Brand_new_page".into(), 0.into(), "hello".into()],
+        )
+        .unwrap();
+    let row = db.get(&v171, "page", k).unwrap().unwrap();
+    println!(
+        "page inserted via {v1} is visible in {v171} with {} columns (ADD COLUMN defaults applied)",
+        row.len()
+    );
+}

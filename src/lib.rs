@@ -1,0 +1,43 @@
+//! # inverda
+//!
+//! Co-existing schema versions with the bidirectional database evolution
+//! language **BiDEL** — a from-scratch Rust reproduction of
+//! *"Living in Parallel Realities: Co-Existing Schema Versions with a
+//! Bidirectional Database Evolution Language"* (Herrmann, Voigt, Behrend,
+//! Rausch, Lehner — SIGMOD 2017).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`storage`] — in-memory relational storage substrate;
+//! * [`datalog`] — the rule formalism: evaluation, update propagation, and
+//!   the simplification lemmas behind the bidirectionality proofs;
+//! * [`bidel`] — the BiDEL language (parser, SMOs, γ mappings, verifier);
+//! * [`catalog`] — schema version catalog and materialization schemas;
+//! * [`core`] — the InVerDa engine ([`Inverda`]);
+//! * [`sqlgen`] — SQL delta-code generation and code metrics;
+//! * [`workloads`] — TasKy / Wikimedia / micro-benchmark scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use inverda::Inverda;
+//!
+//! let db = Inverda::new();
+//! db.execute("CREATE SCHEMA VERSION V1 WITH CREATE TABLE t(a, b);").unwrap();
+//! db.execute("CREATE SCHEMA VERSION V2 FROM V1 WITH ADD COLUMN c AS a + b INTO t;").unwrap();
+//! let k = db.insert("V1", "t", vec![1.into(), 2.into()]).unwrap();
+//! assert_eq!(db.get("V2", "t", k).unwrap().unwrap()[2], 3.into());
+//! db.execute("MATERIALIZE 'V2';").unwrap();
+//! assert_eq!(db.get("V1", "t", k).unwrap().unwrap().len(), 2);
+//! ```
+
+pub use inverda_bidel as bidel;
+pub use inverda_catalog as catalog;
+pub use inverda_core as core;
+pub use inverda_datalog as datalog;
+pub use inverda_sqlgen as sqlgen;
+pub use inverda_storage as storage;
+pub use inverda_workloads as workloads;
+
+pub use inverda_core::{CoreError, ExecutionOutcome, Inverda, WritePath};
+pub use inverda_storage::{Key, Relation, Value};

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full TasKy lifecycle across every
+//! valid materialization, the Wikimedia chain, SQL generation over a live
+//! catalog, and concurrent readers against a writer.
+
+use inverda::workloads::{tasky, wikimedia};
+use inverda::{Inverda, Value, WritePath};
+
+fn tasky_db_with_data(n: usize) -> Inverda {
+    let db = tasky::build();
+    tasky::load_tasks(&db, n);
+    db
+}
+
+fn full_snapshot(db: &Inverda) -> String {
+    let mut out = String::new();
+    for v in db.versions() {
+        for t in db.tables_of(&v).unwrap() {
+            out.push_str(&format!("{v}.{t}:\n{}", db.scan(&v, &t).unwrap()));
+        }
+    }
+    out
+}
+
+#[test]
+fn tasky_lifecycle_across_all_five_materializations() {
+    let db = tasky_db_with_data(60);
+    // Write through every version first.
+    db.insert("Do!", "Todo", vec!["Eve".into(), "todo".into()]).unwrap();
+    let author = db.scan("TasKy2", "Author").unwrap().keys().next().unwrap();
+    db.insert(
+        "TasKy2",
+        "Task",
+        vec!["t2 task".into(), 2.into(), Value::Int(author.0 as i64)],
+    )
+    .unwrap();
+    let before = full_snapshot(&db);
+    // Table 2's five materialization schemas, via their MATERIALIZE targets.
+    for target in ["Do!", "TasKy", "TasKy2", "TasKy2.Task", "Do!.Todo", "TasKy"] {
+        db.execute(&format!("MATERIALIZE '{target}';")).unwrap();
+        assert_eq!(full_snapshot(&db), before, "state changed at '{target}'");
+    }
+}
+
+#[test]
+fn writes_after_each_migration_reach_every_version() {
+    let db = tasky_db_with_data(30);
+    for (i, target) in ["TasKy2", "Do!", "TasKy"].iter().enumerate() {
+        db.execute(&format!("MATERIALIZE '{target}';")).unwrap();
+        let k = db
+            .insert(
+                "TasKy",
+                "Task",
+                vec![
+                    Value::text(format!("auth{i}")),
+                    Value::text(format!("after-mig {i}")),
+                    Value::Int(1),
+                ],
+            )
+            .unwrap();
+        assert!(db.scan("Do!", "Todo").unwrap().contains_key(k), "at {target}");
+        assert!(db.scan("TasKy2", "Task").unwrap().contains_key(k), "at {target}");
+        db.delete("TasKy2", "Task", k).unwrap();
+        assert!(db.get("TasKy", "Task", k).unwrap().is_none(), "at {target}");
+    }
+}
+
+#[test]
+fn drop_schema_version_keeps_shared_data() {
+    let db = tasky_db_with_data(10);
+    db.execute("DROP SCHEMA VERSION Do!;").unwrap();
+    assert!(!db.versions().contains(&"Do!".to_string()));
+    assert_eq!(db.count("TasKy", "Task").unwrap(), 10);
+    assert_eq!(db.count("TasKy2", "Task").unwrap(), 10);
+    assert!(db.scan("Do!", "Todo").is_err());
+}
+
+#[test]
+fn sql_delta_code_generates_for_live_catalogs() {
+    // The generated SQL artifact exists for every non-local table version
+    // and flips when the materialization flips.
+    use inverda::bidel::{parse_script, Statement};
+    use inverda::catalog::{Genealogy, MaterializationSchema};
+    let mut g = Genealogy::new();
+    for script in [tasky::SCRIPT_TASKY, tasky::SCRIPT_DO, tasky::SCRIPT_TASKY2] {
+        for stmt in parse_script(script).unwrap().statements {
+            if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
+                g.create_schema_version(&name, from.as_deref(), &smos).unwrap();
+            }
+        }
+    }
+    for m in MaterializationSchema::enumerate_valid(&g) {
+        let script = inverda::sqlgen::generate::full_script(&g, &m);
+        assert!(script.contains("CREATE"), "empty delta code for {m}");
+    }
+}
+
+#[test]
+fn wikimedia_chain_end_to_end() {
+    let db = wikimedia::install();
+    db.execute(&format!(
+        "MATERIALIZE '{}';",
+        wikimedia::version_name(wikimedia::LOAD_VERSION)
+    ))
+    .unwrap();
+    wikimedia::load_akan(&db, wikimedia::LOAD_VERSION, 0.001);
+    let loaded = wikimedia::query_version(&db, wikimedia::LOAD_VERSION);
+    assert!(loaded > 0);
+    // Reads agree across the whole chain, before and after re-migration.
+    assert_eq!(wikimedia::query_version(&db, 1), loaded);
+    assert_eq!(wikimedia::query_version(&db, 171), loaded);
+    db.execute(&format!("MATERIALIZE '{}';", wikimedia::version_name(171)))
+        .unwrap();
+    assert_eq!(wikimedia::query_version(&db, 1), loaded);
+    assert_eq!(wikimedia::query_version(&db, 28), loaded);
+}
+
+#[test]
+fn delta_and_recompute_paths_agree_end_to_end() {
+    let run = |path: WritePath| {
+        let db = tasky_db_with_data(20);
+        db.set_write_path(path);
+        db.execute("MATERIALIZE 'TasKy2';").unwrap();
+        let mut keys = db.scan("TasKy", "Task").unwrap().keys().collect::<Vec<_>>();
+        let mut rng = tasky::rng(3);
+        tasky::run_mix(
+            &db,
+            "Do!",
+            inverda::workloads::Mix::STANDARD,
+            15,
+            &mut keys,
+            &mut rng,
+        );
+        full_snapshot(&db)
+    };
+    assert_eq!(run(WritePath::Delta), run(WritePath::Recompute));
+}
+
+#[test]
+fn concurrent_readers_see_consistent_states() {
+    use std::sync::Arc;
+    let db = Arc::new(tasky_db_with_data(50));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut reads = 0usize;
+            barrier.wait();
+            loop {
+                // Every read must observe the invariant: Do! rows are a
+                // subset of TasKy rows.
+                let todo = db.scan("Do!", "Todo").unwrap();
+                let task = db.scan("TasKy", "Task").unwrap();
+                assert!(todo.len() <= task.len());
+                reads += 1;
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+            }
+            reads
+        }));
+    }
+    barrier.wait();
+    for i in 0..30 {
+        db.insert(
+            "TasKy",
+            "Task",
+            vec![
+                Value::text(format!("c{i}")),
+                Value::text(format!("concurrent {i}")),
+                Value::Int((i % 3 + 1) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        assert!(h.join().unwrap() > 0);
+    }
+    assert_eq!(db.count("TasKy", "Task").unwrap(), 80);
+}
+
+#[test]
+fn crossbeam_scoped_writers_on_disjoint_versions() {
+    // Writers on different versions serialize through the engine and all
+    // writes land exactly once.
+    let db = tasky_db_with_data(10);
+    crossbeam::scope(|s| {
+        s.spawn(|_| {
+            for i in 0..10 {
+                db.insert(
+                    "TasKy",
+                    "Task",
+                    vec![
+                        Value::text(format!("w1-{i}")),
+                        Value::text("x"),
+                        Value::Int(1),
+                    ],
+                )
+                .unwrap();
+            }
+        });
+        s.spawn(|_| {
+            for i in 0..10 {
+                db.insert(
+                    "Do!",
+                    "Todo",
+                    vec![Value::text(format!("w2-{i}")), Value::text("y")],
+                )
+                .unwrap();
+            }
+        });
+    })
+    .unwrap();
+    assert_eq!(db.count("TasKy", "Task").unwrap(), 30);
+    assert_eq!(db.count("Do!", "Todo").unwrap(), 10 + 10 + 4); // prio-1 seeds
+}

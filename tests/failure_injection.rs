@@ -1,0 +1,191 @@
+//! Failure-injection and edge-case integration tests: the engine must
+//! reject invalid operations with clean errors and never leave partially
+//! applied state behind.
+
+use inverda::{Inverda, Value};
+
+fn tasky() -> Inverda {
+    let db = Inverda::new();
+    db.execute(
+        "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
+         CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+           SPLIT TABLE Task INTO Todo WITH prio = 1; \
+           DROP COLUMN prio FROM Todo DEFAULT 1;",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn arity_mismatch_is_rejected_without_side_effects() {
+    let db = tasky();
+    let before = db.count("TasKy", "Task").unwrap();
+    assert!(db.insert("TasKy", "Task", vec!["only-one".into()]).is_err());
+    assert!(db
+        .insert_many(
+            "TasKy",
+            "Task",
+            vec![
+                vec!["a".into(), "b".into(), 1.into()],
+                vec!["too".into(), "short".into()],
+            ],
+        )
+        .is_err());
+    // The valid first row of the failed batch must not have been applied.
+    assert_eq!(db.count("TasKy", "Task").unwrap(), before);
+}
+
+#[test]
+fn invalid_scripts_leave_catalog_unchanged() {
+    let db = tasky();
+    let versions_before = db.versions();
+    // Unknown source table.
+    assert!(db
+        .execute("CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE Ghost;")
+        .is_err());
+    // Unknown parent version.
+    assert!(db
+        .execute("CREATE SCHEMA VERSION Y FROM Nope WITH CREATE TABLE t(a);")
+        .is_err());
+    // Column collision.
+    assert!(db
+        .execute("CREATE SCHEMA VERSION Z FROM TasKy WITH ADD COLUMN prio AS 0 INTO Task;")
+        .is_err());
+    // Parse error.
+    assert!(db.execute("CREATE SCHEMA VERSION W WITH FROB TABLE x;").is_err());
+    assert_eq!(db.versions(), versions_before);
+}
+
+#[test]
+fn materialize_unknown_targets_fails_cleanly() {
+    let db = tasky();
+    db.insert("TasKy", "Task", vec!["a".into(), "t".into(), 1.into()])
+        .unwrap();
+    let mat_before = db.materialization_display();
+    assert!(db.execute("MATERIALIZE 'NoSuchVersion';").is_err());
+    assert!(db.execute("MATERIALIZE 'TasKy.NoSuchTable';").is_err());
+    assert_eq!(db.materialization_display(), mat_before);
+    assert_eq!(db.count("TasKy", "Task").unwrap(), 1);
+}
+
+#[test]
+fn empty_tables_round_trip_through_migrations() {
+    let db = tasky();
+    db.execute("MATERIALIZE 'Do!';").unwrap();
+    assert_eq!(db.count("TasKy", "Task").unwrap(), 0);
+    assert_eq!(db.count("Do!", "Todo").unwrap(), 0);
+    db.execute("MATERIALIZE 'TasKy';").unwrap();
+    assert_eq!(db.count("Do!", "Todo").unwrap(), 0);
+}
+
+#[test]
+fn deletes_leave_no_ghosts_in_any_materialization() {
+    // The separated-twin / lost-twin aux machinery must not resurrect
+    // deleted rows under any physical layout.
+    let db = Inverda::new();
+    db.execute(
+        "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b); \
+         CREATE SCHEMA VERSION V2 FROM V1 WITH \
+           SPLIT TABLE T INTO R WITH a < 5, S WITH a >= 3;",
+    )
+    .unwrap();
+    for mat in ["V1", "V2", "V1"] {
+        db.execute(&format!("MATERIALIZE '{mat}';")).unwrap();
+        // Twin row (satisfies both split arms).
+        let k = db.insert("V1", "T", vec![4.into(), 0.into()]).unwrap();
+        // Separate the twins, then delete through each side in turn.
+        db.update("V2", "S", k, vec![4.into(), 1.into()]).unwrap();
+        db.delete("V2", "R", k).unwrap();
+        // The S twin survives an R delete (lost-twin semantics)…
+        assert!(db.get("V2", "S", k).unwrap().is_some(), "mat {mat}");
+        db.delete("V2", "S", k).unwrap();
+        // …but after deleting both, the tuple is gone everywhere.
+        assert!(db.get("V1", "T", k).unwrap().is_none(), "mat {mat}");
+        assert!(db.get("V2", "R", k).unwrap().is_none(), "mat {mat}");
+        assert!(db.get("V2", "S", k).unwrap().is_none(), "mat {mat}");
+    }
+}
+
+#[test]
+fn delete_through_source_kills_both_twins() {
+    let db = Inverda::new();
+    db.execute(
+        "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b); \
+         CREATE SCHEMA VERSION V2 FROM V1 WITH \
+           SPLIT TABLE T INTO R WITH a < 5, S WITH a >= 3;",
+    )
+    .unwrap();
+    let k = db.insert("V1", "T", vec![4.into(), 0.into()]).unwrap();
+    db.update("V2", "S", k, vec![4.into(), 9.into()]).unwrap(); // separate
+    db.delete("V1", "T", k).unwrap();
+    assert!(db.get("V2", "R", k).unwrap().is_none());
+    assert!(
+        db.get("V2", "S", k).unwrap().is_none(),
+        "separated twin must not survive a source-side delete"
+    );
+}
+
+#[test]
+fn condition_violating_writes_are_preserved_by_star_aux() {
+    // Writing a row into a partition that violates its condition keeps the
+    // row there (R*/S* semantics) across materializations.
+    let db = Inverda::new();
+    db.execute(
+        "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b); \
+         CREATE SCHEMA VERSION V2 FROM V1 WITH \
+           SPLIT TABLE T INTO R WITH a < 5, S WITH a >= 5;",
+    )
+    .unwrap();
+    let k = db.insert("V2", "R", vec![2.into(), 0.into()]).unwrap();
+    // Update the R row so it violates R's condition.
+    db.update("V2", "R", k, vec![9.into(), 0.into()]).unwrap();
+    assert!(db.get("V2", "R", k).unwrap().is_some(), "R* keeps the row in R");
+    assert_eq!(db.get("V1", "T", k).unwrap().unwrap()[0], Value::Int(9));
+    for mat in ["V2", "V1"] {
+        db.execute(&format!("MATERIALIZE '{mat}';")).unwrap();
+        assert!(
+            db.get("V2", "R", k).unwrap().is_some(),
+            "R* row lost after MATERIALIZE '{mat}'"
+        );
+        // And it must NOT leak into S despite satisfying S's condition.
+        assert!(db.get("V2", "S", k).unwrap().is_none());
+    }
+}
+
+#[test]
+fn drop_column_default_fills_new_rows_in_old_version() {
+    let db = tasky();
+    let k = db
+        .insert("Do!", "Todo", vec!["Eve".into(), "new".into()])
+        .unwrap();
+    // The DROP COLUMN's DEFAULT 1 materializes in the old version.
+    assert_eq!(
+        db.get("TasKy", "Task", k).unwrap().unwrap()[2],
+        Value::Int(1)
+    );
+    // And survives a migration to the Do! side (value aux).
+    db.execute("MATERIALIZE 'Do!';").unwrap();
+    assert_eq!(
+        db.get("TasKy", "Task", k).unwrap().unwrap()[2],
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn update_in_old_version_respects_stored_new_column_values() {
+    // ADD COLUMN: values written through the new version survive updates
+    // made through the old version (repeatable reads via the B aux).
+    let db = Inverda::new();
+    db.execute(
+        "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a); \
+         CREATE SCHEMA VERSION V2 FROM V1 WITH ADD COLUMN c AS a * 2 INTO T;",
+    )
+    .unwrap();
+    let k = db.insert("V2", "T", vec![3.into(), 99.into()]).unwrap();
+    assert_eq!(db.get("V2", "T", k).unwrap().unwrap()[1], Value::Int(99));
+    // Update through V1 (which cannot see c): c's stored value remains.
+    db.update("V1", "T", k, vec![5.into()]).unwrap();
+    let row = db.get("V2", "T", k).unwrap().unwrap();
+    assert_eq!(row[0], Value::Int(5));
+    assert_eq!(row[1], Value::Int(99), "stored c value must survive");
+}
