@@ -45,7 +45,12 @@ fn bench_point_lookups(c: &mut Criterion) {
     g.bench_function("do_get_through_two_smos", |b| {
         b.iter(|| initial.get("Do!", "Todo", key).unwrap())
     });
-    let local_key = initial.scan("TasKy", "Task").unwrap().keys().next().unwrap();
+    let local_key = initial
+        .scan("TasKy", "Task")
+        .unwrap()
+        .keys()
+        .next()
+        .unwrap();
     g.bench_function("tasky_get_local", |b| {
         b.iter(|| initial.get("TasKy", "Task", local_key).unwrap())
     });
@@ -88,9 +93,7 @@ fn bench_write_paths(c: &mut Criterion) {
 
 fn bench_evolution_op(c: &mut Criterion) {
     let mut g = c.benchmark_group("evolution_op");
-    g.bench_function("create_three_versions", |b| {
-        b.iter(tasky::build)
-    });
+    g.bench_function("create_three_versions", |b| b.iter(tasky::build));
     g.finish();
 }
 

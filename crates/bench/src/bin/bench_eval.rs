@@ -1,0 +1,226 @@
+//! Evaluator hot-path benchmark: compiled engine vs the naive reference
+//! interpreter, plus an end-to-end TasKy write-propagation round.
+//!
+//! Emits `BENCH_eval.json` (current directory) so future PRs have a
+//! regression baseline — see EXPERIMENTS.md. Scale knobs:
+//! `INVERDA_EVAL_ROWS` (microbench relation size, default 2000),
+//! `INVERDA_TASKS` (TasKy load, default 10 000), `INVERDA_EVAL_WRITES`
+//! (writes per propagation round, default 100), `INVERDA_EVAL_REPS`
+//! (median-of reps, default 5).
+
+use inverda_bench::{banner, env_usize, median_time};
+use inverda_core::WritePath;
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, Evaluator, MapEdb};
+use inverda_datalog::{naive, SkolemRegistry};
+use inverda_storage::{Expr, Key, Relation, Value};
+use inverda_workloads::tasky;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn registry() -> RefCell<SkolemRegistry> {
+    RefCell::new(SkolemRegistry::new())
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Full-scan join: H(q, n) ← B(q, n), A(_, n). The second atom never has a
+/// bound key, so the naive engine scans A per B row (quadratic) while the
+/// compiled engine probes a column index (linear).
+fn bench_full_scan_join(rows: usize, reps: usize) -> (f64, f64, usize) {
+    let distinct = (rows / 4).max(1) as i64;
+    let mut a = Relation::with_columns("A", ["n"]);
+    let mut b = Relation::with_columns("B", ["n"]);
+    for i in 0..rows as u64 {
+        a.insert(Key(i), vec![Value::Int(i as i64 % distinct)])
+            .unwrap();
+        b.insert(
+            Key(1_000_000 + i),
+            vec![Value::Int((i as i64 + 1) % distinct)],
+        )
+        .unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(a).add(b);
+    let rules = RuleSet::new(vec![Rule::new(
+        Atom::vars("H", &["q", "n"]),
+        vec![
+            Literal::Pos(Atom::vars("B", &["q", "n"])),
+            Literal::Pos(Atom::new("A", vec![Term::Anon, Term::var("n")])),
+        ],
+    )]);
+    let crs = CompiledRuleSet::compile(&rules).expect("safe rules");
+
+    let ids = registry();
+    let out = evaluate_compiled(&crs, &edb, &ids, &BTreeMap::new()).unwrap();
+    let derived = out["H"].len();
+    let ids2 = registry();
+    let check = naive::evaluate(&rules, &edb, &ids2, &BTreeMap::new()).unwrap();
+    assert_eq!(out, check, "engines disagree — bench would be meaningless");
+
+    let naive_t = median_time(reps, || {
+        let ids = registry();
+        naive::evaluate(&rules, &edb, &ids, &BTreeMap::new()).unwrap()
+    });
+    let compiled_t = median_time(reps, || {
+        let ids = registry();
+        // Fresh EDB per rep so the index is rebuilt — charge the build cost.
+        let edb = edb.clone();
+        evaluate_compiled(&crs, &edb, &ids, &BTreeMap::new()).unwrap()
+    });
+    (ms(naive_t), ms(compiled_t), derived)
+}
+
+/// Key-seeded lookups through a SPLIT-shaped mapping: every lookup takes the
+/// key-bound fast path in both engines; the compiled engine must not regress.
+fn bench_key_seeded(rows: usize, reps: usize) -> (f64, f64) {
+    let mut t = Relation::with_columns("T", ["a", "prio"]);
+    for i in 0..rows as u64 {
+        t.insert(
+            Key(i),
+            vec![Value::Int(i as i64), Value::Int((i % 3 + 1) as i64)],
+        )
+        .unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(t);
+    let vars = ["p", "a", "prio"];
+    let rules = RuleSet::new(vec![Rule::new(
+        Atom::vars("R", &vars),
+        vec![
+            Literal::Pos(Atom::vars("T", &vars)),
+            Literal::Cond(Expr::col("prio").eq(Expr::lit(1))),
+        ],
+    )]);
+    let crs = CompiledRuleSet::compile(&rules).expect("safe rules");
+
+    let naive_t = median_time(reps, || {
+        let ids = registry();
+        let mut ev = naive::Evaluator::new(&edb, &ids);
+        let mut hits = 0usize;
+        for k in 0..rows as u64 {
+            if ev.head_row_for_key(&rules, "R", Key(k)).unwrap().is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    let compiled_t = median_time(reps, || {
+        let ids = registry();
+        let mut ev = Evaluator::new(&edb, &ids);
+        let mut hits = 0usize;
+        for k in 0..rows as u64 {
+            if ev.head_row_for_key(&crs, "R", Key(k)).unwrap().is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    (ms(naive_t), ms(compiled_t))
+}
+
+/// End-to-end TasKy round: load `tasks` rows, then push `writes` logical
+/// writes through the Do! and TasKy2 versions (two/three SMO hops each).
+fn bench_tasky_round(tasks: usize, writes: usize, path: WritePath) -> (f64, f64) {
+    let db = tasky::build();
+    db.set_write_path(path);
+    let load = median_time(1, || tasky::load_tasks(&db, tasks));
+    let round = median_time(1, || {
+        let mut keys = Vec::new();
+        for i in 0..writes {
+            if i % 2 == 0 {
+                let k = db
+                    .insert(
+                        "Do!",
+                        "Todo",
+                        vec![
+                            Value::text(format!("author{:03}", i % 200)),
+                            Value::text(format!("bench todo {i}")),
+                        ],
+                    )
+                    .unwrap();
+                keys.push(k);
+            } else if let Some(k) = keys.last().copied() {
+                db.update(
+                    "Do!",
+                    "Todo",
+                    k,
+                    vec![
+                        Value::text(format!("author{:03}", i % 200)),
+                        Value::text(format!("edited {i}")),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+        for k in keys {
+            db.delete("Do!", "Todo", k).unwrap();
+        }
+    });
+    (ms(load), ms(round))
+}
+
+fn main() {
+    banner(
+        "Evaluator hot path: compiled vs naive",
+        "the engine behind Figs. 8/11/13 read & write paths",
+    );
+    let rows = env_usize("INVERDA_EVAL_ROWS", 2_000);
+    let tasks = env_usize("INVERDA_TASKS", 10_000);
+    let writes = env_usize("INVERDA_EVAL_WRITES", 100);
+    let reps = env_usize("INVERDA_EVAL_REPS", 5);
+
+    println!("-- full-scan join ({rows} rows/side, median of {reps})");
+    let (join_naive, join_compiled, derived) = bench_full_scan_join(rows, reps);
+    let join_speedup = join_naive / join_compiled.max(f64::EPSILON);
+    println!("   naive:    {join_naive:10.2} ms");
+    println!("   compiled: {join_compiled:10.2} ms   ({derived} derived rows)");
+    println!("   speedup:  {join_speedup:10.1}x");
+
+    println!("-- key-seeded lookups ({rows} lookups, median of {reps})");
+    let (key_naive, key_compiled) = bench_key_seeded(rows, reps);
+    let key_speedup = key_naive / key_compiled.max(f64::EPSILON);
+    println!("   naive:    {key_naive:10.2} ms");
+    println!("   compiled: {key_compiled:10.2} ms");
+    println!("   speedup:  {key_speedup:10.1}x");
+
+    println!("-- TasKy write-propagation round ({tasks} tasks, {writes} writes)");
+    let (load_delta, round_delta) = bench_tasky_round(tasks, writes, WritePath::Delta);
+    let (_, round_recompute) = bench_tasky_round(tasks, writes, WritePath::Recompute);
+    // insert/update pairs plus the cleanup deletes.
+    let ops = writes + writes / 2;
+    let delta_wps = ops as f64 / (round_delta / 1e3);
+    println!("   bulk load (delta path):    {load_delta:10.2} ms");
+    println!("   round via delta rules:     {round_delta:10.2} ms ({delta_wps:.0} writes/s)");
+    println!("   round via recompute:       {round_recompute:10.2} ms");
+
+    let json = format!(
+        r#"{{
+  "bench": "eval",
+  "config": {{ "rows": {rows}, "tasks": {tasks}, "writes": {writes}, "reps": {reps} }},
+  "full_scan_join": {{
+    "naive_ms": {join_naive:.3},
+    "compiled_ms": {join_compiled:.3},
+    "speedup": {join_speedup:.2},
+    "derived_rows": {derived}
+  }},
+  "key_seeded_lookup": {{
+    "naive_ms": {key_naive:.3},
+    "compiled_ms": {key_compiled:.3},
+    "speedup": {key_speedup:.2}
+  }},
+  "tasky_write_round": {{
+    "bulk_load_ms": {load_delta:.3},
+    "delta_path_ms": {round_delta:.3},
+    "recompute_path_ms": {round_recompute:.3},
+    "delta_writes_per_s": {delta_wps:.0}
+  }}
+}}
+"#
+    );
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("\nwrote BENCH_eval.json");
+}

@@ -77,7 +77,14 @@ fn main() {
         }
         println!();
     }
-    println!("\ncolumns: {}", curves.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>().join(" | "));
+    println!(
+        "\ncolumns: {}",
+        curves
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
     for (label, acc) in finals {
         println!("final accumulated overhead, {label}: {acc:.3} s");
     }

@@ -33,12 +33,7 @@ fn materializations(db: &inverda_core::Inverda) -> Vec<(String, MaterializationS
     });
     // Order: [DC,S], [S], [], [D], [D,RC].
     let order = ["[DC,S]", "[S]", "[]", "[D]", "[D,RC]"];
-    all.sort_by_key(|(label, _)| {
-        order
-            .iter()
-            .position(|o| o == label)
-            .unwrap_or(usize::MAX)
-    });
+    all.sort_by_key(|(label, _)| order.iter().position(|o| o == label).unwrap_or(usize::MAX));
     all
 }
 

@@ -4,9 +4,7 @@
 //! wiki in v16524).
 
 use inverda_bench::{banner, env_f64, median_time, ms};
-use inverda_workloads::wikimedia::{
-    self, LOAD_VERSION, MAT_VERSIONS, QUERY_VERSIONS,
-};
+use inverda_workloads::wikimedia::{self, LOAD_VERSION, MAT_VERSIONS, QUERY_VERSIONS};
 
 fn main() {
     let scale = env_f64("INVERDA_WIKI_SCALE", 0.01);

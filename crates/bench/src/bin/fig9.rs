@@ -69,8 +69,22 @@ fn main() {
             let new_ops = (ops as f64 * share).round() as usize;
             let old_ops = ops - new_ops;
             let (d, _) = time(|| {
-                run_mix(&db, "TasKy", Mix::STANDARD, old_ops, &mut keys_old, &mut rng);
-                run_mix(&db, "TasKy2", Mix::STANDARD, new_ops, &mut keys_new, &mut rng);
+                run_mix(
+                    &db,
+                    "TasKy",
+                    Mix::STANDARD,
+                    old_ops,
+                    &mut keys_old,
+                    &mut rng,
+                );
+                run_mix(
+                    &db,
+                    "TasKy2",
+                    Mix::STANDARD,
+                    new_ops,
+                    &mut keys_new,
+                    &mut rng,
+                );
             });
             acc += d.as_secs_f64();
             series.push(acc);
@@ -85,9 +99,19 @@ fn main() {
         }
         println!();
     }
-    println!("\ncolumns: {}", curves.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>().join(" | "));
+    println!(
+        "\ncolumns: {}",
+        curves
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
     for (label, series) in &curves {
-        println!("final accumulated overhead, {label}: {:.3} s", series.last().unwrap());
+        println!(
+            "final accumulated overhead, {label}: {:.3} s",
+            series.last().unwrap()
+        );
     }
     println!("\nPaper's shape: the flexible curve tracks the cheaper fixed curve on");
     println!("each side of the adoption midpoint and ends below both fixed curves.");

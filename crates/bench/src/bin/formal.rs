@@ -26,7 +26,8 @@ fn main() {
     );
     let trace = std::env::var("INVERDA_PROOF_TRACE").is_ok();
 
-    let cases: Vec<(&str, Smo, BTreeMap<String, Vec<String>>)> = vec![
+    type Case = (&'static str, Smo, BTreeMap<String, Vec<String>>);
+    let cases: Vec<Case> = vec![
         (
             "SPLIT (two arms, overlapping conditions)",
             Smo::Split {

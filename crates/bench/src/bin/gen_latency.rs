@@ -13,7 +13,10 @@ fn main() {
     let (t_tasky2, _) = time(|| db.execute(tasky::SCRIPT_TASKY2).unwrap());
     let (t_do, _) = time(|| db.execute(tasky::SCRIPT_DO).unwrap());
     println!("create TasKy:          {} ms   (paper: 154 ms)", ms(t_init));
-    println!("evolve to TasKy2:      {} ms   (paper: 230 ms)", ms(t_tasky2));
+    println!(
+        "evolve to TasKy2:      {} ms   (paper: 230 ms)",
+        ms(t_tasky2)
+    );
     println!("evolve to Do!:         {} ms   (paper: 177 ms)", ms(t_do));
 
     // O(N + M): evolution latency should stay flat as unrelated versions

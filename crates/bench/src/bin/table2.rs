@@ -39,5 +39,8 @@ fn main() {
             .collect();
         println!("{:<40} {{{}}}", m_label, p.join(", "));
     }
-    println!("\ntotal: {} valid materialization schemas (paper: 5)", all.len());
+    println!(
+        "\ntotal: {} valid materialization schemas (paper: 5)",
+        all.len()
+    );
 }

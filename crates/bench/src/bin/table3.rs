@@ -54,8 +54,7 @@ fn main() {
             }
         }
     }
-    let generated =
-        inverda_sqlgen::generate::full_script(&g, &MaterializationSchema::initial());
+    let generated = inverda_sqlgen::generate::full_script(&g, &MaterializationSchema::initial());
     let m = CodeMetrics::measure(&generated);
     println!(
         "\nGenerated delta code (all three versions, initial materialization): \

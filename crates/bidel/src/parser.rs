@@ -603,7 +603,9 @@ mod tests {
         let Statement::CreateSchemaVersion { smos, .. } = &script.statements[0] else {
             panic!("wrong statement kind");
         };
-        assert!(matches!(&smos[0], Smo::Decompose { on: DecomposeKind::Fk(fk), .. } if fk == "author"));
+        assert!(
+            matches!(&smos[0], Smo::Decompose { on: DecomposeKind::Fk(fk), .. } if fk == "author")
+        );
         assert!(matches!(&smos[1], Smo::RenameColumn { table, column, to }
             if table == "author" && column == "author" && to == "name"));
     }
@@ -661,17 +663,21 @@ mod tests {
         };
         assert_eq!(smos.len(), 12);
         assert!(matches!(smos[8], Smo::Join { outer: true, .. }));
-        assert!(matches!(smos[9], Smo::Join { outer: false, on: JoinKind::Fk(_), .. }));
+        assert!(matches!(
+            smos[9],
+            Smo::Join {
+                outer: false,
+                on: JoinKind::Fk(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn expression_precedence() {
         let e = parse_expr("a + b * 2 = 10 AND NOT c < 5 OR d IS NULL").unwrap();
         let text = e.to_string();
-        assert_eq!(
-            text,
-            "(((a + (b * 2)) = 10 AND NOT (c < 5)) OR d IS NULL)"
-        );
+        assert_eq!(text, "(((a + (b * 2)) = 10 AND NOT (c < 5)) OR d IS NULL)");
     }
 
     #[test]

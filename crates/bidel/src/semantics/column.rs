@@ -39,7 +39,11 @@ pub fn add_column(
     let mut tgt_cols = columns.to_vec();
     tgt_cols.push(column.to_string());
     let tgt = TableRef::new(table, tgt_rel(table), tgt_cols.clone());
-    let aux_b = TableRef::new("B", aux_rel(&format!("{table}.{column}")), vec![column.to_string()]);
+    let aux_b = TableRef::new(
+        "B",
+        aux_rel(&format!("{table}.{column}")),
+        vec![column.to_string()],
+    );
 
     let p = "p";
     let bvar = pvar(column);
@@ -62,10 +66,7 @@ pub fn add_column(
             table_atom(&tgt.rel, p, &tgt_cols),
             vec![
                 Literal::Pos(table_atom(&src.rel, p, columns)),
-                Literal::Pos(Atom::new(
-                    &aux_b.rel,
-                    vec![Term::var(p), Term::var(&bvar)],
-                )),
+                Literal::Pos(Atom::new(&aux_b.rel, vec![Term::var(p), Term::var(&bvar)])),
             ],
         ),
     ]);
@@ -85,7 +86,10 @@ pub fn add_column(
         ),
         Rule::new(
             Atom::new(&aux_b.rel, vec![Term::var(p), Term::var(&bvar)]),
-            vec![Literal::Pos(Atom::new(&tgt.rel, tgt_terms_key_only_payload))],
+            vec![Literal::Pos(Atom::new(
+                &tgt.rel,
+                tgt_terms_key_only_payload,
+            ))],
         ),
     ]);
 
@@ -112,19 +116,12 @@ pub fn drop_column(
     default: &Expr,
     columns: &[String],
 ) -> Result<DerivedSmo> {
-    let idx = columns
-        .iter()
-        .position(|c| c == column)
-        .ok_or_else(|| {
-            BidelError::semantics(format!(
-                "DROP COLUMN: column '{column}' does not exist in '{table}'"
-            ))
-        })?;
-    let kept: Vec<String> = columns
-        .iter()
-        .filter(|c| *c != column)
-        .cloned()
-        .collect();
+    let idx = columns.iter().position(|c| c == column).ok_or_else(|| {
+        BidelError::semantics(format!(
+            "DROP COLUMN: column '{column}' does not exist in '{table}'"
+        ))
+    })?;
+    let kept: Vec<String> = columns.iter().filter(|c| *c != column).cloned().collect();
     if kept.is_empty() {
         return Err(BidelError::semantics(
             "DROP COLUMN: cannot drop the only column of a table",
@@ -184,10 +181,7 @@ pub fn drop_column(
             head.clone(),
             vec![
                 Literal::Pos(table_atom(&tgt.rel, p, &kept)),
-                Literal::Pos(Atom::new(
-                    &aux_b.rel,
-                    vec![Term::var(p), Term::var(&bvar)],
-                )),
+                Literal::Pos(Atom::new(&aux_b.rel, vec![Term::var(p), Term::var(&bvar)])),
             ],
         ),
         Rule::new(

@@ -333,7 +333,12 @@ pub fn decompose_cond(
     condition: &Expr,
     columns: &[String],
 ) -> Result<DerivedSmo> {
-    crate::semantics::require_cover(&first.columns, &second.columns, columns, "DECOMPOSE ON cond")?;
+    crate::semantics::require_cover(
+        &first.columns,
+        &second.columns,
+        columns,
+        "DECOMPOSE ON cond",
+    )?;
     for c in &first.columns {
         if second.columns.contains(c) {
             return Err(BidelError::semantics(format!(
@@ -500,10 +505,7 @@ pub fn decompose_cond(
                 Literal::Pos(s_atom(sv)),
                 Literal::Pos(t_atom(tv)),
                 Literal::Cond(cond.clone()),
-                Literal::Neg(Atom::new(
-                    &r_minus.rel,
-                    vec![Term::var(sv), Term::var(tv)],
-                )),
+                Literal::Neg(Atom::new(&r_minus.rel, vec![Term::var(sv), Term::var(tv)])),
                 Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
                 skolem(rv, &gen_r, columns),
             ],
@@ -522,10 +524,7 @@ pub fn decompose_cond(
                 Literal::Pos(s_atom(sv)),
                 Literal::Pos(t_atom(tv)),
                 Literal::Cond(cond.clone()),
-                Literal::Neg(Atom::new(
-                    &r_minus.rel,
-                    vec![Term::var(sv), Term::var(tv)],
-                )),
+                Literal::Neg(Atom::new(&r_minus.rel, vec![Term::var(sv), Term::var(tv)])),
                 Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
                 skolem(rv, &gen_r, columns),
             ],

@@ -175,11 +175,7 @@ pub fn outer_join_fk(
             "OUTER JOIN ON FK: '{left}' has no column '{fk}'"
         )));
     }
-    let a: Vec<String> = left_cols
-        .iter()
-        .filter(|c| *c != fk)
-        .cloned()
-        .collect();
+    let a: Vec<String> = left_cols.iter().filter(|c| *c != fk).cloned().collect();
     let mut r_cols = a.clone();
     r_cols.extend(right_cols.iter().cloned());
     let d = super::decompose::decompose_fk(
@@ -479,10 +475,7 @@ pub fn join_cond(
                 Literal::Pos(s_atom(sv)),
                 Literal::Pos(t_atom(tv)),
                 Literal::Cond(cond.clone()),
-                Literal::Neg(Atom::new(
-                    &r_minus.rel,
-                    vec![Term::var(sv), Term::var(tv)],
-                )),
+                Literal::Neg(Atom::new(&r_minus.rel, vec![Term::var(sv), Term::var(tv)])),
                 Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
                 skolem(rv, &gen_r, &r_cols),
             ],
@@ -502,10 +495,7 @@ pub fn join_cond(
                 Literal::Pos(s_atom(sv)),
                 Literal::Pos(t_atom(tv)),
                 Literal::Cond(cond.clone()),
-                Literal::Neg(Atom::new(
-                    &r_minus.rel,
-                    vec![Term::var(sv), Term::var(tv)],
-                )),
+                Literal::Neg(Atom::new(&r_minus.rel, vec![Term::var(sv), Term::var(tv)])),
                 Literal::Neg(id_o(Term::Anon, Term::var(sv), Term::var(tv))),
                 skolem(rv, &gen_r, &r_cols),
             ],

@@ -281,9 +281,7 @@ pub fn derive_smo(smo: &Smo, src_schemas: &BTreeMap<String, Vec<String>>) -> Res
             match on {
                 DecomposeKind::Pk => decompose::decompose_pk(table, first, second, &cols),
                 DecomposeKind::Fk(fk) => decompose::decompose_fk(table, first, second, fk, &cols),
-                DecomposeKind::Cond(c) => {
-                    decompose::decompose_cond(table, first, second, c, &cols)
-                }
+                DecomposeKind::Cond(c) => decompose::decompose_cond(table, first, second, c, &cols),
             }
         }
         Smo::Join {

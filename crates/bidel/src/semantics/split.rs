@@ -95,8 +95,16 @@ fn build(
     let r_atom = || table_atom(&r.rel, p, &cols);
 
     // Auxiliary tables.
-    let r_minus = TableRef::new("Rminus", aux_rel(&format!("{}-", r.name)), Vec::<String>::new());
-    let r_star = TableRef::new("Rstar", aux_rel(&format!("{}*", r.name)), Vec::<String>::new());
+    let r_minus = TableRef::new(
+        "Rminus",
+        aux_rel(&format!("{}-", r.name)),
+        Vec::<String>::new(),
+    );
+    let r_star = TableRef::new(
+        "Rstar",
+        aux_rel(&format!("{}*", r.name)),
+        Vec::<String>::new(),
+    );
     let t_prime = TableRef::new("Tprime", aux_rel(&format!("{}'", t.name)), cols.clone());
 
     let mut to_tgt = Vec::new();
@@ -108,10 +116,16 @@ fn build(
         Some((s, c_s)) => {
             let s_atom = || table_atom(&s.rel, p, &cols);
             let s_plus = TableRef::new("Splus", aux_rel(&format!("{}+", s.name)), cols.clone());
-            let s_minus =
-                TableRef::new("Sminus", aux_rel(&format!("{}-", s.name)), Vec::<String>::new());
-            let s_star =
-                TableRef::new("Sstar", aux_rel(&format!("{}*", s.name)), Vec::<String>::new());
+            let s_minus = TableRef::new(
+                "Sminus",
+                aux_rel(&format!("{}-", s.name)),
+                Vec::<String>::new(),
+            );
+            let s_star = TableRef::new(
+                "Sstar",
+                aux_rel(&format!("{}*", s.name)),
+                Vec::<String>::new(),
+            );
 
             // γ_tgt — Rules 12–17.
             to_tgt.push(Rule::new(
@@ -162,10 +176,7 @@ fn build(
             ));
 
             // γ_src — Rules 18–25.
-            to_src.push(Rule::new(
-                t_atom(),
-                vec![Literal::Pos(r_atom())],
-            ));
+            to_src.push(Rule::new(t_atom(), vec![Literal::Pos(r_atom())]));
             to_src.push(Rule::new(
                 t_atom(),
                 vec![

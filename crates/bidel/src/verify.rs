@@ -202,7 +202,12 @@ pub fn verify_round_trip(smo: &DerivedSmo, round_trip: RoundTrip) -> Verificatio
     let residual_inputs: BTreeSet<String> = composed
         .rules
         .iter()
-        .flat_map(|r| r.body_relations().into_iter().map(String::from).collect::<Vec<_>>())
+        .flat_map(|r| {
+            r.body_relations()
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        })
         .filter(|rel| !rel.ends_with("@D"))
         .collect();
     let composed = if residual_inputs.is_empty() {
@@ -265,12 +270,7 @@ mod tests {
     fn schemas(entries: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
         entries
             .iter()
-            .map(|(t, cols)| {
-                (
-                    t.to_string(),
-                    cols.iter().map(|c| c.to_string()).collect(),
-                )
-            })
+            .map(|(t, cols)| (t.to_string(), cols.iter().map(|c| c.to_string()).collect()))
             .collect()
     }
 
@@ -404,7 +404,12 @@ mod tests {
         let d = derive_smo(&smo, &schemas(&[("R", &["a", "b"])])).unwrap();
         // FromTarget (condition 26) is the plain outer-join identity.
         let report = verify_round_trip(&d, RoundTrip::FromTarget);
-        assert!(report.is_proved(), "{:?}\n{}", report.failure, report.simplified);
+        assert!(
+            report.is_proved(),
+            "{:?}\n{}",
+            report.failure,
+            report.simplified
+        );
     }
 
     #[test]

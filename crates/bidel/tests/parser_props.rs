@@ -11,8 +11,7 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn cols() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::btree_set("[a-z][a-z0-9]{0,5}", 1..4)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set("[a-z][a-z0-9]{0,5}", 1..4).prop_map(|s| s.into_iter().collect())
 }
 
 fn cond() -> impl Strategy<Value = Expr> {
@@ -30,8 +29,11 @@ fn arb_smo() -> impl Strategy<Value = Smo> {
         (ident(), cols()).prop_map(|(table, columns)| Smo::CreateTable { table, columns }),
         ident().prop_map(|table| Smo::DropTable { table }),
         (ident(), ident()).prop_map(|(table, to)| Smo::RenameTable { table, to }),
-        (ident(), ident(), ident())
-            .prop_map(|(table, column, to)| Smo::RenameColumn { table, column, to }),
+        (ident(), ident(), ident()).prop_map(|(table, column, to)| Smo::RenameColumn {
+            table,
+            column,
+            to
+        }),
         (ident(), ident(), cond()).prop_map(|(table, column, function)| Smo::AddColumn {
             table,
             column,
@@ -45,8 +47,14 @@ fn arb_smo() -> impl Strategy<Value = Smo> {
         (ident(), ident(), cols(), ident(), cols(), prop::bool::ANY).prop_map(
             |(table, n1, c1, n2, c2, pk)| Smo::Decompose {
                 table,
-                first: TableSig { name: n1, columns: c1 },
-                second: TableSig { name: n2, columns: c2 },
+                first: TableSig {
+                    name: n1,
+                    columns: c1
+                },
+                second: TableSig {
+                    name: n2,
+                    columns: c2
+                },
                 on: if pk {
                     DecomposeKind::Pk
                 } else {
@@ -59,21 +67,41 @@ fn arb_smo() -> impl Strategy<Value = Smo> {
                 left,
                 right,
                 into,
-                on: if pk { JoinKind::Pk } else { JoinKind::Fk("fkcol".into()) },
+                on: if pk {
+                    JoinKind::Pk
+                } else {
+                    JoinKind::Fk("fkcol".into())
+                },
                 outer,
             }
         ),
-        (ident(), ident(), cond(), prop::option::of((ident(), cond()))).prop_map(
-            |(table, t1, c1, second)| Smo::Split {
+        (
+            ident(),
+            ident(),
+            cond(),
+            prop::option::of((ident(), cond()))
+        )
+            .prop_map(|(table, t1, c1, second)| Smo::Split {
                 table,
-                first: SplitArm { table: t1, condition: c1 },
-                second: second.map(|(t, c)| SplitArm { table: t, condition: c }),
-            }
-        ),
+                first: SplitArm {
+                    table: t1,
+                    condition: c1
+                },
+                second: second.map(|(t, c)| SplitArm {
+                    table: t,
+                    condition: c
+                }),
+            }),
         (ident(), cond(), ident(), cond(), ident()).prop_map(|(t1, c1, t2, c2, into)| {
             Smo::Merge {
-                first: SplitArm { table: t1, condition: c1 },
-                second: SplitArm { table: t2, condition: c2 },
+                first: SplitArm {
+                    table: t1,
+                    condition: c1,
+                },
+                second: SplitArm {
+                    table: t2,
+                    condition: c2,
+                },
                 into,
             }
         }),

@@ -59,7 +59,10 @@ impl fmt::Display for CatalogError {
                 write!(f, "no table '{table}' in schema version '{version}'")
             }
             CatalogError::TableExists { version, table } => {
-                write!(f, "table '{table}' already exists in schema version '{version}'")
+                write!(
+                    f,
+                    "table '{table}' already exists in schema version '{version}'"
+                )
             }
             CatalogError::InvalidMaterialization { reason } => {
                 write!(f, "invalid materialization schema: {reason}")

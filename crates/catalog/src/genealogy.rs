@@ -132,9 +132,11 @@ impl Genealogy {
 
     /// A schema version by name.
     pub fn version(&self, name: &str) -> Result<&SchemaVersion> {
-        self.versions.get(name).ok_or_else(|| CatalogError::UnknownVersion {
-            version: name.to_string(),
-        })
+        self.versions
+            .get(name)
+            .ok_or_else(|| CatalogError::UnknownVersion {
+                version: name.to_string(),
+            })
     }
 
     /// All schema version names (sorted).
@@ -212,12 +214,12 @@ impl Genealogy {
             let mut gen_map: BTreeMap<String, String> = BTreeMap::new();
             let mut source_ids = Vec::new();
             for src in &derived.src_data {
-                let tv_id = *tables.get(&src.name).ok_or_else(|| {
-                    CatalogError::UnknownTable {
+                let tv_id = *tables
+                    .get(&src.name)
+                    .ok_or_else(|| CatalogError::UnknownTable {
                         version: name.to_string(),
                         table: src.name.clone(),
-                    }
-                })?;
+                    })?;
                 rel_map.insert(src.rel.clone(), self.table_versions[&tv_id].rel.clone());
                 source_ids.push(tv_id);
             }
@@ -296,15 +298,16 @@ impl Genealogy {
             for g in &derived.generators {
                 gen_map.insert(
                     g.clone(),
-                    format!("{smo_id}_gen_{}", g.trim_start_matches("gen#").replace('#', "_")),
+                    format!(
+                        "{smo_id}_gen_{}",
+                        g.trim_start_matches("gen#").replace('#', "_")
+                    ),
                 );
             }
 
             // Apply renames to the rule sets and hints.
-            let to_tgt =
-                rename_generators(&rename_relations(&derived.to_tgt, &rel_map), &gen_map);
-            let to_src =
-                rename_generators(&rename_relations(&derived.to_src, &rel_map), &gen_map);
+            let to_tgt = rename_generators(&rename_relations(&derived.to_tgt, &rel_map), &gen_map);
+            let to_src = rename_generators(&rename_relations(&derived.to_src, &rel_map), &gen_map);
             let observe_hints: Vec<ObserveHint> = derived
                 .observe_hints
                 .iter()
@@ -554,7 +557,8 @@ mod tests {
         let Statement::CreateSchemaVersion { name, from, smos } = &script.statements[0] else {
             panic!()
         };
-        g.create_schema_version(name, from.as_deref(), smos).unwrap();
+        g.create_schema_version(name, from.as_deref(), smos)
+            .unwrap();
         // Author is shared between TasKy2 and TasKy3.
         assert_eq!(
             g.resolve("TasKy2", "Author").unwrap(),
@@ -573,14 +577,14 @@ mod tests {
             g.create_schema_version("TasKy", None, &[]),
             Err(CatalogError::VersionExists { .. })
         ));
-        let script = parse_script(
-            "CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE NoSuch;",
-        )
-        .unwrap();
+        let script =
+            parse_script("CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE NoSuch;").unwrap();
         let Statement::CreateSchemaVersion { name, from, smos } = &script.statements[0] else {
             panic!()
         };
-        assert!(g.create_schema_version(name, from.as_deref(), smos).is_err());
+        assert!(g
+            .create_schema_version(name, from.as_deref(), smos)
+            .is_err());
     }
 
     #[test]

@@ -137,11 +137,7 @@ impl MaterializationSchema {
     /// dependent SMOs has N+1 valid schemas, N independent SMOs have 2^N
     /// (Section 8.3); TasKy has exactly five (Table 2).
     pub fn enumerate_valid(g: &Genealogy) -> Vec<MaterializationSchema> {
-        let movers: Vec<SmoId> = g
-            .smos()
-            .filter(|s| s.moves_data())
-            .map(|s| s.id)
-            .collect();
+        let movers: Vec<SmoId> = g.smos().filter(|s| s.moves_data()).map(|s| s.id).collect();
         let mut out = Vec::new();
         let mut current = BTreeSet::new();
         enumerate(g, &movers, 0, &mut current, &mut out);

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`, integer
+//! ranges, regex-literal string strategies, tuples, collections, `option::of`,
+//! `bool::ANY`, `prop_oneof!`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from the real crate: **no shrinking** — a failing case prints
+//! the generated inputs and panics — and case generation is deterministic per
+//! test name (override with `PROPTEST_SEED`; case count with
+//! `PROPTEST_CASES`).
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::fmt;
+    use std::ops::Range;
+
+    fn target_len(rng: &mut TestRng, size: &Range<usize>) -> usize {
+        assert!(size.start < size.end, "empty size range");
+        rng.gen_range(size.start..size.end)
+    }
+
+    /// Strategy producing a `Vec` of elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = target_len(rng, &self.size);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `BTreeMap`.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// `BTreeMap` with `size` entries (fewer if generated keys collide).
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = target_len(rng, &self.size);
+            let mut out = BTreeMap::new();
+            // Bounded extra attempts when keys collide.
+            for _ in 0..n.saturating_mul(4) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy producing a `BTreeSet`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` with `size` elements (fewer if generated values collide).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = target_len(rng, &self.size);
+            let mut out = BTreeSet::new();
+            for _ in 0..n.saturating_mul(4) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// `Option` strategies (`prop::option::*`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, `Some` otherwise (like proptest's
+    /// default weighting).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::*`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing either boolean uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniform boolean.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
+/// The proptest prelude: strategies, config, and macros.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }` becomes
+/// a test running the body over `config.cases` generated inputs. On failure
+/// the generated inputs are printed and the panic is re-raised (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __base =
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for(__base, __case);
+                let __inputs = (
+                    $( $crate::strategy::Strategy::generate(&$strat, &mut __rng), )+
+                );
+                let __repr = format!("{:#?}", __inputs);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ( $($pat,)+ ) = __inputs;
+                        // Bodies may `return Ok(())` / use `?` like real
+                        // proptest; run them in a Result-returning closure.
+                        let __ret: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                        if let Err(__err) = __ret {
+                            panic!("test case returned error: {:?}", __err);
+                        }
+                    }),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed; inputs:\n{}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __repr
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}

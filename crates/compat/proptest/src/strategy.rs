@@ -1,0 +1,422 @@
+//! The [`Strategy`] trait and the combinators / primitive strategies the
+//! workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the RNG state.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feed generated values into a function producing a second strategy.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discard generated values failing the predicate (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates", self.whence)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: fmt::Debug + Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: fmt::Debug> Union<V> {
+    /// Choose uniformly among the options.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// ---- Integer ranges -------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// ---- `any` ----------------------------------------------------------------
+
+/// Strategy for the full domain of a primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T` (`any::<i64>()`, `any::<bool>()`, …).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---- Tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+// ---- Regex-literal string strategies --------------------------------------
+
+/// A string literal is a strategy: the pattern is a tiny regex subset —
+/// literal characters, character classes `[a-z0-9_.]` (with ranges), and
+/// counted repetition `{m}` / `{m,n}`. Enough for identifier-shaped inputs;
+/// unsupported syntax panics with a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum PatternItem {
+    /// One of these characters.
+    Class(Vec<char>),
+    /// Exactly this character.
+    Literal(char),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                let start = prev.take().expect("checked");
+                let end = chars.next().expect("peeked");
+                assert!(
+                    start <= end,
+                    "invalid range {start}-{end} in pattern {pattern:?}"
+                );
+                out.extend((start..=end).filter(|ch| *ch != start));
+            }
+            c => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    out
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in pattern {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        }
+        Some(c @ ('*' | '+' | '?' | '(' | ')' | '|')) => {
+            panic!("unsupported regex operator {c:?} in pattern {pattern:?} (shim supports literals, classes, and counted repetition)")
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut items = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => PatternItem::Class(parse_class(&mut chars, pattern)),
+            '\\' => PatternItem::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '*' | '+' | '?' | '(' | ')' | '|' | '{' => panic!(
+                "unsupported regex operator {c:?} in pattern {pattern:?} (shim supports literals, classes, and counted repetition)"
+            ),
+            c => PatternItem::Literal(c),
+        };
+        let (lo, hi) = parse_repeat(&mut chars, pattern);
+        items.push((item, lo, hi));
+    }
+    let mut out = String::new();
+    for (item, lo, hi) in &items {
+        let n = if lo == hi {
+            *lo
+        } else {
+            rng.gen_range(*lo..hi + 1)
+        };
+        for _ in 0..n {
+            match item {
+                PatternItem::Literal(c) => out.push(*c),
+                PatternItem::Class(chars) => out.push(chars[rng.gen_range(0..chars.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{rng_for, seed_for};
+
+    fn rng() -> TestRng {
+        rng_for(seed_for("strategy-tests"), 0)
+    }
+
+    #[test]
+    fn regex_patterns_generate_matching_strings() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9_]{0,8}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_dot_and_fixed_count() {
+        let mut r = rng();
+        let s = "x[a.]{3}y".generate(&mut r);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+        assert!(s[1..4].chars().all(|c| c == 'a' || c == '.'), "{s:?}");
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let strat = (0i64..10)
+            .prop_map(|v| v * 2)
+            .prop_flat_map(|v| crate::collection::vec(0i64..v.max(1), 1..3));
+        for _ in 0..50 {
+            let v = strat.generate(&mut r);
+            assert!(!v.is_empty() && v.len() <= 2);
+        }
+        let u = crate::prop_oneof![Just(1i64), Just(2i64)];
+        for _ in 0..20 {
+            assert!([1, 2].contains(&u.generate(&mut r)));
+        }
+    }
+}

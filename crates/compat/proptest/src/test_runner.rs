@@ -1,0 +1,59 @@
+//! Test-runner configuration and deterministic RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG threaded through strategies.
+pub type TestRng = StdRng;
+
+/// Error type a `proptest!` body may early-return with (`return Ok(())` /
+/// `Err(...)`); carried only for API shape, rendered via `Debug`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// How a `proptest!` block runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic base seed for a fully qualified test name, overridable via
+/// `PROPTEST_SEED`.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Some(seed) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        return seed;
+    }
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// RNG for one case of a property.
+pub fn rng_for(base: u64, case: u32) -> TestRng {
+    StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

@@ -1,0 +1,74 @@
+//! Cross-statement cache of compiled SMO rule sets.
+//!
+//! Every SMO instance carries two rule sets (γ_tgt / γ_src) that are fixed
+//! for the lifetime of the SMO. Compiling them (slot interning + schedule
+//! precomputation, see `inverda-datalog::eval`) is cheap but happens on the
+//! hot path of every statement: one read on a three-hop virtual version
+//! resolves up to three mappings. This store compiles each `(SMO,
+//! direction)` pair once and hands out shared references; the [`Inverda`]
+//! facade clears it whenever the genealogy changes (schema version created
+//! or dropped), which is the only event that can add or retire rule sets.
+//!
+//! [`Inverda`]: crate::Inverda
+
+use inverda_catalog::SmoId;
+use inverda_datalog::{CompiledRuleSet, RuleSet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which of an SMO's two rule sets is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// γ_tgt: derives the target side from the source side.
+    ToTgt,
+    /// γ_src: derives the source side from the target side.
+    ToSrc,
+}
+
+/// Cache of compiled rule sets keyed by `(SMO instance, direction)`.
+#[derive(Debug, Default)]
+pub struct CompiledStore {
+    map: Mutex<HashMap<(SmoId, Direction), Arc<CompiledRuleSet>>>,
+}
+
+impl CompiledStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        CompiledStore::default()
+    }
+
+    /// The compiled form of `rules`, compiling on first use. `rules` must be
+    /// the rule set stored on `smo` for `direction` — the caller guarantees
+    /// the association, the store only keys on it.
+    pub fn get_or_compile(
+        &self,
+        smo: SmoId,
+        direction: Direction,
+        rules: &RuleSet,
+    ) -> inverda_datalog::Result<Arc<CompiledRuleSet>> {
+        if let Some(hit) = self.map.lock().get(&(smo, direction)) {
+            return Ok(Arc::clone(hit));
+        }
+        let compiled = Arc::new(CompiledRuleSet::compile(rules)?);
+        self.map
+            .lock()
+            .insert((smo, direction), Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Drop every cached compilation (called on genealogy changes).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// Number of cached compilations (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

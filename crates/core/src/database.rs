@@ -1,5 +1,6 @@
 //! The [`Inverda`] database facade.
 
+use crate::compiled::CompiledStore;
 use crate::edb::VersionedEdb;
 use crate::Result;
 use inverda_bidel::{parse_script, Smo, Statement};
@@ -71,6 +72,9 @@ pub struct Inverda {
     pub(crate) ids: SharedIds,
     /// Serializes logical writes and migrations.
     pub(crate) write_lock: Mutex<()>,
+    /// Compiled SMO rule sets, reused across statements and invalidated on
+    /// genealogy changes.
+    pub(crate) compiled: CompiledStore,
 }
 
 impl Default for Inverda {
@@ -99,6 +103,7 @@ impl Inverda {
             }),
             ids: SharedIds(Mutex::new(SkolemRegistry::new())),
             write_lock: Mutex::new(()),
+            compiled: CompiledStore::new(),
         }
     }
 
@@ -138,6 +143,9 @@ impl Inverda {
         let _guard = self.write_lock.lock();
         let mut state = self.state.write();
         let outcome = state.genealogy.create_schema_version(name, from, smos)?;
+        // The genealogy changed: retire compiled rule sets of retired SMOs
+        // (ids are never reused, but keep the cache tight).
+        self.compiled.clear();
         // Physical side effects: data tables for CREATE TABLE targets,
         // auxiliary tables for the initially-virtualized new SMOs.
         for smo_id in &outcome.new_smos {
@@ -171,6 +179,7 @@ impl Inverda {
         let _guard = self.write_lock.lock();
         let mut state = self.state.write();
         let orphans = state.genealogy.drop_schema_version(name)?;
+        self.compiled.clear();
         for tv in orphans {
             // Orphans may or may not be physical depending on M.
             let rel = {
@@ -227,6 +236,7 @@ impl Inverda {
             &state.materialization,
             &self.storage,
             &ids,
+            &self.compiled,
         );
         use inverda_datalog::eval::EdbView;
         Ok(edb.full(&rel)?)
@@ -243,6 +253,7 @@ impl Inverda {
             &state.materialization,
             &self.storage,
             &ids,
+            &self.compiled,
         );
         use inverda_datalog::eval::EdbView;
         Ok(edb.by_key(&rel, key)?)
@@ -327,7 +338,6 @@ impl Inverda {
             reg.observe(generator, args, *id);
         }
     }
-
 }
 
 #[cfg(test)]
@@ -336,10 +346,8 @@ mod tests {
 
     fn tasky_db() -> Inverda {
         let db = Inverda::new();
-        db.execute(
-            "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio);",
-        )
-        .unwrap();
+        db.execute("CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio);")
+            .unwrap();
         db
     }
 
@@ -366,7 +374,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.tables_of("Do!").unwrap(), vec!["Todo"]);
-        assert_eq!(db.columns_of("Do!", "Todo").unwrap(), vec!["author", "task"]);
+        assert_eq!(
+            db.columns_of("Do!", "Todo").unwrap(),
+            vec!["author", "task"]
+        );
         assert_eq!(db.count("Do!", "Todo").unwrap(), 0);
         assert_eq!(db.storage_case("Do!", "Todo").unwrap(), "backward");
     }
@@ -376,6 +387,8 @@ mod tests {
         let db = tasky_db();
         assert!(db.scan("Nope", "Task").is_err());
         assert!(db.scan("TasKy", "Nope").is_err());
-        assert!(db.execute("CREATE SCHEMA VERSION TasKy WITH CREATE TABLE X(a);").is_err());
+        assert!(db
+            .execute("CREATE SCHEMA VERSION TasKy WITH CREATE TABLE X(a);")
+            .is_err());
     }
 }

@@ -10,24 +10,31 @@
 //! tables. Key lookups are pushed through the mapping rules instead of
 //! materializing whole relations, like a DBMS optimizer pushing a key
 //! predicate into a view.
+//!
+//! Mappings are evaluated in their **compiled** form, served by the
+//! database-wide [`CompiledStore`]; resolved relations, per-key rows, and
+//! secondary join indexes are all cached for the lifetime of the view (one
+//! statement / one propagation step).
 
+use crate::compiled::{CompiledStore, Direction};
 use crate::Result;
 use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase, TableVersionId};
-use inverda_datalog::eval::{evaluate, EdbView, Evaluator, IdSource};
-use inverda_datalog::{DatalogError, RuleSet};
-use inverda_storage::{Key, Relation, Row, Storage};
+use inverda_datalog::eval::{evaluate_compiled, EdbView, Evaluator, IdSource};
+use inverda_datalog::{CompiledRuleSet, DatalogError, RuleSet};
+use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row, Storage};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Read view over the whole versioned database under one materialization
-/// schema. Caches resolved relations for the lifetime of the view (one
-/// statement / one propagation step).
+/// schema. Caches resolved relations, key lookups, and join indexes for the
+/// lifetime of the view (one statement / one propagation step).
 pub struct VersionedEdb<'a> {
     genealogy: &'a Genealogy,
     materialization: &'a MaterializationSchema,
     storage: &'a Storage,
     ids: &'a dyn IdSource,
+    compiled: &'a CompiledStore,
     /// rel name → table version (for virtual resolution).
     rel_index: BTreeMap<String, TableVersionId>,
     /// aux rel name → (owning SMO, lives on target side). A non-physical
@@ -37,7 +44,12 @@ pub struct VersionedEdb<'a> {
     /// rel name → column names (for derived relation schemas).
     head_columns: BTreeMap<String, Vec<String>>,
     cache: RefCell<BTreeMap<String, Arc<Relation>>>,
-    key_cache: RefCell<BTreeMap<(String, Key), Option<Row>>>,
+    /// Two-level `rel → key → row` cache: lookups are by `&str`, so the hot
+    /// path allocates nothing.
+    key_cache: RefCell<HashMap<String, HashMap<Key, Option<Row>>>>,
+    /// Secondary join indexes per `(rel, column)`, shared with every
+    /// evaluator that probes through this view.
+    index_cache: IndexCache,
 }
 
 impl<'a> VersionedEdb<'a> {
@@ -47,6 +59,7 @@ impl<'a> VersionedEdb<'a> {
         materialization: &'a MaterializationSchema,
         storage: &'a Storage,
         ids: &'a dyn IdSource,
+        compiled: &'a CompiledStore,
     ) -> Self {
         let mut rel_index = BTreeMap::new();
         let mut aux_index = BTreeMap::new();
@@ -74,11 +87,13 @@ impl<'a> VersionedEdb<'a> {
             materialization,
             storage,
             ids,
+            compiled,
             rel_index,
             aux_index,
             head_columns,
             cache: RefCell::new(BTreeMap::new()),
-            key_cache: RefCell::new(BTreeMap::new()),
+            key_cache: RefCell::new(HashMap::new()),
+            index_cache: IndexCache::new(),
         }
     }
 
@@ -90,16 +105,33 @@ impl<'a> VersionedEdb<'a> {
     /// The mapping that defines a virtual table version, together with the
     /// head name to extract: γ_src of the materialized outgoing SMO
     /// (forwards) or γ_tgt of the virtualized incoming SMO (backwards).
-    fn defining_rules(&self, tv: TableVersionId) -> Option<&'a RuleSet> {
+    fn defining_rules(
+        &self,
+        tv: TableVersionId,
+    ) -> Option<(inverda_catalog::SmoId, Direction, &'a RuleSet)> {
         match self.materialization.storage_of(self.genealogy, tv) {
             StorageCase::Local => None,
-            StorageCase::Forward(m) => Some(&self.genealogy.smo(m).derived.to_src),
-            StorageCase::Backward(m) => Some(&self.genealogy.smo(m).derived.to_tgt),
+            StorageCase::Forward(m) => {
+                Some((m, Direction::ToSrc, &self.genealogy.smo(m).derived.to_src))
+            }
+            StorageCase::Backward(m) => {
+                Some((m, Direction::ToTgt, &self.genealogy.smo(m).derived.to_tgt))
+            }
         }
     }
 
-    fn resolve_with(&self, relation: &str, rules: &RuleSet) -> Result<Arc<Relation>> {
-        let out = evaluate(rules, self, self.ids, &self.head_columns)
+    /// Compiled form of an SMO's rule set, via the database-wide store.
+    fn compiled_rules(
+        &self,
+        smo: inverda_catalog::SmoId,
+        direction: Direction,
+        rules: &RuleSet,
+    ) -> inverda_datalog::Result<Arc<CompiledRuleSet>> {
+        self.compiled.get_or_compile(smo, direction, rules)
+    }
+
+    fn resolve_with(&self, relation: &str, crs: &CompiledRuleSet) -> Result<Arc<Relation>> {
+        let out = evaluate_compiled(crs, self, self.ids, &self.head_columns)
             .map_err(crate::CoreError::from)?;
         let mut cache = self.cache.borrow_mut();
         let mut requested = None;
@@ -125,11 +157,7 @@ impl<'a> VersionedEdb<'a> {
             // construction (e.g. the single-arm split's R⁻, which has no
             // second twin to lose).
             None if self.aux_index.contains_key(relation) => {
-                let columns = self
-                    .head_columns
-                    .get(relation)
-                    .cloned()
-                    .unwrap_or_default();
+                let columns = self.head_columns.get(relation).cloned().unwrap_or_default();
                 let empty = Arc::new(Relation::new(
                     inverda_storage::TableSchema::new(relation.to_string(), columns)
                         .expect("valid aux schema"),
@@ -144,10 +172,13 @@ impl<'a> VersionedEdb<'a> {
     }
 
     fn resolve_virtual(&self, relation: &str, tv: TableVersionId) -> Result<Arc<Relation>> {
-        let rules = self
+        let (smo, direction, rules) = self
             .defining_rules(tv)
             .expect("virtual table version must have defining rules");
-        self.resolve_with(relation, rules)
+        let crs = self
+            .compiled_rules(smo, direction, rules)
+            .map_err(crate::CoreError::from)?;
+        self.resolve_with(relation, &crs)
     }
 
     /// Resolve a non-physical aux table: it is part of its side's derived
@@ -159,23 +190,16 @@ impl<'a> VersionedEdb<'a> {
         tgt_side: bool,
     ) -> Result<Arc<Relation>> {
         let inst = self.genealogy.smo(smo);
-        let rules = if tgt_side {
-            &inst.derived.to_tgt
+        let (direction, rules) = if tgt_side {
+            (Direction::ToTgt, &inst.derived.to_tgt)
         } else {
-            &inst.derived.to_src
+            (Direction::ToSrc, &inst.derived.to_src)
         };
-        self.resolve_with(relation, rules)
+        let crs = self
+            .compiled_rules(smo, direction, rules)
+            .map_err(crate::CoreError::from)?;
+        self.resolve_with(relation, &crs)
     }
-}
-
-/// Whether a rule set consumes its own heads (old/new staging).
-pub fn staged(rules: &RuleSet) -> bool {
-    let heads: std::collections::BTreeSet<String> =
-        rules.head_relations().into_iter().collect();
-    rules
-        .rules
-        .iter()
-        .any(|r| r.body_relations().iter().any(|rel| heads.contains(*rel)))
 }
 
 impl EdbView for VersionedEdb<'_> {
@@ -217,7 +241,12 @@ impl EdbView for VersionedEdb<'_> {
         if let Some(hit) = self.cache.borrow().get(relation) {
             return Ok(hit.get(key).cloned());
         }
-        if let Some(hit) = self.key_cache.borrow().get(&(relation.to_string(), key)) {
+        if let Some(hit) = self
+            .key_cache
+            .borrow()
+            .get(relation)
+            .and_then(|m| m.get(&key))
+        {
             return Ok(hit.clone());
         }
         if self.storage.has_table(relation) {
@@ -236,27 +265,36 @@ impl EdbView for VersionedEdb<'_> {
                 relation: relation.to_string(),
             });
         };
-        let Some(rules) = self.defining_rules(tv) else {
+        let Some((smo, direction, rules)) = self.defining_rules(tv) else {
             return Err(DatalogError::UnboundRelation {
                 relation: relation.to_string(),
             });
         };
+        let crs = self.compiled_rules(smo, direction, rules)?;
         // Staged rule sets (the id-generating SMOs) consume their own
         // intermediate heads, which are not resolvable relations — fall back
         // to full resolution for them.
-        if staged(rules) {
+        if crs.staged() {
             return Ok(self.full(relation)?.get(key).cloned());
         }
         // Push the key through the defining mapping.
         let mut ev = Evaluator::new(self, self.ids);
-        let row = ev.head_row_for_key(rules, relation, key)?;
+        let row = ev.head_row_for_key(&crs, relation, key)?;
         self.key_cache
             .borrow_mut()
-            .insert((relation.to_string(), key), row.clone());
+            .entry(relation.to_string())
+            .or_default()
+            .insert(key, row.clone());
         Ok(row)
     }
 
     fn contains(&self, relation: &str) -> bool {
         self.storage.has_table(relation) || self.rel_index.contains_key(relation)
+    }
+
+    fn index(&self, relation: &str, column: usize) -> inverda_datalog::Result<Arc<ColumnIndex>> {
+        self.index_cache.get_or_build(relation, column, || {
+            Ok(self.full(relation)?.build_column_index(column))
+        })
     }
 }

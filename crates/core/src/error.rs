@@ -46,7 +46,10 @@ impl fmt::Display for CoreError {
                 key,
             } => write!(f, "no row #{key} in {version}.{table}"),
             CoreError::BadMaterializeTarget { target } => {
-                write!(f, "bad MATERIALIZE target '{target}' (expected 'Version' or 'Version.table')")
+                write!(
+                    f,
+                    "bad MATERIALIZE target '{target}' (expected 'Version' or 'Version.table')"
+                )
             }
         }
     }

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod database;
 pub mod edb;
 pub mod error;

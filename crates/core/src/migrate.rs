@@ -10,12 +10,13 @@
 //! same logical state before and after — only the propagation distances
 //! change. "Not a single line of code is required from the developer."
 
+use crate::compiled::Direction;
 use crate::database::Inverda;
 use crate::edb::VersionedEdb;
 use crate::error::CoreError;
 use crate::Result;
 use inverda_catalog::MaterializationSchema;
-use inverda_datalog::eval::{evaluate, EdbView};
+use inverda_datalog::eval::{evaluate_compiled, EdbView};
 use inverda_storage::Relation;
 
 impl Inverda {
@@ -76,10 +77,9 @@ impl Inverda {
             let g = &state.genealogy;
             let cur = &state.materialization;
             let ids = self.id_source();
-            let edb = VersionedEdb::new(g, cur, &self.storage, &ids);
+            let edb = VersionedEdb::new(g, cur, &self.storage, &ids, &self.compiled);
 
-            let old_p: std::collections::BTreeSet<_> =
-                cur.physical_tables(g).into_iter().collect();
+            let old_p: std::collections::BTreeSet<_> = cur.physical_tables(g).into_iter().collect();
             let new_p: std::collections::BTreeSet<_> =
                 new_m.physical_tables(g).into_iter().collect();
 
@@ -100,12 +100,16 @@ impl Inverda {
                 if was == will {
                     continue;
                 }
-                let rules = if will {
-                    &smo.derived.to_tgt
+                let (direction, rules) = if will {
+                    (Direction::ToTgt, &smo.derived.to_tgt)
                 } else {
-                    &smo.derived.to_src
+                    (Direction::ToSrc, &smo.derived.to_src)
                 };
-                let heads = evaluate(rules, &edb, &ids, edb.head_columns())
+                let crs = self
+                    .compiled
+                    .get_or_compile(smo.id, direction, rules)
+                    .map_err(CoreError::from)?;
+                let heads = evaluate_compiled(&crs, &edb, &ids, edb.head_columns())
                     .map_err(CoreError::from)?;
                 let (new_aux, old_aux) = if will {
                     (&smo.derived.tgt_aux, &smo.derived.src_aux)
@@ -113,18 +117,12 @@ impl Inverda {
                     (&smo.derived.src_aux, &smo.derived.tgt_aux)
                 };
                 for aux in new_aux {
-                    let contents = heads
-                        .get(&aux.rel)
-                        .cloned()
-                        .unwrap_or_else(|| {
-                            Relation::new(
-                                inverda_storage::TableSchema::new(
-                                    aux.rel.clone(),
-                                    aux.columns.clone(),
-                                )
+                    let contents = heads.get(&aux.rel).cloned().unwrap_or_else(|| {
+                        Relation::new(
+                            inverda_storage::TableSchema::new(aux.rel.clone(), aux.columns.clone())
                                 .expect("valid aux schema"),
-                            )
-                        });
+                        )
+                    });
                     creates.push(contents);
                 }
                 for aux in old_aux {
@@ -252,9 +250,7 @@ mod tests {
         assert!(db.scan("TasKy2", "Task").unwrap().contains_key(k));
         // Author Eve was created in the physical Author table.
         let authors = db.scan("TasKy2", "Author").unwrap();
-        assert!(authors
-            .iter()
-            .any(|(_, row)| row[0] == Value::text("Eve")));
+        assert!(authors.iter().any(|(_, row)| row[0] == Value::text("Eve")));
         // Delete through Do! and verify everywhere.
         db.delete("Do!", "Todo", k).unwrap();
         assert!(db.get("TasKy", "Task", k).unwrap().is_none());
@@ -276,7 +272,8 @@ mod tests {
     #[test]
     fn materialize_single_table_version() {
         let db = tasky_full();
-        db.execute("MATERIALIZE 'TasKy2.Task', 'TasKy2.Author';").unwrap();
+        db.execute("MATERIALIZE 'TasKy2.Task', 'TasKy2.Author';")
+            .unwrap();
         assert_eq!(db.storage_case("TasKy2", "Task").unwrap(), "local");
         assert_eq!(db.storage_case("TasKy2", "Author").unwrap(), "local");
     }
@@ -292,9 +289,7 @@ mod tests {
                SPLIT TABLE T INTO R WITH a < 5, S WITH a >= 3;",
         )
         .unwrap();
-        let k = db
-            .insert("V1", "T", vec![4.into(), "twin".into()])
-            .unwrap();
+        let k = db.insert("V1", "T", vec![4.into(), "twin".into()]).unwrap();
         // Both partitions see the tuple (overlap).
         assert!(db.scan("V2", "R").unwrap().contains_key(k));
         assert!(db.scan("V2", "S").unwrap().contains_key(k));
@@ -310,7 +305,10 @@ mod tests {
             Value::text("separated")
         );
         // T shows the primus inter pares (R).
-        assert_eq!(db.get("V1", "T", k).unwrap().unwrap()[1], Value::text("twin"));
+        assert_eq!(
+            db.get("V1", "T", k).unwrap().unwrap()[1],
+            Value::text("twin")
+        );
         // Flip materialization: twins must stay separated.
         db.execute("MATERIALIZE 'V2';").unwrap();
         assert_eq!(

@@ -20,12 +20,15 @@
 //! purge a separated twin recorded in `S⁺` would resurrect a tuple deleted
 //! through the side that physically stores it (see DESIGN.md).
 
+use crate::compiled::Direction;
 use crate::database::{Inverda, State, WritePath};
 use crate::edb::VersionedEdb;
 use crate::error::CoreError;
 use crate::Result;
 use inverda_catalog::{SmoId, StorageCase, TableVersionId};
-use inverda_datalog::delta::{propagate, propagate_by_recompute, Delta, DeltaMap};
+use inverda_datalog::delta::{
+    propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap,
+};
 use inverda_storage::{Key, Row, Value, WriteBatch};
 use std::collections::BTreeMap;
 
@@ -71,11 +74,13 @@ impl Inverda {
         let _guard = self.write_lock.lock();
         let state = self.state.read();
         let tv = state.genealogy.resolve(version, table)?;
-        let old = self.current_row(&state, tv, key)?.ok_or(CoreError::MissingRow {
-            version: version.to_string(),
-            table: table.to_string(),
-            key: key.0,
-        })?;
+        let old = self
+            .current_row(&state, tv, key)?
+            .ok_or(CoreError::MissingRow {
+                version: version.to_string(),
+                table: table.to_string(),
+                key: key.0,
+            })?;
         if old == row {
             return Ok(());
         }
@@ -87,11 +92,13 @@ impl Inverda {
         let _guard = self.write_lock.lock();
         let state = self.state.read();
         let tv = state.genealogy.resolve(version, table)?;
-        let old = self.current_row(&state, tv, key)?.ok_or(CoreError::MissingRow {
-            version: version.to_string(),
-            table: table.to_string(),
-            key: key.0,
-        })?;
+        let old = self
+            .current_row(&state, tv, key)?
+            .ok_or(CoreError::MissingRow {
+                version: version.to_string(),
+                table: table.to_string(),
+                key: key.0,
+            })?;
         self.apply_logical(&state, tv, Delta::delete(key, old))
     }
 
@@ -103,6 +110,7 @@ impl Inverda {
             &state.materialization,
             &self.storage,
             &ids,
+            &self.compiled,
         );
         use inverda_datalog::eval::EdbView;
         Ok(edb.by_key(&rel, key)?)
@@ -124,6 +132,7 @@ impl Inverda {
                 &state.materialization,
                 &self.storage,
                 &ids,
+                &self.compiled,
             );
             let mut pending: BTreeMap<TableVersionId, (Delta, Option<SmoId>)> = BTreeMap::new();
             pending.insert(tv, (delta, None));
@@ -181,11 +190,15 @@ impl Inverda {
                         .collect();
                     let inst = g.smo(smo);
                     let forwards = matches!(case, StorageCase::Forward(_));
-                    let rules = if forwards {
-                        &inst.derived.to_tgt
+                    let (direction, rules) = if forwards {
+                        (Direction::ToTgt, &inst.derived.to_tgt)
                     } else {
-                        &inst.derived.to_src
+                        (Direction::ToSrc, &inst.derived.to_src)
                     };
+                    let crs = self
+                        .compiled
+                        .get_or_compile(smo, direction, rules)
+                        .map_err(CoreError::from)?;
                     let mut input = DeltaMap::new();
                     for id in &departing {
                         let (delta, arrived) = pending.remove(id).expect("present");
@@ -195,10 +208,10 @@ impl Inverda {
                     let ids = self.id_source();
                     let head_deltas = match state.write_path {
                         WritePath::Delta => {
-                            propagate(rules, edb, &input, &ids, edb.head_columns())?
+                            propagate_compiled(&crs, edb, &input, &ids, edb.head_columns())?
                         }
-                        WritePath::Recompute => propagate_by_recompute(
-                            rules,
+                        WritePath::Recompute => propagate_by_recompute_compiled(
+                            &crs,
                             edb,
                             &input,
                             &ids,
@@ -212,9 +225,8 @@ impl Inverda {
                     } else {
                         inst.derived.src_data.iter().zip(inst.sources.iter())
                     };
-                    let next_index: BTreeMap<&str, TableVersionId> = next_data
-                        .map(|(t, id)| (t.rel.as_str(), *id))
-                        .collect();
+                    let next_index: BTreeMap<&str, TableVersionId> =
+                        next_data.map(|(t, id)| (t.rel.as_str(), *id)).collect();
                     let aux_side = if forwards {
                         &inst.derived.tgt_aux
                     } else {
@@ -233,11 +245,8 @@ impl Inverda {
                             }
                             continue;
                         }
-                        if let Some(shared) = inst
-                            .derived
-                            .shared_aux
-                            .iter()
-                            .find(|s| s.new_name == rel)
+                        if let Some(shared) =
+                            inst.derived.shared_aux.iter().find(|s| s.new_name == rel)
                         {
                             apply_delta_physically(&shared.table.rel, &d, batch);
                             continue;
@@ -304,7 +313,10 @@ impl Inverda {
             } else {
                 &inst.derived.src_aux
             };
-            for a in aux.iter().chain(inst.derived.shared_aux.iter().map(|s| &s.table)) {
+            for a in aux
+                .iter()
+                .chain(inst.derived.shared_aux.iter().map(|s| &s.table))
+            {
                 for k in &deleted {
                     batch.delete_if_present(a.rel.clone(), *k);
                 }
@@ -404,11 +416,7 @@ mod tests {
         let task = db.scan("TasKy", "Task").unwrap();
         assert_eq!(
             task.get(k).unwrap(),
-            &vec![
-                Value::text("Eve"),
-                Value::text("New task"),
-                Value::Int(1)
-            ]
+            &vec![Value::text("Eve"), Value::text("New task"), Value::Int(1)]
         );
         // And it is visible in TasKy2 as well.
         assert!(db.scan("TasKy2", "Task").unwrap().contains_key(k));
@@ -483,11 +491,12 @@ mod tests {
             Err(CoreError::MissingRow { .. })
         ));
         assert!(matches!(
-            db.update("TasKy", "Task", Key(99_999), vec![
-                "x".into(),
-                "y".into(),
-                1.into()
-            ]),
+            db.update(
+                "TasKy",
+                "Task",
+                Key(99_999),
+                vec!["x".into(), "y".into(), 1.into()]
+            ),
             Err(CoreError::MissingRow { .. })
         ));
     }
@@ -509,7 +518,12 @@ mod tests {
             .unwrap();
             db.delete("Do!", "Todo", keys[3]).unwrap();
             let mut out = Vec::new();
-            for (v, t) in [("TasKy", "Task"), ("Do!", "Todo"), ("TasKy2", "Task"), ("TasKy2", "Author")] {
+            for (v, t) in [
+                ("TasKy", "Task"),
+                ("Do!", "Todo"),
+                ("TasKy2", "Task"),
+                ("TasKy2", "Author"),
+            ] {
                 let rel = db.scan(v, t).unwrap();
                 out.push(format!("{v}.{t}: {rel}"));
             }

@@ -296,7 +296,8 @@ fn chain_of_smos_preserves_state_across_frontiers() {
         .unwrap();
 
     for a in 0..10i64 {
-        db.insert("V1", "T", vec![a.into(), (a * 2).into()]).unwrap();
+        db.insert("V1", "T", vec![a.into(), (a * 2).into()])
+            .unwrap();
     }
     db.insert("V4", "R", vec![1.into(), 1.into(), 99.into()])
         .unwrap();
@@ -343,7 +344,11 @@ fn diverging_shared_payload_update_is_rejected_cleanly() {
     // Un-sharing is undefined: the write must fail without corrupting state.
     let result = db.update("V1", "T", k1, vec![1.into(), 8.into()]);
     assert!(result.is_err(), "diverging shared update must be rejected");
-    assert_eq!(*db.scan("V2", "B").unwrap(), *before, "state must be unchanged");
+    assert_eq!(
+        *db.scan("V2", "B").unwrap(),
+        *before,
+        "state must be unchanged"
+    );
     // Consistent updates (both sharers) remain possible through V2 directly.
     let b_key = before.keys().next().unwrap();
     db.update("V2", "B", b_key, vec![9.into()]).unwrap();

@@ -213,9 +213,9 @@ impl Literal {
                 args: args
                     .iter()
                     .map(|t| match t {
-                        Term::Var(v) => Term::Var(
-                            mapping.get(v).cloned().unwrap_or_else(|| v.clone()),
-                        ),
+                        Term::Var(v) => {
+                            Term::Var(mapping.get(v).cloned().unwrap_or_else(|| v.clone()))
+                        }
                         other => other.clone(),
                     })
                     .collect(),

@@ -19,11 +19,11 @@
 //! two-state evaluation and diff; they are exactly the SMOs whose triggers
 //! also need non-key joins in SQL.
 
-use crate::ast::{Literal, Rule, RuleSet};
+use crate::ast::RuleSet;
 use crate::error::DatalogError;
-use crate::eval::{evaluate, Bindings, EdbView, Evaluator, IdSource};
+use crate::eval::{evaluate_compiled, CompiledRuleSet, EdbView, Evaluator, IdSource};
 use crate::Result;
-use inverda_storage::{Key, Relation, Row};
+use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -116,6 +116,7 @@ pub struct PatchedEdb<'a> {
     /// Changes to overlay.
     pub patches: &'a DeltaMap,
     cache: RefCell<BTreeMap<String, Arc<Relation>>>,
+    indexes: IndexCache,
 }
 
 impl<'a> PatchedEdb<'a> {
@@ -125,6 +126,7 @@ impl<'a> PatchedEdb<'a> {
             base,
             patches,
             cache: RefCell::new(BTreeMap::new()),
+            indexes: IndexCache::new(),
         }
     }
 }
@@ -165,10 +167,17 @@ impl EdbView for PatchedEdb<'_> {
     fn contains(&self, relation: &str) -> bool {
         self.base.contains(relation) || self.patches.contains_key(relation)
     }
+
+    fn index(&self, relation: &str, column: usize) -> Result<Arc<ColumnIndex>> {
+        self.indexes.get_or_build(relation, column, || {
+            Ok(self.full(relation)?.build_column_index(column))
+        })
+    }
 }
 
 /// Propagate input deltas through a rule set, returning the exact deltas of
-/// every head relation.
+/// every head relation. Compiles the rules first; use
+/// [`propagate_compiled`] to reuse a compiled set across writes.
 pub fn propagate(
     rules: &RuleSet,
     base: &dyn EdbView,
@@ -176,28 +185,40 @@ pub fn propagate(
     ids: &dyn IdSource,
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<DeltaMap> {
-    let heads: BTreeSet<String> = rules.head_relations().into_iter().collect();
-    let staged = rules
-        .rules
-        .iter()
-        .any(|r| r.body_relations().iter().any(|rel| heads.contains(*rel)));
-    if staged {
-        return propagate_by_recompute(rules, base, input_delta, ids, head_columns);
+    propagate_compiled(
+        &CompiledRuleSet::compile(rules)?,
+        base,
+        input_delta,
+        ids,
+        head_columns,
+    )
+}
+
+/// Propagate input deltas through a pre-compiled rule set.
+pub fn propagate_compiled(
+    crs: &CompiledRuleSet,
+    base: &dyn EdbView,
+    input_delta: &DeltaMap,
+    ids: &dyn IdSource,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<DeltaMap> {
+    if crs.staged() {
+        return propagate_by_recompute_compiled(crs, base, input_delta, ids, head_columns);
     }
 
     // ---- Phase 1 (old state): probe deletions at positive literals and
     // insertions at negative literals.
     let mut candidates: BTreeMap<String, BTreeSet<Key>> = BTreeMap::new();
     {
-        let mut old_ev = Evaluator::new(base, ids);
-        probe_rules(rules, &mut old_ev, input_delta, ProbeState::Old, &mut candidates)?;
+        let old_ev = Evaluator::new(base, ids);
+        probe_rules(crs, &old_ev, input_delta, ProbeState::Old, &mut candidates)?;
     }
     // ---- Phase 2 (new state): probe insertions at positive literals and
     // deletions at negative literals.
     let patched = PatchedEdb::new(base, input_delta);
     {
-        let mut new_ev = Evaluator::new(&patched, ids);
-        probe_rules(rules, &mut new_ev, input_delta, ProbeState::New, &mut candidates)?;
+        let new_ev = Evaluator::new(&patched, ids);
+        probe_rules(crs, &new_ev, input_delta, ProbeState::New, &mut candidates)?;
     }
 
     // ---- Phase 3: resolve candidates exactly in both states.
@@ -206,7 +227,7 @@ pub fn propagate(
         let mut new_ev = Evaluator::new(&patched, ids);
         for (head, keys) in &candidates {
             for key in keys {
-                let row = new_ev.head_row_for_key(rules, head, *key)?;
+                let row = new_ev.head_row_for_key(crs, head, *key)?;
                 new_rows.insert((head.clone(), *key), row);
             }
         }
@@ -216,7 +237,7 @@ pub fn propagate(
         let mut old_ev = Evaluator::new(base, ids);
         for (head, keys) in &candidates {
             for key in keys {
-                let row = old_ev.head_row_for_key(rules, head, *key)?;
+                let row = old_ev.head_row_for_key(crs, head, *key)?;
                 old_rows.insert((head.clone(), *key), row);
             }
         }
@@ -226,14 +247,8 @@ pub fn propagate(
     for (head, keys) in &candidates {
         let delta = out.entry(head.clone()).or_default();
         for key in keys {
-            let old = old_rows
-                .get(&(head.clone(), *key))
-                .cloned()
-                .flatten();
-            let new = new_rows
-                .get(&(head.clone(), *key))
-                .cloned()
-                .flatten();
+            let old = old_rows.get(&(head.clone(), *key)).cloned().flatten();
+            let new = new_rows.get(&(head.clone(), *key)).cloned().flatten();
             match (old, new) {
                 (None, Some(row)) => {
                     delta.inserts.insert(*key, row);
@@ -262,9 +277,26 @@ pub fn propagate_by_recompute(
     ids: &dyn IdSource,
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<DeltaMap> {
-    let old_out = evaluate(rules, base, ids, head_columns)?;
+    propagate_by_recompute_compiled(
+        &CompiledRuleSet::compile(rules)?,
+        base,
+        input_delta,
+        ids,
+        head_columns,
+    )
+}
+
+/// [`propagate_by_recompute`] over a pre-compiled rule set.
+pub fn propagate_by_recompute_compiled(
+    crs: &CompiledRuleSet,
+    base: &dyn EdbView,
+    input_delta: &DeltaMap,
+    ids: &dyn IdSource,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<DeltaMap> {
+    let old_out = evaluate_compiled(crs, base, ids, head_columns)?;
     let patched = PatchedEdb::new(base, input_delta);
-    let new_out = evaluate(rules, &patched, ids, head_columns)?;
+    let new_out = evaluate_compiled(crs, &patched, ids, head_columns)?;
     let mut out = DeltaMap::new();
     for (head, new_rel) in &new_out {
         let old_rel = &old_out[head];
@@ -296,19 +328,14 @@ enum ProbeState {
 
 /// Seed every rule with changed tuples and collect candidate head keys.
 fn probe_rules(
-    rules: &RuleSet,
-    ev: &mut Evaluator<'_>,
+    crs: &CompiledRuleSet,
+    ev: &Evaluator<'_>,
     input_delta: &DeltaMap,
     state: ProbeState,
     candidates: &mut BTreeMap<String, BTreeSet<Key>>,
 ) -> Result<()> {
-    for rule in &rules.rules {
-        for (i, lit) in rule.body.iter().enumerate() {
-            let (atom, positive) = match lit {
-                Literal::Pos(a) => (a, true),
-                Literal::Neg(a) => (a, false),
-                _ => continue,
-            };
+    for rule_idx in 0..crs.rules.len() {
+        for (lit_idx, atom, positive) in crs.body_atoms(rule_idx) {
             let Some(delta) = input_delta.get(&atom.relation) else {
                 continue;
             };
@@ -324,75 +351,25 @@ fn probe_rules(
                 (ProbeState::New, true) => delta.inserts.iter().collect(),
                 (ProbeState::New, false) => delta.deletes.iter().collect(),
             };
+            let head = &crs.rules[rule_idx].head.relation;
+            let keys = candidates.entry(head.clone()).or_default();
             for (key, row) in tuples {
-                let Some(seed) = seed_from_tuple(atom, *key, row) else {
-                    continue;
-                };
                 // For positive literals in their supporting state the tuple
                 // is present, so skipping the literal is exact; for the
                 // other cases skipping over-approximates, which is fine —
                 // candidates are re-derived exactly afterwards.
-                let bindings = ev.eval_rule(rule, Some(i), &seed)?;
-                for b in bindings {
-                    if let Some(key) = head_key(rule, &b) {
-                        candidates
-                            .entry(rule.head.relation.clone())
-                            .or_default()
-                            .insert(key);
-                    }
-                }
+                ev.probe_head_keys(crs, rule_idx, lit_idx, *key, row, keys)?;
             }
         }
     }
+    candidates.retain(|_, keys| !keys.is_empty());
     Ok(())
-}
-
-/// Unify an atom's pattern with a concrete tuple to produce seed bindings.
-/// Returns `None` if the tuple cannot match the pattern (constants differ).
-fn seed_from_tuple(atom: &crate::ast::Atom, key: Key, row: &Row) -> Option<Bindings> {
-    use crate::ast::Term;
-    if atom.terms.len() != row.len() + 1 {
-        return None;
-    }
-    let mut seed = Bindings::new();
-    let key_val = crate::eval::key_value(key);
-    let all = std::iter::once(&key_val).chain(row.iter());
-    for (term, value) in atom.terms.iter().zip(all) {
-        match term {
-            Term::Anon => {}
-            Term::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => match seed.get(v) {
-                Some(bound) if bound != value => return None,
-                Some(_) => {}
-                None => {
-                    seed.insert(v.clone(), value.clone());
-                }
-            },
-        }
-    }
-    Some(seed)
-}
-
-/// The head key under complete-enough bindings, if determinable.
-fn head_key(rule: &Rule, bindings: &Bindings) -> Option<Key> {
-    use crate::ast::Term;
-    match rule.head.key_term() {
-        Term::Var(v) => bindings
-            .get(v)
-            .and_then(|val| crate::eval::value_key(&rule.head.relation, val).ok()),
-        Term::Const(c) => crate::eval::value_key(&rule.head.relation, c).ok(),
-        Term::Anon => None,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{Atom, Rule, RuleSet, Term};
+    use crate::ast::{Atom, Literal, Rule, RuleSet, Term};
     use crate::eval::MapEdb;
     use crate::skolem::SkolemRegistry;
     use inverda_storage::{Expr, Value};
@@ -425,8 +402,11 @@ mod tests {
 
     fn task_edb() -> MapEdb {
         let mut t = Relation::with_columns("T", ["author", "task", "prio"]);
-        t.insert(Key(1), vec!["Ann".into(), "Organize party".into(), 3.into()])
-            .unwrap();
+        t.insert(
+            Key(1),
+            vec!["Ann".into(), "Organize party".into(), 3.into()],
+        )
+        .unwrap();
         t.insert(Key(3), vec!["Ann".into(), "Write paper".into(), 1.into()])
             .unwrap();
         t.insert(Key(4), vec!["Ben".into(), "Clean room".into(), 1.into()])
@@ -486,7 +466,10 @@ mod tests {
         let mut input = DeltaMap::new();
         input.insert(
             "T".into(),
-            Delta::delete(Key(1), vec!["Ann".into(), "Organize party".into(), 3.into()]),
+            Delta::delete(
+                Key(1),
+                vec!["Ann".into(), "Organize party".into(), 3.into()],
+            ),
         );
         let out = propagate(&split_gamma_tgt(), &edb, &input, &sk, &BTreeMap::new()).unwrap();
         assert!(!out.contains_key("R"));
@@ -554,8 +537,7 @@ mod tests {
         let sk1 = ids();
         let fast = propagate(&rules, &edb, &input, &sk1, &BTreeMap::new()).unwrap();
         let sk2 = ids();
-        let slow =
-            propagate_by_recompute(&rules, &edb, &input, &sk2, &BTreeMap::new()).unwrap();
+        let slow = propagate_by_recompute(&rules, &edb, &input, &sk2, &BTreeMap::new()).unwrap();
         let slow: DeltaMap = slow.into_iter().filter(|(_, d)| !d.is_empty()).collect();
         assert_eq!(fast, slow);
     }

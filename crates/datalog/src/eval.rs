@@ -1,27 +1,58 @@
-//! Staged, non-recursive rule evaluation.
+//! Compiled, staged, non-recursive rule evaluation — the hot path of every
+//! read on a virtual schema version, every write-propagation hop, and every
+//! migration.
 //!
 //! Evaluation follows the paper's reading of a rule set: rules are processed
 //! in order; each rule's body is matched against the EDB *plus* all heads
 //! derived by earlier rules (which realizes the `old`/`new` staging of the
 //! id-generating SMOs). Derived heads shadow EDB relations of the same name.
 //!
+//! Unlike the naive reference interpreter ([`crate::naive`]), this engine
+//! **compiles** each rule once before evaluating it:
+//!
+//! * rule variables are interned into numeric **slots**, so a set of bindings
+//!   is a flat [`Frame`] (`Vec<Option<Value>>`) mutated in place with a
+//!   backtracking trail instead of a `BTreeMap` cloned at every join depth;
+//! * safe evaluation orders (base, key-seeded, and one per probe literal for
+//!   the delta engine) are **scheduled at compile time** over slot bitsets;
+//! * positive and negated atoms whose key term is unbound probe an on-demand
+//!   **secondary join index** ([`ColumnIndex`]) on the first bound payload
+//!   column instead of scanning the relation — O(1) per probe after a single
+//!   O(n) build, cached per evaluation (and across statements by the
+//!   `VersionedEdb` in `inverda-core`);
+//! * the per-(head, key) memo is a two-level map keyed by `&str` then `Key`,
+//!   so lookups allocate nothing.
+//!
+//! The compiled engine explores joins in **exactly** the same order as the
+//! naive interpreter (same scheduling preferences and tie-breaks, and index
+//! probes enumerate matches in key order like a scan would), so the two
+//! engines derive identical relations *and* mint identical skolem ids. The
+//! differential property tests in `tests/compiled_vs_naive.rs` hold them to
+//! that.
+//!
 //! Two entry points:
 //!
-//! * [`evaluate`] — full bottom-up evaluation of a rule set;
+//! * [`evaluate`] / [`evaluate_compiled`] — full bottom-up evaluation;
 //! * [`Evaluator::head_row_for_key`] — key-seeded evaluation used by the
 //!   delta engine and by lazy view expansion: computes the single row a head
 //!   relation derives for one key, pushing the key binding into body atoms
 //!   (the engine-side analogue of a DBMS optimizer pushing a key predicate
 //!   into a generated view).
 
-use crate::ast::{Atom, Literal, Rule, RuleSet, Term};
+use crate::ast::{Literal, Rule, RuleSet, Term};
 use crate::error::DatalogError;
 use crate::skolem::SkolemRegistry;
 use crate::Result;
-use inverda_storage::{Key, Relation, Row, RowContext, TableSchema, Value};
+use inverda_storage::{
+    ColumnIndex, IndexCache, Key, Relation, Row, RowContext, TableSchema, Value,
+};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// EDB access
+// ---------------------------------------------------------------------------
 
 /// Read access to the extensional database during evaluation.
 ///
@@ -40,6 +71,14 @@ pub trait EdbView {
 
     /// Whether the relation is served by this view.
     fn contains(&self, relation: &str) -> bool;
+
+    /// A secondary join index over one payload column of the relation's
+    /// current state. The default builds it on the spot; caching
+    /// implementations (`MapEdb` here, `VersionedEdb` in `inverda-core`)
+    /// build each `(relation, column)` index once per snapshot.
+    fn index(&self, relation: &str, column: usize) -> Result<Arc<ColumnIndex>> {
+        Ok(Arc::new(self.full(relation)?.build_column_index(column)))
+    }
 }
 
 /// A source of memoized skolem identifiers usable behind a shared reference
@@ -56,32 +95,47 @@ impl IdSource for RefCell<SkolemRegistry> {
     }
 }
 
-/// A plain map-backed EDB.
-#[derive(Debug, Clone, Default)]
-pub struct MapEdb(pub BTreeMap<String, Arc<Relation>>);
+/// A plain map-backed EDB with a per-snapshot join-index cache.
+#[derive(Debug, Default)]
+pub struct MapEdb {
+    rels: BTreeMap<String, Arc<Relation>>,
+    indexes: IndexCache,
+}
+
+impl Clone for MapEdb {
+    fn clone(&self) -> Self {
+        MapEdb {
+            rels: self.rels.clone(),
+            indexes: IndexCache::new(),
+        }
+    }
+}
 
 impl MapEdb {
     /// Empty EDB.
     pub fn new() -> Self {
-        MapEdb(BTreeMap::new())
+        MapEdb::default()
     }
 
     /// Insert a relation under its own name.
     pub fn add(&mut self, rel: Relation) -> &mut Self {
-        self.0.insert(rel.name().to_string(), Arc::new(rel));
+        self.indexes.invalidate(rel.name());
+        self.rels.insert(rel.name().to_string(), Arc::new(rel));
         self
     }
 
     /// Insert a shared relation under the given name.
     pub fn add_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) -> &mut Self {
-        self.0.insert(name.into(), rel);
+        let name = name.into();
+        self.indexes.invalidate(&name);
+        self.rels.insert(name, rel);
         self
     }
 }
 
 impl EdbView for MapEdb {
     fn full(&self, relation: &str) -> Result<Arc<Relation>> {
-        self.0
+        self.rels
             .get(relation)
             .cloned()
             .ok_or_else(|| DatalogError::UnboundRelation {
@@ -90,7 +144,7 @@ impl EdbView for MapEdb {
     }
 
     fn by_key(&self, relation: &str, key: Key) -> Result<Option<Row>> {
-        match self.0.get(relation) {
+        match self.rels.get(relation) {
             Some(rel) => Ok(rel.get(key).cloned()),
             None => Err(DatalogError::UnboundRelation {
                 relation: relation.to_string(),
@@ -99,18 +153,13 @@ impl EdbView for MapEdb {
     }
 
     fn contains(&self, relation: &str) -> bool {
-        self.0.contains_key(relation)
+        self.rels.contains_key(relation)
     }
-}
 
-/// Variable bindings during rule evaluation.
-pub type Bindings = BTreeMap<String, Value>;
-
-struct BindingsCtx<'a>(&'a Bindings);
-
-impl RowContext for BindingsCtx<'_> {
-    fn value_of(&self, column: &str) -> Option<Value> {
-        self.0.get(column).cloned()
+    fn index(&self, relation: &str, column: usize) -> Result<Arc<ColumnIndex>> {
+        self.indexes.get_or_build(relation, column, || {
+            Ok(self.full(relation)?.build_column_index(column))
+        })
     }
 }
 
@@ -130,7 +179,439 @@ pub fn value_key(relation: &str, v: &Value) -> Result<Key> {
     }
 }
 
-/// Evaluate a rule set bottom-up against an EDB.
+// ---------------------------------------------------------------------------
+// Compiled rule representation
+// ---------------------------------------------------------------------------
+
+/// A binding frame: one `Option<Value>` per interned rule variable.
+pub type Frame = Vec<Option<Value>>;
+
+/// A compiled term: variables are slot numbers into the rule's [`Frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTerm {
+    /// A variable, as a frame slot.
+    Var(usize),
+    /// A constant value.
+    Const(Value),
+    /// The anonymous variable `_`.
+    Anon,
+}
+
+impl CTerm {
+    /// The value this term resolves to under `frame`, if fully resolved.
+    fn resolved<'a>(&'a self, frame: &'a Frame) -> Option<&'a Value> {
+        match self {
+            CTerm::Const(c) => Some(c),
+            CTerm::Var(s) => frame[*s].as_ref(),
+            CTerm::Anon => None,
+        }
+    }
+}
+
+/// A compiled atom `q(t0, t1, …, tn)`; `t0` is the key position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CAtom {
+    /// Relation name.
+    pub relation: String,
+    /// Terms; index 0 is the key position.
+    pub terms: Vec<CTerm>,
+}
+
+impl CAtom {
+    /// The first payload column whose term resolves under `frame`, as
+    /// `(column, value)` — the probe column for an index lookup.
+    fn bound_payload<'a>(&'a self, frame: &'a Frame) -> Option<(usize, &'a Value)> {
+        self.terms[1..]
+            .iter()
+            .enumerate()
+            .find_map(|(col, t)| t.resolved(frame).map(|v| (col, v)))
+    }
+}
+
+/// A compiled body literal. Condition and assignment expressions keep their
+/// column-name ASTs but carry a precomputed name→slot table so evaluation
+/// does no string building.
+#[derive(Debug, Clone)]
+enum CLit {
+    Pos(CAtom),
+    Neg(CAtom),
+    Cond {
+        expr: inverda_storage::Expr,
+        cols: Vec<(String, usize)>,
+    },
+    Assign {
+        slot: usize,
+        expr: inverda_storage::Expr,
+        cols: Vec<(String, usize)>,
+    },
+    Skolem {
+        slot: usize,
+        generator: String,
+        args: Vec<CTerm>,
+    },
+}
+
+/// One rule, compiled: slot-interned terms plus precomputed safe evaluation
+/// orders for every way the engine enters the rule.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Head atom (first term is the derived key).
+    pub head: CAtom,
+    body: Vec<CLit>,
+    /// Number of interned variables (= frame width).
+    pub n_vars: usize,
+    /// Slot → variable name (diagnostics).
+    pub var_names: Vec<String>,
+    /// Evaluation order with nothing pre-bound.
+    base_order: Vec<usize>,
+    /// Evaluation order with the head key variable pre-bound (key-seeded
+    /// evaluation); `None` when the head key is not a pushable variable.
+    keyed_order: Option<Vec<usize>>,
+    /// Per body literal: evaluation order with that literal skipped and its
+    /// variables pre-bound (delta-engine probing). `None` for non-atoms.
+    probe_orders: Vec<Option<Vec<usize>>>,
+    /// Slot of the head key variable, if it is a variable.
+    pub head_key_slot: Option<usize>,
+    /// Whether the head key variable occurs in some positive body atom, so
+    /// seeding it restricts evaluation.
+    pub seedable: bool,
+    /// Display form of the source rule (for errors).
+    display: String,
+}
+
+/// A rule set compiled for evaluation. Built once per rule set via
+/// [`CompiledRuleSet::compile`] and reused across statements (the engine
+/// caches compiled sets per SMO and invalidates on catalog changes).
+#[derive(Debug, Clone)]
+pub struct CompiledRuleSet {
+    /// Compiled rules, in evaluation order.
+    pub rules: Vec<CompiledRule>,
+    /// Head name → indices of rules deriving it.
+    head_index: BTreeMap<String, Vec<usize>>,
+    /// Whether some rule consumes a head derived by the set itself
+    /// (`old`/`new` staging of the id-generating SMOs).
+    staged: bool,
+}
+
+impl CompiledRuleSet {
+    /// Compile a rule set. Fails with [`DatalogError::UnsafeRule`] if some
+    /// rule's body cannot be scheduled (same error the naive interpreter
+    /// reports at evaluation time).
+    pub fn compile(rules: &RuleSet) -> Result<CompiledRuleSet> {
+        let compiled: Vec<CompiledRule> = rules
+            .rules
+            .iter()
+            .map(compile_rule)
+            .collect::<Result<_>>()?;
+        let mut head_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, rule) in compiled.iter().enumerate() {
+            head_index
+                .entry(rule.head.relation.clone())
+                .or_default()
+                .push(i);
+        }
+        let staged = compiled.iter().any(|r| {
+            r.body.iter().any(|lit| match lit {
+                CLit::Pos(a) | CLit::Neg(a) => head_index.contains_key(&a.relation),
+                _ => false,
+            })
+        });
+        Ok(CompiledRuleSet {
+            rules: compiled,
+            head_index,
+            staged,
+        })
+    }
+
+    /// Whether the set consumes its own heads (`old`/`new` staging).
+    pub fn staged(&self) -> bool {
+        self.staged
+    }
+
+    /// Indices of the rules deriving `head`.
+    pub fn rules_for(&self, head: &str) -> &[usize] {
+        self.head_index.get(head).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Relation names of positive/negative atoms of one rule's body, with
+    /// literal indices — the probe points of the delta engine.
+    pub fn body_atoms(&self, rule: usize) -> impl Iterator<Item = (usize, &CAtom, bool)> {
+        self.rules[rule]
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lit)| match lit {
+                CLit::Pos(a) => Some((i, a, true)),
+                CLit::Neg(a) => Some((i, a, false)),
+                _ => None,
+            })
+    }
+}
+
+/// Slot bitset used by compile-time scheduling.
+#[derive(Clone)]
+struct SlotSet(Vec<u64>);
+
+impl SlotSet {
+    fn new(n: usize) -> SlotSet {
+        SlotSet(vec![0; n.div_ceil(64)])
+    }
+
+    fn insert(&mut self, slot: usize) {
+        self.0[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn contains(&self, slot: usize) -> bool {
+        self.0[slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    fn contains_all(&self, slots: &[usize]) -> bool {
+        slots.iter().all(|s| self.contains(*s))
+    }
+}
+
+/// Key-term shape of a positive atom, for scheduling.
+enum KeyKind {
+    Const,
+    Var(usize),
+    Anon,
+}
+
+/// Scheduling metadata for one body literal.
+struct LitMeta {
+    /// Slots that must be bound before the literal is schedulable as a
+    /// filter (empty for positive atoms, which are always schedulable).
+    requires: Vec<usize>,
+    /// Slots bound once the literal is scheduled.
+    binds: Vec<usize>,
+    /// `Some` for positive atoms.
+    pos_key: Option<KeyKind>,
+    /// Whether the literal is a filter (anything but a positive atom).
+    filter: bool,
+}
+
+fn compile_rule(rule: &Rule) -> Result<CompiledRule> {
+    // Intern variables (first-occurrence order over head then body).
+    let var_names = rule.variables();
+    let n_vars = var_names.len();
+    let slot_of: HashMap<&str, usize> = var_names
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+    let cterm = |t: &Term| match t {
+        Term::Var(v) => CTerm::Var(slot_of[v.as_str()]),
+        Term::Const(c) => CTerm::Const(c.clone()),
+        Term::Anon => CTerm::Anon,
+    };
+    let catom = |a: &crate::ast::Atom| CAtom {
+        relation: a.relation.clone(),
+        terms: a.terms.iter().map(cterm).collect(),
+    };
+    let expr_cols = |e: &inverda_storage::Expr| -> Vec<(String, usize)> {
+        e.referenced_columns()
+            .into_iter()
+            .map(|c| {
+                let slot = slot_of[c.as_str()];
+                (c, slot)
+            })
+            .collect()
+    };
+
+    let mut body = Vec::with_capacity(rule.body.len());
+    let mut meta = Vec::with_capacity(rule.body.len());
+    for lit in &rule.body {
+        let var_slots =
+            |vars: &[String]| -> Vec<usize> { vars.iter().map(|v| slot_of[v.as_str()]).collect() };
+        match lit {
+            Literal::Pos(a) => {
+                let atom = catom(a);
+                let key = match &atom.terms[0] {
+                    CTerm::Const(_) => KeyKind::Const,
+                    CTerm::Var(s) => KeyKind::Var(*s),
+                    CTerm::Anon => KeyKind::Anon,
+                };
+                meta.push(LitMeta {
+                    requires: Vec::new(),
+                    binds: var_slots(&lit.variables()),
+                    pos_key: Some(key),
+                    filter: false,
+                });
+                body.push(CLit::Pos(atom));
+            }
+            Literal::Neg(a) => {
+                let slots = var_slots(&lit.variables());
+                meta.push(LitMeta {
+                    requires: slots.clone(),
+                    binds: slots,
+                    pos_key: None,
+                    filter: true,
+                });
+                body.push(CLit::Neg(catom(a)));
+            }
+            Literal::Cond(e) => {
+                let cols = expr_cols(e);
+                let slots: Vec<usize> = cols.iter().map(|(_, s)| *s).collect();
+                meta.push(LitMeta {
+                    requires: slots.clone(),
+                    binds: slots,
+                    pos_key: None,
+                    filter: true,
+                });
+                body.push(CLit::Cond {
+                    expr: e.clone(),
+                    cols,
+                });
+            }
+            Literal::Assign { var, expr } => {
+                let cols = expr_cols(expr);
+                let requires: Vec<usize> = cols.iter().map(|(_, s)| *s).collect();
+                let mut binds = requires.clone();
+                binds.push(slot_of[var.as_str()]);
+                meta.push(LitMeta {
+                    requires,
+                    binds,
+                    pos_key: None,
+                    filter: true,
+                });
+                body.push(CLit::Assign {
+                    slot: slot_of[var.as_str()],
+                    expr: expr.clone(),
+                    cols,
+                });
+            }
+            Literal::Skolem {
+                var,
+                generator,
+                args,
+            } => {
+                let requires: Vec<usize> = args
+                    .iter()
+                    .filter_map(|t| t.as_var())
+                    .map(|v| slot_of[v])
+                    .collect();
+                let mut binds = requires.clone();
+                binds.push(slot_of[var.as_str()]);
+                meta.push(LitMeta {
+                    requires,
+                    binds,
+                    pos_key: None,
+                    filter: true,
+                });
+                body.push(CLit::Skolem {
+                    slot: slot_of[var.as_str()],
+                    generator: generator.clone(),
+                    args: args.iter().map(cterm).collect(),
+                });
+            }
+        }
+    }
+
+    let display = rule.to_string();
+    let empty = SlotSet::new(n_vars);
+    let base_order = schedule_slots(&meta, None, &empty, &display)?;
+
+    let head_key_slot = match rule.head.key_term() {
+        Term::Var(v) => Some(slot_of[v.as_str()]),
+        _ => None,
+    };
+    let seedable = head_key_slot.is_some()
+        && meta.iter().zip(&body).any(|(m, lit)| {
+            matches!(lit, CLit::Pos(_)) && m.binds.contains(&head_key_slot.expect("checked"))
+        });
+    let keyed_order = match head_key_slot {
+        Some(slot) => {
+            let mut seed = SlotSet::new(n_vars);
+            seed.insert(slot);
+            schedule_slots(&meta, None, &seed, &display).ok()
+        }
+        None => None,
+    };
+    let probe_orders: Vec<Option<Vec<usize>>> = meta
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            if !matches!(&body[i], CLit::Pos(_) | CLit::Neg(_)) {
+                return None;
+            }
+            let mut seed = SlotSet::new(n_vars);
+            for s in &m.binds {
+                seed.insert(*s);
+            }
+            schedule_slots(&meta, Some(i), &seed, &display).ok()
+        })
+        .collect();
+
+    Ok(CompiledRule {
+        head: catom(&rule.head),
+        body,
+        n_vars,
+        var_names,
+        base_order,
+        keyed_order,
+        probe_orders,
+        head_key_slot,
+        seedable,
+        display,
+    })
+}
+
+/// Compile-time scheduling over slot bitsets. Mirrors the naive
+/// interpreter's `schedule` exactly — same preferences (ready filters first,
+/// then positive atoms with a bound key term, then any positive atom) and
+/// same first-position tie-breaks — so both engines explore joins in the
+/// same order.
+fn schedule_slots(
+    meta: &[LitMeta],
+    skip: Option<usize>,
+    seed: &SlotSet,
+    display: &str,
+) -> Result<Vec<usize>> {
+    let mut bound = seed.clone();
+    let mut remaining: Vec<usize> = (0..meta.len()).filter(|i| Some(*i) != skip).collect();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let ready_filter = remaining
+            .iter()
+            .position(|&i| meta[i].filter && bound.contains_all(&meta[i].requires));
+        if let Some(pos) = ready_filter {
+            let i = remaining.remove(pos);
+            for s in &meta[i].binds {
+                bound.insert(*s);
+            }
+            order.push(i);
+            continue;
+        }
+        let keyed = remaining.iter().position(|&i| match &meta[i].pos_key {
+            Some(KeyKind::Const) => true,
+            Some(KeyKind::Var(s)) => bound.contains(*s),
+            Some(KeyKind::Anon) | None => false,
+        });
+        let any_pos = keyed.or_else(|| remaining.iter().position(|&i| meta[i].pos_key.is_some()));
+        match any_pos {
+            Some(pos) => {
+                let i = remaining.remove(pos);
+                for s in &meta[i].binds {
+                    bound.insert(*s);
+                }
+                order.push(i);
+            }
+            None => {
+                return Err(DatalogError::UnsafeRule {
+                    rule: display.to_string(),
+                })
+            }
+        }
+    }
+    Ok(order)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate a rule set bottom-up against an EDB. Compiles the rules first;
+/// use [`evaluate_compiled`] to reuse a compiled set across calls.
 ///
 /// Returns the derived relations keyed by head name. `head_columns` supplies
 /// column names for derived relations; heads without an entry get synthetic
@@ -141,41 +622,48 @@ pub fn evaluate(
     ids: &dyn IdSource,
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<BTreeMap<String, Relation>> {
-    let mut ev = Evaluator::new(edb, ids);
-    for rule in &rules.rules {
-        ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
-        let results = ev.eval_rule(rule, None, &Bindings::new())?;
-        for bindings in results {
-            ev.emit(rule, &bindings)?;
-        }
-    }
-    Ok(ev.derived)
+    evaluate_compiled(&CompiledRuleSet::compile(rules)?, edb, ids, head_columns)
 }
 
-/// The evaluation engine. Holds derived heads (which shadow the EDB) and a
-/// memo for key-seeded head evaluation.
+/// Evaluate a pre-compiled rule set bottom-up against an EDB.
+pub fn evaluate_compiled(
+    crs: &CompiledRuleSet,
+    edb: &dyn EdbView,
+    ids: &dyn IdSource,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<BTreeMap<String, Relation>> {
+    let mut ev = Evaluator::new(edb, ids);
+    for rule in &crs.rules {
+        ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
+        let tuples = ev.rule_head_tuples(rule, &rule.base_order, None)?;
+        for (key, row) in tuples {
+            ev.emit(&rule.head.relation, key, row)?;
+        }
+    }
+    Ok(ev
+        .derived
+        .into_iter()
+        .map(|(name, rel)| {
+            let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone());
+            (name, rel)
+        })
+        .collect())
+}
+
+/// The compiled evaluation engine. Holds derived heads (which shadow the
+/// EDB), per-evaluation join indexes for derived heads, and an
+/// allocation-free memo for key-seeded head evaluation.
 pub struct Evaluator<'a> {
     edb: &'a dyn EdbView,
     ids: &'a dyn IdSource,
-    /// Fully evaluated heads (full evaluation mode).
-    pub derived: BTreeMap<String, Relation>,
-    by_key_memo: BTreeMap<(String, Key), Option<Row>>,
-}
-
-enum RelHandle<'a> {
-    Borrowed(&'a Relation),
-    Shared(Arc<Relation>),
-}
-
-impl std::ops::Deref for RelHandle<'_> {
-    type Target = Relation;
-
-    fn deref(&self) -> &Relation {
-        match self {
-            RelHandle::Borrowed(r) => r,
-            RelHandle::Shared(r) => r,
-        }
-    }
+    /// Fully evaluated heads (full evaluation mode). Shared so the join can
+    /// iterate a head while the evaluator hands out further references.
+    pub derived: BTreeMap<String, Arc<Relation>>,
+    /// `head → key → row` memo; outer lookups are by `&str` (no allocation).
+    by_key_memo: HashMap<String, HashMap<Key, Option<Row>>>,
+    /// Join indexes over *derived* heads, invalidated when a head grows.
+    /// (EDB relations are indexed and cached by the [`EdbView`] itself.)
+    derived_indexes: IndexCache,
 }
 
 impl<'a> Evaluator<'a> {
@@ -185,7 +673,8 @@ impl<'a> Evaluator<'a> {
             edb,
             ids,
             derived: BTreeMap::new(),
-            by_key_memo: BTreeMap::new(),
+            by_key_memo: HashMap::new(),
+            derived_indexes: IndexCache::new(),
         }
     }
 
@@ -201,36 +690,39 @@ impl<'a> Evaluator<'a> {
                 None => (0..arity).map(|i| format!("c{i}")).collect(),
             };
             let schema = TableSchema::new(head.to_string(), columns).expect("unique columns");
-            self.derived.insert(head.to_string(), Relation::new(schema));
+            self.derived
+                .insert(head.to_string(), Arc::new(Relation::new(schema)));
         }
     }
 
-    /// Add the head tuple induced by complete `bindings` to the derived head.
-    fn emit(&mut self, rule: &Rule, bindings: &Bindings) -> Result<()> {
-        let (key, row) = head_tuple(rule, bindings)?;
+    /// Add a derived head tuple, detecting key conflicts.
+    fn emit(&mut self, head: &str, key: Key, row: Row) -> Result<()> {
         let rel = self
             .derived
-            .get_mut(&rule.head.relation)
+            .get_mut(head)
             .expect("head relation pre-created");
         match rel.get(key) {
             Some(existing) if *existing == row => Ok(()),
             Some(_) => Err(DatalogError::KeyConflict {
-                relation: rule.head.relation.clone(),
+                relation: head.to_string(),
                 key: key.0,
             }),
             None => {
-                rel.upsert(key, row).map_err(DatalogError::from)?;
+                self.derived_indexes.invalidate(head);
+                Arc::make_mut(rel)
+                    .upsert(key, row)
+                    .map_err(DatalogError::from)?;
                 Ok(())
             }
         }
     }
 
     /// Resolve a relation for matching: derived heads shadow the EDB.
-    fn relation_full(&self, name: &str) -> Result<RelHandle<'_>> {
+    fn relation_full(&self, name: &str) -> Result<Arc<Relation>> {
         if let Some(rel) = self.derived.get(name) {
-            return Ok(RelHandle::Borrowed(rel));
+            return Ok(Arc::clone(rel));
         }
-        Ok(RelHandle::Shared(self.edb.full(name)?))
+        self.edb.full(name)
     }
 
     fn relation_by_key(&self, name: &str, key: Key) -> Result<Option<Row>> {
@@ -240,151 +732,210 @@ impl<'a> Evaluator<'a> {
         self.edb.by_key(name, key)
     }
 
-    /// All bindings satisfying the rule body, with `skip` (a body literal
-    /// index) excluded and `seed` pre-bound. Returns complete binding sets
-    /// (every rule variable bound).
-    pub fn eval_rule(
-        &mut self,
-        rule: &Rule,
-        skip: Option<usize>,
-        seed: &Bindings,
-    ) -> Result<Vec<Bindings>> {
-        let order = schedule(rule, skip, seed)?;
-        let mut results = Vec::new();
-        self.join(rule, &order, 0, seed.clone(), &mut results)?;
-        Ok(results)
+    /// The join index for `(relation, column)`: served from the EDB's cache
+    /// for EDB relations, from the evaluator-local cache for derived heads.
+    fn index_for(&self, relation: &str, column: usize) -> Result<Arc<ColumnIndex>> {
+        if let Some(rel) = self.derived.get(relation) {
+            return self
+                .derived_indexes
+                .get_or_build(relation, column, || Ok(rel.build_column_index(column)));
+        }
+        self.edb.index(relation, column)
     }
 
+    /// All head tuples the rule derives, with `seed` pre-bound (callers pass
+    /// the precomputed order matching the seed shape).
+    fn rule_head_tuples(
+        &self,
+        rule: &CompiledRule,
+        order: &[usize],
+        seed: Option<&Frame>,
+    ) -> Result<Vec<(Key, Row)>> {
+        let mut frame = match seed {
+            Some(f) => f.clone(),
+            None => vec![None; rule.n_vars],
+        };
+        let mut trail = Vec::with_capacity(rule.n_vars);
+        let mut out = Vec::new();
+        self.join(rule, order, 0, &mut frame, &mut trail, &mut |frame| {
+            out.push(head_tuple(rule, frame)?);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Depth-first join over the scheduled body literals. Bindings live in
+    /// `frame`; slots bound while matching an atom are recorded on `trail`
+    /// and undone on backtrack, so no per-depth clone happens.
     fn join(
-        &mut self,
-        rule: &Rule,
+        &self,
+        rule: &CompiledRule,
         order: &[usize],
         depth: usize,
-        bindings: Bindings,
-        out: &mut Vec<Bindings>,
+        frame: &mut Frame,
+        trail: &mut Vec<usize>,
+        on_match: &mut dyn FnMut(&Frame) -> Result<()>,
     ) -> Result<()> {
         if depth == order.len() {
-            out.push(bindings);
-            return Ok(());
+            return on_match(frame);
         }
-        let lit = &rule.body[order[depth]];
-        match lit {
-            Literal::Pos(atom) => {
-                let matches = self.match_atom(atom, &bindings)?;
-                for b in matches {
-                    self.join(rule, order, depth + 1, b, out)?;
-                }
-            }
-            Literal::Neg(atom) => {
-                if !self.atom_has_match(atom, &bindings)? {
-                    self.join(rule, order, depth + 1, bindings, out)?;
-                }
-            }
-            Literal::Cond(expr) => {
-                if expr.matches(&BindingsCtx(&bindings)).map_err(DatalogError::from)? {
-                    self.join(rule, order, depth + 1, bindings, out)?;
-                }
-            }
-            Literal::Assign { var, expr } => {
-                let v = expr.eval(&BindingsCtx(&bindings)).map_err(DatalogError::from)?;
-                match bindings.get(var) {
-                    Some(bound) if *bound == v => {
-                        self.join(rule, order, depth + 1, bindings, out)?
+        match &rule.body[order[depth]] {
+            CLit::Pos(atom) => {
+                // Key-bound fast path: a single point lookup.
+                if let Some(kv) = atom.terms[0].resolved(frame) {
+                    // A non-key value (e.g. NULL from an ω fk) matches nothing.
+                    let Ok(key) = value_key(&atom.relation, kv) else {
+                        return Ok(());
+                    };
+                    if let Some(row) = self.relation_by_key(&atom.relation, key)? {
+                        check_arity(atom, row.len() + 1)?;
+                        let mark = trail.len();
+                        if unify_atom(atom, key, &row, frame, trail) {
+                            self.join(rule, order, depth + 1, frame, trail, on_match)?;
+                        }
+                        undo(frame, trail, mark);
                     }
-                    Some(_) => {} // equality check failed
-                    None => {
-                        let mut b = bindings;
-                        b.insert(var.clone(), v);
-                        self.join(rule, order, depth + 1, b, out)?;
-                    }
+                    return Ok(());
                 }
+                let rel = self.relation_full(&atom.relation)?;
+                check_arity(atom, rel.schema().arity() + 1)?;
+                // Index path: probe the first bound payload column.
+                if let Some((col, value)) = atom.bound_payload(frame) {
+                    let value = value.clone();
+                    let index = self.index_for(&atom.relation, col)?;
+                    for &key in index.keys_for(&value) {
+                        let Some(row) = rel.get(key) else { continue };
+                        let mark = trail.len();
+                        if unify_atom(atom, key, row, frame, trail) {
+                            self.join(rule, order, depth + 1, frame, trail, on_match)?;
+                        }
+                        undo(frame, trail, mark);
+                    }
+                    return Ok(());
+                }
+                // No bound column at all: full scan.
+                for (key, row) in rel.iter() {
+                    let mark = trail.len();
+                    if unify_atom(atom, key, row, frame, trail) {
+                        self.join(rule, order, depth + 1, frame, trail, on_match)?;
+                    }
+                    undo(frame, trail, mark);
+                }
+                Ok(())
             }
-            Literal::Skolem {
-                var,
+            CLit::Neg(atom) => {
+                if !self.atom_has_match(atom, frame, trail)? {
+                    self.join(rule, order, depth + 1, frame, trail, on_match)?;
+                }
+                Ok(())
+            }
+            CLit::Cond { expr, cols } => {
+                let ctx = FrameCtx { cols, frame };
+                if expr.matches(&ctx).map_err(DatalogError::from)? {
+                    self.join(rule, order, depth + 1, frame, trail, on_match)?;
+                }
+                Ok(())
+            }
+            CLit::Assign { slot, expr, cols } => {
+                let v = {
+                    let ctx = FrameCtx { cols, frame };
+                    expr.eval(&ctx).map_err(DatalogError::from)?
+                };
+                self.bind_and_continue(rule, order, depth, *slot, v, frame, trail, on_match)
+            }
+            CLit::Skolem {
+                slot,
                 generator,
                 args,
             } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for t in args {
-                    match t {
-                        Term::Var(name) => match bindings.get(name) {
-                            Some(v) => vals.push(v.clone()),
-                            None => {
-                                return Err(DatalogError::UnsafeRule {
-                                    rule: rule.to_string(),
-                                })
-                            }
-                        },
-                        Term::Const(c) => vals.push(c.clone()),
-                        Term::Anon => {
+                    match t.resolved(frame) {
+                        Some(v) => vals.push(v.clone()),
+                        None => {
                             return Err(DatalogError::UnsafeRule {
-                                rule: rule.to_string(),
+                                rule: rule.display.clone(),
                             })
                         }
                     }
                 }
                 let id = self.ids.generate(generator, &vals);
                 let v = Value::Int(id as i64);
-                match bindings.get(var) {
-                    Some(bound) if *bound == v => {
-                        self.join(rule, order, depth + 1, bindings, out)?
-                    }
-                    Some(_) => {}
-                    None => {
-                        let mut b = bindings;
-                        b.insert(var.clone(), v);
-                        self.join(rule, order, depth + 1, b, out)?;
-                    }
-                }
+                self.bind_and_continue(rule, order, depth, *slot, v, frame, trail, on_match)
             }
         }
-        Ok(())
     }
 
-    /// All binding extensions matching a positive atom.
-    fn match_atom(&mut self, atom: &Atom, bindings: &Bindings) -> Result<Vec<Bindings>> {
-        // Key-bound fast path.
-        if let Some(kv) = resolved_term(&atom.terms[0], bindings) {
-            // A non-key value (e.g. NULL from an ω fk) matches nothing.
-            let Ok(key) = value_key(&atom.relation, &kv) else {
-                return Ok(Vec::new());
-            };
-            let row = self.relation_by_key(&atom.relation, key)?;
-            let mut out = Vec::new();
-            if let Some(row) = row {
-                check_arity(atom, row.len() + 1)?;
-                if let Some(b) = unify_row(atom, key, &row, bindings) {
-                    out.push(b);
-                }
+    /// Assignment semantics shared by `Assign` and `Skolem`: acts as an
+    /// equality check when the slot is already bound.
+    #[allow(clippy::too_many_arguments)]
+    fn bind_and_continue(
+        &self,
+        rule: &CompiledRule,
+        order: &[usize],
+        depth: usize,
+        slot: usize,
+        value: Value,
+        frame: &mut Frame,
+        trail: &mut Vec<usize>,
+        on_match: &mut dyn FnMut(&Frame) -> Result<()>,
+    ) -> Result<()> {
+        match &frame[slot] {
+            Some(bound) if *bound == value => {
+                self.join(rule, order, depth + 1, frame, trail, on_match)
             }
-            return Ok(out);
-        }
-        let rel = self.relation_full(&atom.relation)?;
-        check_arity(atom, rel.schema().arity() + 1)?;
-        let mut out = Vec::new();
-        for (key, row) in rel.iter() {
-            if let Some(b) = unify_row(atom, key, row, bindings) {
-                out.push(b);
+            Some(_) => Ok(()), // equality check failed
+            None => {
+                frame[slot] = Some(value);
+                let result = self.join(rule, order, depth + 1, frame, trail, on_match);
+                frame[slot] = None;
+                result
             }
         }
-        Ok(out)
     }
 
-    /// Whether any tuple matches the atom under the bindings (for negation).
-    fn atom_has_match(&mut self, atom: &Atom, bindings: &Bindings) -> Result<bool> {
-        if let Some(kv) = resolved_term(&atom.terms[0], bindings) {
-            let Ok(key) = value_key(&atom.relation, &kv) else {
+    /// Whether any tuple matches the atom under the frame (for negation).
+    fn atom_has_match(
+        &self,
+        atom: &CAtom,
+        frame: &mut Frame,
+        trail: &mut Vec<usize>,
+    ) -> Result<bool> {
+        if let Some(kv) = atom.terms[0].resolved(frame) {
+            let Ok(key) = value_key(&atom.relation, kv) else {
                 return Ok(false);
             };
             return Ok(match self.relation_by_key(&atom.relation, key)? {
-                Some(row) => unify_row(atom, key, &row, bindings).is_some(),
+                Some(row) => {
+                    let mark = trail.len();
+                    let matched = unify_atom(atom, key, &row, frame, trail);
+                    undo(frame, trail, mark);
+                    matched
+                }
                 None => false,
             });
         }
         let rel = self.relation_full(&atom.relation)?;
         check_arity(atom, rel.schema().arity() + 1)?;
+        if let Some((col, value)) = atom.bound_payload(frame) {
+            let value = value.clone();
+            let index = self.index_for(&atom.relation, col)?;
+            for &key in index.keys_for(&value) {
+                let Some(row) = rel.get(key) else { continue };
+                let mark = trail.len();
+                let matched = unify_atom(atom, key, row, frame, trail);
+                undo(frame, trail, mark);
+                if matched {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
         for (key, row) in rel.iter() {
-            if unify_row(atom, key, row, bindings).is_some() {
+            let mark = trail.len();
+            let matched = unify_atom(atom, key, row, frame, trail);
+            undo(frame, trail, mark);
+            if matched {
                 return Ok(true);
             }
         }
@@ -392,51 +943,42 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Key-seeded evaluation: the row `head` derives for `key` under the
-    /// given rule set, or `None`. Memoized per (head, key).
+    /// compiled rule set, or `None`. Memoized per (head, key) without
+    /// allocating on lookups.
     ///
-    /// Falls back to full evaluation of the head when the key binding cannot
-    /// be pushed into a rule's body (e.g. the key is produced by a skolem
+    /// Falls back to full evaluation of a rule when the key binding cannot
+    /// be pushed into its body (e.g. the key is produced by a skolem
     /// function — the id-generating SMOs).
     pub fn head_row_for_key(
         &mut self,
-        rules: &RuleSet,
+        crs: &CompiledRuleSet,
         head: &str,
         key: Key,
     ) -> Result<Option<Row>> {
-        if let Some(memo) = self.by_key_memo.get(&(head.to_string(), key)) {
+        if let Some(memo) = self.by_key_memo.get(head).and_then(|m| m.get(&key)) {
             return Ok(memo.clone());
         }
         // If the head was already fully derived, serve from it.
         if let Some(rel) = self.derived.get(head) {
             let row = rel.get(key).cloned();
-            self.by_key_memo.insert((head.to_string(), key), row.clone());
+            self.memoize(head, key, row.clone());
             return Ok(row);
         }
         let mut found: Option<Row> = None;
-        for rule in rules.rules_for(head) {
-            let rows = match rule.head_key_var() {
-                Some(kvar) if seedable(rule, kvar) => {
-                    let mut seed = Bindings::new();
-                    seed.insert(kvar.to_string(), key_value(key));
-                    let bindings = self.eval_rule(rule, None, &seed)?;
-                    bindings
-                        .iter()
-                        .map(|b| head_tuple(rule, b))
-                        .collect::<Result<Vec<_>>>()?
+        for &idx in crs.rules_for(head) {
+            let rule = &crs.rules[idx];
+            let tuples = match (&rule.keyed_order, rule.head_key_slot) {
+                (Some(order), Some(slot)) if rule.seedable => {
+                    let mut seed: Frame = vec![None; rule.n_vars];
+                    seed[slot] = Some(key_value(key));
+                    self.rule_head_tuples(rule, order, Some(&seed))?
                 }
                 _ => {
                     // Key not pushable: evaluate the rule fully and filter.
-                    let bindings = self.eval_rule(rule, None, &Bindings::new())?;
-                    bindings
-                        .iter()
-                        .map(|b| head_tuple(rule, b))
-                        .collect::<Result<Vec<_>>>()?
-                        .into_iter()
-                        .filter(|(k, _)| *k == key)
-                        .collect()
+                    self.rule_head_tuples(rule, &rule.base_order, None)?
                 }
             };
-            for (k, row) in rows {
+            for (k, row) in tuples {
                 if k != key {
                     continue;
                 }
@@ -452,39 +994,87 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        self.by_key_memo
-            .insert((head.to_string(), key), found.clone());
+        self.memoize(head, key, found.clone());
         Ok(found)
+    }
+
+    fn memoize(&mut self, head: &str, key: Key, row: Option<Row>) {
+        self.by_key_memo
+            .entry(head.to_string())
+            .or_default()
+            .insert(key, row);
+    }
+
+    /// Delta-engine probe: bind one body atom to a concrete `(key, row)`
+    /// tuple, evaluate the rest of the rule, and collect the head keys of
+    /// every satisfying frame into `out`. Returns `Ok(())` without effect if
+    /// the tuple cannot match the literal's pattern.
+    pub fn probe_head_keys(
+        &self,
+        crs: &CompiledRuleSet,
+        rule_idx: usize,
+        lit_idx: usize,
+        key: Key,
+        row: &Row,
+        out: &mut BTreeSet<Key>,
+    ) -> Result<()> {
+        let rule = &crs.rules[rule_idx];
+        let Some(order) = rule.probe_orders[lit_idx].as_ref() else {
+            return Err(DatalogError::UnsafeRule {
+                rule: rule.display.clone(),
+            });
+        };
+        let atom = match &rule.body[lit_idx] {
+            CLit::Pos(a) | CLit::Neg(a) => a,
+            _ => unreachable!("probe_orders is Some only for atoms"),
+        };
+        let Some(seed) = seed_frame(rule, atom, key, row) else {
+            return Ok(());
+        };
+        let mut frame = seed;
+        let mut trail = Vec::with_capacity(rule.n_vars);
+        self.join(rule, order, 0, &mut frame, &mut trail, &mut |frame| {
+            if let Some(head_key) = head_key_from_frame(rule, frame) {
+                out.insert(head_key);
+            }
+            Ok(())
+        })
     }
 }
 
-/// Whether the rule's key variable occurs in some body atom, so that seeding
-/// it restricts evaluation.
-fn seedable(rule: &Rule, key_var: &str) -> bool {
-    rule.body.iter().any(|lit| match lit {
-        Literal::Pos(a) => a.variables().contains(&key_var),
-        _ => false,
-    })
+/// Row context over a frame, using a rule-compile-time name→slot table.
+struct FrameCtx<'a> {
+    cols: &'a [(String, usize)],
+    frame: &'a Frame,
 }
 
-/// Build the head tuple from complete bindings.
-fn head_tuple(rule: &Rule, bindings: &Bindings) -> Result<(Key, Row)> {
+impl RowContext for FrameCtx<'_> {
+    fn value_of(&self, column: &str) -> Option<Value> {
+        self.cols
+            .iter()
+            .find(|(name, _)| name == column)
+            .and_then(|(_, slot)| self.frame[*slot].clone())
+    }
+}
+
+/// Build the head tuple from a complete frame.
+fn head_tuple(rule: &CompiledRule, frame: &Frame) -> Result<(Key, Row)> {
     let head = &rule.head;
     let mut values = Vec::with_capacity(head.terms.len());
     for t in &head.terms {
         match t {
-            Term::Var(v) => match bindings.get(v) {
-                Some(val) => values.push(val.clone()),
+            CTerm::Var(s) => match &frame[*s] {
+                Some(v) => values.push(v.clone()),
                 None => {
                     return Err(DatalogError::UnsafeRule {
-                        rule: rule.to_string(),
+                        rule: rule.display.clone(),
                     })
                 }
             },
-            Term::Const(c) => values.push(c.clone()),
-            Term::Anon => {
+            CTerm::Const(c) => values.push(c.clone()),
+            CTerm::Anon => {
                 return Err(DatalogError::UnsafeRule {
-                    rule: rule.to_string(),
+                    rule: rule.display.clone(),
                 })
             }
         }
@@ -493,45 +1083,79 @@ fn head_tuple(rule: &Rule, bindings: &Bindings) -> Result<(Key, Row)> {
     Ok((key, values[1..].to_vec()))
 }
 
-/// Try to extend `bindings` so the atom matches `(key, row)`.
-fn unify_row(atom: &Atom, key: Key, row: &[Value], bindings: &Bindings) -> Option<Bindings> {
-    let mut out = bindings.clone();
-    let kv = key_value(key);
-    if !unify_term(&atom.terms[0], &kv, &mut out) {
+/// The head key under a (complete-enough) frame, if determinable.
+fn head_key_from_frame(rule: &CompiledRule, frame: &Frame) -> Option<Key> {
+    match &rule.head.terms[0] {
+        CTerm::Var(s) => frame[*s]
+            .as_ref()
+            .and_then(|v| value_key(&rule.head.relation, v).ok()),
+        CTerm::Const(c) => value_key(&rule.head.relation, c).ok(),
+        CTerm::Anon => None,
+    }
+}
+
+/// Unify an atom pattern with a concrete `(key, row)` into a fresh seed
+/// frame. Returns `None` if constants differ or duplicate variables clash.
+fn seed_frame(rule: &CompiledRule, atom: &CAtom, key: Key, row: &Row) -> Option<Frame> {
+    if atom.terms.len() != row.len() + 1 {
         return None;
     }
-    for (t, v) in atom.terms[1..].iter().zip(row.iter()) {
-        if !unify_term(t, v, &mut out) {
+    let mut frame: Frame = vec![None; rule.n_vars];
+    let kv = key_value(key);
+    let mut trail = Vec::new();
+    let all = std::iter::once(&kv).chain(row.iter());
+    for (term, value) in atom.terms.iter().zip(all) {
+        if !unify_term(term, value, &mut frame, &mut trail) {
             return None;
         }
     }
-    Some(out)
+    Some(frame)
 }
 
-fn unify_term(term: &Term, value: &Value, bindings: &mut Bindings) -> bool {
+/// Try to extend the frame so the atom matches `(key, row)`; newly bound
+/// slots are pushed on `trail`.
+fn unify_atom(
+    atom: &CAtom,
+    key: Key,
+    row: &[Value],
+    frame: &mut Frame,
+    trail: &mut Vec<usize>,
+) -> bool {
+    let kv = key_value(key);
+    if !unify_term(&atom.terms[0], &kv, frame, trail) {
+        return false;
+    }
+    for (t, v) in atom.terms[1..].iter().zip(row.iter()) {
+        if !unify_term(t, v, frame, trail) {
+            return false;
+        }
+    }
+    true
+}
+
+fn unify_term(term: &CTerm, value: &Value, frame: &mut Frame, trail: &mut Vec<usize>) -> bool {
     match term {
-        Term::Anon => true,
-        Term::Const(c) => c == value,
-        Term::Var(v) => match bindings.get(v) {
+        CTerm::Anon => true,
+        CTerm::Const(c) => c == value,
+        CTerm::Var(s) => match &frame[*s] {
             Some(bound) => bound == value,
             None => {
-                bindings.insert(v.clone(), value.clone());
+                frame[*s] = Some(value.clone());
+                trail.push(*s);
                 true
             }
         },
     }
 }
 
-/// The value a term resolves to under the bindings, if fully resolved.
-fn resolved_term(term: &Term, bindings: &Bindings) -> Option<Value> {
-    match term {
-        Term::Const(c) => Some(c.clone()),
-        Term::Var(v) => bindings.get(v).cloned(),
-        Term::Anon => None,
+/// Undo trail entries past `mark`.
+fn undo(frame: &mut Frame, trail: &mut Vec<usize>, mark: usize) {
+    for slot in trail.drain(mark..) {
+        frame[slot] = None;
     }
 }
 
-fn check_arity(atom: &Atom, relation_arity: usize) -> Result<()> {
+fn check_arity(atom: &CAtom, relation_arity: usize) -> Result<()> {
     if atom.terms.len() != relation_arity {
         return Err(DatalogError::ArityMismatch {
             relation: atom.relation.clone(),
@@ -542,80 +1166,10 @@ fn check_arity(atom: &Atom, relation_arity: usize) -> Result<()> {
     Ok(())
 }
 
-/// Compute a safe evaluation order for the body literals.
-///
-/// Positive atoms are always schedulable; negations, conditions and
-/// assignments wait until their variables are bound. Among schedulable
-/// positive atoms, those with a resolvable key term are preferred (index
-/// lookup beats scan).
-fn schedule(rule: &Rule, skip: Option<usize>, seed: &Bindings) -> Result<Vec<usize>> {
-    let mut bound: BTreeSet<String> = seed.keys().cloned().collect();
-    let mut remaining: Vec<usize> = (0..rule.body.len())
-        .filter(|i| Some(*i) != skip)
-        .collect();
-    let mut order = Vec::with_capacity(remaining.len());
-    while !remaining.is_empty() {
-        // 1. Any non-atom literal whose inputs are bound, or negation with
-        //    all vars bound — cheap filters first.
-        let ready_filter = remaining.iter().position(|&i| match &rule.body[i] {
-            Literal::Neg(a) => a
-                .variables()
-                .iter()
-                .all(|v| bound.contains(&v.to_string())),
-            Literal::Cond(e) => e.referenced_columns().iter().all(|c| bound.contains(c)),
-            Literal::Assign { expr, .. } => expr
-                .referenced_columns()
-                .iter()
-                .all(|c| bound.contains(c)),
-            Literal::Skolem { args, .. } => args
-                .iter()
-                .filter_map(|t| t.as_var())
-                .all(|v| bound.contains(&v.to_string())),
-            Literal::Pos(_) => false,
-        });
-        if let Some(pos) = ready_filter {
-            let i = remaining.remove(pos);
-            for v in rule.body[i].variables() {
-                bound.insert(v);
-            }
-            order.push(i);
-            continue;
-        }
-        // 2. A positive atom, preferring one with a bound key term.
-        let keyed = remaining.iter().position(|&i| match &rule.body[i] {
-            Literal::Pos(a) => match a.key_term() {
-                Term::Const(_) => true,
-                Term::Var(v) => bound.contains(v),
-                Term::Anon => false,
-            },
-            _ => false,
-        });
-        let any_pos = keyed.or_else(|| {
-            remaining
-                .iter()
-                .position(|&i| rule.body[i].is_positive_atom())
-        });
-        match any_pos {
-            Some(pos) => {
-                let i = remaining.remove(pos);
-                for v in rule.body[i].variables() {
-                    bound.insert(v);
-                }
-                order.push(i);
-            }
-            None => {
-                return Err(DatalogError::UnsafeRule {
-                    rule: rule.to_string(),
-                })
-            }
-        }
-    }
-    Ok(order)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::{Atom, Rule};
     use inverda_storage::Expr;
 
     fn ids() -> RefCell<SkolemRegistry> {
@@ -625,10 +1179,16 @@ mod tests {
     fn edb_task() -> MapEdb {
         // The paper's TasKy table: Task(author, task, prio).
         let mut t = Relation::with_columns("T", ["author", "task", "prio"]);
-        t.insert(Key(1), vec!["Ann".into(), "Organize party".into(), 3.into()])
-            .unwrap();
-        t.insert(Key(2), vec!["Ben".into(), "Learn for exam".into(), 2.into()])
-            .unwrap();
+        t.insert(
+            Key(1),
+            vec!["Ann".into(), "Organize party".into(), 3.into()],
+        )
+        .unwrap();
+        t.insert(
+            Key(2),
+            vec!["Ben".into(), "Learn for exam".into(), 2.into()],
+        )
+        .unwrap();
         t.insert(Key(3), vec!["Ann".into(), "Write paper".into(), 1.into()])
             .unwrap();
         t.insert(Key(4), vec!["Ben".into(), "Clean room".into(), 1.into()])
@@ -772,7 +1332,10 @@ mod tests {
         edb.add(r);
         let sk = ids();
         let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
-        assert_eq!(out["Rp"].get(Key(1)), Some(&vec![Value::Int(21), Value::Int(42)]));
+        assert_eq!(
+            out["Rp"].get(Key(1)),
+            Some(&vec![Value::Int(21), Value::Int(42)])
+        );
     }
 
     #[test]
@@ -823,7 +1386,9 @@ mod tests {
         let mut edb = MapEdb::new();
         edb.add(input);
         let sk = ids();
-        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        let crs = CompiledRuleSet::compile(&rules).unwrap();
+        assert!(crs.staged());
+        let out = evaluate_compiled(&crs, &edb, &sk, &BTreeMap::new()).unwrap();
         assert_eq!(out["B"].len(), 1);
         assert!(out["B"].contains_key(Key(2)));
     }
@@ -847,9 +1412,10 @@ mod tests {
         let sk = ids();
         let full = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
         let sk2 = ids();
+        let crs = CompiledRuleSet::compile(&rules).unwrap();
         let mut ev = Evaluator::new(&edb, &sk2);
         for key in [Key(1), Key(2), Key(3), Key(4), Key(99)] {
-            let seeded = ev.head_row_for_key(&rules, "R", key).unwrap();
+            let seeded = ev.head_row_for_key(&crs, "R", key).unwrap();
             assert_eq!(seeded.as_ref(), full["R"].get(key), "key {key:?}");
         }
     }
@@ -862,10 +1428,7 @@ mod tests {
             Atom::vars("H", &["p", "t"]),
             vec![
                 Literal::Pos(Atom::vars("S", &["p", "t"])),
-                Literal::Pos(Atom::new(
-                    "T",
-                    vec![Term::var("t"), Term::Anon],
-                )),
+                Literal::Pos(Atom::new("T", vec![Term::var("t"), Term::Anon])),
             ],
         )]);
         let mut s = Relation::with_columns("S", ["t"]);
@@ -880,13 +1443,16 @@ mod tests {
     }
 
     #[test]
-    fn schedule_rejects_unsafe_rules() {
+    fn compile_rejects_unsafe_rules() {
         // Negation over a variable never bound positively.
-        let rule = Rule::new(
+        let rules = RuleSet::new(vec![Rule::new(
             Atom::vars("H", &["p"]),
             vec![Literal::Neg(Atom::vars("X", &["p"]))],
-        );
-        assert!(schedule(&rule, None, &Bindings::new()).is_err());
+        )]);
+        assert!(matches!(
+            CompiledRuleSet::compile(&rules),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
     }
 
     #[test]
@@ -897,13 +1463,108 @@ mod tests {
             vec![Literal::Pos(Atom::vars("X", &["p", "a", "a"]))],
         )]);
         let mut x = Relation::with_columns("X", ["c1", "c2"]);
-        x.insert(Key(1), vec![Value::Int(7), Value::Int(7)]).unwrap();
-        x.insert(Key(2), vec![Value::Int(1), Value::Int(2)]).unwrap();
+        x.insert(Key(1), vec![Value::Int(7), Value::Int(7)])
+            .unwrap();
+        x.insert(Key(2), vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
         let mut edb = MapEdb::new();
         edb.add(x);
         let sk = ids();
         let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
         assert_eq!(out["H"].len(), 1);
         assert!(out["H"].contains_key(Key(1)));
+    }
+
+    #[test]
+    fn unbound_join_uses_secondary_index() {
+        // A join with no bound key term goes through the column-index path;
+        // results must equal the naive engine's on a join with multiple
+        // matches per value.
+        let mut a = Relation::with_columns("A", ["n"]);
+        let mut b = Relation::with_columns("B", ["n"]);
+        for i in 0..40u64 {
+            a.insert(Key(i), vec![Value::Int((i % 7) as i64)]).unwrap();
+            b.insert(Key(100 + i), vec![Value::Int((i % 5) as i64)])
+                .unwrap();
+        }
+        let mut edb = MapEdb::new();
+        edb.add(a).add(b);
+        // H(q, n) ← B(q, n), A(_, n): every B row with a partner in A.
+        let rules_fn = RuleSet::new(vec![Rule::new(
+            Atom::vars("H", &["q", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("B", &["q", "n"])),
+                Literal::Pos(Atom::new("A", vec![Term::Anon, Term::var("n")])),
+            ],
+        )]);
+        let sk = ids();
+        let compiled = evaluate(&rules_fn, &edb, &sk, &BTreeMap::new()).unwrap();
+        let sk2 = ids();
+        let naive = crate::naive::evaluate(&rules_fn, &edb, &sk2, &BTreeMap::new()).unwrap();
+        assert_eq!(compiled, naive);
+        // Every B row with n ∈ 0..5 ∩ values of A (0..7) matches.
+        assert_eq!(compiled["H"].len(), 40);
+    }
+
+    #[test]
+    fn negation_with_unbound_key_uses_index() {
+        // H(p, n) ← A(p, n), ¬B(_, n): negation probed by payload column.
+        let mut a = Relation::with_columns("A", ["n"]);
+        a.insert(Key(1), vec![Value::Int(1)]).unwrap();
+        a.insert(Key(2), vec![Value::Int(2)]).unwrap();
+        let mut b = Relation::with_columns("B", ["n"]);
+        b.insert(Key(9), vec![Value::Int(2)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(a).add(b);
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("H", &["p", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("A", &["p", "n"])),
+                Literal::Neg(Atom::new("B", vec![Term::Anon, Term::var("n")])),
+            ],
+        )]);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        assert_eq!(out["H"].len(), 1);
+        assert!(out["H"].contains_key(Key(1)));
+    }
+
+    #[test]
+    fn compiled_frames_restore_after_backtracking() {
+        // Two independent scans: backtracking across the first atom must not
+        // leak bindings into later candidates (trail correctness).
+        let mut a = Relation::with_columns("A", ["x"]);
+        a.insert(Key(1), vec![Value::Int(1)]).unwrap();
+        a.insert(Key(2), vec![Value::Int(2)]).unwrap();
+        let mut b = Relation::with_columns("B", ["y"]);
+        b.insert(Key(3), vec![Value::Int(30)]).unwrap();
+        b.insert(Key(4), vec![Value::Int(40)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(a).add(b);
+        // H(k, x, y) ← A(p, x), B(q, y), k = p * 100 + q.
+        let rules = RuleSet::new(vec![Rule::new(
+            Atom::vars("H", &["k", "x", "y"]),
+            vec![
+                Literal::Pos(Atom::vars("A", &["p", "x"])),
+                Literal::Pos(Atom::vars("B", &["q", "y"])),
+                Literal::Assign {
+                    var: "k".into(),
+                    expr: Expr::Binary(
+                        Box::new(Expr::Binary(
+                            Box::new(Expr::col("p")),
+                            inverda_storage::BinaryOp::Mul,
+                            Box::new(Expr::lit(100)),
+                        )),
+                        inverda_storage::BinaryOp::Add,
+                        Box::new(Expr::col("q")),
+                    ),
+                },
+            ],
+        )]);
+        let sk = ids();
+        let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        assert_eq!(out["H"].len(), 4); // full cross product
+        assert!(out["H"].contains_key(Key(103)));
+        assert!(out["H"].contains_key(Key(204)));
     }
 }

@@ -10,9 +10,12 @@
 //!   and negative atoms over keyed relations, condition predicates `c(A)`,
 //!   function assignments `a = f(…)`, and the skolem generators `idT(B)` of
 //!   the id-generating SMOs (Appendix B.3/B.4/B.6);
-//! * a staged, non-recursive evaluation engine ([`eval`]) — rules are
-//!   evaluated in order, later rules may reference earlier heads (the paper's
-//!   `old`/`new` sequencing);
+//! * a staged, non-recursive **compiled** evaluation engine ([`eval`]) —
+//!   rules are interned into slot-addressed frames once, then evaluated in
+//!   order over on-demand join indexes; later rules may reference earlier
+//!   heads (the paper's `old`/`new` sequencing);
+//! * the original naive interpreter ([`naive`]), kept as the reference
+//!   oracle for differential testing of the compiled engine;
 //! * mechanical **update propagation** ([`delta`]) deriving minimal write
 //!   deltas through a rule set, the engine-side equivalent of the paper's
 //!   generated triggers (Section 6, Rules 52–54, citing Behrend et al.);
@@ -26,13 +29,14 @@ pub mod ast;
 pub mod delta;
 pub mod error;
 pub mod eval;
+pub mod naive;
 pub mod simplify;
 pub mod skolem;
 
 pub use ast::{Atom, Literal, Rule, RuleSet, Term};
 pub use delta::{Delta, DeltaMap, PatchedEdb};
 pub use error::DatalogError;
-pub use eval::{evaluate, EdbView, MapEdb};
+pub use eval::{evaluate, evaluate_compiled, CompiledRuleSet, EdbView, MapEdb};
 pub use skolem::SkolemRegistry;
 
 /// Crate-wide result alias.

@@ -51,7 +51,10 @@ impl Derivation {
 /// original relations, e.g. `T → T_D`, before composing mappings).
 pub fn rename_relations(rules: &RuleSet, map: &BTreeMap<String, String>) -> RuleSet {
     let fix_atom = |a: &Atom| Atom {
-        relation: map.get(&a.relation).cloned().unwrap_or_else(|| a.relation.clone()),
+        relation: map
+            .get(&a.relation)
+            .cloned()
+            .unwrap_or_else(|| a.relation.clone()),
         terms: a.terms.clone(),
     };
     RuleSet::new(
@@ -124,10 +127,7 @@ pub fn apply_empty(rules: &RuleSet, empty: &BTreeSet<String>, deriv: &mut Deriva
                     continue 'rules;
                 }
                 Literal::Neg(a) if empty.contains(&a.relation) => {
-                    deriv.log(format!(
-                        "Lemma 2: removed ¬{} from: {rule}",
-                        a.relation
-                    ));
+                    deriv.log(format!("Lemma 2: removed ¬{} from: {rule}", a.relation));
                 }
                 other => body.push(other.clone()),
             }
@@ -147,12 +147,14 @@ pub fn unfold(outer: &RuleSet, defs: &RuleSet, deriv: &mut Derivation) -> RuleSe
     let mut guard = 0usize;
     while let Some(rule) = work.pop() {
         guard += 1;
-        assert!(guard < 100_000, "unfolding did not terminate (recursive defs?)");
-        let target = rule.body.iter().position(|l| {
-            l.relation()
-                .map(|r| def_heads.contains(r))
-                .unwrap_or(false)
-        });
+        assert!(
+            guard < 100_000,
+            "unfolding did not terminate (recursive defs?)"
+        );
+        let target = rule
+            .body
+            .iter()
+            .position(|l| l.relation().map(|r| def_heads.contains(r)).unwrap_or(false));
         match target {
             None => done.push(rule),
             Some(i) => {
@@ -329,22 +331,14 @@ fn negative_choices(atom: &Atom, def: &Rule, fresh: &mut FreshVars) -> Vec<Vec<L
     let binders_for = |vars: &[String]| -> Vec<Literal> {
         positive_atoms
             .iter()
-            .filter(|a| {
-                a.variables()
-                    .iter()
-                    .any(|v| vars.iter().any(|x| x == v))
-            })
+            .filter(|a| a.variables().iter().any(|v| vars.iter().any(|x| x == v)))
             .map(|a| Literal::Pos((*a).clone()))
             .collect()
     };
     // Variables visible to the host rule are those of the *outer* literal;
     // fresh variables introduced for `_` positions are local to the
     // unfolding and must be anonymized / bound by binder atoms.
-    let head_vars: BTreeSet<String> = atom
-        .variables()
-        .into_iter()
-        .map(String::from)
-        .collect();
+    let head_vars: BTreeSet<String> = atom.variables().into_iter().map(String::from).collect();
     let mut choices = Vec::new();
     for lit in &renamed.body {
         match lit {
@@ -600,14 +594,8 @@ fn truth_value(e: &Expr) -> Option<bool> {
 pub fn normalize_expr(e: &Expr) -> Expr {
     match e {
         Expr::Not(inner) => negate_normalized(&normalize_expr(inner)),
-        Expr::And(a, b) => Expr::And(
-            Box::new(normalize_expr(a)),
-            Box::new(normalize_expr(b)),
-        ),
-        Expr::Or(a, b) => Expr::Or(
-            Box::new(normalize_expr(a)),
-            Box::new(normalize_expr(b)),
-        ),
+        Expr::And(a, b) => Expr::And(Box::new(normalize_expr(a)), Box::new(normalize_expr(b))),
+        Expr::Or(a, b) => Expr::Or(Box::new(normalize_expr(a)), Box::new(normalize_expr(b))),
         other => other.clone(),
     }
 }
@@ -751,9 +739,7 @@ fn per_rule_pass(rules: RuleSet, pass: &mut Pass<'_>) -> RuleSet {
         loop {
             let found = rule.body.iter().enumerate().find_map(|(i, l)| match l {
                 Literal::Cond(Expr::Cmp(a, CmpOp::Eq, b)) => match (a.as_ref(), b.as_ref()) {
-                    (Expr::Column(x), Expr::Column(y)) if x != y => {
-                        Some((i, x.clone(), y.clone()))
-                    }
+                    (Expr::Column(x), Expr::Column(y)) if x != y => Some((i, x.clone(), y.clone())),
                     _ => None,
                 },
                 _ => None,
@@ -761,12 +747,12 @@ fn per_rule_pass(rules: RuleSet, pass: &mut Pass<'_>) -> RuleSet {
             let Some((i, x, y)) = found else { break };
             // Prefer eliminating a variable that is not in the head.
             let head_vars: Vec<&str> = rule.head.variables();
-            let (keep, drop) = if head_vars.contains(&y.as_str()) && !head_vars.contains(&x.as_str())
-            {
-                (y.clone(), x.clone())
-            } else {
-                (x.clone(), y.clone())
-            };
+            let (keep, drop) =
+                if head_vars.contains(&y.as_str()) && !head_vars.contains(&x.as_str()) {
+                    (y.clone(), x.clone())
+                } else {
+                    (x.clone(), y.clone())
+                };
             rule.body.remove(i);
             let mut subst = BTreeMap::new();
             subst.insert(drop, Term::Var(keep));
@@ -780,9 +766,13 @@ fn per_rule_pass(rules: RuleSet, pass: &mut Pass<'_>) -> RuleSet {
             let mut subst: Option<BTreeMap<String, Term>> = None;
             let mut refined: Option<Rule> = None;
             'outer: for i in 0..rule.body.len() {
-                let Literal::Pos(a) = &rule.body[i] else { continue };
+                let Literal::Pos(a) = &rule.body[i] else {
+                    continue;
+                };
                 for j in (i + 1)..rule.body.len() {
-                    let Literal::Pos(b) = &rule.body[j] else { continue };
+                    let Literal::Pos(b) = &rule.body[j] else {
+                        continue;
+                    };
                     if a.relation != b.relation
                         || a.terms.len() != b.terms.len()
                         || a.terms[0] != b.terms[0]
@@ -794,9 +784,7 @@ fn per_rule_pass(rules: RuleSet, pass: &mut Pass<'_>) -> RuleSet {
                     // Same relation, same key: payloads must unify.
                     let mut s: BTreeMap<String, Term> = BTreeMap::new();
                     let mut new_a = a.clone();
-                    for (pos, (ta, tb)) in
-                        a.terms.iter().zip(b.terms.iter()).enumerate().skip(1)
-                    {
+                    for (pos, (ta, tb)) in a.terms.iter().zip(b.terms.iter()).enumerate().skip(1) {
                         match (ta, tb) {
                             (Term::Var(x), Term::Var(y)) => {
                                 if x != y {
@@ -1246,9 +1234,15 @@ fn null_case_merge(rules: RuleSet, pass: &mut Pass<'_>) -> RuleSet {
             }
             // Find a `¬(x IS NULL)` condition in `a`.
             for (idx, lit) in a.body.iter().enumerate() {
-                let Literal::Cond(Expr::Not(inner)) = lit else { continue };
-                let Expr::IsNull(col) = inner.as_ref() else { continue };
-                let Expr::Column(x) = col.as_ref() else { continue };
+                let Literal::Cond(Expr::Not(inner)) = lit else {
+                    continue;
+                };
+                let Expr::IsNull(col) = inner.as_ref() else {
+                    continue;
+                };
+                let Expr::Column(x) = col.as_ref() else {
+                    continue;
+                };
                 let mut without = a.clone();
                 without.body.remove(idx);
                 let mut subst = BTreeMap::new();
@@ -1293,8 +1287,7 @@ fn subsumption(rules: RuleSet, pass: &mut Pass<'_>) -> RuleSet {
             {
                 keep[j] = false;
                 pass.changed = true;
-                pass.deriv
-                    .log(format!("subsumption: {r}  subsumes  {s}"));
+                pass.deriv.log(format!("subsumption: {r}  subsumes  {s}"));
             }
         }
     }
@@ -1334,7 +1327,9 @@ pub fn check_identity(
                 _ => false,
             };
         if !ok {
-            return Err(format!("head '{head}': not an identity over '{input}': {rule}"));
+            return Err(format!(
+                "head '{head}': not an identity over '{input}': {rule}"
+            ));
         }
     }
     Ok(())
@@ -1464,7 +1459,10 @@ mod tests {
         let rules = RuleSet::new(vec![
             Rule::new(
                 atom("H", &["p", "a"]),
-                vec![Literal::Pos(atom("X", &["p", "a"])), Literal::Cond(c.clone())],
+                vec![
+                    Literal::Pos(atom("X", &["p", "a"])),
+                    Literal::Cond(c.clone()),
+                ],
             ),
             Rule::new(
                 atom("H", &["p", "a"]),

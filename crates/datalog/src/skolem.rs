@@ -34,8 +34,7 @@ impl SkolemRegistry {
         let counter = self.counters.entry(generator.to_string()).or_insert(0);
         *counter += 1;
         let id = *counter;
-        self.memo
-            .insert((generator.to_string(), args.to_vec()), id);
+        self.memo.insert((generator.to_string(), args.to_vec()), id);
         id
     }
 
@@ -55,8 +54,7 @@ impl SkolemRegistry {
             return *id;
         }
         let id = mint();
-        self.memo
-            .insert((generator.to_string(), args.to_vec()), id);
+        self.memo.insert((generator.to_string(), args.to_vec()), id);
         id
     }
 

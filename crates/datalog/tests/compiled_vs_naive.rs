@@ -1,0 +1,374 @@
+//! Differential property tests: the compiled evaluator (`eval`) must agree
+//! **exactly** with the naive reference interpreter (`naive`) on randomized
+//! rule sets and EDBs — full evaluation, key-seeded evaluation, and delta
+//! propagation. "Exactly" includes the memoized skolem identifiers, whose
+//! assignment depends on evaluation order: both engines are required to
+//! explore joins in the same order.
+//!
+//! The generated rule shapes cover everything the paper's γ mappings use:
+//! full-scan joins on unbound keys (the index path), key-bound joins (the
+//! point-lookup path), duplicate variables, negation with and without bound
+//! keys, condition predicates, function assignments, skolem generators, and
+//! skolem-generated head keys (the non-pushable fallback of
+//! `head_row_for_key`), plus multi-rule staging where later rules read
+//! earlier heads.
+
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_datalog::delta::{propagate, Delta, DeltaMap, PatchedEdb};
+use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, Evaluator, MapEdb};
+use inverda_datalog::{naive, SkolemRegistry};
+use inverda_storage::{Expr, Key, Relation, Value};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Everything needed to deterministically build one rule.
+#[derive(Debug, Clone)]
+struct RuleSpec {
+    /// First atom: 0 = T0(p,a,b), 1 = T1(p,a), 2 = T0(p,a,a) (dup var).
+    base: u8,
+    /// Extra atom: 0 = T1(q,a) (join on payload — index path),
+    /// 1 = T0(p,_,c) (key join — point-lookup path), 2 = T1(p,c).
+    join: Option<u8>,
+    /// Negation: 0 = ¬T1(p,_) (keyed), 1 = ¬T0(_,a,_) (payload-probed),
+    /// 2 = ¬T1(_,a).
+    neg: Option<u8>,
+    /// Condition on `a`: 0 = a < t, 1 = a >= t, 2 = a ≠ t.
+    cond: Option<(u8, i64)>,
+    /// Add `d = a + 1` and use `d` in the head payload.
+    assign: bool,
+    /// Skolem `s = gen(a)`; when `keyed` the head key becomes `s`
+    /// (non-pushable — exercises the full-eval fallback).
+    skolem: Option<SkolemSpec>,
+    /// Head payload variable choice.
+    payload: u8,
+    /// For rules after the first: read the previous rule's head instead of
+    /// T0/T1 (staged rule set).
+    use_prev_head: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SkolemSpec {
+    keyed: bool,
+    two_args: bool,
+}
+
+fn arb_rule_spec() -> impl Strategy<Value = RuleSpec> {
+    (
+        (
+            0u8..3,
+            prop::option::of(0u8..3),
+            prop::option::of(0u8..3),
+            prop::option::of((0u8..3, 0i64..6)),
+            prop::bool::ANY,
+        ),
+        (
+            prop::option::of((prop::bool::ANY, prop::bool::ANY)),
+            0u8..4,
+            prop::bool::ANY,
+        ),
+    )
+        .prop_map(
+            |((base, join, neg, cond, assign), (skolem, payload, use_prev_head))| RuleSpec {
+                base,
+                join,
+                neg,
+                cond,
+                assign,
+                skolem: skolem.map(|(keyed, two_args)| SkolemSpec { keyed, two_args }),
+                payload,
+                use_prev_head,
+            },
+        )
+}
+
+/// Build the concrete rule for a spec. `prev_head` is the head of the
+/// previous rule (for staging), `head` this rule's head relation.
+fn build_rule(spec: &RuleSpec, head: &str, prev_head: Option<&str>) -> Rule {
+    let mut body: Vec<Literal> = Vec::new();
+    let mut avail: Vec<&str> = vec!["p"];
+    match (spec.use_prev_head, prev_head) {
+        (true, Some(prev)) => {
+            // Previous heads have arity 2: H(p, x).
+            body.push(Literal::Pos(Atom::vars(prev, &["p", "a"])));
+            avail.push("a");
+        }
+        _ => match spec.base {
+            0 => {
+                body.push(Literal::Pos(Atom::vars("T0", &["p", "a", "b"])));
+                avail.extend(["a", "b"]);
+            }
+            1 => {
+                body.push(Literal::Pos(Atom::vars("T1", &["p", "a"])));
+                avail.push("a");
+            }
+            _ => {
+                body.push(Literal::Pos(Atom::vars("T0", &["p", "a", "a"])));
+                avail.push("a");
+            }
+        },
+    }
+    if avail.contains(&"a") {
+        if let Some(j) = &spec.join {
+            match j % 3 {
+                0 => {
+                    body.push(Literal::Pos(Atom::vars("T1", &["q", "a"])));
+                    avail.push("q");
+                }
+                1 => {
+                    body.push(Literal::Pos(Atom::new(
+                        "T0",
+                        vec![Term::var("p"), Term::Anon, Term::var("c")],
+                    )));
+                    avail.push("c");
+                }
+                _ => {
+                    body.push(Literal::Pos(Atom::vars("T1", &["p", "c"])));
+                    avail.push("c");
+                }
+            }
+        }
+        if let Some(n) = &spec.neg {
+            match n % 3 {
+                0 => body.push(Literal::Neg(Atom::new(
+                    "T1",
+                    vec![Term::var("p"), Term::Anon],
+                ))),
+                1 => body.push(Literal::Neg(Atom::new(
+                    "T0",
+                    vec![Term::Anon, Term::var("a"), Term::Anon],
+                ))),
+                _ => body.push(Literal::Neg(Atom::new(
+                    "T1",
+                    vec![Term::Anon, Term::var("a")],
+                ))),
+            }
+        }
+        if let Some((op, t)) = &spec.cond {
+            let col = Expr::col("a");
+            let lit = Expr::lit(*t);
+            body.push(Literal::Cond(match op % 3 {
+                0 => col.lt(lit),
+                1 => col.ge(lit),
+                _ => col.ne(lit),
+            }));
+        }
+        if spec.assign {
+            body.push(Literal::Assign {
+                var: "d".into(),
+                expr: Expr::Binary(
+                    Box::new(Expr::col("a")),
+                    inverda_storage::BinaryOp::Add,
+                    Box::new(Expr::lit(1)),
+                ),
+            });
+            avail.push("d");
+        }
+        if let Some(sk) = &spec.skolem {
+            let mut args = vec![Term::var("a")];
+            if sk.two_args {
+                args.push(Term::var("p"));
+            }
+            body.push(Literal::Skolem {
+                var: "s".into(),
+                generator: "gen".into(),
+                args,
+            });
+            avail.push("s");
+        }
+    }
+    let key_var = match &spec.skolem {
+        Some(sk) if sk.keyed && avail.contains(&"s") => "s",
+        _ => "p",
+    };
+    let payload_var = avail[spec.payload as usize % avail.len()];
+    Rule::new(Atom::vars(head, &[key_var, payload_var]), body)
+}
+
+fn build_rule_set(specs: &[RuleSpec]) -> RuleSet {
+    let mut rules = Vec::new();
+    let mut prev: Option<String> = None;
+    for (i, spec) in specs.iter().enumerate() {
+        // Two head names so multi-rule sets can both union and stage.
+        let head = if i % 2 == 0 { "H0" } else { "H1" };
+        rules.push(build_rule(spec, head, prev.as_deref()));
+        prev = Some(head.to_string());
+    }
+    RuleSet::new(rules)
+}
+
+type T0Rows = BTreeMap<u64, (i64, i64)>;
+type T1Rows = BTreeMap<u64, i64>;
+
+fn arb_edb() -> impl Strategy<Value = (T0Rows, T1Rows)> {
+    (
+        prop::collection::btree_map(0u64..12, (0i64..6, 0i64..6), 0..10),
+        prop::collection::btree_map(0u64..12, 0i64..6, 0..8),
+    )
+}
+
+fn build_edb(t0: &T0Rows, t1: &T1Rows) -> MapEdb {
+    let mut rel0 = Relation::with_columns("T0", ["a", "b"]);
+    for (k, (a, b)) in t0 {
+        rel0.insert(Key(*k), vec![Value::Int(*a), Value::Int(*b)])
+            .unwrap();
+    }
+    let mut rel1 = Relation::with_columns("T1", ["a"]);
+    for (k, a) in t1 {
+        rel1.insert(Key(*k), vec![Value::Int(*a)]).unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(rel0).add(rel1);
+    edb
+}
+
+fn registry() -> RefCell<SkolemRegistry> {
+    RefCell::new(SkolemRegistry::new())
+}
+
+proptest! {
+    /// Full bottom-up evaluation: identical derived relations (and identical
+    /// skolem id assignment), or both engines reject the rule set.
+    #[test]
+    fn full_evaluation_matches_naive(
+        specs in prop::collection::vec(arb_rule_spec(), 1..4),
+        (t0, t1) in arb_edb(),
+    ) {
+        let rules = build_rule_set(&specs);
+        let edb = build_edb(&t0, &t1);
+        let naive_ids = registry();
+        let naive_out = naive::evaluate(&rules, &edb, &naive_ids, &BTreeMap::new());
+        let compiled_ids = registry();
+        let compiled_out = CompiledRuleSet::compile(&rules).and_then(|crs| {
+            evaluate_compiled(&crs, &edb, &compiled_ids, &BTreeMap::new())
+        });
+        match (naive_out, compiled_out) {
+            (Ok(n), Ok(c)) => prop_assert_eq!(n, c, "diverged on:\n{}", rules),
+            (Err(_), Err(_)) => {}
+            (n, c) => prop_assert!(
+                false,
+                "one engine failed on:\n{}\nnaive: {:?}\ncompiled: {:?}",
+                rules, n.err(), c.err()
+            ),
+        }
+    }
+
+    /// Key-seeded evaluation (`head_row_for_key`): identical per-key rows
+    /// across pushable and non-pushable (skolem-keyed) head keys, with the
+    /// memo warm in both engines.
+    #[test]
+    fn key_seeded_evaluation_matches_naive(
+        specs in prop::collection::vec(arb_rule_spec(), 1..3),
+        (t0, t1) in arb_edb(),
+    ) {
+        let rules = build_rule_set(&specs);
+        let edb = build_edb(&t0, &t1);
+        let Ok(crs) = CompiledRuleSet::compile(&rules) else {
+            // Unsafe rule set: covered by `full_evaluation_matches_naive`.
+            return Ok(());
+        };
+        let naive_ids = registry();
+        let compiled_ids = registry();
+        let mut naive_ev = naive::Evaluator::new(&edb, &naive_ids);
+        let mut compiled_ev = Evaluator::new(&edb, &compiled_ids);
+        for head in ["H0", "H1"] {
+            for k in 0..18u64 {
+                let n = naive_ev.head_row_for_key(&rules, head, Key(k));
+                let c = compiled_ev.head_row_for_key(&crs, head, Key(k));
+                match (n, c) {
+                    (Ok(n), Ok(c)) => prop_assert_eq!(
+                        n, c, "diverged at {}#{} on:\n{}", head, k, rules
+                    ),
+                    (Err(_), Err(_)) => return Ok(()),
+                    (n, c) => prop_assert!(
+                        false,
+                        "one engine failed at {}#{} on:\n{}\nnaive: {:?}\ncompiled: {:?}",
+                        head, k, rules, n.err(), c.err()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Delta propagation through the compiled probe path agrees with an
+    /// independent oracle: evaluate both states with the *naive* engine and
+    /// diff the heads. (Skolem-free rule sets: the oracle evaluates twice,
+    /// which would legitimately mint ids in a different order.)
+    #[test]
+    fn propagation_matches_naive_two_state_diff(
+        specs in prop::collection::vec(arb_rule_spec(), 1..3),
+        (t0, t1) in arb_edb(),
+        inserts in prop::collection::btree_map(12u64..18, 0i64..6, 0..3),
+        deletes in prop::collection::vec(0u64..12, 0..3),
+        updates in prop::collection::btree_map(0u64..12, 0i64..6, 0..3),
+    ) {
+        let specs: Vec<RuleSpec> = specs
+            .into_iter()
+            .map(|mut s| {
+                s.skolem = None;
+                s
+            })
+            .collect();
+        let rules = build_rule_set(&specs);
+        let edb = build_edb(&t0, &t1);
+        if CompiledRuleSet::compile(&rules).is_err() {
+            return Ok(());
+        }
+
+        // Input delta on T1.
+        let mut delta = Delta::new();
+        for (k, a) in &inserts {
+            delta.inserts.insert(Key(*k), vec![Value::Int(*a)]);
+        }
+        for k in &deletes {
+            if let Some(a) = t1.get(k) {
+                delta.deletes.entry(Key(*k)).or_insert_with(|| vec![Value::Int(*a)]);
+            }
+        }
+        for (k, a) in &updates {
+            if let Some(old) = t1.get(k) {
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    delta.deletes.entry(Key(*k))
+                {
+                    e.insert(vec![Value::Int(*old)]);
+                    delta.inserts.insert(Key(*k), vec![Value::Int(*a)]);
+                }
+            }
+        }
+        let mut input = DeltaMap::new();
+        input.insert("T1".to_string(), delta);
+
+        let ids = registry();
+        let fast = propagate(&rules, &edb, &input, &ids, &BTreeMap::new());
+
+        // Oracle: naive two-state evaluation and diff.
+        let oracle_ids = registry();
+        let old_out = naive::evaluate(&rules, &edb, &oracle_ids, &BTreeMap::new());
+        let patched = PatchedEdb::new(&edb, &input);
+        let oracle_ids2 = registry();
+        let new_out = naive::evaluate(&rules, &patched, &oracle_ids2, &BTreeMap::new());
+        let (Ok(fast), Ok(old_out), Ok(new_out)) = (fast, old_out, new_out) else {
+            return Ok(());
+        };
+        let mut slow = DeltaMap::new();
+        for (head, new_rel) in &new_out {
+            let d = new_rel.diff(&old_out[head]);
+            let mut delta = Delta::new();
+            for (k, row) in d.deletes {
+                delta.deletes.insert(k, row);
+            }
+            for (k, row) in d.inserts {
+                delta.inserts.insert(k, row);
+            }
+            for (k, old_row, new_row) in d.updates {
+                delta.deletes.insert(k, old_row);
+                delta.inserts.insert(k, new_row);
+            }
+            if !delta.is_empty() {
+                slow.insert(head.clone(), delta);
+            }
+        }
+        let fast: DeltaMap = fast.into_iter().filter(|(_, d)| !d.is_empty()).collect();
+        prop_assert_eq!(fast, slow, "diverged on:\n{}", rules);
+    }
+}

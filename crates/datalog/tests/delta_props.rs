@@ -64,10 +64,15 @@ fn keyed_rel(name: &str, cols: &[&str], rows: &BTreeMap<u64, Vec<Value>>) -> Rel
     rel
 }
 
-fn arb_state() -> impl Strategy<Value = (BTreeMap<u64, Vec<Value>>, Vec<u64>, BTreeMap<u64, Vec<Value>>)>
-{
+type Rows = BTreeMap<u64, Vec<Value>>;
+
+fn arb_state() -> impl Strategy<Value = (Rows, Vec<u64>, Rows)> {
     (
-        prop::collection::btree_map(0u64..24, (0i64..10).prop_map(|a| vec![Value::Int(a)]), 0..16),
+        prop::collection::btree_map(
+            0u64..24,
+            (0i64..10).prop_map(|a| vec![Value::Int(a)]),
+            0..16,
+        ),
         prop::collection::vec(0u64..24, 0..4),
         prop::collection::btree_map(0u64..24, (0i64..10).prop_map(|a| vec![Value::Int(a)]), 0..4),
     )

@@ -92,7 +92,10 @@ pub fn aux_ddl(genealogy: &Genealogy, materialization: &MaterializationSchema) -
         } else {
             &smo.derived.src_aux
         };
-        for t in aux.iter().chain(smo.derived.shared_aux.iter().map(|s| &s.table)) {
+        for t in aux
+            .iter()
+            .chain(smo.derived.shared_aux.iter().map(|s| &s.table))
+        {
             let cols: Vec<String> = std::iter::once("p BIGINT PRIMARY KEY".to_string())
                 .chain(t.columns.iter().map(|c| format!("{c} TEXT")))
                 .collect();

@@ -18,11 +18,7 @@ use std::fmt::Write;
 /// for.
 pub fn trigger_sql(view_name: &str, written_rel: &str, rules: &RuleSet) -> String {
     let mut out = String::new();
-    for (kind, keyword) in [
-        ("ins", "INSERT"),
-        ("upd", "UPDATE"),
-        ("del", "DELETE"),
-    ] {
+    for (kind, keyword) in [("ins", "INSERT"), ("upd", "UPDATE"), ("del", "DELETE")] {
         let _ = writeln!(
             out,
             "CREATE FUNCTION {view_name}_{kind}() RETURNS trigger AS $$"

@@ -83,10 +83,7 @@ pub fn select_branch(rule: &Rule) -> String {
                 generator,
                 args,
             } => {
-                let args_sql: Vec<String> = args
-                    .iter()
-                    .map(|t| term_sql(t, &binding))
-                    .collect();
+                let args_sql: Vec<String> = args.iter().map(|t| term_sql(t, &binding)).collect();
                 let call = format!("inverda_id('{generator}', {})", args_sql.join(", "));
                 match binding.get(var) {
                     Some(first) => wheres.push(format!("{first} = {call}")),

@@ -242,7 +242,9 @@ mod tests {
     fn create_and_drop() {
         let s = storage_with_t();
         assert!(s.has_table("T"));
-        assert!(s.create_table(TableSchema::new("T", ["x"]).unwrap()).is_err());
+        assert!(s
+            .create_table(TableSchema::new("T", ["x"]).unwrap())
+            .is_err());
         s.drop_table("T").unwrap();
         assert!(!s.has_table("T"));
         assert!(s.drop_table("T").is_err());
@@ -305,7 +307,8 @@ mod tests {
     #[test]
     fn snapshot_many_is_consistent() {
         let s = storage_with_t();
-        s.create_table(TableSchema::new("U", ["x"]).unwrap()).unwrap();
+        s.create_table(TableSchema::new("U", ["x"]).unwrap())
+            .unwrap();
         let rels = s.snapshot_many(&["T", "U"]).unwrap();
         assert_eq!(rels.len(), 2);
         assert!(s.snapshot_many(&["T", "Nope"]).is_err());

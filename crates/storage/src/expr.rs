@@ -276,11 +276,7 @@ fn eval_binary(op: BinaryOp, a: &Value, b: &Value) -> Result<Value> {
         return Ok(Value::Null);
     }
     match op {
-        Concat => Ok(Value::text(format!(
-            "{}{}",
-            display_raw(a),
-            display_raw(b)
-        ))),
+        Concat => Ok(Value::text(format!("{}{}", display_raw(a), display_raw(b)))),
         Add if matches!((a, b), (Value::Text(_), Value::Text(_))) => {
             Ok(Value::text(format!("{}{}", display_raw(a), display_raw(b))))
         }
@@ -488,12 +484,9 @@ mod tests {
             Value::Int(5)
         );
         assert_eq!(
-            Expr::Call(
-                "concat".into(),
-                vec![Expr::col("name"), Expr::lit("!")]
-            )
-            .eval(&c)
-            .unwrap(),
+            Expr::Call("concat".into(), vec![Expr::col("name"), Expr::lit("!")])
+                .eval(&c)
+                .unwrap(),
             Value::text("Ann!")
         );
     }
@@ -503,7 +496,10 @@ mod tests {
         let e = Expr::col("b")
             .eq(Expr::lit(1))
             .and(Expr::col("a").gt(Expr::col("b")));
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]
@@ -534,7 +530,9 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        let e = Expr::col("prio").eq(Expr::lit(1)).and(Expr::col("a").lt(Expr::col("b")));
+        let e = Expr::col("prio")
+            .eq(Expr::lit(1))
+            .and(Expr::col("a").lt(Expr::col("b")));
         assert_eq!(e.to_string(), "(prio = 1 AND a < b)");
     }
 }

@@ -34,7 +34,7 @@ pub use batch::{WriteBatch, WriteOp};
 pub use engine::{SequenceSet, Storage};
 pub use error::StorageError;
 pub use expr::{BinaryOp, CmpOp, Expr, RowContext};
-pub use relation::{Relation, Row};
+pub use relation::{ColumnIndex, IndexCache, Relation, Row};
 pub use schema::TableSchema;
 pub use value::{Key, Value};
 

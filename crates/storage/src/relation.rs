@@ -9,8 +9,10 @@ use crate::error::StorageError;
 use crate::schema::TableSchema;
 use crate::value::{Key, Value};
 use crate::Result;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// One row's payload (the key is stored separately as the map key).
 pub type Row = Vec<Value>;
@@ -207,6 +209,18 @@ impl Relation {
         self.rows.clear();
     }
 
+    /// Build a secondary index over one payload column (`0` is the first
+    /// payload column, i.e. *not* the key). Keys per value are in ascending
+    /// key order, so an index probe enumerates matches in the same order a
+    /// full scan would — evaluation results are identical either way.
+    pub fn build_column_index(&self, column: usize) -> ColumnIndex {
+        let mut map: HashMap<Value, Vec<Key>> = HashMap::new();
+        for (key, row) in &self.rows {
+            map.entry(row[column].clone()).or_default().push(*key);
+        }
+        ColumnIndex { map }
+    }
+
     fn check_arity(&self, row: &Row) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(StorageError::ArityMismatch {
@@ -227,6 +241,78 @@ impl fmt::Display for Relation {
             writeln!(f, "  {k}: [{}]", cells.join(", "))?;
         }
         Ok(())
+    }
+}
+
+/// A hash index `column value → keys` over one payload column of a
+/// [`Relation`] snapshot, built on demand by [`Relation::build_column_index`].
+///
+/// This is the join accelerator of the compiled rule evaluator: probing a
+/// bound column is O(1) instead of a full scan. The index describes one
+/// immutable snapshot — callers cache it alongside the snapshot and must not
+/// reuse it across mutations. `Value`'s `Hash` agrees with its `Eq`
+/// (numerically equal ints and floats collide), so a probe finds exactly the
+/// rows a scan-and-compare would.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    map: HashMap<Value, Vec<Key>>,
+}
+
+impl ColumnIndex {
+    /// The keys whose indexed column equals `value`, in ascending key order.
+    pub fn keys_for(&self, value: &Value) -> &[Key] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct values indexed.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Interior-mutable cache of [`ColumnIndex`]es keyed by `(relation,
+/// column)`, shared by every EDB view and the evaluator so the get-or-build
+/// logic lives in one place. Lookups are by `&str` (no allocation); each
+/// `(relation, column)` pair is built at most once until
+/// [`IndexCache::invalidate`] drops the relation's entries.
+#[derive(Debug, Default)]
+pub struct IndexCache(RefCell<HashMap<String, HashMap<usize, Arc<ColumnIndex>>>>);
+
+impl IndexCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        IndexCache::default()
+    }
+
+    /// The cached index for `(relation, column)`, building it with `build`
+    /// on first use. `build`'s error (e.g. an unresolvable relation) is
+    /// passed through without caching anything.
+    pub fn get_or_build<E>(
+        &self,
+        relation: &str,
+        column: usize,
+        build: impl FnOnce() -> std::result::Result<ColumnIndex, E>,
+    ) -> std::result::Result<Arc<ColumnIndex>, E> {
+        if let Some(hit) = self
+            .0
+            .borrow()
+            .get(relation)
+            .and_then(|cols| cols.get(&column))
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(build()?);
+        self.0
+            .borrow_mut()
+            .entry(relation.to_string())
+            .or_default()
+            .insert(column, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Drop every cached index of `relation` (its snapshot changed).
+    pub fn invalidate(&self, relation: &str) {
+        self.0.borrow_mut().remove(relation);
     }
 }
 
@@ -259,10 +345,16 @@ mod tests {
 
     fn rel() -> Relation {
         let mut r = Relation::with_columns("Task", ["author", "task", "prio"]);
-        r.insert(Key(1), vec!["Ann".into(), "Organize party".into(), 3.into()])
-            .unwrap();
-        r.insert(Key(2), vec!["Ben".into(), "Learn for exam".into(), 2.into()])
-            .unwrap();
+        r.insert(
+            Key(1),
+            vec!["Ann".into(), "Organize party".into(), 3.into()],
+        )
+        .unwrap();
+        r.insert(
+            Key(2),
+            vec!["Ben".into(), "Learn for exam".into(), 2.into()],
+        )
+        .unwrap();
         r
     }
 
@@ -270,7 +362,9 @@ mod tests {
     fn insert_delete_update_roundtrip() {
         let mut r = rel();
         assert_eq!(r.len(), 2);
-        assert!(r.insert(Key(1), vec!["x".into(), "y".into(), 1.into()]).is_err());
+        assert!(r
+            .insert(Key(1), vec!["x".into(), "y".into(), 1.into()])
+            .is_err());
         let old = r
             .update(Key(1), vec!["Ann".into(), "Write paper".into(), 1.into()])
             .unwrap();
@@ -296,7 +390,10 @@ mod tests {
         let r = rel();
         let p = r.project(&["task"]).unwrap();
         assert_eq!(p.schema().columns, vec!["task"]);
-        assert_eq!(p.value(Key(2), "task"), Some(&Value::text("Learn for exam")));
+        assert_eq!(
+            p.value(Key(2), "task"),
+            Some(&Value::text("Learn for exam"))
+        );
         assert!(r.project(&["nope"]).is_err());
     }
 
@@ -315,8 +412,11 @@ mod tests {
         new.delete(Key(2)).unwrap();
         new.insert(Key(3), vec!["Ann".into(), "Write paper".into(), 1.into()])
             .unwrap();
-        new.update(Key(1), vec!["Ann".into(), "Organize party".into(), 2.into()])
-            .unwrap();
+        new.update(
+            Key(1),
+            vec!["Ann".into(), "Organize party".into(), 2.into()],
+        )
+        .unwrap();
         let d = new.diff(&old);
         assert_eq!(d.deletes.len(), 1);
         assert_eq!(d.inserts.len(), 1);
@@ -338,6 +438,41 @@ mod tests {
         let m = a.minus(&b);
         assert_eq!(m.len(), 1);
         assert!(m.contains_key(Key(1)));
+    }
+
+    #[test]
+    fn column_index_finds_exactly_the_matching_keys() {
+        let mut r = Relation::with_columns("T", ["a", "b"]);
+        r.insert(Key(5), vec!["x".into(), 1.into()]).unwrap();
+        r.insert(Key(1), vec!["x".into(), 2.into()]).unwrap();
+        r.insert(Key(3), vec!["y".into(), 1.into()]).unwrap();
+        let by_a = r.build_column_index(0);
+        assert_eq!(by_a.keys_for(&Value::text("x")), &[Key(1), Key(5)]);
+        assert_eq!(by_a.keys_for(&Value::text("y")), &[Key(3)]);
+        assert_eq!(by_a.keys_for(&Value::text("z")), &[] as &[Key]);
+        assert_eq!(by_a.distinct_values(), 2);
+        // Numeric int/float equality carries over to index probes.
+        let by_b = r.build_column_index(1);
+        assert_eq!(by_b.keys_for(&Value::Float(1.0)), &[Key(3), Key(5)]);
+    }
+
+    #[test]
+    fn column_index_probe_agrees_with_scan_beyond_2_pow_53() {
+        // Int((1<<53)+1) and Float(2^53) are Eq-equal (numeric comparison
+        // through f64); a hash probe must find the row exactly like a
+        // scan-and-compare would.
+        let mut r = Relation::with_columns("T", ["n"]);
+        r.insert(Key(1), vec![Value::Int((1i64 << 53) + 1)])
+            .unwrap();
+        let idx = r.build_column_index(0);
+        let probe = Value::Float(9_007_199_254_740_992.0);
+        let scanned: Vec<Key> = r
+            .iter()
+            .filter(|(_, row)| row[0] == probe)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(idx.keys_for(&probe), scanned.as_slice());
+        assert_eq!(idx.keys_for(&probe), &[Key(1)]);
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct TableSchema {
 
 impl TableSchema {
     /// Create a schema; column names must be unique.
-    pub fn new(name: impl Into<String>, columns: impl IntoIterator<Item = impl Into<String>>) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self> {
         let name = name.into();
         let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
         for (i, c) in columns.iter().enumerate() {

@@ -140,18 +140,15 @@ impl Hash for Value {
                 1u8.hash(state);
                 b.hash(state);
             }
-            // Ints and floats that compare equal must hash equal; hash the
-            // canonical f64 bit pattern for both when the int is small enough
-            // to round-trip, otherwise the raw i64.
+            // Ints and floats that compare equal must hash equal, so ints
+            // always hash through their canonical f64 bit pattern — the same
+            // projection `cmp` uses for Int/Float comparison. Distinct huge
+            // ints (beyond 2^53) may collide on one f64 pattern; that is a
+            // hash collision resolved through `Eq`, not a correctness issue,
+            // and it keeps index probes agreeing exactly with scans.
             Value::Int(i) => {
-                let f = *i as f64;
-                if f as i64 == *i {
-                    2u8.hash(state);
-                    canonical_f64_bits(f).hash(state);
-                } else {
-                    3u8.hash(state);
-                    i.hash(state);
-                }
+                2u8.hash(state);
+                canonical_f64_bits(*i as f64).hash(state);
             }
             Value::Float(f) => {
                 2u8.hash(state);
@@ -252,6 +249,16 @@ mod tests {
         assert_eq!(Value::Null, Value::Null);
         assert!(Value::Null < Value::Int(i64::MIN));
         assert!(Value::Null < Value::text(""));
+    }
+
+    #[test]
+    fn huge_int_and_equal_float_hash_alike() {
+        // (1<<53)+1 rounds to 2^53 as f64; cmp says it equals Float(2^53),
+        // so the hashes must match or hash-index probes diverge from scans.
+        let i = Value::Int((1i64 << 53) + 1);
+        let f = Value::Float(9_007_199_254_740_992.0);
+        assert_eq!(i, f);
+        assert_eq!(hash_of(&i), hash_of(&f));
     }
 
     #[test]

@@ -221,12 +221,7 @@ mod tests {
         for &first in FIRSTS {
             let s = build_pair(first, PairSmo::AddColumn, 40);
             let cols = s.db.columns_of("V2", "R").expect(s.label.as_str());
-            assert_eq!(
-                cols,
-                vec!["a", "b", "c"],
-                "{}: V2.R columns",
-                s.label
-            );
+            assert_eq!(cols, vec!["a", "b", "c"], "{}: V2.R columns", s.label);
             let count = s.db.count("V2", "R").unwrap();
             assert!(count > 0, "{}: empty V2.R", s.label);
         }

@@ -183,9 +183,7 @@ impl HandwrittenTasky {
         match layout {
             Layout::Initial => {
                 storage
-                    .create_table(
-                        TableSchema::new("task", ["author", "task", "prio"]).unwrap(),
-                    )
+                    .create_table(TableSchema::new("task", ["author", "task", "prio"]).unwrap())
                     .unwrap();
             }
             Layout::Evolved => {
@@ -218,7 +216,11 @@ impl HandwrittenTasky {
                     batch.insert(
                         "task2",
                         key,
-                        vec![row[1].clone(), row[2].clone(), Value::Int(author_id.0 as i64)],
+                        vec![
+                            row[1].clone(),
+                            row[2].clone(),
+                            Value::Int(author_id.0 as i64),
+                        ],
                     );
                 }
             }
@@ -238,9 +240,7 @@ impl HandwrittenTasky {
         let existing = self
             .storage
             .with_table("author2", |rel| {
-                rel.iter()
-                    .find(|(_, row)| row[0] == name)
-                    .map(|(k, _)| k)
+                rel.iter().find(|(_, row)| row[0] == name).map(|(k, _)| k)
             })
             .unwrap();
         match existing {
@@ -327,7 +327,11 @@ impl HandwrittenTasky {
                 batch.insert(
                     "task2",
                     key,
-                    vec![row[1].clone(), row[2].clone(), Value::Int(author_id.0 as i64)],
+                    vec![
+                        row[1].clone(),
+                        row[2].clone(),
+                        Value::Int(author_id.0 as i64),
+                    ],
                 );
             }
         }

@@ -36,8 +36,22 @@ fn main() {
         }
         let new_ops = (ops as f64 * share).round() as usize;
         let t = Instant::now();
-        run_mix(&db, "TasKy", Mix::STANDARD, ops - new_ops, &mut keys_old, &mut rng);
-        run_mix(&db, "TasKy2", Mix::STANDARD, new_ops, &mut keys_new, &mut rng);
+        run_mix(
+            &db,
+            "TasKy",
+            Mix::STANDARD,
+            ops - new_ops,
+            &mut keys_old,
+            &mut rng,
+        );
+        run_mix(
+            &db,
+            "TasKy2",
+            Mix::STANDARD,
+            new_ops,
+            &mut keys_new,
+            &mut rng,
+        );
         println!(
             "{slice:>5} | {share:>12.2} | {:>15.1} | {}",
             t.elapsed().as_secs_f64() * 1e3,

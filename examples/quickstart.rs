@@ -18,18 +18,33 @@ fn main() {
     .unwrap();
 
     // Both versions are immediately writable. Two people share one address:
-    db.insert("V1", "person", vec!["Ann".into(), "Dresden".into(), 1069.into()])
-        .unwrap();
-    db.insert("V1", "person", vec!["Ben".into(), "Dresden".into(), 1069.into()])
-        .unwrap();
-    db.insert("V1", "person", vec!["Eve".into(), "Bonn".into(), 53111.into()])
-        .unwrap();
+    db.insert(
+        "V1",
+        "person",
+        vec!["Ann".into(), "Dresden".into(), 1069.into()],
+    )
+    .unwrap();
+    db.insert(
+        "V1",
+        "person",
+        vec!["Ben".into(), "Dresden".into(), 1069.into()],
+    )
+    .unwrap();
+    db.insert(
+        "V1",
+        "person",
+        vec!["Eve".into(), "Bonn".into(), 53111.into()],
+    )
+    .unwrap();
 
     println!("V1.person:\n{}", db.scan("V1", "person").unwrap());
     println!("V2.person:\n{}", db.scan("V2", "person").unwrap());
     // The decomposition deduplicated the addresses:
     let addresses = db.scan("V2", "address").unwrap();
-    println!("V2.address ({} rows — Dresden deduplicated):\n{addresses}", addresses.len());
+    println!(
+        "V2.address ({} rows — Dresden deduplicated):\n{addresses}",
+        addresses.len()
+    );
 
     // Writes through the *new* version appear in the old one:
     let dresden_id = addresses
@@ -40,7 +55,10 @@ fn main() {
     let k = db
         .insert("V2", "person", vec!["Zoe".into(), Value::Int(dresden_id)])
         .unwrap();
-    println!("after inserting Zoe via V2, V1 sees: {:?}", db.get("V1", "person", k).unwrap());
+    println!(
+        "after inserting Zoe via V2, V1 sees: {:?}",
+        db.get("V1", "person", k).unwrap()
+    );
 
     // The DBA relocates the physical data with one line — nothing visible
     // changes for either application:

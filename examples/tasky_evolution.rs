@@ -25,8 +25,14 @@ fn main() {
 
     println!("== The three schema versions of Figure 1 ==");
     println!("TasKy.Task:\n{}", db.scan("TasKy", "Task").unwrap());
-    println!("Do!.Todo (only prio-1 tasks, no prio column):\n{}", db.scan("Do!", "Todo").unwrap());
-    println!("TasKy2.Task (normalized):\n{}", db.scan("TasKy2", "Task").unwrap());
+    println!(
+        "Do!.Todo (only prio-1 tasks, no prio column):\n{}",
+        db.scan("Do!", "Todo").unwrap()
+    );
+    println!(
+        "TasKy2.Task (normalized):\n{}",
+        db.scan("TasKy2", "Task").unwrap()
+    );
     println!("TasKy2.Author:\n{}", db.scan("TasKy2", "Author").unwrap());
 
     // "When a new entry is inserted in Todo, this will automatically insert
@@ -34,7 +40,10 @@ fn main() {
     let k = db
         .insert("Do!", "Todo", vec!["Eve".into(), "Review paper".into()])
         .unwrap();
-    println!("inserted via Do!: TasKy sees {:?}", db.get("TasKy", "Task", k).unwrap().unwrap());
+    println!(
+        "inserted via Do!: TasKy sees {:?}",
+        db.get("TasKy", "Task", k).unwrap().unwrap()
+    );
     println!(
         "TasKy2.Author gained Eve: {} authors",
         db.count("TasKy2", "Author").unwrap()

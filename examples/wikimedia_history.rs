@@ -7,7 +7,10 @@
 use inverda::workloads::wikimedia;
 
 fn main() {
-    println!("installing {} schema versions (211 SMOs)…", wikimedia::VERSIONS);
+    println!(
+        "installing {} schema versions (211 SMOs)…",
+        wikimedia::VERSIONS
+    );
     let t = std::time::Instant::now();
     let db = wikimedia::install();
     println!("installed in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
@@ -31,7 +34,11 @@ fn main() {
         let name = wikimedia::version_name(v);
         let pages = db.count(&name, "page").unwrap();
         let cols = db.columns_of(&name, "page").unwrap();
-        println!("{name}: page has {pages} rows and {} columns: {:?}", cols.len(), cols);
+        println!(
+            "{name}: page has {pages} rows and {} columns: {:?}",
+            cols.len(),
+            cols
+        );
     }
 
     // Write through the oldest version; read through the newest.

@@ -25,7 +25,8 @@ fn full_snapshot(db: &Inverda) -> String {
 fn tasky_lifecycle_across_all_five_materializations() {
     let db = tasky_db_with_data(60);
     // Write through every version first.
-    db.insert("Do!", "Todo", vec!["Eve".into(), "todo".into()]).unwrap();
+    db.insert("Do!", "Todo", vec!["Eve".into(), "todo".into()])
+        .unwrap();
     let author = db.scan("TasKy2", "Author").unwrap().keys().next().unwrap();
     db.insert(
         "TasKy2",
@@ -57,8 +58,14 @@ fn writes_after_each_migration_reach_every_version() {
                 ],
             )
             .unwrap();
-        assert!(db.scan("Do!", "Todo").unwrap().contains_key(k), "at {target}");
-        assert!(db.scan("TasKy2", "Task").unwrap().contains_key(k), "at {target}");
+        assert!(
+            db.scan("Do!", "Todo").unwrap().contains_key(k),
+            "at {target}"
+        );
+        assert!(
+            db.scan("TasKy2", "Task").unwrap().contains_key(k),
+            "at {target}"
+        );
         db.delete("TasKy2", "Task", k).unwrap();
         assert!(db.get("TasKy", "Task", k).unwrap().is_none(), "at {target}");
     }
@@ -84,7 +91,8 @@ fn sql_delta_code_generates_for_live_catalogs() {
     for script in [tasky::SCRIPT_TASKY, tasky::SCRIPT_DO, tasky::SCRIPT_TASKY2] {
         for stmt in parse_script(script).unwrap().statements {
             if let Statement::CreateSchemaVersion { name, from, smos } = stmt {
-                g.create_schema_version(&name, from.as_deref(), &smos).unwrap();
+                g.create_schema_version(&name, from.as_deref(), &smos)
+                    .unwrap();
             }
         }
     }
@@ -184,12 +192,12 @@ fn concurrent_readers_see_consistent_states() {
 }
 
 #[test]
-fn crossbeam_scoped_writers_on_disjoint_versions() {
+fn scoped_writers_on_disjoint_versions() {
     // Writers on different versions serialize through the engine and all
     // writes land exactly once.
     let db = tasky_db_with_data(10);
-    crossbeam::scope(|s| {
-        s.spawn(|_| {
+    std::thread::scope(|s| {
+        s.spawn(|| {
             for i in 0..10 {
                 db.insert(
                     "TasKy",
@@ -203,7 +211,7 @@ fn crossbeam_scoped_writers_on_disjoint_versions() {
                 .unwrap();
             }
         });
-        s.spawn(|_| {
+        s.spawn(|| {
             for i in 0..10 {
                 db.insert(
                     "Do!",
@@ -213,8 +221,7 @@ fn crossbeam_scoped_writers_on_disjoint_versions() {
                 .unwrap();
             }
         });
-    })
-    .unwrap();
+    });
     assert_eq!(db.count("TasKy", "Task").unwrap(), 30);
     assert_eq!(db.count("Do!", "Todo").unwrap(), 10 + 10 + 4); // prio-1 seeds
 }

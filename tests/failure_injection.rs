@@ -52,7 +52,9 @@ fn invalid_scripts_leave_catalog_unchanged() {
         .execute("CREATE SCHEMA VERSION Z FROM TasKy WITH ADD COLUMN prio AS 0 INTO Task;")
         .is_err());
     // Parse error.
-    assert!(db.execute("CREATE SCHEMA VERSION W WITH FROB TABLE x;").is_err());
+    assert!(db
+        .execute("CREATE SCHEMA VERSION W WITH FROB TABLE x;")
+        .is_err());
     assert_eq!(db.versions(), versions_before);
 }
 
@@ -139,7 +141,10 @@ fn condition_violating_writes_are_preserved_by_star_aux() {
     let k = db.insert("V2", "R", vec![2.into(), 0.into()]).unwrap();
     // Update the R row so it violates R's condition.
     db.update("V2", "R", k, vec![9.into(), 0.into()]).unwrap();
-    assert!(db.get("V2", "R", k).unwrap().is_some(), "R* keeps the row in R");
+    assert!(
+        db.get("V2", "R", k).unwrap().is_some(),
+        "R* keeps the row in R"
+    );
     assert_eq!(db.get("V1", "T", k).unwrap().unwrap()[0], Value::Int(9));
     for mat in ["V2", "V1"] {
         db.execute(&format!("MATERIALIZE '{mat}';")).unwrap();
