@@ -9,7 +9,7 @@
 //! (median-of reps, default 5).
 
 use inverda_bench::{banner, env_usize, median_time};
-use inverda_core::WritePath;
+use inverda_core::{LogicalWrite, WritePath};
 use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
 use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, Evaluator, MapEdb};
 use inverda_datalog::{naive, SkolemRegistry};
@@ -123,10 +123,19 @@ fn bench_key_seeded(rows: usize, reps: usize) -> (f64, f64) {
 }
 
 /// End-to-end TasKy round: load `tasks` rows, then push `writes` logical
-/// writes through the Do! and TasKy2 versions (two/three SMO hops each).
-fn bench_tasky_round(tasks: usize, writes: usize, path: WritePath) -> (f64, f64) {
+/// writes through the Do! version (two SMO hops each). `snapshot_reuse`
+/// toggles the cross-statement snapshot store: disabled, every statement
+/// re-resolves virtual relations from scratch (the pre-store behavior and
+/// the PR-1 baseline); enabled, reads reuse delta-maintained snapshots.
+fn bench_tasky_round(
+    tasks: usize,
+    writes: usize,
+    path: WritePath,
+    snapshot_reuse: bool,
+) -> (f64, f64) {
     let db = tasky::build();
     db.set_write_path(path);
+    db.set_snapshot_reuse(snapshot_reuse);
     let load = median_time(1, || tasky::load_tasks(&db, tasks));
     let round = median_time(1, || {
         let mut keys = Vec::new();
@@ -163,6 +172,58 @@ fn bench_tasky_round(tasks: usize, writes: usize, path: WritePath) -> (f64, f64)
     (ms(load), ms(round))
 }
 
+/// The same insert/update/delete shape as [`bench_tasky_round`]'s write
+/// round, submitted as mixed [`LogicalWrite`] batches through `apply_many`
+/// (one propagation round per batch of 10) — batching amortization on top
+/// of the warm snapshot path. Returns `(elapsed_ms, ops_executed)`: updates
+/// reference keys from a *previous* batch, so the first batch contributes
+/// no updates and the op count differs slightly from the sequential round.
+fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize) {
+    let db = tasky::build();
+    db.set_write_path(WritePath::Delta);
+    tasky::load_tasks(&db, tasks);
+    let mut ops = 0usize;
+    let round = median_time(1, || {
+        let mut keys = Vec::new();
+        let mut pending: Vec<LogicalWrite> = Vec::new();
+        ops = 0;
+        for i in 0..writes {
+            if i % 2 == 0 {
+                pending.push(LogicalWrite::Insert(vec![
+                    Value::text(format!("author{:03}", i % 200)),
+                    Value::text(format!("batched todo {i}")),
+                ]));
+            } else if let Some(k) = keys.last().copied() {
+                pending.push(LogicalWrite::Update(
+                    k,
+                    vec![
+                        Value::text(format!("author{:03}", i % 200)),
+                        Value::text(format!("edited {i}")),
+                    ],
+                ));
+            }
+            if pending.len() == 10 {
+                ops += pending.len();
+                let out = db
+                    .apply_many("Do!", "Todo", std::mem::take(&mut pending))
+                    .unwrap();
+                keys.extend(out.into_iter().flatten());
+            }
+        }
+        if !pending.is_empty() {
+            ops += pending.len();
+            let out = db.apply_many("Do!", "Todo", pending).unwrap();
+            keys.extend(out.into_iter().flatten());
+        }
+        ops += keys.len();
+        let deletes: Vec<LogicalWrite> = keys.into_iter().map(LogicalWrite::Delete).collect();
+        for chunk in deletes.chunks(10) {
+            db.apply_many("Do!", "Todo", chunk.to_vec()).unwrap();
+        }
+    });
+    (ms(round), ops)
+}
+
 fn main() {
     banner(
         "Evaluator hot path: compiled vs naive",
@@ -188,14 +249,21 @@ fn main() {
     println!("   speedup:  {key_speedup:10.1}x");
 
     println!("-- TasKy write-propagation round ({tasks} tasks, {writes} writes)");
-    let (load_delta, round_delta) = bench_tasky_round(tasks, writes, WritePath::Delta);
-    let (_, round_recompute) = bench_tasky_round(tasks, writes, WritePath::Recompute);
+    let (load_delta, round_cold) = bench_tasky_round(tasks, writes, WritePath::Delta, false);
+    let (_, round_recompute) = bench_tasky_round(tasks, writes, WritePath::Recompute, false);
+    let (_, round_warm) = bench_tasky_round(tasks, writes, WritePath::Delta, true);
+    let (batched_warm, batched_ops) = bench_tasky_round_batched(tasks, writes);
     // insert/update pairs plus the cleanup deletes.
     let ops = writes + writes / 2;
-    let delta_wps = ops as f64 / (round_delta / 1e3);
+    let cold_wps = ops as f64 / (round_cold / 1e3);
+    let warm_wps = ops as f64 / (round_warm / 1e3);
+    let batched_wps = batched_ops as f64 / (batched_warm / 1e3);
+    let warm_speedup = round_cold / round_warm.max(f64::EPSILON);
     println!("   bulk load (delta path):    {load_delta:10.2} ms");
-    println!("   round via delta rules:     {round_delta:10.2} ms ({delta_wps:.0} writes/s)");
+    println!("   round, cold resolution:    {round_cold:10.2} ms ({cold_wps:.0} writes/s)");
     println!("   round via recompute:       {round_recompute:10.2} ms");
+    println!("   round, warm snapshots:     {round_warm:10.2} ms ({warm_wps:.0} writes/s, {warm_speedup:.1}x)");
+    println!("   round, warm + apply_many:  {batched_warm:10.2} ms ({batched_wps:.0} writes/s)");
 
     let json = format!(
         r#"{{
@@ -214,9 +282,16 @@ fn main() {
   }},
   "tasky_write_round": {{
     "bulk_load_ms": {load_delta:.3},
-    "delta_path_ms": {round_delta:.3},
+    "delta_path_ms": {round_cold:.3},
     "recompute_path_ms": {round_recompute:.3},
-    "delta_writes_per_s": {delta_wps:.0}
+    "delta_writes_per_s": {cold_wps:.0}
+  }},
+  "tasky_write_round_warm": {{
+    "delta_path_ms": {round_warm:.3},
+    "delta_writes_per_s": {warm_wps:.0},
+    "speedup_over_cold": {warm_speedup:.2},
+    "apply_many_ms": {batched_warm:.3},
+    "apply_many_writes_per_s": {batched_wps:.0}
   }}
 }}
 "#

@@ -2,6 +2,7 @@
 
 use crate::compiled::CompiledStore;
 use crate::edb::VersionedEdb;
+use crate::snapshot::{SnapshotStats, SnapshotStore};
 use crate::Result;
 use inverda_bidel::{parse_script, Smo, Statement};
 use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase};
@@ -9,6 +10,7 @@ use inverda_datalog::eval::IdSource;
 use inverda_datalog::SkolemRegistry;
 use inverda_storage::{Key, Relation, Row, Storage, TableSchema, Value};
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// How logical writes are propagated to physical storage.
@@ -75,6 +77,11 @@ pub struct Inverda {
     /// Compiled SMO rule sets, reused across statements and invalidated on
     /// genealogy changes.
     pub(crate) compiled: CompiledStore,
+    /// Cross-statement resolved-relation snapshots, delta-maintained by the
+    /// write path and invalidated by physical-table epochs.
+    pub(crate) snapshots: SnapshotStore,
+    /// Whether reads/writes use the snapshot store (ablation control).
+    snapshot_reuse: AtomicBool,
 }
 
 impl Default for Inverda {
@@ -92,6 +99,31 @@ impl Inverda {
         }
     }
 
+    /// The snapshot store, when reuse is enabled.
+    pub(crate) fn snapshot_store(&self) -> Option<&SnapshotStore> {
+        if self.snapshot_reuse.load(Ordering::Relaxed) {
+            Some(&self.snapshots)
+        } else {
+            None
+        }
+    }
+
+    /// A versioned read view over the current catalog state, bound to the
+    /// snapshot store when reuse is enabled.
+    pub(crate) fn edb<'a>(&'a self, state: &'a State, ids: &'a IdMinter<'a>) -> VersionedEdb<'a> {
+        let edb = VersionedEdb::new(
+            &state.genealogy,
+            &state.materialization,
+            &self.storage,
+            ids,
+            &self.compiled,
+        );
+        match self.snapshot_store() {
+            Some(store) => edb.with_store(store),
+            None => edb,
+        }
+    }
+
     /// Fresh, empty database.
     pub fn new() -> Self {
         Inverda {
@@ -104,6 +136,8 @@ impl Inverda {
             ids: SharedIds(Mutex::new(SkolemRegistry::new())),
             write_lock: Mutex::new(()),
             compiled: CompiledStore::new(),
+            snapshots: SnapshotStore::new(),
+            snapshot_reuse: AtomicBool::new(true),
         }
     }
 
@@ -144,8 +178,10 @@ impl Inverda {
         let mut state = self.state.write();
         let outcome = state.genealogy.create_schema_version(name, from, smos)?;
         // The genealogy changed: retire compiled rule sets of retired SMOs
-        // (ids are never reused, but keep the cache tight).
+        // (ids are never reused, but keep the cache tight), and drop every
+        // resolved snapshot — defining rule sets and footprints may differ.
         self.compiled.clear();
+        self.snapshots.clear();
         // Physical side effects: data tables for CREATE TABLE targets,
         // auxiliary tables for the initially-virtualized new SMOs.
         for smo_id in &outcome.new_smos {
@@ -180,6 +216,7 @@ impl Inverda {
         let mut state = self.state.write();
         let orphans = state.genealogy.drop_schema_version(name)?;
         self.compiled.clear();
+        self.snapshots.clear();
         for tv in orphans {
             // Orphans may or may not be physical depending on M.
             let rel = {
@@ -231,13 +268,7 @@ impl Inverda {
         let tv = state.genealogy.resolve(version, table)?;
         let rel = state.genealogy.table_version(tv).rel.clone();
         let ids = self.id_source();
-        let edb = VersionedEdb::new(
-            &state.genealogy,
-            &state.materialization,
-            &self.storage,
-            &ids,
-            &self.compiled,
-        );
+        let edb = self.edb(&state, &ids);
         use inverda_datalog::eval::EdbView;
         Ok(edb.full(&rel)?)
     }
@@ -248,13 +279,7 @@ impl Inverda {
         let tv = state.genealogy.resolve(version, table)?;
         let rel = state.genealogy.table_version(tv).rel.clone();
         let ids = self.id_source();
-        let edb = VersionedEdb::new(
-            &state.genealogy,
-            &state.materialization,
-            &self.storage,
-            &ids,
-            &self.compiled,
-        );
+        let edb = self.edb(&state, &ids);
         use inverda_datalog::eval::EdbView;
         Ok(edb.by_key(&rel, key)?)
     }
@@ -272,6 +297,27 @@ impl Inverda {
     /// The current write path.
     pub fn write_path(&self) -> WritePath {
         self.state.read().write_path
+    }
+
+    /// Enable or disable cross-statement snapshot reuse (ablation control:
+    /// disabled, every statement re-resolves virtual relations from scratch,
+    /// the pre-snapshot-store behavior). Disabling drops all cached state so
+    /// re-enabling starts cold.
+    pub fn set_snapshot_reuse(&self, enabled: bool) {
+        self.snapshot_reuse.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.snapshots.clear();
+        }
+    }
+
+    /// Whether cross-statement snapshot reuse is enabled.
+    pub fn snapshot_reuse(&self) -> bool {
+        self.snapshot_reuse.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot-store hit/miss/maintenance counters (diagnostics).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshots.stats()
     }
 
     /// Display form of the current materialization schema.
@@ -295,6 +341,52 @@ impl Inverda {
                 (name, rows)
             })
             .collect()
+    }
+
+    /// Debug dump of the skolem registry (diagnostics).
+    pub fn debug_registry(&self) -> String {
+        self.ids.0.lock().dump()
+    }
+
+    /// Audit the snapshot store: re-resolve every valid virtual entry cold
+    /// (against a throwaway copy of the skolem registry) and report any
+    /// whose stored contents differ (diagnostics).
+    pub fn snapshot_store_audit(&self) -> Vec<String> {
+        use inverda_datalog::eval::EdbView;
+        let state = self.state.read();
+        let reg = std::cell::RefCell::new(self.ids.0.lock().clone());
+        let edb = VersionedEdb::new(
+            &state.genealogy,
+            &state.materialization,
+            &self.storage,
+            &reg,
+            &self.compiled,
+        );
+        let mut out = Vec::new();
+        for (name, stored) in self.snapshots.entry_names(&self.storage) {
+            match edb.full(&name) {
+                Ok(cold) => {
+                    if *cold != *stored {
+                        out.push(format!("{name}: stored:\n{stored}cold:\n{cold}"));
+                    }
+                }
+                Err(e) => out.push(format!("{name}: cold resolve error {e:?}")),
+            }
+        }
+        out
+    }
+
+    /// Current value of the global key sequence (diagnostics).
+    pub fn debug_key_seq(&self) -> u64 {
+        self.storage.sequences().current_key()
+    }
+
+    /// Display form of one physical table's contents (diagnostics).
+    pub fn debug_physical(&self, table: &str) -> String {
+        self.storage
+            .snapshot(table)
+            .map(|rel| rel.to_string())
+            .unwrap_or_else(|e| format!("<{e}>"))
     }
 
     /// The physical table schema `P` as user-visible names.

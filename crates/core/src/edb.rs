@@ -12,29 +12,41 @@
 //! predicate into a view.
 //!
 //! Mappings are evaluated in their **compiled** form, served by the
-//! database-wide [`CompiledStore`]; resolved relations, per-key rows, and
-//! secondary join indexes are all cached for the lifetime of the view (one
-//! statement / one propagation step).
+//! database-wide [`CompiledStore`]. Resolved relations, per-key rows, and
+//! secondary join indexes are cached for the lifetime of the view (one
+//! statement / one propagation step) — and, when the view is bound to the
+//! database's [`SnapshotStore`], resolved snapshots outlive the statement:
+//! a warm read reuses the stored `Arc<Relation>` (and its indexes) as long
+//! as every physical table in the relation's static resolution footprint
+//! still shows the storage epoch stamped at resolution time. Cold
+//! resolutions stamp their footprint *before* evaluating, so a snapshot
+//! raced by a concurrent write can never be served (its stamp is already
+//! behind the table's epoch).
 
 use crate::compiled::{CompiledStore, Direction};
+use crate::snapshot::SnapshotStore;
 use crate::Result;
 use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase, TableVersionId};
 use inverda_datalog::eval::{evaluate_compiled, EdbView, Evaluator, IdSource};
-use inverda_datalog::{CompiledRuleSet, DatalogError, RuleSet};
+use inverda_datalog::{CompiledRuleSet, DatalogError, Literal, RuleSet};
 use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row, Storage};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Read view over the whole versioned database under one materialization
 /// schema. Caches resolved relations, key lookups, and join indexes for the
-/// lifetime of the view (one statement / one propagation step).
+/// lifetime of the view (one statement / one propagation step); bound to a
+/// [`SnapshotStore`], it additionally reuses and replenishes cross-statement
+/// snapshots.
 pub struct VersionedEdb<'a> {
     genealogy: &'a Genealogy,
     materialization: &'a MaterializationSchema,
     storage: &'a Storage,
     ids: &'a dyn IdSource,
     compiled: &'a CompiledStore,
+    /// Cross-statement snapshot store, when reuse is enabled.
+    snapshots: Option<&'a SnapshotStore>,
     /// rel name → table version (for virtual resolution).
     rel_index: BTreeMap<String, TableVersionId>,
     /// aux rel name → (owning SMO, lives on target side). A non-physical
@@ -44,6 +56,9 @@ pub struct VersionedEdb<'a> {
     /// rel name → column names (for derived relation schemas).
     head_columns: BTreeMap<String, Vec<String>>,
     cache: RefCell<BTreeMap<String, Arc<Relation>>>,
+    /// Physical table → epoch of the snapshot this statement reads (first
+    /// access wins, so footprint stamps agree with the data actually read).
+    seen_epochs: RefCell<HashMap<String, u64>>,
     /// Two-level `rel → key → row` cache: lookups are by `&str`, so the hot
     /// path allocates nothing.
     key_cache: RefCell<HashMap<String, HashMap<Key, Option<Row>>>>,
@@ -88,13 +103,22 @@ impl<'a> VersionedEdb<'a> {
             storage,
             ids,
             compiled,
+            snapshots: None,
             rel_index,
             aux_index,
             head_columns,
             cache: RefCell::new(BTreeMap::new()),
+            seen_epochs: RefCell::new(HashMap::new()),
             key_cache: RefCell::new(HashMap::new()),
             index_cache: IndexCache::new(),
         }
+    }
+
+    /// Bind the view to a cross-statement snapshot store: warm reads are
+    /// served from (and cold resolutions recorded into) the store.
+    pub fn with_store(mut self, store: &'a SnapshotStore) -> Self {
+        self.snapshots = Some(store);
+        self
     }
 
     /// Column-name map for derived heads (shared with the delta engine).
@@ -120,6 +144,92 @@ impl<'a> VersionedEdb<'a> {
         }
     }
 
+    /// The rule set whose evaluation materializes `relation` (a virtual
+    /// table version or a virtual aux table), if any.
+    fn resolving_rules(&self, relation: &str) -> Option<&'a RuleSet> {
+        if let Some(tv) = self.rel_index.get(relation) {
+            return self.defining_rules(*tv).map(|(_, _, rules)| rules);
+        }
+        if let Some((smo, tgt_side)) = self.aux_index.get(relation).copied() {
+            let inst = self.genealogy.smo(smo);
+            return Some(if tgt_side {
+                &inst.derived.to_tgt
+            } else {
+                &inst.derived.to_src
+            });
+        }
+        None
+    }
+
+    /// The set of physical tables `relation`'s resolution can possibly read:
+    /// the body relations of its defining rule set, expanded recursively
+    /// through virtual relations down to storage. Computed over the rule
+    /// *structure* (not the data), so it over-approximates any concrete
+    /// evaluation's read set and is stable while the catalog is — exactly
+    /// what the snapshot store needs for sound epoch invalidation.
+    pub fn static_footprint(&self, relation: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut visited = BTreeSet::new();
+        self.collect_footprint(relation, &mut out, &mut visited);
+        out
+    }
+
+    fn collect_footprint(
+        &self,
+        relation: &str,
+        out: &mut BTreeSet<String>,
+        visited: &mut BTreeSet<String>,
+    ) {
+        if !visited.insert(relation.to_string()) {
+            return;
+        }
+        if self.storage.has_table(relation) {
+            out.insert(relation.to_string());
+            return;
+        }
+        let Some(rules) = self.resolving_rules(relation) else {
+            return;
+        };
+        // Heads of the same set (the `old`/`new` staging intermediates) are
+        // derived in place — their inputs are this set's other body atoms.
+        let heads: BTreeSet<&str> = rules
+            .rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect();
+        for rule in &rules.rules {
+            for lit in &rule.body {
+                if let Literal::Pos(atom) | Literal::Neg(atom) = lit {
+                    if heads.contains(atom.relation.as_str()) {
+                        continue;
+                    }
+                    self.collect_footprint(&atom.relation, out, visited);
+                }
+            }
+        }
+    }
+
+    /// Footprint of `relation` stamped with the epochs this statement's
+    /// snapshots correspond to: the first-read epoch where the table was
+    /// already read, the current epoch otherwise. Stamps are taken *before*
+    /// resolution, so a write racing the resolution leaves the stamp behind
+    /// the restamped epoch and the entry is simply never served.
+    fn stamped_footprint(&self, relation: &str) -> BTreeMap<String, u64> {
+        let store = self.snapshots.expect("stamping requires a store");
+        let footprint = store.footprint_of(relation, || self.static_footprint(relation));
+        let seen = self.seen_epochs.borrow();
+        footprint
+            .iter()
+            .map(|table| {
+                let epoch = seen
+                    .get(table)
+                    .copied()
+                    .unwrap_or_else(|| self.storage.epoch_of(table));
+                (table.clone(), epoch)
+            })
+            .collect()
+    }
+
     /// Compiled form of an SMO's rule set, via the database-wide store.
     fn compiled_rules(
         &self,
@@ -130,7 +240,12 @@ impl<'a> VersionedEdb<'a> {
         self.compiled.get_or_compile(smo, direction, rules)
     }
 
-    fn resolve_with(&self, relation: &str, crs: &CompiledRuleSet) -> Result<Arc<Relation>> {
+    fn resolve_with(
+        &self,
+        relation: &str,
+        crs: &CompiledRuleSet,
+        stamp: Option<&BTreeMap<String, u64>>,
+    ) -> Result<Arc<Relation>> {
         let out = evaluate_compiled(crs, self, self.ids, &self.head_columns)
             .map_err(crate::CoreError::from)?;
         let mut cache = self.cache.borrow_mut();
@@ -148,6 +263,11 @@ impl<'a> VersionedEdb<'a> {
                 if head == relation {
                     requested = Some(Arc::clone(&shared));
                 }
+                // Every sibling head is defined by this same rule set, so
+                // the requested relation's stamped footprint covers them.
+                if let (Some(store), Some(stamp)) = (self.snapshots, stamp) {
+                    store.store_entry(&head, Arc::clone(&shared), stamp.clone());
+                }
                 cache.insert(head, shared);
             }
         }
@@ -162,6 +282,9 @@ impl<'a> VersionedEdb<'a> {
                     inverda_storage::TableSchema::new(relation.to_string(), columns)
                         .expect("valid aux schema"),
                 ));
+                if let (Some(store), Some(stamp)) = (self.snapshots, stamp) {
+                    store.store_entry(relation, Arc::clone(&empty), stamp.clone());
+                }
                 cache.insert(relation.to_string(), Arc::clone(&empty));
                 Ok(empty)
             }
@@ -171,14 +294,19 @@ impl<'a> VersionedEdb<'a> {
         }
     }
 
-    fn resolve_virtual(&self, relation: &str, tv: TableVersionId) -> Result<Arc<Relation>> {
+    fn resolve_virtual(
+        &self,
+        relation: &str,
+        tv: TableVersionId,
+        stamp: Option<&BTreeMap<String, u64>>,
+    ) -> Result<Arc<Relation>> {
         let (smo, direction, rules) = self
             .defining_rules(tv)
             .expect("virtual table version must have defining rules");
         let crs = self
             .compiled_rules(smo, direction, rules)
             .map_err(crate::CoreError::from)?;
-        self.resolve_with(relation, &crs)
+        self.resolve_with(relation, &crs, stamp)
     }
 
     /// Resolve a non-physical aux table: it is part of its side's derived
@@ -188,6 +316,7 @@ impl<'a> VersionedEdb<'a> {
         relation: &str,
         smo: inverda_catalog::SmoId,
         tgt_side: bool,
+        stamp: Option<&BTreeMap<String, u64>>,
     ) -> Result<Arc<Relation>> {
         let inst = self.genealogy.smo(smo);
         let (direction, rules) = if tgt_side {
@@ -198,7 +327,24 @@ impl<'a> VersionedEdb<'a> {
         let crs = self
             .compiled_rules(smo, direction, rules)
             .map_err(crate::CoreError::from)?;
-        self.resolve_with(relation, &crs)
+        self.resolve_with(relation, &crs, stamp)
+    }
+
+    /// Serve a physical table: O(1) shared snapshot, with the epoch recorded
+    /// for later footprint stamping.
+    fn physical_full(&self, relation: &str) -> inverda_datalog::Result<Arc<Relation>> {
+        let (shared, epoch) = self
+            .storage
+            .snapshot_with_epoch(relation)
+            .map_err(DatalogError::Storage)?;
+        self.seen_epochs
+            .borrow_mut()
+            .entry(relation.to_string())
+            .or_insert(epoch);
+        self.cache
+            .borrow_mut()
+            .insert(relation.to_string(), Arc::clone(&shared));
+        Ok(shared)
     }
 }
 
@@ -209,21 +355,24 @@ impl EdbView for VersionedEdb<'_> {
         }
         // Physical tables (data tables in P, aux tables, shared aux).
         if self.storage.has_table(relation) {
-            let rel = self
-                .storage
-                .snapshot(relation)
-                .map_err(DatalogError::Storage)?;
-            let shared = Arc::new(rel);
-            self.cache
-                .borrow_mut()
-                .insert(relation.to_string(), Arc::clone(&shared));
-            return Ok(shared);
+            return self.physical_full(relation);
         }
-        // Virtual table versions and virtual aux tables.
+        // Warm path: a stored snapshot whose footprint is at its stamped
+        // epochs is byte-identical to what cold resolution would produce.
+        if let Some(store) = self.snapshots {
+            if let Some(hit) = store.get(relation, self.storage) {
+                self.cache
+                    .borrow_mut()
+                    .insert(relation.to_string(), Arc::clone(&hit));
+                return Ok(hit);
+            }
+        }
+        // Cold path: stamp the footprint, then resolve.
+        let stamp = self.snapshots.map(|_| self.stamped_footprint(relation));
         let resolved = if let Some(tv) = self.rel_index.get(relation).copied() {
-            self.resolve_virtual(relation, tv)
+            self.resolve_virtual(relation, tv, stamp.as_ref())
         } else if let Some((smo, tgt_side)) = self.aux_index.get(relation).copied() {
-            self.resolve_virtual_aux(relation, smo, tgt_side)
+            self.resolve_virtual_aux(relation, smo, tgt_side, stamp.as_ref())
         } else {
             return Err(DatalogError::UnboundRelation {
                 relation: relation.to_string(),
@@ -249,12 +398,18 @@ impl EdbView for VersionedEdb<'_> {
         {
             return Ok(hit.clone());
         }
+        // Physical snapshots are O(1) now — take the full path so the epoch
+        // is recorded and later lookups hit the statement cache.
         if self.storage.has_table(relation) {
-            let row = self
-                .storage
-                .with_table(relation, |rel| rel.get(key).cloned())
-                .map_err(DatalogError::Storage)?;
-            return Ok(row);
+            return Ok(self.physical_full(relation)?.get(key).cloned());
+        }
+        // Warm path: serve the point lookup from a valid stored snapshot.
+        if let Some(store) = self.snapshots {
+            if let Some(hit) = store.get(relation, self.storage) {
+                let row = hit.get(key).cloned();
+                self.cache.borrow_mut().insert(relation.to_string(), hit);
+                return Ok(row);
+            }
         }
         let Some(tv) = self.rel_index.get(relation).copied() else {
             // Virtual aux tables resolve through their full state.
@@ -293,8 +448,41 @@ impl EdbView for VersionedEdb<'_> {
     }
 
     fn index(&self, relation: &str, column: usize) -> inverda_datalog::Result<Arc<ColumnIndex>> {
-        self.index_cache.get_or_build(relation, column, || {
-            Ok(self.full(relation)?.build_column_index(column))
-        })
+        if let Some(hit) = self.index_cache.get(relation, column) {
+            return Ok(hit);
+        }
+        // Pin the statement's snapshot of the relation *first*: warm index
+        // reuse and attachment are both guarded against exactly this
+        // snapshot (pointer identity for virtual relations, the observed
+        // epoch for physical tables), so an index can never describe a
+        // different snapshot generation than the data this statement joins
+        // over — even with a writer patching the store concurrently.
+        let rel = self.full(relation)?;
+        if let Some(store) = self.snapshots {
+            let hit = if self.storage.has_table(relation) {
+                self.seen_epochs
+                    .borrow()
+                    .get(relation)
+                    .and_then(|epoch| store.get_index_physical(relation, column, *epoch))
+            } else {
+                store.get_index_virtual(relation, column, &rel)
+            };
+            if let Some(hit) = hit {
+                self.index_cache.put(relation, column, Arc::clone(&hit));
+                return Ok(hit);
+            }
+        }
+        let built = Arc::new(rel.build_column_index(column));
+        self.index_cache.put(relation, column, Arc::clone(&built));
+        if let Some(store) = self.snapshots {
+            if self.storage.has_table(relation) {
+                if let Some(epoch) = self.seen_epochs.borrow().get(relation).copied() {
+                    store.store_index_physical(relation, column, Arc::clone(&built), epoch);
+                }
+            } else {
+                store.store_index_virtual(relation, column, Arc::clone(&built), &rel);
+            }
+        }
+        Ok(built)
     }
 }

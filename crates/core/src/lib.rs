@@ -46,10 +46,13 @@ pub mod database;
 pub mod edb;
 pub mod error;
 pub mod migrate;
+pub mod snapshot;
 pub mod write;
 
 pub use database::{ExecutionOutcome, Inverda, WritePath};
 pub use error::CoreError;
+pub use snapshot::{SnapshotStats, SnapshotStore};
+pub use write::LogicalWrite;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

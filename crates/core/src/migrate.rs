@@ -12,7 +12,6 @@
 
 use crate::compiled::Direction;
 use crate::database::Inverda;
-use crate::edb::VersionedEdb;
 use crate::error::CoreError;
 use crate::Result;
 use inverda_catalog::MaterializationSchema;
@@ -77,7 +76,9 @@ impl Inverda {
             let g = &state.genealogy;
             let cur = &state.materialization;
             let ids = self.id_source();
-            let edb = VersionedEdb::new(g, cur, &self.storage, &ids, &self.compiled);
+            // Planning reads the *current* state: warm snapshots are valid
+            // until the swap below (which clears the store).
+            let edb = self.edb(state, &ids);
 
             let old_p: std::collections::BTreeSet<_> = cur.physical_tables(g).into_iter().collect();
             let new_p: std::collections::BTreeSet<_> =
@@ -164,6 +165,10 @@ impl Inverda {
             }
         }
         state.materialization = new_m;
+        // The physical/virtual split changed: every defining rule set and
+        // static footprint may differ, so resolved snapshots are retired
+        // wholesale (mirroring the compiled-rule cache on genealogy change).
+        self.snapshots.clear();
         Ok(())
     }
 }

@@ -1,0 +1,599 @@
+//! Cross-statement snapshot store: resolved virtual relations, kept alive
+//! and **delta-maintained** across statements.
+//!
+//! Before this store existed, every statement built a fresh [`VersionedEdb`]
+//! and re-resolved each virtual relation from scratch — per-write cost was
+//! dominated by O(data) view expansion (the `tasky_write_round` section of
+//! `BENCH_eval.json`). The store lifts that state out of the statement:
+//!
+//! * **Entries** are keyed by relation name and hold the resolved
+//!   `Arc<Relation>` snapshot (`None` for physical relations, which are
+//!   served straight from [`Storage`] — their entries exist only to carry
+//!   join indexes) plus any [`ColumnIndex`]es built over that snapshot.
+//! * **Validity** is decided by the entry's *footprint*: the set of physical
+//!   tables the relation's defining mappings can read (computed statically
+//!   over the rule sets, so it is a superset of any data-dependent read set
+//!   and stable under patching), each stamped with the [`Storage`] epoch
+//!   observed when the snapshot was taken. An entry is served only while
+//!   every footprint table still shows its stamped epoch; epochs are never
+//!   reused, so staleness detection is exact even across table re-creation.
+//! * **Maintenance**: the write path does not throw resolved state away. As
+//!   [`drain`] pushes a logical delta toward physical storage it records the
+//!   exact per-relation head deltas it already computed; after the batch
+//!   commits, [`SnapshotStore::commit`] applies those deltas to the cached
+//!   snapshots copy-on-write (and to their indexes, incrementally) and
+//!   restamps their footprints — O(delta) instead of O(data). Hops served by
+//!   the recompute fallback (staged rule sets — the id-generating SMOs) and
+//!   relations whose footprint intersects an aux-table purge fall back to
+//!   targeted invalidation; everything else the write did not touch stays
+//!   warm untouched.
+//!
+//! The store is cleared wholesale on every genealogy or materialization
+//! change — exactly the events that can alter the defining rule sets or the
+//! physical/virtual split — mirroring [`CompiledStore`].
+//!
+//! The warm/cold equivalence discipline (a warm read must be byte-identical
+//! to cold resolution, including skolem id minting) is enforced by the
+//! property tests in `tests/snapshot_reuse_props.rs`.
+//!
+//! [`VersionedEdb`]: crate::edb::VersionedEdb
+//! [`CompiledStore`]: crate::compiled::CompiledStore
+//! [`drain`]: crate::Inverda
+//! [`Storage`]: inverda_storage::Storage
+
+use inverda_datalog::delta::{Delta, DeltaMap};
+use inverda_storage::{ColumnIndex, Key, Relation, Storage};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One cached snapshot (see the module docs).
+struct Entry {
+    /// Resolved contents for virtual relations; `None` for physical
+    /// relations (served from storage — the entry only carries indexes).
+    rel: Option<Arc<Relation>>,
+    /// Physical table → storage epoch observed at resolution time.
+    footprint: BTreeMap<String, u64>,
+    /// Join indexes over this snapshot, patched in lockstep with it.
+    indexes: HashMap<usize, Arc<ColumnIndex>>,
+}
+
+impl Entry {
+    fn is_valid(&self, storage: &Storage) -> bool {
+        self.footprint
+            .iter()
+            .all(|(table, epoch)| storage.epoch_of(table) == *epoch)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Static resolution footprints per relation (data-independent, so they
+    /// are computed once per catalog state and survive patching).
+    footprints: HashMap<String, Arc<BTreeSet<String>>>,
+}
+
+/// Hit/miss/maintenance counters (diagnostics and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Warm reads served from a valid entry.
+    pub hits: u64,
+    /// Reads that found no valid entry (cold resolution followed).
+    pub misses: u64,
+    /// Entries updated in place by exact write deltas.
+    pub patches: u64,
+    /// Entries dropped by commit-time invalidation.
+    pub invalidations: u64,
+}
+
+/// Cross-statement store of resolved relation snapshots. Owned by
+/// [`Inverda`](crate::Inverda); see the module docs.
+#[derive(Default)]
+pub struct SnapshotStore {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    patches: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SnapshotStore::default()
+    }
+
+    /// The static footprint of `relation`, computing it with `compute` on
+    /// first use (cached until [`clear`](SnapshotStore::clear)).
+    pub fn footprint_of(
+        &self,
+        relation: &str,
+        compute: impl FnOnce() -> BTreeSet<String>,
+    ) -> Arc<BTreeSet<String>> {
+        if let Some(hit) = self.inner.lock().footprints.get(relation) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(compute());
+        self.inner
+            .lock()
+            .footprints
+            .entry(relation.to_string())
+            .or_insert_with(|| Arc::clone(&built))
+            .clone()
+    }
+
+    /// The cached snapshot of a virtual relation, if one exists and its
+    /// whole footprint is at the stamped epochs. A stale entry is dropped.
+    pub fn get(&self, relation: &str, storage: &Storage) -> Option<Arc<Relation>> {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(relation) {
+            Some(entry) if entry.is_valid(storage) => {
+                let rel = entry.rel.as_ref().map(Arc::clone)?;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rel)
+            }
+            Some(_) => {
+                inner.entries.remove(relation);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The cached join index for a *virtual* relation, served only if the
+    /// entry's snapshot is pointer-identical to `based_on` — the snapshot
+    /// the calling statement already reads. Epoch validity alone is not
+    /// enough: a concurrent writer may have patched the entry to a newer
+    /// generation (with refreshed epochs) after this statement cached its
+    /// snapshot, and an index from that generation would disagree with the
+    /// data the statement joins over.
+    pub fn get_index_virtual(
+        &self,
+        relation: &str,
+        column: usize,
+        based_on: &Arc<Relation>,
+    ) -> Option<Arc<ColumnIndex>> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(relation)?;
+        let rel = entry.rel.as_ref()?;
+        if Arc::ptr_eq(rel, based_on) {
+            entry.indexes.get(&column).map(Arc::clone)
+        } else {
+            None
+        }
+    }
+
+    /// The cached join index for a *physical* table, served only if the
+    /// carrier entry still describes exactly `epoch` — the epoch of the
+    /// snapshot the calling statement reads (see
+    /// [`get_index_virtual`](SnapshotStore::get_index_virtual) for why a
+    /// current-validity check is insufficient).
+    pub fn get_index_physical(
+        &self,
+        relation: &str,
+        column: usize,
+        epoch: u64,
+    ) -> Option<Arc<ColumnIndex>> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(relation)?;
+        if entry.rel.is_none() && entry.footprint.get(relation) == Some(&epoch) {
+            entry.indexes.get(&column).map(Arc::clone)
+        } else {
+            None
+        }
+    }
+
+    /// Store a freshly resolved virtual snapshot with its stamped footprint.
+    /// Replaces any previous entry (and its indexes — they described the old
+    /// snapshot).
+    pub fn store_entry(
+        &self,
+        relation: &str,
+        rel: Arc<Relation>,
+        footprint: BTreeMap<String, u64>,
+    ) {
+        self.inner.lock().entries.insert(
+            relation.to_string(),
+            Entry {
+                rel: Some(rel),
+                footprint,
+                indexes: HashMap::new(),
+            },
+        );
+    }
+
+    /// Attach an index built over a *virtual* entry's current snapshot. The
+    /// caller passes the `Arc` it built the index from; the attach is
+    /// skipped if the entry has been replaced or patched since (pointer
+    /// identity), so a racing reader can never poison a newer snapshot.
+    pub fn store_index_virtual(
+        &self,
+        relation: &str,
+        column: usize,
+        index: Arc<ColumnIndex>,
+        based_on: &Arc<Relation>,
+    ) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.entries.get_mut(relation) {
+            if let Some(rel) = &entry.rel {
+                if Arc::ptr_eq(rel, based_on) {
+                    entry.indexes.insert(column, index);
+                }
+            }
+        }
+    }
+
+    /// Attach an index built over a *physical* table snapshot taken at
+    /// `epoch`, creating the carrier entry on first use. Skipped if the
+    /// table has moved past that epoch.
+    pub fn store_index_physical(
+        &self,
+        relation: &str,
+        column: usize,
+        index: Arc<ColumnIndex>,
+        epoch: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .entry(relation.to_string())
+            .or_insert_with(|| Entry {
+                rel: None,
+                footprint: BTreeMap::from([(relation.to_string(), epoch)]),
+                indexes: HashMap::new(),
+            });
+        if entry.rel.is_none() && entry.footprint.get(relation) == Some(&epoch) {
+            entry.indexes.insert(column, index);
+        }
+    }
+
+    /// Names of entries that are valid *right now* — captured by the write
+    /// path immediately before applying a batch, so commit-time patching can
+    /// tell pre-write-valid entries (patchable) from already-stale ones.
+    pub fn valid_rels(&self, storage: &Storage) -> BTreeSet<String> {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|(_, e)| e.is_valid(storage))
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Apply the maintenance plan a completed write produced: patch entries
+    /// that have an exact delta and were valid before the write (refreshing
+    /// their footprint epochs from post-write storage), drop entries the
+    /// plan invalidates or whose footprint intersects an aux purge, and
+    /// leave everything else to lazy epoch validation.
+    pub fn commit(
+        &self,
+        maint: &SnapshotMaintenance,
+        valid_before: &BTreeSet<String>,
+        storage: &Storage,
+    ) {
+        let mut inner = self.inner.lock();
+        for rel in &maint.invalidate {
+            if inner.entries.remove(rel).is_some() {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (rel, delta) in &maint.patches {
+            let Some(entry) = inner.entries.get_mut(rel) else {
+                continue;
+            };
+            let purged = entry.footprint.keys().any(|t| maint.purged.contains(t));
+            if !valid_before.contains(rel) || purged || !patch_entry(entry, delta) {
+                inner.entries.remove(rel);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            for (table, epoch) in entry.footprint.iter_mut() {
+                *epoch = storage.epoch_of(table);
+            }
+            self.patches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop one entry (targeted invalidation).
+    pub fn invalidate(&self, relation: &str) {
+        if self.inner.lock().entries.remove(relation).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop everything — entries and cached footprints (genealogy or
+    /// materialization changed).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.footprints.clear();
+    }
+
+    /// Number of live entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True iff no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of virtual entries currently valid (diagnostics).
+    pub fn entry_names(&self, storage: &Storage) -> Vec<(String, Arc<Relation>)> {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|(_, e)| e.rel.is_some() && e.is_valid(storage))
+            .map(|(name, e)| (name.clone(), Arc::clone(e.rel.as_ref().unwrap())))
+            .collect()
+    }
+
+    /// Counter snapshot (diagnostics and tests).
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Apply an exact delta to an entry's snapshot (copy-on-write) and patch its
+/// indexes in place. Returns `false` if the delta cannot be applied (the
+/// entry is then dropped by the caller).
+fn patch_entry(entry: &mut Entry, delta: &Delta) -> bool {
+    if let Some(rel) = entry.rel.as_mut() {
+        let rel = Arc::make_mut(rel);
+        for key in delta.deletes.keys() {
+            if !delta.inserts.contains_key(key) {
+                rel.delete_if_present(*key);
+            }
+        }
+        for (key, row) in &delta.inserts {
+            if rel.upsert(*key, row.clone()).is_err() {
+                return false;
+            }
+        }
+    }
+    if !entry.indexes.is_empty() {
+        let keys: BTreeSet<Key> = delta
+            .deletes
+            .keys()
+            .chain(delta.inserts.keys())
+            .copied()
+            .collect();
+        for key in keys {
+            let old = delta.deletes.get(&key);
+            let new = delta.inserts.get(&key);
+            for (col, index) in entry.indexes.iter_mut() {
+                Arc::make_mut(index).apply_row_change(*col, key, old, new);
+            }
+        }
+    }
+    true
+}
+
+/// The maintenance plan one logical write accumulates while draining: which
+/// relations have exact deltas to patch with, which must be invalidated
+/// (recompute-path hops), and which physical aux tables were purged.
+#[derive(Debug, Default)]
+pub struct SnapshotMaintenance {
+    /// Relation → exact delta, composed in application order (the same
+    /// [`Delta::merge`] composition the drain applies physically).
+    pub patches: DeltaMap,
+    /// Relations whose deltas came from a recompute-path hop.
+    pub invalidate: BTreeSet<String>,
+    /// Physical aux tables purged by this write.
+    pub purged: BTreeSet<String>,
+}
+
+impl SnapshotMaintenance {
+    /// Empty plan.
+    pub fn new() -> Self {
+        SnapshotMaintenance::default()
+    }
+
+    /// Record an exact delta for `relation`; invalidation, once recorded,
+    /// wins over patching. An **empty** delta is meaningful: it certifies
+    /// the relation is unchanged by this write, so its entry's footprint
+    /// epochs can be refreshed instead of going stale.
+    pub fn record_patch(&mut self, relation: &str, delta: &Delta) {
+        if self.invalidate.contains(relation) {
+            return;
+        }
+        match self.patches.get_mut(relation) {
+            Some(existing) => existing.merge(delta),
+            None => {
+                self.patches.insert(relation.to_string(), delta.clone());
+            }
+        }
+    }
+
+    /// Mark `relation` for invalidation (its delta is not patchable).
+    pub fn record_invalidate(&mut self, relation: &str) {
+        self.patches.remove(relation);
+        self.invalidate.insert(relation.to_string());
+    }
+
+    /// Record that `table`'s rows were purged outside delta propagation.
+    pub fn record_purge(&mut self, table: &str) {
+        self.purged.insert(table.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_storage::{TableSchema, Value, WriteBatch};
+
+    fn storage_with(name: &str) -> Storage {
+        let s = Storage::new();
+        s.create_table(TableSchema::new(name, ["a"]).unwrap())
+            .unwrap();
+        s
+    }
+
+    fn rel_with(name: &str, rows: &[(u64, i64)]) -> Arc<Relation> {
+        let mut r = Relation::with_columns(name, ["a"]);
+        for (k, v) in rows {
+            r.insert(Key(*k), vec![Value::Int(*v)]).unwrap();
+        }
+        Arc::new(r)
+    }
+
+    fn bump(storage: &Storage, table: &str, key: u64, v: i64) {
+        let mut b = WriteBatch::new();
+        b.upsert(table, Key(key), vec![Value::Int(v)]);
+        storage.apply(&b).unwrap();
+    }
+
+    #[test]
+    fn entries_serve_until_footprint_epoch_moves() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        let fp = BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]);
+        store.store_entry("V", rel_with("V", &[(1, 10)]), fp);
+        assert!(store.get("V", &storage).is_some());
+        assert_eq!(store.stats().hits, 1);
+        bump(&storage, "T", 7, 7);
+        assert!(store.get("V", &storage).is_none());
+        assert!(store.is_empty(), "stale entry must be dropped");
+    }
+
+    #[test]
+    fn commit_patches_valid_entries_and_refreshes_epochs() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        let fp = BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]);
+        store.store_entry("V", rel_with("V", &[(1, 10), (2, 20)]), fp);
+
+        let valid = store.valid_rels(&storage);
+        assert!(valid.contains("V"));
+        bump(&storage, "T", 3, 30); // the physical half of the write
+        let mut maint = SnapshotMaintenance::new();
+        let mut d = Delta::insert(Key(3), vec![Value::Int(30)]);
+        d.deletes.insert(Key(1), vec![Value::Int(10)]);
+        maint.record_patch("V", &d);
+        store.commit(&maint, &valid, &storage);
+
+        let rel = store.get("V", &storage).expect("patched entry is warm");
+        assert_eq!(rel.len(), 2);
+        assert!(rel.get(Key(1)).is_none());
+        assert_eq!(rel.get(Key(3)), Some(&vec![Value::Int(30)]));
+        assert_eq!(store.stats().patches, 1);
+    }
+
+    #[test]
+    fn commit_drops_invalidated_and_purge_hit_entries() {
+        let storage = storage_with("T");
+        storage
+            .create_table(TableSchema::new("Aux", ["a"]).unwrap())
+            .unwrap();
+        let store = SnapshotStore::new();
+        let e = |t: &str| storage.epoch_of(t);
+        store.store_entry(
+            "V",
+            rel_with("V", &[(1, 10)]),
+            BTreeMap::from([("T".to_string(), e("T"))]),
+        );
+        store.store_entry(
+            "W",
+            rel_with("W", &[(1, 10)]),
+            BTreeMap::from([("T".to_string(), e("T")), ("Aux".to_string(), e("Aux"))]),
+        );
+        let valid = store.valid_rels(&storage);
+        let mut maint = SnapshotMaintenance::new();
+        maint.record_invalidate("V");
+        maint.record_patch("V", &Delta::insert(Key(9), vec![Value::Int(9)]));
+        maint.record_patch("W", &Delta::insert(Key(9), vec![Value::Int(9)]));
+        maint.record_purge("Aux");
+        store.commit(&maint, &valid, &storage);
+        assert!(store.get("V", &storage).is_none(), "invalidation wins");
+        assert!(
+            store.get("W", &storage).is_none(),
+            "purge in footprint forces invalidation"
+        );
+        assert_eq!(store.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn indexes_follow_their_snapshot() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        let fp = BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]);
+        let snap = rel_with("V", &[(1, 10), (2, 10)]);
+        store.store_entry("V", Arc::clone(&snap), fp);
+        let idx = Arc::new(snap.build_column_index(0));
+        store.store_index_virtual("V", 0, idx, &snap);
+        assert!(store.get_index_virtual("V", 0, &snap).is_some());
+        // Attach against a replaced snapshot is refused.
+        let other = rel_with("V", &[(5, 50)]);
+        store.store_index_virtual("V", 1, Arc::new(other.build_column_index(0)), &other);
+        assert!(store.get_index_virtual("V", 1, &snap).is_none());
+        // And serving is snapshot-identity-guarded too.
+        assert!(store.get_index_virtual("V", 0, &other).is_none());
+
+        // Patch keeps the index in sync — and replaces the snapshot Arc,
+        // so a statement still holding the old snapshot no longer matches.
+        let valid = store.valid_rels(&storage);
+        bump(&storage, "T", 9, 9);
+        let mut maint = SnapshotMaintenance::new();
+        maint.record_patch(
+            "V",
+            &Delta::update(Key(2), vec![Value::Int(10)], vec![Value::Int(33)]),
+        );
+        store.commit(&maint, &valid, &storage);
+        assert!(store.get_index_virtual("V", 0, &snap).is_none());
+        let patched = store.get("V", &storage).expect("patched entry is warm");
+        let idx = store
+            .get_index_virtual("V", 0, &patched)
+            .expect("still cached");
+        assert_eq!(idx.keys_for(&Value::Int(10)), &[Key(1)]);
+        assert_eq!(idx.keys_for(&Value::Int(33)), &[Key(2)]);
+    }
+
+    #[test]
+    fn physical_index_entries_guard_on_epoch() {
+        let storage = storage_with("T");
+        bump(&storage, "T", 1, 10);
+        let store = SnapshotStore::new();
+        let (snap, epoch) = storage.snapshot_with_epoch("T").unwrap();
+        let idx = Arc::new(snap.build_column_index(0));
+        store.store_index_physical("T", 0, Arc::clone(&idx), epoch);
+        assert!(store.get_index_physical("T", 0, epoch).is_some());
+        // After the table moves, a statement reading the *new* epoch must
+        // not be served the old index (and a stale re-attach is refused).
+        bump(&storage, "T", 2, 20);
+        let now = storage.epoch_of("T");
+        assert!(store.get_index_physical("T", 0, now).is_none());
+        store.store_index_physical("T", 0, idx, epoch);
+        assert!(store.get_index_physical("T", 0, now).is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        let fp = store.footprint_of("V", || BTreeSet::from(["T".to_string()]));
+        assert_eq!(fp.len(), 1);
+        store.store_entry(
+            "V",
+            rel_with("V", &[(1, 1)]),
+            BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]),
+        );
+        store.clear();
+        assert!(store.is_empty());
+        // Footprint cache cleared too: recomputed on next ask.
+        let fp2 = store.footprint_of("V", BTreeSet::new);
+        assert!(fp2.is_empty());
+    }
+}

@@ -24,13 +24,66 @@ use crate::compiled::Direction;
 use crate::database::{Inverda, State, WritePath};
 use crate::edb::VersionedEdb;
 use crate::error::CoreError;
+use crate::snapshot::SnapshotMaintenance;
 use crate::Result;
 use inverda_catalog::{SmoId, StorageCase, TableVersionId};
 use inverda_datalog::delta::{
     propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap,
 };
 use inverda_storage::{Key, Row, Value, WriteBatch};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One logical write against a schema version's table, for batched
+/// [`Inverda::apply_many`] application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalWrite {
+    /// Insert a new row (a fresh InVerDa identifier is minted).
+    Insert(Row),
+    /// Replace the row under the key.
+    Update(Key, Row),
+    /// Delete the row under the key.
+    Delete(Key),
+}
+
+/// One SMO hop a drain traversed, recorded so snapshot maintenance can walk
+/// the chain *backward* after the write lands. The forward hop's head
+/// deltas are what gets applied, but a virtual relation's **visible** state
+/// is defined by resolution back from physical storage — in twin corners
+/// (SPLIT with overlapping conditions, separations) the two can disagree,
+/// so patches must be derived from the landed deltas through each side's
+/// defining mapping, not from the forward inputs.
+struct HopRecord {
+    smo: SmoId,
+    forwards: bool,
+}
+
+/// Everything a drain accumulates for post-commit snapshot maintenance.
+#[derive(Default)]
+struct MaintenancePlan {
+    /// Patch/invalidate/purge records handed to [`SnapshotStore::commit`].
+    ///
+    /// [`SnapshotStore::commit`]: crate::snapshot::SnapshotStore::commit
+    maint: SnapshotMaintenance,
+    /// SMO hops traversed, for the backward reverse-propagation passes.
+    hops: Vec<HopRecord>,
+    /// Exact deltas of *physical* relations as applied by the batch —
+    /// the trustworthy seeds of the reverse passes.
+    landed: DeltaMap,
+    /// Whether maintenance is being tracked at all (delta write path with
+    /// the snapshot store enabled).
+    track: bool,
+}
+
+impl MaintenancePlan {
+    fn landed_merge(&mut self, rel: &str, delta: &Delta) {
+        match self.landed.get_mut(rel) {
+            Some(existing) => existing.merge(delta),
+            None => {
+                self.landed.insert(rel.to_string(), delta.clone());
+            }
+        }
+    }
+}
 
 impl Inverda {
     /// Insert a row into `version.table`; returns the InVerDa identifier.
@@ -45,13 +98,47 @@ impl Inverda {
         table: &str,
         rows: Vec<Vec<Value>>,
     ) -> Result<Vec<Key>> {
+        let writes = rows.into_iter().map(LogicalWrite::Insert).collect();
+        Ok(self
+            .apply_many(version, table, writes)?
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    /// Replace the row under `key` in `version.table`.
+    pub fn update(&self, version: &str, table: &str, key: Key, row: Vec<Value>) -> Result<()> {
+        self.apply_many(version, table, vec![LogicalWrite::Update(key, row)])
+            .map(|_| ())
+    }
+
+    /// Delete the row under `key` from `version.table`.
+    pub fn delete(&self, version: &str, table: &str, key: Key) -> Result<()> {
+        self.apply_many(version, table, vec![LogicalWrite::Delete(key)])
+            .map(|_| ())
+    }
+
+    /// Apply a batch of mixed logical writes to `version.table` in **one**
+    /// propagation round: the writes are folded into a single exact delta
+    /// (later writes see the effects of earlier ones), so per-statement view
+    /// setup and SMO-hop evaluation amortize across the whole batch — the
+    /// mixed-workload sibling of [`insert_many`](Inverda::insert_many).
+    ///
+    /// Returns one entry per input write: the minted identifier for inserts,
+    /// `None` for updates and deletes. Fails atomically: an invalid write
+    /// (missing row, arity mismatch) leaves the database untouched.
+    pub fn apply_many(
+        &self,
+        version: &str,
+        table: &str,
+        writes: Vec<LogicalWrite>,
+    ) -> Result<Vec<Option<Key>>> {
         let _guard = self.write_lock.lock();
         let state = self.state.read();
         let tv = state.genealogy.resolve(version, table)?;
         let arity = state.genealogy.table_version(tv).columns.len();
-        let mut delta = Delta::new();
-        let mut keys = Vec::with_capacity(rows.len());
-        for row in rows {
+        let rel = state.genealogy.table_version(tv).rel.clone();
+        let check_arity = |row: &Row| -> Result<()> {
             if row.len() != arity {
                 return Err(CoreError::Storage(
                     inverda_storage::StorageError::ArityMismatch {
@@ -61,63 +148,65 @@ impl Inverda {
                     },
                 ));
             }
-            let key = self.storage.sequences().next_key();
-            delta.inserts.insert(key, row);
-            keys.push(key);
+            Ok(())
+        };
+        let missing = |key: Key| CoreError::MissingRow {
+            version: version.to_string(),
+            table: table.to_string(),
+            key: key.0,
+        };
+        let mut delta = Delta::new();
+        let mut out = Vec::with_capacity(writes.len());
+        {
+            // One view serves every old-row lookup of the batch; `overlay`
+            // layers the batch's own effects on top so later writes see
+            // earlier ones.
+            let ids = self.id_source();
+            let edb = self.edb(&state, &ids);
+            use inverda_datalog::eval::EdbView;
+            let mut overlay: BTreeMap<Key, Option<Row>> = BTreeMap::new();
+            let current = |overlay: &BTreeMap<Key, Option<Row>>, key: Key| -> Result<Option<Row>> {
+                match overlay.get(&key) {
+                    Some(row) => Ok(row.clone()),
+                    None => Ok(edb.by_key(&rel, key)?),
+                }
+            };
+            for write in writes {
+                match write {
+                    LogicalWrite::Insert(row) => {
+                        check_arity(&row)?;
+                        let key = self.storage.sequences().next_key();
+                        delta.merge(&Delta::insert(key, row.clone()));
+                        overlay.insert(key, Some(row));
+                        out.push(Some(key));
+                    }
+                    LogicalWrite::Update(key, row) => {
+                        check_arity(&row)?;
+                        let old = current(&overlay, key)?.ok_or_else(|| missing(key))?;
+                        if old != row {
+                            delta.merge(&Delta::update(key, old, row.clone()));
+                            overlay.insert(key, Some(row));
+                        }
+                        out.push(None);
+                    }
+                    LogicalWrite::Delete(key) => {
+                        let old = current(&overlay, key)?.ok_or_else(|| missing(key))?;
+                        delta.merge(&Delta::delete(key, old));
+                        overlay.insert(key, None);
+                        out.push(None);
+                    }
+                }
+            }
         }
-        self.apply_logical(&state, tv, delta)?;
-        Ok(keys)
-    }
-
-    /// Replace the row under `key` in `version.table`.
-    pub fn update(&self, version: &str, table: &str, key: Key, row: Vec<Value>) -> Result<()> {
-        let _guard = self.write_lock.lock();
-        let state = self.state.read();
-        let tv = state.genealogy.resolve(version, table)?;
-        let old = self
-            .current_row(&state, tv, key)?
-            .ok_or(CoreError::MissingRow {
-                version: version.to_string(),
-                table: table.to_string(),
-                key: key.0,
-            })?;
-        if old == row {
-            return Ok(());
+        if !delta.is_empty() {
+            self.apply_logical(&state, tv, delta)?;
         }
-        self.apply_logical(&state, tv, Delta::update(key, old, row))
-    }
-
-    /// Delete the row under `key` from `version.table`.
-    pub fn delete(&self, version: &str, table: &str, key: Key) -> Result<()> {
-        let _guard = self.write_lock.lock();
-        let state = self.state.read();
-        let tv = state.genealogy.resolve(version, table)?;
-        let old = self
-            .current_row(&state, tv, key)?
-            .ok_or(CoreError::MissingRow {
-                version: version.to_string(),
-                table: table.to_string(),
-                key: key.0,
-            })?;
-        self.apply_logical(&state, tv, Delta::delete(key, old))
-    }
-
-    fn current_row(&self, state: &State, tv: TableVersionId, key: Key) -> Result<Option<Row>> {
-        let rel = state.genealogy.table_version(tv).rel.clone();
-        let ids = self.id_source();
-        let edb = VersionedEdb::new(
-            &state.genealogy,
-            &state.materialization,
-            &self.storage,
-            &ids,
-            &self.compiled,
-        );
-        use inverda_datalog::eval::EdbView;
-        Ok(edb.by_key(&rel, key)?)
+        Ok(out)
     }
 
     /// Propagate a logical delta on a table version to physical storage and
-    /// apply it atomically.
+    /// apply it atomically, then patch or invalidate the affected snapshot
+    /// store entries (see [`crate::snapshot`]).
     pub(crate) fn apply_logical(
         &self,
         state: &State,
@@ -125,32 +214,52 @@ impl Inverda {
         delta: Delta,
     ) -> Result<()> {
         let mut batch = WriteBatch::new();
+        let mut plan = MaintenancePlan {
+            track: matches!(state.write_path, WritePath::Delta) && self.snapshot_store().is_some(),
+            ..MaintenancePlan::default()
+        };
         {
             let ids = self.id_source();
-            let edb = VersionedEdb::new(
-                &state.genealogy,
-                &state.materialization,
-                &self.storage,
-                &ids,
-                &self.compiled,
-            );
+            let edb = self.edb(state, &ids);
             let mut pending: BTreeMap<TableVersionId, (Delta, Option<SmoId>)> = BTreeMap::new();
             pending.insert(tv, (delta, None));
-            self.drain(state, &edb, &mut pending, &mut batch)?;
+            self.drain(state, &edb, &mut pending, &mut batch, &mut plan)?;
+            if plan.track {
+                let hops = std::mem::take(&mut plan.hops);
+                let landed = std::mem::take(&mut plan.landed);
+                self.reverse_maintenance(state, &edb, hops, landed, &ids, &mut plan.maint);
+            }
         }
-        self.storage.apply(&batch)?;
+        // Capture which entries are valid *before* the batch lands: only a
+        // pre-write-valid snapshot may be patched (patching a stale one
+        // would compound the staleness).
+        match self.snapshot_store() {
+            Some(store) => {
+                let valid = store.valid_rels(&self.storage);
+                self.storage.apply(&batch)?;
+                store.commit(&plan.maint, &valid, &self.storage);
+            }
+            None => self.storage.apply(&batch)?,
+        }
         Ok(())
     }
 
     /// Process pending per-table-version deltas until all reach physical
     /// storage. Deltas heading through the same SMO hop are combined so
     /// multi-source SMOs (MERGE, JOIN) see all their changed inputs at once.
+    ///
+    /// When maintenance is tracked, the plan records every physical delta
+    /// the batch will apply plus the hop sequence, so
+    /// [`reverse_maintenance`](Inverda::reverse_maintenance) can patch the
+    /// snapshot store in place after the batch commits instead of letting
+    /// every resolved relation on the path go stale.
     fn drain(
         &self,
         state: &State,
         edb: &VersionedEdb<'_>,
         pending: &mut BTreeMap<TableVersionId, (Delta, Option<SmoId>)>,
         batch: &mut WriteBatch,
+        plan: &mut MaintenancePlan,
     ) -> Result<()> {
         let g = &state.genealogy;
         let m = &state.materialization;
@@ -172,9 +281,16 @@ impl Inverda {
                 StorageCase::Local => {
                     let (delta, arrived) = pending.remove(&tv).expect("present");
                     let rel = g.table_version(tv).rel.clone();
-                    self.purge_sibling_aux(state, tv, &delta, arrived, None, batch);
+                    self.purge_sibling_aux(state, tv, &delta, arrived, None, batch, plan);
                     if let Some(generator) = hint_map.get(rel.as_str()) {
                         self.sync_registry(generator, &delta);
+                    }
+                    if plan.track {
+                        // Physical rel: its store entry only carries join
+                        // indexes, which the patch keeps in sync; the landed
+                        // delta also seeds the reverse passes.
+                        plan.maint.record_patch(&rel, &delta);
+                        plan.landed_merge(&rel, &delta);
                     }
                     apply_delta_physically(&rel, &delta, batch);
                 }
@@ -202,7 +318,7 @@ impl Inverda {
                     let mut input = DeltaMap::new();
                     for id in &departing {
                         let (delta, arrived) = pending.remove(id).expect("present");
-                        self.purge_sibling_aux(state, *id, &delta, arrived, Some(smo), batch);
+                        self.purge_sibling_aux(state, *id, &delta, arrived, Some(smo), batch, plan);
                         input.insert(g.table_version(*id).rel.clone(), delta);
                     }
                     let ids = self.id_source();
@@ -218,6 +334,9 @@ impl Inverda {
                             edb.head_columns(),
                         )?,
                     };
+                    if plan.track {
+                        plan.hops.push(HopRecord { smo, forwards });
+                    }
                     // Distribute: data heads continue; aux and shared heads
                     // are physical on the destination side.
                     let next_data = if forwards {
@@ -248,10 +367,18 @@ impl Inverda {
                         if let Some(shared) =
                             inst.derived.shared_aux.iter().find(|s| s.new_name == rel)
                         {
+                            if plan.track {
+                                plan.maint.record_patch(&shared.table.rel, &d);
+                                plan.landed_merge(&shared.table.rel, &d);
+                            }
                             apply_delta_physically(&shared.table.rel, &d, batch);
                             continue;
                         }
                         if aux_side.iter().any(|a| a.rel == rel) {
+                            if plan.track {
+                                plan.maint.record_patch(&rel, &d);
+                                plan.landed_merge(&rel, &d);
+                            }
                             apply_delta_physically(&rel, &d, batch);
                         }
                         // Intermediate heads (Sn, Tn, Ro, …) are discarded.
@@ -260,6 +387,202 @@ impl Inverda {
             }
         }
         Ok(())
+    }
+
+    /// Walk the traversed hops **backward from physical storage**, deriving
+    /// the true visible-state delta of every departed side by pushing the
+    /// already-known deltas of the side closer to the data through the
+    /// departed side's *defining* mapping (the hop's opposite direction).
+    /// This is the incremental-view-maintenance core of the snapshot store:
+    /// the forward hop deltas are what gets applied physically, but a
+    /// virtual relation's visible state is whatever resolution from the
+    /// physical state derives — in twin corners (overlapping SPLIT,
+    /// separations) the two differ, so only backward-derived deltas are
+    /// trustworthy patches.
+    ///
+    /// A hop whose defining mapping is staged or can mint skolem ids (the
+    /// id-generating SMOs served by the recompute fallback) cannot be
+    /// maintained purely: its departed relations — and everything upstream
+    /// of them — are invalidated instead, falling back to cold re-resolution
+    /// on next read. Maintenance failures likewise degrade to invalidation;
+    /// they never fail the write.
+    fn reverse_maintenance(
+        &self,
+        state: &State,
+        edb: &VersionedEdb<'_>,
+        hops: Vec<HopRecord>,
+        landed: DeltaMap,
+        ids: &dyn inverda_datalog::eval::IdSource,
+        maint: &mut SnapshotMaintenance,
+    ) {
+        if hops.is_empty() {
+            return;
+        }
+        let g = &state.genealogy;
+        let m = &state.materialization;
+        // A diamond drain can traverse one SMO twice; by the time a hop is
+        // ready its destination deltas are fully known, so one pass per SMO
+        // suffices.
+        let mut remaining: Vec<HopRecord> = Vec::new();
+        for hop in hops {
+            if !remaining.iter().any(|h| h.smo == hop.smo) {
+                remaining.push(hop);
+            }
+        }
+        let tv_of: BTreeMap<&str, TableVersionId> =
+            g.table_versions().map(|t| (t.rel.as_str(), t.id)).collect();
+        // rel → true delta, seeded with what physically landed and extended
+        // by each processed hop; rels whose delta could not be derived.
+        let mut known = landed;
+        let mut unknown: BTreeSet<String> = BTreeSet::new();
+        while !remaining.is_empty() {
+            let remaining_smos: BTreeSet<SmoId> = remaining.iter().map(|h| h.smo).collect();
+            // A hop is ready once no unprocessed hop still has to derive the
+            // delta of one of its destination data rels (i.e. every virtual
+            // destination's defining SMO has been processed or was never
+            // traversed).
+            let ready = remaining.iter().position(|h| {
+                let inst = g.smo(h.smo);
+                let dest = if h.forwards {
+                    &inst.derived.tgt_data
+                } else {
+                    &inst.derived.src_data
+                };
+                dest.iter().all(|t| {
+                    if self.storage.has_table(&t.rel) {
+                        return true;
+                    }
+                    match tv_of.get(t.rel.as_str()).map(|tv| m.storage_of(g, *tv)) {
+                        Some(StorageCase::Forward(s)) | Some(StorageCase::Backward(s)) => {
+                            !remaining_smos.contains(&s)
+                        }
+                        _ => true,
+                    }
+                })
+            });
+            // Acyclic by construction (hops order along paths to storage);
+            // if that ever breaks, degrade to invalidation rather than loop.
+            let Some(pos) = ready else {
+                for h in &remaining {
+                    self.invalidate_departed(state, h, maint, &mut unknown);
+                }
+                return;
+            };
+            let h = remaining.remove(pos);
+            let inst = g.smo(h.smo);
+            let (rev_direction, rev_rules, dep_data, dep_aux, dest_data, dest_aux) = if h.forwards {
+                (
+                    Direction::ToSrc,
+                    &inst.derived.to_src,
+                    &inst.derived.src_data,
+                    &inst.derived.src_aux,
+                    &inst.derived.tgt_data,
+                    &inst.derived.tgt_aux,
+                )
+            } else {
+                (
+                    Direction::ToTgt,
+                    &inst.derived.to_tgt,
+                    &inst.derived.tgt_data,
+                    &inst.derived.tgt_aux,
+                    &inst.derived.src_data,
+                    &inst.derived.src_aux,
+                )
+            };
+            let dep_virtual: Vec<&str> = dep_data
+                .iter()
+                .map(|t| t.rel.as_str())
+                .chain(dep_aux.iter().map(|a| a.rel.as_str()))
+                .filter(|rel| !self.storage.has_table(rel))
+                .collect();
+            if dep_virtual.is_empty() {
+                continue;
+            }
+            // Relations the defining mapping reads: destination data rels,
+            // the SMO's destination-side aux (physical by materialization
+            // invariant), and shared aux under their physical names.
+            let inputs: Vec<&str> = dest_data
+                .iter()
+                .map(|t| t.rel.as_str())
+                .chain(dest_aux.iter().map(|a| a.rel.as_str()))
+                .chain(inst.derived.shared_aux.iter().map(|s| s.table.rel.as_str()))
+                .collect();
+            let rev_crs = match self
+                .compiled
+                .get_or_compile(h.smo, rev_direction, rev_rules)
+            {
+                Ok(crs) => crs,
+                Err(_) => {
+                    self.invalidate_departed(state, &h, maint, &mut unknown);
+                    continue;
+                }
+            };
+            if rev_crs.staged()
+                || rev_crs.mints_ids()
+                || inputs.iter().any(|rel| unknown.contains(*rel))
+            {
+                self.invalidate_departed(state, &h, maint, &mut unknown);
+                continue;
+            }
+            let mut rev_input = DeltaMap::new();
+            for rel in &inputs {
+                if let Some(d) = known.get(*rel) {
+                    if !d.is_empty() {
+                        rev_input.insert((*rel).to_string(), d.clone());
+                    }
+                }
+            }
+            let rev_deltas = if rev_input.is_empty() {
+                // Nothing the mapping reads changed: the departed side is
+                // certified unchanged (empty patches refresh stamps).
+                DeltaMap::new()
+            } else {
+                match propagate_compiled(&rev_crs, edb, &rev_input, ids, edb.head_columns()) {
+                    Ok(d) => d,
+                    Err(_) => {
+                        self.invalidate_departed(state, &h, maint, &mut unknown);
+                        continue;
+                    }
+                }
+            };
+            for rel in dep_virtual {
+                let d = rev_deltas.get(rel).cloned().unwrap_or_default();
+                maint.record_patch(rel, &d);
+                match known.get_mut(rel) {
+                    Some(existing) => existing.merge(&d),
+                    None => {
+                        known.insert(rel.to_string(), d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark every virtual relation of a hop's departed side as
+    /// unmaintainable: invalidate its snapshot and poison dependents.
+    fn invalidate_departed(
+        &self,
+        state: &State,
+        hop: &HopRecord,
+        maint: &mut SnapshotMaintenance,
+        unknown: &mut BTreeSet<String>,
+    ) {
+        let inst = state.genealogy.smo(hop.smo);
+        let (dep_data, dep_aux) = if hop.forwards {
+            (&inst.derived.src_data, &inst.derived.src_aux)
+        } else {
+            (&inst.derived.tgt_data, &inst.derived.tgt_aux)
+        };
+        for rel in dep_data
+            .iter()
+            .map(|t| t.rel.as_str())
+            .chain(dep_aux.iter().map(|a| a.rel.as_str()))
+        {
+            if !self.storage.has_table(rel) {
+                maint.record_invalidate(rel);
+                unknown.insert(rel.to_string());
+            }
+        }
     }
 
     /// Keep the skolem registry consistent with a physical id-bearing
@@ -277,6 +600,11 @@ impl Inverda {
     /// Purge key-matching rows of physical auxiliary tables of SMOs adjacent
     /// to `tv` that the propagation neither arrived through nor departs
     /// through. Only pure deletes purge — updates keep twins separated.
+    ///
+    /// Purged tables are recorded on the plan: these writes bypass delta
+    /// propagation, so any snapshot whose footprint includes a purged table
+    /// must be invalidated rather than patched.
+    #[allow(clippy::too_many_arguments)]
     fn purge_sibling_aux(
         &self,
         state: &State,
@@ -285,6 +613,7 @@ impl Inverda {
         arrived: Option<SmoId>,
         departing: Option<SmoId>,
         batch: &mut WriteBatch,
+        plan: &mut MaintenancePlan,
     ) {
         let g = &state.genealogy;
         let m = &state.materialization;
@@ -317,6 +646,7 @@ impl Inverda {
                 .iter()
                 .chain(inst.derived.shared_aux.iter().map(|s| &s.table))
             {
+                plan.maint.record_purge(&a.rel);
                 for k in &deleted {
                     batch.delete_if_present(a.rel.clone(), *k);
                 }
@@ -499,6 +829,110 @@ mod tests {
             ),
             Err(CoreError::MissingRow { .. })
         ));
+    }
+
+    #[test]
+    fn apply_many_mixed_batch_matches_sequential_writes() {
+        // One drain for the whole mixed batch must produce exactly the
+        // state that individual statements produce.
+        let batched = tasky_full();
+        let sequential = tasky_full();
+        let kb = seed(&batched);
+        let ks = seed(&sequential);
+        assert_eq!(kb, ks);
+
+        let outcome = batched
+            .apply_many(
+                "TasKy",
+                "Task",
+                vec![
+                    LogicalWrite::Insert(vec!["Eve".into(), "New".into(), 1.into()]),
+                    LogicalWrite::Update(
+                        kb[0],
+                        vec!["Ann".into(), "Organize party".into(), 1.into()],
+                    ),
+                    LogicalWrite::Delete(kb[3]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(outcome.len(), 3);
+        let new_key = outcome[0].expect("insert returns a key");
+        assert_eq!(outcome[1], None);
+        assert_eq!(outcome[2], None);
+
+        let k2 = sequential
+            .insert("TasKy", "Task", vec!["Eve".into(), "New".into(), 1.into()])
+            .unwrap();
+        assert_eq!(k2, new_key);
+        sequential
+            .update(
+                "TasKy",
+                "Task",
+                ks[0],
+                vec!["Ann".into(), "Organize party".into(), 1.into()],
+            )
+            .unwrap();
+        sequential.delete("TasKy", "Task", ks[3]).unwrap();
+
+        for (v, t) in [
+            ("TasKy", "Task"),
+            ("Do!", "Todo"),
+            ("TasKy2", "Task"),
+            ("TasKy2", "Author"),
+        ] {
+            assert_eq!(
+                batched.scan(v, t).unwrap().to_string(),
+                sequential.scan(v, t).unwrap().to_string(),
+                "{v}.{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_many_later_writes_see_earlier_ones() {
+        let db = tasky_full();
+        let out = db
+            .apply_many(
+                "TasKy",
+                "Task",
+                vec![
+                    LogicalWrite::Insert(vec!["Eve".into(), "draft".into(), 2.into()]),
+                    // Update the row just inserted in this very batch.
+                    LogicalWrite::Update(Key(0), vec![]), // placeholder, replaced below
+                ],
+            )
+            .map(|_| ());
+        // The placeholder key 0 does not exist: the whole batch must fail
+        // atomically and leave no trace of the first insert.
+        assert!(out.is_err());
+        assert_eq!(db.count("TasKy", "Task").unwrap(), 0);
+
+        // Now a real insert-then-update-then-delete chain within one batch.
+        let out = db
+            .apply_many(
+                "TasKy",
+                "Task",
+                vec![LogicalWrite::Insert(vec![
+                    "Eve".into(),
+                    "draft".into(),
+                    2.into(),
+                ])],
+            )
+            .unwrap();
+        let k = out[0].unwrap();
+        let res = db
+            .apply_many(
+                "TasKy",
+                "Task",
+                vec![
+                    LogicalWrite::Update(k, vec!["Eve".into(), "final".into(), 1.into()]),
+                    LogicalWrite::Delete(k),
+                ],
+            )
+            .unwrap();
+        assert_eq!(res, vec![None, None]);
+        assert!(db.get("TasKy", "Task", k).unwrap().is_none());
+        assert_eq!(db.count("Do!", "Todo").unwrap(), 0);
     }
 
     #[test]

@@ -328,6 +328,15 @@ impl CompiledRuleSet {
         self.staged
     }
 
+    /// Whether any rule binds a variable through a skolem generator —
+    /// evaluating such a set can mint fresh ids, i.e. it has side effects
+    /// beyond its derived heads.
+    pub fn mints_ids(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|lit| matches!(lit, CLit::Skolem { .. })))
+    }
+
     /// Indices of the rules deriving `head`.
     pub fn rules_for(&self, head: &str) -> &[usize] {
         self.head_index.get(head).map(Vec::as_slice).unwrap_or(&[])
@@ -661,7 +670,8 @@ pub struct Evaluator<'a> {
     pub derived: BTreeMap<String, Arc<Relation>>,
     /// `head → key → row` memo; outer lookups are by `&str` (no allocation).
     by_key_memo: HashMap<String, HashMap<Key, Option<Row>>>,
-    /// Join indexes over *derived* heads, invalidated when a head grows.
+    /// Join indexes over *derived* heads, patched incrementally as heads
+    /// grow (heads are append-only: a conflicting emit is an error).
     /// (EDB relations are indexed and cached by the [`EdbView`] itself.)
     derived_indexes: IndexCache,
 }
@@ -708,7 +718,10 @@ impl<'a> Evaluator<'a> {
                 key: key.0,
             }),
             None => {
-                self.derived_indexes.invalidate(head);
+                // A head only ever *grows* (conflicting emits error out
+                // above), so cached indexes are patched for the appended
+                // row instead of being dropped and rebuilt at O(n).
+                self.derived_indexes.patch_row(head, key, None, Some(&row));
                 Arc::make_mut(rel)
                     .upsert(key, row)
                     .map_err(DatalogError::from)?;
@@ -1527,6 +1540,55 @@ mod tests {
         let out = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
         assert_eq!(out["H"].len(), 1);
         assert!(out["H"].contains_key(Key(1)));
+    }
+
+    #[test]
+    fn derived_head_index_follows_incremental_growth() {
+        // Rule 2 probes head H by payload (unbound key -> index path), then
+        // rule 3 grows H, then rule 4 probes it again: the cached index must
+        // reflect the appended rows without a rebuild, and results must
+        // match the naive engine exactly.
+        let rules = RuleSet::new(vec![
+            Rule::new(
+                Atom::vars("H", &["p", "n"]),
+                vec![Literal::Pos(Atom::vars("A", &["p", "n"]))],
+            ),
+            Rule::new(
+                Atom::vars("J1", &["q", "n"]),
+                vec![
+                    Literal::Pos(Atom::vars("B", &["q", "n"])),
+                    Literal::Pos(Atom::new("H", vec![Term::Anon, Term::var("n")])),
+                ],
+            ),
+            Rule::new(
+                Atom::vars("H", &["p", "n"]),
+                vec![Literal::Pos(Atom::vars("A2", &["p", "n"]))],
+            ),
+            Rule::new(
+                Atom::vars("J2", &["q", "n"]),
+                vec![
+                    Literal::Pos(Atom::vars("B", &["q", "n"])),
+                    Literal::Pos(Atom::new("H", vec![Term::Anon, Term::var("n")])),
+                ],
+            ),
+        ]);
+        let mut a = Relation::with_columns("A", ["n"]);
+        a.insert(Key(1), vec![Value::Int(10)]).unwrap();
+        let mut a2 = Relation::with_columns("A2", ["n"]);
+        a2.insert(Key(2), vec![Value::Int(20)]).unwrap();
+        let mut b = Relation::with_columns("B", ["n"]);
+        b.insert(Key(100), vec![Value::Int(10)]).unwrap();
+        b.insert(Key(101), vec![Value::Int(20)]).unwrap();
+        let mut edb = MapEdb::new();
+        edb.add(a).add(a2).add(b);
+        let sk = ids();
+        let compiled = evaluate(&rules, &edb, &sk, &BTreeMap::new()).unwrap();
+        // J1 ran before H grew: only n=10 matches. J2 sees both.
+        assert_eq!(compiled["J1"].len(), 1);
+        assert_eq!(compiled["J2"].len(), 2);
+        let sk2 = ids();
+        let naive = crate::naive::evaluate(&rules, &edb, &sk2, &BTreeMap::new()).unwrap();
+        assert_eq!(compiled, naive);
     }
 
     #[test]

@@ -90,6 +90,16 @@ impl SkolemRegistry {
             .copied()
     }
 
+    /// Debug dump of every memoized assignment (diagnostics).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for ((generator, args), id) in &self.memo {
+            let cells: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+            out.push_str(&format!("{generator}({}) -> {id}\n", cells.join(", ")));
+        }
+        out
+    }
+
     /// Number of memoized assignments (diagnostics).
     pub fn len(&self) -> usize {
         self.memo.len()

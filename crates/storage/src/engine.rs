@@ -4,6 +4,17 @@
 //! propagation touches several tables per logical write and the paper's
 //! evaluation measures single-thread performance; a coarse lock keeps batch
 //! application trivially atomic while still allowing concurrent readers.
+//!
+//! Tables are stored as `Arc<Relation>` and mutated copy-on-write, so
+//! [`Storage::snapshot`] is an O(1) reference-count bump: a statement that
+//! reads a table pays nothing for isolation, and a write batch deep-copies a
+//! table only while some snapshot of it is still alive. Every table carries
+//! an **epoch** — a value drawn from one engine-wide monotonic counter,
+//! restamped on every mutation — which is the invalidation currency of the
+//! cross-statement snapshot store in `inverda-core`: a derived snapshot is
+//! reusable iff every physical table in its resolution footprint still shows
+//! the epoch observed at resolution time. Epochs are never reused, so a
+//! table dropped and re-created can never satisfy a stale footprint.
 
 use crate::batch::{WriteBatch, WriteOp};
 use crate::error::StorageError;
@@ -12,8 +23,9 @@ use crate::schema::TableSchema;
 use crate::value::Key;
 use crate::Result;
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Named monotonic sequences.
 ///
@@ -61,11 +73,21 @@ impl SequenceSet {
     }
 }
 
+/// One stored table: shared contents plus its current epoch.
+#[derive(Debug)]
+struct TableEntry {
+    rel: Arc<Relation>,
+    epoch: u64,
+}
+
 /// A namespace of physical tables.
 #[derive(Debug, Default)]
 pub struct Storage {
-    tables: RwLock<BTreeMap<String, Relation>>,
+    tables: RwLock<BTreeMap<String, TableEntry>>,
     sequences: SequenceSet,
+    /// Engine-wide epoch source; see the module docs. Starts at 1 so a live
+    /// table's epoch is never 0 — `epoch_of` returns 0 for missing tables.
+    epoch_seq: AtomicU64,
 }
 
 impl Storage {
@@ -74,6 +96,7 @@ impl Storage {
         Storage {
             tables: RwLock::new(BTreeMap::new()),
             sequences: SequenceSet::new(),
+            epoch_seq: AtomicU64::new(1),
         }
     }
 
@@ -82,14 +105,13 @@ impl Storage {
         &self.sequences
     }
 
+    fn next_epoch(&self) -> u64 {
+        self.epoch_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Create an empty table. Fails if the name is taken.
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
-        let mut tables = self.tables.write();
-        if tables.contains_key(&schema.name) {
-            return Err(StorageError::TableExists { table: schema.name });
-        }
-        tables.insert(schema.name.clone(), Relation::new(schema));
-        Ok(())
+        self.create_table_with(Relation::new(schema))
     }
 
     /// Create a table pre-filled with `rel`'s rows (used by migration).
@@ -100,15 +122,23 @@ impl Storage {
                 table: rel.name().to_string(),
             });
         }
-        tables.insert(rel.name().to_string(), rel);
+        let epoch = self.next_epoch();
+        tables.insert(
+            rel.name().to_string(),
+            TableEntry {
+                rel: Arc::new(rel),
+                epoch,
+            },
+        );
         Ok(())
     }
 
     /// Drop a table, returning its final contents.
-    pub fn drop_table(&self, name: &str) -> Result<Relation> {
+    pub fn drop_table(&self, name: &str) -> Result<Arc<Relation>> {
         self.tables
             .write()
             .remove(name)
+            .map(|entry| entry.rel)
             .ok_or_else(|| StorageError::UnknownTable {
                 table: name.to_string(),
             })
@@ -137,26 +167,50 @@ impl Storage {
     /// Run a closure against a read-locked table.
     pub fn with_table<T>(&self, name: &str, f: impl FnOnce(&Relation) -> T) -> Result<T> {
         let tables = self.tables.read();
-        let rel = tables.get(name).ok_or_else(|| StorageError::UnknownTable {
+        let entry = tables.get(name).ok_or_else(|| StorageError::UnknownTable {
             table: name.to_string(),
         })?;
-        Ok(f(rel))
+        Ok(f(&entry.rel))
     }
 
-    /// Clone a table's current state (a consistent snapshot).
-    pub fn snapshot(&self, name: &str) -> Result<Relation> {
-        self.with_table(name, |rel| rel.clone())
+    /// A table's current state as a shared snapshot — O(1); later writes
+    /// copy-on-write and leave the snapshot untouched.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<Relation>> {
+        let tables = self.tables.read();
+        tables
+            .get(name)
+            .map(|entry| Arc::clone(&entry.rel))
+            .ok_or_else(|| StorageError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// Snapshot a table together with its epoch, atomically.
+    pub fn snapshot_with_epoch(&self, name: &str) -> Result<(Arc<Relation>, u64)> {
+        let tables = self.tables.read();
+        tables
+            .get(name)
+            .map(|entry| (Arc::clone(&entry.rel), entry.epoch))
+            .ok_or_else(|| StorageError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// The table's current epoch; 0 if the table does not exist (live tables
+    /// always have epoch ≥ 1).
+    pub fn epoch_of(&self, name: &str) -> u64 {
+        self.tables.read().get(name).map(|e| e.epoch).unwrap_or(0)
     }
 
     /// Snapshot several tables under one read lock (mutually consistent).
-    pub fn snapshot_many(&self, names: &[&str]) -> Result<Vec<Relation>> {
+    pub fn snapshot_many(&self, names: &[&str]) -> Result<Vec<Arc<Relation>>> {
         let tables = self.tables.read();
         names
             .iter()
             .map(|name| {
                 tables
                     .get(*name)
-                    .cloned()
+                    .map(|entry| Arc::clone(&entry.rel))
                     .ok_or_else(|| StorageError::UnknownTable {
                         table: (*name).to_string(),
                     })
@@ -164,47 +218,95 @@ impl Storage {
             .collect()
     }
 
-    /// Apply a batch atomically: on any failure the pre-batch state of every
-    /// touched table is restored and the error returned.
+    /// Apply a batch atomically: every operation is validated against the
+    /// in-order simulated effect of the batch *before* anything is mutated,
+    /// so a failing batch leaves storage untouched without an undo log, and
+    /// a succeeding one mutates tables copy-on-write (a deep copy happens
+    /// only while an outstanding snapshot still shares the table). Each
+    /// touched table is restamped with a fresh epoch.
     pub fn apply(&self, batch: &WriteBatch) -> Result<()> {
         let mut tables = self.tables.write();
-        // Undo log: table name -> its state before the first mutation.
-        let mut undo: BTreeMap<String, Relation> = BTreeMap::new();
+        // ---- Phase 1: validate. `present` overlays the batch's own effects
+        // so intra-batch sequences (insert then delete the same key, …) are
+        // judged like the sequential application would.
+        let mut present: HashMap<(&str, Key), bool> = HashMap::new();
         for op in &batch.ops {
-            let name = op.table().to_string();
-            let rel = match tables.get_mut(&name) {
-                Some(rel) => rel,
-                None => {
-                    let err = StorageError::UnknownTable { table: name };
-                    Self::rollback(&mut tables, undo);
-                    return Err(err);
+            let name = op.table();
+            let entry = tables.get(name).ok_or_else(|| StorageError::UnknownTable {
+                table: name.to_string(),
+            })?;
+            let arity = entry.rel.schema().arity();
+            if let WriteOp::Insert { row, .. }
+            | WriteOp::Upsert { row, .. }
+            | WriteOp::Update { row, .. } = op
+            {
+                if row.len() != arity {
+                    return Err(StorageError::ArityMismatch {
+                        table: name.to_string(),
+                        expected: arity,
+                        got: row.len(),
+                    });
                 }
-            };
-            if !undo.contains_key(rel.name()) {
-                undo.insert(rel.name().to_string(), rel.clone());
             }
-            let res = match op {
-                WriteOp::Insert { key, row, .. } => rel.insert(*key, row.clone()),
-                WriteOp::Upsert { key, row, .. } => rel.upsert(*key, row.clone()),
-                WriteOp::Delete { key, .. } => rel.delete(*key).map(|_| ()),
-                WriteOp::DeleteIfPresent { key, .. } => {
-                    rel.delete_if_present(*key);
-                    Ok(())
+            let key = op.key();
+            let exists = present
+                .get(&(name, key))
+                .copied()
+                .unwrap_or_else(|| entry.rel.contains_key(key));
+            match op {
+                WriteOp::Insert { .. } if exists => {
+                    return Err(StorageError::DuplicateKey {
+                        table: name.to_string(),
+                        key: key.0,
+                    });
                 }
-                WriteOp::Update { key, row, .. } => rel.update(*key, row.clone()).map(|_| ()),
-            };
-            if let Err(err) = res {
-                Self::rollback(&mut tables, undo);
-                return Err(err);
+                WriteOp::Delete { .. } | WriteOp::Update { .. } if !exists => {
+                    return Err(StorageError::MissingKey {
+                        table: name.to_string(),
+                        key: key.0,
+                    });
+                }
+                _ => {}
+            }
+            let present_after =
+                !matches!(op, WriteOp::Delete { .. } | WriteOp::DeleteIfPresent { .. });
+            present.insert((name, key), present_after);
+        }
+        // ---- Phase 2: apply (infallible after validation). No-op writes —
+        // upserting an identical row, deleting an absent key — are skipped
+        // before the copy-on-write, so they neither deep-copy a shared table
+        // nor move its epoch.
+        let mut touched: BTreeSet<&str> = BTreeSet::new();
+        for op in &batch.ops {
+            let entry = tables.get_mut(op.table()).expect("validated");
+            match op {
+                WriteOp::Insert { key, row, .. }
+                | WriteOp::Upsert { key, row, .. }
+                | WriteOp::Update { key, row, .. } => {
+                    if entry.rel.get(*key) == Some(row) {
+                        continue;
+                    }
+                    Arc::make_mut(&mut entry.rel)
+                        .upsert(*key, row.clone())
+                        .expect("validated arity");
+                }
+                WriteOp::Delete { key, .. } | WriteOp::DeleteIfPresent { key, .. } => {
+                    if !entry.rel.contains_key(*key) {
+                        continue;
+                    }
+                    Arc::make_mut(&mut entry.rel).delete_if_present(*key);
+                }
+            }
+            touched.insert(op.table());
+        }
+        // ---- Phase 3: restamp epochs of touched tables.
+        for name in touched {
+            let epoch = self.next_epoch();
+            if let Some(entry) = tables.get_mut(name) {
+                entry.epoch = epoch;
             }
         }
         Ok(())
-    }
-
-    fn rollback(tables: &mut BTreeMap<String, Relation>, undo: BTreeMap<String, Relation>) {
-        for (name, rel) in undo {
-            tables.insert(name, rel);
-        }
     }
 
     /// Replace a table's entire contents (used by migration when moving data
@@ -216,13 +318,20 @@ impl Storage {
                 table: rel.name().to_string(),
             });
         }
-        tables.insert(rel.name().to_string(), rel);
+        let epoch = self.next_epoch();
+        tables.insert(
+            rel.name().to_string(),
+            TableEntry {
+                rel: Arc::new(rel),
+                epoch,
+            },
+        );
         Ok(())
     }
 
     /// Total number of rows across all tables (diagnostics).
     pub fn total_rows(&self) -> usize {
-        self.tables.read().values().map(|r| r.len()).sum()
+        self.tables.read().values().map(|e| e.rel.len()).sum()
     }
 }
 
@@ -278,6 +387,36 @@ mod tests {
     }
 
     #[test]
+    fn intra_batch_effects_are_validated_in_order() {
+        let s = storage_with_t();
+        // Insert then delete then re-insert the same key: legal in sequence.
+        let mut b = WriteBatch::new();
+        b.insert("T", Key(1), vec![Value::Int(1), Value::Int(1)])
+            .delete("T", Key(1))
+            .insert("T", Key(1), vec![Value::Int(2), Value::Int(2)]);
+        s.apply(&b).unwrap();
+        assert_eq!(
+            s.with_table("T", |r| r.get(Key(1)).cloned()).unwrap(),
+            Some(vec![Value::Int(2), Value::Int(2)])
+        );
+        // Update of a key only created earlier in the same batch: legal.
+        let mut b2 = WriteBatch::new();
+        b2.insert("T", Key(2), vec![Value::Int(3), Value::Int(3)])
+            .update("T", Key(2), vec![Value::Int(4), Value::Int(4)]);
+        s.apply(&b2).unwrap();
+        // Update of a key deleted earlier in the same batch: rejected, and
+        // the whole batch must be rolled back.
+        let mut b3 = WriteBatch::new();
+        b3.delete("T", Key(2))
+            .update("T", Key(2), vec![Value::Int(5), Value::Int(5)]);
+        assert!(s.apply(&b3).is_err());
+        assert_eq!(
+            s.with_table("T", |r| r.get(Key(2)).cloned()).unwrap(),
+            Some(vec![Value::Int(4), Value::Int(4)])
+        );
+    }
+
+    #[test]
     fn sequences_are_monotonic_and_independent() {
         let s = Storage::new();
         let k1 = s.sequences().next_key();
@@ -325,6 +464,62 @@ mod tests {
         assert_eq!(s.row_count("T").unwrap(), 1);
         let orphan = Relation::with_columns("Ghost", ["x"]);
         assert!(s.replace_table(orphan).is_err());
+    }
+
+    #[test]
+    fn epochs_restamp_on_every_mutation() {
+        let s = storage_with_t();
+        let e0 = s.epoch_of("T");
+        assert!(e0 >= 1);
+        assert_eq!(s.epoch_of("NoSuch"), 0);
+
+        let mut b = WriteBatch::new();
+        b.insert("T", Key(1), vec![Value::Int(1), Value::Int(1)]);
+        s.apply(&b).unwrap();
+        let e1 = s.epoch_of("T");
+        assert!(e1 > e0);
+
+        // A failing batch must not move the epoch.
+        let mut bad = WriteBatch::new();
+        bad.insert("T", Key(1), vec![Value::Int(2), Value::Int(2)]);
+        assert!(s.apply(&bad).is_err());
+        assert_eq!(s.epoch_of("T"), e1);
+
+        // Untouched tables keep their epoch.
+        s.create_table(TableSchema::new("U", ["x"]).unwrap())
+            .unwrap();
+        let eu = s.epoch_of("U");
+        let mut b2 = WriteBatch::new();
+        b2.delete("T", Key(1));
+        s.apply(&b2).unwrap();
+        assert!(s.epoch_of("T") > e1);
+        assert_eq!(s.epoch_of("U"), eu);
+
+        // Replace and re-create restamp; epochs are never reused.
+        s.replace_table(Relation::with_columns("T", ["a", "b"]))
+            .unwrap();
+        let e3 = s.epoch_of("T");
+        assert!(e3 > e1);
+        s.drop_table("T").unwrap();
+        assert_eq!(s.epoch_of("T"), 0);
+        s.create_table(TableSchema::new("T", ["a", "b"]).unwrap())
+            .unwrap();
+        assert!(s.epoch_of("T") > e3);
+    }
+
+    #[test]
+    fn snapshot_with_epoch_matches_contents() {
+        let s = storage_with_t();
+        let (snap0, e0) = s.snapshot_with_epoch("T").unwrap();
+        assert!(snap0.is_empty());
+        let mut b = WriteBatch::new();
+        b.insert("T", Key(1), vec![Value::Int(1), Value::Int(1)]);
+        s.apply(&b).unwrap();
+        let (snap1, e1) = s.snapshot_with_epoch("T").unwrap();
+        assert_eq!(snap1.len(), 1);
+        assert!(e1 > e0);
+        // The old snapshot still describes the old epoch's contents.
+        assert!(snap0.is_empty());
     }
 
     #[test]

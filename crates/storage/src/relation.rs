@@ -268,6 +268,47 @@ impl ColumnIndex {
     pub fn distinct_values(&self) -> usize {
         self.map.len()
     }
+
+    /// Record that `key`'s indexed column now holds `value`, keeping the
+    /// per-value key list in ascending order (the order an index probe must
+    /// enumerate to match a scan). Idempotent for an already-recorded pair.
+    pub fn insert_key(&mut self, value: Value, key: Key) {
+        let keys = self.map.entry(value).or_default();
+        if let Err(pos) = keys.binary_search(&key) {
+            keys.insert(pos, key);
+        }
+    }
+
+    /// Remove the `(value, key)` pair; a no-op if it was not indexed.
+    pub fn remove_key(&mut self, value: &Value, key: Key) {
+        if let Some(keys) = self.map.get_mut(value) {
+            if let Ok(pos) = keys.binary_search(&key) {
+                keys.remove(pos);
+            }
+            if keys.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Patch this index (over payload column `column`) for one row change:
+    /// `old` is the replaced payload (None for a pure insert), `new` the
+    /// payload now stored under `key` (None for a delete). Tolerant of rows
+    /// shorter than the indexed column.
+    pub fn apply_row_change(
+        &mut self,
+        column: usize,
+        key: Key,
+        old: Option<&Row>,
+        new: Option<&Row>,
+    ) {
+        if let Some(v) = old.and_then(|row| row.get(column)) {
+            self.remove_key(v, key);
+        }
+        if let Some(v) = new.and_then(|row| row.get(column)) {
+            self.insert_key(v.clone(), key);
+        }
+    }
 }
 
 /// Interior-mutable cache of [`ColumnIndex`]es keyed by `(relation,
@@ -310,9 +351,42 @@ impl IndexCache {
         Ok(built)
     }
 
+    /// The cached index for `(relation, column)`, if any.
+    pub fn get(&self, relation: &str, column: usize) -> Option<Arc<ColumnIndex>> {
+        self.0
+            .borrow()
+            .get(relation)
+            .and_then(|cols| cols.get(&column))
+            .map(Arc::clone)
+    }
+
+    /// Cache an externally built (or borrowed) index for `(relation,
+    /// column)`, replacing any previous one.
+    pub fn put(&self, relation: &str, column: usize, index: Arc<ColumnIndex>) {
+        self.0
+            .borrow_mut()
+            .entry(relation.to_string())
+            .or_default()
+            .insert(column, index);
+    }
+
     /// Drop every cached index of `relation` (its snapshot changed).
     pub fn invalidate(&self, relation: &str) {
         self.0.borrow_mut().remove(relation);
+    }
+
+    /// Patch every cached index of `relation` for one row change instead of
+    /// rebuilding: `old` is the replaced payload (None for a pure insert),
+    /// `new` the payload now stored under `key` (None for a delete). Indexes
+    /// of other relations and uncached columns are unaffected.
+    pub fn patch_row(&self, relation: &str, key: Key, old: Option<&Row>, new: Option<&Row>) {
+        let mut cache = self.0.borrow_mut();
+        let Some(cols) = cache.get_mut(relation) else {
+            return;
+        };
+        for (col, index) in cols.iter_mut() {
+            Arc::make_mut(index).apply_row_change(*col, key, old, new);
+        }
     }
 }
 
@@ -473,6 +547,67 @@ mod tests {
             .collect();
         assert_eq!(idx.keys_for(&probe), scanned.as_slice());
         assert_eq!(idx.keys_for(&probe), &[Key(1)]);
+    }
+
+    #[test]
+    fn column_index_incremental_patch_matches_rebuild() {
+        let mut r = Relation::with_columns("T", ["a"]);
+        r.insert(Key(5), vec!["x".into()]).unwrap();
+        r.insert(Key(1), vec!["x".into()]).unwrap();
+        let mut idx = r.build_column_index(0);
+        // Append a row with an existing value: key order must be maintained.
+        r.insert(Key(3), vec!["x".into()]).unwrap();
+        idx.insert_key(Value::text("x"), Key(3));
+        assert_eq!(idx.keys_for(&Value::text("x")), &[Key(1), Key(3), Key(5)]);
+        // Update: remove old value, insert new.
+        r.update(Key(3), vec!["y".into()]).unwrap();
+        idx.remove_key(&Value::text("x"), Key(3));
+        idx.insert_key(Value::text("y"), Key(3));
+        // Delete and drain a value class entirely.
+        r.delete(Key(3)).unwrap();
+        idx.remove_key(&Value::text("y"), Key(3));
+        assert_eq!(idx.keys_for(&Value::text("y")), &[] as &[Key]);
+        // Idempotent / tolerant edge cases.
+        idx.remove_key(&Value::text("nope"), Key(9));
+        idx.insert_key(Value::text("x"), Key(1));
+        let rebuilt = r.build_column_index(0);
+        assert_eq!(
+            idx.keys_for(&Value::text("x")),
+            rebuilt.keys_for(&Value::text("x"))
+        );
+        assert_eq!(idx.distinct_values(), rebuilt.distinct_values());
+    }
+
+    #[test]
+    fn index_cache_patch_row_tracks_changes() {
+        let mut r = Relation::with_columns("T", ["a", "b"]);
+        r.insert(Key(1), vec!["x".into(), 1.into()]).unwrap();
+        let cache = IndexCache::new();
+        let idx0: Arc<ColumnIndex> = cache
+            .get_or_build::<()>("T", 0, || Ok(r.build_column_index(0)))
+            .unwrap();
+        assert_eq!(idx0.keys_for(&Value::text("x")), &[Key(1)]);
+        // Patch for an update on column 0 (column 1 has no cached index).
+        cache.patch_row(
+            "T",
+            Key(1),
+            Some(&vec!["x".into(), 1.into()]),
+            Some(&vec!["y".into(), 2.into()]),
+        );
+        let idx1: Arc<ColumnIndex> = cache
+            .get_or_build::<()>("T", 0, || panic!("must be cached"))
+            .unwrap();
+        assert_eq!(idx1.keys_for(&Value::text("x")), &[] as &[Key]);
+        assert_eq!(idx1.keys_for(&Value::text("y")), &[Key(1)]);
+        // The pre-patch Arc still describes the old snapshot (COW).
+        assert_eq!(idx0.keys_for(&Value::text("x")), &[Key(1)]);
+        // Pure insert and pure delete.
+        cache.patch_row("T", Key(2), None, Some(&vec!["y".into(), 3.into()]));
+        cache.patch_row("T", Key(1), Some(&vec!["y".into(), 2.into()]), None);
+        let idx2: Arc<ColumnIndex> = cache
+            .get_or_build::<()>("T", 0, || panic!("must be cached"))
+            .unwrap();
+        assert_eq!(idx2.keys_for(&Value::text("y")), &[Key(2)]);
     }
 
     #[test]

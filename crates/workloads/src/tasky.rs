@@ -256,7 +256,7 @@ impl HandwrittenTasky {
     /// Read TasKy's `Task(author, task, prio)` view.
     pub fn read_tasky(&self) -> Relation {
         match self.layout {
-            Layout::Initial => self.storage.snapshot("task").unwrap(),
+            Layout::Initial => self.storage.snapshot("task").unwrap().as_ref().clone(),
             Layout::Evolved => {
                 let task2 = self.storage.snapshot("task2").unwrap();
                 let author2 = self.storage.snapshot("author2").unwrap();
@@ -298,7 +298,7 @@ impl HandwrittenTasky {
                 }
                 out
             }
-            Layout::Evolved => self.storage.snapshot("task2").unwrap(),
+            Layout::Evolved => self.storage.snapshot("task2").unwrap().as_ref().clone(),
         }
     }
 
