@@ -224,6 +224,54 @@ fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize) {
     (ms(round), ops)
 }
 
+/// Thread-scaling sweep: the three parallel-path workloads at 1/2/4/8
+/// logical workers. `unbound_join` re-times [`bench_full_scan_join`]'s
+/// compiled side (chunked outer scan), `materialize` migrates the loaded
+/// TasKy database onto the `Do!` side (whole-relation evaluation through
+/// the SPLIT mapping — the FK-DECOMPOSE side mints ids and deliberately
+/// stays sequential), and `tasky_write_round` is the warm-snapshot write
+/// round (delta-probe fan-out). Results at every width are asserted equal
+/// to the width-1 run — scaling must never buy nondeterminism.
+fn bench_thread_scaling(
+    rows: usize,
+    tasks: usize,
+    writes: usize,
+    reps: usize,
+) -> (Vec<usize>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let workers = vec![1usize, 2, 4, 8];
+    let mut join_ms = Vec::new();
+    let mut mat_ms = Vec::new();
+    let mut round_ms = Vec::new();
+    let mut baseline: Option<String> = None;
+    for &w in &workers {
+        inverda_datalog::parallel::set_threads(Some(w));
+        let (_, compiled, _) = bench_full_scan_join(rows, reps);
+        join_ms.push(compiled);
+
+        let db = tasky::build();
+        tasky::load_tasks(&db, tasks);
+        let mat = median_time(1, || {
+            db.materialize(&["Do!".to_string()]).expect("materialize");
+            db.materialize(&["TasKy".to_string()]).expect("back");
+        });
+        mat_ms.push(ms(mat));
+        let state = format!(
+            "{}{}",
+            db.scan("Do!", "Todo").unwrap(),
+            db.scan("TasKy", "Task").unwrap()
+        );
+        match &baseline {
+            None => baseline = Some(state),
+            Some(b) => assert_eq!(b, &state, "width {w} changed the migrated state"),
+        }
+
+        let (_, round) = bench_tasky_round(tasks, writes, WritePath::Delta, true);
+        round_ms.push(round);
+    }
+    inverda_datalog::parallel::set_threads(None);
+    (workers, join_ms, mat_ms, round_ms)
+}
+
 fn main() {
     banner(
         "Evaluator hot path: compiled vs naive",
@@ -265,6 +313,37 @@ fn main() {
     println!("   round, warm snapshots:     {round_warm:10.2} ms ({warm_wps:.0} writes/s, {warm_speedup:.1}x)");
     println!("   round, warm + apply_many:  {batched_warm:10.2} ms ({batched_wps:.0} writes/s)");
 
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("-- thread scaling (available_parallelism = {avail})");
+    let (workers, join_scaling, mat_scaling, round_scaling) =
+        bench_thread_scaling(rows, tasks, writes, reps);
+    for (i, w) in workers.iter().enumerate() {
+        println!(
+            "   {w} worker(s): unbound join {:10.2} ms | materialize {:10.2} ms | warm round {:10.2} ms",
+            join_scaling[i], mat_scaling[i], round_scaling[i]
+        );
+    }
+    let join_speedup_4 = join_scaling[0] / join_scaling[2].max(f64::EPSILON);
+    let mat_speedup_4 = mat_scaling[0] / mat_scaling[2].max(f64::EPSILON);
+    println!("   speedup at 4 workers: join {join_speedup_4:.2}x, materialize {mat_speedup_4:.2}x");
+
+    let fmt_list = |xs: &[f64]| {
+        xs.iter()
+            .map(|x| format!("{x:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let workers_list = workers
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let join_list = fmt_list(&join_scaling);
+    let mat_list = fmt_list(&mat_scaling);
+    let round_list = fmt_list(&round_scaling);
+
     let json = format!(
         r#"{{
   "bench": "eval",
@@ -292,6 +371,15 @@ fn main() {
     "speedup_over_cold": {warm_speedup:.2},
     "apply_many_ms": {batched_warm:.3},
     "apply_many_writes_per_s": {batched_wps:.0}
+  }},
+  "thread_scaling": {{
+    "available_parallelism": {avail},
+    "workers": [{workers_list}],
+    "unbound_join_ms": [{join_list}],
+    "materialize_ms": [{mat_list}],
+    "tasky_write_round_warm_ms": [{round_list}],
+    "unbound_join_speedup_at_4": {join_speedup_4:.2},
+    "materialize_speedup_at_4": {mat_speedup_4:.2}
   }}
 }}
 "#

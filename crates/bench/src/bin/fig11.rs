@@ -1,6 +1,6 @@
 //! Figure 11: access performance of every TasKy schema version under each
 //! of the five valid materialization schemas (Table 2, including the
-//! intermediate stages [S] and [D]), for three workloads
+//! intermediate stages \[S] and \[D]), for three workloads
 //! ((a) standard mix, (b) 100 % reads, (c) 100 % inserts).
 
 use inverda_bench::{banner, env_usize, time};
@@ -9,7 +9,7 @@ use inverda_workloads::tasky::{self, run_mix};
 use inverda_workloads::Mix;
 
 /// The five valid materialization schemas with the paper's abbreviations
-/// ([S] = SPLIT, [DC] = DROP COLUMN, [D] = DECOMPOSE, [RC] = RENAME COLUMN),
+/// (\[S] = SPLIT, \[DC] = DROP COLUMN, \[D] = DECOMPOSE, \[RC] = RENAME COLUMN),
 /// ordered as in Figure 11's x-axis (Do! side → initial → TasKy2 side).
 fn materializations(db: &inverda_core::Inverda) -> Vec<(String, MaterializationSchema)> {
     let mut all = db.with_genealogy(|g| {

@@ -1,0 +1,344 @@
+//! Offline vendored stand-in for a rayon-style **scoped work-stealing
+//! thread pool** (the build environment has no network access, so `rayon`
+//! itself cannot be pulled in; swap this crate for `rayon`/`rayon-core` if
+//! that ever changes).
+//!
+//! The API surface is the small subset the InVerDa engine needs:
+//!
+//! * [`ThreadPool::new`] spawns a fixed set of worker threads, each owning a
+//!   deque of jobs; idle workers **steal** from their siblings, so uneven
+//!   task sizes (one big join chunk next to many small ones) still saturate
+//!   the pool.
+//! * [`ThreadPool::scope`] runs a closure that may [`Scope::spawn`] jobs
+//!   **borrowing the caller's stack** (like `rayon::scope`). The scope does
+//!   not return until every spawned job finished; the calling thread helps
+//!   execute jobs while it waits, so nested scopes (a parallel evaluation
+//!   triggering a parallel sub-resolution) cannot deadlock and a pool of
+//!   `n` workers yields `n + 1`-way parallelism.
+//! * [`ThreadPool::map_indexed`] is the convenience used by the engine's
+//!   fan-outs: run `n` independent tasks and collect their results **by
+//!   index**, which is what makes the engine's parallel paths
+//!   order-deterministic — results are merged in task order, never in
+//!   completion order.
+//!
+//! Panics inside a job are caught, forwarded, and re-raised on the thread
+//! that owns the scope (again like rayon), so a failing differential
+//! assertion inside a parallel test still fails that test.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A type-erased job. Jobs are spawned with a scope lifetime and transmuted
+/// to `'static`; soundness is the scope's completion barrier (see
+/// [`ThreadPool::scope`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One job deque per worker. Workers pop from the back of their own
+    /// deque and steal from the front of a sibling's.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakes idle workers when jobs arrive (and shuts them down).
+    idle: Condvar,
+    idle_lock: Mutex<()>,
+    /// Number of queued-but-not-yet-taken jobs.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pop or steal one job, scanning all deques starting at `home`.
+    fn take_job(&self, home: usize) -> Option<Job> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let q = &self.queues[(home + i) % n];
+            let job = if i == 0 {
+                q.lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+            } else {
+                q.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            };
+            if let Some(job) = job {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn push_job(&self, slot: usize, job: Job) {
+        self.queues[slot % self.queues.len()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.idle.notify_all();
+    }
+}
+
+/// Completion state of one [`ThreadPool::scope`] call.
+struct ScopeState {
+    /// Jobs spawned but not yet finished.
+    remaining: AtomicUsize,
+    /// First panic payload raised by a job of this scope.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A scoped work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Round-robin spawn cursor.
+    next_queue: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `workers` background threads (at least one). The
+    /// thread calling [`scope`](ThreadPool::scope) participates too, so the
+    /// effective parallelism is `workers + 1`.
+    pub fn new(workers: usize) -> ThreadPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{home}"))
+                    .spawn(move || worker_loop(&shared, home))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            next_queue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of background workers.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Run `op`, allowing it to [`Scope::spawn`] jobs that borrow data from
+    /// the surrounding stack frame. Does not return (or unwind) until every
+    /// spawned job has finished — that barrier is what makes the internal
+    /// lifetime erasure sound. The calling thread executes jobs while it
+    /// waits.
+    pub fn scope<'scope, R>(&self, op: impl FnOnce(&Scope<'scope, '_>) -> R) -> R {
+        let state = Arc::new(ScopeState {
+            remaining: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _scope: std::marker::PhantomData,
+        };
+        let out = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Help until every job of this scope completed — even if `op`
+        // panicked, jobs still borrow the stack and must finish first.
+        while state.remaining.load(Ordering::SeqCst) > 0 {
+            match self.shared.take_job(0) {
+                Some(job) => job(),
+                None => std::thread::yield_now(),
+            }
+        }
+        if let Some(payload) = state.panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            resume_unwind(payload);
+        }
+        match out {
+            Ok(out) => out,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Run `n` independent tasks on the pool and collect their results in
+    /// task order (index `i` of the output is `task(i)`), regardless of
+    /// which worker finished first.
+    ///
+    /// `width` is a **hard bound on this call's concurrency**: at most
+    /// `width` lanes (the caller plus `width - 1` pool jobs) pull task
+    /// indices from a shared cursor, so `width = 2` runs at most 2 tasks
+    /// at any moment even on a 16-core pool — a `threads = n` sweep
+    /// measures n-way execution, not pool-sized execution. (Nested
+    /// `map_indexed` calls inside tasks each get their own bound.)
+    pub fn map_indexed<T, F>(&self, n: usize, width: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n <= 1 || width <= 1 {
+            return (0..n).map(task).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let lane = || loop {
+            let i = cursor.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                break;
+            }
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(task(i));
+        };
+        self.scope(|s| {
+            for _ in 0..(width - 1).min(n - 1) {
+                s.spawn(lane);
+            }
+            // The caller is the remaining lane.
+            lane();
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every task index was claimed by a lane")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.idle.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, home: usize) {
+    loop {
+        if let Some(job) = shared.take_job(home) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Park until work arrives (with a timeout so a lost wakeup cannot
+        // strand a worker forever).
+        let guard = shared.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            let _ = shared.idle.wait_timeout(guard, Duration::from_millis(1));
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`].
+pub struct Scope<'scope, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope` (the jobs' borrow lifetime).
+    _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Queue a job. It may borrow anything that outlives the scope; it runs
+    /// on some pool worker (or on the scope's own thread while it waits).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.remaining.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.remaining.fetch_sub(1, Ordering::SeqCst);
+        });
+        // SAFETY: `scope` does not return until `remaining` reaches zero,
+        // i.e. after this job (and its borrows) are done; the job box never
+        // outlives the borrowed data.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let slot = self.pool.next_queue.fetch_add(1, Ordering::Relaxed);
+        self.pool.shared.push_job(slot, job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_task_order() {
+        let pool = ThreadPool::new(3);
+        let out = pool.map_indexed(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_jobs_borrow_stack_data() {
+        let pool = ThreadPool::new(2);
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut sums = vec![0u64; 4];
+        pool.scope(|s| {
+            for (i, slot) in sums.iter_mut().enumerate() {
+                let chunk = &data[i * 2..i * 2 + 2];
+                s.spawn(move || *slot = chunk.iter().sum());
+            }
+        });
+        assert_eq!(sums, vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total: usize = pool
+            .map_indexed(8, 4, |i| pool.map_indexed(8, 4, move |j| i * j).len())
+            .into_iter()
+            .sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn work_stealing_drains_uneven_tasks() {
+        let pool = ThreadPool::new(3);
+        // One long task next to many short ones; everything must complete.
+        let out = pool.map_indexed(32, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_owner() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("job panic"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must stay usable afterwards.
+        assert_eq!(pool.map_indexed(4, 2, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn width_one_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        let out = pool.map_indexed(3, 1, move |_| std::thread::current().id() == tid);
+        assert_eq!(out, vec![true, true, true]);
+    }
+}

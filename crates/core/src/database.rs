@@ -353,8 +353,16 @@ impl Inverda {
     /// whose stored contents differ (diagnostics).
     pub fn snapshot_store_audit(&self) -> Vec<String> {
         use inverda_datalog::eval::EdbView;
+        /// Throwaway `Sync` id source over a cloned registry (audits must
+        /// not perturb the database's skolem state).
+        struct AuditIds(Mutex<SkolemRegistry>);
+        impl IdSource for AuditIds {
+            fn generate(&self, generator: &str, args: &[Value]) -> u64 {
+                self.0.lock().get_or_create(generator, args)
+            }
+        }
         let state = self.state.read();
-        let reg = std::cell::RefCell::new(self.ids.0.lock().clone());
+        let reg = AuditIds(Mutex::new(self.ids.0.lock().clone()));
         let edb = VersionedEdb::new(
             &state.genealogy,
             &state.materialization,
@@ -379,6 +387,13 @@ impl Inverda {
     /// Current value of the global key sequence (diagnostics).
     pub fn debug_key_seq(&self) -> u64 {
         self.storage.sequences().current_key()
+    }
+
+    /// Shared snapshot of one physical table, `None` if it does not exist
+    /// (diagnostics and test oracles — e.g. re-deriving a virtual version
+    /// with the naive reference interpreter from the physical state).
+    pub fn physical_snapshot(&self, table: &str) -> Option<Arc<Relation>> {
+        self.storage.snapshot(table).ok()
     }
 
     /// Display form of one physical table's contents (diagnostics).

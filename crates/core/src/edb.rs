@@ -30,7 +30,7 @@ use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase, TableVersio
 use inverda_datalog::eval::{evaluate_compiled, EdbView, Evaluator, IdSource};
 use inverda_datalog::{CompiledRuleSet, DatalogError, Literal, RuleSet};
 use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row, Storage};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -43,7 +43,7 @@ pub struct VersionedEdb<'a> {
     genealogy: &'a Genealogy,
     materialization: &'a MaterializationSchema,
     storage: &'a Storage,
-    ids: &'a dyn IdSource,
+    ids: &'a (dyn IdSource + Sync),
     compiled: &'a CompiledStore,
     /// Cross-statement snapshot store, when reuse is enabled.
     snapshots: Option<&'a SnapshotStore>,
@@ -55,13 +55,15 @@ pub struct VersionedEdb<'a> {
     aux_index: BTreeMap<String, (inverda_catalog::SmoId, bool)>,
     /// rel name → column names (for derived relation schemas).
     head_columns: BTreeMap<String, Vec<String>>,
-    cache: RefCell<BTreeMap<String, Arc<Relation>>>,
+    /// Caches are mutex-guarded (not `RefCell`) so the view is `Sync` and
+    /// one statement's view can be shared by parallel evaluation workers.
+    cache: Mutex<BTreeMap<String, Arc<Relation>>>,
     /// Physical table → epoch of the snapshot this statement reads (first
     /// access wins, so footprint stamps agree with the data actually read).
-    seen_epochs: RefCell<HashMap<String, u64>>,
+    seen_epochs: Mutex<HashMap<String, u64>>,
     /// Two-level `rel → key → row` cache: lookups are by `&str`, so the hot
     /// path allocates nothing.
-    key_cache: RefCell<HashMap<String, HashMap<Key, Option<Row>>>>,
+    key_cache: Mutex<HashMap<String, HashMap<Key, Option<Row>>>>,
     /// Secondary join indexes per `(rel, column)`, shared with every
     /// evaluator that probes through this view.
     index_cache: IndexCache,
@@ -73,7 +75,7 @@ impl<'a> VersionedEdb<'a> {
         genealogy: &'a Genealogy,
         materialization: &'a MaterializationSchema,
         storage: &'a Storage,
-        ids: &'a dyn IdSource,
+        ids: &'a (dyn IdSource + Sync),
         compiled: &'a CompiledStore,
     ) -> Self {
         let mut rel_index = BTreeMap::new();
@@ -107,9 +109,9 @@ impl<'a> VersionedEdb<'a> {
             rel_index,
             aux_index,
             head_columns,
-            cache: RefCell::new(BTreeMap::new()),
-            seen_epochs: RefCell::new(HashMap::new()),
-            key_cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
+            seen_epochs: Mutex::new(HashMap::new()),
+            key_cache: Mutex::new(HashMap::new()),
             index_cache: IndexCache::new(),
         }
     }
@@ -209,6 +211,47 @@ impl<'a> VersionedEdb<'a> {
         }
     }
 
+    /// Whether resolving `relation` cold could **mint skolem ids**: true if
+    /// any rule set in its resolution closure (defining rule sets expanded
+    /// recursively through virtual relations, like
+    /// [`static_footprint`](VersionedEdb::static_footprint)) binds a
+    /// variable through a generator. Such resolutions have side effects —
+    /// the minted ids depend on evaluation order — so they must never be
+    /// triggered lazily from a parallel worker.
+    fn resolution_may_mint(&self, relation: &str, visited: &mut BTreeSet<String>) -> bool {
+        if !visited.insert(relation.to_string()) {
+            return false;
+        }
+        if self.storage.has_table(relation) {
+            return false;
+        }
+        let Some(rules) = self.resolving_rules(relation) else {
+            return false;
+        };
+        let heads: BTreeSet<&str> = rules
+            .rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect();
+        for rule in &rules.rules {
+            for lit in &rule.body {
+                match lit {
+                    Literal::Skolem { .. } => return true,
+                    Literal::Pos(atom) | Literal::Neg(atom) => {
+                        if heads.contains(atom.relation.as_str()) {
+                            continue;
+                        }
+                        if self.resolution_may_mint(&atom.relation, visited) {
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
     /// Footprint of `relation` stamped with the epochs this statement's
     /// snapshots correspond to: the first-read epoch where the table was
     /// already read, the current epoch otherwise. Stamps are taken *before*
@@ -217,7 +260,7 @@ impl<'a> VersionedEdb<'a> {
     fn stamped_footprint(&self, relation: &str) -> BTreeMap<String, u64> {
         let store = self.snapshots.expect("stamping requires a store");
         let footprint = store.footprint_of(relation, || self.static_footprint(relation));
-        let seen = self.seen_epochs.borrow();
+        let seen = self.seen_epochs.lock();
         footprint
             .iter()
             .map(|table| {
@@ -248,7 +291,7 @@ impl<'a> VersionedEdb<'a> {
     ) -> Result<Arc<Relation>> {
         let out = evaluate_compiled(crs, self, self.ids, &self.head_columns)
             .map_err(crate::CoreError::from)?;
-        let mut cache = self.cache.borrow_mut();
+        let mut cache = self.cache.lock();
         let mut requested = None;
         for (head, rel) in out {
             // Cache sibling heads too — one evaluation serves every output
@@ -338,19 +381,58 @@ impl<'a> VersionedEdb<'a> {
             .snapshot_with_epoch(relation)
             .map_err(DatalogError::Storage)?;
         self.seen_epochs
-            .borrow_mut()
+            .lock()
             .entry(relation.to_string())
             .or_insert(epoch);
         self.cache
-            .borrow_mut()
+            .lock()
             .insert(relation.to_string(), Arc::clone(&shared));
         Ok(shared)
     }
 }
 
 impl EdbView for VersionedEdb<'_> {
+    /// Make the view shareable by parallel workers: refuse (`Ok(false)`)
+    /// when any requested relation's resolution closure could mint skolem
+    /// ids (a lazy resolution from a worker would make id assignment
+    /// schedule-dependent), otherwise resolve everything **now** — distinct
+    /// uncached virtual relations cold-resolve in parallel on the pool
+    /// (each resolution is pure, so racing duplicates are identical and
+    /// harmless) — and report any resolution error as `Ok(false)` so the
+    /// sequential path produces the canonical outcome.
+    fn prepare_parallel(&self, relations: &[&str]) -> inverda_datalog::Result<bool> {
+        let mut visited = BTreeSet::new();
+        for rel in relations {
+            if self.resolution_may_mint(rel, &mut visited) {
+                return Ok(false);
+            }
+        }
+        let missing: Vec<&str> = {
+            let cache = self.cache.lock();
+            relations
+                .iter()
+                .copied()
+                .filter(|rel| !self.storage.has_table(rel) && !cache.contains_key(*rel))
+                .collect()
+        };
+        if missing.len() >= 2 && inverda_datalog::parallel::threads() > 1 {
+            let results = inverda_datalog::parallel::map_indexed(missing.len(), |i| {
+                self.full(missing[i]).map(|_| ())
+            });
+            if results.iter().any(|r| r.is_err()) {
+                return Ok(false);
+            }
+        }
+        for rel in relations {
+            if self.full(rel).is_err() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     fn full(&self, relation: &str) -> inverda_datalog::Result<Arc<Relation>> {
-        if let Some(hit) = self.cache.borrow().get(relation) {
+        if let Some(hit) = self.cache.lock().get(relation) {
             return Ok(Arc::clone(hit));
         }
         // Physical tables (data tables in P, aux tables, shared aux).
@@ -362,7 +444,7 @@ impl EdbView for VersionedEdb<'_> {
         if let Some(store) = self.snapshots {
             if let Some(hit) = store.get(relation, self.storage) {
                 self.cache
-                    .borrow_mut()
+                    .lock()
                     .insert(relation.to_string(), Arc::clone(&hit));
                 return Ok(hit);
             }
@@ -387,12 +469,12 @@ impl EdbView for VersionedEdb<'_> {
     }
 
     fn by_key(&self, relation: &str, key: Key) -> inverda_datalog::Result<Option<Row>> {
-        if let Some(hit) = self.cache.borrow().get(relation) {
+        if let Some(hit) = self.cache.lock().get(relation) {
             return Ok(hit.get(key).cloned());
         }
         if let Some(hit) = self
             .key_cache
-            .borrow()
+            .lock()
             .get(relation)
             .and_then(|m| m.get(&key))
         {
@@ -407,7 +489,7 @@ impl EdbView for VersionedEdb<'_> {
         if let Some(store) = self.snapshots {
             if let Some(hit) = store.get(relation, self.storage) {
                 let row = hit.get(key).cloned();
-                self.cache.borrow_mut().insert(relation.to_string(), hit);
+                self.cache.lock().insert(relation.to_string(), hit);
                 return Ok(row);
             }
         }
@@ -436,7 +518,7 @@ impl EdbView for VersionedEdb<'_> {
         let mut ev = Evaluator::new(self, self.ids);
         let row = ev.head_row_for_key(&crs, relation, key)?;
         self.key_cache
-            .borrow_mut()
+            .lock()
             .entry(relation.to_string())
             .or_default()
             .insert(key, row.clone());
@@ -461,7 +543,7 @@ impl EdbView for VersionedEdb<'_> {
         if let Some(store) = self.snapshots {
             let hit = if self.storage.has_table(relation) {
                 self.seen_epochs
-                    .borrow()
+                    .lock()
                     .get(relation)
                     .and_then(|epoch| store.get_index_physical(relation, column, *epoch))
             } else {
@@ -476,7 +558,7 @@ impl EdbView for VersionedEdb<'_> {
         self.index_cache.put(relation, column, Arc::clone(&built));
         if let Some(store) = self.snapshots {
             if self.storage.has_table(relation) {
-                if let Some(epoch) = self.seen_epochs.borrow().get(relation).copied() {
+                if let Some(epoch) = self.seen_epochs.lock().get(relation).copied() {
                     store.store_index_physical(relation, column, Arc::clone(&built), epoch);
                 }
             } else {

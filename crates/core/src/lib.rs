@@ -51,6 +51,7 @@ pub mod write;
 
 pub use database::{ExecutionOutcome, Inverda, WritePath};
 pub use error::CoreError;
+pub use inverda_datalog::parallel::{set_threads, threads};
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use write::LogicalWrite;
 

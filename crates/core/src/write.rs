@@ -19,6 +19,19 @@
 //! the paper's laws only constrain round trips of states, and without the
 //! purge a separated twin recorded in `S⁺` would resurrect a tuple deleted
 //! through the side that physically stores it (see DESIGN.md).
+//!
+//! When several **independent** SMO hops are pending at once (diamond
+//! genealogies, multi-target SMOs), their propagations fan out on the
+//! shared pool — but only under a proof of non-interference: pairwise
+//! disjoint hop footprints (reachable SMOs/table versions, inputs, purge
+//! targets), mint-free non-staged mappings, and a view prepared for
+//! parallel sharing. Inputs are popped and outputs distributed
+//! sequentially in pop order, and the post-commit reverse-maintenance
+//! pass likewise fans out only over simultaneously-ready (hence
+//! independent) hops — so
+//! the write path at any `INVERDA_THREADS` width is byte-identical to the
+//! sequential drain (DESIGN.md "Parallel evaluation & deterministic
+//! merge").
 
 use crate::compiled::Direction;
 use crate::database::{Inverda, State, WritePath};
@@ -30,8 +43,10 @@ use inverda_catalog::{SmoId, StorageCase, TableVersionId};
 use inverda_datalog::delta::{
     propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap,
 };
+use inverda_datalog::eval::{EdbView as _, NO_MINT_IDS};
 use inverda_storage::{Key, Row, Value, WriteBatch};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One logical write against a schema version's table, for batched
 /// [`Inverda::apply_many`] application.
@@ -294,18 +309,21 @@ impl Inverda {
                     }
                     apply_delta_physically(&rel, &delta, batch);
                 }
-                StorageCase::Forward(smo) | StorageCase::Backward(smo) => {
-                    // Gather every pending delta that departs through `smo`.
-                    let departing: Vec<TableVersionId> = pending
-                        .iter()
-                        .filter(|(id, _)| match m.storage_of(g, **id) {
-                            StorageCase::Forward(s) | StorageCase::Backward(s) => s == smo,
-                            StorageCase::Local => false,
-                        })
-                        .map(|(id, _)| *id)
-                        .collect();
-                    let inst = g.smo(smo);
+                StorageCase::Forward(_) | StorageCase::Backward(_) => {
+                    // Fan out independent SMO hops when several are pending
+                    // and provably non-interfering; otherwise process the
+                    // hop of the smallest pending table version, exactly as
+                    // a sequential drain would.
+                    if self.parallel_hop_round(state, edb, pending, batch, plan)? {
+                        continue;
+                    }
+                    let smo = match case {
+                        StorageCase::Forward(s) | StorageCase::Backward(s) => s,
+                        StorageCase::Local => unreachable!("handled above"),
+                    };
                     let forwards = matches!(case, StorageCase::Forward(_));
+                    let input = self.pop_hop_inputs(state, smo, pending, batch, plan);
+                    let inst = g.smo(smo);
                     let (direction, rules) = if forwards {
                         (Direction::ToTgt, &inst.derived.to_tgt)
                     } else {
@@ -315,12 +333,6 @@ impl Inverda {
                         .compiled
                         .get_or_compile(smo, direction, rules)
                         .map_err(CoreError::from)?;
-                    let mut input = DeltaMap::new();
-                    for id in &departing {
-                        let (delta, arrived) = pending.remove(id).expect("present");
-                        self.purge_sibling_aux(state, *id, &delta, arrived, Some(smo), batch, plan);
-                        input.insert(g.table_version(*id).rel.clone(), delta);
-                    }
                     let ids = self.id_source();
                     let head_deltas = match state.write_path {
                         WritePath::Delta => {
@@ -334,59 +346,276 @@ impl Inverda {
                             edb.head_columns(),
                         )?,
                     };
-                    if plan.track {
-                        plan.hops.push(HopRecord { smo, forwards });
-                    }
-                    // Distribute: data heads continue; aux and shared heads
-                    // are physical on the destination side.
-                    let next_data = if forwards {
-                        inst.derived.tgt_data.iter().zip(inst.targets.iter())
-                    } else {
-                        inst.derived.src_data.iter().zip(inst.sources.iter())
-                    };
-                    let next_index: BTreeMap<&str, TableVersionId> =
-                        next_data.map(|(t, id)| (t.rel.as_str(), *id)).collect();
-                    let aux_side = if forwards {
-                        &inst.derived.tgt_aux
-                    } else {
-                        &inst.derived.src_aux
-                    };
-                    for (rel, d) in head_deltas {
-                        if d.is_empty() {
-                            continue;
-                        }
-                        if let Some(next_tv) = next_index.get(rel.as_str()) {
-                            match pending.get_mut(next_tv) {
-                                Some((existing, _)) => existing.merge(&d),
-                                None => {
-                                    pending.insert(*next_tv, (d, Some(smo)));
-                                }
-                            }
-                            continue;
-                        }
-                        if let Some(shared) =
-                            inst.derived.shared_aux.iter().find(|s| s.new_name == rel)
-                        {
-                            if plan.track {
-                                plan.maint.record_patch(&shared.table.rel, &d);
-                                plan.landed_merge(&shared.table.rel, &d);
-                            }
-                            apply_delta_physically(&shared.table.rel, &d, batch);
-                            continue;
-                        }
-                        if aux_side.iter().any(|a| a.rel == rel) {
-                            if plan.track {
-                                plan.maint.record_patch(&rel, &d);
-                                plan.landed_merge(&rel, &d);
-                            }
-                            apply_delta_physically(&rel, &d, batch);
-                        }
-                        // Intermediate heads (Sn, Tn, Ro, …) are discarded.
-                    }
+                    self.distribute_hop(state, smo, forwards, head_deltas, pending, batch, plan);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Remove every pending delta departing through `smo` (purging sibling
+    /// aux tables as the sequential drain would) and return them keyed by
+    /// relation — the input of one hop's propagation.
+    fn pop_hop_inputs(
+        &self,
+        state: &State,
+        smo: SmoId,
+        pending: &mut BTreeMap<TableVersionId, (Delta, Option<SmoId>)>,
+        batch: &mut WriteBatch,
+        plan: &mut MaintenancePlan,
+    ) -> DeltaMap {
+        let g = &state.genealogy;
+        let m = &state.materialization;
+        let departing: Vec<TableVersionId> = pending
+            .iter()
+            .filter(|(id, _)| match m.storage_of(g, **id) {
+                StorageCase::Forward(s) | StorageCase::Backward(s) => s == smo,
+                StorageCase::Local => false,
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        let mut input = DeltaMap::new();
+        for id in &departing {
+            let (delta, arrived) = pending.remove(id).expect("present");
+            self.purge_sibling_aux(state, *id, &delta, arrived, Some(smo), batch, plan);
+            input.insert(g.table_version(*id).rel.clone(), delta);
+        }
+        input
+    }
+
+    /// Distribute one hop's head deltas: data heads continue as pending
+    /// deltas of the destination table versions; aux and shared heads are
+    /// physical on the destination side and land in the batch; intermediate
+    /// heads (`Sn`, `Tn`, `Ro`, …) are discarded. Records the hop for the
+    /// reverse-maintenance pass.
+    #[allow(clippy::too_many_arguments)]
+    fn distribute_hop(
+        &self,
+        state: &State,
+        smo: SmoId,
+        forwards: bool,
+        head_deltas: DeltaMap,
+        pending: &mut BTreeMap<TableVersionId, (Delta, Option<SmoId>)>,
+        batch: &mut WriteBatch,
+        plan: &mut MaintenancePlan,
+    ) {
+        let inst = state.genealogy.smo(smo);
+        if plan.track {
+            plan.hops.push(HopRecord { smo, forwards });
+        }
+        let next_data = if forwards {
+            inst.derived.tgt_data.iter().zip(inst.targets.iter())
+        } else {
+            inst.derived.src_data.iter().zip(inst.sources.iter())
+        };
+        let next_index: BTreeMap<&str, TableVersionId> =
+            next_data.map(|(t, id)| (t.rel.as_str(), *id)).collect();
+        let aux_side = if forwards {
+            &inst.derived.tgt_aux
+        } else {
+            &inst.derived.src_aux
+        };
+        for (rel, d) in head_deltas {
+            if d.is_empty() {
+                continue;
+            }
+            if let Some(next_tv) = next_index.get(rel.as_str()) {
+                match pending.get_mut(next_tv) {
+                    Some((existing, _)) => existing.merge(&d),
+                    None => {
+                        pending.insert(*next_tv, (d, Some(smo)));
+                    }
+                }
+                continue;
+            }
+            if let Some(shared) = inst.derived.shared_aux.iter().find(|s| s.new_name == rel) {
+                if plan.track {
+                    plan.maint.record_patch(&shared.table.rel, &d);
+                    plan.landed_merge(&shared.table.rel, &d);
+                }
+                apply_delta_physically(&shared.table.rel, &d, batch);
+                continue;
+            }
+            if aux_side.iter().any(|a| a.rel == rel) {
+                if plan.track {
+                    plan.maint.record_patch(&rel, &d);
+                    plan.landed_merge(&rel, &d);
+                }
+                apply_delta_physically(&rel, &d, batch);
+            }
+        }
+    }
+
+    /// Everything one hop's processing can transitively touch: the SMOs it
+    /// may traverse, the table versions its outputs may reach (down to
+    /// physical storage), its own input table versions, and the SMOs whose
+    /// aux tables a delete purge on an input could hit. Two pending hops
+    /// whose footprints are disjoint commute exactly — neither can feed,
+    /// purge, or converge with the other — which is the condition for
+    /// fanning them out in parallel without changing drain semantics.
+    fn hop_footprint(
+        &self,
+        state: &State,
+        smo: SmoId,
+        forwards: bool,
+        inputs: &[TableVersionId],
+    ) -> (BTreeSet<SmoId>, BTreeSet<TableVersionId>) {
+        let g = &state.genealogy;
+        let m = &state.materialization;
+        let mut smos: BTreeSet<SmoId> = BTreeSet::new();
+        let mut tvs: BTreeSet<TableVersionId> = BTreeSet::new();
+        smos.insert(smo);
+        fn reach(
+            g: &inverda_catalog::Genealogy,
+            m: &inverda_catalog::MaterializationSchema,
+            tv: TableVersionId,
+            smos: &mut BTreeSet<SmoId>,
+            tvs: &mut BTreeSet<TableVersionId>,
+        ) {
+            if !tvs.insert(tv) {
+                return;
+            }
+            match m.storage_of(g, tv) {
+                StorageCase::Local => {}
+                StorageCase::Forward(s) => {
+                    smos.insert(s);
+                    for t in g.smo(s).targets.clone() {
+                        reach(g, m, t, smos, tvs);
+                    }
+                }
+                StorageCase::Backward(s) => {
+                    smos.insert(s);
+                    for t in g.smo(s).sources.clone() {
+                        reach(g, m, t, smos, tvs);
+                    }
+                }
+            }
+        }
+        let dests = if forwards {
+            g.smo(smo).targets.clone()
+        } else {
+            g.smo(smo).sources.clone()
+        };
+        for t in dests {
+            reach(g, m, t, &mut smos, &mut tvs);
+        }
+        for &tv in inputs {
+            tvs.insert(tv);
+            // A pure delete purges aux tables of SMOs adjacent to the input.
+            smos.insert(g.incoming(tv));
+            smos.extend(g.outgoing(tv).iter().copied());
+        }
+        (smos, tvs)
+    }
+
+    /// One parallel fan-out round over pending SMO hops. Returns `true` if
+    /// a round ran (pending was advanced), `false` to fall back to the
+    /// sequential single-hop step.
+    ///
+    /// A round runs only when it is provably equivalent to the sequential
+    /// drain: no physical-case delta may be pending (local application
+    /// interleaves with hops by table-version order and syncs the skolem
+    /// registry), at least two hop groups must be selectable in pop order
+    /// with pairwise-disjoint [`footprints`](Inverda::hop_footprint) —
+    /// groups skipped over poison their footprint so no later group that
+    /// could interact with them is selected — and every selected hop's
+    /// propagation must be pure: non-staged, non-minting rules over a view
+    /// prepared for parallel sharing. The propagations then run on the
+    /// pool; inputs were popped and outputs are distributed sequentially in
+    /// pop order, so the resulting pending map, write batch, and
+    /// maintenance plan are byte-identical to the sequential drain's.
+    fn parallel_hop_round(
+        &self,
+        state: &State,
+        edb: &VersionedEdb<'_>,
+        pending: &mut BTreeMap<TableVersionId, (Delta, Option<SmoId>)>,
+        batch: &mut WriteBatch,
+        plan: &mut MaintenancePlan,
+    ) -> Result<bool> {
+        use inverda_datalog::parallel;
+        if parallel::threads() < 2 {
+            return Ok(false);
+        }
+        let g = &state.genealogy;
+        let m = &state.materialization;
+        // Hop groups in pop order (order of their smallest pending tv).
+        let mut groups: Vec<(SmoId, bool, Vec<TableVersionId>)> = Vec::new();
+        for (&tv, _) in pending.iter() {
+            match m.storage_of(g, tv) {
+                StorageCase::Local => return Ok(false),
+                StorageCase::Forward(s) | StorageCase::Backward(s) => {
+                    let forwards = matches!(m.storage_of(g, tv), StorageCase::Forward(_));
+                    match groups.iter_mut().find(|(smo, ..)| *smo == s) {
+                        Some((.., tvs)) => tvs.push(tv),
+                        None => groups.push((s, forwards, vec![tv])),
+                    }
+                }
+            }
+        }
+        if groups.len() < 2 {
+            return Ok(false);
+        }
+        // Select a maximal non-interfering prefix-respecting set.
+        let mut poisoned_smos: BTreeSet<SmoId> = BTreeSet::new();
+        let mut poisoned_tvs: BTreeSet<TableVersionId> = BTreeSet::new();
+        let mut selected: Vec<(SmoId, bool, Arc<inverda_datalog::CompiledRuleSet>)> = Vec::new();
+        for (smo, forwards, tvs) in &groups {
+            let (smos, tvs_reach) = self.hop_footprint(state, *smo, *forwards, tvs);
+            let disjoint = smos.is_disjoint(&poisoned_smos) && tvs_reach.is_disjoint(&poisoned_tvs);
+            if disjoint {
+                let inst = g.smo(*smo);
+                let (direction, rules) = if *forwards {
+                    (Direction::ToTgt, &inst.derived.to_tgt)
+                } else {
+                    (Direction::ToSrc, &inst.derived.to_src)
+                };
+                if let Ok(crs) = self.compiled.get_or_compile(*smo, direction, rules) {
+                    if crs.parallel_safe()
+                        && matches!(edb.prepare_parallel(&crs.body_relations()), Ok(true))
+                    {
+                        selected.push((*smo, *forwards, crs));
+                    }
+                }
+            }
+            poisoned_smos.extend(smos);
+            poisoned_tvs.extend(tvs_reach);
+        }
+        if selected.len() < 2 {
+            return Ok(false);
+        }
+        // Pop inputs (and run purges) sequentially in pop order.
+        let inputs: Vec<DeltaMap> = selected
+            .iter()
+            .map(|(smo, ..)| self.pop_hop_inputs(state, *smo, pending, batch, plan))
+            .collect();
+        // Propagate all selected hops on the pool. Workers are pure: the
+        // rules mint nothing and the view was prepared, so the engine's
+        // shared no-mint id source backs the contract.
+        let write_path = state.write_path;
+        let head_columns = edb.head_columns();
+        let results: Vec<inverda_datalog::Result<DeltaMap>> =
+            parallel::map_indexed(selected.len(), |i| {
+                let (_, _, crs) = &selected[i];
+                match write_path {
+                    WritePath::Delta => {
+                        propagate_compiled(crs, edb, &inputs[i], &NO_MINT_IDS, head_columns)
+                    }
+                    WritePath::Recompute => propagate_by_recompute_compiled(
+                        crs,
+                        edb,
+                        &inputs[i],
+                        &NO_MINT_IDS,
+                        head_columns,
+                    ),
+                }
+            });
+        // Distribute sequentially in pop order (errors surface in the same
+        // order the sequential drain would raise them).
+        for ((smo, forwards, _), result) in selected.iter().zip(results) {
+            let head_deltas = result.map_err(CoreError::from)?;
+            self.distribute_hop(state, *smo, *forwards, head_deltas, pending, batch, plan);
+        }
+        Ok(true)
     }
 
     /// Walk the traversed hops **backward from physical storage**, deriving
@@ -440,15 +669,21 @@ impl Inverda {
             // A hop is ready once no unprocessed hop still has to derive the
             // delta of one of its destination data rels (i.e. every virtual
             // destination's defining SMO has been processed or was never
-            // traversed).
-            let ready = remaining.iter().position(|h| {
+            // traversed). All simultaneously-ready hops are mutually
+            // independent — a ready hop's inputs cannot be another *ready*
+            // hop's departed relations (those would make it non-ready) — so
+            // the whole ready set is processed per round and its pure
+            // propagations may run in parallel.
+            let mut ready: Vec<HopRecord> = Vec::new();
+            let mut rest: Vec<HopRecord> = Vec::new();
+            for h in remaining.drain(..) {
                 let inst = g.smo(h.smo);
                 let dest = if h.forwards {
                     &inst.derived.tgt_data
                 } else {
                     &inst.derived.src_data
                 };
-                dest.iter().all(|t| {
+                let is_ready = dest.iter().all(|t| {
                     if self.storage.has_table(&t.rel) {
                         return true;
                     }
@@ -458,100 +693,180 @@ impl Inverda {
                         }
                         _ => true,
                     }
-                })
-            });
+                });
+                if is_ready {
+                    ready.push(h);
+                } else {
+                    rest.push(h);
+                }
+            }
+            remaining = rest;
             // Acyclic by construction (hops order along paths to storage);
             // if that ever breaks, degrade to invalidation rather than loop.
-            let Some(pos) = ready else {
+            if ready.is_empty() {
                 for h in &remaining {
                     self.invalidate_departed(state, h, maint, &mut unknown);
                 }
                 return;
-            };
-            let h = remaining.remove(pos);
-            let inst = g.smo(h.smo);
-            let (rev_direction, rev_rules, dep_data, dep_aux, dest_data, dest_aux) = if h.forwards {
-                (
-                    Direction::ToSrc,
-                    &inst.derived.to_src,
-                    &inst.derived.src_data,
-                    &inst.derived.src_aux,
-                    &inst.derived.tgt_data,
-                    &inst.derived.tgt_aux,
-                )
-            } else {
-                (
-                    Direction::ToTgt,
-                    &inst.derived.to_tgt,
-                    &inst.derived.tgt_data,
-                    &inst.derived.tgt_aux,
-                    &inst.derived.src_data,
-                    &inst.derived.src_aux,
-                )
-            };
-            let dep_virtual: Vec<&str> = dep_data
-                .iter()
-                .map(|t| t.rel.as_str())
-                .chain(dep_aux.iter().map(|a| a.rel.as_str()))
-                .filter(|rel| !self.storage.has_table(rel))
-                .collect();
-            if dep_virtual.is_empty() {
-                continue;
             }
-            // Relations the defining mapping reads: destination data rels,
-            // the SMO's destination-side aux (physical by materialization
-            // invariant), and shared aux under their physical names.
-            let inputs: Vec<&str> = dest_data
-                .iter()
-                .map(|t| t.rel.as_str())
-                .chain(dest_aux.iter().map(|a| a.rel.as_str()))
-                .chain(inst.derived.shared_aux.iter().map(|s| s.table.rel.as_str()))
-                .collect();
-            let rev_crs = match self
-                .compiled
-                .get_or_compile(h.smo, rev_direction, rev_rules)
-            {
-                Ok(crs) => crs,
-                Err(_) => {
-                    self.invalidate_departed(state, &h, maint, &mut unknown);
+            // What each ready hop needs done, decided sequentially (reads
+            // `known`/`unknown`, which no other ready hop can touch).
+            enum Action<'r> {
+                /// Departed side fully physical — nothing to maintain.
+                Skip,
+                /// Cannot be maintained purely; invalidate the departed side.
+                Invalidate,
+                /// Departed side certified unchanged (or patched): record
+                /// the deltas once available.
+                Patch {
+                    dep_virtual: Vec<&'r str>,
+                    propagate: Option<(Arc<inverda_datalog::CompiledRuleSet>, DeltaMap)>,
+                },
+            }
+            let mut actions: Vec<Action> = Vec::new();
+            for h in &ready {
+                let inst = g.smo(h.smo);
+                let (rev_direction, rev_rules, dep_data, dep_aux, dest_data, dest_aux) =
+                    if h.forwards {
+                        (
+                            Direction::ToSrc,
+                            &inst.derived.to_src,
+                            &inst.derived.src_data,
+                            &inst.derived.src_aux,
+                            &inst.derived.tgt_data,
+                            &inst.derived.tgt_aux,
+                        )
+                    } else {
+                        (
+                            Direction::ToTgt,
+                            &inst.derived.to_tgt,
+                            &inst.derived.tgt_data,
+                            &inst.derived.tgt_aux,
+                            &inst.derived.src_data,
+                            &inst.derived.src_aux,
+                        )
+                    };
+                let dep_virtual: Vec<&str> = dep_data
+                    .iter()
+                    .map(|t| t.rel.as_str())
+                    .chain(dep_aux.iter().map(|a| a.rel.as_str()))
+                    .filter(|rel| !self.storage.has_table(rel))
+                    .collect();
+                if dep_virtual.is_empty() {
+                    actions.push(Action::Skip);
                     continue;
                 }
-            };
-            if rev_crs.staged()
-                || rev_crs.mints_ids()
-                || inputs.iter().any(|rel| unknown.contains(*rel))
-            {
-                self.invalidate_departed(state, &h, maint, &mut unknown);
-                continue;
-            }
-            let mut rev_input = DeltaMap::new();
-            for rel in &inputs {
-                if let Some(d) = known.get(*rel) {
-                    if !d.is_empty() {
-                        rev_input.insert((*rel).to_string(), d.clone());
-                    }
-                }
-            }
-            let rev_deltas = if rev_input.is_empty() {
-                // Nothing the mapping reads changed: the departed side is
-                // certified unchanged (empty patches refresh stamps).
-                DeltaMap::new()
-            } else {
-                match propagate_compiled(&rev_crs, edb, &rev_input, ids, edb.head_columns()) {
-                    Ok(d) => d,
+                // Relations the defining mapping reads: destination data
+                // rels, the SMO's destination-side aux (physical by
+                // materialization invariant), and shared aux under their
+                // physical names.
+                let inputs: Vec<&str> = dest_data
+                    .iter()
+                    .map(|t| t.rel.as_str())
+                    .chain(dest_aux.iter().map(|a| a.rel.as_str()))
+                    .chain(inst.derived.shared_aux.iter().map(|s| s.table.rel.as_str()))
+                    .collect();
+                let rev_crs = match self
+                    .compiled
+                    .get_or_compile(h.smo, rev_direction, rev_rules)
+                {
+                    Ok(crs) => crs,
                     Err(_) => {
-                        self.invalidate_departed(state, &h, maint, &mut unknown);
+                        actions.push(Action::Invalidate);
                         continue;
                     }
+                };
+                if rev_crs.staged()
+                    || rev_crs.mints_ids()
+                    || inputs.iter().any(|rel| unknown.contains(*rel))
+                {
+                    actions.push(Action::Invalidate);
+                    continue;
                 }
-            };
-            for rel in dep_virtual {
-                let d = rev_deltas.get(rel).cloned().unwrap_or_default();
-                maint.record_patch(rel, &d);
-                match known.get_mut(rel) {
-                    Some(existing) => existing.merge(&d),
-                    None => {
-                        known.insert(rel.to_string(), d);
+                let mut rev_input = DeltaMap::new();
+                for rel in &inputs {
+                    if let Some(d) = known.get(*rel) {
+                        if !d.is_empty() {
+                            rev_input.insert((*rel).to_string(), d.clone());
+                        }
+                    }
+                }
+                actions.push(Action::Patch {
+                    dep_virtual,
+                    // Nothing the mapping reads changed: the departed side
+                    // is certified unchanged (empty patches refresh stamps).
+                    propagate: (!rev_input.is_empty()).then_some((rev_crs, rev_input)),
+                });
+            }
+            // Run the propagations: pure ones (mint-free rules over a
+            // prepared view) fan out on the pool, the rest run inline.
+            let jobs: Vec<(usize, &Arc<inverda_datalog::CompiledRuleSet>, &DeltaMap)> = actions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| match a {
+                    Action::Patch {
+                        propagate: Some((crs, input)),
+                        ..
+                    } => Some((i, crs, input)),
+                    _ => None,
+                })
+                .collect();
+            let parallel_jobs = inverda_datalog::parallel::threads() > 1
+                && jobs.len() > 1
+                && jobs.iter().all(|(_, crs, _)| {
+                    crs.parallel_safe()
+                        && matches!(edb.prepare_parallel(&crs.body_relations()), Ok(true))
+                });
+            let mut results: BTreeMap<usize, inverda_datalog::Result<DeltaMap>> = BTreeMap::new();
+            if parallel_jobs {
+                let head_columns = edb.head_columns();
+                let outs = inverda_datalog::parallel::map_indexed(jobs.len(), |j| {
+                    let (_, crs, input) = &jobs[j];
+                    propagate_compiled(crs, edb, input, &NO_MINT_IDS, head_columns)
+                });
+                for ((i, ..), out) in jobs.iter().zip(outs) {
+                    results.insert(*i, out);
+                }
+            } else {
+                for (i, crs, input) in jobs {
+                    results.insert(
+                        i,
+                        propagate_compiled(crs, edb, input, ids, edb.head_columns()),
+                    );
+                }
+            }
+            // Record outcomes in ready order (deterministic and identical
+            // to processing the ready hops one at a time).
+            for (i, (h, action)) in ready.iter().zip(actions.iter()).enumerate() {
+                match action {
+                    Action::Skip => {}
+                    Action::Invalidate => {
+                        self.invalidate_departed(state, h, maint, &mut unknown);
+                    }
+                    Action::Patch {
+                        dep_virtual,
+                        propagate,
+                    } => {
+                        let rev_deltas = match (propagate, results.remove(&i)) {
+                            (None, _) => DeltaMap::new(),
+                            (Some(_), Some(Ok(d))) => d,
+                            (Some(_), _) => {
+                                // Maintenance failures degrade to
+                                // invalidation; they never fail the write.
+                                self.invalidate_departed(state, h, maint, &mut unknown);
+                                continue;
+                            }
+                        };
+                        for rel in dep_virtual {
+                            let d = rev_deltas.get(*rel).cloned().unwrap_or_default();
+                            maint.record_patch(rel, &d);
+                            match known.get_mut(*rel) {
+                                Some(existing) => existing.merge(&d),
+                                None => {
+                                    known.insert((*rel).to_string(), d);
+                                }
+                            }
+                        }
                     }
                 }
             }

@@ -1,0 +1,168 @@
+//! Minimized regression test for the pre-existing twin-separated
+//! FK-DECOMPOSE `KeyConflict` edge (ROADMAP "known engine edge", first
+//! documented by the PR-2 snapshot-reuse property tests; identical behavior
+//! since the seed).
+//!
+//! The five-statement repro: materialize the FK-DECOMPOSE branch, insert a
+//! second task through the SPLIT branch (`Do!`), materialize back to the
+//! source version, then update that todo's author through `Do!`. The update
+//! separates the decompose's bookkeeping from the row now stored on the
+//! source side: re-deriving `TasKy2.Task` makes two rules derive different
+//! fk payloads for the same tuple, and the engine reports a **clean**
+//! `KeyConflict` instead of picking a winner.
+//!
+//! The contract this test pins down is not the conflict itself but its
+//! *stability*: parallel evaluation (any width), sequential evaluation, the
+//! warm snapshot store, cold resolution, the recompute reference write
+//! path, and the naive reference interpreter must all fail with the **same**
+//! error — and the failure must be clean (every other version stays
+//! readable, the skolem registry and visible states stay intact).
+
+use inverda_core::{set_threads, Inverda, WritePath};
+use inverda_datalog::eval::MapEdb;
+use inverda_datalog::{naive, DatalogError, SkolemRegistry};
+use inverda_storage::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+const SCRIPT: &str = "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
+     CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+       SPLIT TABLE Task INTO Todo WITH prio = 1; \
+       DROP COLUMN prio FROM Todo DEFAULT 1; \
+     CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH \
+       DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author; \
+       RENAME COLUMN author IN Author TO name;";
+
+/// Replay the minimized repro and return the `TasKy2.Task` scan outcome as
+/// text (`Display` of the relation on success, `Debug` of the error on
+/// failure).
+fn replay(path: WritePath, snapshot_reuse: bool) -> String {
+    let db = Inverda::new();
+    db.execute(SCRIPT).unwrap();
+    db.set_write_path(path);
+    db.set_snapshot_reuse(snapshot_reuse);
+    let k = db
+        .insert(
+            "TasKy",
+            "Task",
+            vec![Value::text("a0"), Value::text("t"), Value::Int(1)],
+        )
+        .unwrap();
+    db.materialize(&["TasKy2".to_string()]).unwrap();
+    db.insert("Do!", "Todo", vec![Value::text("a0"), Value::text("d")])
+        .unwrap();
+    db.materialize(&["TasKy".to_string()]).unwrap();
+    db.update("Do!", "Todo", k, vec![Value::text("a1"), Value::text("v")])
+        .unwrap();
+
+    // The failure must be clean: every other version stays readable.
+    db.scan("TasKy", "Task").unwrap();
+    db.scan("Do!", "Todo").unwrap();
+
+    match db.scan("TasKy2", "Task") {
+        Ok(rel) => format!("ok:\n{rel}"),
+        Err(e) => format!("err: {e:?}"),
+    }
+}
+
+#[test]
+fn twin_separated_fk_decompose_fails_identically_everywhere() {
+    // Sequential baseline.
+    set_threads(Some(1));
+    let sequential = replay(WritePath::Delta, true);
+    assert!(
+        sequential.contains("KeyConflict"),
+        "repro no longer triggers the documented edge — if the B.3 aux \
+         rules were fixed, update this test to assert success everywhere \
+         instead: {sequential}"
+    );
+
+    // Parallel evaluation at every width must fail identically.
+    for width in [2usize, 4, 8] {
+        set_threads(Some(width));
+        let parallel = replay(WritePath::Delta, true);
+        assert_eq!(sequential, parallel, "diverged at width {width}");
+    }
+
+    // Cold resolution (no snapshot store) and the recompute reference
+    // write path must agree too, at both extremes of the width knob.
+    for width in [1usize, 4] {
+        set_threads(Some(width));
+        assert_eq!(sequential, replay(WritePath::Delta, false));
+        assert_eq!(sequential, replay(WritePath::Recompute, true));
+        assert_eq!(sequential, replay(WritePath::Recompute, false));
+    }
+    set_threads(None);
+}
+
+#[test]
+fn twin_separated_fk_decompose_matches_naive_interpreter() {
+    // Rebuild the failing state, then re-derive the FK-DECOMPOSE target
+    // side with the *naive* reference interpreter straight from the
+    // physical tables: it must report the very same conflict.
+    set_threads(Some(1));
+    let db = Inverda::new();
+    db.execute(SCRIPT).unwrap();
+    let k = db
+        .insert(
+            "TasKy",
+            "Task",
+            vec![Value::text("a0"), Value::text("t"), Value::Int(1)],
+        )
+        .unwrap();
+    db.materialize(&["TasKy2".to_string()]).unwrap();
+    db.insert("Do!", "Todo", vec![Value::text("a0"), Value::text("d")])
+        .unwrap();
+    db.materialize(&["TasKy".to_string()]).unwrap();
+    db.update("Do!", "Todo", k, vec![Value::text("a1"), Value::text("v")])
+        .unwrap();
+    let compiled_err = match db.scan("TasKy2", "Task") {
+        Err(inverda_core::CoreError::Datalog(e)) => e,
+        other => panic!("expected a datalog KeyConflict, got {other:?}"),
+    };
+    assert!(matches!(compiled_err, DatalogError::KeyConflict { .. }));
+
+    // γ_tgt of the DECOMPOSE and the head column names, from the catalog.
+    let (rules, head_columns) = db.with_genealogy(|g| {
+        let smo = g
+            .smos()
+            .find(|s| s.derived.kind.contains("DECOMPOSE"))
+            .expect("decompose smo");
+        let mut head_columns: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for tv in g.table_versions() {
+            head_columns.insert(tv.rel.clone(), tv.columns.clone());
+        }
+        for s in g.smos() {
+            for aux in s.derived.all_aux() {
+                head_columns.insert(aux.rel.clone(), aux.columns.clone());
+            }
+            for shared in &s.derived.shared_aux {
+                head_columns.insert(shared.new_name.clone(), shared.table.columns.clone());
+            }
+        }
+        (smo.derived.to_tgt.clone(), head_columns)
+    });
+    // Physical state as a plain map-backed EDB.
+    let mut edb = MapEdb::new();
+    for (table, _) in db.physical_tables() {
+        let rel = db.physical_snapshot(&table).unwrap();
+        edb.add_shared(table, rel);
+    }
+    let ids = RefCell::new(SkolemRegistry::new());
+    let naive_err = naive::evaluate(&rules, &edb, &ids, &head_columns)
+        .expect_err("the naive interpreter must reject the separated state too");
+    match (&compiled_err, &naive_err) {
+        (
+            DatalogError::KeyConflict { relation, key },
+            DatalogError::KeyConflict {
+                relation: n_rel,
+                key: n_key,
+            },
+        ) => {
+            assert_eq!(relation, n_rel);
+            assert_eq!(key, n_key);
+        }
+        other => panic!("engines disagree on the failure: {other:?}"),
+    }
+    set_threads(None);
+}

@@ -239,7 +239,12 @@ proptest! {
     #[test]
     fn warm_reads_equal_cold_resolution_tasky(
         ops in prop::collection::vec(op_strategy(2, 3), 1..25),
+        tsel in 0usize..3,
     ) {
+        // Randomize the parallel width: warm ≡ cold must hold — including
+        // skolem id assignment — whether the engine evaluates sequentially
+        // or fans out on the pool.
+        inverda_core::set_threads(Some([1usize, 2, 4][tsel]));
         let mut h = Harness::new(
             TASKY_SCRIPT,
             vec![("TasKy", "Task"), ("Do!", "Todo")],
@@ -256,7 +261,9 @@ proptest! {
     #[test]
     fn warm_reads_equal_cold_resolution_overlapping_split(
         ops in prop::collection::vec(op_strategy(3, 2), 1..25),
+        tsel in 0usize..3,
     ) {
+        inverda_core::set_threads(Some([1usize, 2, 4][tsel]));
         let mut h = Harness::new(
             SPLIT_SCRIPT,
             vec![("V1", "T"), ("V2", "R"), ("V2", "S")],

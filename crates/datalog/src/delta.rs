@@ -2,7 +2,7 @@
 //!
 //! This is the engine-side equivalent of the paper's generated triggers.
 //! Section 6: "InVerDa adopts an update propagation technique for Datalog
-//! rules [2] that results in minimal write operations" — e.g. Rules 52–54
+//! rules \[2] that results in minimal write operations" — e.g. Rules 52–54
 //! propagate an insert on the source table of a materialized SPLIT to the
 //! target-side tables it affects, and to nothing else.
 //!
@@ -24,7 +24,7 @@ use crate::error::DatalogError;
 use crate::eval::{evaluate_compiled, CompiledRuleSet, EdbView, Evaluator, IdSource};
 use crate::Result;
 use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -115,7 +115,7 @@ pub struct PatchedEdb<'a> {
     pub base: &'a dyn EdbView,
     /// Changes to overlay.
     pub patches: &'a DeltaMap,
-    cache: RefCell<BTreeMap<String, Arc<Relation>>>,
+    cache: Mutex<BTreeMap<String, Arc<Relation>>>,
     indexes: IndexCache,
 }
 
@@ -125,7 +125,7 @@ impl<'a> PatchedEdb<'a> {
         PatchedEdb {
             base,
             patches,
-            cache: RefCell::new(BTreeMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
             indexes: IndexCache::new(),
         }
     }
@@ -133,7 +133,7 @@ impl<'a> PatchedEdb<'a> {
 
 impl EdbView for PatchedEdb<'_> {
     fn full(&self, relation: &str) -> Result<Arc<Relation>> {
-        if let Some(cached) = self.cache.borrow().get(relation) {
+        if let Some(cached) = self.cache.lock().get(relation) {
             return Ok(Arc::clone(cached));
         }
         let base = self.base.full(relation)?;
@@ -147,9 +147,25 @@ impl EdbView for PatchedEdb<'_> {
             }
         };
         self.cache
-            .borrow_mut()
+            .lock()
             .insert(relation.to_string(), Arc::clone(&out));
         Ok(out)
+    }
+
+    fn prepare_parallel(&self, relations: &[&str]) -> Result<bool> {
+        // The base must be shareable first; patching itself is pure, but
+        // pre-patch every requested relation sequentially so workers only
+        // hit the cache.
+        if !self.base.prepare_parallel(relations)? {
+            return Ok(false);
+        }
+        for rel in relations {
+            if self.full(rel).is_err() {
+                // Let the sequential path produce the canonical outcome.
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     fn by_key(&self, relation: &str, key: Key) -> Result<Option<Row>> {
@@ -195,6 +211,16 @@ pub fn propagate(
 }
 
 /// Propagate input deltas through a pre-compiled rule set.
+///
+/// When the configured width exceeds 1, the rule set is
+/// [`CompiledRuleSet::parallel_safe`], and the batch is large enough, the
+/// probe and re-derivation phases fan out over the shared pool: probes are
+/// independent pure joins whose candidate sets merge by set-union
+/// (order-independent), and per-key re-derivations are independent point
+/// evaluations merged by key — so the resulting delta is byte-identical to
+/// a sequential run at any width. Small writes (the common OLTP statement)
+/// stay sequential; fan-out pays off on bulk loads and whole-relation
+/// migrations.
 pub fn propagate_compiled(
     crs: &CompiledRuleSet,
     base: &dyn EdbView,
@@ -206,42 +232,60 @@ pub fn propagate_compiled(
         return propagate_by_recompute_compiled(crs, base, input_delta, ids, head_columns);
     }
 
+    let patched = PatchedEdb::new(base, input_delta);
+    let probe_work: usize = input_delta
+        .values()
+        .map(|d| d.deletes.len() + d.inserts.len())
+        .sum();
+    // Preparing the patched view also prepares (and pre-resolves) the base.
+    let par = crate::parallel::threads() > 1
+        && crs.parallel_safe()
+        && probe_work >= PAR_MIN_WORK
+        && patched
+            .prepare_parallel(&crs.body_relations())
+            .unwrap_or(false);
+
     // ---- Phase 1 (old state): probe deletions at positive literals and
     // insertions at negative literals.
-    let mut candidates: BTreeMap<String, BTreeSet<Key>> = BTreeMap::new();
-    {
-        let old_ev = Evaluator::new(base, ids);
-        probe_rules(crs, &old_ev, input_delta, ProbeState::Old, &mut candidates)?;
-    }
     // ---- Phase 2 (new state): probe insertions at positive literals and
     // deletions at negative literals.
-    let patched = PatchedEdb::new(base, input_delta);
-    {
+    let mut candidates: BTreeMap<String, BTreeSet<Key>> = BTreeMap::new();
+    if par {
+        probe_rules_parallel(crs, base, &patched, input_delta, &mut candidates)?;
+    } else {
+        let old_ev = Evaluator::new(base, ids);
+        probe_rules(crs, &old_ev, input_delta, ProbeState::Old, &mut candidates)?;
         let new_ev = Evaluator::new(&patched, ids);
         probe_rules(crs, &new_ev, input_delta, ProbeState::New, &mut candidates)?;
     }
 
     // ---- Phase 3: resolve candidates exactly in both states.
-    let mut new_rows: BTreeMap<(String, Key), Option<Row>> = BTreeMap::new();
-    {
-        let mut new_ev = Evaluator::new(&patched, ids);
-        for (head, keys) in &candidates {
-            for key in keys {
-                let row = new_ev.head_row_for_key(crs, head, *key)?;
-                new_rows.insert((head.clone(), *key), row);
+    let n_candidates: usize = candidates.values().map(BTreeSet::len).sum();
+    let (new_rows, old_rows) = if par && n_candidates >= PAR_MIN_WORK {
+        resolve_candidates_parallel(crs, base, &patched, &candidates)?
+    } else {
+        let mut new_rows: BTreeMap<(String, Key), Option<Row>> = BTreeMap::new();
+        {
+            let mut new_ev = Evaluator::new(&patched, ids);
+            for (head, keys) in &candidates {
+                for key in keys {
+                    let row = new_ev.head_row_for_key(crs, head, *key)?;
+                    new_rows.insert((head.clone(), *key), row);
+                }
             }
         }
-    }
-    let mut old_rows: BTreeMap<(String, Key), Option<Row>> = BTreeMap::new();
-    {
-        let mut old_ev = Evaluator::new(base, ids);
-        for (head, keys) in &candidates {
-            for key in keys {
-                let row = old_ev.head_row_for_key(crs, head, *key)?;
-                old_rows.insert((head.clone(), *key), row);
+        let mut old_rows: BTreeMap<(String, Key), Option<Row>> = BTreeMap::new();
+        {
+            let mut old_ev = Evaluator::new(base, ids);
+            for (head, keys) in &candidates {
+                for key in keys {
+                    let row = old_ev.head_row_for_key(crs, head, *key)?;
+                    old_rows.insert((head.clone(), *key), row);
+                }
             }
         }
-    }
+        (new_rows, old_rows)
+    };
 
     let mut out: DeltaMap = DeltaMap::new();
     for (head, keys) in &candidates {
@@ -320,10 +364,144 @@ pub fn propagate_by_recompute_compiled(
     Ok(out)
 }
 
+/// Below this many probe tuples / candidate keys a write stays sequential:
+/// single-statement OLTP deltas are too small to amortize a fan-out.
+const PAR_MIN_WORK: usize = 64;
+
 #[derive(Clone, Copy, PartialEq)]
 enum ProbeState {
     Old,
     New,
+}
+
+/// Parallel probe phases: every (state, rule, literal, tuple-chunk) is an
+/// independent pure join; fragments are candidate-key sets merged by union,
+/// which is order-independent — errors are reported in canonical job order
+/// (old phase first, then rule, literal, tuple), matching the sequential
+/// scan.
+fn probe_rules_parallel(
+    crs: &CompiledRuleSet,
+    base: &dyn EdbView,
+    patched: &PatchedEdb<'_>,
+    input_delta: &DeltaMap,
+    candidates: &mut BTreeMap<String, BTreeSet<Key>>,
+) -> Result<()> {
+    struct Job {
+        new_state: bool,
+        rule_idx: usize,
+        lit_idx: usize,
+        tuples: Arc<Vec<(Key, Row)>>,
+        range: (usize, usize),
+    }
+    let width = crate::parallel::threads();
+    // One shared tuple buffer per (relation, deletes|inserts): the same
+    // changed-tuple list is probed at every literal over that relation in
+    // both states, so copy it out of the delta maps once, not per job.
+    type TupleBuffers<'a> = BTreeMap<(&'a str, bool), Arc<Vec<(Key, Row)>>>;
+    let mut buffers: TupleBuffers = BTreeMap::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    for state in [ProbeState::Old, ProbeState::New] {
+        for rule_idx in 0..crs.rules.len() {
+            for (lit_idx, atom, positive) in crs.body_atoms(rule_idx) {
+                let Some(delta) = input_delta.get(&atom.relation) else {
+                    continue;
+                };
+                let inserts = matches!(
+                    (state, positive),
+                    (ProbeState::Old, false) | (ProbeState::New, true)
+                );
+                let tuples = Arc::clone(
+                    buffers
+                        .entry((atom.relation.as_str(), inserts))
+                        .or_insert_with(|| {
+                            let side = if inserts {
+                                &delta.inserts
+                            } else {
+                                &delta.deletes
+                            };
+                            Arc::new(side.iter().map(|(k, r)| (*k, r.clone())).collect())
+                        }),
+                );
+                for range in crate::parallel::chunk_ranges(tuples.len(), width, 16) {
+                    jobs.push(Job {
+                        new_state: state == ProbeState::New,
+                        rule_idx,
+                        lit_idx,
+                        tuples: Arc::clone(&tuples),
+                        range,
+                    });
+                }
+            }
+        }
+    }
+    let results: Vec<Result<BTreeSet<Key>>> = crate::parallel::map_indexed(jobs.len(), |ji| {
+        let job = &jobs[ji];
+        let ev = if job.new_state {
+            Evaluator::new(patched, &crate::eval::NO_MINT_IDS)
+        } else {
+            Evaluator::new(base, &crate::eval::NO_MINT_IDS)
+        };
+        let mut keys = BTreeSet::new();
+        for (key, row) in &job.tuples[job.range.0..job.range.1] {
+            ev.probe_head_keys(crs, job.rule_idx, job.lit_idx, *key, row, &mut keys)?;
+        }
+        Ok(keys)
+    });
+    for (job, result) in jobs.iter().zip(results) {
+        let head = &crs.rules[job.rule_idx].head.relation;
+        candidates.entry(head.clone()).or_default().extend(result?);
+    }
+    candidates.retain(|_, keys| !keys.is_empty());
+    Ok(())
+}
+
+/// Parallel phase 3: re-derive every candidate key in both states on the
+/// pool, merging fragments by key. Each chunk gets its own evaluator (and
+/// memo); derivations are independent point evaluations, so the merged maps
+/// equal the sequential ones exactly.
+#[allow(clippy::type_complexity)]
+fn resolve_candidates_parallel(
+    crs: &CompiledRuleSet,
+    base: &dyn EdbView,
+    patched: &PatchedEdb<'_>,
+    candidates: &BTreeMap<String, BTreeSet<Key>>,
+) -> Result<(
+    BTreeMap<(String, Key), Option<Row>>,
+    BTreeMap<(String, Key), Option<Row>>,
+)> {
+    let pairs: Vec<(&str, Key)> = candidates
+        .iter()
+        .flat_map(|(head, keys)| keys.iter().map(move |k| (head.as_str(), *k)))
+        .collect();
+    let width = crate::parallel::threads();
+    let ranges = crate::parallel::chunk_ranges(pairs.len(), width, 16);
+    // The new-state pass runs first, like the sequential code.
+    let mut maps: Vec<BTreeMap<(String, Key), Option<Row>>> = Vec::new();
+    for new_state in [true, false] {
+        let results: Vec<Result<Vec<Option<Row>>>> =
+            crate::parallel::map_indexed(ranges.len(), |ci| {
+                let (start, end) = ranges[ci];
+                let mut ev = if new_state {
+                    Evaluator::new(patched, &crate::eval::NO_MINT_IDS)
+                } else {
+                    Evaluator::new(base, &crate::eval::NO_MINT_IDS)
+                };
+                pairs[start..end]
+                    .iter()
+                    .map(|(head, key)| ev.head_row_for_key(crs, head, *key))
+                    .collect()
+            });
+        let mut merged = BTreeMap::new();
+        for ((start, end), result) in ranges.iter().zip(results) {
+            for ((head, key), row) in pairs[*start..*end].iter().zip(result?) {
+                merged.insert(((*head).to_string(), *key), row);
+            }
+        }
+        maps.push(merged);
+    }
+    let old_rows = maps.pop().expect("two passes");
+    let new_rows = maps.pop().expect("two passes");
+    Ok((new_rows, old_rows))
 }
 
 /// Seed every rule with changed tuples and collect candidate head keys.
@@ -373,6 +551,7 @@ mod tests {
     use crate::eval::MapEdb;
     use crate::skolem::SkolemRegistry;
     use inverda_storage::{Expr, Value};
+    use std::cell::RefCell;
 
     fn ids() -> RefCell<SkolemRegistry> {
         RefCell::new(SkolemRegistry::new())

@@ -38,6 +38,17 @@
 //!   relation derives for one key, pushing the key binding into body atoms
 //!   (the engine-side analogue of a DBMS optimizer pushing a key predicate
 //!   into a generated view).
+//!
+//! Full evaluation additionally **fans out** on the shared pool
+//! ([`crate::parallel`]) when the configured width exceeds 1: independent
+//! rules in parallel and each rule's depth-0 scan split into key-range
+//! chunks, with a sequential epilogue merging the fragments in rule order
+//! then chunk order. The fan-out is gated to
+//! [`CompiledRuleSet::parallel_safe`] sets (non-staged, mint-free) over a
+//! view that passed [`EdbView::prepare_parallel`], so worker threads only
+//! ever do pure reads and results — including skolem id assignment and
+//! error precedence — are byte-identical at any width (DESIGN.md "Parallel
+//! evaluation & deterministic merge").
 
 use crate::ast::{Literal, Rule, RuleSet, Term};
 use crate::error::DatalogError;
@@ -60,9 +71,32 @@ use std::sync::Arc;
 /// *virtual* table versions through SMO mappings on demand, so a key lookup
 /// on a virtual relation need not materialize the whole relation. Relations
 /// are returned as `Arc` so repeated `full` calls stay cheap.
-pub trait EdbView {
+///
+/// Views are `Sync`: the parallel evaluation paths share one view across
+/// worker threads, so interior caches must be lock-guarded (they all go
+/// through the mutex-based [`IndexCache`] / lock-guarded maps). Laziness is
+/// the one thing that is *not* thread-transparent — a lazy resolution can
+/// mint skolem ids — which is what [`EdbView::prepare_parallel`] gates.
+pub trait EdbView: Sync {
     /// Full state of the relation.
     fn full(&self, relation: &str) -> Result<Arc<Relation>>;
+
+    /// Make the view safe to share with parallel evaluation workers for
+    /// the given relations: materialize any lazy state whose resolution has
+    /// side effects (id minting) **now, sequentially**, so worker threads
+    /// only ever perform pure reads.
+    ///
+    /// Returns `Ok(false)` if that cannot be guaranteed — the caller must
+    /// then stay on the sequential path (which is always correct).
+    /// Implementations must *never* error for conditions the sequential
+    /// path would handle differently: report such relations via `Ok(false)`
+    /// and let sequential evaluation produce the canonical outcome. The
+    /// default implementation declares the view pure (true for plain
+    /// map-backed views such as [`MapEdb`]).
+    fn prepare_parallel(&self, relations: &[&str]) -> Result<bool> {
+        let _ = relations;
+        Ok(true)
+    }
 
     /// The row stored under `key`, if any.
     fn by_key(&self, relation: &str, key: Key) -> Result<Option<Row>> {
@@ -92,6 +126,23 @@ pub trait IdSource {
 impl IdSource for RefCell<SkolemRegistry> {
     fn generate(&self, generator: &str, args: &[Value]) -> u64 {
         self.borrow_mut().get_or_create(generator, args)
+    }
+}
+
+/// The [`IdSource`] handed to parallel workers (evaluation chunks, delta
+/// probes, hop fan-outs in `inverda-core`). Every parallel path is gated
+/// to rule sets that cannot mint ([`CompiledRuleSet::parallel_safe`]), so
+/// any call is an engine bug — minting from a worker would make id
+/// assignment depend on thread scheduling. Use the shared [`NO_MINT_IDS`]
+/// instance.
+pub struct NoMintIds;
+
+/// The canonical [`NoMintIds`] instance.
+pub static NO_MINT_IDS: NoMintIds = NoMintIds;
+
+impl IdSource for NoMintIds {
+    fn generate(&self, generator: &str, _args: &[Value]) -> u64 {
+        unreachable!("parallel paths are gated to mint-free rule sets (generator {generator})")
     }
 }
 
@@ -335,6 +386,35 @@ impl CompiledRuleSet {
         self.rules
             .iter()
             .any(|r| r.body.iter().any(|lit| matches!(lit, CLit::Skolem { .. })))
+    }
+
+    /// Whether the set is eligible for parallel evaluation: rules must be
+    /// **independent** (no rule consumes a head of the set — the staged
+    /// `old`/`new` SMOs evaluate strictly in rule order) and **pure** (no
+    /// skolem generators — minting from concurrent workers would make id
+    /// assignment depend on thread scheduling, breaking the engine's
+    /// exact-equivalence contract with [`crate::naive`]).
+    pub fn parallel_safe(&self) -> bool {
+        !self.staged && !self.mints_ids()
+    }
+
+    /// Names of every relation the rule bodies read, in the order the
+    /// scheduled sequential evaluation would first touch them (rule order,
+    /// then scheduled-literal order). This is what a view must prepare
+    /// before the set is evaluated on worker threads.
+    pub fn body_relations(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            for &lit in &rule.base_order {
+                if let CLit::Pos(a) | CLit::Neg(a) = &rule.body[lit] {
+                    if seen.insert(a.relation.as_str()) {
+                        out.push(a.relation.as_str());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Indices of the rules deriving `head`.
@@ -635,12 +715,24 @@ pub fn evaluate(
 }
 
 /// Evaluate a pre-compiled rule set bottom-up against an EDB.
+///
+/// When the configured width ([`crate::parallel::threads`]) exceeds 1 and
+/// the set is [`CompiledRuleSet::parallel_safe`], evaluation fans out over
+/// the shared thread pool — independent rules in parallel, and the outer
+/// scan of each rule's join split into key-range chunks — and re-assembles
+/// the fragments in a deterministic sequential epilogue (rule order, then
+/// chunk order), so the derived relations, the tuple insertion order, any
+/// key-conflict error, and the untouched skolem registry are byte-identical
+/// to a `threads = 1` run.
 pub fn evaluate_compiled(
     crs: &CompiledRuleSet,
     edb: &dyn EdbView,
     ids: &dyn IdSource,
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<BTreeMap<String, Relation>> {
+    if let Some(out) = try_evaluate_parallel(crs, edb, head_columns)? {
+        return Ok(out);
+    }
     let mut ev = Evaluator::new(edb, ids);
     for rule in &crs.rules {
         ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
@@ -649,14 +741,171 @@ pub fn evaluate_compiled(
             ev.emit(&rule.head.relation, key, row)?;
         }
     }
-    Ok(ev
-        .derived
+    Ok(ev.into_derived())
+}
+
+/// One unit of parallel evaluation work.
+enum ParTask {
+    /// Evaluate the whole rule on one worker (depth-0 literal not
+    /// chunkable, or planning hit an error the sequential join must
+    /// reproduce in canonical order).
+    Whole(usize),
+    /// Evaluate one contiguous chunk of the rule's depth-0 candidate keys.
+    Chunk {
+        rule: usize,
+        lit: usize,
+        rel: Arc<Relation>,
+        keys: Arc<Vec<Key>>,
+        range: (usize, usize),
+    },
+}
+
+impl ParTask {
+    fn rule(&self) -> usize {
+        match self {
+            ParTask::Whole(rule) | ParTask::Chunk { rule, .. } => *rule,
+        }
+    }
+}
+
+/// The parallel fast path of [`evaluate_compiled`]; `None` means "stay
+/// sequential" (width 1, unsafe rule set, or a view that cannot be shared).
+fn try_evaluate_parallel(
+    crs: &CompiledRuleSet,
+    edb: &dyn EdbView,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<Option<BTreeMap<String, Relation>>> {
+    let width = crate::parallel::threads();
+    if width < 2 || !crs.parallel_safe() {
+        return Ok(None);
+    }
+    if !edb.prepare_parallel(&crs.body_relations())? {
+        return Ok(None);
+    }
+
+    // ---- Plan: one task per rule, or per chunk of the rule's depth-0
+    // scan. Planning failures (unbound relation, arity mismatch) fall back
+    // to a Whole task so the worker's sequential join raises the exact
+    // error a `threads = 1` run would, at the same canonical position.
+    let mut tasks: Vec<ParTask> = Vec::new();
+    for ri in 0..crs.rules.len() {
+        match plan_rule_chunks(crs, edb, ri, width).unwrap_or(None) {
+            Some(chunks) => tasks.extend(chunks),
+            None => tasks.push(ParTask::Whole(ri)),
+        }
+    }
+
+    // ---- Fan out. Workers are pure: they share the prepared view, mint
+    // nothing (`NO_MINT_IDS`), and each produces an ordered fragment of one
+    // rule's head tuples.
+    let results: Vec<Result<Vec<(Key, Row)>>> = crate::parallel::map_indexed(tasks.len(), |ti| {
+        let ev = Evaluator::new(edb, &NO_MINT_IDS);
+        match &tasks[ti] {
+            ParTask::Whole(ri) => {
+                let rule = &crs.rules[*ri];
+                ev.rule_head_tuples(rule, &rule.base_order, None)
+            }
+            ParTask::Chunk {
+                rule,
+                lit,
+                rel,
+                keys,
+                range,
+            } => {
+                let rule = &crs.rules[*rule];
+                let CLit::Pos(atom) = &rule.body[*lit] else {
+                    unreachable!("chunk tasks are planned on positive atoms only")
+                };
+                let mut frame: Frame = vec![None; rule.n_vars];
+                let mut trail = Vec::with_capacity(rule.n_vars);
+                let mut out = Vec::new();
+                for &key in &keys[range.0..range.1] {
+                    let Some(row) = rel.get(key) else { continue };
+                    let mark = trail.len();
+                    if unify_atom(atom, key, row, &mut frame, &mut trail) {
+                        ev.join(
+                            rule,
+                            &rule.base_order,
+                            1,
+                            &mut frame,
+                            &mut trail,
+                            &mut |frame| {
+                                out.push(head_tuple(rule, frame)?);
+                                Ok(())
+                            },
+                        )?;
+                    }
+                    undo(&mut frame, &mut trail, mark);
+                }
+                Ok(out)
+            }
+        }
+    });
+
+    // ---- Deterministic epilogue: merge fragments and emit head tuples in
+    // rule order then chunk order — exactly the sequential insertion order,
+    // so key-conflict detection and error precedence are reproduced.
+    let mut ev = Evaluator::new(edb, &NO_MINT_IDS);
+    let mut results = results.into_iter();
+    let mut ti = 0;
+    for (ri, rule) in crs.rules.iter().enumerate() {
+        ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
+        while ti < tasks.len() && tasks[ti].rule() == ri {
+            let tuples = results.next().expect("one result per task")?;
+            for (key, row) in tuples {
+                ev.emit(&rule.head.relation, key, row)?;
+            }
+            ti += 1;
+        }
+    }
+    Ok(Some(ev.into_derived()))
+}
+
+/// Chunk one rule's depth-0 scan: only a positive atom whose key term is
+/// unbound at depth 0 enumerates multiple candidates worth splitting.
+/// `Ok(None)` / `Err` mean "evaluate the rule as one sequential task".
+fn plan_rule_chunks(
+    crs: &CompiledRuleSet,
+    edb: &dyn EdbView,
+    ri: usize,
+    width: usize,
+) -> Result<Option<Vec<ParTask>>> {
+    let rule = &crs.rules[ri];
+    let Some(&first) = rule.base_order.first() else {
+        return Ok(None);
+    };
+    let CLit::Pos(atom) = &rule.body[first] else {
+        return Ok(None);
+    };
+    let empty: Frame = vec![None; rule.n_vars];
+    if atom.terms[0].resolved(&empty).is_some() {
+        // Key-bound depth 0 is a single point lookup — nothing to chunk.
+        return Ok(None);
+    }
+    let rel = edb.full(&atom.relation)?;
+    check_arity(atom, rel.schema().arity() + 1)?;
+    // Mirror the sequential candidate enumeration exactly: index probe on
+    // the first bound payload column, else a full scan, both in ascending
+    // key order.
+    let keys: Vec<Key> = match atom.bound_payload(&empty) {
+        Some((col, value)) => {
+            let value = value.clone();
+            edb.index(&atom.relation, col)?.keys_for(&value).to_vec()
+        }
+        None => rel.keys().collect(),
+    };
+    let keys = Arc::new(keys);
+    let chunks = crate::parallel::chunk_ranges(keys.len(), width, 16)
         .into_iter()
-        .map(|(name, rel)| {
-            let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone());
-            (name, rel)
+        .map(|range| ParTask::Chunk {
+            rule: ri,
+            lit: first,
+            rel: Arc::clone(&rel),
+            keys: Arc::clone(&keys),
+            range,
         })
-        .collect())
+        .collect();
+    Ok(Some(chunks))
 }
 
 /// The compiled evaluation engine. Holds derived heads (which shadow the
@@ -686,6 +935,17 @@ impl<'a> Evaluator<'a> {
             by_key_memo: HashMap::new(),
             derived_indexes: IndexCache::new(),
         }
+    }
+
+    /// Consume the evaluator, unwrapping the derived heads.
+    fn into_derived(self) -> BTreeMap<String, Relation> {
+        self.derived
+            .into_iter()
+            .map(|(name, rel)| {
+                let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone());
+                (name, rel)
+            })
+            .collect()
     }
 
     fn ensure_head(

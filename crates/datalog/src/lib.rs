@@ -16,6 +16,10 @@
 //!   heads (the paper's `old`/`new` sequencing);
 //! * the original naive interpreter ([`naive`]), kept as the reference
 //!   oracle for differential testing of the compiled engine;
+//! * the engine's parallelism substrate ([`parallel`]): the
+//!   `INVERDA_THREADS` width knob and the shared work-stealing pool behind
+//!   every deterministic fan-out (chunked rule evaluation, delta-probe
+//!   batches, the write path's independent SMO hops);
 //! * mechanical **update propagation** ([`delta`]) deriving minimal write
 //!   deltas through a rule set, the engine-side equivalent of the paper's
 //!   generated triggers (Section 6, Rules 52–54, citing Behrend et al.);
@@ -30,6 +34,7 @@ pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod naive;
+pub mod parallel;
 pub mod simplify;
 pub mod skolem;
 

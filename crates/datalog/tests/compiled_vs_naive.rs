@@ -233,7 +233,11 @@ proptest! {
     fn full_evaluation_matches_naive(
         specs in prop::collection::vec(arb_rule_spec(), 1..4),
         (t0, t1) in arb_edb(),
+        tsel in 0usize..3,
     ) {
+        // Parallel ≡ sequential ≡ naive: the compiled engine must produce
+        // byte-identical output (including skolem id order) at any width.
+        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4][tsel]));
         let rules = build_rule_set(&specs);
         let edb = build_edb(&t0, &t1);
         let naive_ids = registry();
@@ -301,7 +305,9 @@ proptest! {
         inserts in prop::collection::btree_map(12u64..18, 0i64..6, 0..3),
         deletes in prop::collection::vec(0u64..12, 0..3),
         updates in prop::collection::btree_map(0u64..12, 0i64..6, 0..3),
+        tsel in 0usize..3,
     ) {
+        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4][tsel]));
         let specs: Vec<RuleSpec> = specs
             .into_iter()
             .map(|mut s| {
@@ -370,5 +376,82 @@ proptest! {
         }
         let fast: DeltaMap = fast.into_iter().filter(|(_, d)| !d.is_empty()).collect();
         prop_assert_eq!(fast, slow, "diverged on:\n{}", rules);
+    }
+}
+
+/// Large-input differential check that actually crosses the parallel
+/// gates (the proptest cases above are small, so chunked scans and the
+/// delta fan-out may fall below their work thresholds): a multi-rule
+/// unbound join over a few thousand rows and a several-hundred-tuple
+/// delta, evaluated at widths 1/2/4/8, must be byte-identical — results,
+/// insertion order, and the naive oracle all agree.
+#[test]
+fn parallel_widths_agree_on_large_inputs() {
+    use inverda_datalog::ast::Atom;
+    use inverda_storage::Expr;
+
+    let mut a = Relation::with_columns("A", ["n"]);
+    let mut b = Relation::with_columns("B", ["n"]);
+    for i in 0..3_000u64 {
+        a.insert(Key(i), vec![Value::Int((i % 97) as i64)]).unwrap();
+        b.insert(Key(10_000 + i), vec![Value::Int((i % 89) as i64)])
+            .unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(a).add(b);
+    // Two independent rules: an unbound join (chunked scan + index probe)
+    // and a filter (chunked scan).
+    let rules = RuleSet::new(vec![
+        Rule::new(
+            Atom::vars("H0", &["q", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("B", &["q", "n"])),
+                Literal::Pos(Atom::new("A", vec![Term::Anon, Term::var("n")])),
+            ],
+        ),
+        Rule::new(
+            Atom::vars("H1", &["p", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("A", &["p", "n"])),
+                Literal::Cond(Expr::col("n").ge(Expr::lit(50))),
+            ],
+        ),
+    ]);
+    let crs = CompiledRuleSet::compile(&rules).unwrap();
+
+    // A delta big enough to cross the propagation fan-out threshold.
+    let mut delta = Delta::new();
+    for i in 0..400u64 {
+        delta
+            .inserts
+            .insert(Key(20_000 + i), vec![Value::Int((i % 97) as i64)]);
+    }
+    for i in 0..200u64 {
+        delta
+            .deletes
+            .insert(Key(10_000 + i), vec![Value::Int((i % 89) as i64)]);
+    }
+    let mut input = DeltaMap::new();
+    input.insert("B".to_string(), delta);
+
+    let mut eval_outputs = Vec::new();
+    let mut prop_outputs = Vec::new();
+    for width in [1usize, 2, 4, 8] {
+        inverda_datalog::parallel::set_threads(Some(width));
+        let ids = registry();
+        eval_outputs.push(evaluate_compiled(&crs, &edb, &ids, &BTreeMap::new()).unwrap());
+        let ids2 = registry();
+        prop_outputs.push(propagate(&rules, &edb, &input, &ids2, &BTreeMap::new()).unwrap());
+    }
+    inverda_datalog::parallel::set_threads(None);
+    let naive_ids = registry();
+    let oracle = naive::evaluate(&rules, &edb, &naive_ids, &BTreeMap::new()).unwrap();
+    for (out, prop_out) in eval_outputs.iter().zip(&prop_outputs) {
+        assert_eq!(out, &eval_outputs[0], "evaluation diverged across widths");
+        assert_eq!(out, &oracle, "parallel evaluation diverged from naive");
+        assert_eq!(
+            prop_out, &prop_outputs[0],
+            "propagation diverged across widths"
+        );
     }
 }

@@ -9,7 +9,7 @@ use crate::error::StorageError;
 use crate::schema::TableSchema;
 use crate::value::{Key, Value};
 use crate::Result;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -316,8 +316,15 @@ impl ColumnIndex {
 /// logic lives in one place. Lookups are by `&str` (no allocation); each
 /// `(relation, column)` pair is built at most once until
 /// [`IndexCache::invalidate`] drops the relation's entries.
+///
+/// The cache is mutex-guarded (not `RefCell`), so every EDB view holding
+/// one is `Sync` and can be shared by the parallel evaluation workers.
+/// Concurrent `get_or_build` calls on a missing entry may build the same
+/// index twice — the index is a pure function of an immutable snapshot, so
+/// both builds are identical and the duplicate is simply dropped; the lock
+/// is never held across a build.
 #[derive(Debug, Default)]
-pub struct IndexCache(RefCell<HashMap<String, HashMap<usize, Arc<ColumnIndex>>>>);
+pub struct IndexCache(Mutex<HashMap<String, HashMap<usize, Arc<ColumnIndex>>>>);
 
 impl IndexCache {
     /// Empty cache.
@@ -336,7 +343,7 @@ impl IndexCache {
     ) -> std::result::Result<Arc<ColumnIndex>, E> {
         if let Some(hit) = self
             .0
-            .borrow()
+            .lock()
             .get(relation)
             .and_then(|cols| cols.get(&column))
         {
@@ -344,7 +351,7 @@ impl IndexCache {
         }
         let built = Arc::new(build()?);
         self.0
-            .borrow_mut()
+            .lock()
             .entry(relation.to_string())
             .or_default()
             .insert(column, Arc::clone(&built));
@@ -354,7 +361,7 @@ impl IndexCache {
     /// The cached index for `(relation, column)`, if any.
     pub fn get(&self, relation: &str, column: usize) -> Option<Arc<ColumnIndex>> {
         self.0
-            .borrow()
+            .lock()
             .get(relation)
             .and_then(|cols| cols.get(&column))
             .map(Arc::clone)
@@ -364,7 +371,7 @@ impl IndexCache {
     /// column)`, replacing any previous one.
     pub fn put(&self, relation: &str, column: usize, index: Arc<ColumnIndex>) {
         self.0
-            .borrow_mut()
+            .lock()
             .entry(relation.to_string())
             .or_default()
             .insert(column, index);
@@ -372,7 +379,7 @@ impl IndexCache {
 
     /// Drop every cached index of `relation` (its snapshot changed).
     pub fn invalidate(&self, relation: &str) {
-        self.0.borrow_mut().remove(relation);
+        self.0.lock().remove(relation);
     }
 
     /// Patch every cached index of `relation` for one row change instead of
@@ -380,7 +387,7 @@ impl IndexCache {
     /// `new` the payload now stored under `key` (None for a delete). Indexes
     /// of other relations and uncached columns are unaffected.
     pub fn patch_row(&self, relation: &str, key: Key, old: Option<&Row>, new: Option<&Row>) {
-        let mut cache = self.0.borrow_mut();
+        let mut cache = self.0.lock();
         let Some(cols) = cache.get_mut(relation) else {
             return;
         };

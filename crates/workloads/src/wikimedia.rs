@@ -1,4 +1,4 @@
-//! The Wikimedia database evolution benchmark (Curino et al. [7]),
+//! The Wikimedia database evolution benchmark (Curino et al. \[7]),
 //! reconstructed synthetically.
 //!
 //! The paper implements 171 schema versions of Wikimedia with 211 SMOs and
