@@ -15,12 +15,13 @@ use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, Evaluator, MapEd
 use inverda_datalog::{naive, SkolemRegistry};
 use inverda_storage::{Expr, Key, Relation, Value};
 use inverda_workloads::tasky;
-use std::cell::RefCell;
+use parking_lot::Mutex;
+
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-fn registry() -> RefCell<SkolemRegistry> {
-    RefCell::new(SkolemRegistry::new())
+fn registry() -> Mutex<SkolemRegistry> {
+    Mutex::new(SkolemRegistry::new())
 }
 
 fn ms(d: Duration) -> f64 {
@@ -224,29 +225,102 @@ fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize) {
     (ms(round), ops)
 }
 
-/// Thread-scaling sweep: the three parallel-path workloads at 1/2/4/8
-/// logical workers. `unbound_join` re-times [`bench_full_scan_join`]'s
-/// compiled side (chunked outer scan), `materialize` migrates the loaded
-/// TasKy database onto the `Do!` side (whole-relation evaluation through
-/// the SPLIT mapping — the FK-DECOMPOSE side mints ids and deliberately
-/// stays sequential), and `tasky_write_round` is the warm-snapshot write
-/// round (delta-probe fan-out). Results at every width are asserted equal
-/// to the width-1 run — scaling must never buy nondeterminism.
-fn bench_thread_scaling(
-    rows: usize,
-    tasks: usize,
-    writes: usize,
-    reps: usize,
-) -> (Vec<usize>, Vec<f64>, Vec<f64>, Vec<f64>) {
+/// Timings of one thread-scaling sweep (indices align with `workers`).
+struct ThreadScaling {
+    workers: Vec<usize>,
+    join_ms: Vec<f64>,
+    mat_ms: Vec<f64>,
+    round_ms: Vec<f64>,
+    staged_mat_ms: Vec<f64>,
+    fk_round_ms: Vec<f64>,
+}
+
+/// Warm write round through `TasKy.Task` with the FK-DECOMPOSE branch
+/// materialized: every write drains *forward* through the id-minting
+/// DECOMPOSE mapping (plus the RENAME hop), and the staged γ_src
+/// maintenance keeps the virtualized source side warm — the workload the
+/// mint-free gate used to exclude from every parallel path. New authors
+/// appear throughout the round, so ids actually mint under fan-out.
+fn bench_fk_decompose_round(tasks: usize, writes: usize) -> (f64, String) {
+    let db = tasky::build();
+    db.set_write_path(WritePath::Delta);
+    tasky::load_tasks(&db, tasks);
+    db.materialize(&["TasKy2".to_string()])
+        .expect("materialize");
+    let round = median_time(1, || {
+        let mut keys = Vec::new();
+        for i in 0..writes {
+            if i % 2 == 0 {
+                let k = db
+                    .insert(
+                        "TasKy",
+                        "Task",
+                        vec![
+                            // Half the inserts reuse loaded authors, half
+                            // mint fresh ones.
+                            Value::text(format!("author{:03}", i % 400)),
+                            Value::text(format!("fk bench {i}")),
+                            Value::Int((i % 3 + 1) as i64),
+                        ],
+                    )
+                    .unwrap();
+                keys.push(k);
+            } else if let Some(k) = keys.last().copied() {
+                db.update(
+                    "TasKy",
+                    "Task",
+                    k,
+                    vec![
+                        Value::text(format!("author{:03}", (i + 1) % 400)),
+                        Value::text(format!("edited {i}")),
+                        Value::Int((i % 3 + 1) as i64),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+        for k in keys {
+            db.delete("TasKy", "Task", k).unwrap();
+        }
+    });
+    let state = format!(
+        "{}{}{}{}",
+        db.scan("TasKy", "Task").unwrap(),
+        db.scan("Do!", "Todo").unwrap(),
+        db.scan("TasKy2", "Task").unwrap(),
+        db.scan("TasKy2", "Author").unwrap(),
+    );
+    (ms(round), state)
+}
+
+/// Thread-scaling sweep: the parallel-path workloads at 1/2/4/8 logical
+/// workers. `unbound_join` re-times [`bench_full_scan_join`]'s compiled
+/// side (chunked outer scan), `materialize` migrates the loaded TasKy
+/// database onto the `Do!` side (whole-relation evaluation through the
+/// SPLIT mapping), `staged_materialize` migrates onto the **FK-DECOMPOSE**
+/// side and back (the id-minting staged evaluation, now fanned out through
+/// the reserve-then-commit cycle), `tasky_write_round` is the warm-snapshot
+/// write round (delta-probe fan-out), and `fk_decompose_write_round` is the
+/// staged write round of [`bench_fk_decompose_round`]. Results at every
+/// width are asserted equal to the width-1 run — scaling must never buy
+/// nondeterminism, minted ids included.
+fn bench_thread_scaling(rows: usize, tasks: usize, writes: usize, reps: usize) -> ThreadScaling {
     let workers = vec![1usize, 2, 4, 8];
-    let mut join_ms = Vec::new();
-    let mut mat_ms = Vec::new();
-    let mut round_ms = Vec::new();
+    let mut out = ThreadScaling {
+        workers: workers.clone(),
+        join_ms: Vec::new(),
+        mat_ms: Vec::new(),
+        round_ms: Vec::new(),
+        staged_mat_ms: Vec::new(),
+        fk_round_ms: Vec::new(),
+    };
     let mut baseline: Option<String> = None;
+    let mut staged_baseline: Option<String> = None;
+    let mut fk_baseline: Option<String> = None;
     for &w in &workers {
         inverda_datalog::parallel::set_threads(Some(w));
         let (_, compiled, _) = bench_full_scan_join(rows, reps);
-        join_ms.push(compiled);
+        out.join_ms.push(compiled);
 
         let db = tasky::build();
         tasky::load_tasks(&db, tasks);
@@ -254,7 +328,7 @@ fn bench_thread_scaling(
             db.materialize(&["Do!".to_string()]).expect("materialize");
             db.materialize(&["TasKy".to_string()]).expect("back");
         });
-        mat_ms.push(ms(mat));
+        out.mat_ms.push(ms(mat));
         let state = format!(
             "{}{}",
             db.scan("Do!", "Todo").unwrap(),
@@ -265,11 +339,40 @@ fn bench_thread_scaling(
             Some(b) => assert_eq!(b, &state, "width {w} changed the migrated state"),
         }
 
+        let db = tasky::build();
+        tasky::load_tasks(&db, tasks);
+        let staged_mat = median_time(1, || {
+            db.materialize(&["TasKy2".to_string()])
+                .expect("materialize");
+            db.materialize(&["TasKy".to_string()]).expect("back");
+        });
+        out.staged_mat_ms.push(ms(staged_mat));
+        let state = format!(
+            "{}{}{}",
+            db.scan("TasKy2", "Task").unwrap(),
+            db.scan("TasKy2", "Author").unwrap(),
+            db.debug_registry(),
+        );
+        match &staged_baseline {
+            None => staged_baseline = Some(state),
+            Some(b) => assert_eq!(
+                b, &state,
+                "width {w} changed the staged migration (ids included)"
+            ),
+        }
+
         let (_, round) = bench_tasky_round(tasks, writes, WritePath::Delta, true);
-        round_ms.push(round);
+        out.round_ms.push(round);
+
+        let (fk_round, fk_state) = bench_fk_decompose_round(tasks, writes);
+        out.fk_round_ms.push(fk_round);
+        match &fk_baseline {
+            None => fk_baseline = Some(fk_state),
+            Some(b) => assert_eq!(b, &fk_state, "width {w} changed the staged write round"),
+        }
     }
     inverda_datalog::parallel::set_threads(None);
-    (workers, join_ms, mat_ms, round_ms)
+    out
 }
 
 fn main() {
@@ -317,17 +420,24 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("-- thread scaling (available_parallelism = {avail})");
-    let (workers, join_scaling, mat_scaling, round_scaling) =
-        bench_thread_scaling(rows, tasks, writes, reps);
-    for (i, w) in workers.iter().enumerate() {
+    let scaling = bench_thread_scaling(rows, tasks, writes, reps);
+    for (i, w) in scaling.workers.iter().enumerate() {
         println!(
-            "   {w} worker(s): unbound join {:10.2} ms | materialize {:10.2} ms | warm round {:10.2} ms",
-            join_scaling[i], mat_scaling[i], round_scaling[i]
+            "   {w} worker(s): unbound join {:10.2} ms | materialize {:10.2} ms | staged materialize {:10.2} ms | warm round {:10.2} ms | fk round {:10.2} ms",
+            scaling.join_ms[i],
+            scaling.mat_ms[i],
+            scaling.staged_mat_ms[i],
+            scaling.round_ms[i],
+            scaling.fk_round_ms[i]
         );
     }
-    let join_speedup_4 = join_scaling[0] / join_scaling[2].max(f64::EPSILON);
-    let mat_speedup_4 = mat_scaling[0] / mat_scaling[2].max(f64::EPSILON);
-    println!("   speedup at 4 workers: join {join_speedup_4:.2}x, materialize {mat_speedup_4:.2}x");
+    let join_speedup_4 = scaling.join_ms[0] / scaling.join_ms[2].max(f64::EPSILON);
+    let mat_speedup_4 = scaling.mat_ms[0] / scaling.mat_ms[2].max(f64::EPSILON);
+    let staged_mat_speedup_4 =
+        scaling.staged_mat_ms[0] / scaling.staged_mat_ms[2].max(f64::EPSILON);
+    println!(
+        "   speedup at 4 workers: join {join_speedup_4:.2}x, materialize {mat_speedup_4:.2}x, staged materialize {staged_mat_speedup_4:.2}x"
+    );
 
     let fmt_list = |xs: &[f64]| {
         xs.iter()
@@ -335,14 +445,17 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    let workers_list = workers
+    let workers_list = scaling
+        .workers
         .iter()
         .map(usize::to_string)
         .collect::<Vec<_>>()
         .join(", ");
-    let join_list = fmt_list(&join_scaling);
-    let mat_list = fmt_list(&mat_scaling);
-    let round_list = fmt_list(&round_scaling);
+    let join_list = fmt_list(&scaling.join_ms);
+    let mat_list = fmt_list(&scaling.mat_ms);
+    let round_list = fmt_list(&scaling.round_ms);
+    let staged_mat_list = fmt_list(&scaling.staged_mat_ms);
+    let fk_round_list = fmt_list(&scaling.fk_round_ms);
 
     let json = format!(
         r#"{{
@@ -377,9 +490,12 @@ fn main() {
     "workers": [{workers_list}],
     "unbound_join_ms": [{join_list}],
     "materialize_ms": [{mat_list}],
+    "staged_materialize_ms": [{staged_mat_list}],
     "tasky_write_round_warm_ms": [{round_list}],
+    "fk_decompose_write_round_ms": [{fk_round_list}],
     "unbound_join_speedup_at_4": {join_speedup_4:.2},
-    "materialize_speedup_at_4": {mat_speedup_4:.2}
+    "materialize_speedup_at_4": {mat_speedup_4:.2},
+    "staged_materialize_speedup_at_4": {staged_mat_speedup_4:.2}
   }}
 }}
 "#

@@ -104,6 +104,7 @@ pub fn add_column(
         to_src,
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }
@@ -208,6 +209,7 @@ pub fn drop_column(
         to_src,
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }

@@ -119,6 +119,7 @@ pub fn decompose_pk(
         to_src,
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }
@@ -160,11 +161,19 @@ pub fn decompose_fk(
     s_cols.push(fk.to_string());
     let s = TableRef::new(&first.name, tgt_rel(&first.name), s_cols);
     let t = TableRef::new(&second.name, tgt_rel(&second.name), b.clone());
-    let id_aux = TableRef::new(
-        "IDR",
-        aux_rel(&format!("ID_{table}")),
-        vec!["t".to_string()],
-    );
+    // `ID_R(p, t, B)` — the assignment memo *including the payload the id
+    // was generated for* (synthetic column names: positions carry the
+    // meaning). An entry only ever certifies "row p's payload B maps to t";
+    // carrying B makes the γ_tgt joins self-guarding: when a write replaces
+    // row p's payload, the stale pairing simply stops matching and the
+    // skolem rules re-mint (the registry reproduces the id whenever the
+    // payload did not actually change). Without the payload, a stale
+    // pairing pinned the old payload's id onto the new payload and collided
+    // with the old payload's surviving twin — the historical twin-separated
+    // KeyConflict.
+    let mut id_cols = vec!["t".to_string()];
+    id_cols.extend((0..b.len()).map(|i| format!("b{i}")));
+    let id_aux = TableRef::new("IDR", aux_rel(&format!("ID_{table}")), id_cols);
     let generator = gen_name(&format!("{table}.{}", second.name));
     let p = "p";
     let tv = "t"; // the generated identifier variable
@@ -172,7 +181,11 @@ pub fn decompose_fk(
     // Atom helpers.
     let r_full = || Atom::new(&src.rel, full_terms(p, columns));
     let b_vars: Vec<Term> = b.iter().map(|c| Term::var(pvar(c))).collect();
-    let id_atom = |t_term: Term| Atom::new(&id_aux.rel, vec![Term::var(p), t_term]);
+    let id_atom = |t_term: Term| {
+        let mut terms = vec![Term::var(p), t_term];
+        terms.extend(b_vars.iter().cloned());
+        Atom::new(&id_aux.rel, terms)
+    };
     // S head: key p, A columns, then fk.
     let s_head = |fk_term: Term| {
         let mut terms = vec![Term::var(p)];
@@ -279,15 +292,20 @@ pub fn decompose_fk(
                 Literal::Neg(s_fk_pattern(Term::var(tv))),
             ],
         ),
+        // Rule 150: the assignment memo records (row, id, payload) — the
+        // payload join through T is what lets γ_tgt reject stale pairings.
         Rule::new(
             id_atom(Term::var(tv)),
-            vec![
-                Literal::Pos(s_full()),
-                Literal::Pos(key_atom(&t.rel, tv, b.len())),
-            ],
+            vec![Literal::Pos(s_full()), Literal::Pos(t_head())],
         ),
+        // Rule 151: a row with an ω fk has no referenced payload — record ω
+        // across the payload columns too.
         Rule::new(
-            id_atom(Term::Const(Value::Null)),
+            {
+                let mut terms = vec![Term::var(p), Term::Const(Value::Null)];
+                terms.extend(std::iter::repeat_n(Term::Const(Value::Null), b.len()));
+                Atom::new(&id_aux.rel, terms)
+            },
             vec![Literal::Pos({
                 let mut terms = vec![Term::var(p)];
                 terms.extend(std::iter::repeat_n(Term::Anon, a.len()));
@@ -295,10 +313,16 @@ pub fn decompose_fk(
                 Atom::new(&s.rel, terms)
             })],
         ),
+        // Rule 152: orphan T rows surface keyed by their own id, with their
+        // own payload as the recorded assignment.
         Rule::new(
-            Atom::new(&id_aux.rel, vec![Term::var(tv), Term::var(tv)]),
+            {
+                let mut terms = vec![Term::var(tv), Term::var(tv)];
+                terms.extend(b_vars.iter().cloned());
+                Atom::new(&id_aux.rel, terms)
+            },
             vec![
-                Literal::Pos(key_atom(&t.rel, tv, b.len())),
+                Literal::Pos(t_head()),
                 Literal::Neg(s_fk_pattern(Term::var(tv))),
             ],
         ),
@@ -308,6 +332,10 @@ pub fn decompose_fk(
         kind: "DECOMPOSE",
         src_data: vec![src],
         tgt_data: vec![s, t.clone()],
+        // `ID_R(p, t)` memoizes `t = idT(payload(p))` — payload-derived, so
+        // updates of row `p` must purge it (see `DerivedSmo` docs); the
+        // skolem registry re-mints the same id for unchanged payloads.
+        payload_keyed_aux: vec![id_aux.rel.clone()],
         src_aux: vec![id_aux],
         tgt_aux: vec![],
         shared_aux: vec![],
@@ -580,6 +608,10 @@ pub fn decompose_cond(
                 relation: src.rel,
             },
         ],
+        // The shared `ID(r, s, t)` relates *identities*, not payloads: a
+        // source-row update keeps the same target ids (with new payloads
+        // flowing through the γ joins), so no update purge is needed.
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }

@@ -125,6 +125,7 @@ pub fn join_pk(
         to_src,
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }
@@ -262,6 +263,7 @@ fn fix_outer_names(d: DerivedSmo, _left: &str, _right: &str, _into: &str) -> Der
                     .unwrap_or_else(|| h.relation.clone()),
             })
             .collect(),
+        payload_keyed_aux: d.payload_keyed_aux.clone(),
         moves_data: d.moves_data,
     }
 }
@@ -396,6 +398,7 @@ pub fn join_fk(
         to_src,
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }
@@ -649,6 +652,9 @@ pub fn join_cond(
                 relation: t.rel,
             },
         ],
+        // The shared `ID(r, s, t)` relates identities, not payloads — no
+        // update purge (see `decompose_cond`, this SMO's mirror image).
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }

@@ -134,6 +134,17 @@ pub struct DerivedSmo {
     pub generators: Vec<String>,
     /// Registry seeding hints (see [`ObserveHint`]).
     pub observe_hints: Vec<ObserveHint>,
+    /// Relation names of auxiliary tables whose rows memoize a
+    /// **payload-derived** generator assignment for a source row key
+    /// (Appendix B.3's `ID_R(p, t)`: `t = idT(payload(p))`). An update that
+    /// replaces row `p`'s payload invalidates such an entry — a stale one
+    /// would pin the old payload's id onto the new payload and collide with
+    /// the old payload's surviving twin — so the write path purges
+    /// key-matching rows on *updates* as well as deletes when the owning
+    /// SMO is adjacent to (not traversed by) the propagation. Re-derivation
+    /// then re-mints through the skolem registry, which reproduces the same
+    /// id whenever the generator arguments did not actually change.
+    pub payload_keyed_aux: Vec<String>,
     /// Whether materializing this SMO relocates data. `CREATE TABLE` and
     /// `DROP TABLE` do not move data: their tables simply begin / end.
     pub moves_data: bool,

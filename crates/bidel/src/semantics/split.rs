@@ -243,6 +243,7 @@ fn build(
                 to_src: RuleSet::new(to_src),
                 generators: vec![],
                 observe_hints: vec![],
+                payload_keyed_aux: vec![],
                 moves_data: true,
             })
         }
@@ -293,6 +294,7 @@ fn build(
                 to_src: RuleSet::new(to_src),
                 generators: vec![],
                 observe_hints: vec![],
+                payload_keyed_aux: vec![],
                 moves_data: true,
             })
         }

@@ -39,6 +39,7 @@ pub fn create_table(table: &str, columns: &[String]) -> Result<DerivedSmo> {
         to_src: RuleSet::default(),
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: false,
     })
 }
@@ -57,6 +58,7 @@ pub fn drop_table(table: &str, columns: &[String]) -> Result<DerivedSmo> {
         to_src: RuleSet::default(),
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: false,
     })
 }
@@ -132,6 +134,7 @@ fn identity_smo(
         to_src,
         generators: vec![],
         observe_hints: vec![],
+        payload_keyed_aux: vec![],
         moves_data: true,
     })
 }

@@ -345,6 +345,11 @@ impl Genealogy {
                     columns: t.columns.clone(),
                 })
                 .collect();
+            let payload_keyed_aux: Vec<String> = derived
+                .payload_keyed_aux
+                .iter()
+                .map(|rel| rel_map.get(rel).cloned().unwrap_or_else(|| rel.clone()))
+                .collect();
             let derived_global = DerivedSmo {
                 kind: derived.kind,
                 src_data,
@@ -356,6 +361,7 @@ impl Genealogy {
                 to_src,
                 generators,
                 observe_hints,
+                payload_keyed_aux,
                 moves_data: derived.moves_data,
             };
 

@@ -54,6 +54,10 @@ impl IdSource for IdMinter<'_> {
             .lock()
             .get_or_create_with(generator, args, || self.sequences.next_key().0)
     }
+
+    fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
+        self.registry.lock().peek(generator, args)
+    }
 }
 
 /// Outcome of executing a BiDEL script.
@@ -348,6 +352,14 @@ impl Inverda {
         self.ids.0.lock().dump()
     }
 
+    /// Clone of the current skolem registry — test oracles re-deriving
+    /// virtual state from the physical tables need the committed generator
+    /// assignments (after an update purge of a physical `ID` memo,
+    /// repeatable reads rest on the registry).
+    pub fn registry_snapshot(&self) -> SkolemRegistry {
+        self.ids.0.lock().clone()
+    }
+
     /// Audit the snapshot store: re-resolve every valid virtual entry cold
     /// (against a throwaway copy of the skolem registry) and report any
     /// whose stored contents differ (diagnostics).
@@ -359,6 +371,10 @@ impl Inverda {
         impl IdSource for AuditIds {
             fn generate(&self, generator: &str, args: &[Value]) -> u64 {
                 self.0.lock().get_or_create(generator, args)
+            }
+
+            fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
+                self.0.lock().peek(generator, args)
             }
         }
         let state = self.state.read();

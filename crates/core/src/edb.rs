@@ -211,19 +211,32 @@ impl<'a> VersionedEdb<'a> {
         }
     }
 
-    /// Whether resolving `relation` cold could **mint skolem ids**: true if
-    /// any rule set in its resolution closure (defining rule sets expanded
-    /// recursively through virtual relations, like
-    /// [`static_footprint`](VersionedEdb::static_footprint)) binds a
-    /// variable through a generator. Such resolutions have side effects —
-    /// the minted ids depend on evaluation order — so they must never be
-    /// triggered lazily from a parallel worker.
-    fn resolution_may_mint(&self, relation: &str, visited: &mut BTreeSet<String>) -> bool {
+    /// Whether resolving `relation` right now could **evaluate id-minting
+    /// rules cold**: true if the relation is neither physical, nor already
+    /// resolved in this statement's cache, nor servable warm from the
+    /// snapshot store, *and* some rule set in its resolution closure
+    /// (defining rule sets expanded recursively through virtual relations,
+    /// like [`static_footprint`](VersionedEdb::static_footprint)) binds a
+    /// variable through a generator.
+    ///
+    /// Cold minting resolutions have side effects whose order matters — a
+    /// width-1 evaluation triggers them lazily, in first-touch order — so
+    /// the parallel preparation refuses to front-load them and falls back
+    /// to the sequential path, which performs (and commits) the mints at
+    /// their canonical position. Once committed, re-serving the relation
+    /// warm or from cache is a pure read, so subsequent statements take the
+    /// parallel path.
+    fn resolution_may_mint_cold(&self, relation: &str, visited: &mut BTreeSet<String>) -> bool {
         if !visited.insert(relation.to_string()) {
             return false;
         }
-        if self.storage.has_table(relation) {
+        if self.storage.has_table(relation) || self.cache.lock().contains_key(relation) {
             return false;
+        }
+        if let Some(store) = self.snapshots {
+            if store.peek_valid(relation, self.storage).is_some() {
+                return false;
+            }
         }
         let Some(rules) = self.resolving_rules(relation) else {
             return false;
@@ -241,7 +254,7 @@ impl<'a> VersionedEdb<'a> {
                         if heads.contains(atom.relation.as_str()) {
                             continue;
                         }
-                        if self.resolution_may_mint(&atom.relation, visited) {
+                        if self.resolution_may_mint_cold(&atom.relation, visited) {
                             return true;
                         }
                     }
@@ -393,17 +406,20 @@ impl<'a> VersionedEdb<'a> {
 
 impl EdbView for VersionedEdb<'_> {
     /// Make the view shareable by parallel workers: refuse (`Ok(false)`)
-    /// when any requested relation's resolution closure could mint skolem
-    /// ids (a lazy resolution from a worker would make id assignment
-    /// schedule-dependent), otherwise resolve everything **now** — distinct
-    /// uncached virtual relations cold-resolve in parallel on the pool
-    /// (each resolution is pure, so racing duplicates are identical and
-    /// harmless) — and report any resolution error as `Ok(false)` so the
-    /// sequential path produces the canonical outcome.
+    /// when any requested relation would have to **evaluate id-minting
+    /// rules cold** (front-loading such a resolution — or worse, triggering
+    /// it lazily from a worker — would mint ids at a different point than
+    /// the width-1 path, which resolves lazily in first-touch order; warm
+    /// snapshots and cached resolutions are pure reads and pass), otherwise
+    /// resolve everything **now** — distinct uncached virtual relations
+    /// cold-resolve in parallel on the pool (each such resolution is pure,
+    /// so racing duplicates are identical and harmless) — and report any
+    /// resolution error as `Ok(false)` so the sequential path produces the
+    /// canonical outcome.
     fn prepare_parallel(&self, relations: &[&str]) -> inverda_datalog::Result<bool> {
         let mut visited = BTreeSet::new();
         for rel in relations {
-            if self.resolution_may_mint(rel, &mut visited) {
+            if self.resolution_may_mint_cold(rel, &mut visited) {
                 return Ok(false);
             }
         }

@@ -22,11 +22,14 @@
 //!   exact per-relation head deltas it already computed; after the batch
 //!   commits, [`SnapshotStore::commit`] applies those deltas to the cached
 //!   snapshots copy-on-write (and to their indexes, incrementally) and
-//!   restamps their footprints — O(delta) instead of O(data). Hops served by
-//!   the recompute fallback (staged rule sets — the id-generating SMOs) and
-//!   relations whose footprint intersects an aux-table purge fall back to
-//!   targeted invalidation; everything else the write did not touch stays
-//!   warm untouched.
+//!   restamps their footprints — O(delta) instead of O(data). Hops whose
+//!   defining mapping is staged or id-minting are maintained by
+//!   **recompute-vs-stored**: the departed side's new state is fully
+//!   re-evaluated over the post-write state (minting exactly what a
+//!   post-write cold read would mint, in the same order) and diffed against
+//!   the stored snapshot. Relations whose footprint intersects an aux-table
+//!   purge fall back to targeted invalidation; everything else the write
+//!   did not touch stays warm untouched.
 //!
 //! The store is cleared wholesale on every genealogy or materialization
 //! change — exactly the events that can alter the defining rule sets or the
@@ -250,6 +253,22 @@ impl SnapshotStore {
             });
         if entry.rel.is_none() && entry.footprint.get(relation) == Some(&epoch) {
             entry.indexes.insert(column, index);
+        }
+    }
+
+    /// The stored snapshot of a virtual relation if its entry is valid
+    /// right now — with **no** counter updates and no stale-entry eviction.
+    /// Used by reverse maintenance (which probes entries mid-write, before
+    /// the batch commits) and by the parallel-preparation mint gate: both
+    /// must not perturb the hit/miss statistics or evict state a later
+    /// read would have served.
+    pub fn peek_valid(&self, relation: &str, storage: &Storage) -> Option<Arc<Relation>> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(relation)?;
+        if entry.is_valid(storage) {
+            entry.rel.as_ref().map(Arc::clone)
+        } else {
+            None
         }
     }
 

@@ -24,14 +24,16 @@
 //! genealogies, multi-target SMOs), their propagations fan out on the
 //! shared pool — but only under a proof of non-interference: pairwise
 //! disjoint hop footprints (reachable SMOs/table versions, inputs, purge
-//! targets), mint-free non-staged mappings, and a view prepared for
-//! parallel sharing. Inputs are popped and outputs distributed
-//! sequentially in pop order, and the post-commit reverse-maintenance
-//! pass likewise fans out only over simultaneously-ready (hence
-//! independent) hops — so
-//! the write path at any `INVERDA_THREADS` width is byte-identical to the
-//! sequential drain (DESIGN.md "Parallel evaluation & deterministic
-//! merge").
+//! targets) and a view prepared for parallel sharing. Staged and
+//! id-minting mappings participate: each hop propagates against its own
+//! hop-scope reservation arena ([`ReservingIds`]), committed — minting
+//! real ids — in the sequential distribute epilogue. Inputs are popped and
+//! outputs distributed sequentially in pop order, and the post-commit
+//! reverse-maintenance pass likewise fans out only over
+//! simultaneously-ready (hence independent) hops — so the write path at
+//! any `INVERDA_THREADS` width is byte-identical to the sequential drain
+//! (DESIGN.md "Parallel evaluation & deterministic merge", "Deterministic
+//! minting & reservation commit").
 
 use crate::compiled::Direction;
 use crate::database::{Inverda, State, WritePath};
@@ -41,10 +43,11 @@ use crate::snapshot::SnapshotMaintenance;
 use crate::Result;
 use inverda_catalog::{SmoId, StorageCase, TableVersionId};
 use inverda_datalog::delta::{
-    propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap,
+    propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap, PatchedEdb,
 };
-use inverda_datalog::eval::{EdbView as _, NO_MINT_IDS};
-use inverda_storage::{Key, Row, Value, WriteBatch};
+use inverda_datalog::eval::{evaluate_compiled, EdbView as _, ReservingIds, NO_MINT_IDS};
+use inverda_datalog::skolem::{self, PlaceholderPatch};
+use inverda_storage::{Key, Relation, Row, TableSchema, Value, WriteBatch};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -519,11 +522,17 @@ impl Inverda {
     /// with pairwise-disjoint [`footprints`](Inverda::hop_footprint) —
     /// groups skipped over poison their footprint so no later group that
     /// could interact with them is selected — and every selected hop's
-    /// propagation must be pure: non-staged, non-minting rules over a view
-    /// prepared for parallel sharing. The propagations then run on the
-    /// pool; inputs were popped and outputs are distributed sequentially in
-    /// pop order, so the resulting pending map, write batch, and
-    /// maintenance plan are byte-identical to the sequential drain's.
+    /// propagation must run over a view prepared for parallel sharing.
+    /// Staged and id-minting hops participate too: each selected hop gets
+    /// its own hop-scope [`ReservingIds`], so workers reserve placeholder
+    /// ids instead of touching the registry or the key sequence, and the
+    /// sequential distribute epilogue commits each hop's reservations (in
+    /// pop order, which is the order the sequential drain would have minted
+    /// in) and patches the final ids through the hop's head deltas. The
+    /// propagations run on the pool; inputs were popped and outputs are
+    /// distributed sequentially in pop order, so the resulting pending map,
+    /// write batch, skolem registry, and maintenance plan are
+    /// byte-identical to the sequential drain's.
     fn parallel_hop_round(
         &self,
         state: &State,
@@ -570,9 +579,7 @@ impl Inverda {
                     (Direction::ToSrc, &inst.derived.to_src)
                 };
                 if let Ok(crs) = self.compiled.get_or_compile(*smo, direction, rules) {
-                    if crs.parallel_safe()
-                        && matches!(edb.prepare_parallel(&crs.body_relations()), Ok(true))
-                    {
+                    if matches!(edb.prepare_parallel(&crs.body_relations()), Ok(true)) {
                         selected.push((*smo, *forwards, crs));
                     }
                 }
@@ -589,30 +596,66 @@ impl Inverda {
             .map(|(smo, ..)| self.pop_hop_inputs(state, *smo, pending, batch, plan))
             .collect();
         // Propagate all selected hops on the pool. Workers are pure: the
-        // rules mint nothing and the view was prepared, so the engine's
-        // shared no-mint id source backs the contract.
+        // view was prepared, and any skolem call reserves into the hop's
+        // own arena (peeking, never mutating, the shared registry).
         let write_path = state.write_path;
         let head_columns = edb.head_columns();
+        let minter = self.id_source();
+        let hop_ids: Vec<ReservingIds<'_>> = selected
+            .iter()
+            .map(|_| ReservingIds::new(&minter, skolem::SCOPE_HOP))
+            .collect();
         let results: Vec<inverda_datalog::Result<DeltaMap>> =
             parallel::map_indexed(selected.len(), |i| {
                 let (_, _, crs) = &selected[i];
                 match write_path {
                     WritePath::Delta => {
-                        propagate_compiled(crs, edb, &inputs[i], &NO_MINT_IDS, head_columns)
+                        propagate_compiled(crs, edb, &inputs[i], &hop_ids[i], head_columns)
                     }
                     WritePath::Recompute => propagate_by_recompute_compiled(
                         crs,
                         edb,
                         &inputs[i],
-                        &NO_MINT_IDS,
+                        &hop_ids[i],
                         head_columns,
                     ),
                 }
             });
-        // Distribute sequentially in pop order (errors surface in the same
-        // order the sequential drain would raise them).
-        for ((smo, forwards, _), result) in selected.iter().zip(results) {
-            let head_deltas = result.map_err(CoreError::from)?;
+        // Distribute sequentially in pop order: commit each hop's
+        // reservations (minting now, in reservation order), patch the final
+        // ids through its deltas, then distribute — errors surface in the
+        // same order the sequential drain would raise them.
+        for (i, (((smo, forwards, crs), hop_ids), result)) in
+            selected.iter().zip(hop_ids).zip(results).enumerate()
+        {
+            let head_deltas = match result {
+                Ok(head_deltas) => {
+                    let patch = hop_ids.commit();
+                    patch_delta_map(head_deltas, &patch)
+                }
+                Err(_) => {
+                    // Reproduce the sequential error path exactly: the
+                    // worker run had no side effects (reservations are
+                    // discarded unminted), so re-running this hop against
+                    // the real id source performs precisely the mints the
+                    // sequential drain performs before failing — and raises
+                    // the canonical error.
+                    drop(hop_ids);
+                    let replay = match write_path {
+                        WritePath::Delta => {
+                            propagate_compiled(crs, edb, &inputs[i], &minter, head_columns)
+                        }
+                        WritePath::Recompute => propagate_by_recompute_compiled(
+                            crs,
+                            edb,
+                            &inputs[i],
+                            &minter,
+                            head_columns,
+                        ),
+                    };
+                    replay.map_err(CoreError::from)?
+                }
+            };
             self.distribute_hop(state, *smo, *forwards, head_deltas, pending, batch, plan);
         }
         Ok(true)
@@ -631,10 +674,18 @@ impl Inverda {
     ///
     /// A hop whose defining mapping is staged or can mint skolem ids (the
     /// id-generating SMOs served by the recompute fallback) cannot be
-    /// maintained purely: its departed relations — and everything upstream
-    /// of them — are invalidated instead, falling back to cold re-resolution
-    /// on next read. Maintenance failures likewise degrade to invalidation;
-    /// they never fail the write.
+    /// probe-maintained, but it no longer falls back to invalidation: its
+    /// departed side's **new** visible state is fully re-evaluated over the
+    /// post-write state and diffed against the stored (pre-write-valid)
+    /// snapshots — recompute-vs-stored. Evaluating only the *new* state is
+    /// deliberate: the mints it performs are exactly those a post-write
+    /// cold read would perform, in the same order, so the registry and key
+    /// sequence stay in lockstep with a store-disabled database executing
+    /// the same statement-and-read sequence (evaluating the old state too,
+    /// as the propagation fallback would, could mint ids for payloads that
+    /// vanished in this very write — ids no cold read ever mints).
+    /// Departed relations without a valid stored entry, and maintenance
+    /// failures, degrade to invalidation; they never fail the write.
     fn reverse_maintenance(
         &self,
         state: &State,
@@ -722,6 +773,14 @@ impl Inverda {
                     dep_virtual: Vec<&'r str>,
                     propagate: Option<(Arc<inverda_datalog::CompiledRuleSet>, DeltaMap)>,
                 },
+                /// Staged / id-minting defining mapping: evaluate the
+                /// departed side's new state fully and diff against the
+                /// stored snapshots (see the method docs).
+                RecomputeDiff {
+                    dep_virtual: Vec<&'r str>,
+                    crs: Arc<inverda_datalog::CompiledRuleSet>,
+                    input: DeltaMap,
+                },
             }
             let mut actions: Vec<Action> = Vec::new();
             for h in &ready {
@@ -776,10 +835,7 @@ impl Inverda {
                         continue;
                     }
                 };
-                if rev_crs.staged()
-                    || rev_crs.mints_ids()
-                    || inputs.iter().any(|rel| unknown.contains(*rel))
-                {
+                if inputs.iter().any(|rel| unknown.contains(*rel)) {
                     actions.push(Action::Invalidate);
                     continue;
                 }
@@ -791,12 +847,26 @@ impl Inverda {
                         }
                     }
                 }
-                actions.push(Action::Patch {
-                    dep_virtual,
+                if rev_input.is_empty() {
                     // Nothing the mapping reads changed: the departed side
-                    // is certified unchanged (empty patches refresh stamps).
-                    propagate: (!rev_input.is_empty()).then_some((rev_crs, rev_input)),
-                });
+                    // is certified unchanged (empty patches refresh stamps)
+                    // — staged and minting mappings included.
+                    actions.push(Action::Patch {
+                        dep_virtual,
+                        propagate: None,
+                    });
+                } else if rev_crs.staged() || rev_crs.mints_ids() {
+                    actions.push(Action::RecomputeDiff {
+                        dep_virtual,
+                        crs: rev_crs,
+                        input: rev_input,
+                    });
+                } else {
+                    actions.push(Action::Patch {
+                        dep_virtual,
+                        propagate: Some((rev_crs, rev_input)),
+                    });
+                }
             }
             // Run the propagations: pure ones (mint-free rules over a
             // prepared view) fan out on the pool, the rest run inline.
@@ -836,12 +906,84 @@ impl Inverda {
                 }
             }
             // Record outcomes in ready order (deterministic and identical
-            // to processing the ready hops one at a time).
+            // to processing the ready hops one at a time). RecomputeDiff
+            // actions evaluate *here*, inline and in ready order: their
+            // evaluations may mint (committing through the real id source),
+            // so they must run at their canonical sequential position —
+            // innermost hop first, exactly the order a post-write cold read
+            // resolves (and therefore mints) in.
             for (i, (h, action)) in ready.iter().zip(actions.iter()).enumerate() {
                 match action {
                     Action::Skip => {}
                     Action::Invalidate => {
                         self.invalidate_departed(state, h, maint, &mut unknown);
+                    }
+                    Action::RecomputeDiff {
+                        dep_virtual,
+                        crs,
+                        input,
+                    } => {
+                        // Nothing warm to patch (store cleared, or the
+                        // departed side already invalidated)? Skip the
+                        // O(state) evaluation — the next cold read performs
+                        // the identical mints, so registry lockstep with a
+                        // store-disabled twin is unaffected.
+                        let store = self.snapshot_store().filter(|store| {
+                            dep_virtual
+                                .iter()
+                                .any(|rel| store.peek_valid(rel, &self.storage).is_some())
+                        });
+                        let Some(store) = store else {
+                            self.invalidate_departed(state, h, maint, &mut unknown);
+                            continue;
+                        };
+                        let patched = PatchedEdb::new(edb, input);
+                        let new_out =
+                            evaluate_compiled(crs, &patched, ids, edb.head_columns()).ok();
+                        let Some(mut new_out) = new_out else {
+                            self.invalidate_departed(state, h, maint, &mut unknown);
+                            continue;
+                        };
+                        for rel in dep_virtual {
+                            // Only an entry that was valid before this write
+                            // may be patched; anything else re-resolves cold
+                            // on next read (recording it as unknown poisons
+                            // dependents, like an invalidation would).
+                            let Some(stored) = store.peek_valid(rel, &self.storage) else {
+                                maint.record_invalidate(rel);
+                                unknown.insert((*rel).to_string());
+                                continue;
+                            };
+                            // A head the mapping derives no rules for is
+                            // empty by construction (single-arm aux).
+                            let new_rel = new_out.remove(*rel).unwrap_or_else(|| {
+                                let columns =
+                                    edb.head_columns().get(*rel).cloned().unwrap_or_default();
+                                Relation::new(
+                                    TableSchema::new((*rel).to_string(), columns)
+                                        .expect("valid head schema"),
+                                )
+                            });
+                            let rd = new_rel.diff(&stored);
+                            let mut delta = Delta::new();
+                            for (k, row) in rd.deletes {
+                                delta.deletes.insert(k, row);
+                            }
+                            for (k, row) in rd.inserts {
+                                delta.inserts.insert(k, row);
+                            }
+                            for (k, old_row, new_row) in rd.updates {
+                                delta.deletes.insert(k, old_row);
+                                delta.inserts.insert(k, new_row);
+                            }
+                            maint.record_patch(rel, &delta);
+                            match known.get_mut(*rel) {
+                                Some(existing) => existing.merge(&delta),
+                                None => {
+                                    known.insert((*rel).to_string(), delta);
+                                }
+                            }
+                        }
                     }
                     Action::Patch {
                         dep_virtual,
@@ -914,7 +1056,16 @@ impl Inverda {
 
     /// Purge key-matching rows of physical auxiliary tables of SMOs adjacent
     /// to `tv` that the propagation neither arrived through nor departs
-    /// through. Only pure deletes purge — updates keep twins separated.
+    /// through. Pure deletes purge every aux kind; **updates** additionally
+    /// purge the adjacent SMOs' *payload-keyed* aux tables (Appendix B.3's
+    /// `ID_R(p, t)` assignment memos) — a payload-changing update
+    /// invalidates such an entry, and keeping it stale would pin the old
+    /// payload's generated id onto the new payload, colliding with the old
+    /// payload's surviving twin on re-derivation (the historical
+    /// twin-separated FK-DECOMPOSE `KeyConflict`). Twin-separation aux
+    /// (`R⁺`/`R⁻`) is untouched by updates, and re-minting after the purge
+    /// goes through the skolem registry, which reproduces the same id
+    /// whenever the generator arguments did not actually change.
     ///
     /// Purged tables are recorded on the plan: these writes bypass delta
     /// propagation, so any snapshot whose footprint includes a purged table
@@ -938,7 +1089,13 @@ impl Inverda {
             .filter(|k| !delta.inserts.contains_key(k))
             .copied()
             .collect();
-        if deleted.is_empty() {
+        let updated: Vec<Key> = delta
+            .deletes
+            .keys()
+            .filter(|k| delta.inserts.contains_key(k))
+            .copied()
+            .collect();
+        if deleted.is_empty() && updated.is_empty() {
             return;
         }
         let mut adjacent: Vec<SmoId> = vec![g.incoming(tv)];
@@ -961,13 +1118,50 @@ impl Inverda {
                 .iter()
                 .chain(inst.derived.shared_aux.iter().map(|s| &s.table))
             {
+                let payload_keyed = inst.derived.payload_keyed_aux.contains(&a.rel);
+                let update_purge = payload_keyed && !updated.is_empty();
+                if deleted.is_empty() && !update_purge {
+                    continue;
+                }
                 plan.maint.record_purge(&a.rel);
                 for k in &deleted {
                     batch.delete_if_present(a.rel.clone(), *k);
                 }
+                if payload_keyed {
+                    for k in &updated {
+                        batch.delete_if_present(a.rel.clone(), *k);
+                    }
+                }
             }
         }
     }
+}
+
+/// Rewrite a hop's committed reservation patch through its head deltas:
+/// placeholder keys and payload cells become the minted ids. A no-op (and
+/// allocation-free) when nothing was reserved.
+fn patch_delta_map(deltas: DeltaMap, patch: &PlaceholderPatch) -> DeltaMap {
+    if patch.is_empty() {
+        return deltas;
+    }
+    deltas
+        .into_iter()
+        .map(|(rel, delta)| {
+            let resolve = |side: std::collections::BTreeMap<Key, Row>| {
+                side.into_iter()
+                    .map(|(key, mut row)| {
+                        patch.resolve_row(&mut row);
+                        (Key(patch.resolve_id(key.0)), row)
+                    })
+                    .collect()
+            };
+            let patched = Delta {
+                deletes: resolve(delta.deletes),
+                inserts: resolve(delta.inserts),
+            };
+            (rel, patched)
+        })
+        .collect()
 }
 
 /// Turn a delta into physical write ops (tolerant: propagation is exact,

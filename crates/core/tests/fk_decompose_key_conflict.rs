@@ -1,28 +1,33 @@
-//! Minimized regression test for the pre-existing twin-separated
-//! FK-DECOMPOSE `KeyConflict` edge (ROADMAP "known engine edge", first
-//! documented by the PR-2 snapshot-reuse property tests; identical behavior
-//! since the seed).
+//! Regression test for the (formerly failing) twin-separated FK-DECOMPOSE
+//! edge (ROADMAP "known engine edge", first documented by the PR-2
+//! snapshot-reuse property tests; identical behavior since the seed).
 //!
 //! The five-statement repro: materialize the FK-DECOMPOSE branch, insert a
 //! second task through the SPLIT branch (`Do!`), materialize back to the
 //! source version, then update that todo's author through `Do!`. The update
-//! separates the decompose's bookkeeping from the row now stored on the
-//! source side: re-deriving `TasKy2.Task` makes two rules derive different
-//! fk payloads for the same tuple, and the engine reports a **clean**
-//! `KeyConflict` instead of picking a winner.
+//! replaces the source row's author payload — but the decompose's physical
+//! `ID_Task(p, t)` assignment memo used to keep the *old* payload's
+//! generated id for the row, so re-deriving `TasKy2` pinned two different
+//! author payloads onto one generated key and failed with a `KeyConflict`.
 //!
-//! The contract this test pins down is not the conflict itself but its
-//! *stability*: parallel evaluation (any width), sequential evaluation, the
-//! warm snapshot store, cold resolution, the recompute reference write
-//! path, and the naive reference interpreter must all fail with the **same**
-//! error — and the failure must be clean (every other version stays
-//! readable, the skolem registry and visible states stay intact).
+//! **Root cause & fix** (see DESIGN.md "The twin-separated FK-DECOMPOSE
+//! conflict"): Appendix B.3's `ID_R(p, t)` memoizes `t = idT(payload(p))` —
+//! a payload-*derived* assignment — so an update that changes row `p`'s
+//! payload invalidates the entry. The write path now purges key-matching
+//! `ID` rows on updates of adjacent (untraversed) FK-DECOMPOSE instances,
+//! exactly like deletes always purged; re-derivation then re-mints through
+//! the skolem registry, which returns the same id whenever the payload did
+//! not actually change. This test asserts the repro now succeeds with the
+//! correct decomposition — and that the outcome stays byte-identical across
+//! parallel widths, write paths, the snapshot store, and the naive
+//! reference interpreter (the old test pinned the *failure* to be equally
+//! stable).
 
 use inverda_core::{set_threads, Inverda, WritePath};
 use inverda_datalog::eval::MapEdb;
-use inverda_datalog::{naive, DatalogError, SkolemRegistry};
+use inverda_datalog::naive;
 use inverda_storage::Value;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 const SCRIPT: &str = "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
@@ -33,10 +38,8 @@ const SCRIPT: &str = "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author,
        DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author; \
        RENAME COLUMN author IN Author TO name;";
 
-/// Replay the minimized repro and return the `TasKy2.Task` scan outcome as
-/// text (`Display` of the relation on success, `Debug` of the error on
-/// failure).
-fn replay(path: WritePath, snapshot_reuse: bool) -> String {
+/// Replay the minimized repro and return the built database.
+fn replay(path: WritePath, snapshot_reuse: bool) -> Inverda {
     let db = Inverda::new();
     db.execute(SCRIPT).unwrap();
     db.set_write_path(path);
@@ -54,76 +57,88 @@ fn replay(path: WritePath, snapshot_reuse: bool) -> String {
     db.materialize(&["TasKy".to_string()]).unwrap();
     db.update("Do!", "Todo", k, vec![Value::text("a1"), Value::text("v")])
         .unwrap();
+    db
+}
 
-    // The failure must be clean: every other version stays readable.
-    db.scan("TasKy", "Task").unwrap();
-    db.scan("Do!", "Todo").unwrap();
-
-    match db.scan("TasKy2", "Task") {
-        Ok(rel) => format!("ok:\n{rel}"),
-        Err(e) => format!("err: {e:?}"),
+/// Every version's visible state as text (scan errors recorded, so a
+/// regression to the old conflict shows up as a diff against the asserted
+/// success).
+fn visible(db: &Inverda) -> String {
+    let mut out = String::new();
+    for v in db.versions() {
+        let mut tables = db.tables_of(&v).unwrap();
+        tables.sort();
+        for t in tables {
+            match db.scan(&v, &t) {
+                Ok(rel) => out.push_str(&format!("{v}.{t}:\n{rel}")),
+                Err(e) => out.push_str(&format!("{v}.{t}: error {e:?}\n")),
+            }
+        }
     }
+    out
 }
 
 #[test]
-fn twin_separated_fk_decompose_fails_identically_everywhere() {
-    // Sequential baseline.
+fn twin_separated_fk_decompose_resolves_identically_everywhere() {
+    // Sequential baseline: the repro must now succeed, with the updated
+    // row re-pointed at a *fresh* author id and the surviving twin keeping
+    // the original one.
     set_threads(Some(1));
-    let sequential = replay(WritePath::Delta, true);
+    let db = replay(WritePath::Delta, true);
+    let baseline = visible(&db);
     assert!(
-        sequential.contains("KeyConflict"),
-        "repro no longer triggers the documented edge — if the B.3 aux \
-         rules were fixed, update this test to assert success everywhere \
-         instead: {sequential}"
+        !baseline.contains("error"),
+        "the twin-separated repro regressed to a failure:\n{baseline}"
     );
+    let authors = db.scan("TasKy2", "Author").unwrap();
+    let names: Vec<String> = authors.iter().map(|(_, row)| row[0].to_string()).collect();
+    assert_eq!(
+        names.len(),
+        2,
+        "expected both authors to survive:\n{authors}"
+    );
+    assert!(names.contains(&Value::text("a0").to_string()));
+    assert!(names.contains(&Value::text("a1").to_string()));
+    // Every Task fk resolves (no dangling generated ids).
+    for (_, row) in db.scan("TasKy2", "Task").unwrap().iter() {
+        let Value::Int(fk) = row[2] else {
+            panic!("non-integer fk in {row:?}")
+        };
+        assert!(
+            authors.contains_key(inverda_storage::Key(fk as u64)),
+            "dangling fk {fk}"
+        );
+    }
 
-    // Parallel evaluation at every width must fail identically.
+    // Parallel evaluation at every width must produce the identical state.
     for width in [2usize, 4, 8] {
         set_threads(Some(width));
-        let parallel = replay(WritePath::Delta, true);
-        assert_eq!(sequential, parallel, "diverged at width {width}");
+        let parallel = visible(&replay(WritePath::Delta, true));
+        assert_eq!(baseline, parallel, "diverged at width {width}");
     }
 
     // Cold resolution (no snapshot store) and the recompute reference
     // write path must agree too, at both extremes of the width knob.
     for width in [1usize, 4] {
         set_threads(Some(width));
-        assert_eq!(sequential, replay(WritePath::Delta, false));
-        assert_eq!(sequential, replay(WritePath::Recompute, true));
-        assert_eq!(sequential, replay(WritePath::Recompute, false));
+        assert_eq!(baseline, visible(&replay(WritePath::Delta, false)));
+        assert_eq!(baseline, visible(&replay(WritePath::Recompute, true)));
+        assert_eq!(baseline, visible(&replay(WritePath::Recompute, false)));
     }
     set_threads(None);
 }
 
 #[test]
 fn twin_separated_fk_decompose_matches_naive_interpreter() {
-    // Rebuild the failing state, then re-derive the FK-DECOMPOSE target
-    // side with the *naive* reference interpreter straight from the
-    // physical tables: it must report the very same conflict.
+    // Rebuild the formerly-failing state, then re-derive the FK-DECOMPOSE
+    // target side with the *naive* reference interpreter straight from the
+    // physical tables: it must derive exactly the engine's state.
     set_threads(Some(1));
-    let db = Inverda::new();
-    db.execute(SCRIPT).unwrap();
-    let k = db
-        .insert(
-            "TasKy",
-            "Task",
-            vec![Value::text("a0"), Value::text("t"), Value::Int(1)],
-        )
-        .unwrap();
-    db.materialize(&["TasKy2".to_string()]).unwrap();
-    db.insert("Do!", "Todo", vec![Value::text("a0"), Value::text("d")])
-        .unwrap();
-    db.materialize(&["TasKy".to_string()]).unwrap();
-    db.update("Do!", "Todo", k, vec![Value::text("a1"), Value::text("v")])
-        .unwrap();
-    let compiled_err = match db.scan("TasKy2", "Task") {
-        Err(inverda_core::CoreError::Datalog(e)) => e,
-        other => panic!("expected a datalog KeyConflict, got {other:?}"),
-    };
-    assert!(matches!(compiled_err, DatalogError::KeyConflict { .. }));
+    let db = replay(WritePath::Delta, true);
+    let task2 = db.scan("TasKy2", "Task").unwrap();
 
     // γ_tgt of the DECOMPOSE and the head column names, from the catalog.
-    let (rules, head_columns) = db.with_genealogy(|g| {
+    let (rules, head_columns, tgt_task_rel) = db.with_genealogy(|g| {
         let smo = g
             .smos()
             .find(|s| s.derived.kind.contains("DECOMPOSE"))
@@ -140,29 +155,28 @@ fn twin_separated_fk_decompose_matches_naive_interpreter() {
                 head_columns.insert(shared.new_name.clone(), shared.table.columns.clone());
             }
         }
-        (smo.derived.to_tgt.clone(), head_columns)
+        (
+            smo.derived.to_tgt.clone(),
+            head_columns,
+            smo.derived.tgt_data[0].rel.clone(),
+        )
     });
-    // Physical state as a plain map-backed EDB.
+    // Physical state as a plain map-backed EDB; the registry clone carries
+    // the engine's committed generator assignments (the physical `ID` memo
+    // was purged by the update, so repeatability now rests on the registry
+    // — exactly what the fix relies on).
     let mut edb = MapEdb::new();
     for (table, _) in db.physical_tables() {
         let rel = db.physical_snapshot(&table).unwrap();
         edb.add_shared(table, rel);
     }
-    let ids = RefCell::new(SkolemRegistry::new());
-    let naive_err = naive::evaluate(&rules, &edb, &ids, &head_columns)
-        .expect_err("the naive interpreter must reject the separated state too");
-    match (&compiled_err, &naive_err) {
-        (
-            DatalogError::KeyConflict { relation, key },
-            DatalogError::KeyConflict {
-                relation: n_rel,
-                key: n_key,
-            },
-        ) => {
-            assert_eq!(relation, n_rel);
-            assert_eq!(key, n_key);
-        }
-        other => panic!("engines disagree on the failure: {other:?}"),
-    }
+    let ids = Mutex::new(db.registry_snapshot());
+    let naive_out = naive::evaluate(&rules, &edb, &ids, &head_columns)
+        .expect("the naive interpreter must accept the separated state too");
+    assert_eq!(
+        naive_out[&tgt_task_rel].to_string(),
+        task2.to_string(),
+        "naive re-derivation disagrees with the engine"
+    );
     set_threads(None);
 }

@@ -323,12 +323,16 @@ fn chain_of_smos_preserves_state_across_frontiers() {
     }
 }
 
-/// Diverging updates to a deduplicated fk payload are outside the paper's
-/// defined semantics: Rule 141 would derive two contradictory rows for the
-/// shared target key. The engine must reject them with a clean error (not
-/// corrupt state or panic).
+/// Updating one of two rows that share a deduplicated fk payload is
+/// well-defined **un-sharing**: the payload-carrying `ID_R(p, t, B)` memo
+/// (see DESIGN.md "The twin-separated FK-DECOMPOSE conflict") rejects the
+/// now-stale pairing, so the updated row re-points at the id of its *new*
+/// payload — minted fresh, or reused from the registry — while the other
+/// sharer keeps the original target row. (Before the payload column, the
+/// stale pairing pinned two contradictory payloads onto one generated key
+/// and the write was rejected with a `KeyConflict`.)
 #[test]
-fn diverging_shared_payload_update_is_rejected_cleanly() {
+fn diverging_shared_payload_update_unshares_cleanly() {
     let db = Inverda::new();
     db.execute("CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b);")
         .unwrap();
@@ -339,18 +343,33 @@ fn diverging_shared_payload_update_is_rejected_cleanly() {
     .unwrap();
     db.execute("MATERIALIZE 'V2';").unwrap();
     let k1 = db.insert("V1", "T", vec![1.into(), 7.into()]).unwrap();
-    let _k2 = db.insert("V1", "T", vec![2.into(), 7.into()]).unwrap(); // shares B row
-    let before = db.scan("V2", "B").unwrap();
-    // Un-sharing is undefined: the write must fail without corrupting state.
-    let result = db.update("V1", "T", k1, vec![1.into(), 8.into()]);
-    assert!(result.is_err(), "diverging shared update must be rejected");
+    let k2 = db.insert("V1", "T", vec![2.into(), 7.into()]).unwrap(); // shares B row
+    assert_eq!(db.count("V2", "B").unwrap(), 1, "payload 7 deduplicates");
+    db.update("V1", "T", k1, vec![1.into(), 8.into()])
+        .expect("diverging shared update un-shares");
+    // The sharers now reference distinct B rows carrying their payloads.
     assert_eq!(
-        *db.scan("V2", "B").unwrap(),
-        *before,
-        "state must be unchanged"
+        db.get("V1", "T", k1).unwrap().unwrap(),
+        vec![1.into(), 8.into()]
     );
-    // Consistent updates (both sharers) remain possible through V2 directly.
-    let b_key = before.keys().next().unwrap();
-    db.update("V2", "B", b_key, vec![9.into()]).unwrap();
-    assert_eq!(db.get("V1", "T", k1).unwrap().unwrap()[1], Value::Int(9));
+    assert_eq!(
+        db.get("V1", "T", k2).unwrap().unwrap(),
+        vec![2.into(), 7.into()]
+    );
+    let b = db.scan("V2", "B").unwrap();
+    let payloads: Vec<Value> = b.iter().map(|(_, row)| row[0].clone()).collect();
+    assert_eq!(b.len(), 2, "un-sharing creates a second B row:\n{b}");
+    assert!(payloads.contains(&Value::Int(7)) && payloads.contains(&Value::Int(8)));
+    let a_rel = db.scan("V2", "A").unwrap();
+    let fk_of = |k| match a_rel.get(k).unwrap()[1] {
+        Value::Int(fk) => inverda_storage::Key(fk as u64),
+        ref other => panic!("non-id fk {other}"),
+    };
+    assert_ne!(fk_of(k1), fk_of(k2), "sharers must reference distinct rows");
+    assert_eq!(b.get(fk_of(k1)).unwrap()[0], Value::Int(8));
+    assert_eq!(b.get(fk_of(k2)).unwrap()[0], Value::Int(7));
+    // Updating the shared row *through V2* still reaches its referents.
+    db.update("V2", "B", fk_of(k2), vec![9.into()]).unwrap();
+    assert_eq!(db.get("V1", "T", k2).unwrap().unwrap()[1], Value::Int(9));
+    assert_eq!(db.get("V1", "T", k1).unwrap().unwrap()[1], Value::Int(8));
 }

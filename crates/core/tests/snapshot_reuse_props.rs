@@ -13,12 +13,16 @@
 //!
 //! Genealogies under test:
 //! * the full TasKy triple (SPLIT + DROP COLUMN branch, FK-DECOMPOSE +
-//!   RENAME branch — the latter is staged/id-generating, i.e. the
-//!   recompute-fallback SMO whose outputs are invalidated, not patched);
+//!   RENAME branch — the latter is staged/id-generating, served by the
+//!   recompute propagation fallback and, since PR 4, *maintained* by
+//!   recompute-vs-stored patching rather than invalidated);
 //! * an overlapping two-arm SPLIT, whose twins can be separated by
 //!   one-sided updates and whose deletes trigger the auxiliary-table purge
 //!   (DESIGN.md) — purges bypass delta propagation and must force
-//!   invalidation, not patching.
+//!   invalidation, not patching;
+//! * an id-minting SMO *chain* (FK-DECOMPOSE with a SPLIT stacked on top),
+//!   driving two-phase minting, hop arenas, and staged maintenance at
+//!   widths {1, 2, 4, 8}.
 //!
 //! [`SnapshotStore`]: inverda_core::SnapshotStore
 
@@ -128,7 +132,15 @@ impl Harness {
                 Value::text(format!("author{}", vals[0])),
                 Value::text(format!("todo{}", vals[1])),
             ],
-            // Overlapping-split genealogy rows: T/R/S all carry (a, b).
+            // Minting-chain genealogy rows: D/W carry (a, b, c) where c is
+            // the to-be-decomposed payload — few distinct values, so the
+            // generated ids deduplicate and get reused across writes.
+            "D" | "W" => vec![
+                Value::Int(vals[0] % 5),
+                Value::text(format!("b{}", vals[1])),
+                Value::text(format!("c{}", vals[2] % 3)),
+            ],
+            // Overlapping-split genealogy rows: R/S carry (a, b).
             _ => vec![Value::Int(vals[0]), Value::text(format!("b{}", vals[1]))],
         }
     }
@@ -230,12 +242,21 @@ const SPLIT_SCRIPT: &str = "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a, b); 
      CREATE SCHEMA VERSION V2 FROM V1 WITH \
        SPLIT TABLE T INTO R WITH a < 5, S WITH a >= 3;";
 
+/// An id-minting SMO *chain*: FK-DECOMPOSE (the generator) with a SPLIT
+/// stacked on the decomposed side, so staged/minting mappings sit in the
+/// middle of multi-hop drains and of the backward maintenance walk.
+const MINT_CHAIN_SCRIPT: &str = "CREATE SCHEMA VERSION V1 WITH CREATE TABLE D(a, b, c); \
+     CREATE SCHEMA VERSION V2 FROM V1 WITH \
+       DECOMPOSE TABLE D INTO D(a, b), U(c) ON FOREIGN KEY c; \
+     CREATE SCHEMA VERSION V3 FROM V2 WITH \
+       SPLIT TABLE D INTO W WITH a < 3;";
+
 proptest! {
     /// TasKy: random writes through all three versions, with occasional
     /// migrations. Covers the SPLIT/DROP COLUMN delta-patched path, the
-    /// staged FK-DECOMPOSE recompute path (invalidation), skolem id order
-    /// (Author keys appear in the visible state), and store clears on
-    /// materialization.
+    /// staged FK-DECOMPOSE recompute path (now maintained via
+    /// recompute-vs-stored), skolem id order (Author keys appear in the
+    /// visible state), and store clears on materialization.
     #[test]
     fn warm_reads_equal_cold_resolution_tasky(
         ops in prop::collection::vec(op_strategy(2, 3), 1..25),
@@ -274,6 +295,103 @@ proptest! {
             h.check(&format!("op {i}: {op:?}"));
         }
     }
+
+    /// Id-minting SMO chain (FK-DECOMPOSE + stacked SPLIT): random writes
+    /// through the source and the far end of the chain, with migrations
+    /// relocating the data across all three frontiers. This drives the
+    /// staged/minting mappings through every maintained path — two-phase
+    /// minting under fan-out (widths 1/2/4/8), hop-arena drains, and the
+    /// recompute-vs-stored maintenance that now *patches* staged mappings —
+    /// and the visible states (which include the generated `U` keys) must
+    /// stay byte-identical between the warm and cold databases after every
+    /// single op.
+    #[test]
+    fn warm_reads_equal_cold_resolution_minting_chain(
+        ops in prop::collection::vec(op_strategy(2, 3), 1..25),
+        tsel in 0usize..4,
+    ) {
+        inverda_core::set_threads(Some([1usize, 2, 4, 8][tsel]));
+        let mut h = Harness::new(
+            MINT_CHAIN_SCRIPT,
+            vec![("V1", "D"), ("V3", "W")],
+            vec!["V1", "V2", "V3"],
+        );
+        for (i, op) in ops.iter().enumerate() {
+            h.apply(op);
+            h.check(&format!("op {i}: {op:?}"));
+        }
+    }
+}
+
+/// Staged / id-minting mappings are now **delta-maintained**, not
+/// invalidated: with the FK-DECOMPOSE branch materialized, a write through
+/// the virtualized source side must leave every warm snapshot patched in
+/// place (zero invalidations), and the next reads of the source and SPLIT
+/// versions must be served warm — while still agreeing with cold
+/// re-resolution (store audit).
+#[test]
+fn staged_mappings_are_maintained_not_invalidated() {
+    let db = Inverda::new();
+    db.execute(TASKY_SCRIPT).unwrap();
+    let mut keys = Vec::new();
+    for i in 0..8 {
+        keys.push(
+            db.insert(
+                "TasKy",
+                "Task",
+                vec![
+                    Value::text(format!("a{}", i % 3)),
+                    Value::text(format!("t{i}")),
+                    Value::Int(i % 3 + 1),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    // Relocate onto the FK-DECOMPOSE side: TasKy and Do! now resolve
+    // through the staged γ_src of the DECOMPOSE (plus the SPLIT chain).
+    db.execute("MATERIALIZE 'TasKy2';").unwrap();
+    for v in db.versions() {
+        for t in db.tables_of(&v).unwrap() {
+            db.scan(&v, &t).unwrap();
+        }
+    }
+    let before = db.snapshot_stats();
+    // Write through the far end of the virtual chain: the drain traverses
+    // the SPLIT/DROP hops *and* the staged FK-DECOMPOSE hop, so maintenance
+    // must walk all of them back.
+    db.update(
+        "Do!",
+        "Todo",
+        keys[0],
+        vec![Value::text("a0"), Value::text("edited")],
+    )
+    .unwrap();
+    let after_write = db.snapshot_stats();
+    assert_eq!(
+        after_write.invalidations, before.invalidations,
+        "a staged-mapping write must patch, not invalidate: {before:?} -> {after_write:?}"
+    );
+    assert!(
+        after_write.patches > before.patches,
+        "no maintenance patches recorded: {before:?} -> {after_write:?}"
+    );
+    // The maintained snapshots serve the next reads warm...
+    db.scan("TasKy", "Task").unwrap();
+    db.scan("Do!", "Todo").unwrap();
+    let after_read = db.snapshot_stats();
+    assert!(
+        after_read.hits > after_write.hits,
+        "maintained entries were not served warm: {after_write:?} -> {after_read:?}"
+    );
+    assert_eq!(after_read.misses, after_write.misses, "reads went cold");
+    // ...and they are byte-identical to cold resolution.
+    let audit = db.snapshot_store_audit();
+    assert!(
+        audit.is_empty(),
+        "maintained entries diverged:\n{}",
+        audit.join("\n")
+    );
 }
 
 /// The warm database must actually serve warm reads on this workload —

@@ -551,10 +551,9 @@ mod tests {
     use crate::eval::MapEdb;
     use crate::skolem::SkolemRegistry;
     use inverda_storage::{Expr, Value};
-    use std::cell::RefCell;
 
-    fn ids() -> RefCell<SkolemRegistry> {
-        RefCell::new(SkolemRegistry::new())
+    fn ids() -> Mutex<SkolemRegistry> {
+        Mutex::new(SkolemRegistry::new())
     }
 
     /// γtgt of a materialized SPLIT on prio (simplified clean-state shape).

@@ -40,24 +40,34 @@
 //!   into a generated view).
 //!
 //! Full evaluation additionally **fans out** on the shared pool
-//! ([`crate::parallel`]) when the configured width exceeds 1: independent
-//! rules in parallel and each rule's depth-0 scan split into key-range
-//! chunks, with a sequential epilogue merging the fragments in rule order
-//! then chunk order. The fan-out is gated to
-//! [`CompiledRuleSet::parallel_safe`] sets (non-staged, mint-free) over a
-//! view that passed [`EdbView::prepare_parallel`], so worker threads only
-//! ever do pure reads and results — including skolem id assignment and
-//! error precedence — are byte-identical at any width (DESIGN.md "Parallel
-//! evaluation & deterministic merge").
+//! ([`crate::parallel`]) when the configured width exceeds 1, over a view
+//! that passed [`EdbView::prepare_parallel`]:
+//!
+//! * [`CompiledRuleSet::parallel_safe`] sets (non-staged, mint-free) run
+//!   independent rules in parallel and split each rule's depth-0 scan into
+//!   key-range chunks, with a sequential epilogue merging fragments in rule
+//!   order then chunk order;
+//! * staged and/or id-minting sets evaluate rules strictly in order but
+//!   still chunk each rule's depth-0 scan; skolem generators hand out
+//!   **reservation placeholders** from per-worker arenas, which the merge
+//!   renumbers in rule-then-chunk order and a sequential commit epilogue
+//!   exchanges for real ids in exactly the order a width-1 run would have
+//!   minted them (see [`crate::skolem`] and DESIGN.md "Deterministic
+//!   minting & reservation commit").
+//!
+//! Either way, worker threads perform no observable side effects, so
+//! results — including skolem id assignment and error precedence — are
+//! byte-identical at any width (DESIGN.md "Parallel evaluation &
+//! deterministic merge").
 
 use crate::ast::{Literal, Rule, RuleSet, Term};
 use crate::error::DatalogError;
-use crate::skolem::SkolemRegistry;
+use crate::skolem::{self, PlaceholderPatch, ReservationArena, SkolemRegistry};
 use crate::Result;
 use inverda_storage::{
     ColumnIndex, IndexCache, Key, Relation, Row, RowContext, TableSchema, Value,
 };
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -118,23 +128,37 @@ pub trait EdbView: Sync {
 /// A source of memoized skolem identifiers usable behind a shared reference
 /// (rule evaluation happens on read paths too, which may mint fresh ids for
 /// new payloads).
-pub trait IdSource {
-    /// The id for `(generator, args)`, minted on first use.
+///
+/// Sources are `Sync`: evaluation fans out onto worker threads which must
+/// at least be able to [`peek`](IdSource::peek) already-assigned ids.
+/// Reservation-backed sources ([`ReservingIds`]) defer actual minting to a
+/// sequential commit epilogue, so `generate` from a worker never touches
+/// shared minting state.
+pub trait IdSource: Sync {
+    /// The id for `(generator, args)`, minted (or reserved) on first use.
     fn generate(&self, generator: &str, args: &[Value]) -> u64;
+
+    /// The id already assigned — or reserved — for `(generator, args)`,
+    /// with no minting side effect.
+    fn peek(&self, generator: &str, args: &[Value]) -> Option<u64>;
 }
 
-impl IdSource for RefCell<SkolemRegistry> {
+impl IdSource for Mutex<SkolemRegistry> {
     fn generate(&self, generator: &str, args: &[Value]) -> u64 {
-        self.borrow_mut().get_or_create(generator, args)
+        self.lock().get_or_create(generator, args)
+    }
+
+    fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
+        self.lock().peek(generator, args)
     }
 }
 
-/// The [`IdSource`] handed to parallel workers (evaluation chunks, delta
-/// probes, hop fan-outs in `inverda-core`). Every parallel path is gated
-/// to rule sets that cannot mint ([`CompiledRuleSet::parallel_safe`]), so
-/// any call is an engine bug — minting from a worker would make id
-/// assignment depend on thread scheduling. Use the shared [`NO_MINT_IDS`]
-/// instance.
+/// The [`IdSource`] handed to parallel workers of **mint-free** fan-outs
+/// (delta probes and re-derivations, pure hop propagations). Those paths
+/// are gated to rule sets that cannot mint
+/// ([`CompiledRuleSet::parallel_safe`]), so any call is an engine bug.
+/// Minting fan-outs use [`ReservingIds`] instead. Use the shared
+/// [`NO_MINT_IDS`] instance.
 pub struct NoMintIds;
 
 /// The canonical [`NoMintIds`] instance.
@@ -144,6 +168,123 @@ impl IdSource for NoMintIds {
     fn generate(&self, generator: &str, _args: &[Value]) -> u64 {
         unreachable!("parallel paths are gated to mint-free rule sets (generator {generator})")
     }
+
+    fn peek(&self, _generator: &str, _args: &[Value]) -> Option<u64> {
+        None
+    }
+}
+
+/// The reserve half of the engine's two-phase minting (see
+/// [`crate::skolem`]): `generate` first peeks the parent source (the
+/// durable registry, or an enclosing reservation scope) and only then
+/// reserves a scope-local placeholder. `commit` / [`absorb`] replay the
+/// reservations against the parent in reservation order — the sequential
+/// epilogue that makes id assignment independent of how evaluation work was
+/// split across threads.
+///
+/// [`absorb`]: ReservingIds::absorb
+pub struct ReservingIds<'a> {
+    parent: &'a dyn IdSource,
+    arena: Mutex<ReservationArena>,
+}
+
+impl<'a> ReservingIds<'a> {
+    /// A fresh reservation scope over `parent`, drawing placeholders from
+    /// `scope_base` (one of [`skolem::SCOPE_CHUNK`], [`skolem::SCOPE_EVAL`],
+    /// [`skolem::SCOPE_HOP`] — nested scopes must use distinct bases so a
+    /// placeholder peeked from the parent is never mistaken for a local
+    /// one).
+    pub fn new(parent: &'a dyn IdSource, scope_base: u64) -> Self {
+        ReservingIds {
+            parent,
+            arena: Mutex::new(ReservationArena::new(scope_base)),
+        }
+    }
+
+    /// Consume the scope, returning the raw arena (parallel chunk workers
+    /// ship their arena back to the merge epilogue this way).
+    pub fn into_arena(self) -> ReservationArena {
+        self.arena.into_inner()
+    }
+
+    /// Fold a worker-local arena into this scope **in the worker's
+    /// reservation order**, translating placeholder references inside
+    /// argument tuples through the assignments made so far. Returns the
+    /// patch mapping the local placeholders to this scope's values (which
+    /// may themselves be placeholders of this scope, or committed ids the
+    /// parent already knew). This *is* an arena commit — just one whose
+    /// "mint" reserves at the enclosing scope instead of minting for real.
+    pub fn absorb(&self, local: ReservationArena) -> PlaceholderPatch {
+        local.commit(|generator, args| self.generate(generator, args))
+    }
+
+    /// Commit every reservation against the parent source in reservation
+    /// order, returning the patch mapping this scope's placeholders to the
+    /// final ids. Argument tuples are resolved through the already-committed
+    /// prefix first, so the durable memo records real ids only.
+    pub fn commit(self) -> PlaceholderPatch {
+        let parent = self.parent;
+        self.arena
+            .into_inner()
+            .commit(|generator, args| parent.generate(generator, args))
+    }
+}
+
+impl IdSource for ReservingIds<'_> {
+    fn generate(&self, generator: &str, args: &[Value]) -> u64 {
+        if let Some(id) = self.parent.peek(generator, args) {
+            return id;
+        }
+        self.arena.lock().reserve(generator, args)
+    }
+
+    fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
+        self.parent
+            .peek(generator, args)
+            .or_else(|| self.arena.lock().peek(generator, args))
+    }
+}
+
+/// Rewrite a committed patch through a derived relation: placeholder keys
+/// and payload values become their assigned ids. Key collisions that only
+/// materialize under final ids (a minted id equal to an existing key with a
+/// different payload) surface here as the same [`DatalogError::KeyConflict`]
+/// an eager-minting emit would have raised — both engines share this
+/// function, so they fail identically.
+pub fn patch_relation(rel: Relation, patch: &PlaceholderPatch) -> Result<Relation> {
+    if patch.is_empty() {
+        return Ok(rel);
+    }
+    // Most heads of a minting evaluation carry no placeholder at all (only
+    // the generator-keyed ones do) — detect that with a scan of integer
+    // comparisons and hand the relation back untouched instead of
+    // deep-copying every row.
+    let untouched = rel.iter().all(|(key, row)| {
+        !patch.maps_id(key.0)
+            && row
+                .iter()
+                .all(|v| !matches!(v, Value::Int(i) if *i >= 0 && patch.maps_id(*i as u64)))
+    });
+    if untouched {
+        return Ok(rel);
+    }
+    let mut out = Relation::new(rel.schema().clone());
+    for (key, row) in rel.iter() {
+        let key = Key(patch.resolve_id(key.0));
+        let mut row = row.clone();
+        patch.resolve_row(&mut row);
+        match out.get(key) {
+            Some(existing) if *existing == row => {}
+            Some(_) => {
+                return Err(DatalogError::KeyConflict {
+                    relation: rel.name().to_string(),
+                    key: key.0,
+                })
+            }
+            None => out.upsert(key, row).map_err(DatalogError::from)?,
+        }
+    }
+    Ok(out)
 }
 
 /// A plain map-backed EDB with a per-snapshot join-index cache.
@@ -388,26 +529,33 @@ impl CompiledRuleSet {
             .any(|r| r.body.iter().any(|lit| matches!(lit, CLit::Skolem { .. })))
     }
 
-    /// Whether the set is eligible for parallel evaluation: rules must be
-    /// **independent** (no rule consumes a head of the set — the staged
-    /// `old`/`new` SMOs evaluate strictly in rule order) and **pure** (no
-    /// skolem generators — minting from concurrent workers would make id
-    /// assignment depend on thread scheduling, breaking the engine's
-    /// exact-equivalence contract with [`crate::naive`]).
+    /// Whether the set is eligible for the **independent-rule** fan-out and
+    /// the other fully unordered parallel paths (delta probes, pure hop
+    /// propagations): rules must be **independent** (no rule consumes a head
+    /// of the set — the staged `old`/`new` SMOs evaluate strictly in rule
+    /// order) and **pure** (no skolem generators). Staged and minting sets
+    /// are *also* evaluated in parallel, but through the ordered per-rule
+    /// fan-out with reservation arenas (see [`evaluate_compiled`]), which
+    /// preserves staging and the deterministic minting order.
     pub fn parallel_safe(&self) -> bool {
         !self.staged && !self.mints_ids()
     }
 
-    /// Names of every relation the rule bodies read, in the order the
-    /// scheduled sequential evaluation would first touch them (rule order,
-    /// then scheduled-literal order). This is what a view must prepare
-    /// before the set is evaluated on worker threads.
+    /// Names of every **external** relation the rule bodies read, in the
+    /// order the scheduled sequential evaluation would first touch them
+    /// (rule order, then scheduled-literal order). Heads of the set itself
+    /// (the staged `old`/`new` intermediates) are derived in place and
+    /// excluded. This is what a view must prepare before the set is
+    /// evaluated on worker threads.
     pub fn body_relations(&self) -> Vec<&str> {
         let mut seen = BTreeSet::new();
         let mut out = Vec::new();
         for rule in &self.rules {
             for &lit in &rule.base_order {
                 if let CLit::Pos(a) | CLit::Neg(a) = &rule.body[lit] {
+                    if self.head_index.contains_key(&a.relation) {
+                        continue;
+                    }
                     if seen.insert(a.relation.as_str()) {
                         out.push(a.relation.as_str());
                     }
@@ -716,29 +864,126 @@ pub fn evaluate(
 
 /// Evaluate a pre-compiled rule set bottom-up against an EDB.
 ///
-/// When the configured width ([`crate::parallel::threads`]) exceeds 1 and
-/// the set is [`CompiledRuleSet::parallel_safe`], evaluation fans out over
-/// the shared thread pool — independent rules in parallel, and the outer
-/// scan of each rule's join split into key-range chunks — and re-assembles
-/// the fragments in a deterministic sequential epilogue (rule order, then
-/// chunk order), so the derived relations, the tuple insertion order, any
-/// key-conflict error, and the untouched skolem registry are byte-identical
-/// to a `threads = 1` run.
+/// When the configured width ([`crate::parallel::threads`]) exceeds 1,
+/// evaluation fans out over the shared thread pool and re-assembles the
+/// fragments in a deterministic sequential epilogue (rule order, then chunk
+/// order), so the derived relations, the tuple insertion order, any
+/// key-conflict error, and the skolem registry state are byte-identical to
+/// a `threads = 1` run:
+///
+/// * [`CompiledRuleSet::parallel_safe`] sets (non-staged, mint-free) fan
+///   out independent rules *and* chunk each rule's depth-0 scan;
+/// * staged and/or id-minting sets evaluate rules strictly in order but
+///   still chunk each rule's depth-0 scan, with skolem calls going through
+///   a **reserve-then-commit** cycle ([`ReservingIds`]): workers hand out
+///   scope-local placeholder ids, the merge epilogue renumbers them in
+///   rule-then-chunk order (exactly the sequential reservation order), and
+///   a final commit mints real ids in that order and patches them through
+///   the derived relations.
 pub fn evaluate_compiled(
     crs: &CompiledRuleSet,
     edb: &dyn EdbView,
     ids: &dyn IdSource,
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<BTreeMap<String, Relation>> {
-    if let Some(out) = try_evaluate_parallel(crs, edb, head_columns)? {
-        return Ok(out);
+    if crs.parallel_safe() {
+        if let Some(out) = try_evaluate_parallel(crs, edb, head_columns)? {
+            return Ok(out);
+        }
+        let mut ev = Evaluator::new(edb, ids);
+        for rule in &crs.rules {
+            ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
+            let tuples = ev.rule_head_tuples(rule, &rule.base_order, None)?;
+            for (key, row) in tuples {
+                ev.emit(&rule.head.relation, key, row)?;
+            }
+        }
+        return Ok(ev.into_derived());
     }
-    let mut ev = Evaluator::new(edb, ids);
+    // Staged and/or minting: evaluate rules strictly in order behind a
+    // reservation scope; commit reservations (in reservation order — the
+    // same at every width) and patch the final ids through the output.
+    let reserving = ReservingIds::new(ids, skolem::SCOPE_EVAL);
+    let derived = evaluate_ordered(crs, edb, &reserving, head_columns)?;
+    let patch = reserving.commit();
+    if patch.is_empty() {
+        return Ok(derived);
+    }
+    derived
+        .into_iter()
+        .map(|(name, rel)| patch_relation(rel, &patch).map(|rel| (name, rel)))
+        .collect()
+}
+
+/// Rule-order-preserving evaluation of a staged and/or minting set, with an
+/// optional per-rule chunked fan-out of each rule's depth-0 scan. Skolem
+/// calls reserve placeholders: directly on `reserving` when a rule runs
+/// inline, via a worker-local chunk arena (translated into `reserving` at
+/// merge time, in chunk order) when it fans out — either way the scope's
+/// reservation order equals the sequential exploration order exactly.
+fn evaluate_ordered(
+    crs: &CompiledRuleSet,
+    edb: &dyn EdbView,
+    reserving: &ReservingIds<'_>,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<BTreeMap<String, Relation>> {
+    let width = crate::parallel::threads();
+    let par = width >= 2 && edb.prepare_parallel(&crs.body_relations())?;
+    let mut ev = Evaluator::new(edb, reserving);
     for rule in &crs.rules {
         ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
-        let tuples = ev.rule_head_tuples(rule, &rule.base_order, None)?;
-        for (key, row) in tuples {
-            ev.emit(&rule.head.relation, key, row)?;
+        // Planning failures (unbound relation, arity mismatch) fall back to
+        // the inline join, which raises the canonical sequential error.
+        let plan = if par {
+            ev.plan_chunk_scan(rule).unwrap_or(None)
+        } else {
+            None
+        };
+        let ranges = plan
+            .as_ref()
+            .map(|(_, _, keys)| crate::parallel::chunk_ranges(keys.len(), width, 16))
+            .unwrap_or_default();
+        if ranges.len() < 2 {
+            let tuples = ev.rule_head_tuples(rule, &rule.base_order, None)?;
+            for (key, row) in tuples {
+                ev.emit(&rule.head.relation, key, row)?;
+            }
+            continue;
+        }
+        let (lit, rel, keys) = plan.expect("ranges imply a plan");
+        // Workers share the EDB plus a read-only snapshot of the heads
+        // derived so far (staged rules read earlier heads); each gets its
+        // own reservation arena so placeholder numbering never depends on
+        // scheduling.
+        let derived = ev.derived.clone();
+        type Fragment = (Vec<(Key, Row)>, ReservationArena);
+        let results: Vec<Result<Fragment>> = crate::parallel::map_indexed(ranges.len(), |ci| {
+            let chunk_ids = ReservingIds::new(reserving, skolem::SCOPE_CHUNK);
+            let wev = Evaluator::with_derived(edb, &chunk_ids, derived.clone());
+            let (start, end) = ranges[ci];
+            let tuples = wev.chunk_head_tuples(rule, lit, &rel, &keys[start..end])?;
+            Ok((tuples, chunk_ids.into_arena()))
+        });
+        // The workers are done with the snapshot; release it so the merge's
+        // emits don't see a second strong reference on the heads (which
+        // would force `Arc::make_mut` to deep-copy each one once per rule).
+        drop(derived);
+        // Surface the rule's first chunk *error* (in chunk order) before
+        // emitting anything: the width-1 path computes the whole rule's
+        // tuples before its first emit, so a join error anywhere in the
+        // rule must take precedence over an emit-time KeyConflict of an
+        // earlier fragment.
+        let fragments: Vec<Fragment> = results.into_iter().collect::<Result<_>>()?;
+        // Merge in chunk order: absorb each chunk's reservations into the
+        // evaluation scope and rewrite its fragment through the resulting
+        // translation before emitting.
+        for (tuples, arena) in fragments {
+            let translation = reserving.absorb(arena);
+            for (key, mut row) in tuples {
+                let key = Key(translation.resolve_id(key.0));
+                translation.resolve_row(&mut row);
+                ev.emit(&rule.head.relation, key, row)?;
+            }
         }
     }
     Ok(ev.into_derived())
@@ -811,51 +1056,31 @@ fn try_evaluate_parallel(
                 rel,
                 keys,
                 range,
-            } => {
-                let rule = &crs.rules[*rule];
-                let CLit::Pos(atom) = &rule.body[*lit] else {
-                    unreachable!("chunk tasks are planned on positive atoms only")
-                };
-                let mut frame: Frame = vec![None; rule.n_vars];
-                let mut trail = Vec::with_capacity(rule.n_vars);
-                let mut out = Vec::new();
-                for &key in &keys[range.0..range.1] {
-                    let Some(row) = rel.get(key) else { continue };
-                    let mark = trail.len();
-                    if unify_atom(atom, key, row, &mut frame, &mut trail) {
-                        ev.join(
-                            rule,
-                            &rule.base_order,
-                            1,
-                            &mut frame,
-                            &mut trail,
-                            &mut |frame| {
-                                out.push(head_tuple(rule, frame)?);
-                                Ok(())
-                            },
-                        )?;
-                    }
-                    undo(&mut frame, &mut trail, mark);
-                }
-                Ok(out)
-            }
+            } => ev.chunk_head_tuples(&crs.rules[*rule], *lit, rel, &keys[range.0..range.1]),
         }
     });
 
     // ---- Deterministic epilogue: merge fragments and emit head tuples in
     // rule order then chunk order — exactly the sequential insertion order,
-    // so key-conflict detection and error precedence are reproduced.
+    // so key-conflict detection and error precedence are reproduced. Each
+    // rule's fragment errors are drained (in task order) before any of its
+    // fragments is emitted: the sequential engine computes a whole rule's
+    // tuples before its first emit, so a join error anywhere in a rule
+    // precedes an emit-time KeyConflict of that rule's earlier fragments.
     let mut ev = Evaluator::new(edb, &NO_MINT_IDS);
     let mut results = results.into_iter();
     let mut ti = 0;
     for (ri, rule) in crs.rules.iter().enumerate() {
         ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
+        let mut fragments: Vec<Vec<(Key, Row)>> = Vec::new();
         while ti < tasks.len() && tasks[ti].rule() == ri {
-            let tuples = results.next().expect("one result per task")?;
+            fragments.push(results.next().expect("one result per task")?);
+            ti += 1;
+        }
+        for tuples in fragments {
             for (key, row) in tuples {
                 ev.emit(&rule.head.relation, key, row)?;
             }
-            ti += 1;
         }
     }
     Ok(Some(ev.into_derived()))
@@ -870,36 +1095,17 @@ fn plan_rule_chunks(
     ri: usize,
     width: usize,
 ) -> Result<Option<Vec<ParTask>>> {
-    let rule = &crs.rules[ri];
-    let Some(&first) = rule.base_order.first() else {
+    // A throwaway evaluator with no derived heads resolves exactly like the
+    // raw view (this path plans before any rule ran).
+    let ev = Evaluator::new(edb, &NO_MINT_IDS);
+    let Some((lit, rel, keys)) = ev.plan_chunk_scan(&crs.rules[ri])? else {
         return Ok(None);
     };
-    let CLit::Pos(atom) = &rule.body[first] else {
-        return Ok(None);
-    };
-    let empty: Frame = vec![None; rule.n_vars];
-    if atom.terms[0].resolved(&empty).is_some() {
-        // Key-bound depth 0 is a single point lookup — nothing to chunk.
-        return Ok(None);
-    }
-    let rel = edb.full(&atom.relation)?;
-    check_arity(atom, rel.schema().arity() + 1)?;
-    // Mirror the sequential candidate enumeration exactly: index probe on
-    // the first bound payload column, else a full scan, both in ascending
-    // key order.
-    let keys: Vec<Key> = match atom.bound_payload(&empty) {
-        Some((col, value)) => {
-            let value = value.clone();
-            edb.index(&atom.relation, col)?.keys_for(&value).to_vec()
-        }
-        None => rel.keys().collect(),
-    };
-    let keys = Arc::new(keys);
     let chunks = crate::parallel::chunk_ranges(keys.len(), width, 16)
         .into_iter()
         .map(|range| ParTask::Chunk {
             rule: ri,
-            lit: first,
+            lit,
             rel: Arc::clone(&rel),
             keys: Arc::clone(&keys),
             range,
@@ -935,6 +1141,98 @@ impl<'a> Evaluator<'a> {
             by_key_memo: HashMap::new(),
             derived_indexes: IndexCache::new(),
         }
+    }
+
+    /// Evaluator pre-seeded with already-derived heads — the read-only
+    /// snapshot a parallel chunk worker of a *staged* rule set evaluates
+    /// against (earlier rules' heads shadow the EDB exactly as they do for
+    /// the merging evaluator; the worker itself never emits).
+    fn with_derived(
+        edb: &'a dyn EdbView,
+        ids: &'a dyn IdSource,
+        derived: BTreeMap<String, Arc<Relation>>,
+    ) -> Self {
+        Evaluator {
+            edb,
+            ids,
+            derived,
+            by_key_memo: HashMap::new(),
+            derived_indexes: IndexCache::new(),
+        }
+    }
+
+    /// Plan the chunked fan-out of one rule's depth-0 scan: only a positive
+    /// atom whose key term is unbound at depth 0 enumerates multiple
+    /// candidates worth splitting. Candidates mirror the sequential
+    /// enumeration exactly — index probe on the first bound payload column,
+    /// else a full scan, both in ascending key order — and resolve through
+    /// this evaluator, so derived heads (staged sets) chunk just like EDB
+    /// relations. `Ok(None)` / `Err` mean "evaluate the rule inline".
+    #[allow(clippy::type_complexity)]
+    fn plan_chunk_scan(
+        &self,
+        rule: &CompiledRule,
+    ) -> Result<Option<(usize, Arc<Relation>, Arc<Vec<Key>>)>> {
+        let Some(&first) = rule.base_order.first() else {
+            return Ok(None);
+        };
+        let CLit::Pos(atom) = &rule.body[first] else {
+            return Ok(None);
+        };
+        let empty: Frame = vec![None; rule.n_vars];
+        if atom.terms[0].resolved(&empty).is_some() {
+            // Key-bound depth 0 is a single point lookup — nothing to chunk.
+            return Ok(None);
+        }
+        let rel = self.relation_full(&atom.relation)?;
+        check_arity(atom, rel.schema().arity() + 1)?;
+        let keys: Vec<Key> = match atom.bound_payload(&empty) {
+            Some((col, value)) => {
+                let value = value.clone();
+                self.index_for(&atom.relation, col)?
+                    .keys_for(&value)
+                    .to_vec()
+            }
+            None => rel.keys().collect(),
+        };
+        Ok(Some((first, rel, Arc::new(keys))))
+    }
+
+    /// Evaluate one contiguous chunk of a rule's depth-0 candidates,
+    /// returning the head tuples in candidate order (the fragment a merge
+    /// epilogue emits in chunk order).
+    fn chunk_head_tuples(
+        &self,
+        rule: &CompiledRule,
+        lit: usize,
+        rel: &Relation,
+        keys: &[Key],
+    ) -> Result<Vec<(Key, Row)>> {
+        let CLit::Pos(atom) = &rule.body[lit] else {
+            unreachable!("chunk tasks are planned on positive atoms only")
+        };
+        let mut frame: Frame = vec![None; rule.n_vars];
+        let mut trail = Vec::with_capacity(rule.n_vars);
+        let mut out = Vec::new();
+        for &key in keys {
+            let Some(row) = rel.get(key) else { continue };
+            let mark = trail.len();
+            if unify_atom(atom, key, row, &mut frame, &mut trail) {
+                self.join(
+                    rule,
+                    &rule.base_order,
+                    1,
+                    &mut frame,
+                    &mut trail,
+                    &mut |frame| {
+                        out.push(head_tuple(rule, frame)?);
+                        Ok(())
+                    },
+                )?;
+            }
+            undo(&mut frame, &mut trail, mark);
+        }
+        Ok(out)
     }
 
     /// Consume the evaluator, unwrapping the derived heads.
@@ -1445,8 +1743,8 @@ mod tests {
     use crate::ast::{Atom, Rule};
     use inverda_storage::Expr;
 
-    fn ids() -> RefCell<SkolemRegistry> {
-        RefCell::new(SkolemRegistry::new())
+    fn ids() -> Mutex<SkolemRegistry> {
+        Mutex::new(SkolemRegistry::new())
     }
 
     fn edb_task() -> MapEdb {

@@ -41,7 +41,7 @@ pub mod skolem;
 pub use ast::{Atom, Literal, Rule, RuleSet, Term};
 pub use delta::{Delta, DeltaMap, PatchedEdb};
 pub use error::DatalogError;
-pub use eval::{evaluate, evaluate_compiled, CompiledRuleSet, EdbView, MapEdb};
+pub use eval::{evaluate, evaluate_compiled, CompiledRuleSet, EdbView, MapEdb, ReservingIds};
 pub use skolem::SkolemRegistry;
 
 /// Crate-wide result alias.

@@ -15,7 +15,8 @@
 
 use crate::ast::{Atom, Literal, Rule, RuleSet, Term};
 use crate::error::DatalogError;
-use crate::eval::{key_value, value_key, EdbView, IdSource};
+use crate::eval::{key_value, patch_relation, value_key, EdbView, IdSource, ReservingIds};
+use crate::skolem;
 use crate::Result;
 use inverda_storage::{Key, Relation, Row, RowContext, TableSchema, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -35,14 +36,51 @@ impl RowContext for BindingsCtx<'_> {
 /// Evaluate a rule set bottom-up against an EDB with the naive interpreter.
 ///
 /// Semantics are identical to [`crate::eval::evaluate`]; see the module docs
-/// for why this copy exists.
+/// for why this copy exists. Id-minting rule sets go through the same
+/// two-phase reserve-then-commit cycle as the compiled engine (see
+/// [`crate::skolem`]): skolem calls reserve placeholders during the join,
+/// the commit epilogue mints real ids in reservation order (which equals
+/// the compiled engine's merge order), and the placeholders are patched out
+/// of the derived relations — so both engines stay byte-identical including
+/// minted ids.
 pub fn evaluate(
     rules: &RuleSet,
     edb: &dyn EdbView,
     ids: &dyn IdSource,
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<BTreeMap<String, Relation>> {
-    let mut ev = Evaluator::new(edb, ids);
+    let mints = rules
+        .rules
+        .iter()
+        .any(|r| r.body.iter().any(|l| matches!(l, Literal::Skolem { .. })));
+    if !mints {
+        let mut ev = Evaluator::new(edb, ids);
+        run_rules(&mut ev, rules, head_columns)?;
+        return Ok(ev.derived);
+    }
+    let reserving = ReservingIds::new(ids, skolem::SCOPE_EVAL);
+    let derived = {
+        let mut ev = Evaluator::new(edb, &reserving);
+        run_rules(&mut ev, rules, head_columns)?;
+        ev.derived
+    };
+    let patch = reserving.commit();
+    if patch.is_empty() {
+        return Ok(derived);
+    }
+    derived
+        .into_iter()
+        .map(|(name, rel)| patch_relation(rel, &patch).map(|rel| (name, rel)))
+        .collect()
+}
+
+/// The shared bottom-up loop: rules in order, each rule's complete binding
+/// sets emitted in exploration order.
+fn run_rules(
+    ev: &mut Evaluator<'_>,
+    rules: &RuleSet,
+    head_columns: &BTreeMap<String, Vec<String>>,
+) -> Result<()> {
     for rule in &rules.rules {
         ev.ensure_head(&rule.head.relation, rule.head.terms.len() - 1, head_columns);
         let results = ev.eval_rule(rule, None, &Bindings::new())?;
@@ -50,7 +88,7 @@ pub fn evaluate(
             ev.emit(rule, &bindings)?;
         }
     }
-    Ok(ev.derived)
+    Ok(())
 }
 
 /// The naive evaluation engine. Holds derived heads (which shadow the EDB)
@@ -521,10 +559,10 @@ mod tests {
     use super::*;
     use crate::eval::MapEdb;
     use crate::skolem::SkolemRegistry;
-    use std::cell::RefCell;
+    use parking_lot::Mutex;
 
-    fn ids() -> RefCell<SkolemRegistry> {
-        RefCell::new(SkolemRegistry::new())
+    fn ids() -> Mutex<SkolemRegistry> {
+        Mutex::new(SkolemRegistry::new())
     }
 
     #[test]

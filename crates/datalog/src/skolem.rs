@@ -5,10 +5,27 @@
 //! is merely a regular SQL sequence and the mapping rules ensure that an
 //! already generated identifier is reused for the same data."
 //!
-//! The registry memoizes `(generator, argument tuple) → id` so that equal
-//! payloads always receive the same identifier — within one rule evaluation
-//! (set semantics would otherwise be violated) and across evaluations
-//! (repeatable reads on generated identifiers).
+//! Two layers live here:
+//!
+//! * [`SkolemRegistry`] — the durable memo `(generator, argument tuple) → id`
+//!   so that equal payloads always receive the same identifier, within one
+//!   rule evaluation (set semantics would otherwise be violated) and across
+//!   evaluations (repeatable reads on generated identifiers). The memo is a
+//!   two-level map (`generator → args → id`) so the hit path probes with
+//!   **borrowed** keys and allocates only on insert.
+//! * [`ReservationArena`] — the *reserve* half of the engine's two-phase
+//!   **reserve-then-commit** minting discipline (DESIGN.md "Deterministic
+//!   minting & reservation commit"). During evaluation, the first occurrence
+//!   of a `(generator, args)` pair receives a **placeholder** id from a
+//!   scope-disjoint range far above any real identifier; placeholders are
+//!   perfectly usable as join keys and head keys *within* the evaluation
+//!   (the memoized pair always yields the same placeholder). A sequential
+//!   commit epilogue then assigns final ids in reservation order — which
+//!   every engine (naive, compiled sequential, compiled parallel merge)
+//!   produces identically — and a [`PlaceholderPatch`] rewrites the
+//!   placeholders out of the emitted fragments. That is what lets id-minting
+//!   rule sets fan out across worker threads without making id assignment
+//!   depend on thread scheduling.
 
 use inverda_storage::Value;
 use std::collections::BTreeMap;
@@ -16,7 +33,9 @@ use std::collections::BTreeMap;
 /// Memoized id-generating sequences.
 #[derive(Debug, Default, Clone)]
 pub struct SkolemRegistry {
-    memo: BTreeMap<(String, Vec<Value>), u64>,
+    /// `generator → args → id`. Two levels so lookups probe with `&str` /
+    /// `&[Value]` and the hot hit path allocates nothing.
+    memo: BTreeMap<String, BTreeMap<Vec<Value>, u64>>,
     counters: BTreeMap<String, u64>,
 }
 
@@ -28,13 +47,16 @@ impl SkolemRegistry {
 
     /// The id for `(generator, args)`, minting a fresh one on first call.
     pub fn get_or_create(&mut self, generator: &str, args: &[Value]) -> u64 {
-        if let Some(id) = self.memo.get(&(generator.to_string(), args.to_vec())) {
-            return *id;
+        if let Some(id) = self.peek(generator, args) {
+            return id;
         }
         let counter = self.counters.entry(generator.to_string()).or_insert(0);
         *counter += 1;
         let id = *counter;
-        self.memo.insert((generator.to_string(), args.to_vec()), id);
+        self.memo
+            .entry(generator.to_string())
+            .or_default()
+            .insert(args.to_vec(), id);
         id
     }
 
@@ -50,11 +72,14 @@ impl SkolemRegistry {
         args: &[Value],
         mint: impl FnOnce() -> u64,
     ) -> u64 {
-        if let Some(id) = self.memo.get(&(generator.to_string(), args.to_vec())) {
-            return *id;
+        if let Some(id) = self.peek(generator, args) {
+            return id;
         }
         let id = mint();
-        self.memo.insert((generator.to_string(), args.to_vec()), id);
+        self.memo
+            .entry(generator.to_string())
+            .or_default()
+            .insert(args.to_vec(), id);
         id
     }
 
@@ -62,7 +87,10 @@ impl SkolemRegistry {
     /// `ID` auxiliary table after a migration or data load) so future mints
     /// neither collide with nor contradict it.
     pub fn observe(&mut self, generator: &str, args: &[Value], id: u64) {
-        self.memo.insert((generator.to_string(), args.to_vec()), id);
+        self.memo
+            .entry(generator.to_string())
+            .or_default()
+            .insert(args.to_vec(), id);
         let counter = self.counters.entry(generator.to_string()).or_insert(0);
         if *counter < id {
             *counter = id;
@@ -74,40 +102,224 @@ impl SkolemRegistry {
     /// later occurrence of the old payload mints a fresh id instead of
     /// colliding with the repurposed one.
     pub fn unobserve(&mut self, generator: &str, args: &[Value]) {
-        self.memo.remove(&(generator.to_string(), args.to_vec()));
+        if let Some(inner) = self.memo.get_mut(generator) {
+            inner.remove(args);
+        }
     }
 
     /// Forget every assignment of a generator (migration re-seeds from the
     /// relocated tables afterwards).
     pub fn purge_generator(&mut self, generator: &str) {
-        self.memo.retain(|(g, _), _| g != generator);
+        self.memo.remove(generator);
     }
 
-    /// The memoized id, if any, without minting.
+    /// The memoized id, if any, without minting. Probes with borrowed keys —
+    /// no allocation on either hit or miss.
     pub fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
-        self.memo
-            .get(&(generator.to_string(), args.to_vec()))
-            .copied()
+        self.memo.get(generator)?.get(args).copied()
     }
 
     /// Debug dump of every memoized assignment (diagnostics).
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        for ((generator, args), id) in &self.memo {
-            let cells: Vec<String> = args.iter().map(|v| v.to_string()).collect();
-            out.push_str(&format!("{generator}({}) -> {id}\n", cells.join(", ")));
+        for (generator, inner) in &self.memo {
+            for (args, id) in inner {
+                let cells: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!("{generator}({}) -> {id}\n", cells.join(", ")));
+            }
         }
         out
     }
 
     /// Number of memoized assignments (diagnostics).
     pub fn len(&self) -> usize {
-        self.memo.len()
+        self.memo.values().map(BTreeMap::len).sum()
     }
 
     /// True iff nothing has been generated or observed.
     pub fn is_empty(&self) -> bool {
-        self.memo.is_empty()
+        self.memo.values().all(BTreeMap::is_empty)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reservations: the reserve half of reserve-then-commit minting
+// ---------------------------------------------------------------------------
+
+/// Width of each placeholder scope (indices are asserted to stay below it).
+const SCOPE_SPAN: u64 = 1 << 60;
+
+/// Placeholder scope of worker-local (per evaluation chunk) reservations.
+/// Chunk placeholders are translated into the owning evaluation's scope when
+/// the chunk's fragment is merged, in chunk order.
+pub const SCOPE_CHUNK: u64 = 5 << 60;
+
+/// Placeholder scope of one full rule-set evaluation (the reservations
+/// committed by [`evaluate_compiled`](crate::eval::evaluate_compiled)'s /
+/// [`naive::evaluate`](crate::naive::evaluate)'s commit epilogue).
+pub const SCOPE_EVAL: u64 = 6 << 60;
+
+/// Placeholder scope of one SMO-hop propagation in the write path's
+/// parallel hop fan-out (committed sequentially at distribute time, in hop
+/// pop order).
+pub const SCOPE_HOP: u64 = 7 << 60;
+
+/// Whether an id value is a placeholder of *some* reservation scope. Real
+/// identifiers come from the storage key sequence (or per-generator
+/// counters) and live far below `SCOPE_CHUNK`; every scope stays below
+/// `i64::MAX`, so placeholders survive the `Value::Int` round trip.
+///
+/// **Engine constraint:** user payload integers in `[SCOPE_CHUNK, 2⁶³)`
+/// (≥ 5.7 · 10¹⁸) would alias active placeholders during a minting
+/// evaluation — [`PlaceholderPatch`] only rewrites ids its arena actually
+/// reserved (`base + index < base + len`), so the window is the handful of
+/// live reservations, but inside that window an aliased payload would
+/// unify (and be patched) as if it were the reservation. Keys and
+/// generated ids can never reach the range (the key sequence is
+/// monotonic from 0); payloads are expected to stay below it too.
+pub fn is_placeholder(id: u64) -> bool {
+    id >= SCOPE_CHUNK
+}
+
+/// An ordered set of first-occurrence `(generator, args)` reservations, each
+/// standing in for a not-yet-minted id as `scope_base + index`.
+///
+/// Reservation argument tuples may themselves contain placeholders of the
+/// same arena (a generator arg bound by an *earlier* skolem literal): commit
+/// and translation resolve those through the already-assigned prefix, which
+/// is always sufficient because an argument value existed strictly before
+/// the reservation that uses it.
+#[derive(Debug)]
+pub struct ReservationArena {
+    base: u64,
+    entries: Vec<(String, Vec<Value>)>,
+    /// `generator → args → entry index` (borrowed-key probes, like the
+    /// registry memo).
+    index: BTreeMap<String, BTreeMap<Vec<Value>, usize>>,
+}
+
+impl ReservationArena {
+    /// Empty arena handing out placeholders from `scope_base`.
+    pub fn new(scope_base: u64) -> Self {
+        ReservationArena {
+            base: scope_base,
+            entries: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// The placeholder already reserved for `(generator, args)`, if any.
+    pub fn peek(&self, generator: &str, args: &[Value]) -> Option<u64> {
+        self.index
+            .get(generator)?
+            .get(args)
+            .map(|idx| self.base + *idx as u64)
+    }
+
+    /// The placeholder for `(generator, args)`, reserving a fresh one on
+    /// first call.
+    pub fn reserve(&mut self, generator: &str, args: &[Value]) -> u64 {
+        if let Some(id) = self.peek(generator, args) {
+            return id;
+        }
+        let idx = self.entries.len();
+        assert!((idx as u64) < SCOPE_SPAN, "placeholder scope exhausted");
+        self.entries.push((generator.to_string(), args.to_vec()));
+        self.index
+            .entry(generator.to_string())
+            .or_default()
+            .insert(args.to_vec(), idx);
+        self.base + idx as u64
+    }
+
+    /// Number of reservations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing was reserved.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Assign final ids in reservation order via `mint` and return the
+    /// patch mapping this arena's placeholders to them. Each reservation's
+    /// argument tuple is resolved through the already-assigned prefix
+    /// before minting, so the durable memo never records placeholder args.
+    pub fn commit(self, mut mint: impl FnMut(&str, &[Value]) -> u64) -> PlaceholderPatch {
+        let mut patch = PlaceholderPatch::new(self.base, self.entries.len());
+        for (generator, mut args) in self.entries {
+            patch.resolve_row(&mut args);
+            let id = mint(&generator, &args);
+            patch.push(id);
+        }
+        patch
+    }
+}
+
+/// The commit half: maps one scope's placeholders (`base + i`) to their
+/// assigned final values. Values of other scopes — and real ids — pass
+/// through untouched, which is what lets a chunk-scope patch run over rows
+/// that also carry evaluation-scope placeholders.
+#[derive(Debug)]
+pub struct PlaceholderPatch {
+    base: u64,
+    finals: Vec<u64>,
+}
+
+impl PlaceholderPatch {
+    /// Empty patch over a scope.
+    pub fn new(base: u64, capacity: usize) -> Self {
+        PlaceholderPatch {
+            base,
+            finals: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append the assignment for the next reservation index.
+    pub fn push(&mut self, id: u64) {
+        self.finals.push(id);
+    }
+
+    /// True iff the patch maps nothing (nothing was reserved).
+    pub fn is_empty(&self) -> bool {
+        self.finals.is_empty()
+    }
+
+    /// Whether `id` is one of this patch's placeholders (i.e.
+    /// [`resolve_id`](PlaceholderPatch::resolve_id) would rewrite it).
+    pub fn maps_id(&self, id: u64) -> bool {
+        id >= self.base && ((id - self.base) as usize) < self.finals.len()
+    }
+
+    /// Resolve one id: a placeholder of this scope becomes its assigned
+    /// value, everything else passes through.
+    pub fn resolve_id(&self, id: u64) -> u64 {
+        if id >= self.base {
+            if let Some(assigned) = self.finals.get((id - self.base) as usize) {
+                return *assigned;
+            }
+        }
+        id
+    }
+
+    /// Resolve a value in place (only integer values can carry ids).
+    pub fn resolve_value(&self, value: &mut Value) {
+        if let Value::Int(i) = value {
+            if *i >= 0 {
+                let resolved = self.resolve_id(*i as u64);
+                if resolved != *i as u64 {
+                    *value = Value::Int(resolved as i64);
+                }
+            }
+        }
+    }
+
+    /// Resolve every value of a row in place.
+    pub fn resolve_row(&self, row: &mut [Value]) {
+        for value in row {
+            self.resolve_value(value);
+        }
     }
 }
 
@@ -153,5 +365,63 @@ mod tests {
         r.get_or_create("g", &[Value::Int(1)]);
         r.get_or_create("g", &[Value::Int(2)]);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn unobserve_and_purge() {
+        let mut r = SkolemRegistry::new();
+        r.observe("g", &[Value::Int(1)], 5);
+        r.observe("h", &[Value::Int(1)], 6);
+        r.unobserve("g", &[Value::Int(1)]);
+        assert_eq!(r.peek("g", &[Value::Int(1)]), None);
+        r.purge_generator("h");
+        assert_eq!(r.peek("h", &[Value::Int(1)]), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn arena_dedups_and_numbers_in_order() {
+        let mut a = ReservationArena::new(SCOPE_EVAL);
+        let p0 = a.reserve("g", &[Value::text("x")]);
+        let p1 = a.reserve("g", &[Value::text("y")]);
+        let again = a.reserve("g", &[Value::text("x")]);
+        assert_eq!(p0, SCOPE_EVAL);
+        assert_eq!(p1, SCOPE_EVAL + 1);
+        assert_eq!(p0, again);
+        assert!(is_placeholder(p0) && is_placeholder(p1));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn commit_assigns_in_reservation_order_and_patches_args() {
+        let mut a = ReservationArena::new(SCOPE_EVAL);
+        let p0 = a.reserve("g", &[Value::text("x")]);
+        // Second reservation's args reference the first placeholder.
+        let _p1 = a.reserve("h", &[Value::Int(p0 as i64)]);
+        let mut minted: Vec<(String, Vec<Value>)> = Vec::new();
+        let mut next = 100u64;
+        let patch = a.commit(|generator, args| {
+            minted.push((generator.to_string(), args.to_vec()));
+            next += 1;
+            next
+        });
+        assert_eq!(minted.len(), 2);
+        // The arg placeholder was resolved through the prefix before minting.
+        assert_eq!(minted[1].1, vec![Value::Int(101)]);
+        assert_eq!(patch.resolve_id(p0), 101);
+        assert_eq!(patch.resolve_id(SCOPE_EVAL + 1), 102);
+        // Out-of-scope ids pass through.
+        assert_eq!(patch.resolve_id(7), 7);
+        assert_eq!(patch.resolve_id(SCOPE_HOP), SCOPE_HOP);
+    }
+
+    #[test]
+    fn scopes_are_disjoint_and_fit_i64() {
+        const {
+            assert!(SCOPE_CHUNK + SCOPE_SPAN <= SCOPE_EVAL);
+            assert!(SCOPE_EVAL + SCOPE_SPAN <= SCOPE_HOP);
+            assert!(SCOPE_HOP + SCOPE_SPAN - 1 <= i64::MAX as u64);
+        }
+        assert!(!is_placeholder(SCOPE_CHUNK - 1));
     }
 }

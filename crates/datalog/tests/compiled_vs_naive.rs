@@ -18,8 +18,9 @@ use inverda_datalog::delta::{propagate, Delta, DeltaMap, PatchedEdb};
 use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, Evaluator, MapEdb};
 use inverda_datalog::{naive, SkolemRegistry};
 use inverda_storage::{Expr, Key, Relation, Value};
+use parking_lot::Mutex;
 use proptest::prelude::*;
-use std::cell::RefCell;
+
 use std::collections::BTreeMap;
 
 /// Everything needed to deterministically build one rule.
@@ -222,8 +223,8 @@ fn build_edb(t0: &T0Rows, t1: &T1Rows) -> MapEdb {
     edb
 }
 
-fn registry() -> RefCell<SkolemRegistry> {
-    RefCell::new(SkolemRegistry::new())
+fn registry() -> Mutex<SkolemRegistry> {
+    Mutex::new(SkolemRegistry::new())
 }
 
 proptest! {
@@ -233,11 +234,13 @@ proptest! {
     fn full_evaluation_matches_naive(
         specs in prop::collection::vec(arb_rule_spec(), 1..4),
         (t0, t1) in arb_edb(),
-        tsel in 0usize..3,
+        tsel in 0usize..4,
     ) {
         // Parallel ≡ sequential ≡ naive: the compiled engine must produce
-        // byte-identical output (including skolem id order) at any width.
-        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4][tsel]));
+        // byte-identical output (including skolem id order) at any width —
+        // staged and id-minting rule sets included, now that minting goes
+        // through the reserve-then-commit cycle.
+        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4, 8][tsel]));
         let rules = build_rule_set(&specs);
         let edb = build_edb(&t0, &t1);
         let naive_ids = registry();
@@ -305,9 +308,9 @@ proptest! {
         inserts in prop::collection::btree_map(12u64..18, 0i64..6, 0..3),
         deletes in prop::collection::vec(0u64..12, 0..3),
         updates in prop::collection::btree_map(0u64..12, 0i64..6, 0..3),
-        tsel in 0usize..3,
+        tsel in 0usize..4,
     ) {
-        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4][tsel]));
+        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4, 8][tsel]));
         let specs: Vec<RuleSpec> = specs
             .into_iter()
             .map(|mut s| {
@@ -453,5 +456,85 @@ fn parallel_widths_agree_on_large_inputs() {
             prop_out, &prop_outputs[0],
             "propagation diverged across widths"
         );
+    }
+}
+
+/// The staged/minting analogue of [`parallel_widths_agree_on_large_inputs`]:
+/// a rule set that mints skolem ids (including as head keys), stages a later
+/// rule over the minted head, and is large enough to cross the chunked
+/// fan-out thresholds. At widths 1/2/4/8 the derived relations *and* the
+/// final skolem registry (assignment order included — the dump is
+/// order-sensitive through the id values) must be byte-identical to each
+/// other and to the naive oracle.
+#[test]
+fn staged_minting_widths_agree_on_large_inputs() {
+    use inverda_datalog::ast::Atom;
+    use inverda_storage::Expr;
+
+    let mut a = Relation::with_columns("A", ["n"]);
+    for i in 0..3_000u64 {
+        a.insert(Key(i), vec![Value::Int((i % 37) as i64)]).unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(a);
+    let rules = RuleSet::new(vec![
+        // Minted head key (non-pushable; payload dedup collapses 3000 rows
+        // onto 37 authors).
+        Rule::new(
+            Atom::vars("Author", &["s", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("A", &["p", "n"])),
+                Literal::Skolem {
+                    var: "s".into(),
+                    generator: "gen_author".into(),
+                    args: vec![Term::var("n")],
+                },
+            ],
+        ),
+        // Minted payload cell, keyed by the source key.
+        Rule::new(
+            Atom::vars("H", &["p", "n", "s"]),
+            vec![
+                Literal::Pos(Atom::vars("A", &["p", "n"])),
+                Literal::Skolem {
+                    var: "s".into(),
+                    generator: "gen_author".into(),
+                    args: vec![Term::var("n")],
+                },
+            ],
+        ),
+        // Staged: scans the minted head (its chunked depth-0 scan runs over
+        // a placeholder-keyed derived relation).
+        Rule::new(
+            Atom::vars("J", &["s", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("Author", &["s", "n"])),
+                Literal::Cond(Expr::col("n").ge(Expr::lit(5))),
+            ],
+        ),
+    ]);
+    let crs = CompiledRuleSet::compile(&rules).unwrap();
+    assert!(crs.staged() && crs.mints_ids());
+
+    let mut outputs = Vec::new();
+    for width in [1usize, 2, 4, 8] {
+        inverda_datalog::parallel::set_threads(Some(width));
+        let ids = registry();
+        let out = evaluate_compiled(&crs, &edb, &ids, &BTreeMap::new()).unwrap();
+        outputs.push((out, ids.lock().dump()));
+    }
+    inverda_datalog::parallel::set_threads(None);
+    let naive_ids = registry();
+    let oracle = naive::evaluate(&rules, &edb, &naive_ids, &BTreeMap::new()).unwrap();
+    let oracle_dump = naive_ids.lock().dump();
+    assert_eq!(oracle["Author"].len(), 37);
+    assert_eq!(oracle["H"].len(), 3_000);
+    for (out, dump) in &outputs {
+        assert_eq!(
+            out, &outputs[0].0,
+            "minting evaluation diverged across widths"
+        );
+        assert_eq!(out, &oracle, "minting evaluation diverged from naive");
+        assert_eq!(dump, &oracle_dump, "skolem assignment diverged");
     }
 }

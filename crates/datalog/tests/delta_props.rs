@@ -6,8 +6,9 @@ use inverda_datalog::delta::{propagate, propagate_by_recompute, Delta, DeltaMap}
 use inverda_datalog::eval::MapEdb;
 use inverda_datalog::SkolemRegistry;
 use inverda_storage::{Expr, Key, Relation, Value};
+use parking_lot::Mutex;
 use proptest::prelude::*;
-use std::cell::RefCell;
+
 use std::collections::BTreeMap;
 
 /// γ_tgt of a two-arm SPLIT with overlapping conditions and aux guards —
@@ -142,9 +143,9 @@ proptest! {
         input.insert("T".to_string(), delta);
 
         let rules = split_gamma_tgt();
-        let ids1 = RefCell::new(SkolemRegistry::new());
+        let ids1 = Mutex::new(SkolemRegistry::new());
         let fast = propagate(&rules, &edb, &input, &ids1, &BTreeMap::new()).unwrap();
-        let ids2 = RefCell::new(SkolemRegistry::new());
+        let ids2 = Mutex::new(SkolemRegistry::new());
         let slow =
             propagate_by_recompute(&rules, &edb, &input, &ids2, &BTreeMap::new()).unwrap();
         let slow: DeltaMap = slow.into_iter().filter(|(_, d)| !d.is_empty()).collect();
