@@ -8,7 +8,7 @@
 //! (writes per propagation round, default 100), `INVERDA_EVAL_REPS`
 //! (median-of reps, default 5).
 
-use inverda_bench::{banner, env_usize, median_time};
+use inverda_bench::{banner, env_f64, env_usize, median_time};
 use inverda_core::{LogicalWrite, WritePath};
 use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
 use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, Evaluator, MapEdb};
@@ -225,6 +225,206 @@ fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize) {
     (ms(round), ops)
 }
 
+/// One query-pushdown measurement: the same filtered read answered by the
+/// query layer (pushdown) and by scan + client-side filter, byte-equality
+/// asserted before timing.
+struct PushdownEntry {
+    label: &'static str,
+    scan_filter_ms: f64,
+    pushdown_ms: f64,
+    rows: usize,
+}
+
+impl PushdownEntry {
+    fn speedup(&self) -> f64 {
+        self.scan_filter_ms / self.pushdown_ms.max(f64::EPSILON)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#""{}": {{ "scan_filter_ms": {:.3}, "pushdown_ms": {:.3}, "speedup": {:.2}, "rows": {} }}"#,
+            self.label,
+            self.scan_filter_ms,
+            self.pushdown_ms,
+            self.speedup(),
+            self.rows
+        )
+    }
+}
+
+/// Time one (query, oracle) pair: assert byte-equality first, then take
+/// medians. `warm` keeps the snapshot store on (primed by the equality
+/// check); cold disables reuse so every run re-resolves or pushes down.
+fn measure_pushdown(
+    label: &'static str,
+    reps: usize,
+    query: &dyn Fn() -> inverda_storage::Relation,
+    oracle: &dyn Fn() -> inverda_storage::Relation,
+) -> PushdownEntry {
+    let q = query();
+    let o = oracle();
+    assert_eq!(q.len(), o.len(), "{label}: pushdown row count diverged");
+    for (k, row) in o.iter() {
+        assert_eq!(
+            q.get(k),
+            Some(row),
+            "{label}: pushdown rows diverged at {k}"
+        );
+    }
+    let scan_filter = median_time(reps, || oracle().len());
+    let pushdown = median_time(reps, || query().len());
+    PushdownEntry {
+        label,
+        scan_filter_ms: ms(scan_filter),
+        pushdown_ms: ms(pushdown),
+        rows: q.len(),
+    }
+}
+
+/// Scan + client-side filter oracle over `version.table` (the shape every
+/// filtered read had before the query layer).
+fn scan_filter(
+    db: &inverda_core::Inverda,
+    version: &str,
+    table: &str,
+    pred: &inverda_storage::BoundExpr,
+    limit: Option<usize>,
+) -> inverda_storage::Relation {
+    let rel = db.scan(version, table).expect("scan");
+    let mut out = inverda_storage::Relation::new(rel.schema().clone());
+    let mut taken = 0usize;
+    for (k, row) in rel.iter() {
+        if pred.matches(row).unwrap() {
+            out.upsert(k, row.clone()).unwrap();
+            taken += 1;
+            if limit.is_some_and(|n| taken >= n) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The TasKy half of the query-pushdown section: point, selective, range,
+/// and limit-k reads on the virtual `Do!`/`TasKy` versions, cold (snapshot
+/// reuse off — pushdown seeds through the SPLIT/DROP chain, the oracle
+/// re-materializes) and warm (store primed — pushdown probes cached
+/// indexes).
+fn bench_query_pushdown_tasky(
+    tasks: usize,
+    reps: usize,
+) -> (Vec<PushdownEntry>, Vec<PushdownEntry>) {
+    use inverda_storage::BoundExpr;
+    let db = tasky::build();
+    tasky::load_tasks(&db, tasks);
+    type Spec = (
+        &'static str,
+        &'static str,
+        &'static str,
+        Expr,
+        Option<usize>,
+    );
+    let specs: Vec<Spec> = vec![
+        (
+            "point",
+            "Do!",
+            "Todo",
+            Expr::col("author").eq(Expr::lit("author007")),
+            None,
+        ),
+        (
+            "selective",
+            "Do!",
+            "Todo",
+            Expr::col("task").eq(Expr::lit("task number 42")),
+            None,
+        ),
+        (
+            "range",
+            "TasKy",
+            "Task",
+            Expr::col("prio").ge(Expr::lit(2)),
+            None,
+        ),
+        (
+            "limit_k",
+            "Do!",
+            "Todo",
+            Expr::col("author").eq(Expr::lit("author007")),
+            Some(10),
+        ),
+    ];
+    let mut out = Vec::new();
+    for warm in [false, true] {
+        db.set_snapshot_reuse(warm);
+        let mut entries = Vec::new();
+        for (label, version, table, filter, limit) in &specs {
+            let columns = db.columns_of(version, table).unwrap();
+            let bound = BoundExpr::bind(filter, table, &columns).unwrap();
+            if warm {
+                // Prime the store (and its indexes) once.
+                db.scan(version, table).unwrap();
+            }
+            let query = || {
+                let mut q = db.query(version, table).filter(filter.clone());
+                if let Some(n) = limit {
+                    q = q.limit(*n);
+                }
+                q.collect().expect("query")
+            };
+            let oracle = || scan_filter(&db, version, table, &bound, *limit);
+            entries.push(measure_pushdown(label, reps, &query, &oracle));
+        }
+        out.push(entries);
+    }
+    db.set_snapshot_reuse(true);
+    let warm = out.pop().expect("two passes");
+    let cold = out.pop().expect("two passes");
+    (cold, warm)
+}
+
+/// The Wikimedia half: a selective point probe (`title = 'Page_7'`) on the
+/// 171st version while the data physically lives at the load version — the
+/// fig12 QET shape. Cold, pushdown walks the whole mapping chain touching
+/// only the matching row; the oracle materializes it.
+fn bench_query_pushdown_wiki(scale: f64, reps: usize) -> (Vec<PushdownEntry>, Vec<PushdownEntry>) {
+    use inverda_storage::BoundExpr;
+    use inverda_workloads::wikimedia;
+    let db = wikimedia::install();
+    // Like fig12: relocate the physical schema to the load version first so
+    // the bulk load is local, then leave the queried 171st version virtual
+    // behind the 62-hop mapping chain.
+    db.execute(&format!(
+        "MATERIALIZE '{}';",
+        wikimedia::version_name(wikimedia::LOAD_VERSION)
+    ))
+    .expect("materialize load version");
+    wikimedia::load_akan(&db, wikimedia::LOAD_VERSION, scale);
+    let version = wikimedia::version_name(171);
+    let filter = Expr::col("title").eq(Expr::lit(format!("Page_{}", wikimedia::PROBE_TITLE_I)));
+    let columns = db.columns_of(&version, "page").unwrap();
+    let bound = BoundExpr::bind(&filter, "page", &columns).unwrap();
+    let mut out = Vec::new();
+    for warm in [false, true] {
+        db.set_snapshot_reuse(warm);
+        if warm {
+            db.scan(&version, "page").unwrap();
+        }
+        let query = || {
+            db.query(&version, "page")
+                .filter(filter.clone())
+                .collect()
+                .expect("query")
+        };
+        let oracle = || scan_filter(&db, &version, "page", &bound, None);
+        out.push(vec![measure_pushdown("point_v171", reps, &query, &oracle)]);
+    }
+    db.set_snapshot_reuse(true);
+    let warm = out.pop().expect("two passes");
+    let cold = out.pop().expect("two passes");
+    (cold, warm)
+}
+
 /// Timings of one thread-scaling sweep (indices align with `workers`).
 struct ThreadScaling {
     workers: Vec<usize>,
@@ -416,6 +616,27 @@ fn main() {
     println!("   round, warm snapshots:     {round_warm:10.2} ms ({warm_wps:.0} writes/s, {warm_speedup:.1}x)");
     println!("   round, warm + apply_many:  {batched_warm:10.2} ms ({batched_wps:.0} writes/s)");
 
+    let wiki_scale = env_f64("INVERDA_WIKI_SCALE", 0.1);
+    println!("-- query pushdown (TasKy {tasks} tasks; Wikimedia scale {wiki_scale})");
+    let (tasky_qp_cold, tasky_qp_warm) = bench_query_pushdown_tasky(tasks, reps);
+    let (wiki_qp_cold, wiki_qp_warm) = bench_query_pushdown_wiki(wiki_scale, reps.min(3));
+    let print_entries = |tag: &str, entries: &[PushdownEntry]| {
+        for e in entries {
+            println!(
+                "   {tag:>12} {:<10} scan+filter {:>10.2} ms | pushdown {:>10.2} ms | {:>7.1}x ({} rows)",
+                e.label,
+                e.scan_filter_ms,
+                e.pushdown_ms,
+                e.speedup(),
+                e.rows
+            );
+        }
+    };
+    print_entries("tasky/cold", &tasky_qp_cold);
+    print_entries("tasky/warm", &tasky_qp_warm);
+    print_entries("wiki/cold", &wiki_qp_cold);
+    print_entries("wiki/warm", &wiki_qp_warm);
+
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -457,6 +678,18 @@ fn main() {
     let staged_mat_list = fmt_list(&scaling.staged_mat_ms);
     let fk_round_list = fmt_list(&scaling.fk_round_ms);
 
+    let join_entries = |entries: &[PushdownEntry]| {
+        entries
+            .iter()
+            .map(PushdownEntry::json)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let tasky_qp_cold_json = join_entries(&tasky_qp_cold);
+    let tasky_qp_warm_json = join_entries(&tasky_qp_warm);
+    let wiki_qp_cold_json = join_entries(&wiki_qp_cold);
+    let wiki_qp_warm_json = join_entries(&wiki_qp_warm);
+
     let json = format!(
         r#"{{
   "bench": "eval",
@@ -484,6 +717,17 @@ fn main() {
     "speedup_over_cold": {warm_speedup:.2},
     "apply_many_ms": {batched_warm:.3},
     "apply_many_writes_per_s": {batched_wps:.0}
+  }},
+  "query_pushdown": {{
+    "tasky": {{
+      "cold": {{ {tasky_qp_cold_json} }},
+      "warm": {{ {tasky_qp_warm_json} }}
+    }},
+    "wikimedia": {{
+      "scale": {wiki_scale},
+      "cold": {{ {wiki_qp_cold_json} }},
+      "warm": {{ {wiki_qp_warm_json} }}
+    }}
   }},
   "thread_scaling": {{
     "available_parallelism": {avail},

@@ -265,32 +265,40 @@ impl Inverda {
         Ok(state.genealogy.table_version(tv).columns.clone())
     }
 
+    /// Start building a read query against `version.table` — the logical
+    /// query layer with predicate/projection/limit pushdown through version
+    /// resolution (see [`crate::query`]). Name resolution and column
+    /// validation happen when a terminal method executes the query.
+    pub fn query(&self, version: &str, table: &str) -> crate::query::Query<'_> {
+        crate::query::Query::new(self, version, table)
+    }
+
     /// Read the full state of `version.table` — every schema version acts
     /// like a full-fledged single-schema database, wherever the data lives.
+    /// A thin wrapper over the query layer's unrestricted plan, which hands
+    /// back the resolved snapshot without copying.
     pub fn scan(&self, version: &str, table: &str) -> Result<Arc<Relation>> {
-        let state = self.state.read();
-        let tv = state.genealogy.resolve(version, table)?;
-        let rel = state.genealogy.table_version(tv).rel.clone();
-        let ids = self.id_source();
-        let edb = self.edb(&state, &ids);
-        use inverda_datalog::eval::EdbView;
-        Ok(edb.full(&rel)?)
+        self.query(version, table).collect_shared()
     }
 
-    /// Point lookup by tuple identifier.
+    /// Point lookup by tuple identifier — the query layer's key-seek path,
+    /// which pushes the key through the defining mappings instead of
+    /// materializing the relation.
     pub fn get(&self, version: &str, table: &str, key: Key) -> Result<Option<Row>> {
-        let state = self.state.read();
-        let tv = state.genealogy.resolve(version, table)?;
-        let rel = state.genealogy.table_version(tv).rel.clone();
-        let ids = self.id_source();
-        let edb = self.edb(&state, &ids);
-        use inverda_datalog::eval::EdbView;
-        Ok(edb.by_key(&rel, key)?)
+        self.query(version, table).with_key(key).row()
     }
 
-    /// Number of rows visible in `version.table`.
+    /// Number of rows visible in `version.table`, via the query layer: a
+    /// warm count is O(1) off the snapshot store and a cold count never
+    /// clones rows.
     pub fn count(&self, version: &str, table: &str) -> Result<usize> {
-        Ok(self.scan(version, table)?.len())
+        self.query(version, table).count()
+    }
+
+    /// Whether `version.table` has any visible row (O(1) warm; never clones
+    /// rows).
+    pub fn exists(&self, version: &str, table: &str) -> Result<bool> {
+        self.query(version, table).exists()
     }
 
     /// Switch the write-propagation implementation (ablation control).

@@ -29,10 +29,15 @@ use crate::Result;
 use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase, TableVersionId};
 use inverda_datalog::eval::{evaluate_compiled, EdbView, Evaluator, IdSource};
 use inverda_datalog::{CompiledRuleSet, DatalogError, Literal, RuleSet};
-use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row, Storage};
+use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row, Storage, Value};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// One relation's seeded-probe memo: `column → probe value → rows`. Two
+/// levels so lookups probe with a **borrowed** value (no allocation on the
+/// hit or miss path).
+type ColumnRows = HashMap<usize, HashMap<Value, Vec<(Key, Row)>>>;
 
 /// Read view over the whole versioned database under one materialization
 /// schema. Caches resolved relations, key lookups, and join indexes for the
@@ -64,6 +69,19 @@ pub struct VersionedEdb<'a> {
     /// Two-level `rel → key → row` cache: lookups are by `&str`, so the hot
     /// path allocates nothing.
     key_cache: Mutex<HashMap<String, HashMap<Key, Option<Row>>>>,
+    /// Per-relation memo of [`pushable_cold`](VersionedEdb::pushable_cold):
+    /// the check walks the whole resolution closure, and a seeded probe
+    /// re-asks it at every recursion level of an N-hop chain. Pushability
+    /// only ever *improves* as this statement's caches warm (a mint-free
+    /// closure stays mint-free), so a memoized verdict can be conservative
+    /// but never wrong.
+    push_cache: Mutex<HashMap<String, bool>>,
+    /// `rel → column → probe value → rows` memo for seeded pushdown.
+    /// Load-bearing, not just a nicety: the rules of one γ mapping (and
+    /// every recursion level above) probe the same lower relation with the
+    /// same binding, so without the memo an N-hop chain whose mappings have
+    /// k rules fans out into k^N recursive probes.
+    col_cache: Mutex<HashMap<String, ColumnRows>>,
     /// Secondary join indexes per `(rel, column)`, shared with every
     /// evaluator that probes through this view.
     index_cache: IndexCache,
@@ -112,6 +130,8 @@ impl<'a> VersionedEdb<'a> {
             cache: Mutex::new(BTreeMap::new()),
             seen_epochs: Mutex::new(HashMap::new()),
             key_cache: Mutex::new(HashMap::new()),
+            push_cache: Mutex::new(HashMap::new()),
+            col_cache: Mutex::new(HashMap::new()),
             index_cache: IndexCache::new(),
         }
     }
@@ -146,6 +166,17 @@ impl<'a> VersionedEdb<'a> {
         }
     }
 
+    /// The mapping direction and rule set that derive an aux table's side:
+    /// γ_tgt for target-side aux, γ_src for source-side.
+    fn aux_rules(&self, smo: inverda_catalog::SmoId, tgt_side: bool) -> (Direction, &'a RuleSet) {
+        let inst = self.genealogy.smo(smo);
+        if tgt_side {
+            (Direction::ToTgt, &inst.derived.to_tgt)
+        } else {
+            (Direction::ToSrc, &inst.derived.to_src)
+        }
+    }
+
     /// The rule set whose evaluation materializes `relation` (a virtual
     /// table version or a virtual aux table), if any.
     fn resolving_rules(&self, relation: &str) -> Option<&'a RuleSet> {
@@ -153,12 +184,7 @@ impl<'a> VersionedEdb<'a> {
             return self.defining_rules(*tv).map(|(_, _, rules)| rules);
         }
         if let Some((smo, tgt_side)) = self.aux_index.get(relation).copied() {
-            let inst = self.genealogy.smo(smo);
-            return Some(if tgt_side {
-                &inst.derived.to_tgt
-            } else {
-                &inst.derived.to_src
-            });
+            return Some(self.aux_rules(smo, tgt_side).1);
         }
         None
     }
@@ -374,16 +400,74 @@ impl<'a> VersionedEdb<'a> {
         tgt_side: bool,
         stamp: Option<&BTreeMap<String, u64>>,
     ) -> Result<Arc<Relation>> {
-        let inst = self.genealogy.smo(smo);
-        let (direction, rules) = if tgt_side {
-            (Direction::ToTgt, &inst.derived.to_tgt)
-        } else {
-            (Direction::ToSrc, &inst.derived.to_src)
-        };
+        let (direction, rules) = self.aux_rules(smo, tgt_side);
         let crs = self
             .compiled_rules(smo, direction, rules)
             .map_err(crate::CoreError::from)?;
         self.resolve_with(relation, &crs, stamp)
+    }
+
+    /// The compiled defining rule set of a virtual relation (table version
+    /// or aux table), if it has one.
+    fn defining_compiled(
+        &self,
+        relation: &str,
+    ) -> Option<inverda_datalog::Result<Arc<CompiledRuleSet>>> {
+        if let Some(tv) = self.rel_index.get(relation).copied() {
+            let (smo, direction, rules) = self.defining_rules(tv)?;
+            return Some(self.compiled_rules(smo, direction, rules));
+        }
+        if let Some((smo, tgt_side)) = self.aux_index.get(relation).copied() {
+            let (direction, rules) = self.aux_rules(smo, tgt_side);
+            return Some(self.compiled_rules(smo, direction, rules));
+        }
+        None
+    }
+
+    /// The relation's state **without forcing a cold resolution**: served
+    /// from the statement cache, physical storage, or a valid snapshot-store
+    /// entry. `None` means only a cold evaluation could answer — the query
+    /// planner then chooses between seeded pushdown and a full scan.
+    pub fn peek_resolved(&self, relation: &str) -> inverda_datalog::Result<Option<Arc<Relation>>> {
+        if let Some(hit) = self.cache.lock().get(relation) {
+            return Ok(Some(Arc::clone(hit)));
+        }
+        if self.storage.has_table(relation) {
+            return self.physical_full(relation).map(Some);
+        }
+        if let Some(store) = self.snapshots {
+            if let Some(hit) = store.get(relation, self.storage) {
+                self.cache
+                    .lock()
+                    .insert(relation.to_string(), Arc::clone(&hit));
+                return Ok(Some(hit));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether a **cold** read of `relation` can be answered by column-seeded
+    /// evaluation instead of materializing: defining rules exist, are not
+    /// staged (staged sets consume their own intermediate heads, which are
+    /// not resolvable relations), and nothing in the resolution closure
+    /// could mint skolem ids cold (seeded evaluation explores only matching
+    /// bindings, so letting it mint would assign ids in a different order
+    /// than the canonical full resolution — see
+    /// [`Evaluator::head_rows_by_column`]).
+    pub fn pushable_cold(&self, relation: &str) -> bool {
+        if let Some(&hit) = self.push_cache.lock().get(relation) {
+            return hit;
+        }
+        let pushable = match self.defining_compiled(relation) {
+            Some(Ok(crs)) => {
+                !crs.staged() && !self.resolution_may_mint_cold(relation, &mut BTreeSet::new())
+            }
+            _ => false,
+        };
+        self.push_cache
+            .lock()
+            .insert(relation.to_string(), pushable);
+        pushable
     }
 
     /// Serve a physical table: O(1) shared snapshot, with the epoch recorded
@@ -448,22 +532,11 @@ impl EdbView for VersionedEdb<'_> {
     }
 
     fn full(&self, relation: &str) -> inverda_datalog::Result<Arc<Relation>> {
-        if let Some(hit) = self.cache.lock().get(relation) {
-            return Ok(Arc::clone(hit));
-        }
-        // Physical tables (data tables in P, aux tables, shared aux).
-        if self.storage.has_table(relation) {
-            return self.physical_full(relation);
-        }
-        // Warm path: a stored snapshot whose footprint is at its stamped
-        // epochs is byte-identical to what cold resolution would produce.
-        if let Some(store) = self.snapshots {
-            if let Some(hit) = store.get(relation, self.storage) {
-                self.cache
-                    .lock()
-                    .insert(relation.to_string(), Arc::clone(&hit));
-                return Ok(hit);
-            }
+        // Statement cache, physical tables, and warm snapshot-store entries
+        // (byte-identical to what cold resolution would produce) — one
+        // shared implementation with the query planner's probe.
+        if let Some(hit) = self.peek_resolved(relation)? {
+            return Ok(hit);
         }
         // Cold path: stamp the footprint, then resolve.
         let stamp = self.snapshots.map(|_| self.stamped_footprint(relation));
@@ -543,6 +616,60 @@ impl EdbView for VersionedEdb<'_> {
 
     fn contains(&self, relation: &str) -> bool {
         self.storage.has_table(relation) || self.rel_index.contains_key(relation)
+    }
+
+    /// Column-equality rows, with **predicate pushdown through the γ
+    /// mappings**: a relation that is already materialized (statement
+    /// cache, physical table, warm snapshot) answers with an index probe
+    /// over its snapshot; a cold virtual relation whose resolution is
+    /// non-staged and provably mint-free pushes the binding into its
+    /// defining rule set via column-seeded evaluation — whose depth-0
+    /// candidate fetch calls `by_column` again one mapping closer to the
+    /// data, so the predicate recurses down the whole chain touching only
+    /// matching rows. Everything else (staged mappings, possibly-minting
+    /// closures) materializes first, preserving the canonical resolution
+    /// and minting order, then probes.
+    fn by_column(
+        &self,
+        relation: &str,
+        column: usize,
+        value: &Value,
+    ) -> inverda_datalog::Result<Vec<(Key, Row)>> {
+        if let Some(hit) = self
+            .col_cache
+            .lock()
+            .get(relation)
+            .and_then(|m| m.get(&column))
+            .and_then(|m| m.get(value))
+        {
+            return Ok(hit.clone());
+        }
+        let resolved = match self.peek_resolved(relation)? {
+            Some(rel) => Some(rel),
+            None if !self.pushable_cold(relation) => Some(self.full(relation)?),
+            None => None,
+        };
+        let rows = if let Some(rel) = resolved {
+            if column >= rel.schema().arity() {
+                Vec::new()
+            } else {
+                self.index(relation, column)?.rows_for(&rel, value)
+            }
+        } else {
+            let crs = self
+                .defining_compiled(relation)
+                .expect("pushable implies defining rules")?;
+            let mut ev = Evaluator::new(self, self.ids);
+            ev.head_rows_by_column(&crs, relation, column, value)?
+        };
+        self.col_cache
+            .lock()
+            .entry(relation.to_string())
+            .or_default()
+            .entry(column)
+            .or_default()
+            .insert(value.clone(), rows.clone());
+        Ok(rows)
     }
 
     fn index(&self, relation: &str, column: usize) -> inverda_datalog::Result<Arc<ColumnIndex>> {

@@ -46,12 +46,14 @@ pub mod database;
 pub mod edb;
 pub mod error;
 pub mod migrate;
+pub mod query;
 pub mod snapshot;
 pub mod write;
 
 pub use database::{ExecutionOutcome, Inverda, WritePath};
 pub use error::CoreError;
 pub use inverda_datalog::parallel::{set_threads, threads};
+pub use query::{AccessPath, Query, QueryPlan, RowIter};
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use write::LogicalWrite;
 

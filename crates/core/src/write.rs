@@ -43,10 +43,11 @@ use crate::snapshot::SnapshotMaintenance;
 use crate::Result;
 use inverda_catalog::{SmoId, StorageCase, TableVersionId};
 use inverda_datalog::delta::{
-    propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap, PatchedEdb,
+    patch_delta_map, propagate_by_recompute_compiled, propagate_compiled, Delta, DeltaMap,
+    PatchedEdb,
 };
 use inverda_datalog::eval::{evaluate_compiled, EdbView as _, ReservingIds, NO_MINT_IDS};
-use inverda_datalog::skolem::{self, PlaceholderPatch};
+use inverda_datalog::skolem;
 use inverda_storage::{Key, Relation, Row, TableSchema, Value, WriteBatch};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -1135,33 +1136,6 @@ impl Inverda {
             }
         }
     }
-}
-
-/// Rewrite a hop's committed reservation patch through its head deltas:
-/// placeholder keys and payload cells become the minted ids. A no-op (and
-/// allocation-free) when nothing was reserved.
-fn patch_delta_map(deltas: DeltaMap, patch: &PlaceholderPatch) -> DeltaMap {
-    if patch.is_empty() {
-        return deltas;
-    }
-    deltas
-        .into_iter()
-        .map(|(rel, delta)| {
-            let resolve = |side: std::collections::BTreeMap<Key, Row>| {
-                side.into_iter()
-                    .map(|(key, mut row)| {
-                        patch.resolve_row(&mut row);
-                        (Key(patch.resolve_id(key.0)), row)
-                    })
-                    .collect()
-            };
-            let patched = Delta {
-                deletes: resolve(delta.deletes),
-                inserts: resolve(delta.inserts),
-            };
-            (rel, patched)
-        })
-        .collect()
 }
 
 /// Turn a delta into physical write ops (tolerant: propagation is exact,

@@ -21,7 +21,8 @@
 
 use crate::ast::RuleSet;
 use crate::error::DatalogError;
-use crate::eval::{evaluate_compiled, CompiledRuleSet, EdbView, Evaluator, IdSource};
+use crate::eval::{evaluate_compiled, CompiledRuleSet, EdbView, Evaluator, IdSource, ReservingIds};
+use crate::skolem::{self, PlaceholderPatch};
 use crate::Result;
 use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row};
 use parking_lot::Mutex;
@@ -212,8 +213,7 @@ pub fn propagate(
 
 /// Propagate input deltas through a pre-compiled rule set.
 ///
-/// When the configured width exceeds 1, the rule set is
-/// [`CompiledRuleSet::parallel_safe`], and the batch is large enough, the
+/// When the configured width exceeds 1 and the batch is large enough, the
 /// probe and re-derivation phases fan out over the shared pool: probes are
 /// independent pure joins whose candidate sets merge by set-union
 /// (order-independent), and per-key re-derivations are independent point
@@ -221,6 +221,17 @@ pub fn propagate(
 /// a sequential run at any width. Small writes (the common OLTP statement)
 /// stay sequential; fan-out pays off on bulk loads and whole-relation
 /// migrations.
+///
+/// **Minting rule sets participate** (the PR-4 "probe fan-out" leftover):
+/// a non-staged set that binds variables through skolem generators runs its
+/// whole propagation — sequential or fanned out — under an evaluation-scope
+/// [`ReservingIds`]. Probe and re-derivation workers reserve placeholders
+/// in chunk-local arenas which the merge absorbs in canonical job order
+/// (old phase, then rule, literal, tuple chunk; re-derivations in
+/// new-then-old pass and key order — exactly the sequential exploration
+/// order), and a final commit mints real ids in that order and patches them
+/// through the returned deltas via [`patch_delta_map`]. Staged sets (which
+/// consume their own heads) still take the recompute fallback.
 pub fn propagate_compiled(
     crs: &CompiledRuleSet,
     base: &dyn EdbView,
@@ -231,7 +242,29 @@ pub fn propagate_compiled(
     if crs.staged() {
         return propagate_by_recompute_compiled(crs, base, input_delta, ids, head_columns);
     }
+    if !crs.mints_ids() {
+        return propagate_unstaged(crs, base, input_delta, ids, None);
+    }
+    // Mint-capable: reserve-then-commit, so the parallel phases never touch
+    // the shared registry and the sequential commit epilogue reproduces the
+    // width-1 minting order bit for bit.
+    let reserving = ReservingIds::new(ids, skolem::SCOPE_EVAL);
+    let out = propagate_unstaged(crs, base, input_delta, &reserving, Some(&reserving))?;
+    let patch = reserving.commit();
+    Ok(patch_delta_map(out, &patch))
+}
 
+/// The shared body of [`propagate_compiled`] for non-staged rule sets.
+/// `scope` is the evaluation-scope reservation arena when the set can mint
+/// (workers then reserve into chunk-local arenas absorbed in job order);
+/// `None` for mint-free sets, whose workers run on [`NO_MINT_IDS`].
+fn propagate_unstaged(
+    crs: &CompiledRuleSet,
+    base: &dyn EdbView,
+    input_delta: &DeltaMap,
+    ids: &dyn IdSource,
+    scope: Option<&ReservingIds<'_>>,
+) -> Result<DeltaMap> {
     let patched = PatchedEdb::new(base, input_delta);
     let probe_work: usize = input_delta
         .values()
@@ -239,7 +272,6 @@ pub fn propagate_compiled(
         .sum();
     // Preparing the patched view also prepares (and pre-resolves) the base.
     let par = crate::parallel::threads() > 1
-        && crs.parallel_safe()
         && probe_work >= PAR_MIN_WORK
         && patched
             .prepare_parallel(&crs.body_relations())
@@ -251,7 +283,7 @@ pub fn propagate_compiled(
     // deletions at negative literals.
     let mut candidates: BTreeMap<String, BTreeSet<Key>> = BTreeMap::new();
     if par {
-        probe_rules_parallel(crs, base, &patched, input_delta, &mut candidates)?;
+        probe_rules_parallel(crs, base, &patched, input_delta, scope, &mut candidates)?;
     } else {
         let old_ev = Evaluator::new(base, ids);
         probe_rules(crs, &old_ev, input_delta, ProbeState::Old, &mut candidates)?;
@@ -262,7 +294,7 @@ pub fn propagate_compiled(
     // ---- Phase 3: resolve candidates exactly in both states.
     let n_candidates: usize = candidates.values().map(BTreeSet::len).sum();
     let (new_rows, old_rows) = if par && n_candidates >= PAR_MIN_WORK {
-        resolve_candidates_parallel(crs, base, &patched, &candidates)?
+        resolve_candidates_parallel(crs, base, &patched, &candidates, scope)?
     } else {
         let mut new_rows: BTreeMap<(String, Key), Option<Row>> = BTreeMap::new();
         {
@@ -364,6 +396,35 @@ pub fn propagate_by_recompute_compiled(
     Ok(out)
 }
 
+/// Rewrite a committed reservation patch through a delta map: placeholder
+/// keys and payload cells become the minted ids. A no-op (and
+/// allocation-free) when nothing was reserved. Shared by
+/// [`propagate_compiled`]'s commit epilogue and the write path's hop-scope
+/// commits (`inverda-core`), so both patch emitted deltas identically.
+pub fn patch_delta_map(deltas: DeltaMap, patch: &PlaceholderPatch) -> DeltaMap {
+    if patch.is_empty() {
+        return deltas;
+    }
+    deltas
+        .into_iter()
+        .map(|(rel, delta)| {
+            let resolve = |side: BTreeMap<Key, Row>| {
+                side.into_iter()
+                    .map(|(key, mut row)| {
+                        patch.resolve_row(&mut row);
+                        (Key(patch.resolve_id(key.0)), row)
+                    })
+                    .collect()
+            };
+            let patched = Delta {
+                deletes: resolve(delta.deletes),
+                inserts: resolve(delta.inserts),
+            };
+            (rel, patched)
+        })
+        .collect()
+}
+
 /// Below this many probe tuples / candidate keys a write stays sequential:
 /// single-statement OLTP deltas are too small to amortize a fan-out.
 const PAR_MIN_WORK: usize = 64;
@@ -378,12 +439,17 @@ enum ProbeState {
 /// independent pure join; fragments are candidate-key sets merged by union,
 /// which is order-independent — errors are reported in canonical job order
 /// (old phase first, then rule, literal, tuple), matching the sequential
-/// scan.
+/// scan. With a reservation `scope` (minting rule sets), each job reserves
+/// into its own chunk arena; the merge absorbs arenas in job order — the
+/// sequential reservation order — and translates the job's candidate keys
+/// through the resulting patch, so a skolem-bound head key names the same
+/// reservation no matter which worker found it.
 fn probe_rules_parallel(
     crs: &CompiledRuleSet,
     base: &dyn EdbView,
     patched: &PatchedEdb<'_>,
     input_delta: &DeltaMap,
+    scope: Option<&ReservingIds<'_>>,
     candidates: &mut BTreeMap<String, BTreeSet<Key>>,
 ) -> Result<()> {
     struct Job {
@@ -434,22 +500,38 @@ fn probe_rules_parallel(
             }
         }
     }
-    let results: Vec<Result<BTreeSet<Key>>> = crate::parallel::map_indexed(jobs.len(), |ji| {
+    type ProbeFragment = (BTreeSet<Key>, Option<crate::skolem::ReservationArena>);
+    let results: Vec<Result<ProbeFragment>> = crate::parallel::map_indexed(jobs.len(), |ji| {
         let job = &jobs[ji];
+        let chunk_ids = scope.map(|s| ReservingIds::new(s, skolem::SCOPE_CHUNK));
+        let worker_ids: &dyn IdSource = match &chunk_ids {
+            Some(c) => c,
+            None => &crate::eval::NO_MINT_IDS,
+        };
         let ev = if job.new_state {
-            Evaluator::new(patched, &crate::eval::NO_MINT_IDS)
+            Evaluator::new(patched, worker_ids)
         } else {
-            Evaluator::new(base, &crate::eval::NO_MINT_IDS)
+            Evaluator::new(base, worker_ids)
         };
         let mut keys = BTreeSet::new();
         for (key, row) in &job.tuples[job.range.0..job.range.1] {
             ev.probe_head_keys(crs, job.rule_idx, job.lit_idx, *key, row, &mut keys)?;
         }
-        Ok(keys)
+        Ok((keys, chunk_ids.map(ReservingIds::into_arena)))
     });
     for (job, result) in jobs.iter().zip(results) {
+        let (keys, arena) = result?;
+        let keys = match (scope, arena) {
+            (Some(scope), Some(arena)) => {
+                let translation = scope.absorb(arena);
+                keys.into_iter()
+                    .map(|k| Key(translation.resolve_id(k.0)))
+                    .collect()
+            }
+            _ => keys,
+        };
         let head = &crs.rules[job.rule_idx].head.relation;
-        candidates.entry(head.clone()).or_default().extend(result?);
+        candidates.entry(head.clone()).or_default().extend(keys);
     }
     candidates.retain(|_, keys| !keys.is_empty());
     Ok(())
@@ -458,13 +540,17 @@ fn probe_rules_parallel(
 /// Parallel phase 3: re-derive every candidate key in both states on the
 /// pool, merging fragments by key. Each chunk gets its own evaluator (and
 /// memo); derivations are independent point evaluations, so the merged maps
-/// equal the sequential ones exactly.
+/// equal the sequential ones exactly. With a reservation `scope`, chunk
+/// workers reserve into their own arenas, absorbed in pass-then-range order
+/// (the sequential exploration order) with the derived rows translated
+/// through each absorption's patch.
 #[allow(clippy::type_complexity)]
 fn resolve_candidates_parallel(
     crs: &CompiledRuleSet,
     base: &dyn EdbView,
     patched: &PatchedEdb<'_>,
     candidates: &BTreeMap<String, BTreeSet<Key>>,
+    scope: Option<&ReservingIds<'_>>,
 ) -> Result<(
     BTreeMap<(String, Key), Option<Row>>,
     BTreeMap<(String, Key), Option<Row>>,
@@ -478,22 +564,37 @@ fn resolve_candidates_parallel(
     // The new-state pass runs first, like the sequential code.
     let mut maps: Vec<BTreeMap<(String, Key), Option<Row>>> = Vec::new();
     for new_state in [true, false] {
-        let results: Vec<Result<Vec<Option<Row>>>> =
+        type ResolveFragment = (Vec<Option<Row>>, Option<crate::skolem::ReservationArena>);
+        let results: Vec<Result<ResolveFragment>> =
             crate::parallel::map_indexed(ranges.len(), |ci| {
                 let (start, end) = ranges[ci];
-                let mut ev = if new_state {
-                    Evaluator::new(patched, &crate::eval::NO_MINT_IDS)
-                } else {
-                    Evaluator::new(base, &crate::eval::NO_MINT_IDS)
+                let chunk_ids = scope.map(|s| ReservingIds::new(s, skolem::SCOPE_CHUNK));
+                let worker_ids: &dyn IdSource = match &chunk_ids {
+                    Some(c) => c,
+                    None => &crate::eval::NO_MINT_IDS,
                 };
-                pairs[start..end]
+                let mut ev = if new_state {
+                    Evaluator::new(patched, worker_ids)
+                } else {
+                    Evaluator::new(base, worker_ids)
+                };
+                let rows = pairs[start..end]
                     .iter()
                     .map(|(head, key)| ev.head_row_for_key(crs, head, *key))
-                    .collect()
+                    .collect::<Result<Vec<Option<Row>>>>()?;
+                Ok((rows, chunk_ids.map(ReservingIds::into_arena)))
             });
         let mut merged = BTreeMap::new();
         for ((start, end), result) in ranges.iter().zip(results) {
-            for ((head, key), row) in pairs[*start..*end].iter().zip(result?) {
+            let (rows, arena) = result?;
+            let translation = match (scope, arena) {
+                (Some(scope), Some(arena)) => Some(scope.absorb(arena)),
+                _ => None,
+            };
+            for ((head, key), mut row) in pairs[*start..*end].iter().zip(rows) {
+                if let (Some(tr), Some(row)) = (&translation, row.as_mut()) {
+                    tr.resolve_row(row);
+                }
                 merged.insert(((*head).to_string(), *key), row);
             }
         }

@@ -373,6 +373,117 @@ impl fmt::Display for Expr {
     }
 }
 
+/// An expression with column references resolved to row **positions** — the
+/// per-row form the query layer evaluates residual predicates in.
+///
+/// [`BoundExpr::bind`] resolves every [`Expr::Column`] against a schema's
+/// column list once; evaluation then borrows the row: column references and
+/// literals are served as `Cow::Borrowed`, so filtering a relation allocates
+/// only for *computed* sub-expressions (arithmetic, function calls), never
+/// for the common `col <op> literal` shape. Semantics are identical to
+/// [`Expr::eval`] over a [`NamedRow`] of the same schema — both go through
+/// the same comparison/arithmetic/function helpers — except that an unknown
+/// column is reported at bind time instead of per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Reference to a row position.
+    Column(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(Box<BoundExpr>, CmpOp, Box<BoundExpr>),
+    /// Binary arithmetic / concat.
+    Binary(Box<BoundExpr>, BinaryOp, Box<BoundExpr>),
+    /// Logical conjunction.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical disjunction.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical negation.
+    Not(Box<BoundExpr>),
+    /// `IS NULL` test.
+    IsNull(Box<BoundExpr>),
+    /// Built-in scalar function call.
+    Call(String, Vec<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Resolve `expr`'s column references against `columns`. `table` only
+    /// labels the error for unknown columns.
+    pub fn bind(expr: &Expr, table: &str, columns: &[String]) -> Result<BoundExpr> {
+        Ok(match expr {
+            Expr::Column(c) => BoundExpr::Column(crate::schema::resolve_column(table, columns, c)?),
+            Expr::Lit(v) => BoundExpr::Lit(v.clone()),
+            Expr::Cmp(a, op, b) => BoundExpr::Cmp(
+                Box::new(BoundExpr::bind(a, table, columns)?),
+                *op,
+                Box::new(BoundExpr::bind(b, table, columns)?),
+            ),
+            Expr::Binary(a, op, b) => BoundExpr::Binary(
+                Box::new(BoundExpr::bind(a, table, columns)?),
+                *op,
+                Box::new(BoundExpr::bind(b, table, columns)?),
+            ),
+            Expr::And(a, b) => BoundExpr::And(
+                Box::new(BoundExpr::bind(a, table, columns)?),
+                Box::new(BoundExpr::bind(b, table, columns)?),
+            ),
+            Expr::Or(a, b) => BoundExpr::Or(
+                Box::new(BoundExpr::bind(a, table, columns)?),
+                Box::new(BoundExpr::bind(b, table, columns)?),
+            ),
+            Expr::Not(a) => BoundExpr::Not(Box::new(BoundExpr::bind(a, table, columns)?)),
+            Expr::IsNull(a) => BoundExpr::IsNull(Box::new(BoundExpr::bind(a, table, columns)?)),
+            Expr::Call(name, args) => BoundExpr::Call(
+                name.clone(),
+                args.iter()
+                    .map(|a| BoundExpr::bind(a, table, columns))
+                    .collect::<Result<_>>()?,
+            ),
+        })
+    }
+
+    /// Evaluate against a borrowed row. Column references and literals come
+    /// back borrowed; only computed sub-expressions allocate.
+    pub fn eval<'a>(&'a self, row: &'a [Value]) -> Result<std::borrow::Cow<'a, Value>> {
+        use std::borrow::Cow;
+        match self {
+            BoundExpr::Column(i) => row
+                .get(*i)
+                .map(Cow::Borrowed)
+                .ok_or_else(|| StorageError::expr(format!("row too short for bound column {i}"))),
+            BoundExpr::Lit(v) => Ok(Cow::Borrowed(v)),
+            BoundExpr::Cmp(a, op, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                Ok(Cow::Owned(Value::Bool(op.apply(&va, &vb))))
+            }
+            BoundExpr::Binary(a, op, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                eval_binary(*op, &va, &vb).map(Cow::Owned)
+            }
+            BoundExpr::And(a, b) => Ok(Cow::Owned(Value::Bool(
+                a.eval(row)?.is_truthy() && b.eval(row)?.is_truthy(),
+            ))),
+            BoundExpr::Or(a, b) => Ok(Cow::Owned(Value::Bool(
+                a.eval(row)?.is_truthy() || b.eval(row)?.is_truthy(),
+            ))),
+            BoundExpr::Not(a) => Ok(Cow::Owned(Value::Bool(!a.eval(row)?.is_truthy()))),
+            BoundExpr::IsNull(a) => Ok(Cow::Owned(Value::Bool(a.eval(row)?.is_null()))),
+            BoundExpr::Call(name, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|e| e.eval(row).map(Cow::into_owned))
+                    .collect::<Result<_>>()?;
+                eval_call(name, &vals).map(Cow::Owned)
+            }
+        }
+    }
+
+    /// Evaluate as a boolean condition over a borrowed row.
+    pub fn matches(&self, row: &[Value]) -> Result<bool> {
+        Ok(self.eval(row)?.is_truthy())
+    }
+}
+
 /// Binds column names to values during expression evaluation.
 pub trait RowContext {
     /// The value bound to `column`, if any.
@@ -526,6 +637,61 @@ mod tests {
     fn unbound_column_is_an_error() {
         let e = Expr::col("missing");
         assert!(e.eval(&ctx(&[])).is_err());
+    }
+
+    #[test]
+    fn bound_expr_agrees_with_named_row_eval() {
+        let columns = vec!["a".to_string(), "b".to_string(), "t".to_string()];
+        let exprs = [
+            Expr::col("a").eq(Expr::lit(1)),
+            Expr::col("a").lt(Expr::col("b")),
+            Expr::col("b")
+                .ge(Expr::lit(2))
+                .and(Expr::col("t").ne(Expr::lit("x"))),
+            Expr::IsNull(Box::new(Expr::col("t"))),
+            Expr::Binary(
+                Box::new(Expr::col("a")),
+                BinaryOp::Add,
+                Box::new(Expr::col("b")),
+            )
+            .gt(Expr::lit(2)),
+            Expr::Call("length".into(), vec![Expr::col("t")]).eq(Expr::lit(1)),
+        ];
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Int(2), Value::text("x")],
+            vec![Value::Int(3), Value::Float(3.0), Value::text("yy")],
+            vec![Value::Null, Value::Int(0), Value::Null],
+        ];
+        for e in &exprs {
+            let bound = BoundExpr::bind(e, "T", &columns).unwrap();
+            for row in &rows {
+                let named = NamedRow {
+                    columns: &columns,
+                    row,
+                };
+                assert_eq!(
+                    bound.matches(row).unwrap(),
+                    e.matches(&named).unwrap(),
+                    "expr {e} on {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_expr_reports_unknown_columns_at_bind_time() {
+        let columns = vec!["a".to_string()];
+        let err = BoundExpr::bind(&Expr::col("nope").eq(Expr::lit(1)), "T", &columns).unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn bound_expr_borrows_plain_columns() {
+        use std::borrow::Cow;
+        let columns = vec!["a".to_string()];
+        let bound = BoundExpr::bind(&Expr::col("a"), "T", &columns).unwrap();
+        let row = vec![Value::text("payload")];
+        assert!(matches!(bound.eval(&row).unwrap(), Cow::Borrowed(_)));
     }
 
     #[test]

@@ -33,9 +33,9 @@ pub mod value;
 pub use batch::{WriteBatch, WriteOp};
 pub use engine::{SequenceSet, Storage};
 pub use error::StorageError;
-pub use expr::{BinaryOp, CmpOp, Expr, RowContext};
+pub use expr::{BinaryOp, BoundExpr, CmpOp, Expr, NamedRow, RowContext};
 pub use relation::{ColumnIndex, IndexCache, Relation, Row};
-pub use schema::TableSchema;
+pub use schema::{resolve_column, TableSchema};
 pub use value::{Key, Value};
 
 /// Crate-wide result alias.

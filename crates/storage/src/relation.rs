@@ -264,6 +264,37 @@ impl ColumnIndex {
         self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The keys whose indexed column satisfies `column <op> probe`, in
+    /// ascending key order — the index-backed form of an eq/range predicate.
+    /// Semantics equal a scan evaluating `CmpOp::apply(stored, probe)` row
+    /// by row (the stored value on the left, like `Expr::Cmp(col, op, lit)`);
+    /// cost is O(distinct values + matches) instead of O(rows), with an O(1)
+    /// hash probe for `Eq`.
+    pub fn keys_where(&self, op: crate::expr::CmpOp, probe: &Value) -> Vec<Key> {
+        if matches!(op, crate::expr::CmpOp::Eq) {
+            return self.keys_for(probe).to_vec();
+        }
+        let mut out: Vec<Key> = self
+            .map
+            .iter()
+            .filter(|(v, _)| op.apply(v, probe))
+            .flat_map(|(_, keys)| keys.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The `(key, row)` pairs of `rel` whose indexed column equals `value`,
+    /// in ascending key order — the probe-then-fetch step shared by every
+    /// `by_column` implementation (rows are cloned out of the snapshot;
+    /// keys the index knows but the relation no longer holds are skipped).
+    pub fn rows_for(&self, rel: &Relation, value: &Value) -> Vec<(Key, Row)> {
+        self.keys_for(value)
+            .iter()
+            .filter_map(|&k| rel.get(k).map(|row| (k, row.clone())))
+            .collect()
+    }
+
     /// Number of distinct values indexed.
     pub fn distinct_values(&self) -> usize {
         self.map.len()
@@ -535,6 +566,51 @@ mod tests {
         // Numeric int/float equality carries over to index probes.
         let by_b = r.build_column_index(1);
         assert_eq!(by_b.keys_for(&Value::Float(1.0)), &[Key(3), Key(5)]);
+    }
+
+    #[test]
+    fn keys_where_agrees_with_scan_for_every_op() {
+        use crate::expr::CmpOp;
+        let mut r = Relation::with_columns("T", ["n"]);
+        let vals = [
+            Value::Int(1),
+            Value::Int(5),
+            Value::Float(2.5),
+            Value::Int(5),
+            Value::Null,
+            Value::text("x"),
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            r.insert(Key(10 - i as u64), vec![v.clone()]).unwrap();
+        }
+        let idx = r.build_column_index(0);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for probe in [
+                Value::Int(5),
+                Value::Float(2.5),
+                Value::Null,
+                Value::text("x"),
+            ] {
+                let scanned: Vec<Key> = r
+                    .iter()
+                    .filter(|(_, row)| op.apply(&row[0], &probe))
+                    .map(|(k, _)| k)
+                    .collect();
+                assert_eq!(
+                    idx.keys_where(op, &probe),
+                    scanned,
+                    "op {} probe {probe}",
+                    op.sql()
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,20 @@ use crate::error::StorageError;
 use crate::Result;
 use std::fmt;
 
+/// Resolve a column name against a column list, with the standard
+/// [`UnknownColumn`](crate::StorageError::UnknownColumn) error — shared by
+/// bound-expression compilation and the query layer's projection/ordering
+/// resolution, so name lookup and error shape never diverge.
+pub fn resolve_column(table: &str, columns: &[String], name: &str) -> Result<usize> {
+    columns
+        .iter()
+        .position(|col| col == name)
+        .ok_or_else(|| StorageError::UnknownColumn {
+            table: table.to_string(),
+            column: name.to_string(),
+        })
+}
+
 /// Schema of one (physical or virtual) table: its name and column names.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TableSchema {

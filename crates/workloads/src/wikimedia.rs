@@ -19,7 +19,7 @@
 //! paper attributes to "the dominance of add column SMOs" (Figure 12).
 
 use inverda_core::Inverda;
-use inverda_storage::Value;
+use inverda_storage::{Expr, Value};
 
 /// Number of schema versions (the paper's 171).
 pub const VERSIONS: usize = 171;
@@ -201,6 +201,36 @@ pub fn query_version(db: &Inverda, version: usize) -> usize {
     total
 }
 
+/// The title every [`probe_version`] / [`probe_version_scan`] pair looks
+/// for — a page that exists at any load scale.
+pub const PROBE_TITLE_I: usize = 7;
+
+/// A selective per-version point probe issued **through the query API**:
+/// count the pages of `version` whose title equals `Page_7`. On a virtual
+/// version this pushes the equality through the whole ADD/DROP/RENAME
+/// mapping chain (seeded evaluation) instead of materializing it.
+pub fn probe_version(db: &Inverda, version: usize) -> usize {
+    let v = version_name(version);
+    db.query(&v, "page")
+        .filter(Expr::col("title").eq(Expr::lit(format!("Page_{PROBE_TITLE_I}"))))
+        .count()
+        .expect("pushdown probe")
+}
+
+/// The same probe answered by full scan + client-side filter — the shape
+/// every filtered read had before the query layer existed.
+pub fn probe_version_scan(db: &Inverda, version: usize) -> usize {
+    let v = version_name(version);
+    let rel = db.scan(&v, "page").expect("scan");
+    let cols = db.columns_of(&v, "page").expect("columns");
+    let title = cols
+        .iter()
+        .position(|c| c == "title")
+        .expect("title column");
+    let probe = Value::text(format!("Page_{PROBE_TITLE_I}"));
+    rel.iter().filter(|(_, row)| row[title] == probe).count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +289,14 @@ mod tests {
         assert!(at_load > 0);
         for q in QUERY_VERSIONS {
             assert_eq!(query_version(&db, q), at_load, "version {q}");
+        }
+        // The query-API probe must agree with scan+filter on every version
+        // of the chain, cold (first touch after install) and warm.
+        for q in QUERY_VERSIONS {
+            let pushed = probe_version(&db, q);
+            assert_eq!(pushed, probe_version_scan(&db, q), "version {q}");
+            assert_eq!(pushed, 1, "Page_{PROBE_TITLE_I} loaded exactly once");
+            assert_eq!(probe_version(&db, q), pushed, "warm probe, version {q}");
         }
     }
 }

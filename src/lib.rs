@@ -39,5 +39,7 @@ pub use inverda_sqlgen as sqlgen;
 pub use inverda_storage as storage;
 pub use inverda_workloads as workloads;
 
-pub use inverda_core::{CoreError, ExecutionOutcome, Inverda, WritePath};
-pub use inverda_storage::{Key, Relation, Value};
+pub use inverda_core::{
+    AccessPath, CoreError, ExecutionOutcome, Inverda, Query, QueryPlan, RowIter, WritePath,
+};
+pub use inverda_storage::{Expr, Key, Relation, Value};
