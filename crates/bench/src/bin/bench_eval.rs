@@ -138,39 +138,146 @@ fn bench_tasky_round(
     db.set_write_path(path);
     db.set_snapshot_reuse(snapshot_reuse);
     let load = median_time(1, || tasky::load_tasks(&db, tasks));
-    let round = median_time(1, || {
-        let mut keys = Vec::new();
-        for i in 0..writes {
-            if i % 2 == 0 {
-                let k = db
-                    .insert(
-                        "Do!",
-                        "Todo",
-                        vec![
-                            Value::text(format!("author{:03}", i % 200)),
-                            Value::text(format!("bench todo {i}")),
-                        ],
-                    )
-                    .unwrap();
-                keys.push(k);
-            } else if let Some(k) = keys.last().copied() {
-                db.update(
+    let round = median_time(1, || run_write_round(&db, writes));
+    (ms(load), ms(round))
+}
+
+/// The canonical TasKy write round: insert/update pairs through `Do!`,
+/// then delete everything inserted (shared by the cold/warm/durable
+/// rounds so their timings compare like for like).
+fn run_write_round(db: &inverda_core::Inverda, writes: usize) {
+    let mut keys = Vec::new();
+    for i in 0..writes {
+        if i % 2 == 0 {
+            let k = db
+                .insert(
                     "Do!",
                     "Todo",
-                    k,
                     vec![
                         Value::text(format!("author{:03}", i % 200)),
-                        Value::text(format!("edited {i}")),
+                        Value::text(format!("bench todo {i}")),
                     ],
                 )
                 .unwrap();
-            }
+            keys.push(k);
+        } else if let Some(k) = keys.last().copied() {
+            db.update(
+                "Do!",
+                "Todo",
+                k,
+                vec![
+                    Value::text(format!("author{:03}", i % 200)),
+                    Value::text(format!("edited {i}")),
+                ],
+            )
+            .unwrap();
         }
-        for k in keys {
-            db.delete("Do!", "Todo", k).unwrap();
+    }
+    for k in keys {
+        db.delete("Do!", "Todo", k).unwrap();
+    }
+}
+
+/// Durability cost of the write path, and crash-recovery speed.
+struct DurableRound {
+    off_ms: f64,
+    commit_ms: f64,
+    group_ms: f64,
+    recovery_records: usize,
+    recovery_log_bytes: u64,
+    recovery_ms: f64,
+}
+
+/// The warm TasKy write round at the three durability modes — `off` (pure
+/// in-memory), `commit` (fsync per record), `group` (amortized fsync) —
+/// with byte-equality of the final state (scans, skolem registry, key
+/// sequence) asserted across modes before any number is reported; plus
+/// crash-recovery time of [`Inverda::open`] replaying a `records`-record
+/// log.
+///
+/// [`Inverda::open`]: inverda_core::Inverda::open
+fn bench_durable_write_round(
+    tasks: usize,
+    writes: usize,
+    records: usize,
+    reps: usize,
+) -> DurableRound {
+    use inverda_core::{DurabilityMode, DurabilityOptions, Inverda};
+    let root = std::env::temp_dir().join(format!("inverda-bench-durable-{}", std::process::id()));
+    let open_mode = |tag: &str, mode: DurabilityMode| -> (Inverda, std::path::PathBuf) {
+        let dir = root.join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Inverda::open_in(
+            &dir,
+            DurabilityOptions {
+                mode,
+                group_size: 64,
+                checkpoint_every: None,
+            },
+        )
+        .expect("open durable db");
+        for script in [tasky::SCRIPT_TASKY, tasky::SCRIPT_DO, tasky::SCRIPT_TASKY2] {
+            db.execute(script).expect("genealogy");
         }
+        (db, dir)
+    };
+    let state = |db: &Inverda| {
+        format!(
+            "{}{}{}{}{}{}",
+            db.scan("TasKy", "Task").unwrap(),
+            db.scan("Do!", "Todo").unwrap(),
+            db.scan("TasKy2", "Task").unwrap(),
+            db.scan("TasKy2", "Author").unwrap(),
+            db.debug_registry(),
+            db.debug_key_seq(),
+        )
+    };
+    let mut times = Vec::new();
+    let mut baseline: Option<String> = None;
+    for (tag, mode) in [
+        ("off", DurabilityMode::Off),
+        ("commit", DurabilityMode::Commit),
+        ("group", DurabilityMode::Group),
+    ] {
+        let (db, dir) = open_mode(tag, mode);
+        tasky::load_tasks(&db, tasks);
+        let round = median_time(1, || run_write_round(&db, writes));
+        // Durability must not change a byte of the final state.
+        let s = state(&db);
+        match &baseline {
+            None => baseline = Some(s),
+            Some(b) => assert_eq!(b, &s, "durability mode {tag} changed the final state"),
+        }
+        times.push(ms(round));
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    // Recovery from a log of `records` single-insert records.
+    let (db, dir) = open_mode("recovery", DurabilityMode::Group);
+    for i in 0..records {
+        db.insert("TasKy", "Task", tasky::task_row(i))
+            .expect("insert");
+    }
+    db.flush().expect("flush");
+    let recovery_log_bytes = db.wal_len().expect("durable db logs");
+    let expect_count = db.count("TasKy", "Task").unwrap();
+    let expect_seq = db.debug_key_seq();
+    drop(db);
+    let recovery = median_time(reps.min(3), || {
+        let recovered = Inverda::open(&dir).expect("recovery");
+        assert_eq!(recovered.count("TasKy", "Task").unwrap(), expect_count);
+        assert_eq!(recovered.debug_key_seq(), expect_seq);
     });
-    (ms(load), ms(round))
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&root).ok();
+    DurableRound {
+        off_ms: times[0],
+        commit_ms: times[1],
+        group_ms: times[2],
+        recovery_records: records,
+        recovery_log_bytes,
+        recovery_ms: ms(recovery),
+    }
 }
 
 /// The same insert/update/delete shape as [`bench_tasky_round`]'s write
@@ -616,6 +723,27 @@ fn main() {
     println!("   round, warm snapshots:     {round_warm:10.2} ms ({warm_wps:.0} writes/s, {warm_speedup:.1}x)");
     println!("   round, warm + apply_many:  {batched_warm:10.2} ms ({batched_wps:.0} writes/s)");
 
+    let durable_records = env_usize("INVERDA_DURABLE_RECORDS", 10_000);
+    println!("-- durable write round ({tasks} tasks, {writes} writes; recovery from {durable_records} records)");
+    let durable = bench_durable_write_round(tasks, writes, durable_records, reps);
+    let commit_overhead = durable.commit_ms / durable.off_ms.max(f64::EPSILON);
+    let group_overhead = durable.group_ms / durable.off_ms.max(f64::EPSILON);
+    println!("   round, durability off:     {:10.2} ms", durable.off_ms);
+    println!(
+        "   round, per-record commit:  {:10.2} ms ({commit_overhead:.2}x off)",
+        durable.commit_ms
+    );
+    println!(
+        "   round, group commit:       {:10.2} ms ({group_overhead:.2}x off)",
+        durable.group_ms
+    );
+    println!(
+        "   recovery ({} records, {} KiB log): {:10.2} ms",
+        durable.recovery_records,
+        durable.recovery_log_bytes / 1024,
+        durable.recovery_ms
+    );
+
     let wiki_scale = env_f64("INVERDA_WIKI_SCALE", 0.1);
     println!("-- query pushdown (TasKy {tasks} tasks; Wikimedia scale {wiki_scale})");
     let (tasky_qp_cold, tasky_qp_warm) = bench_query_pushdown_tasky(tasks, reps);
@@ -690,6 +818,14 @@ fn main() {
     let wiki_qp_cold_json = join_entries(&wiki_qp_cold);
     let wiki_qp_warm_json = join_entries(&wiki_qp_warm);
 
+    let DurableRound {
+        off_ms,
+        commit_ms,
+        group_ms,
+        recovery_records,
+        recovery_log_bytes,
+        recovery_ms,
+    } = durable;
     let json = format!(
         r#"{{
   "bench": "eval",
@@ -717,6 +853,16 @@ fn main() {
     "speedup_over_cold": {warm_speedup:.2},
     "apply_many_ms": {batched_warm:.3},
     "apply_many_writes_per_s": {batched_wps:.0}
+  }},
+  "durable_write_round": {{
+    "off_ms": {off_ms:.3},
+    "commit_ms": {commit_ms:.3},
+    "group_ms": {group_ms:.3},
+    "commit_overhead": {commit_overhead:.2},
+    "group_overhead": {group_overhead:.2},
+    "recovery_records": {recovery_records},
+    "recovery_log_bytes": {recovery_log_bytes},
+    "recovery_ms": {recovery_ms:.3}
   }},
   "query_pushdown": {{
     "tasky": {{

@@ -1,6 +1,9 @@
 //! The [`Inverda`] database facade.
 
 use crate::compiled::CompiledStore;
+use crate::durability::{
+    Checkpoint, Durability, DurabilityMode, DurabilityOptions, Record, RecordBody,
+};
 use crate::edb::VersionedEdb;
 use crate::snapshot::{SnapshotStats, SnapshotStore};
 use crate::Result;
@@ -10,7 +13,8 @@ use inverda_datalog::eval::IdSource;
 use inverda_datalog::SkolemRegistry;
 use inverda_storage::{Key, Relation, Row, Storage, TableSchema, Value};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How logical writes are propagated to physical storage.
@@ -34,6 +38,10 @@ pub struct State {
     pub materialization: MaterializationSchema,
     /// Current write path.
     pub write_path: WritePath,
+    /// Every successful genealogy DDL statement, in execution order, as
+    /// canonical BiDEL text — the replayable definition of the genealogy
+    /// that checkpoints persist (recorded whether or not durability is on).
+    pub ddl_history: Vec<String>,
 }
 
 /// Shared skolem-id registry (usable from read paths). Fresh identifiers
@@ -86,6 +94,9 @@ pub struct Inverda {
     pub(crate) snapshots: SnapshotStore,
     /// Whether reads/writes use the snapshot store (ablation control).
     snapshot_reuse: AtomicBool,
+    /// Write-ahead log + checkpoint machinery; `None` for a purely
+    /// in-memory database (see [`crate::durability`]).
+    pub(crate) durability: Option<Durability>,
 }
 
 impl Default for Inverda {
@@ -128,21 +139,184 @@ impl Inverda {
         }
     }
 
-    /// Fresh, empty database.
+    /// Fresh, empty database. Purely in-memory — unless the
+    /// `INVERDA_DURABILITY` environment knob is `commit` or `group`, in
+    /// which case the instance is backed by a process-private temporary
+    /// directory (removed on drop) so the *entire* test suite exercises
+    /// the durable write path. Panics if that directory cannot be set up;
+    /// use [`Inverda::new_in_memory`] for an instance that ignores the
+    /// knob (e.g. the in-memory oracle of a recovery test).
     pub fn new() -> Self {
+        match DurabilityMode::from_env() {
+            DurabilityMode::Off => Inverda::new_in_memory(),
+            mode => {
+                static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+                let dir = std::env::temp_dir().join(format!(
+                    "inverda-{}-{}",
+                    std::process::id(),
+                    TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let mut db = Inverda::open_in(
+                    &dir,
+                    DurabilityOptions {
+                        mode,
+                        ..DurabilityOptions::default()
+                    },
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "INVERDA_DURABILITY: cannot open durable tempdir {}: {e}",
+                        dir.display()
+                    )
+                });
+                if let Some(d) = &mut db.durability {
+                    d.temp = true;
+                }
+                db
+            }
+        }
+    }
+
+    /// Fresh, empty, purely in-memory database — [`Inverda::new`] without
+    /// the `INVERDA_DURABILITY` environment gate.
+    pub fn new_in_memory() -> Self {
         Inverda {
             storage: Storage::new(),
             state: RwLock::new(State {
                 genealogy: Genealogy::new(),
                 materialization: MaterializationSchema::initial(),
                 write_path: WritePath::default(),
+                ddl_history: Vec::new(),
             }),
             ids: SharedIds(Mutex::new(SkolemRegistry::new())),
             write_lock: Mutex::new(()),
             compiled: CompiledStore::new(),
             snapshots: SnapshotStore::new(),
             snapshot_reuse: AtomicBool::new(true),
+            durability: None,
         }
+    }
+
+    /// Open (or create) a durable database at `path` with default options
+    /// (per-commit fsync): load the latest checkpoint, replay the log
+    /// tail, truncate any torn suffix — the recovered instance behaves
+    /// exactly like one that never crashed, skolem minting order included.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Inverda::open_in(path, DurabilityOptions::default())
+    }
+
+    /// [`Inverda::open`] with explicit [`DurabilityOptions`]. Opening with
+    /// [`DurabilityMode::Off`] yields a plain in-memory database (nothing
+    /// at `path` is read or written).
+    pub fn open_in(path: impl AsRef<Path>, options: DurabilityOptions) -> Result<Self> {
+        if options.mode == DurabilityMode::Off {
+            return Ok(Inverda::new_in_memory());
+        }
+        crate::durability::recovery::open(path.as_ref(), options)
+    }
+
+    /// Snapshot the full durable state atomically and rotate the log to a
+    /// fresh generation. No-op on an in-memory database.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let state = self.state.read();
+        self.checkpoint_locked(&state)
+    }
+
+    /// Checkpoint while the caller already holds the write lock and a
+    /// state guard (also the auto-checkpoint hook inside
+    /// [`wal_append`](Inverda::wal_append)).
+    pub(crate) fn checkpoint_locked(&self, state: &State) -> Result<()> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        // The registry snapshot subsumes any not-yet-logged journal ops
+        // (read-path mints since the last record); drop them so they are
+        // not replayed — harmlessly but pointlessly — on top of the
+        // checkpoint they are already part of.
+        let registry = {
+            let mut reg = self.ids.0.lock();
+            let _ = reg.take_journal();
+            reg.clone()
+        };
+        let tables: Vec<Relation> = self
+            .storage
+            .table_names()
+            .into_iter()
+            .filter_map(|name| self.storage.snapshot(&name).ok())
+            .map(|rel| (*rel).clone())
+            .collect();
+        durability
+            .rotate(|generation| Checkpoint {
+                generation,
+                ddl_history: state.ddl_history.clone(),
+                materialization: state.materialization.smos().map(|s| s.0).collect(),
+                key_seq: self.storage.sequences().current_key(),
+                registry,
+                tables,
+            })
+            .map_err(crate::error::CoreError::Storage)
+    }
+
+    /// Append one record to the WAL (draining nothing itself — the caller
+    /// owns the journal-drain ordering) and run the auto-checkpoint when
+    /// its threshold fires. No-op on an in-memory database.
+    pub(crate) fn wal_append(&self, state: &State, record: Record) -> Result<()> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        if durability
+            .append(&record)
+            .map_err(crate::error::CoreError::Storage)?
+        {
+            self.checkpoint_locked(state)?;
+        }
+        Ok(())
+    }
+
+    /// Flush any skolem-registry journal residue as a `RegistryOnly`
+    /// record — called at the end of every public mutating entry point so
+    /// each user-visible operation leaves at most one record, and mints a
+    /// failed statement performed through its read path survive a crash
+    /// exactly as they survive in memory.
+    pub(crate) fn log_registry_residue(&self, state: &State) -> Result<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let reg_ops = self.ids.0.lock().take_journal();
+        if reg_ops.is_empty() {
+            return Ok(());
+        }
+        let key_seq = self.storage.sequences().current_key();
+        self.wal_append(
+            state,
+            Record {
+                reg_ops,
+                key_seq,
+                body: RecordBody::RegistryOnly,
+            },
+        )
+    }
+
+    /// Force unsynced WAL appends to disk (group commit). No-op on an
+    /// in-memory database.
+    pub fn flush(&self) -> Result<()> {
+        match &self.durability {
+            Some(d) => d.flush().map_err(crate::error::CoreError::Storage),
+            None => Ok(()),
+        }
+    }
+
+    /// Current WAL file length in bytes, `None` when in-memory. Fault
+    /// injection uses this to pick truncation points and to assert that
+    /// rejected statements leave the log untouched.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal_len())
+    }
+
+    /// The durable directory backing this database, `None` when in-memory.
+    pub fn durable_dir(&self) -> Option<PathBuf> {
+        self.durability.as_ref().map(|d| d.dir().to_path_buf())
     }
 
     /// Execute a BiDEL script: `CREATE SCHEMA VERSION … WITH …;`,
@@ -180,6 +354,24 @@ impl Inverda {
     ) -> Result<()> {
         let _guard = self.write_lock.lock();
         let mut state = self.state.write();
+        let text = Statement::CreateSchemaVersion {
+            name: name.to_string(),
+            from: from.map(str::to_string),
+            smos: smos.to_vec(),
+        }
+        .to_string();
+        let result = self.create_schema_version_locked(&mut state, name, from, smos);
+        self.record_ddl(&mut state, text, &result)?;
+        result
+    }
+
+    fn create_schema_version_locked(
+        &self,
+        state: &mut State,
+        name: &str,
+        from: Option<&str>,
+        smos: &[Smo],
+    ) -> Result<()> {
         let outcome = state.genealogy.create_schema_version(name, from, smos)?;
         // The genealogy changed: retire compiled rule sets of retired SMOs
         // (ids are never reused, but keep the cache tight), and drop every
@@ -213,11 +405,47 @@ impl Inverda {
         Ok(())
     }
 
+    /// On success, append the DDL statement to the replayable history and
+    /// log it (with any skolem journal residue of this entry point); on
+    /// failure, flush the residue alone so the crash-recovered registry
+    /// matches the in-memory one.
+    fn record_ddl(&self, state: &mut State, text: String, result: &Result<()>) -> Result<()> {
+        match result {
+            Ok(()) => {
+                state.ddl_history.push(text.clone());
+                if self.durability.is_none() {
+                    return Ok(());
+                }
+                let reg_ops = self.ids.0.lock().take_journal();
+                let key_seq = self.storage.sequences().current_key();
+                self.wal_append(
+                    state,
+                    Record {
+                        reg_ops,
+                        key_seq,
+                        body: RecordBody::Ddl(text),
+                    },
+                )
+            }
+            Err(_) => self.log_registry_residue(state),
+        }
+    }
+
     /// Drop a schema version. Data shared with other versions is kept;
     /// physical tables reachable from no remaining version are deleted.
     pub fn drop_schema_version(&self, name: &str) -> Result<()> {
         let _guard = self.write_lock.lock();
         let mut state = self.state.write();
+        let text = Statement::DropSchemaVersion {
+            name: name.to_string(),
+        }
+        .to_string();
+        let result = self.drop_schema_version_locked(&mut state, name);
+        self.record_ddl(&mut state, text, &result)?;
+        result
+    }
+
+    fn drop_schema_version_locked(&self, state: &mut State, name: &str) -> Result<()> {
         let orphans = state.genealogy.drop_schema_version(name)?;
         self.compiled.clear();
         self.snapshots.clear();
@@ -462,11 +690,32 @@ impl Inverda {
     }
 
     /// Seed the skolem registry with known `generator(payload) → id`
-    /// assignments (bulk loads with externally assigned identifiers).
-    pub fn observe_ids(&self, generator: &str, assignments: &[(Vec<Value>, u64)]) {
-        let mut reg = self.ids.0.lock();
-        for (args, id) in assignments {
-            reg.observe(generator, args, *id);
+    /// assignments (bulk loads with externally assigned identifiers). The
+    /// seeds are committed state: on a durable database they are logged
+    /// (hence the write lock and the fallible signature).
+    pub fn observe_ids(&self, generator: &str, assignments: &[(Vec<Value>, u64)]) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        {
+            let mut reg = self.ids.0.lock();
+            for (args, id) in assignments {
+                reg.observe(generator, args, *id);
+            }
+        }
+        let state = self.state.read();
+        self.log_registry_residue(&state)
+    }
+}
+
+impl Drop for Inverda {
+    fn drop(&mut self) {
+        let Some(durability) = &self.durability else {
+            return;
+        };
+        // Push any group-committed tail to disk; a failure here is the
+        // crash this subsystem exists to tolerate, so it is not propagated.
+        let _ = durability.flush();
+        if durability.temp {
+            let _ = std::fs::remove_dir_all(durability.dir());
         }
     }
 }

@@ -1,0 +1,158 @@
+//! Checkpoint files: a full snapshot of durable state, written atomically.
+//!
+//! A checkpoint captures everything recovery needs without the log:
+//! genealogy (as the canonical DDL history), the materialization schema,
+//! the key sequence, the skolem registry, and every physical table. It is
+//! written as `checkpoint.tmp` → fsync → rename to `checkpoint.bin` →
+//! directory fsync, so a crash anywhere leaves either the old checkpoint
+//! or the new one, never a torn file — and the single CRC frame rejects
+//! a torn write that somehow survives the rename protocol.
+
+use inverda_datalog::SkolemRegistry;
+use inverda_storage::codec::{read_frame, write_frame, Codec, FrameScan, Reader};
+use inverda_storage::{Relation, StorageError};
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening the checkpoint payload.
+pub const CKPT_MAGIC: &[u8; 8] = b"IVCKPT01";
+
+/// The checkpoint file name inside a durable directory.
+pub const CKPT_FILE: &str = "checkpoint.bin";
+
+/// A decoded checkpoint: the durable state at some log rotation point.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Log generation this checkpoint pairs with: recovery replays
+    /// `wal-<generation>.log` on top of it.
+    pub generation: u64,
+    /// Every genealogy DDL statement executed so far, in order, as
+    /// canonical BiDEL text; replayed to rebuild genealogy + catalog.
+    pub ddl_history: Vec<String>,
+    /// SMO ids of the materialization schema at checkpoint time.
+    pub materialization: Vec<u32>,
+    /// Key-sequence position (`SequenceSet::current_key`) to restore.
+    pub key_seq: u64,
+    /// The full skolem registry (memo + counters).
+    pub registry: SkolemRegistry,
+    /// Every physical table, replacing whatever DDL replay created.
+    pub tables: Vec<Relation>,
+}
+
+impl Codec for Checkpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(CKPT_MAGIC);
+        self.generation.encode(out);
+        self.ddl_history.encode(out);
+        self.materialization.encode(out);
+        self.key_seq.encode(out);
+        self.registry.encode(out);
+        self.tables.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> inverda_storage::Result<Self> {
+        if r.take(CKPT_MAGIC.len())? != CKPT_MAGIC {
+            return Err(StorageError::codec("bad checkpoint magic"));
+        }
+        Ok(Checkpoint {
+            generation: r.u64()?,
+            ddl_history: Vec::<String>::decode(r)?,
+            materialization: Vec::<u32>::decode(r)?,
+            key_seq: r.u64()?,
+            registry: SkolemRegistry::decode(r)?,
+            tables: Vec::<Relation>::decode(r)?,
+        })
+    }
+}
+
+impl Checkpoint {
+    /// Atomically persist this checkpoint into `dir` (tmp + rename + dir
+    /// fsync).
+    pub fn write(&self, dir: &Path) -> inverda_storage::Result<()> {
+        let tmp = dir.join("checkpoint.tmp");
+        let dst = dir.join(CKPT_FILE);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &self.to_bytes());
+        {
+            let io = |e| StorageError::io(format!("write checkpoint {}", tmp.display()), e);
+            let mut file = std::fs::File::create(&tmp).map_err(io)?;
+            file.write_all(&bytes).map_err(io)?;
+            file.sync_all().map_err(io)?;
+        }
+        std::fs::rename(&tmp, &dst)
+            .map_err(|e| StorageError::io(format!("install checkpoint {}", dst.display()), e))?;
+        sync_dir(dir)
+    }
+
+    /// Load the checkpoint from `dir`; `Ok(None)` when none exists (a fresh
+    /// database) or the file fails its checksum (treated as absent — the
+    /// rename protocol makes that unreachable short of media corruption,
+    /// which recovery must still not panic on).
+    pub fn load(dir: &Path) -> inverda_storage::Result<Option<Checkpoint>> {
+        let path = dir.join(CKPT_FILE);
+        let buf = match std::fs::read(&path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(StorageError::io(
+                    format!("read checkpoint {}", path.display()),
+                    e,
+                ))
+            }
+        };
+        match read_frame(&buf) {
+            FrameScan::Ok { payload, .. } => Ok(Some(Checkpoint::from_bytes(payload)?)),
+            FrameScan::Torn | FrameScan::Corrupt | FrameScan::End => Ok(None),
+        }
+    }
+}
+
+/// fsync a directory so a rename or file creation inside it is durable.
+pub fn sync_dir(dir: &Path) -> inverda_storage::Result<()> {
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| StorageError::io(format!("fsync dir {}", dir.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_storage::{Key, Value};
+
+    #[test]
+    fn checkpoint_write_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("inverda-ckpttest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut registry = SkolemRegistry::new();
+        registry.get_or_create("id_T", &[Value::Int(3)]);
+        let mut rel = Relation::with_columns("Task", ["title"]);
+        rel.insert(Key(1), vec![Value::text("a")]).unwrap();
+        let ckpt = Checkpoint {
+            generation: 2,
+            ddl_history: vec!["CREATE SCHEMA VERSION v1 ...;".into()],
+            materialization: vec![1, 4],
+            key_seq: 42,
+            registry,
+            tables: vec![rel],
+        };
+        ckpt.write(&dir).unwrap();
+        let loaded = Checkpoint::load(&dir).unwrap().expect("checkpoint present");
+        assert_eq!(loaded.to_bytes(), ckpt.to_bytes());
+        // A corrupted checkpoint reads as absent, not a panic or Err.
+        let path = dir.join(CKPT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Checkpoint::load(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = std::env::temp_dir().join(format!("inverda-ckptnone-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Checkpoint::load(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

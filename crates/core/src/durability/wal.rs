@@ -1,0 +1,394 @@
+//! The append-only write-ahead log: record types, file framing, and the
+//! group-commit writer.
+//!
+//! A log file `wal-<generation>.log` starts with one header frame (magic +
+//! generation) followed by one CRC frame per [`Record`]. Frames are the
+//! `[len][crc32][payload]` format of [`inverda_storage::codec`]; a record
+//! is the unit of atomicity — on recovery, the longest prefix of
+//! checksum-valid frames is replayed and anything after it (a torn or
+//! corrupt tail) is truncated away.
+
+use super::DurabilityMode;
+use inverda_storage::codec::{read_frame, write_frame, Codec, FrameScan, Reader};
+use inverda_storage::{StorageError, WriteBatch};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use inverda_datalog::RegOp;
+
+/// Magic bytes opening every WAL file's header frame.
+pub const WAL_MAGIC: &[u8; 8] = b"IVWALv01";
+
+/// What a committed unit of state change did, beyond its registry effects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordBody {
+    /// A genealogy DDL statement (`CREATE SCHEMA VERSION …` /
+    /// `DROP SCHEMA VERSION …`), stored as canonical BiDEL text and
+    /// re-executed on replay.
+    Ddl(String),
+    /// A `MATERIALIZE` target switch, stored as the new materialization
+    /// schema's SMO ids; replay re-runs the migration procedure (which
+    /// re-mints deterministically from the recorded key sequence).
+    Materialize(Vec<u32>),
+    /// A validated physical write batch from `drain`, replayed directly
+    /// against storage (no rule re-evaluation needed).
+    Batch(WriteBatch),
+    /// Registry deltas only (seeded ids, or the residue of a statement that
+    /// failed after minting through its read path).
+    RegistryOnly,
+}
+
+/// One committed unit of database state change.
+///
+/// Replay order is fixed: apply `reg_ops`, restore the key sequence so the
+/// next minted key is `key_seq`, then execute the body. For `Materialize`,
+/// `key_seq` is sampled *before* the migration ran (its mints are not in
+/// `reg_ops` — replay re-executes them); for everything else it is the
+/// value at append time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Journaled skolem-registry mutations belonging to this unit.
+    pub reg_ops: Vec<RegOp>,
+    /// Key-sequence position (`SequenceSet::current_key`) to restore.
+    pub key_seq: u64,
+    /// The state change itself.
+    pub body: RecordBody,
+}
+
+const BODY_DDL: u8 = 0;
+const BODY_MATERIALIZE: u8 = 1;
+const BODY_BATCH: u8 = 2;
+const BODY_REGISTRY_ONLY: u8 = 3;
+
+impl Codec for Record {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.reg_ops.encode(out);
+        self.key_seq.encode(out);
+        match &self.body {
+            RecordBody::Ddl(text) => {
+                out.push(BODY_DDL);
+                text.encode(out);
+            }
+            RecordBody::Materialize(smos) => {
+                out.push(BODY_MATERIALIZE);
+                smos.encode(out);
+            }
+            RecordBody::Batch(batch) => {
+                out.push(BODY_BATCH);
+                batch.encode(out);
+            }
+            RecordBody::RegistryOnly => out.push(BODY_REGISTRY_ONLY),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> inverda_storage::Result<Self> {
+        let reg_ops = Vec::<RegOp>::decode(r)?;
+        let key_seq = r.u64()?;
+        let body = match r.u8()? {
+            BODY_DDL => RecordBody::Ddl(r.string()?),
+            BODY_MATERIALIZE => RecordBody::Materialize(Vec::<u32>::decode(r)?),
+            BODY_BATCH => RecordBody::Batch(WriteBatch::decode(r)?),
+            BODY_REGISTRY_ONLY => RecordBody::RegistryOnly,
+            t => return Err(StorageError::codec(format!("invalid record body tag {t}"))),
+        };
+        Ok(Record {
+            reg_ops,
+            key_seq,
+            body,
+        })
+    }
+}
+
+fn header_payload(generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(WAL_MAGIC);
+    generation.encode(&mut out);
+    out
+}
+
+/// The log file name of one checkpoint generation.
+pub fn wal_file_name(generation: u64) -> String {
+    format!("wal-{generation}.log")
+}
+
+/// Result of scanning a WAL file: the decodable record prefix plus where
+/// the valid bytes end (the torn-tail truncation point).
+#[derive(Debug)]
+pub struct WalScan {
+    /// Complete, checksum-valid records in append order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix (header + complete records); the
+    /// file is truncated to this length on recovery.
+    pub valid_len: u64,
+    /// Whether the header frame was intact and of the expected generation.
+    /// When false the whole file is discarded (`valid_len` is 0 and the
+    /// header is rewritten).
+    pub header_ok: bool,
+}
+
+/// Scan the log file of `generation`, stopping at the first torn or corrupt
+/// frame (the torn-tail rule: a record is committed iff its full frame made
+/// it to disk with a matching checksum). A missing file scans as empty with
+/// `header_ok: false`.
+pub fn scan_wal(path: &Path, generation: u64) -> inverda_storage::Result<WalScan> {
+    let empty = WalScan {
+        records: Vec::new(),
+        valid_len: 0,
+        header_ok: false,
+    };
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty),
+        Err(e) => return Err(StorageError::io(format!("read wal {}", path.display()), e)),
+    };
+    // Header frame first; a torn or mismatched header discards the file.
+    let mut offset = match read_frame(&buf) {
+        FrameScan::Ok { payload, consumed } if payload == header_payload(generation).as_slice() => {
+            consumed
+        }
+        _ => return Ok(empty),
+    };
+    let mut records = Vec::new();
+    while let FrameScan::Ok { payload, consumed } = read_frame(&buf[offset..]) {
+        match Record::from_bytes(payload) {
+            Ok(record) => records.push(record),
+            // A checksum-valid frame that does not decode is treated like a
+            // corrupt tail: stop and truncate here.
+            Err(_) => break,
+        }
+        offset += consumed;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+        header_ok: true,
+    })
+}
+
+/// Appends records to one WAL file with per-commit or group fsync.
+///
+/// Record bytes are written to the OS immediately (no user-space buffer),
+/// so the file contents always reflect every append; the mode only governs
+/// when `fsync` makes them crash-durable. Group commit amortizes one fsync
+/// over up to `group_size` appends — the admission-queue batching the
+/// serving layer will feed later.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    mode: DurabilityMode,
+    group_size: u64,
+    unsynced: u64,
+    len: u64,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Create (truncate) the log file of `generation` and write its header,
+    /// fsynced — called at startup of a fresh database and by checkpoint
+    /// rotation.
+    pub fn create(
+        dir: &Path,
+        generation: u64,
+        mode: DurabilityMode,
+        group_size: u64,
+    ) -> inverda_storage::Result<Self> {
+        let path = dir.join(wal_file_name(generation));
+        let io = |e| StorageError::io(format!("create wal {}", path.display()), e);
+        let mut file = File::create(&path).map_err(io)?;
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &header_payload(generation));
+        file.write_all(&bytes).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        let len = bytes.len() as u64;
+        Ok(WalWriter {
+            file,
+            path,
+            mode,
+            group_size: group_size.max(1),
+            unsynced: 0,
+            len,
+            records: 0,
+        })
+    }
+
+    /// Attach to an existing log file after recovery: truncate the torn
+    /// tail at `valid_len` and continue appending from there.
+    /// `recovered_records` is the record count of the valid prefix.
+    pub fn attach(
+        dir: &Path,
+        generation: u64,
+        valid_len: u64,
+        recovered_records: u64,
+        mode: DurabilityMode,
+        group_size: u64,
+    ) -> inverda_storage::Result<Self> {
+        let path = dir.join(wal_file_name(generation));
+        let io = |e| StorageError::io(format!("attach wal {}", path.display()), e);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(io)?;
+        file.set_len(valid_len).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        Ok(WalWriter {
+            file,
+            path,
+            mode,
+            group_size: group_size.max(1),
+            unsynced: 0,
+            len: valid_len,
+            records: recovered_records,
+        })
+    }
+
+    /// Append one record frame; fsyncs per the commit mode.
+    pub fn append(&mut self, record: &Record) -> inverda_storage::Result<()> {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &record.to_bytes());
+        self.write_at_end(&bytes)?;
+        self.records += 1;
+        match self.mode {
+            DurabilityMode::Commit => self.sync()?,
+            DurabilityMode::Group => {
+                self.unsynced += 1;
+                if self.unsynced >= self.group_size {
+                    self.sync()?;
+                }
+            }
+            DurabilityMode::Off => {}
+        }
+        Ok(())
+    }
+
+    fn write_at_end(&mut self, bytes: &[u8]) -> inverda_storage::Result<()> {
+        use std::io::Seek;
+        let io = |e| StorageError::io(format!("append wal {}", self.path.display()), e);
+        self.file.seek(std::io::SeekFrom::End(0)).map_err(io)?;
+        self.file.write_all(bytes).map_err(io)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Force any unsynced appends to disk.
+    pub fn sync(&mut self) -> inverda_storage::Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io(format!("fsync wal {}", self.path.display()), e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Current file length in bytes (header + appended records).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the log holds no records (header only).
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Records in the log: recovered prefix plus appends since.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inverda_storage::{Key, Value};
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record {
+                reg_ops: vec![RegOp::Mint {
+                    generator: "id_A".into(),
+                    args: vec![Value::text("x")],
+                    id: 7,
+                }],
+                key_seq: 8,
+                body: RecordBody::Batch({
+                    let mut b = WriteBatch::new();
+                    b.insert("T", Key(7), vec![Value::Int(1)]);
+                    b
+                }),
+            },
+            Record {
+                reg_ops: vec![],
+                key_seq: 8,
+                body: RecordBody::Ddl("DROP SCHEMA VERSION V;".into()),
+            },
+            Record {
+                reg_ops: vec![RegOp::Purge {
+                    generator: "id_A".into(),
+                }],
+                key_seq: 9,
+                body: RecordBody::Materialize(vec![1, 2]),
+            },
+            Record {
+                reg_ops: vec![],
+                key_seq: 9,
+                body: RecordBody::RegistryOnly,
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for record in sample_records() {
+            let back = Record::from_bytes(&record.to_bytes()).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn write_scan_truncate_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("inverda-waltest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = sample_records();
+        let full_len;
+        {
+            let mut w = WalWriter::create(&dir, 3, DurabilityMode::Group, 2).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+            full_len = w.len();
+        }
+        let path = dir.join(wal_file_name(3));
+        let scan = scan_wal(&path, 3).unwrap();
+        assert!(scan.header_ok);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, full_len);
+        // Wrong generation discards the file.
+        assert!(!scan_wal(&path, 4).unwrap().header_ok);
+        // Truncating mid-record drops exactly the torn tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let scan = scan_wal(&path, 3).unwrap();
+        assert_eq!(scan.records, records[..records.len() - 1]);
+        assert!(scan.valid_len < full_len);
+        // Attach truncates to the valid prefix and appends cleanly.
+        {
+            let recovered = scan.records.len() as u64;
+            let mut w = WalWriter::attach(
+                &dir,
+                3,
+                scan.valid_len,
+                recovered,
+                DurabilityMode::Commit,
+                1,
+            )
+            .unwrap();
+            assert_eq!(w.record_count(), recovered);
+            w.append(&records[3]).unwrap();
+        }
+        let scan = scan_wal(&path, 3).unwrap();
+        assert_eq!(scan.records, records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

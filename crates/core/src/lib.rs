@@ -43,6 +43,7 @@
 
 pub mod compiled;
 pub mod database;
+pub mod durability;
 pub mod edb;
 pub mod error;
 pub mod migrate;
@@ -51,6 +52,7 @@ pub mod snapshot;
 pub mod write;
 
 pub use database::{ExecutionOutcome, Inverda, WritePath};
+pub use durability::{DurabilityMode, DurabilityOptions};
 pub use error::CoreError;
 pub use inverda_datalog::parallel::{set_threads, threads};
 pub use query::{AccessPath, Query, QueryPlan, RowIter};

@@ -45,7 +45,9 @@ impl Inverda {
             }
         }
         let new_m = MaterializationSchema::for_table_versions(&state.genealogy, &tvs)?;
-        self.apply_materialization(&mut state, new_m)
+        let result = self.apply_materialization(&mut state, new_m);
+        self.log_registry_residue(&state)?;
+        result
     }
 
     /// Materialize an explicit materialization schema — the paper's
@@ -56,9 +58,21 @@ impl Inverda {
         let _guard = self.write_lock.lock();
         let mut state = self.state.write();
         new_m.validate(&state.genealogy)?;
-        self.apply_materialization(&mut state, new_m)
+        let result = self.apply_materialization(&mut state, new_m);
+        self.log_registry_residue(&state)?;
+        result
     }
 
+    /// Durability wrapper around the migration procedure. A committed
+    /// migration is logged as a `Materialize` record carrying only the
+    /// journal residue that *preceded* it plus the pre-migration key
+    /// sequence: replay re-runs the procedure live, re-performing the
+    /// planning-time mints and registry re-seeding in their original
+    /// order, so the procedure's own journal is discarded. A *failed*
+    /// migration may still have perturbed the registry mid-planning
+    /// (purge/observe re-seeding precedes the failure point); that
+    /// perturbation is exactly what the in-memory instance keeps, so it is
+    /// logged as a `RegistryOnly` record.
     fn apply_materialization(
         &self,
         state: &mut parking_lot::RwLockWriteGuard<'_, crate::database::State>,
@@ -67,7 +81,55 @@ impl Inverda {
         if new_m == state.materialization {
             return Ok(());
         }
+        let durable = self.durability.is_some();
+        let (pending, key_seq_before) = if durable {
+            (
+                self.ids.0.lock().take_journal(),
+                self.storage.sequences().current_key(),
+            )
+        } else {
+            (Vec::new(), 0)
+        };
+        let smos: Vec<u32> = new_m.smos().map(|s| s.0).collect();
+        let result = self.apply_materialization_inner(state, new_m);
+        if durable {
+            match &result {
+                Ok(()) => {
+                    let _ = self.ids.0.lock().take_journal();
+                    self.wal_append(
+                        state,
+                        crate::durability::Record {
+                            reg_ops: pending,
+                            key_seq: key_seq_before,
+                            body: crate::durability::RecordBody::Materialize(smos),
+                        },
+                    )?;
+                }
+                Err(_) => {
+                    let mut reg_ops = pending;
+                    reg_ops.extend(self.ids.0.lock().take_journal());
+                    if !reg_ops.is_empty() {
+                        let key_seq = self.storage.sequences().current_key();
+                        self.wal_append(
+                            state,
+                            crate::durability::Record {
+                                reg_ops,
+                                key_seq,
+                                body: crate::durability::RecordBody::RegistryOnly,
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+        result
+    }
 
+    fn apply_materialization_inner(
+        &self,
+        state: &mut parking_lot::RwLockWriteGuard<'_, crate::database::State>,
+        new_m: MaterializationSchema,
+    ) -> Result<()> {
         // ---- Plan the new physical state under the *current* mappings.
         let mut creates: Vec<Relation> = Vec::new();
         let mut replaces: Vec<Relation> = Vec::new();

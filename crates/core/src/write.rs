@@ -154,6 +154,41 @@ impl Inverda {
     ) -> Result<Vec<Option<Key>>> {
         let _guard = self.write_lock.lock();
         let state = self.state.read();
+        let key_seq_before = self.storage.sequences().current_key();
+        let result = self.apply_many_locked(&state, version, table, writes);
+        // A committed batch drained its journal into its own WAL record;
+        // whatever remains (mints of a rejected batch's validation reads,
+        // of a failed drain) is flushed so the crash-recovered registry
+        // matches the in-memory one — and a rejected batch leaves exactly
+        // the trace it left in memory: registry deltas, no writes. A
+        // rejected batch can also consume keys without journaling (inserts
+        // allocate before a later write fails validation), so the error
+        // path logs a record whenever the sequence advanced, keeping
+        // recovered key minting in lockstep with the in-memory process.
+        if self.durability.is_some() {
+            let reg_ops = self.ids.0.lock().take_journal();
+            let key_seq = self.storage.sequences().current_key();
+            if !reg_ops.is_empty() || (result.is_err() && key_seq != key_seq_before) {
+                self.wal_append(
+                    &state,
+                    crate::durability::Record {
+                        reg_ops,
+                        key_seq,
+                        body: crate::durability::RecordBody::RegistryOnly,
+                    },
+                )?;
+            }
+        }
+        result
+    }
+
+    fn apply_many_locked(
+        &self,
+        state: &crate::database::State,
+        version: &str,
+        table: &str,
+        writes: Vec<LogicalWrite>,
+    ) -> Result<Vec<Option<Key>>> {
         let tv = state.genealogy.resolve(version, table)?;
         let arity = state.genealogy.table_version(tv).columns.len();
         let rel = state.genealogy.table_version(tv).rel.clone();
@@ -181,7 +216,7 @@ impl Inverda {
             // layers the batch's own effects on top so later writes see
             // earlier ones.
             let ids = self.id_source();
-            let edb = self.edb(&state, &ids);
+            let edb = self.edb(state, &ids);
             use inverda_datalog::eval::EdbView;
             let mut overlay: BTreeMap<Key, Option<Row>> = BTreeMap::new();
             let current = |overlay: &BTreeMap<Key, Option<Row>>, key: Key| -> Result<Option<Row>> {
@@ -218,7 +253,7 @@ impl Inverda {
             }
         }
         if !delta.is_empty() {
-            self.apply_logical(&state, tv, delta)?;
+            self.apply_logical(state, tv, delta)?;
         }
         Ok(out)
     }
@@ -259,6 +294,23 @@ impl Inverda {
                 store.commit(&plan.maint, &valid, &self.storage);
             }
             None => self.storage.apply(&batch)?,
+        }
+        // The batch is committed: log the validated physical write set with
+        // everything the statement minted or re-seeded (validation reads,
+        // drain-time registry sync, maintenance-time mints). Replay applies
+        // the batch directly — no rule re-evaluation — so the key-sequence
+        // stamp is the post-statement value.
+        if self.durability.is_some() {
+            let reg_ops = self.ids.0.lock().take_journal();
+            let key_seq = self.storage.sequences().current_key();
+            self.wal_append(
+                state,
+                crate::durability::Record {
+                    reg_ops,
+                    key_seq,
+                    body: crate::durability::RecordBody::Batch(batch),
+                },
+            )?;
         }
         Ok(())
     }

@@ -27,8 +27,116 @@
 //!   rule sets fan out across worker threads without making id assignment
 //!   depend on thread scheduling.
 
-use inverda_storage::Value;
+use inverda_storage::codec::{Codec, Reader};
+use inverda_storage::{StorageError, Value};
 use std::collections::BTreeMap;
+
+/// One registry mutation, as journaled for the write-ahead log.
+///
+/// Registry state is database state (PR 4): recovery must reproduce the
+/// memo *and* the per-generator counters exactly, so every mutating
+/// [`SkolemRegistry`] method appends its effect here when journaling is on.
+/// Replaying a `RegOp` with [`SkolemRegistry::apply_op`] reproduces the
+/// original mutation without re-minting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegOp {
+    /// `get_or_create_with` minted `id` (from the engine key sequence) for
+    /// the pair — memo only, counters untouched.
+    Mint {
+        /// Generator name.
+        generator: String,
+        /// Argument tuple.
+        args: Vec<Value>,
+        /// The minted identifier.
+        id: u64,
+    },
+    /// `observe` / `get_or_create` recorded `id` for the pair — memo insert
+    /// plus counter fetch-max.
+    Observe {
+        /// Generator name.
+        generator: String,
+        /// Argument tuple.
+        args: Vec<Value>,
+        /// The observed identifier.
+        id: u64,
+    },
+    /// `unobserve` forgot the pair's assignment.
+    Unobserve {
+        /// Generator name.
+        generator: String,
+        /// Argument tuple.
+        args: Vec<Value>,
+    },
+    /// `purge_generator` forgot every assignment of the generator.
+    Purge {
+        /// Generator name.
+        generator: String,
+    },
+}
+
+const REGOP_MINT: u8 = 0;
+const REGOP_OBSERVE: u8 = 1;
+const REGOP_UNOBSERVE: u8 = 2;
+const REGOP_PURGE: u8 = 3;
+
+impl Codec for RegOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RegOp::Mint {
+                generator,
+                args,
+                id,
+            } => {
+                out.push(REGOP_MINT);
+                generator.encode(out);
+                args.encode(out);
+                id.encode(out);
+            }
+            RegOp::Observe {
+                generator,
+                args,
+                id,
+            } => {
+                out.push(REGOP_OBSERVE);
+                generator.encode(out);
+                args.encode(out);
+                id.encode(out);
+            }
+            RegOp::Unobserve { generator, args } => {
+                out.push(REGOP_UNOBSERVE);
+                generator.encode(out);
+                args.encode(out);
+            }
+            RegOp::Purge { generator } => {
+                out.push(REGOP_PURGE);
+                generator.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> inverda_storage::Result<Self> {
+        let tag = r.u8()?;
+        let generator = r.string()?;
+        match tag {
+            REGOP_MINT => Ok(RegOp::Mint {
+                generator,
+                args: Vec::<Value>::decode(r)?,
+                id: r.u64()?,
+            }),
+            REGOP_OBSERVE => Ok(RegOp::Observe {
+                generator,
+                args: Vec::<Value>::decode(r)?,
+                id: r.u64()?,
+            }),
+            REGOP_UNOBSERVE => Ok(RegOp::Unobserve {
+                generator,
+                args: Vec::<Value>::decode(r)?,
+            }),
+            REGOP_PURGE => Ok(RegOp::Purge { generator }),
+            t => Err(StorageError::codec(format!("invalid RegOp tag {t}"))),
+        }
+    }
+}
 
 /// Memoized id-generating sequences.
 #[derive(Debug, Default, Clone)]
@@ -37,6 +145,9 @@ pub struct SkolemRegistry {
     /// `&[Value]` and the hot hit path allocates nothing.
     memo: BTreeMap<String, BTreeMap<Vec<Value>, u64>>,
     counters: BTreeMap<String, u64>,
+    /// When `Some`, every mutation is appended here for the WAL (enabled by
+    /// the durability layer; `None` costs nothing on the in-memory path).
+    journal: Option<Vec<RegOp>>,
 }
 
 impl SkolemRegistry {
@@ -57,6 +168,13 @@ impl SkolemRegistry {
             .entry(generator.to_string())
             .or_default()
             .insert(args.to_vec(), id);
+        // Journaled as Observe: replaying `insert + counter fetch-max` on a
+        // state where the pair was absent lands on exactly this outcome.
+        self.journal_push(|| RegOp::Observe {
+            generator: generator.to_string(),
+            args: args.to_vec(),
+            id,
+        });
         id
     }
 
@@ -80,6 +198,11 @@ impl SkolemRegistry {
             .entry(generator.to_string())
             .or_default()
             .insert(args.to_vec(), id);
+        self.journal_push(|| RegOp::Mint {
+            generator: generator.to_string(),
+            args: args.to_vec(),
+            id,
+        });
         id
     }
 
@@ -95,6 +218,11 @@ impl SkolemRegistry {
         if *counter < id {
             *counter = id;
         }
+        self.journal_push(|| RegOp::Observe {
+            generator: generator.to_string(),
+            args: args.to_vec(),
+            id,
+        });
     }
 
     /// Forget the assignment for `(generator, args)` — used when the
@@ -105,12 +233,19 @@ impl SkolemRegistry {
         if let Some(inner) = self.memo.get_mut(generator) {
             inner.remove(args);
         }
+        self.journal_push(|| RegOp::Unobserve {
+            generator: generator.to_string(),
+            args: args.to_vec(),
+        });
     }
 
     /// Forget every assignment of a generator (migration re-seeds from the
     /// relocated tables afterwards).
     pub fn purge_generator(&mut self, generator: &str) {
         self.memo.remove(generator);
+        self.journal_push(|| RegOp::Purge {
+            generator: generator.to_string(),
+        });
     }
 
     /// The memoized id, if any, without minting. Probes with borrowed keys —
@@ -139,6 +274,83 @@ impl SkolemRegistry {
     /// True iff nothing has been generated or observed.
     pub fn is_empty(&self) -> bool {
         self.memo.values().all(BTreeMap::is_empty)
+    }
+
+    fn journal_push(&mut self, op: impl FnOnce() -> RegOp) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(op());
+        }
+    }
+
+    /// Turn mutation journaling on or off. Turning it on starts an empty
+    /// journal; turning it off discards any pending entries.
+    pub fn set_journaling(&mut self, on: bool) {
+        self.journal = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the pending journal entries (empty when journaling is off).
+    /// Journaling stays in whatever state it was.
+    pub fn take_journal(&mut self) -> Vec<RegOp> {
+        match &mut self.journal {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replay one journaled mutation. Does **not** journal the replay — the
+    /// op came from the log and must not be re-recorded.
+    pub fn apply_op(&mut self, op: &RegOp) {
+        match op {
+            RegOp::Mint {
+                generator,
+                args,
+                id,
+            } => {
+                self.memo
+                    .entry(generator.clone())
+                    .or_default()
+                    .insert(args.clone(), *id);
+            }
+            RegOp::Observe {
+                generator,
+                args,
+                id,
+            } => {
+                self.memo
+                    .entry(generator.clone())
+                    .or_default()
+                    .insert(args.clone(), *id);
+                let counter = self.counters.entry(generator.clone()).or_insert(0);
+                if *counter < *id {
+                    *counter = *id;
+                }
+            }
+            RegOp::Unobserve { generator, args } => {
+                if let Some(inner) = self.memo.get_mut(generator) {
+                    inner.remove(args);
+                }
+            }
+            RegOp::Purge { generator } => {
+                self.memo.remove(generator);
+            }
+        }
+    }
+}
+
+impl Codec for SkolemRegistry {
+    // Persisted state is the memo and the counters; the journal is a
+    // runtime artifact and decodes as "off".
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.memo.encode(out);
+        self.counters.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> inverda_storage::Result<Self> {
+        Ok(SkolemRegistry {
+            memo: BTreeMap::decode(r)?,
+            counters: BTreeMap::decode(r)?,
+            journal: None,
+        })
     }
 }
 
@@ -377,6 +589,64 @@ mod tests {
         r.purge_generator("h");
         assert_eq!(r.peek("h", &[Value::Int(1)]), None);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn journal_replay_reproduces_every_mutation() {
+        let mut live = SkolemRegistry::new();
+        live.set_journaling(true);
+        live.get_or_create("g", &[Value::text("a")]);
+        live.get_or_create_with("h", &[Value::Int(1)], || 77);
+        live.observe("g", &[Value::text("b")], 40);
+        live.unobserve("g", &[Value::text("a")]);
+        live.get_or_create("g", &[Value::text("c")]); // counter continues at 41
+        live.purge_generator("h");
+        let ops = live.take_journal();
+        assert_eq!(ops.len(), 6);
+        assert!(live.take_journal().is_empty(), "journal drained");
+
+        let mut replayed = SkolemRegistry::new();
+        for op in &ops {
+            replayed.apply_op(op);
+        }
+        assert_eq!(replayed.dump(), live.dump());
+        // Counters too: the next mint must agree.
+        assert_eq!(
+            replayed.get_or_create("g", &[Value::text("d")]),
+            live.get_or_create("g", &[Value::text("d")])
+        );
+    }
+
+    #[test]
+    fn journaling_off_costs_and_records_nothing() {
+        let mut r = SkolemRegistry::new();
+        r.get_or_create("g", &[Value::Int(1)]);
+        assert!(r.take_journal().is_empty());
+        r.set_journaling(true);
+        r.get_or_create("g", &[Value::Int(1)]); // memo hit: no mutation
+        assert!(r.take_journal().is_empty());
+        r.set_journaling(false);
+        r.get_or_create("g", &[Value::Int(2)]);
+        assert!(r.take_journal().is_empty());
+    }
+
+    #[test]
+    fn registry_codec_roundtrip_drops_journal() {
+        let mut r = SkolemRegistry::new();
+        r.set_journaling(true);
+        r.get_or_create("g", &[Value::text("x"), Value::Null]);
+        r.observe("h", &[Value::Float(1.5)], 9);
+        let back = SkolemRegistry::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back.dump(), r.dump());
+        assert!(back.journal.is_none());
+        // Counter state survives: next mints agree.
+        let mut a = back.clone();
+        let mut b = r.clone();
+        assert_eq!(
+            a.get_or_create("h", &[Value::Int(0)]),
+            b.get_or_create("h", &[Value::Int(0)])
+        );
+        assert!(SkolemRegistry::from_bytes(&r.to_bytes()[1..]).is_err());
     }
 
     #[test]

@@ -57,6 +57,21 @@ pub enum StorageError {
         /// Human-readable description.
         message: String,
     },
+    /// An IO operation in the durability layer failed. The message is the
+    /// underlying OS error rendered to text so the variant stays `Clone` +
+    /// `Eq` like the rest of the enum.
+    Io {
+        /// What the engine was doing (e.g. "append wal record").
+        context: String,
+        /// The rendered OS error.
+        message: String,
+    },
+    /// Malformed bytes fed to the binary codec (truncated, bit-flipped, or
+    /// over-length input).
+    Codec {
+        /// Human-readable description of the malformation.
+        message: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -85,6 +100,10 @@ impl fmt::Display for StorageError {
                 write!(f, "missing key #{key} in table '{table}'")
             }
             StorageError::Expression { message } => write!(f, "expression error: {message}"),
+            StorageError::Io { context, message } => {
+                write!(f, "io error while {context}: {message}")
+            }
+            StorageError::Codec { message } => write!(f, "codec error: {message}"),
         }
     }
 }
@@ -95,6 +114,22 @@ impl StorageError {
     /// Convenience constructor for expression errors.
     pub fn expr(message: impl Into<String>) -> Self {
         StorageError::Expression {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for IO errors: what the engine was doing plus
+    /// the underlying error, rendered.
+    pub fn io(context: impl Into<String>, err: impl std::fmt::Display) -> Self {
+        StorageError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Convenience constructor for codec errors.
+    pub fn codec(message: impl Into<String>) -> Self {
+        StorageError::Codec {
             message: message.into(),
         }
     }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod expr;
@@ -31,6 +32,7 @@ pub mod schema;
 pub mod value;
 
 pub use batch::{WriteBatch, WriteOp};
+pub use codec::{crc32, read_frame, write_frame, Codec, FrameScan, Reader};
 pub use engine::{SequenceSet, Storage};
 pub use error::StorageError;
 pub use expr::{BinaryOp, BoundExpr, CmpOp, Expr, NamedRow, RowContext};

@@ -40,6 +40,7 @@ pub use inverda_storage as storage;
 pub use inverda_workloads as workloads;
 
 pub use inverda_core::{
-    AccessPath, CoreError, ExecutionOutcome, Inverda, Query, QueryPlan, RowIter, WritePath,
+    AccessPath, CoreError, DurabilityMode, DurabilityOptions, ExecutionOutcome, Inverda, Query,
+    QueryPlan, RowIter, WritePath,
 };
 pub use inverda_storage::{Expr, Key, Relation, Value};

@@ -2,7 +2,9 @@
 //! reject invalid operations with clean errors and never leave partially
 //! applied state behind.
 
-use inverda::{Inverda, Value};
+use inverda::{DurabilityMode, DurabilityOptions, Inverda, Key, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn tasky() -> Inverda {
     let db = Inverda::new();
@@ -193,4 +195,176 @@ fn update_in_old_version_respects_stored_new_column_values() {
     let row = db.get("V2", "T", k).unwrap().unwrap();
     assert_eq!(row[0], Value::Int(5));
     assert_eq!(row[1], Value::Int(99), "stored c value must survive");
+}
+
+// ---------------------------------------------------------------------------
+// Durability fault injection: rejected statements against the write-ahead
+// log, and snapshot-store behavior after crash recovery.
+// ---------------------------------------------------------------------------
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "inverda-failinj-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create crash-copy dir");
+    for entry in std::fs::read_dir(src).expect("read durable dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+        }
+    }
+}
+
+fn durable_tasky(dir: &Path) -> Inverda {
+    let db = Inverda::open_in(
+        dir,
+        DurabilityOptions {
+            mode: DurabilityMode::Commit,
+            group_size: 1,
+            checkpoint_every: None,
+        },
+    )
+    .expect("open durable db");
+    db.execute(
+        "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, prio); \
+         CREATE SCHEMA VERSION Do! FROM TasKy WITH \
+           SPLIT TABLE Task INTO Todo WITH prio = 1; \
+           DROP COLUMN prio FROM Todo DEFAULT 1;",
+    )
+    .unwrap();
+    db
+}
+
+/// Simulate a crash: copy the durable directory as-is and recover the copy.
+fn recover_copy(db: &Inverda) -> (Inverda, PathBuf) {
+    let scratch = fresh_dir("crash");
+    copy_dir(&db.durable_dir().expect("durable dir"), &scratch);
+    let recovered = Inverda::open(&scratch).expect("recovery");
+    (recovered, scratch)
+}
+
+#[test]
+fn rejected_statements_leave_the_wal_unchanged() {
+    let dir = fresh_dir("reject");
+    let db = durable_tasky(&dir);
+    db.insert("TasKy", "Task", vec!["a".into(), "t".into(), 1.into()])
+        .unwrap();
+    let len = db.wal_len().expect("durable db logs");
+    // Rejected statements that consume nothing must log nothing: the WAL
+    // holds committed state changes only.
+    assert!(db.insert("TasKy", "Task", vec!["only-one".into()]).is_err());
+    assert!(db.delete("TasKy", "Task", Key(99_999)).is_err());
+    assert!(db.execute("MATERIALIZE 'NoSuchVersion';").is_err());
+    assert!(db
+        .execute("CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE Ghost;")
+        .is_err());
+    assert_eq!(
+        db.wal_len().unwrap(),
+        len,
+        "rejected statements were logged"
+    );
+    // A crash right after the rejections recovers the exact live state —
+    // no trace of the rejected statements, everything else intact.
+    let (recovered, scratch) = recover_copy(&db);
+    assert_eq!(recovered.debug_key_seq(), db.debug_key_seq());
+    assert_eq!(recovered.debug_registry(), db.debug_registry());
+    assert_eq!(
+        recovered.scan("Do!", "Todo").unwrap().to_string(),
+        db.scan("Do!", "Todo").unwrap().to_string()
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&scratch).ok();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partially_valid_rejected_batch_recovers_its_in_memory_trace() {
+    // A batch whose *second* row is invalid consumed a key for the first
+    // row before failing. That consumption is real in-memory state (the
+    // next insert skips the key), so it must survive a crash too.
+    let dir = fresh_dir("partial");
+    let db = durable_tasky(&dir);
+    assert!(db
+        .insert_many(
+            "TasKy",
+            "Task",
+            vec![
+                vec!["a".into(), "b".into(), 1.into()],
+                vec!["too".into(), "short".into()],
+            ],
+        )
+        .is_err());
+    assert_eq!(db.count("TasKy", "Task").unwrap(), 0);
+    let (recovered, scratch) = recover_copy(&db);
+    assert_eq!(
+        recovered.debug_key_seq(),
+        db.debug_key_seq(),
+        "keys consumed by a rejected batch must survive recovery"
+    );
+    let k_live = db
+        .insert("TasKy", "Task", vec!["a".into(), "t".into(), 1.into()])
+        .unwrap();
+    let k_rec = recovered
+        .insert("TasKy", "Task", vec!["a".into(), "t".into(), 1.into()])
+        .unwrap();
+    assert_eq!(k_live, k_rec, "post-recovery minting diverged");
+    drop(recovered);
+    std::fs::remove_dir_all(&scratch).ok();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_rebuilds_the_snapshot_store_cold_then_warm() {
+    let dir = fresh_dir("store");
+    let db = durable_tasky(&dir);
+    for i in 0..6 {
+        db.insert(
+            "TasKy",
+            "Task",
+            vec![
+                Value::text(format!("a{i}")),
+                Value::text(format!("t{i}")),
+                (i % 3 + 1).into(),
+            ],
+        )
+        .unwrap();
+    }
+    // Warm the live store, then crash: snapshots are volatile, so the
+    // recovered instance starts cold but must converge to warm service.
+    let live = db.scan("Do!", "Todo").unwrap().to_string();
+    let (recovered, scratch) = recover_copy(&db);
+    let s0 = recovered.snapshot_stats();
+    let first = recovered.scan("Do!", "Todo").unwrap().to_string();
+    let s1 = recovered.snapshot_stats();
+    assert!(
+        s1.misses > s0.misses,
+        "first post-recovery read was not cold"
+    );
+    let second = recovered.scan("Do!", "Todo").unwrap().to_string();
+    let s2 = recovered.snapshot_stats();
+    assert!(s2.hits > s1.hits, "second post-recovery read was not warm");
+    assert_eq!(s2.misses, s1.misses, "second read went cold again");
+    assert_eq!(first, live, "recovered cold read diverged from live state");
+    assert_eq!(second, first);
+    let audit = recovered.snapshot_store_audit();
+    assert!(
+        audit.is_empty(),
+        "rebuilt snapshot store diverged from cold resolution:\n{}",
+        audit.join("\n")
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&scratch).ok();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
 }
