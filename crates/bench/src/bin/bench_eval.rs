@@ -532,6 +532,94 @@ fn bench_query_pushdown_wiki(scale: f64, reps: usize) -> (Vec<PushdownEntry>, Ve
     (cold, warm)
 }
 
+/// One γ-chain-fusion sweep (indices align with `versions`/`depths`).
+struct ChainFusion {
+    versions: Vec<usize>,
+    depths: Vec<usize>,
+    qet_fused_ms: Vec<f64>,
+    qet_unfused_ms: Vec<f64>,
+    probe_fused_ms: Vec<f64>,
+    probe_unfused_ms: Vec<f64>,
+}
+
+impl ChainFusion {
+    /// max/min ratio across depths — ~1 means flat in chain length.
+    fn flatness(xs: &[f64]) -> f64 {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        max / min.max(f64::EPSILON)
+    }
+}
+
+/// Fig12 vs chain depth, fusion on/off: cold full QET (scan `page` +
+/// `links`) and the cold point probe at versions increasingly far above the
+/// load version, on the Wikimedia genealogy. **Byte-equality is asserted
+/// before timing**: both settings must produce identical rows at every
+/// measured version *and* identical skolem registry / key-sequence dumps.
+/// With fusion on, the whole ADD/DROP/RENAME run above the load version
+/// composes into one fused rule set per queried version, so both curves
+/// should be flat in depth instead of linear.
+fn bench_chain_fusion(scale: f64, reps: usize) -> ChainFusion {
+    use inverda_workloads::wikimedia;
+    let db = wikimedia::install();
+    db.execute(&format!(
+        "MATERIALIZE '{}';",
+        wikimedia::version_name(wikimedia::LOAD_VERSION)
+    ))
+    .expect("materialize load version");
+    wikimedia::load_akan(&db, wikimedia::LOAD_VERSION, scale);
+    db.set_snapshot_reuse(false); // every measurement below is cold
+    let versions = vec![115usize, 130, 145, 160, 171];
+    let fingerprint = |on: bool| -> String {
+        inverda_datalog::fusion::set_enabled(Some(on));
+        let mut s = String::new();
+        for &v in &versions {
+            let name = wikimedia::version_name(v);
+            for table in ["page", "links"] {
+                s.push_str(&db.scan(&name, table).expect("wiki scan").to_string());
+            }
+            s.push_str(&wikimedia::probe_version(&db, v).to_string());
+        }
+        s.push_str(&db.debug_registry());
+        s.push_str(&db.debug_key_seq().to_string());
+        s
+    };
+    let fused_state = fingerprint(true);
+    let unfused_state = fingerprint(false);
+    assert_eq!(
+        fused_state, unfused_state,
+        "γ-chain fusion changed resolved bytes (rows or registries)"
+    );
+    let mut out = ChainFusion {
+        versions: versions.clone(),
+        depths: versions
+            .iter()
+            .map(|v| v - wikimedia::LOAD_VERSION)
+            .collect(),
+        qet_fused_ms: Vec::new(),
+        qet_unfused_ms: Vec::new(),
+        probe_fused_ms: Vec::new(),
+        probe_unfused_ms: Vec::new(),
+    };
+    for &v in &versions {
+        for on in [true, false] {
+            inverda_datalog::fusion::set_enabled(Some(on));
+            let qet = median_time(reps, || wikimedia::query_version(&db, v));
+            let probe = median_time(reps, || wikimedia::probe_version(&db, v));
+            if on {
+                out.qet_fused_ms.push(ms(qet));
+                out.probe_fused_ms.push(ms(probe));
+            } else {
+                out.qet_unfused_ms.push(ms(qet));
+                out.probe_unfused_ms.push(ms(probe));
+            }
+        }
+    }
+    inverda_datalog::fusion::set_enabled(None);
+    db.set_snapshot_reuse(true);
+    out
+}
+
 /// Timings of one thread-scaling sweep (indices align with `workers`).
 struct ThreadScaling {
     workers: Vec<usize>,
@@ -765,6 +853,35 @@ fn main() {
     print_entries("wiki/cold", &wiki_qp_cold);
     print_entries("wiki/warm", &wiki_qp_warm);
 
+    println!("-- γ-chain fusion (Wikimedia scale {wiki_scale}, cold, fusion on/off)");
+    let fusion = bench_chain_fusion(wiki_scale, reps.min(3));
+    for (i, v) in fusion.versions.iter().enumerate() {
+        println!(
+            "   v{v:03} (depth {:>2}): QET {:>9.2} ms fused | {:>9.2} ms unfused || probe {:>8.2} ms fused | {:>8.2} ms unfused",
+            fusion.depths[i],
+            fusion.qet_fused_ms[i],
+            fusion.qet_unfused_ms[i],
+            fusion.probe_fused_ms[i],
+            fusion.probe_unfused_ms[i]
+        );
+    }
+    let qet_flat_fused = ChainFusion::flatness(&fusion.qet_fused_ms);
+    let qet_flat_unfused = ChainFusion::flatness(&fusion.qet_unfused_ms);
+    let probe_flat_fused = ChainFusion::flatness(&fusion.probe_fused_ms);
+    let probe_flat_unfused = ChainFusion::flatness(&fusion.probe_unfused_ms);
+    let last = fusion.versions.len() - 1;
+    let qet_speedup_deep =
+        fusion.qet_unfused_ms[last] / fusion.qet_fused_ms[last].max(f64::EPSILON);
+    let probe_speedup_deep =
+        fusion.probe_unfused_ms[last] / fusion.probe_fused_ms[last].max(f64::EPSILON);
+    println!(
+        "   flatness (max/min over depth): QET {qet_flat_fused:.2} fused vs {qet_flat_unfused:.2} unfused | probe {probe_flat_fused:.2} fused vs {probe_flat_unfused:.2} unfused"
+    );
+    println!(
+        "   at depth {}: QET {qet_speedup_deep:.1}x, probe {probe_speedup_deep:.1}x",
+        fusion.depths[last]
+    );
+
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -817,6 +934,24 @@ fn main() {
     let tasky_qp_warm_json = join_entries(&tasky_qp_warm);
     let wiki_qp_cold_json = join_entries(&wiki_qp_cold);
     let wiki_qp_warm_json = join_entries(&wiki_qp_warm);
+
+    let fusion_versions = fusion
+        .versions
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let fusion_depths = fusion
+        .depths
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let qet_fused_list = fmt_list(&fusion.qet_fused_ms);
+    let qet_unfused_list = fmt_list(&fusion.qet_unfused_ms);
+    let probe_fused_list = fmt_list(&fusion.probe_fused_ms);
+    let probe_unfused_list = fmt_list(&fusion.probe_unfused_ms);
+    let single_core = avail == 1;
 
     let DurableRound {
         off_ms,
@@ -875,8 +1010,24 @@ fn main() {
       "warm": {{ {wiki_qp_warm_json} }}
     }}
   }},
+  "chain_fusion": {{
+    "scale": {wiki_scale},
+    "versions": [{fusion_versions}],
+    "depths": [{fusion_depths}],
+    "cold_qet_fused_ms": [{qet_fused_list}],
+    "cold_qet_unfused_ms": [{qet_unfused_list}],
+    "cold_probe_fused_ms": [{probe_fused_list}],
+    "cold_probe_unfused_ms": [{probe_unfused_list}],
+    "qet_flatness_fused": {qet_flat_fused:.2},
+    "qet_flatness_unfused": {qet_flat_unfused:.2},
+    "probe_flatness_fused": {probe_flat_fused:.2},
+    "probe_flatness_unfused": {probe_flat_unfused:.2},
+    "qet_speedup_at_max_depth": {qet_speedup_deep:.2},
+    "probe_speedup_at_max_depth": {probe_speedup_deep:.2}
+  }},
   "thread_scaling": {{
     "available_parallelism": {avail},
+    "single_core": {single_core},
     "workers": [{workers_list}],
     "unbound_join_ms": [{join_list}],
     "materialize_ms": [{mat_list}],

@@ -9,12 +9,25 @@
 //! facade clears it whenever the genealogy changes (schema version created
 //! or dropped), which is the only event that can add or retire rule sets.
 //!
+//! The store also caches **fused γ-chains** ([`FusedChain`]): rule sets
+//! composing a whole run of adjacent mappings, built by `VersionedEdb` via
+//! `inverda_datalog::fusion`. A chain is keyed by its *source* table
+//! version; the *target* version it resolves toward is recorded in the
+//! entry — equivalent to `(source, target)` keying, because the target is a
+//! function of the source, the genealogy, and the materialization schema,
+//! and the cache is cleared whenever either changes (genealogy changes
+//! clear everything; `MATERIALIZE` clears the fused chains, whose hop
+//! structure depends on where the data lives, while the per-SMO
+//! compilations stay valid). A chain additionally records the aux tables
+//! it assumed empty at build time; users revalidate that assumption
+//! against live storage on every hit.
+//!
 //! [`Inverda`]: crate::Inverda
 
-use inverda_catalog::SmoId;
+use inverda_catalog::{SmoId, TableVersionId};
 use inverda_datalog::{CompiledRuleSet, RuleSet};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Which of an SMO's two rule sets is addressed.
@@ -26,10 +39,36 @@ pub enum Direction {
     ToSrc,
 }
 
-/// Cache of compiled rule sets keyed by `(SMO instance, direction)`.
+/// A fused γ-chain: one compiled rule set composing a run of adjacent
+/// mappings, resolving `source` directly against `target`'s side of the
+/// genealogy (plus any physical aux tables of the intermediate hops).
+#[derive(Debug)]
+pub struct FusedChain {
+    /// The fused, compiled rule set (skolem-free and non-staged by
+    /// construction).
+    pub crs: Arc<CompiledRuleSet>,
+    /// The table version this chain resolves (the cache key, recorded for
+    /// diagnostics).
+    pub source: TableVersionId,
+    /// The table version the chain's terminal data atom belongs to — the
+    /// far end of the fused run.
+    pub target: TableVersionId,
+    /// Number of γ mappings composed into `crs` (1 = no composition, the
+    /// single defining hop with aux-emptiness simplification applied).
+    pub hops: usize,
+    /// Physical aux tables that were empty at build time and whose rules
+    /// were simplified away under that assumption (Lemma 2). The chain is
+    /// only valid while every one of them is still empty; users must
+    /// revalidate before evaluating and invalidate on violation.
+    pub assumed_empty: BTreeSet<String>,
+}
+
+/// Cache of compiled rule sets keyed by `(SMO instance, direction)`, plus
+/// the fused-chain cache keyed by source table version.
 #[derive(Debug, Default)]
 pub struct CompiledStore {
     map: Mutex<HashMap<(SmoId, Direction), Arc<CompiledRuleSet>>>,
+    fused: Mutex<HashMap<TableVersionId, Arc<FusedChain>>>,
 }
 
 impl CompiledStore {
@@ -57,9 +96,45 @@ impl CompiledStore {
         Ok(compiled)
     }
 
-    /// Drop every cached compilation (called on genealogy changes).
+    /// The cached fused chain resolving `source`, if any. The caller must
+    /// revalidate `assumed_empty` before evaluating the chain.
+    pub fn fused_get(&self, source: TableVersionId) -> Option<Arc<FusedChain>> {
+        self.fused.lock().get(&source).map(Arc::clone)
+    }
+
+    /// Cache a fused chain under its source table version.
+    pub fn fused_insert(&self, chain: FusedChain) -> Arc<FusedChain> {
+        let shared = Arc::new(chain);
+        self.fused.lock().insert(shared.source, Arc::clone(&shared));
+        shared
+    }
+
+    /// Number of cached fused chains and the deepest hop run among them
+    /// (diagnostics — lets tests assert fusion actually engaged).
+    pub fn fused_stats(&self) -> (usize, usize) {
+        let fused = self.fused.lock();
+        let deepest = fused.values().map(|c| c.hops).max().unwrap_or(0);
+        (fused.len(), deepest)
+    }
+
+    /// Drop one fused chain (its emptiness assumption was violated).
+    pub fn fused_invalidate(&self, source: TableVersionId) {
+        self.fused.lock().remove(&source);
+    }
+
+    /// Drop every fused chain but keep the per-SMO compilations (called on
+    /// `MATERIALIZE`: moving the data changes which mapping defines each
+    /// version — and therefore every chain's hop structure — while the
+    /// SMO rule sets themselves are untouched).
+    pub fn clear_fused(&self) {
+        self.fused.lock().clear();
+    }
+
+    /// Drop every cached compilation and fused chain (called on genealogy
+    /// changes).
     pub fn clear(&self) {
         self.map.lock().clear();
+        self.fused.lock().clear();
     }
 
     /// Number of cached compilations (diagnostics).

@@ -641,6 +641,12 @@ impl Inverda {
         self.storage.sequences().current_key()
     }
 
+    /// Number of cached fused γ-chains and the deepest fused hop run
+    /// (diagnostics — lets tests assert that chain fusion engaged).
+    pub fn fused_chain_stats(&self) -> (usize, usize) {
+        self.compiled.fused_stats()
+    }
+
     /// Shared snapshot of one physical table, `None` if it does not exist
     /// (diagnostics and test oracles — e.g. re-deriving a virtual version
     /// with the naive reference interpreter from the physical state).

@@ -23,12 +23,13 @@
 //! raced by a concurrent write can never be served (its stamp is already
 //! behind the table's epoch).
 
-use crate::compiled::{CompiledStore, Direction};
+use crate::compiled::{CompiledStore, Direction, FusedChain};
 use crate::snapshot::SnapshotStore;
 use crate::Result;
 use inverda_catalog::{Genealogy, MaterializationSchema, StorageCase, TableVersionId};
 use inverda_datalog::eval::{evaluate_compiled, EdbView, Evaluator, IdSource};
-use inverda_datalog::{CompiledRuleSet, DatalogError, Literal, RuleSet};
+use inverda_datalog::simplify::{apply_empty, Derivation};
+use inverda_datalog::{fusion, CompiledRuleSet, DatalogError, Literal, RuleSet};
 use inverda_storage::{ColumnIndex, IndexCache, Key, Relation, Row, Storage, Value};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -38,6 +39,13 @@ use std::sync::Arc;
 /// levels so lookups probe with a **borrowed** value (no allocation on the
 /// hit or miss path).
 type ColumnRows = HashMap<usize, HashMap<Value, Vec<(Key, Row)>>>;
+
+/// SMO kinds whose mappings may start or extend a fused γ-chain: the
+/// column-level SMOs, whose rule sets are linear in a single data relation
+/// of the adjacent version. SPLIT/MERGE, JOIN, and DECOMPOSE restructure
+/// rows across relations (and the id-generating ones mint), so they
+/// terminate a run and are resolved hop by hop.
+const FUSABLE_KINDS: [&str; 4] = ["ADD COLUMN", "DROP COLUMN", "RENAME COLUMN", "RENAME TABLE"];
 
 /// Read view over the whole versioned database under one materialization
 /// schema. Caches resolved relations, key lookups, and join indexes for the
@@ -382,6 +390,13 @@ impl<'a> VersionedEdb<'a> {
         tv: TableVersionId,
         stamp: Option<&BTreeMap<String, u64>>,
     ) -> Result<Arc<Relation>> {
+        // One fused hop instead of k, when the chain fuses. The stamp was
+        // computed from the *original* hop-by-hop rules, i.e. the union of
+        // every constituent hop's footprint — exactly the read set of the
+        // fused evaluation (including the aux tables assumed empty).
+        if let Some(chain) = self.fused_chain(relation, tv) {
+            return self.resolve_with(relation, &chain.crs, stamp);
+        }
         let (smo, direction, rules) = self
             .defining_rules(tv)
             .expect("virtual table version must have defining rules");
@@ -485,6 +500,192 @@ impl<'a> VersionedEdb<'a> {
             .lock()
             .insert(relation.to_string(), Arc::clone(&shared));
         Ok(shared)
+    }
+
+    /// Whether `tv`'s defining hop may participate in a fused run: its SMO
+    /// is one of the column-level kinds and its rule set is skolem-free and
+    /// non-staged. Returns the mapping restricted to the rules deriving
+    /// `relation` (sound for non-staged sets, whose heads are independent).
+    fn fusable_hop(&self, relation: &str, tv: TableVersionId) -> Option<RuleSet> {
+        let (smo, _, rules) = self.defining_rules(tv)?;
+        if !FUSABLE_KINDS.contains(&self.genealogy.smo(smo).derived.kind) {
+            return None;
+        }
+        if !fusion::hop_fusable(rules) {
+            return None;
+        }
+        let restricted: Vec<_> = rules.rules_for(relation).into_iter().cloned().collect();
+        if restricted.is_empty() {
+            return None;
+        }
+        Some(RuleSet::new(restricted))
+    }
+
+    /// Lemma-2-simplify one hop's rules against its currently-empty
+    /// physical aux tables, **pinning** each one's (empty) snapshot into the
+    /// statement caches and recording it in `assumed`. Pinning makes the
+    /// assumption part of this statement's consistent read set: the aux
+    /// table is in the chain's resolution footprint, so a later write to it
+    /// bumps its epoch past the stamp and invalidates any snapshot resolved
+    /// through the fused chain — and every cache hit revalidates emptiness
+    /// before evaluating.
+    fn simplify_empty_aux(&self, rules: RuleSet, assumed: &mut BTreeSet<String>) -> RuleSet {
+        let mut empty = BTreeSet::new();
+        for rule in &rules.rules {
+            for lit in &rule.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                    let rel = a.relation.as_str();
+                    if empty.contains(rel)
+                        || !self.aux_index.contains_key(rel)
+                        || !self.storage.has_table(rel)
+                    {
+                        continue;
+                    }
+                    if let Ok(snap) = self.physical_full(rel) {
+                        if snap.is_empty() {
+                            empty.insert(rel.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        if empty.is_empty() {
+            return rules;
+        }
+        let simplified = apply_empty(&rules, &empty, &mut Derivation::new());
+        assumed.extend(empty);
+        simplified
+    }
+
+    /// The fused γ-chain resolving `relation` (a virtual table version):
+    /// served from the [`CompiledStore`] after revalidating its
+    /// aux-emptiness assumptions, built and cached on a miss. `None` when
+    /// fusion is disabled or the defining hop cannot be fused — callers
+    /// then take the ordinary hop-by-hop path.
+    fn fused_chain(&self, relation: &str, tv: TableVersionId) -> Option<Arc<FusedChain>> {
+        if !fusion::enabled() {
+            return None;
+        }
+        if let Some(hit) = self.compiled.fused_get(tv) {
+            let valid = hit.assumed_empty.iter().all(|aux| {
+                self.storage.has_table(aux)
+                    && self
+                        .physical_full(aux)
+                        .map(|r| r.is_empty())
+                        .unwrap_or(false)
+            });
+            if valid {
+                return Some(hit);
+            }
+            self.compiled.fused_invalidate(tv);
+        }
+        self.build_fused_chain(relation, tv)
+    }
+
+    /// Compose the longest fusable run starting at `relation`'s defining
+    /// hop into one rule set, compile it, and cache it. Body atoms over a
+    /// non-fusable (barrier) or budget-exceeding hop are left in place —
+    /// evaluation resolves them recursively, so a chain interrupted by a
+    /// SPLIT simply fuses per segment.
+    fn build_fused_chain(&self, relation: &str, tv: TableVersionId) -> Option<Arc<FusedChain>> {
+        let budget = fusion::FusionBudget::default();
+        let mut assumed = BTreeSet::new();
+        let mut fused = self.simplify_empty_aux(self.fusable_hop(relation, tv)?, &mut assumed);
+        if fused.rules_for(relation).is_empty() {
+            return None;
+        }
+        let mut hops = 1usize;
+        let mut target = tv;
+        let mut barriers: BTreeSet<String> = BTreeSet::new();
+        loop {
+            // Next intermediate: a body relation that is itself a virtual
+            // table version and not yet declared a barrier.
+            let next = fused
+                .rules
+                .iter()
+                .flat_map(|r| r.body.iter())
+                .find_map(|lit| match lit {
+                    Literal::Pos(a) | Literal::Neg(a) => {
+                        let rel = a.relation.as_str();
+                        if self.storage.has_table(rel) || barriers.contains(rel) {
+                            return None;
+                        }
+                        self.rel_index
+                            .get(rel)
+                            .copied()
+                            .map(|ctv| (rel.to_string(), ctv))
+                    }
+                    _ => None,
+                });
+            let Some((crel, ctv)) = next else { break };
+            let Some(defs) = self.fusable_hop(&crel, ctv) else {
+                barriers.insert(crel);
+                continue;
+            };
+            let defs = self.simplify_empty_aux(defs, &mut assumed);
+            let next_fused = if defs.is_empty() {
+                // Every defining rule vanished under the emptiness
+                // assumptions: the intermediate version is empty, Lemma 2
+                // applies to its occurrences directly.
+                let e: BTreeSet<String> = [crel.clone()].into_iter().collect();
+                apply_empty(&fused, &e, &mut Derivation::new())
+            } else {
+                match fusion::inline_hop(&fused, &defs, &budget) {
+                    Some(f) => f,
+                    None => {
+                        barriers.insert(crel);
+                        continue;
+                    }
+                }
+            };
+            if next_fused.rules_for(relation).is_empty() {
+                // The fused head would be empty — correct, but the resolve
+                // path expects at least one rule per requested head; leave
+                // this case to hop-by-hop resolution.
+                return None;
+            }
+            fused = next_fused;
+            hops += 1;
+            target = ctv;
+        }
+        let crs = Arc::new(CompiledRuleSet::compile(&fused).ok()?);
+        debug_assert!(!crs.staged() && !crs.mints_ids());
+        Some(self.compiled.fused_insert(FusedChain {
+            crs,
+            source: tv,
+            target,
+            hops,
+            assumed_empty: assumed,
+        }))
+    }
+
+    /// The fused chain's compiled rule set for `relation`, if one applies —
+    /// the seeded-probe paths (`by_key` / `by_column`) evaluate it in place
+    /// of the single defining mapping, pushing the binding through the
+    /// whole run at once.
+    fn fused_for(&self, relation: &str) -> Option<Arc<CompiledRuleSet>> {
+        let tv = self.rel_index.get(relation).copied()?;
+        self.fused_chain(relation, tv).map(|c| Arc::clone(&c.crs))
+    }
+
+    /// An already-materialized column index for `relation` — statement
+    /// cache or snapshot store — **without building one**. The query
+    /// planner's range path uses this to distinguish a free probe from one
+    /// that would pay an O(n) index build.
+    pub fn cached_index(&self, relation: &str, column: usize) -> Option<Arc<ColumnIndex>> {
+        if let Some(hit) = self.index_cache.get(relation, column) {
+            return Some(hit);
+        }
+        let store = self.snapshots?;
+        let hit = if self.storage.has_table(relation) {
+            let epoch = self.seen_epochs.lock().get(relation).copied()?;
+            store.get_index_physical(relation, column, epoch)
+        } else {
+            let rel = self.cache.lock().get(relation).map(Arc::clone)?;
+            store.get_index_virtual(relation, column, &rel)
+        }?;
+        self.index_cache.put(relation, column, Arc::clone(&hit));
+        Some(hit)
     }
 }
 
@@ -603,7 +804,9 @@ impl EdbView for VersionedEdb<'_> {
         if crs.staged() {
             return Ok(self.full(relation)?.get(key).cloned());
         }
-        // Push the key through the defining mapping.
+        // Push the key through the defining mapping — the whole fused run
+        // of it, when the chain fuses (fused sets are never staged).
+        let crs = self.fused_for(relation).unwrap_or(crs);
         let mut ev = Evaluator::new(self, self.ids);
         let row = ev.head_row_for_key(&crs, relation, key)?;
         self.key_cache
@@ -656,9 +859,15 @@ impl EdbView for VersionedEdb<'_> {
                 self.index(relation, column)?.rows_for(&rel, value)
             }
         } else {
-            let crs = self
-                .defining_compiled(relation)
-                .expect("pushable implies defining rules")?;
+            // Seed through the fused run when the chain fuses: the probe
+            // recurses into `by_column` of the chain's *terminal* relation
+            // instead of the adjacent hop, skipping the intermediates.
+            let crs = match self.fused_for(relation) {
+                Some(fused) => fused,
+                None => self
+                    .defining_compiled(relation)
+                    .expect("pushable implies defining rules")?,
+            };
             let mut ev = Evaluator::new(self, self.ids);
             ev.head_rows_by_column(&crs, relation, column, value)?
         };

@@ -229,8 +229,12 @@ impl Inverda {
         state.materialization = new_m;
         // The physical/virtual split changed: every defining rule set and
         // static footprint may differ, so resolved snapshots are retired
-        // wholesale (mirroring the compiled-rule cache on genealogy change).
+        // wholesale (mirroring the compiled-rule cache on genealogy change),
+        // and so is every fused γ-chain — its hop structure follows the
+        // storage cases. The per-SMO compilations stay valid: MATERIALIZE
+        // does not touch the rule sets themselves.
         self.snapshots.clear();
+        self.compiled.clear_fused();
         Ok(())
     }
 }

@@ -418,10 +418,30 @@ impl<'a> Query<'a> {
                 }
             }
             Selected::Keyed(rel, keys) => {
-                for &key in keys {
-                    if let Some(row) = rel.get(key) {
-                        out.upsert(key, project_row(row, proj))
-                            .map_err(crate::CoreError::from)?;
+                // Dense ascending selections (a scan or an unselective probe
+                // kept most rows, no ORDER BY re-sort) materialize by merging
+                // against one in-order walk of the relation; per-key tree
+                // probes only pay off when the selection is sparse.
+                let dense = keys.len() >= rel.len() / 2 && keys.windows(2).all(|w| w[0] < w[1]);
+                if dense {
+                    let mut wanted = keys.iter().copied().peekable();
+                    for (key, row) in rel.iter() {
+                        match wanted.peek() {
+                            Some(&k) if k == key => {
+                                wanted.next();
+                                out.upsert(key, project_row(row, proj))
+                                    .map_err(crate::CoreError::from)?;
+                            }
+                            Some(_) => {}
+                            None => break,
+                        }
+                    }
+                } else {
+                    for &key in keys {
+                        if let Some(row) = rel.get(key) {
+                            out.upsert(key, project_row(row, proj))
+                                .map_err(crate::CoreError::from)?;
+                        }
                     }
                 }
             }
@@ -667,32 +687,77 @@ impl<'a> Query<'a> {
             let keys = order_and_limit_keys(&rel, keys, order, limit);
             return Ok((AccessPath::Scan, Selected::Keyed(rel, keys)));
         };
-        let (access, candidates): (AccessPath, Vec<Key>) = match pushed {
-            Some(p) if p.column < rel.schema().arity() => {
+        let candidates: Option<(AccessPath, Vec<Key>)> = match pushed {
+            Some(p) if p.column < rel.schema().arity() && matches!(p.op, CmpOp::Eq) => {
+                // Equality: an O(1) hash probe after the (amortized,
+                // store-cached) index build — always worth it.
                 let index = edb
                     .index(relation, p.column)
                     .map_err(crate::CoreError::from)?;
-                (
+                Some((
                     AccessPath::IndexProbe {
                         column: rel.schema().columns[p.column].clone(),
                         op: p.op.sql(),
                     },
-                    index.keys_where(p.op, &p.value),
-                )
+                    index.keys_for(&p.value).to_vec(),
+                ))
             }
-            _ => (AccessPath::Scan, rel.keys().collect()),
+            Some(p) if p.column < rel.schema().arity() => {
+                // Range: the probe walks every distinct value and sorts the
+                // matches, so it only beats a scan when an index is already
+                // at hand (never build one for a range) *and* the candidate
+                // set is selective. Past half the relation, enumerating and
+                // sorting the matches costs more than the in-key-order scan
+                // it replaces — fall back. Both paths yield ascending-key
+                // candidates rechecked against the full predicate, so the
+                // selected rows are byte-identical either way.
+                edb.cached_index(relation, p.column)
+                    .and_then(|index| {
+                        (index.count_where(p.op, &p.value) <= rel.len() / 2)
+                            .then(|| index.keys_where(p.op, &p.value))
+                    })
+                    .map(|keys| {
+                        (
+                            AccessPath::IndexProbe {
+                                column: rel.schema().columns[p.column].clone(),
+                                op: p.op.sql(),
+                            },
+                            keys,
+                        )
+                    })
+            }
+            _ => None,
         };
         let early = order.is_none().then_some(limit).flatten();
         let mut selected = Vec::new();
-        for key in candidates {
-            let Some(row) = rel.get(key) else { continue };
-            if pred.matches(row).map_err(crate::CoreError::from)? {
-                selected.push(key);
-                if early.is_some_and(|n| selected.len() >= n) {
-                    break;
+        let access = match candidates {
+            Some((access, candidates)) => {
+                for key in candidates {
+                    let Some(row) = rel.get(key) else { continue };
+                    if pred.matches(row).map_err(crate::CoreError::from)? {
+                        selected.push(key);
+                        if early.is_some_and(|n| selected.len() >= n) {
+                            break;
+                        }
+                    }
                 }
+                access
             }
-        }
+            None => {
+                // Scan: walk the rows in place (ascending key order, same as
+                // the probe paths) instead of collecting keys and re-probing
+                // the map per key.
+                for (key, row) in rel.iter() {
+                    if pred.matches(row).map_err(crate::CoreError::from)? {
+                        selected.push(key);
+                        if early.is_some_and(|n| selected.len() >= n) {
+                            break;
+                        }
+                    }
+                }
+                AccessPath::Scan
+            }
+        };
         let selected = order_and_limit_keys(&rel, selected, order, limit);
         Ok((access, Selected::Keyed(rel, selected)))
     }

@@ -25,7 +25,11 @@
 //!   generated triggers (Section 6, Rules 52–54, citing Behrend et al.);
 //! * the five **simplification lemmas** of Section 5 ([`simplify`]) as
 //!   executable rule-set transformations, used to re-derive the paper's
-//!   bidirectionality proofs (Appendix A) mechanically.
+//!   bidirectionality proofs (Appendix A) mechanically;
+//! * **γ-chain fusion** ([`fusion`]): the `INVERDA_FUSION` knob, the
+//!   structural fusability gate, and budgeted Lemma-1 inlining, with which
+//!   the core crate statically composes runs of adjacent column-level
+//!   mappings into single fused rule sets.
 
 #![warn(missing_docs)]
 
@@ -33,6 +37,7 @@ pub mod ast;
 pub mod delta;
 pub mod error;
 pub mod eval;
+pub mod fusion;
 pub mod naive;
 pub mod parallel;
 pub mod simplify;

@@ -284,6 +284,20 @@ impl ColumnIndex {
         out
     }
 
+    /// Number of keys `keys_where` would return, at O(distinct values) and
+    /// without materializing or sorting them — the planner's selectivity
+    /// estimate for deciding between an index probe and a plain scan.
+    pub fn count_where(&self, op: crate::expr::CmpOp, probe: &Value) -> usize {
+        if matches!(op, crate::expr::CmpOp::Eq) {
+            return self.keys_for(probe).len();
+        }
+        self.map
+            .iter()
+            .filter(|(v, _)| op.apply(v, probe))
+            .map(|(_, keys)| keys.len())
+            .sum()
+    }
+
     /// The `(key, row)` pairs of `rel` whose indexed column equals `value`,
     /// in ascending key order — the probe-then-fetch step shared by every
     /// `by_column` implementation (rows are cloned out of the snapshot;
