@@ -280,6 +280,168 @@ fn bench_durable_write_round(
     }
 }
 
+struct ServingBench {
+    clients: Vec<usize>,
+    reads_per_s: Vec<f64>,
+    writes_per_s: Vec<f64>,
+    write_p50_ms: Vec<f64>,
+    write_p99_ms: Vec<f64>,
+}
+
+/// The concurrent serving layer vs client count: `c` writer clients push
+/// single-insert requests through the commit pipeline while `c` reader
+/// threads take epoch-pinned snapshots and scan a *virtual* version.
+/// Reports pinned reads/s and the p50/p99 acknowledgement latency of a
+/// write.
+///
+/// Before anything is timed, the same concurrent workload runs once with
+/// every acknowledgement recorded, and a plain sequential
+/// [`Inverda`](inverda_core::Inverda) replays the acknowledged ops in
+/// epoch order: the final states (scans of
+/// all three versions, skolem registry, key sequence) must be
+/// byte-identical, or the numbers would describe a broken pipeline.
+fn bench_concurrent_serving(tasks: usize, writes: usize) -> ServingBench {
+    use inverda_core::{Inverda, ServingInverda, ServingOp, ServingOutcome};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let state = |db: &Inverda| {
+        format!(
+            "{}{}{}{}{}{}",
+            db.scan("TasKy", "Task").unwrap(),
+            db.scan("Do!", "Todo").unwrap(),
+            db.scan("TasKy2", "Task").unwrap(),
+            db.scan("TasKy2", "Author").unwrap(),
+            db.debug_registry(),
+            db.debug_key_seq(),
+        )
+    };
+    let mut out = ServingBench {
+        clients: Vec::new(),
+        reads_per_s: Vec::new(),
+        writes_per_s: Vec::new(),
+        write_p50_ms: Vec::new(),
+        write_p99_ms: Vec::new(),
+    };
+    for clients in [1usize, 2, 4] {
+        // Equivalence pass: concurrent, recorded, then replayed
+        // single-threaded in epoch order.
+        {
+            let db = tasky::build();
+            tasky::load_tasks(&db, tasks.min(500));
+            let serving = ServingInverda::over(db);
+            let recs: Mutex<Vec<(u64, ServingOp)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let client = serving.client();
+                    let recs = &recs;
+                    scope.spawn(move || {
+                        for i in 0..writes.min(50) {
+                            let op = ServingOp::Apply {
+                                version: "TasKy".to_string(),
+                                table: "Task".to_string(),
+                                writes: vec![LogicalWrite::Insert(tasky::task_row(
+                                    100_000 + c * 10_000 + i,
+                                ))],
+                            };
+                            let reply = client.submit(op.clone());
+                            assert!(
+                                matches!(reply.outcome, Ok(ServingOutcome::Applied(_))),
+                                "serving write failed"
+                            );
+                            recs.lock().push((reply.epoch, op));
+                        }
+                    });
+                }
+            });
+            let served = state(serving.db());
+            let mut recs = recs.into_inner();
+            recs.sort_by_key(|(epoch, _)| *epoch);
+            let oracle = tasky::build();
+            tasky::load_tasks(&oracle, tasks.min(500));
+            for (_, op) in &recs {
+                if let ServingOp::Apply {
+                    version,
+                    table,
+                    writes,
+                } = op
+                {
+                    oracle
+                        .apply_many(version, table, writes.clone())
+                        .expect("oracle apply");
+                }
+            }
+            assert_eq!(
+                state(&oracle),
+                served,
+                "{clients}-client serving diverged from sequential epoch-order replay"
+            );
+        }
+
+        // Timed pass: writers measure per-acknowledgement latency, readers
+        // count epoch-pinned scans of the virtual Do! version meanwhile.
+        let db = tasky::build();
+        tasky::load_tasks(&db, tasks);
+        let serving = Arc::new(ServingInverda::over(db));
+        let stop = AtomicBool::new(false);
+        let reads = AtomicU64::new(0);
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let client = serving.client();
+                let latencies = &latencies;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(writes);
+                    for i in 0..writes {
+                        let t = Instant::now();
+                        let reply = client.insert(
+                            "TasKy",
+                            "Task",
+                            tasky::task_row(200_000 + c * 10_000 + i),
+                        );
+                        local.push(ms(t.elapsed()));
+                        assert!(reply.outcome.is_ok(), "serving write failed");
+                    }
+                    latencies.lock().extend(local);
+                });
+            }
+            for _ in 0..clients {
+                let reader = serving.reader();
+                let stop = &stop;
+                let reads = &reads;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let pin = reader.pin();
+                        let rel = pin.scan("Do!", "Todo").expect("pinned scan");
+                        assert!(!rel.is_empty(), "loaded Do! version is empty");
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Writers run to completion; readers are stopped when the last
+            // writer's handle would join (the scope itself joins them), so
+            // flag them down once all writes are acknowledged.
+            while latencies.lock().len() < clients * writes {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let mut lats = latencies.into_inner();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| lats[((lats.len() - 1) as f64 * p) as usize];
+        out.clients.push(clients);
+        out.reads_per_s
+            .push(reads.load(Ordering::Relaxed) as f64 / elapsed);
+        out.writes_per_s.push((clients * writes) as f64 / elapsed);
+        out.write_p50_ms.push(pct(0.5));
+        out.write_p99_ms.push(pct(0.99));
+    }
+    out
+}
+
 /// The same insert/update/delete shape as [`bench_tasky_round`]'s write
 /// round, submitted as mixed [`LogicalWrite`] batches through `apply_many`
 /// (one propagation round per batch of 10) — batching amortization on top
@@ -832,6 +994,20 @@ fn main() {
         durable.recovery_ms
     );
 
+    println!(
+        "-- concurrent serving ({tasks} tasks, {writes} writes/client, pinned readers on Do!)"
+    );
+    let serving = bench_concurrent_serving(tasks, writes);
+    for (i, c) in serving.clients.iter().enumerate() {
+        println!(
+            "   {c} client(s): {:>9.0} pinned reads/s | {:>8.0} writes/s | ack p50 {:>7.3} ms, p99 {:>7.3} ms",
+            serving.reads_per_s[i],
+            serving.writes_per_s[i],
+            serving.write_p50_ms[i],
+            serving.write_p99_ms[i]
+        );
+    }
+
     let wiki_scale = env_f64("INVERDA_WIKI_SCALE", 0.1);
     println!("-- query pushdown (TasKy {tasks} tasks; Wikimedia scale {wiki_scale})");
     let (tasky_qp_cold, tasky_qp_warm) = bench_query_pushdown_tasky(tasks, reps);
@@ -953,6 +1129,17 @@ fn main() {
     let probe_unfused_list = fmt_list(&fusion.probe_unfused_ms);
     let single_core = avail == 1;
 
+    let serving_clients = serving
+        .clients
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let serving_reads = fmt_list(&serving.reads_per_s);
+    let serving_writes = fmt_list(&serving.writes_per_s);
+    let serving_p50 = fmt_list(&serving.write_p50_ms);
+    let serving_p99 = fmt_list(&serving.write_p99_ms);
+
     let DurableRound {
         off_ms,
         commit_ms,
@@ -998,6 +1185,13 @@ fn main() {
     "recovery_records": {recovery_records},
     "recovery_log_bytes": {recovery_log_bytes},
     "recovery_ms": {recovery_ms:.3}
+  }},
+  "concurrent_serving": {{
+    "clients": [{serving_clients}],
+    "pinned_reads_per_s": [{serving_reads}],
+    "writes_per_s": [{serving_writes}],
+    "write_ack_p50_ms": [{serving_p50}],
+    "write_ack_p99_ms": [{serving_p99}]
   }},
   "query_pushdown": {{
     "tasky": {{

@@ -560,6 +560,18 @@ impl Inverda {
         self.snapshots.stats()
     }
 
+    /// Outstanding epoch-pinned readers on the snapshot store
+    /// (diagnostics; see [`Inverda::pin`]).
+    pub fn snapshot_pin_count(&self) -> u64 {
+        self.snapshots.pin_count()
+    }
+
+    /// Retired (non-current) snapshot versions held for epoch-pinned
+    /// readers (diagnostics; must be 0 when no pins are outstanding).
+    pub fn snapshot_retained_versions(&self) -> usize {
+        self.snapshots.retained_versions()
+    }
+
     /// Display form of the current materialization schema.
     pub fn materialization_display(&self) -> String {
         self.state.read().materialization.to_string()

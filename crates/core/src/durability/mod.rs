@@ -23,6 +23,7 @@ pub use wal::{Record, RecordBody, WalWriter};
 
 use inverda_storage::StorageError;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// When appended log records become crash-durable.
@@ -93,6 +94,12 @@ pub struct Durability {
     dir: PathBuf,
     options: DurabilityOptions,
     log: Mutex<LogState>,
+    /// When non-zero, overrides `options.group_size` on the live writer and
+    /// on every writer created by rotation. The serving pipeline sets this
+    /// to `u64::MAX`, turning the group window into cross-session batching:
+    /// fsync runs once per drained group (via [`flush`](Durability::flush)),
+    /// never from per-record counting.
+    group_override: AtomicU64,
     /// True when the directory is a process-private tempdir created by the
     /// `INVERDA_DURABILITY` env gate; removed on drop.
     pub(crate) temp: bool,
@@ -114,13 +121,37 @@ impl Durability {
                 generation,
                 records_since_checkpoint,
             }),
+            group_override: AtomicU64::new(0),
             temp: false,
         }
+    }
+
+    /// The group-commit window rotation hands to new writers: the override
+    /// when set, the configured `group_size` otherwise.
+    fn effective_group_size(&self) -> u64 {
+        match self.group_override.load(Ordering::Relaxed) {
+            0 => self.options.group_size,
+            n => n,
+        }
+    }
+
+    /// Install (or with `0` clear) a group-window override on the live
+    /// writer and all future rotations. See the field docs.
+    pub fn set_group_override(&self, group_size: u64) {
+        self.group_override.store(group_size, Ordering::Relaxed);
+        let mut log = self.log.lock().expect("durability log lock");
+        let effective = self.effective_group_size();
+        log.writer.set_group_size(effective);
     }
 
     /// The directory holding the log and checkpoint files.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured commit mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.options.mode
     }
 
     /// Append one record; returns true when the auto-checkpoint threshold
@@ -161,7 +192,7 @@ impl Durability {
             &self.dir,
             new_gen,
             self.options.mode,
-            self.options.group_size,
+            self.effective_group_size(),
         )?;
         checkpoint::sync_dir(&self.dir)?;
         let ckpt = build(new_gen);

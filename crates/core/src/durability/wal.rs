@@ -272,6 +272,14 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Change the group-commit window on the live writer. The serving
+    /// pipeline sets this to `u64::MAX` so per-record counting never
+    /// triggers an fsync — the pipeline syncs once per drained group
+    /// instead.
+    pub fn set_group_size(&mut self, group_size: u64) {
+        self.group_size = group_size.max(1);
+    }
+
     /// Force any unsynced appends to disk.
     pub fn sync(&mut self) -> inverda_storage::Result<()> {
         self.file

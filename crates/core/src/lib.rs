@@ -48,6 +48,7 @@ pub mod edb;
 pub mod error;
 pub mod migrate;
 pub mod query;
+pub mod serving;
 pub mod snapshot;
 pub mod write;
 
@@ -56,6 +57,9 @@ pub use durability::{DurabilityMode, DurabilityOptions};
 pub use error::CoreError;
 pub use inverda_datalog::parallel::{set_threads, threads};
 pub use query::{AccessPath, Query, QueryPlan, RowIter};
+pub use serving::{
+    Client, PinnedView, Reader, ServingInverda, ServingOp, ServingOutcome, ServingReply,
+};
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use write::LogicalWrite;
 

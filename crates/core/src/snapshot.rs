@@ -35,6 +35,30 @@
 //! change — exactly the events that can alter the defining rule sets or the
 //! physical/virtual split — mirroring [`CompiledStore`].
 //!
+//! ## Epoch-versioned invalidation (the serving layer's contract)
+//!
+//! Invalidation is **versioned, not in-place**: each relation holds a short
+//! list of snapshot versions, oldest first, whose last element is *current*.
+//! Superseding a version (a commit-time patch, a fresh `store_entry`, an
+//! epoch-stale eviction) *retires* the old version — keeps it in the list —
+//! whenever epoch-pinned readers are outstanding
+//! ([`acquire_pin`](SnapshotStore::acquire_pin)); with no pins it is dropped
+//! immediately, preserving the single-session memory profile. Every lookup
+//! scans versions newest-first for one whose **exact** footprint stamps
+//! match the probing [`Storage`] — live storage only ever matches the
+//! current version (epochs are monotonic), while a reader that pinned table
+//! epochs `E` (its [`Storage::from_pinned`] view reproduces `E`) matches
+//! whichever version was resolved at `E`.
+//! [`fork_for_pin`](SnapshotStore::fork_for_pin) hands such a reader a
+//! private store of
+//! `Arc`-shared versions, so a pin taken from a store the commit pipeline
+//! has already advanced still starts warm at its own epochs, and its cold
+//! resolutions never touch the shared store. Correctness invalidations
+//! (aux-purge hits, unpatchable deltas, targeted
+//! [`invalidate`](SnapshotStore::invalidate)) drop the current version *for
+//! real* — those mark entries wrong for their stamps, not merely
+//! superseded — and `clear()` still empties everything.
+//!
 //! The warm/cold equivalence discipline (a warm read must be byte-identical
 //! to cold resolution, including skolem id minting) is enforced by the
 //! property tests in `tests/snapshot_reuse_props.rs`.
@@ -51,7 +75,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One cached snapshot (see the module docs).
+/// One cached snapshot version (see the module docs).
+#[derive(Clone)]
 struct Entry {
     /// Resolved contents for virtual relations; `None` for physical
     /// relations (served from storage — the entry only carries indexes).
@@ -70,12 +95,64 @@ impl Entry {
     }
 }
 
+/// Most versions one relation retains (current + retired). Retired versions
+/// only accumulate while epoch-pinned readers are outstanding; the cap
+/// bounds memory under a permanently pinned soak.
+const VERSION_CAP: usize = 5;
+
 #[derive(Default)]
 struct Inner {
-    entries: HashMap<String, Entry>,
+    /// Relation → snapshot versions, oldest first; the **last** element is
+    /// current, everything before it is retired (see the module docs on
+    /// epoch-versioned invalidation). The list is never left empty — a
+    /// relation with no versions has no map entry.
+    entries: HashMap<String, Vec<Arc<Entry>>>,
     /// Static resolution footprints per relation (data-independent, so they
     /// are computed once per catalog state and survive patching).
     footprints: HashMap<String, Arc<BTreeSet<String>>>,
+}
+
+impl Inner {
+    fn first_valid<'a>(&'a self, relation: &str, storage: &Storage) -> Option<&'a Arc<Entry>> {
+        self.entries
+            .get(relation)?
+            .iter()
+            .rev()
+            .find(|e| e.is_valid(storage))
+    }
+
+    /// Install `entry` as the new current version of `relation`. The
+    /// previous current is retired when `retain` is set and its stamps
+    /// differ (identical stamps mean the new version supersedes it for
+    /// every possible pin); otherwise it is dropped.
+    fn push_version(&mut self, relation: &str, entry: Entry, retain: bool) {
+        let versions = self.entries.entry(relation.to_string()).or_default();
+        if let Some(last) = versions.last() {
+            if !retain || last.footprint == entry.footprint {
+                versions.pop();
+            }
+        }
+        versions.push(Arc::new(entry));
+        if versions.len() > VERSION_CAP {
+            versions.remove(0);
+        }
+    }
+
+    /// Drop the current version of `relation` — a correctness invalidation,
+    /// not a supersession, so it is never retired. Retired versions stay:
+    /// their stamps are strictly older than the live epochs, so only
+    /// in-flight epoch-pinned forks can still match them. Returns whether a
+    /// version was dropped.
+    fn drop_current(&mut self, relation: &str) -> bool {
+        let Some(versions) = self.entries.get_mut(relation) else {
+            return false;
+        };
+        let dropped = versions.pop().is_some();
+        if versions.is_empty() {
+            self.entries.remove(relation);
+        }
+        dropped
+    }
 }
 
 /// Hit/miss/maintenance counters (diagnostics and tests).
@@ -96,6 +173,10 @@ pub struct SnapshotStats {
 #[derive(Default)]
 pub struct SnapshotStore {
     inner: Mutex<Inner>,
+    /// Outstanding epoch-pinned reader forks. While non-zero, superseded
+    /// snapshot versions are retired (kept servable at their old stamps)
+    /// instead of dropped.
+    pins: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     patches: AtomicU64,
@@ -127,20 +208,26 @@ impl SnapshotStore {
             .clone()
     }
 
-    /// The cached snapshot of a virtual relation, if one exists and its
-    /// whole footprint is at the stamped epochs. A stale entry is dropped.
+    /// The cached snapshot of a virtual relation, if some version's whole
+    /// footprint is at exactly the probing storage's epochs (newest version
+    /// wins). When every version is stale the line is dropped — unless
+    /// epoch-pinned readers are outstanding, in which case the versions are
+    /// retired in place so an in-flight fork can still copy them.
     pub fn get(&self, relation: &str, storage: &Storage) -> Option<Arc<Relation>> {
         let mut inner = self.inner.lock();
         match inner.entries.get(relation) {
-            Some(entry) if entry.is_valid(storage) => {
-                let rel = entry.rel.as_ref().map(Arc::clone)?;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(rel)
-            }
-            Some(_) => {
-                inner.entries.remove(relation);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+            Some(versions) => {
+                if let Some(entry) = versions.iter().rev().find(|e| e.is_valid(storage)) {
+                    let rel = entry.rel.as_ref().map(Arc::clone)?;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(rel)
+                } else {
+                    if self.pins.load(Ordering::Relaxed) == 0 {
+                        inner.entries.remove(relation);
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -163,13 +250,14 @@ impl SnapshotStore {
         based_on: &Arc<Relation>,
     ) -> Option<Arc<ColumnIndex>> {
         let inner = self.inner.lock();
-        let entry = inner.entries.get(relation)?;
-        let rel = entry.rel.as_ref()?;
-        if Arc::ptr_eq(rel, based_on) {
-            entry.indexes.get(&column).map(Arc::clone)
-        } else {
-            None
-        }
+        inner.entries.get(relation)?.iter().rev().find_map(|entry| {
+            let rel = entry.rel.as_ref()?;
+            if Arc::ptr_eq(rel, based_on) {
+                entry.indexes.get(&column).map(Arc::clone)
+            } else {
+                None
+            }
+        })
     }
 
     /// The cached join index for a *physical* table, served only if the
@@ -184,30 +272,34 @@ impl SnapshotStore {
         epoch: u64,
     ) -> Option<Arc<ColumnIndex>> {
         let inner = self.inner.lock();
-        let entry = inner.entries.get(relation)?;
-        if entry.rel.is_none() && entry.footprint.get(relation) == Some(&epoch) {
-            entry.indexes.get(&column).map(Arc::clone)
-        } else {
-            None
-        }
+        inner.entries.get(relation)?.iter().rev().find_map(|entry| {
+            if entry.rel.is_none() && entry.footprint.get(relation) == Some(&epoch) {
+                entry.indexes.get(&column).map(Arc::clone)
+            } else {
+                None
+            }
+        })
     }
 
-    /// Store a freshly resolved virtual snapshot with its stamped footprint.
-    /// Replaces any previous entry (and its indexes — they described the old
-    /// snapshot).
+    /// Store a freshly resolved virtual snapshot with its stamped footprint
+    /// as the new current version. The previous current (and its indexes —
+    /// they described the old snapshot) is retired or dropped per the
+    /// versioning policy.
     pub fn store_entry(
         &self,
         relation: &str,
         rel: Arc<Relation>,
         footprint: BTreeMap<String, u64>,
     ) {
-        self.inner.lock().entries.insert(
-            relation.to_string(),
+        let retain = self.pins.load(Ordering::Relaxed) > 0;
+        self.inner.lock().push_version(
+            relation,
             Entry {
                 rel: Some(rel),
                 footprint,
                 indexes: HashMap::new(),
             },
+            retain,
         );
     }
 
@@ -223,11 +315,16 @@ impl SnapshotStore {
         based_on: &Arc<Relation>,
     ) {
         let mut inner = self.inner.lock();
-        if let Some(entry) = inner.entries.get_mut(relation) {
-            if let Some(rel) = &entry.rel {
-                if Arc::ptr_eq(rel, based_on) {
-                    entry.indexes.insert(column, index);
-                }
+        if let Some(versions) = inner.entries.get_mut(relation) {
+            let pos = versions
+                .iter()
+                .position(|e| e.rel.as_ref().is_some_and(|r| Arc::ptr_eq(r, based_on)));
+            if let Some(pos) = pos {
+                // Same logical version with one more index — an in-place
+                // `Arc` swap, not a supersession, so nothing is retired.
+                let mut entry = (*versions[pos]).clone();
+                entry.indexes.insert(column, index);
+                versions[pos] = Arc::new(entry);
             }
         }
     }
@@ -242,18 +339,36 @@ impl SnapshotStore {
         index: Arc<ColumnIndex>,
         epoch: u64,
     ) {
+        let retain = self.pins.load(Ordering::Relaxed) > 0;
         let mut inner = self.inner.lock();
-        let entry = inner
-            .entries
-            .entry(relation.to_string())
-            .or_insert_with(|| Entry {
+        if let Some(versions) = inner.entries.get_mut(relation) {
+            let pos = versions
+                .iter()
+                .position(|e| e.rel.is_none() && e.footprint.get(relation) == Some(&epoch));
+            if let Some(pos) = pos {
+                // Extend the existing carrier at this exact epoch in place.
+                let mut entry = (*versions[pos]).clone();
+                entry.indexes.insert(column, index);
+                versions[pos] = Arc::new(entry);
+                return;
+            }
+            // Refuse to supersede a virtual snapshot line or a carrier that
+            // already moved past this epoch with an older-epoch carrier.
+            if versions.last().is_some_and(|cur| {
+                cur.rel.is_some() || cur.footprint.get(relation).is_some_and(|e| *e > epoch)
+            }) {
+                return;
+            }
+        }
+        inner.push_version(
+            relation,
+            Entry {
                 rel: None,
                 footprint: BTreeMap::from([(relation.to_string(), epoch)]),
-                indexes: HashMap::new(),
-            });
-        if entry.rel.is_none() && entry.footprint.get(relation) == Some(&epoch) {
-            entry.indexes.insert(column, index);
-        }
+                indexes: HashMap::from([(column, index)]),
+            },
+            retain,
+        );
     }
 
     /// The stored snapshot of a virtual relation if its entry is valid
@@ -264,12 +379,11 @@ impl SnapshotStore {
     /// read would have served.
     pub fn peek_valid(&self, relation: &str, storage: &Storage) -> Option<Arc<Relation>> {
         let inner = self.inner.lock();
-        let entry = inner.entries.get(relation)?;
-        if entry.is_valid(storage) {
-            entry.rel.as_ref().map(Arc::clone)
-        } else {
-            None
-        }
+        inner
+            .first_valid(relation, storage)?
+            .rel
+            .as_ref()
+            .map(Arc::clone)
     }
 
     /// Names of entries that are valid *right now* — captured by the write
@@ -280,7 +394,7 @@ impl SnapshotStore {
             .lock()
             .entries
             .iter()
-            .filter(|(_, e)| e.is_valid(storage))
+            .filter(|(_, versions)| versions.iter().any(|e| e.is_valid(storage)))
             .map(|(name, _)| name.clone())
             .collect()
     }
@@ -296,32 +410,75 @@ impl SnapshotStore {
         valid_before: &BTreeSet<String>,
         storage: &Storage,
     ) {
+        let retain = self.pins.load(Ordering::Relaxed) > 0;
         let mut inner = self.inner.lock();
         for rel in &maint.invalidate {
-            if inner.entries.remove(rel).is_some() {
+            if inner.drop_current(rel) {
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
             }
         }
         for (rel, delta) in &maint.patches {
-            let Some(entry) = inner.entries.get_mut(rel) else {
+            let Some(versions) = inner.entries.get_mut(rel) else {
                 continue;
             };
-            let purged = entry.footprint.keys().any(|t| maint.purged.contains(t));
-            if !valid_before.contains(rel) || purged || !patch_entry(entry, delta) {
-                inner.entries.remove(rel);
+            let Some(current) = versions.last() else {
+                continue;
+            };
+            // A purge hit or a pre-write-stale entry marks the *current*
+            // version wrong/unpatchable — a correctness invalidation, so it
+            // is dropped for real, never retired.
+            let purged = current.footprint.keys().any(|t| maint.purged.contains(t));
+            if !valid_before.contains(rel) || purged {
+                versions.pop();
+                if versions.is_empty() {
+                    inner.entries.remove(rel);
+                }
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            for (table, epoch) in entry.footprint.iter_mut() {
-                *epoch = storage.epoch_of(table);
+            // Patch the current version into a new one; the pre-patch
+            // version is retired while pins are outstanding (it stays
+            // servable at its old stamps).
+            let old = versions.pop().expect("current version exists");
+            let mut entry;
+            let mut retired = None;
+            if retain {
+                entry = (*old).clone();
+                retired = Some(old);
+            } else {
+                entry = Arc::try_unwrap(old).unwrap_or_else(|arc| (*arc).clone());
             }
-            self.patches.fetch_add(1, Ordering::Relaxed);
+            if patch_entry(&mut entry, delta) {
+                for (table, epoch) in entry.footprint.iter_mut() {
+                    *epoch = storage.epoch_of(table);
+                }
+                if let Some(old) = retired {
+                    // Identical stamps mean the patched version supersedes
+                    // the old one for every possible pin.
+                    if old.footprint != entry.footprint {
+                        versions.push(old);
+                    }
+                }
+                versions.push(Arc::new(entry));
+                if versions.len() > VERSION_CAP {
+                    versions.remove(0);
+                }
+                self.patches.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Unpatchable delta: correctness invalidation of the
+                // current version (retired copies, if any, stay).
+                if versions.is_empty() {
+                    inner.entries.remove(rel);
+                }
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    /// Drop one entry (targeted invalidation).
+    /// Drop the current version of one relation (targeted correctness
+    /// invalidation — never retired).
     pub fn invalidate(&self, relation: &str) {
-        if self.inner.lock().entries.remove(relation).is_some() {
+        if self.inner.lock().drop_current(relation) {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -346,12 +503,15 @@ impl SnapshotStore {
 
     /// Names of virtual entries currently valid (diagnostics).
     pub fn entry_names(&self, storage: &Storage) -> Vec<(String, Arc<Relation>)> {
-        self.inner
-            .lock()
+        let inner = self.inner.lock();
+        inner
             .entries
-            .iter()
-            .filter(|(_, e)| e.rel.is_some() && e.is_valid(storage))
-            .map(|(name, e)| (name.clone(), Arc::clone(e.rel.as_ref().unwrap())))
+            .keys()
+            .filter_map(|name| {
+                let entry = inner.first_valid(name, storage)?;
+                let rel = entry.rel.as_ref()?;
+                Some((name.clone(), Arc::clone(rel)))
+            })
             .collect()
     }
 
@@ -362,6 +522,66 @@ impl SnapshotStore {
             misses: self.misses.load(Ordering::Relaxed),
             patches: self.patches.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Register an epoch-pinned reader. While any pin is outstanding,
+    /// superseded snapshot versions are retired instead of dropped, so a
+    /// fork taken a beat later can still copy the version matching its
+    /// pinned epochs. Must be called **before** capturing the epochs the
+    /// pin will read at; paired with [`release_pin`](SnapshotStore::release_pin).
+    pub fn acquire_pin(&self) {
+        self.pins.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Release an epoch-pinned reader. When the last pin goes away all
+    /// retired versions are pruned — only the current version of each
+    /// relation survives.
+    pub fn release_pin(&self) {
+        if self.pins.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut inner = self.inner.lock();
+            for versions in inner.entries.values_mut() {
+                if versions.len() > 1 {
+                    versions.drain(..versions.len() - 1);
+                }
+            }
+        }
+    }
+
+    /// Number of outstanding epoch-pinned readers.
+    pub fn pin_count(&self) -> u64 {
+        self.pins.load(Ordering::Relaxed)
+    }
+
+    /// Total retired (non-current) versions held across all relations
+    /// (diagnostics: must be 0 when no pins are outstanding).
+    pub fn retained_versions(&self) -> usize {
+        self.inner
+            .lock()
+            .entries
+            .values()
+            .map(|v| v.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// A private copy of this store for an epoch-pinned reader: shares the
+    /// snapshot versions (`Arc`) and cached footprints at fork time, but is
+    /// fully isolated afterwards — the pin's cold resolutions (which may
+    /// mint scratch skolem ids deterministic only for that pin's own read
+    /// history) never flow back, and later live-store maintenance never
+    /// touches the fork. The fork starts with zero pins and zero counters.
+    pub fn fork_for_pin(&self) -> SnapshotStore {
+        let inner = self.inner.lock();
+        SnapshotStore {
+            inner: Mutex::new(Inner {
+                entries: inner.entries.clone(),
+                footprints: inner.footprints.clone(),
+            }),
+            pins: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -596,6 +816,101 @@ mod tests {
         assert!(store.get_index_physical("T", 0, now).is_none());
         store.store_index_physical("T", 0, idx, epoch);
         assert!(store.get_index_physical("T", 0, now).is_none());
+    }
+
+    #[test]
+    fn pins_retire_superseded_versions_and_release_prunes() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        let pinned_epoch = storage.epoch_of("T");
+        let fp = BTreeMap::from([("T".to_string(), pinned_epoch)]);
+        store.store_entry("V", rel_with("V", &[(1, 10)]), fp);
+
+        store.acquire_pin();
+        // A reader pins the current table epochs before the table moves.
+        let pinned_tables = BTreeMap::from([(
+            "T".to_string(),
+            (storage.snapshot("T").unwrap(), pinned_epoch),
+        )]);
+        bump(&storage, "T", 7, 7);
+        // Live probe misses but the stale version is retired, not dropped.
+        assert!(store.get("V", &storage).is_none());
+        assert_eq!(store.len(), 1, "version retired while pinned");
+        // A fresh store_entry supersedes: old version retained alongside.
+        let fp_new = BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]);
+        store.store_entry("V", rel_with("V", &[(1, 10), (7, 7)]), fp_new);
+        assert_eq!(store.retained_versions(), 1);
+
+        // A pinned storage view reproducing the old epochs is served the
+        // retired version; live storage is served the current one.
+        let pinned = Storage::from_pinned(pinned_tables, 1);
+        let old = store.get("V", &pinned).expect("retired version serves pin");
+        assert_eq!(old.len(), 1);
+        let new = store.get("V", &storage).expect("current serves live");
+        assert_eq!(new.len(), 2);
+
+        store.release_pin();
+        assert_eq!(store.retained_versions(), 0, "release prunes retirees");
+        assert!(store.get("V", &storage).is_some(), "current survives");
+    }
+
+    #[test]
+    fn fork_for_pin_is_isolated_from_live_store() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        let pinned_epoch = storage.epoch_of("T");
+        store.store_entry(
+            "V",
+            rel_with("V", &[(1, 10)]),
+            BTreeMap::from([("T".to_string(), pinned_epoch)]),
+        );
+        store.acquire_pin();
+        let pinned_tables = BTreeMap::from([(
+            "T".to_string(),
+            (storage.snapshot("T").unwrap(), pinned_epoch),
+        )]);
+        bump(&storage, "T", 7, 7);
+        store.store_entry(
+            "V",
+            rel_with("V", &[(1, 10), (7, 7)]),
+            BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]),
+        );
+
+        let fork = store.fork_for_pin();
+        let pinned = Storage::from_pinned(pinned_tables, 1);
+        // The fork serves the pin's epochs even after the live store drops
+        // every version.
+        store.clear();
+        let rel = fork.get("V", &pinned).expect("fork serves pinned epoch");
+        assert_eq!(rel.len(), 1);
+        // And writes into the fork never reach the live store.
+        fork.store_entry(
+            "W",
+            rel_with("W", &[(2, 2)]),
+            BTreeMap::from([("T".to_string(), pinned.epoch_of("T"))]),
+        );
+        assert!(store.is_empty());
+        store.release_pin();
+    }
+
+    #[test]
+    fn correctness_invalidation_drops_even_under_pin() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        store.store_entry(
+            "V",
+            rel_with("V", &[(1, 10)]),
+            BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]),
+        );
+        store.acquire_pin();
+        store.invalidate("V");
+        assert!(
+            store.get("V", &storage).is_none(),
+            "targeted invalidation is never retired"
+        );
+        assert!(store.is_empty());
+        assert_eq!(store.stats().invalidations, 1);
+        store.release_pin();
     }
 
     #[test]

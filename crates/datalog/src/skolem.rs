@@ -148,6 +148,11 @@ pub struct SkolemRegistry {
     /// When `Some`, every mutation is appended here for the WAL (enabled by
     /// the durability layer; `None` costs nothing on the in-memory path).
     journal: Option<Vec<RegOp>>,
+    /// Bumped on every state mutation (mint, observe, unobserve, purge,
+    /// replay). A cheap change probe: the serving layer's commit pipeline
+    /// re-clones the registry for its published snapshot only when the
+    /// revision moved. Not persisted; a decoded registry restarts at 0.
+    revision: u64,
 }
 
 impl SkolemRegistry {
@@ -164,6 +169,7 @@ impl SkolemRegistry {
         let counter = self.counters.entry(generator.to_string()).or_insert(0);
         *counter += 1;
         let id = *counter;
+        self.revision += 1;
         self.memo
             .entry(generator.to_string())
             .or_default()
@@ -194,6 +200,7 @@ impl SkolemRegistry {
             return id;
         }
         let id = mint();
+        self.revision += 1;
         self.memo
             .entry(generator.to_string())
             .or_default()
@@ -210,6 +217,7 @@ impl SkolemRegistry {
     /// `ID` auxiliary table after a migration or data load) so future mints
     /// neither collide with nor contradict it.
     pub fn observe(&mut self, generator: &str, args: &[Value], id: u64) {
+        self.revision += 1;
         self.memo
             .entry(generator.to_string())
             .or_default()
@@ -230,6 +238,7 @@ impl SkolemRegistry {
     /// later occurrence of the old payload mints a fresh id instead of
     /// colliding with the repurposed one.
     pub fn unobserve(&mut self, generator: &str, args: &[Value]) {
+        self.revision += 1;
         if let Some(inner) = self.memo.get_mut(generator) {
             inner.remove(args);
         }
@@ -242,6 +251,7 @@ impl SkolemRegistry {
     /// Forget every assignment of a generator (migration re-seeds from the
     /// relocated tables afterwards).
     pub fn purge_generator(&mut self, generator: &str) {
+        self.revision += 1;
         self.memo.remove(generator);
         self.journal_push(|| RegOp::Purge {
             generator: generator.to_string(),
@@ -297,9 +307,17 @@ impl SkolemRegistry {
         }
     }
 
+    /// The mutation revision: bumped by every state-changing call since
+    /// construction (decode restarts at 0). Equal revisions on the same
+    /// instance mean no mutation happened in between.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Replay one journaled mutation. Does **not** journal the replay — the
     /// op came from the log and must not be re-recorded.
     pub fn apply_op(&mut self, op: &RegOp) {
+        self.revision += 1;
         match op {
             RegOp::Mint {
                 generator,
@@ -350,6 +368,7 @@ impl Codec for SkolemRegistry {
             memo: BTreeMap::decode(r)?,
             counters: BTreeMap::decode(r)?,
             journal: None,
+            revision: 0,
         })
     }
 }

@@ -202,6 +202,47 @@ impl Storage {
         self.tables.read().get(name).map(|e| e.epoch).unwrap_or(0)
     }
 
+    /// Snapshot **every** table together with its epoch under one read lock
+    /// (mutually consistent) — the raw material of an epoch-pinned reader
+    /// view (see [`Storage::from_pinned`]).
+    pub fn snapshot_all(&self) -> BTreeMap<String, (Arc<Relation>, u64)> {
+        self.tables
+            .read()
+            .iter()
+            .map(|(name, entry)| (name.clone(), (Arc::clone(&entry.rel), entry.epoch)))
+            .collect()
+    }
+
+    /// The current value of the engine-wide epoch counter (the next
+    /// mutation stamps a strictly larger epoch). Diagnostics and pinning.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch_seq.load(Ordering::Relaxed)
+    }
+
+    /// Rebuild a standalone `Storage` from pinned `(snapshot, epoch)` pairs
+    /// — O(tables) `Arc` bumps, no row copies. The result reproduces the
+    /// pinned tables *and their epochs* exactly, so footprint-stamped
+    /// snapshot-store entries taken at those epochs keep validating against
+    /// it; the key sequence resumes at `key_seq` so read-path id minting
+    /// over the pinned view mints exactly what a cold read at the pinned
+    /// state would have minted. The epoch counter resumes past the largest
+    /// pinned epoch (pinned views are never written, so this only keeps the
+    /// invariant that live epochs are unique).
+    pub fn from_pinned(tables: BTreeMap<String, (Arc<Relation>, u64)>, key_seq: u64) -> Self {
+        let max_epoch = tables.values().map(|(_, e)| *e).max().unwrap_or(0);
+        let tables = tables
+            .into_iter()
+            .map(|(name, (rel, epoch))| (name, TableEntry { rel, epoch }))
+            .collect();
+        let sequences = SequenceSet::new();
+        sequences.ensure_key_above(key_seq.saturating_sub(1));
+        Storage {
+            tables: RwLock::new(tables),
+            sequences,
+            epoch_seq: AtomicU64::new(max_epoch + 1),
+        }
+    }
+
     /// Snapshot several tables under one read lock (mutually consistent).
     pub fn snapshot_many(&self, names: &[&str]) -> Result<Vec<Arc<Relation>>> {
         let tables = self.tables.read();
@@ -520,6 +561,38 @@ mod tests {
         assert!(e1 > e0);
         // The old snapshot still describes the old epoch's contents.
         assert!(snap0.is_empty());
+    }
+
+    #[test]
+    fn from_pinned_reproduces_tables_epochs_and_key_seq() {
+        let s = storage_with_t();
+        let mut b = WriteBatch::new();
+        b.insert(
+            "T",
+            s.sequences().next_key(),
+            vec![Value::Int(1), Value::Int(2)],
+        );
+        s.apply(&b).unwrap();
+        s.create_table(TableSchema::new("U", ["x"]).unwrap())
+            .unwrap();
+
+        let pinned_tables = s.snapshot_all();
+        let key_seq = s.sequences().current_key();
+        let pin = Storage::from_pinned(pinned_tables, key_seq);
+        assert_eq!(pin.table_names(), s.table_names());
+        assert_eq!(pin.epoch_of("T"), s.epoch_of("T"));
+        assert_eq!(pin.epoch_of("U"), s.epoch_of("U"));
+        assert_eq!(pin.row_count("T").unwrap(), 1);
+        assert_eq!(pin.sequences().current_key(), key_seq);
+        assert_eq!(pin.sequences().next_key(), s.sequences().next_key());
+        assert!(pin.current_epoch() > pin.epoch_of("T"));
+
+        // The pin is isolated: later writes to the origin do not move it.
+        let mut b2 = WriteBatch::new();
+        b2.delete("T", Key(1));
+        s.apply(&b2).unwrap();
+        assert_eq!(pin.row_count("T").unwrap(), 1);
+        assert_ne!(pin.epoch_of("T"), s.epoch_of("T"));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The concurrent serving layer: epoch-pinned snapshot readers over any
+//! schema version while a pipelined writer commits batches — readers never
+//! block writers, writers never tear a reader's view.
+//!
+//! Run with: `cargo run --release --example serving_demo`
+
+use inverda::{ServingInverda, ServingOutcome};
+use inverda_workloads::tasky;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // Figure 1's three co-existing versions, with some data.
+    let db = tasky::build();
+    tasky::load_tasks(&db, 500);
+
+    // Wrap the engine: any number of reader handles, one commit pipeline.
+    let serving = Arc::new(ServingInverda::over(db));
+
+    // A pin is a consistent snapshot of the WHOLE database — every version,
+    // the skolem registry, the key sequence — at one commit epoch.
+    let before = serving.pin();
+    let rows_before = before.count("Do!", "Todo").unwrap();
+    println!(
+        "pinned epoch {} sees {} Do! todos",
+        before.epoch(),
+        rows_before
+    );
+
+    // Writers and readers race freely: writes funnel through the pipeline
+    // (acknowledged in dense epoch order), readers keep taking fresh pins.
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let client = serving.client();
+        let stopw = Arc::clone(&stop);
+        scope.spawn(move || {
+            let mut epochs = Vec::new();
+            for i in 0..200usize {
+                let reply = client.insert(
+                    "TasKy",
+                    "Task",
+                    vec![
+                        format!("author{}", i % 7).into(),
+                        format!("concurrent task {i}").into(),
+                        ((i % 3 + 1) as i64).into(),
+                    ],
+                );
+                assert!(matches!(reply.outcome, Ok(ServingOutcome::Applied(_))));
+                epochs.push(reply.epoch);
+            }
+            stopw.store(true, Ordering::Relaxed);
+            println!(
+                "writer: 200 inserts acknowledged, epochs {}..={}",
+                epochs.first().unwrap(),
+                epochs.last().unwrap()
+            );
+        });
+
+        let reader = serving.reader();
+        scope.spawn(move || {
+            let mut pins = 0u64;
+            let mut last = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let pin = reader.pin();
+                assert!(pin.epoch() >= last, "published epochs are monotone");
+                last = pin.epoch();
+                // Each pin is internally consistent: the SPLIT side and the
+                // source version agree at this epoch, no matter what the
+                // writer commits meanwhile.
+                let tasky_prio1 = pin
+                    .scan("TasKy", "Task")
+                    .unwrap()
+                    .iter()
+                    .filter(|(_, row)| row[2] == 1.into())
+                    .count();
+                let todos = pin.count("Do!", "Todo").unwrap();
+                assert_eq!(tasky_prio1, todos, "pin tore between versions");
+                pins += 1;
+            }
+            println!("reader: {pins} consistent pins up to epoch {last}");
+        });
+    });
+
+    // The old pin still answers from its epoch — MVCC, not locking.
+    assert_eq!(before.count("Do!", "Todo").unwrap(), rows_before);
+    let now = serving.pin();
+    println!(
+        "epoch {} still sees {} todos; epoch {} sees {}",
+        before.epoch(),
+        rows_before,
+        now.epoch(),
+        now.count("Do!", "Todo").unwrap()
+    );
+    drop(before);
+    serving.shutdown();
+    println!("done");
+}

@@ -40,7 +40,8 @@ pub use inverda_storage as storage;
 pub use inverda_workloads as workloads;
 
 pub use inverda_core::{
-    AccessPath, CoreError, DurabilityMode, DurabilityOptions, ExecutionOutcome, Inverda, Query,
-    QueryPlan, RowIter, WritePath,
+    AccessPath, Client, CoreError, DurabilityMode, DurabilityOptions, ExecutionOutcome, Inverda,
+    PinnedView, Query, QueryPlan, Reader, RowIter, ServingInverda, ServingOp, ServingOutcome,
+    ServingReply, WritePath,
 };
 pub use inverda_storage::{Expr, Key, Relation, Value};
