@@ -448,7 +448,7 @@ fn bench_concurrent_serving(tasks: usize, writes: usize) -> ServingBench {
 /// of the warm snapshot path. Returns `(elapsed_ms, ops_executed)`: updates
 /// reference keys from a *previous* batch, so the first batch contributes
 /// no updates and the op count differs slightly from the sequential round.
-fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize) {
+fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize, String) {
     let db = tasky::build();
     db.set_write_path(WritePath::Delta);
     tasky::load_tasks(&db, tasks);
@@ -491,7 +491,174 @@ fn bench_tasky_round_batched(tasks: usize, writes: usize) -> (f64, usize) {
             db.apply_many("Do!", "Todo", chunk.to_vec()).unwrap();
         }
     });
-    (ms(round), ops)
+    let state = format!(
+        "{}{}{}{}",
+        db.scan("TasKy", "Task").unwrap(),
+        db.scan("Do!", "Todo").unwrap(),
+        db.debug_registry(),
+        db.debug_key_seq()
+    );
+    (ms(round), ops, state)
+}
+
+/// Run `f` with the batch-execution override pinned to `on`, restoring the
+/// environment-driven default afterwards.
+fn with_batch<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    inverda_datalog::batch::set_enabled(Some(on));
+    let out = f();
+    inverda_datalog::batch::set_enabled(None);
+    out
+}
+
+/// Batch (vectorized) execution vs the frame machine on the large-fan-out
+/// paths (indices: `[on, off]` per workload).
+struct BatchExec {
+    /// TasKy `MATERIALIZE 'Do!'` round-trip.
+    mat_ms: [f64; 2],
+    /// Cold full resolution of the Wikimedia head version (62-hop chain).
+    wiki_cold_ms: [f64; 2],
+    /// Warm `apply_many` write round.
+    apply_many_ms: [f64; 2],
+    /// Batch chunks executed during the batch-on runs (engagement proof).
+    chunks: usize,
+}
+
+/// The three large-fan-out workloads with `INVERDA_BATCH` on vs off —
+/// byte-equality (rows, skolem registries, key sequences) asserted before
+/// any number is reported. The determinism contract makes the two timings
+/// directly comparable: same bytes, different executor.
+fn bench_batch_exec(tasks: usize, writes: usize, scale: f64, reps: usize) -> BatchExec {
+    use inverda_workloads::wikimedia;
+    let chunks_before = inverda_datalog::batch::execs();
+
+    // MATERIALIZE round-trip over the TasKy SPLIT/DROP chain. Equality
+    // pass first (one untimed round-trip per setting), then the timings.
+    let mat_run = |on: bool| -> (String, f64) {
+        with_batch(on, || {
+            let db = tasky::build();
+            db.set_write_path(WritePath::Delta);
+            tasky::load_tasks(&db, tasks);
+            db.materialize(&["Do!".to_string()]).expect("materialize");
+            db.materialize(&["TasKy".to_string()]).expect("back");
+            let state = format!(
+                "{}{}{}{}",
+                db.scan("TasKy", "Task").unwrap(),
+                db.scan("Do!", "Todo").unwrap(),
+                db.debug_registry(),
+                db.debug_key_seq()
+            );
+            let t = median_time(reps.min(3), || {
+                db.materialize(&["Do!".to_string()]).expect("materialize");
+                db.materialize(&["TasKy".to_string()]).expect("back");
+            });
+            (state, ms(t))
+        })
+    };
+    let (mat_state_on, mat_on) = mat_run(true);
+    let (mat_state_off, mat_off) = mat_run(false);
+    assert_eq!(
+        mat_state_on, mat_state_off,
+        "batch execution changed MATERIALIZE bytes"
+    );
+
+    // Cold full resolution of the Wikimedia head version: scan both tables
+    // of v171 while the data lives 62 hops below.
+    let db = wikimedia::install();
+    db.execute(&format!(
+        "MATERIALIZE '{}';",
+        wikimedia::version_name(wikimedia::LOAD_VERSION)
+    ))
+    .expect("materialize load version");
+    wikimedia::load_akan(&db, wikimedia::LOAD_VERSION, scale);
+    db.set_snapshot_reuse(false);
+    let wiki_state = |on: bool| -> String {
+        with_batch(on, || {
+            let name = wikimedia::version_name(171);
+            format!(
+                "{}{}{}{}",
+                db.scan(&name, "page").expect("wiki scan"),
+                db.scan(&name, "links").expect("wiki scan"),
+                db.debug_registry(),
+                db.debug_key_seq()
+            )
+        })
+    };
+    assert_eq!(
+        wiki_state(true),
+        wiki_state(false),
+        "batch execution changed cold deep-chain bytes"
+    );
+    let wiki_run = |on: bool| -> f64 {
+        with_batch(on, || {
+            ms(median_time(reps.min(3), || {
+                wikimedia::query_version(&db, 171)
+            }))
+        })
+    };
+    let wiki_on = wiki_run(true);
+    let wiki_off = wiki_run(false);
+    db.set_snapshot_reuse(true);
+
+    // Bulk apply_many write round (warm snapshots): same ops either way —
+    // final states (key sequence included) must match across the knob.
+    let (am_on, _, am_state_on) = with_batch(true, || bench_tasky_round_batched(tasks, writes));
+    let (am_off, _, am_state_off) = with_batch(false, || bench_tasky_round_batched(tasks, writes));
+    assert_eq!(
+        am_state_on, am_state_off,
+        "batch execution changed the apply_many round bytes"
+    );
+
+    let chunks = inverda_datalog::batch::execs() - chunks_before;
+    assert!(
+        chunks > 0,
+        "batch executor never engaged — timings meaningless"
+    );
+    BatchExec {
+        mat_ms: [mat_on, mat_off],
+        wiki_cold_ms: [wiki_on, wiki_off],
+        apply_many_ms: [am_on, am_off],
+        chunks,
+    }
+}
+
+/// Whole-database Wikimedia migration: bulk-load at the load version, then
+/// `MATERIALIZE` the head version (62 hops of chunked whole-relation
+/// evaluation) and migrate back. The paper's "relocate the physical schema"
+/// story at workload scale — runnable at `INVERDA_WIKI_SCALE=1.0` (CI runs
+/// the smoke scale).
+struct WikiMaterialize {
+    rows_page: usize,
+    rows_links: usize,
+    to_head_ms: f64,
+    back_ms: f64,
+}
+
+fn bench_wiki_materialize(scale: f64) -> WikiMaterialize {
+    use inverda_workloads::wikimedia;
+    let db = wikimedia::install();
+    let load_v = wikimedia::version_name(wikimedia::LOAD_VERSION);
+    let head_v = wikimedia::version_name(171);
+    db.execute(&format!("MATERIALIZE '{load_v}';"))
+        .expect("materialize load version");
+    wikimedia::load_akan(&db, wikimedia::LOAD_VERSION, scale);
+    let to_head = median_time(1, || {
+        db.materialize(std::slice::from_ref(&head_v))
+            .expect("materialize head");
+    });
+    let rows_page = db.count(&head_v, "page").expect("count");
+    let rows_links = db.count(&head_v, "links").expect("count");
+    let back = median_time(1, || {
+        db.materialize(std::slice::from_ref(&load_v))
+            .expect("materialize back");
+    });
+    // The round-trip must land where it started.
+    assert_eq!(db.count(&head_v, "page").expect("count"), rows_page);
+    WikiMaterialize {
+        rows_page,
+        rows_links,
+        to_head_ms: ms(to_head),
+        back_ms: ms(back),
+    }
 }
 
 /// One query-pushdown measurement: the same filtered read answered by the
@@ -960,7 +1127,7 @@ fn main() {
     let (load_delta, round_cold) = bench_tasky_round(tasks, writes, WritePath::Delta, false);
     let (_, round_recompute) = bench_tasky_round(tasks, writes, WritePath::Recompute, false);
     let (_, round_warm) = bench_tasky_round(tasks, writes, WritePath::Delta, true);
-    let (batched_warm, batched_ops) = bench_tasky_round_batched(tasks, writes);
+    let (batched_warm, batched_ops, _) = bench_tasky_round_batched(tasks, writes);
     // insert/update pairs plus the cleanup deletes.
     let ops = writes + writes / 2;
     let cold_wps = ops as f64 / (round_cold / 1e3);
@@ -1061,6 +1228,33 @@ fn main() {
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    println!("-- batch execution (INVERDA_BATCH on/off, available_parallelism = {avail})");
+    let batch = bench_batch_exec(tasks, writes, wiki_scale, reps);
+    let batch_line = |label: &str, pair: [f64; 2]| {
+        println!(
+            "   {label:<24} {:>10.2} ms batch | {:>10.2} ms frame machine ({:.2}x)",
+            pair[0],
+            pair[1],
+            pair[1] / pair[0].max(f64::EPSILON)
+        );
+    };
+    batch_line("materialize round-trip:", batch.mat_ms);
+    batch_line("wiki cold deep chain:", batch.wiki_cold_ms);
+    batch_line("apply_many round:", batch.apply_many_ms);
+    println!("   batch chunks executed:   {:>10}", batch.chunks);
+
+    println!(
+        "-- wikimedia materialize (scale {wiki_scale}, {} hops)",
+        171 - 109
+    );
+    let wiki_mat = bench_wiki_materialize(wiki_scale);
+    println!(
+        "   to head:  {:10.2} ms ({} page rows, {} links rows)",
+        wiki_mat.to_head_ms, wiki_mat.rows_page, wiki_mat.rows_links
+    );
+    println!("   back:     {:10.2} ms", wiki_mat.back_ms);
+
     println!("-- thread scaling (available_parallelism = {avail})");
     let scaling = bench_thread_scaling(rows, tasks, writes, reps);
     for (i, w) in scaling.workers.iter().enumerate() {
@@ -1148,6 +1342,19 @@ fn main() {
         recovery_log_bytes,
         recovery_ms,
     } = durable;
+    let [mat_batch, mat_frame] = batch.mat_ms;
+    let [wiki_batch, wiki_frame] = batch.wiki_cold_ms;
+    let [am_batch, am_frame] = batch.apply_many_ms;
+    let batch_chunks = batch.chunks;
+    let mat_batch_speedup = mat_frame / mat_batch.max(f64::EPSILON);
+    let wiki_batch_speedup = wiki_frame / wiki_batch.max(f64::EPSILON);
+    let am_batch_speedup = am_frame / am_batch.max(f64::EPSILON);
+    let WikiMaterialize {
+        rows_page,
+        rows_links,
+        to_head_ms,
+        back_ms,
+    } = wiki_mat;
     let json = format!(
         r#"{{
   "bench": "eval",
@@ -1218,6 +1425,28 @@ fn main() {
     "probe_flatness_unfused": {probe_flat_unfused:.2},
     "qet_speedup_at_max_depth": {qet_speedup_deep:.2},
     "probe_speedup_at_max_depth": {probe_speedup_deep:.2}
+  }},
+  "batch_exec": {{
+    "available_parallelism": {avail},
+    "single_core": {single_core},
+    "materialize_batch_ms": {mat_batch:.3},
+    "materialize_frame_ms": {mat_frame:.3},
+    "materialize_speedup": {mat_batch_speedup:.2},
+    "wiki_cold_chain_batch_ms": {wiki_batch:.3},
+    "wiki_cold_chain_frame_ms": {wiki_frame:.3},
+    "wiki_cold_chain_speedup": {wiki_batch_speedup:.2},
+    "apply_many_batch_ms": {am_batch:.3},
+    "apply_many_frame_ms": {am_frame:.3},
+    "apply_many_speedup": {am_batch_speedup:.2},
+    "chunks_executed": {batch_chunks}
+  }},
+  "wiki_materialize": {{
+    "available_parallelism": {avail},
+    "scale": {wiki_scale},
+    "rows_page": {rows_page},
+    "rows_links": {rows_links},
+    "to_head_ms": {to_head_ms:.3},
+    "back_ms": {back_ms:.3}
   }},
   "thread_scaling": {{
     "available_parallelism": {avail},

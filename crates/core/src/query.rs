@@ -421,28 +421,19 @@ impl<'a> Query<'a> {
                 // Dense ascending selections (a scan or an unselective probe
                 // kept most rows, no ORDER BY re-sort) materialize by merging
                 // against one in-order walk of the relation; per-key tree
-                // probes only pay off when the selection is sparse.
-                let dense = keys.len() >= rel.len() / 2 && keys.windows(2).all(|w| w[0] < w[1]);
-                if dense {
-                    let mut wanted = keys.iter().copied().peekable();
-                    for (key, row) in rel.iter() {
-                        match wanted.peek() {
-                            Some(&k) if k == key => {
-                                wanted.next();
-                                out.upsert(key, project_row(row, proj))
-                                    .map_err(crate::CoreError::from)?;
-                            }
-                            Some(_) => {}
-                            None => break,
-                        }
+                // probes only pay off when the selection is sparse. Both
+                // shapes live in [`Relation::select_rows`].
+                let mut first_err: Option<crate::CoreError> = None;
+                rel.select_rows(keys, |key, row| {
+                    if first_err.is_some() {
+                        return;
                     }
-                } else {
-                    for &key in keys {
-                        if let Some(row) = rel.get(key) {
-                            out.upsert(key, project_row(row, proj))
-                                .map_err(crate::CoreError::from)?;
-                        }
+                    if let Err(e) = out.upsert(key, project_row(row, proj)) {
+                        first_err = Some(crate::CoreError::from(e));
                     }
+                });
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
             }
             Selected::Owned(rows) => {

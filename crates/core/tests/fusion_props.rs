@@ -364,9 +364,12 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..12),
         tsel in 0usize..3,
         cold in any::<bool>(),
+        batch in any::<bool>(),
     ) {
         let _serial = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         inverda_core::set_threads(Some([1usize, 2, 4][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let (script, versions, head) = build_chain(&hops);
         let source = ("G0".to_string(), "T0".to_string());
         let mut h = Harness::new(&script, versions, source, head, cold);
@@ -383,9 +386,12 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..12),
         tsel in 0usize..3,
         cold in any::<bool>(),
+        batch in any::<bool>(),
     ) {
         let _serial = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         inverda_core::set_threads(Some([1usize, 2, 4][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let versions = (0..6).map(|i| format!("G{i}")).collect();
         let mut h = Harness::new(
             JOIN_SCRIPT,

@@ -261,11 +261,15 @@ proptest! {
     fn warm_reads_equal_cold_resolution_tasky(
         ops in prop::collection::vec(op_strategy(2, 3), 1..25),
         tsel in 0usize..3,
+        batch in any::<bool>(),
     ) {
-        // Randomize the parallel width: warm ≡ cold must hold — including
-        // skolem id assignment — whether the engine evaluates sequentially
-        // or fans out on the pool.
+        // Randomize the parallel width and the batch executor: warm ≡ cold
+        // must hold — including skolem id assignment — whether the engine
+        // evaluates sequentially, fans out on the pool, or runs the
+        // vectorized plans.
         inverda_core::set_threads(Some([1usize, 2, 4][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let mut h = Harness::new(
             TASKY_SCRIPT,
             vec![("TasKy", "Task"), ("Do!", "Todo")],
@@ -283,8 +287,11 @@ proptest! {
     fn warm_reads_equal_cold_resolution_overlapping_split(
         ops in prop::collection::vec(op_strategy(3, 2), 1..25),
         tsel in 0usize..3,
+        batch in any::<bool>(),
     ) {
         inverda_core::set_threads(Some([1usize, 2, 4][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let mut h = Harness::new(
             SPLIT_SCRIPT,
             vec![("V1", "T"), ("V2", "R"), ("V2", "S")],
@@ -309,8 +316,11 @@ proptest! {
     fn warm_reads_equal_cold_resolution_minting_chain(
         ops in prop::collection::vec(op_strategy(2, 3), 1..25),
         tsel in 0usize..4,
+        batch in any::<bool>(),
     ) {
         inverda_core::set_threads(Some([1usize, 2, 4, 8][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let mut h = Harness::new(
             MINT_CHAIN_SCRIPT,
             vec![("V1", "D"), ("V3", "W")],

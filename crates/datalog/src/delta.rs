@@ -271,8 +271,9 @@ fn propagate_unstaged(
         .map(|d| d.deletes.len() + d.inserts.len())
         .sum();
     // Preparing the patched view also prepares (and pre-resolves) the base.
+    let par_min_work = crate::tuning::par_min_work();
     let par = crate::parallel::threads() > 1
-        && probe_work >= PAR_MIN_WORK
+        && probe_work >= par_min_work
         && patched
             .prepare_parallel(&crs.body_relations())
             .unwrap_or(false);
@@ -293,7 +294,7 @@ fn propagate_unstaged(
 
     // ---- Phase 3: resolve candidates exactly in both states.
     let n_candidates: usize = candidates.values().map(BTreeSet::len).sum();
-    let (new_rows, old_rows) = if par && n_candidates >= PAR_MIN_WORK {
+    let (new_rows, old_rows) = if par && n_candidates >= par_min_work {
         resolve_candidates_parallel(crs, base, &patched, &candidates, scope)?
     } else {
         let mut new_rows: BTreeMap<(String, Key), Option<Row>> = BTreeMap::new();
@@ -425,10 +426,6 @@ pub fn patch_delta_map(deltas: DeltaMap, patch: &PlaceholderPatch) -> DeltaMap {
         .collect()
 }
 
-/// Below this many probe tuples / candidate keys a write stays sequential:
-/// single-statement OLTP deltas are too small to amortize a fan-out.
-const PAR_MIN_WORK: usize = 64;
-
 #[derive(Clone, Copy, PartialEq)]
 enum ProbeState {
     Old,
@@ -488,7 +485,7 @@ fn probe_rules_parallel(
                             Arc::new(side.iter().map(|(k, r)| (*k, r.clone())).collect())
                         }),
                 );
-                for range in crate::parallel::chunk_ranges(tuples.len(), width, 16) {
+                for range in crate::parallel::chunk_ranges(tuples.len(), width) {
                     jobs.push(Job {
                         new_state: state == ProbeState::New,
                         rule_idx,
@@ -560,7 +557,7 @@ fn resolve_candidates_parallel(
         .flat_map(|(head, keys)| keys.iter().map(move |k| (head.as_str(), *k)))
         .collect();
     let width = crate::parallel::threads();
-    let ranges = crate::parallel::chunk_ranges(pairs.len(), width, 16);
+    let ranges = crate::parallel::chunk_ranges(pairs.len(), width);
     // The new-state pass runs first, like the sequential code.
     let mut maps: Vec<BTreeMap<(String, Key), Option<Row>>> = Vec::new();
     for new_state in [true, false] {

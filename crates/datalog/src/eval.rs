@@ -411,7 +411,7 @@ pub enum CTerm {
 
 impl CTerm {
     /// The value this term resolves to under `frame`, if fully resolved.
-    fn resolved<'a>(&'a self, frame: &'a Frame) -> Option<&'a Value> {
+    pub(crate) fn resolved<'a>(&'a self, frame: &'a [Option<Value>]) -> Option<&'a Value> {
         match self {
             CTerm::Const(c) => Some(c),
             CTerm::Var(s) => frame[*s].as_ref(),
@@ -444,7 +444,7 @@ impl CAtom {
 /// column-name ASTs but carry a precomputed name→slot table so evaluation
 /// does no string building.
 #[derive(Debug, Clone)]
-enum CLit {
+pub(crate) enum CLit {
     Pos(CAtom),
     Neg(CAtom),
     Cond {
@@ -469,13 +469,13 @@ enum CLit {
 pub struct CompiledRule {
     /// Head atom (first term is the derived key).
     pub head: CAtom,
-    body: Vec<CLit>,
+    pub(crate) body: Vec<CLit>,
     /// Number of interned variables (= frame width).
     pub n_vars: usize,
     /// Slot → variable name (diagnostics).
     pub var_names: Vec<String>,
     /// Evaluation order with nothing pre-bound.
-    base_order: Vec<usize>,
+    pub(crate) base_order: Vec<usize>,
     /// Evaluation order with the head key variable pre-bound (key-seeded
     /// evaluation); `None` when the head key is not a pushable variable.
     keyed_order: Option<Vec<usize>>,
@@ -488,7 +488,7 @@ pub struct CompiledRule {
     /// seeding it restricts evaluation.
     pub seedable: bool,
     /// Display form of the source rule (for errors).
-    display: String,
+    pub(crate) display: String,
 }
 
 /// A rule set compiled for evaluation. Built once per rule set via
@@ -503,6 +503,11 @@ pub struct CompiledRuleSet {
     /// Whether some rule consumes a head derived by the set itself
     /// (`old`/`new` staging of the id-generating SMOs).
     staged: bool,
+    /// The batch (vectorized) execution plan, compiled once here so every
+    /// cached `Arc<CompiledRuleSet>` (the core crate's `CompiledStore`)
+    /// carries its plan for free. `None` for staged/minting sets and sets
+    /// with no batchable rule — they stay on the frame machine.
+    batch_plan: Option<crate::batch::BatchPlan>,
 }
 
 impl CompiledRuleSet {
@@ -528,11 +533,29 @@ impl CompiledRuleSet {
                 _ => false,
             })
         });
+        // Staged sets need strict rule ordering with heads shadowing the
+        // EDB, and minting sets need the frame machine's reservation
+        // scopes — only parallel-safe sets get a batch plan.
+        let mints = compiled
+            .iter()
+            .any(|r| r.body.iter().any(|l| matches!(l, CLit::Skolem { .. })));
+        let batch_plan = if staged || mints {
+            None
+        } else {
+            crate::batch::compile_plan(&compiled)
+        };
         Ok(CompiledRuleSet {
             rules: compiled,
             head_index,
             staged,
+            batch_plan,
         })
+    }
+
+    /// The precompiled batch execution plan, if the set has one (see
+    /// [`crate::batch`]).
+    pub(crate) fn batch_plan(&self) -> Option<&crate::batch::BatchPlan> {
+        self.batch_plan.as_ref()
     }
 
     /// Whether the set consumes its own heads (`old`/`new` staging).
@@ -907,6 +930,13 @@ pub fn evaluate_compiled(
     head_columns: &BTreeMap<String, Vec<String>>,
 ) -> Result<BTreeMap<String, Relation>> {
     if crs.parallel_safe() {
+        // Batch (vectorized) execution first: relational-algebra pipelines
+        // over whole chunks, chunk-parallel at width ≥ 2, byte-identical
+        // to the frame machine (see `crate::batch`). `None` falls through
+        // to the tuple-at-a-time engines.
+        if let Some(out) = crate::batch::try_evaluate(crs, edb, head_columns)? {
+            return Ok(out);
+        }
         if let Some(out) = try_evaluate_parallel(crs, edb, head_columns)? {
             return Ok(out);
         }
@@ -961,7 +991,7 @@ fn evaluate_ordered(
         };
         let ranges = plan
             .as_ref()
-            .map(|(_, _, keys)| crate::parallel::chunk_ranges(keys.len(), width, 16))
+            .map(|(_, _, keys)| crate::parallel::chunk_ranges(keys.len(), width))
             .unwrap_or_default();
         if ranges.len() < 2 {
             let tuples = ev.rule_head_tuples(rule, &rule.base_order, None)?;
@@ -1121,7 +1151,7 @@ fn plan_rule_chunks(
     let Some((lit, rel, keys)) = ev.plan_chunk_scan(&crs.rules[ri])? else {
         return Ok(None);
     };
-    let chunks = crate::parallel::chunk_ranges(keys.len(), width, 16)
+    let chunks = crate::parallel::chunk_ranges(keys.len(), width)
         .into_iter()
         .map(|range| ParTask::Chunk {
             rule: ri,
@@ -1189,7 +1219,7 @@ impl<'a> Evaluator<'a> {
     /// this evaluator, so derived heads (staged sets) chunk just like EDB
     /// relations. `Ok(None)` / `Err` mean "evaluate the rule inline".
     #[allow(clippy::type_complexity)]
-    fn plan_chunk_scan(
+    pub(crate) fn plan_chunk_scan(
         &self,
         rule: &CompiledRule,
     ) -> Result<Option<(usize, Arc<Relation>, Arc<Vec<Key>>)>> {
@@ -1221,7 +1251,7 @@ impl<'a> Evaluator<'a> {
     /// Evaluate one contiguous chunk of a rule's depth-0 candidates,
     /// returning the head tuples in candidate order (the fragment a merge
     /// epilogue emits in chunk order).
-    fn chunk_head_tuples(
+    pub(crate) fn chunk_head_tuples(
         &self,
         rule: &CompiledRule,
         lit: usize,
@@ -1234,11 +1264,17 @@ impl<'a> Evaluator<'a> {
         let mut frame: Frame = vec![None; rule.n_vars];
         let mut trail = Vec::with_capacity(rule.n_vars);
         let mut out = Vec::new();
-        for &key in keys {
-            let Some(row) = rel.get(key) else { continue };
+        // `select_rows` walks dense ascending chunks by one in-order merge
+        // instead of per-key tree probes; visit order (and thus tuple and
+        // error order) is identical to the per-key loop it replaced.
+        let mut first_err: Option<DatalogError> = None;
+        rel.select_rows(keys, |key, row| {
+            if first_err.is_some() {
+                return;
+            }
             let mark = trail.len();
             if unify_atom(atom, key, row, &mut frame, &mut trail) {
-                self.join(
+                let joined = self.join(
                     rule,
                     &rule.base_order,
                     1,
@@ -1248,15 +1284,21 @@ impl<'a> Evaluator<'a> {
                         out.push(head_tuple(rule, frame)?);
                         Ok(())
                     },
-                )?;
+                );
+                if let Err(e) = joined {
+                    first_err = Some(e);
+                }
             }
             undo(&mut frame, &mut trail, mark);
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
-        Ok(out)
     }
 
     /// Consume the evaluator, unwrapping the derived heads.
-    fn into_derived(self) -> BTreeMap<String, Relation> {
+    pub(crate) fn into_derived(self) -> BTreeMap<String, Relation> {
         self.derived
             .into_iter()
             .map(|(name, rel)| {
@@ -1266,7 +1308,7 @@ impl<'a> Evaluator<'a> {
             .collect()
     }
 
-    fn ensure_head(
+    pub(crate) fn ensure_head(
         &mut self,
         head: &str,
         arity: usize,
@@ -1284,7 +1326,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Add a derived head tuple, detecting key conflicts.
-    fn emit(&mut self, head: &str, key: Key, row: Row) -> Result<()> {
+    pub(crate) fn emit(&mut self, head: &str, key: Key, row: Row) -> Result<()> {
         let rel = self
             .derived
             .get_mut(head)
@@ -1309,14 +1351,14 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Resolve a relation for matching: derived heads shadow the EDB.
-    fn relation_full(&self, name: &str) -> Result<Arc<Relation>> {
+    pub(crate) fn relation_full(&self, name: &str) -> Result<Arc<Relation>> {
         if let Some(rel) = self.derived.get(name) {
             return Ok(Arc::clone(rel));
         }
         self.edb.full(name)
     }
 
-    fn relation_by_key(&self, name: &str, key: Key) -> Result<Option<Row>> {
+    pub(crate) fn relation_by_key(&self, name: &str, key: Key) -> Result<Option<Row>> {
         if let Some(rel) = self.derived.get(name) {
             return Ok(rel.get(key).cloned());
         }
@@ -1325,7 +1367,7 @@ impl<'a> Evaluator<'a> {
 
     /// The join index for `(relation, column)`: served from the EDB's cache
     /// for EDB relations, from the evaluator-local cache for derived heads.
-    fn index_for(&self, relation: &str, column: usize) -> Result<Arc<ColumnIndex>> {
+    pub(crate) fn index_for(&self, relation: &str, column: usize) -> Result<Arc<ColumnIndex>> {
         if let Some(rel) = self.derived.get(relation) {
             return self
                 .derived_indexes
@@ -1336,7 +1378,7 @@ impl<'a> Evaluator<'a> {
 
     /// All head tuples the rule derives, with `seed` pre-bound (callers pass
     /// the precomputed order matching the seed shape).
-    fn rule_head_tuples(
+    pub(crate) fn rule_head_tuples(
         &self,
         rule: &CompiledRule,
         order: &[usize],
@@ -1790,9 +1832,9 @@ impl<'a> Evaluator<'a> {
 }
 
 /// Row context over a frame, using a rule-compile-time name→slot table.
-struct FrameCtx<'a> {
-    cols: &'a [(String, usize)],
-    frame: &'a Frame,
+pub(crate) struct FrameCtx<'a> {
+    pub(crate) cols: &'a [(String, usize)],
+    pub(crate) frame: &'a [Option<Value>],
 }
 
 impl RowContext for FrameCtx<'_> {
@@ -1805,7 +1847,7 @@ impl RowContext for FrameCtx<'_> {
 }
 
 /// Build the head tuple from a complete frame.
-fn head_tuple(rule: &CompiledRule, frame: &Frame) -> Result<(Key, Row)> {
+pub(crate) fn head_tuple(rule: &CompiledRule, frame: &[Option<Value>]) -> Result<(Key, Row)> {
     let head = &rule.head;
     let mut values = Vec::with_capacity(head.terms.len());
     for t in &head.terms {
@@ -1861,11 +1903,11 @@ fn seed_frame(rule: &CompiledRule, atom: &CAtom, key: Key, row: &Row) -> Option<
 
 /// Try to extend the frame so the atom matches `(key, row)`; newly bound
 /// slots are pushed on `trail`.
-fn unify_atom(
+pub(crate) fn unify_atom(
     atom: &CAtom,
     key: Key,
     row: &[Value],
-    frame: &mut Frame,
+    frame: &mut [Option<Value>],
     trail: &mut Vec<usize>,
 ) -> bool {
     let kv = key_value(key);
@@ -1880,7 +1922,12 @@ fn unify_atom(
     true
 }
 
-fn unify_term(term: &CTerm, value: &Value, frame: &mut Frame, trail: &mut Vec<usize>) -> bool {
+fn unify_term(
+    term: &CTerm,
+    value: &Value,
+    frame: &mut [Option<Value>],
+    trail: &mut Vec<usize>,
+) -> bool {
     match term {
         CTerm::Anon => true,
         CTerm::Const(c) => c == value,
@@ -1896,13 +1943,13 @@ fn unify_term(term: &CTerm, value: &Value, frame: &mut Frame, trail: &mut Vec<us
 }
 
 /// Undo trail entries past `mark`.
-fn undo(frame: &mut Frame, trail: &mut Vec<usize>, mark: usize) {
+pub(crate) fn undo(frame: &mut [Option<Value>], trail: &mut Vec<usize>, mark: usize) {
     for slot in trail.drain(mark..) {
         frame[slot] = None;
     }
 }
 
-fn check_arity(atom: &CAtom, relation_arity: usize) -> Result<()> {
+pub(crate) fn check_arity(atom: &CAtom, relation_arity: usize) -> Result<()> {
     if atom.terms.len() != relation_arity {
         return Err(DatalogError::ArityMismatch {
             relation: atom.relation.clone(),

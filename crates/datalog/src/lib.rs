@@ -29,11 +29,18 @@
 //! * **γ-chain fusion** ([`fusion`]): the `INVERDA_FUSION` knob, the
 //!   structural fusability gate, and budgeted Lemma-1 inlining, with which
 //!   the core crate statically composes runs of adjacent column-level
-//!   mappings into single fused rule sets.
+//!   mappings into single fused rule sets;
+//! * **batch (vectorized) execution** ([`batch`]): the `INVERDA_BATCH` knob
+//!   and a relational-algebra executor that runs parallel-safe rule sets as
+//!   literal-at-a-time block pipelines over whole chunks, byte-identical to
+//!   the frame machine;
+//! * one home for the engine's parallelism/batching gate thresholds
+//!   ([`tuning`]) with env and runtime overrides.
 
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod delta;
 pub mod error;
 pub mod eval;
@@ -42,6 +49,7 @@ pub mod naive;
 pub mod parallel;
 pub mod simplify;
 pub mod skolem;
+pub mod tuning;
 
 pub use ast::{Atom, Literal, Rule, RuleSet, Term};
 pub use delta::{Delta, DeltaMap, PatchedEdb};

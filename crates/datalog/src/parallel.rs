@@ -88,16 +88,17 @@ where
     pool().map_indexed(n, width, f)
 }
 
-/// Split `len` items into at most `width * 2` contiguous chunks of at least
-/// `min_chunk` items, returned as `(start, end)` ranges covering `0..len`
-/// in order. Used by the chunked join scans: fragment boundaries never
-/// change results, only how evaluation is distributed.
-pub fn chunk_ranges(len: usize, width: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+/// Split `len` items into at most `width * 2` contiguous chunks of at
+/// least [`crate::tuning::min_chunk`] items, returned as `(start, end)`
+/// ranges covering `0..len` in order. Used by the chunked join scans:
+/// fragment boundaries never change results, only how evaluation is
+/// distributed.
+pub fn chunk_ranges(len: usize, width: usize) -> Vec<(usize, usize)> {
     if len == 0 {
         return Vec::new();
     }
     let max_chunks = (width.max(1) * 2).max(1);
-    let chunk = (len.div_ceil(max_chunks)).max(min_chunk.max(1));
+    let chunk = (len.div_ceil(max_chunks)).max(crate::tuning::min_chunk());
     let mut out = Vec::with_capacity(len.div_ceil(chunk));
     let mut start = 0;
     while start < len {
@@ -116,7 +117,7 @@ mod tests {
     fn chunks_cover_range_in_order() {
         for len in [0usize, 1, 7, 64, 1000] {
             for width in [1usize, 2, 4, 8] {
-                let ranges = chunk_ranges(len, width, 16);
+                let ranges = chunk_ranges(len, width);
                 let mut expect = 0;
                 for (s, e) in &ranges {
                     assert_eq!(*s, expect);

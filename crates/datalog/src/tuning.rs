@@ -1,0 +1,125 @@
+//! One home for the engine's parallelism/batching **gate thresholds**.
+//!
+//! Before this module the numbers lived scattered at their call sites — the
+//! minimum chunk size of every chunked scan was a literal `16` in four
+//! places, and the delta engine's "is this write big enough to fan out"
+//! gate was a private constant — which made multi-core re-measurement
+//! (ROADMAP housekeeping) a code-editing exercise. Each threshold now has
+//! exactly one definition, an environment override so a bench sweep can
+//! vary it without recompiling, and a runtime override for in-process
+//! sweeps:
+//!
+//! | Threshold | Default | Env override | Used by |
+//! |---|---|---|---|
+//! | [`min_chunk`] | 16 | `INVERDA_MIN_CHUNK` | every [`crate::parallel::chunk_ranges`] split: chunked rule scans ([`crate::eval`], [`crate::batch`]) and delta-probe/candidate batches ([`crate::delta`]) |
+//! | [`par_min_work`] | 64 | `INVERDA_PAR_MIN_WORK` | the delta engine's fan-out gate: below this many probe tuples / candidate keys a write stays sequential |
+//! | [`batch_min_keys`] | 64 | `INVERDA_BATCH_MIN_KEYS` | the batch executor's per-rule size gate: a depth-0 scan with fewer candidate keys runs on the frame machine ([`crate::batch`]) |
+//!
+//! **Determinism contract:** every threshold only decides *how work is
+//! split or which equivalent engine runs it* — never what is computed. Any
+//! value of any threshold produces byte-identical results (the differential
+//! suites hold the engines to that), so sweeping these is always safe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel meaning "no runtime override installed".
+const UNSET: usize = usize::MAX;
+
+static MIN_CHUNK: AtomicUsize = AtomicUsize::new(UNSET);
+static PAR_MIN_WORK: AtomicUsize = AtomicUsize::new(UNSET);
+static BATCH_MIN_KEYS: AtomicUsize = AtomicUsize::new(UNSET);
+
+fn read(over: &AtomicUsize, env: &str, default: usize) -> usize {
+    let v = over.load(Ordering::Relaxed);
+    if v != UNSET {
+        return v;
+    }
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+fn write(over: &AtomicUsize, value: Option<usize>) {
+    over.store(value.unwrap_or(UNSET), Ordering::Relaxed);
+}
+
+/// Minimum number of items per chunk when a scan is split across workers
+/// (`INVERDA_MIN_CHUNK`, default 16). Larger values mean fewer, coarser
+/// fragments; `1` splits as finely as the width allows.
+pub fn min_chunk() -> usize {
+    read(&MIN_CHUNK, "INVERDA_MIN_CHUNK", 16).max(1)
+}
+
+/// Override [`min_chunk`] at runtime; `None` restores env/default behavior.
+pub fn set_min_chunk(value: Option<usize>) {
+    write(&MIN_CHUNK, value);
+}
+
+/// Minimum probe-tuple / candidate-key count before a delta propagation
+/// fans out (`INVERDA_PAR_MIN_WORK`, default 64). Below it, the
+/// coordination overhead dwarfs the work: single-row OLTP writes stay on
+/// the sequential path at every width.
+pub fn par_min_work() -> usize {
+    read(&PAR_MIN_WORK, "INVERDA_PAR_MIN_WORK", 64)
+}
+
+/// Override [`par_min_work`] at runtime; `None` restores env/default
+/// behavior.
+pub fn set_par_min_work(value: Option<usize>) {
+    write(&PAR_MIN_WORK, value);
+}
+
+/// Minimum depth-0 candidate count before a rule runs on the batch
+/// executor (`INVERDA_BATCH_MIN_KEYS`, default 64). Below it the block
+/// set-up cost cannot amortize and the tuple-at-a-time frame machine is
+/// cheaper — small delta recomputations stay where they are fastest.
+pub fn batch_min_keys() -> usize {
+    read(&BATCH_MIN_KEYS, "INVERDA_BATCH_MIN_KEYS", 64)
+}
+
+/// Override [`batch_min_keys`] at runtime; `None` restores env/default
+/// behavior.
+pub fn set_batch_min_keys(value: Option<usize>) {
+    write(&BATCH_MIN_KEYS, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One body for everything that toggles the process-global overrides —
+    /// separate `#[test]` fns would race under libtest's parallel runner.
+    #[test]
+    fn overrides_win_and_restore() {
+        let env_free = [
+            "INVERDA_MIN_CHUNK",
+            "INVERDA_PAR_MIN_WORK",
+            "INVERDA_BATCH_MIN_KEYS",
+        ]
+        .iter()
+        .all(|v| std::env::var(v).is_err());
+        if env_free {
+            assert_eq!(min_chunk(), 16);
+            assert_eq!(par_min_work(), 64);
+            assert_eq!(batch_min_keys(), 64);
+        }
+        set_min_chunk(Some(3));
+        set_par_min_work(Some(1));
+        set_batch_min_keys(Some(100));
+        assert_eq!(min_chunk(), 3);
+        assert_eq!(par_min_work(), 1);
+        assert_eq!(batch_min_keys(), 100);
+        // min_chunk of 0 would loop forever in chunk_ranges; clamped to 1.
+        set_min_chunk(Some(0));
+        assert_eq!(min_chunk(), 1);
+        set_min_chunk(None);
+        set_par_min_work(None);
+        set_batch_min_keys(None);
+        if env_free {
+            assert_eq!(min_chunk(), 16);
+            assert_eq!(par_min_work(), 64);
+            assert_eq!(batch_min_keys(), 64);
+        }
+    }
+}

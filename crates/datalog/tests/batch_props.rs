@@ -1,0 +1,361 @@
+//! Differential property tests for the batch (vectorized) executor
+//! (`INVERDA_BATCH`, [`inverda_datalog::batch`]).
+//!
+//! Three engines evaluate every generated case: the naive reference
+//! interpreter, the compiled frame machine (batch off), and the batch
+//! executor (batch on) — crossed with parallel widths {1, 2, 4}. Results
+//! must be **byte-identical**: derived relations, tuple order, and — when
+//! a case fails — the exact error (the batch executor canonicalizes any
+//! chunk error by replaying the chunk on the frame machine, so error
+//! precedence may never depend on the knob).
+//!
+//! The generated rule shapes cover every plan operator: point joins on a
+//! bound key, hash joins on a bound payload column, full-scan (cross)
+//! joins, the three negation shapes (keyed / payload-probed / pure
+//! existence), condition filters, and function assignments both binding a
+//! fresh slot and re-checking a bound one.
+//!
+//! The batch knob is process-global, so every test serializes on one
+//! mutex and scopes the knob per evaluation; a final engagement test
+//! proves the executor actually runs on the large-fan-out shapes —
+//! otherwise the differential tests would prove nothing.
+
+use inverda_datalog::ast::{Atom, Literal, Rule, RuleSet, Term};
+use inverda_datalog::eval::{evaluate_compiled, CompiledRuleSet, MapEdb};
+use inverda_datalog::{batch, naive, SkolemRegistry};
+use inverda_storage::{BinaryOp, Expr, Key, Relation, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Serializes tests in this binary: the batch knob and the worker width
+/// are process-global.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the batch override pinned to `on`, restoring the
+/// environment-driven default afterwards.
+fn with_batch<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    batch::set_enabled(Some(on));
+    let out = f();
+    batch::set_enabled(None);
+    out
+}
+
+fn registry() -> parking_lot::Mutex<SkolemRegistry> {
+    parking_lot::Mutex::new(SkolemRegistry::new())
+}
+
+/// One mint-free rule, shaped to hit a chosen mix of batch plan operators.
+#[derive(Debug, Clone)]
+struct Spec {
+    /// Base atom: 0 = T0(p,a,b), 1 = T1(p,a), 2 = T0(p,a,a) (dup var).
+    base: u8,
+    /// Join atom: 0 = T1(q,a) (hash join), 1 = T0(p,_,c) (point join),
+    /// 2 = T1(p,c) (point join), 3 = T1(q,c) (full-scan cross join).
+    join: Option<u8>,
+    /// Negation: 0 = ¬T1(p,_) (anti point), 1 = ¬T0(_,a,_) (anti probe),
+    /// 2 = ¬T1(_,_) (anti scan — pure emptiness).
+    neg: Option<u8>,
+    /// Condition on `a`: 0 = a < t, 1 = a >= t, 2 = a ≠ t.
+    cond: Option<(u8, i64)>,
+    /// Assignment: 0 = none, 1 = bind d = a + 1 (map binds a slot),
+    /// 2 = re-check a = a + 0 (map as equality check on a bound slot).
+    assign: u8,
+    /// Head payload variable choice.
+    payload: u8,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (
+        0u8..3,
+        prop::option::of(0u8..4),
+        prop::option::of(0u8..3),
+        prop::option::of((0u8..3, 0i64..6)),
+        0u8..3,
+        0u8..4,
+    )
+        .prop_map(|(base, join, neg, cond, assign, payload)| Spec {
+            base,
+            join,
+            neg,
+            cond,
+            assign,
+            payload,
+        })
+}
+
+fn build_rule(spec: &Spec, head: &str) -> Rule {
+    let mut body: Vec<Literal> = Vec::new();
+    let mut avail: Vec<&str> = vec!["p"];
+    match spec.base {
+        0 => {
+            body.push(Literal::Pos(Atom::vars("T0", &["p", "a", "b"])));
+            avail.extend(["a", "b"]);
+        }
+        1 => {
+            body.push(Literal::Pos(Atom::vars("T1", &["p", "a"])));
+            avail.push("a");
+        }
+        _ => {
+            body.push(Literal::Pos(Atom::vars("T0", &["p", "a", "a"])));
+            avail.push("a");
+        }
+    }
+    if let Some(j) = &spec.join {
+        match j % 4 {
+            0 => {
+                body.push(Literal::Pos(Atom::vars("T1", &["q", "a"])));
+                avail.push("q");
+            }
+            1 => {
+                body.push(Literal::Pos(Atom::new(
+                    "T0",
+                    vec![Term::var("p"), Term::Anon, Term::var("c")],
+                )));
+                avail.push("c");
+            }
+            2 => {
+                body.push(Literal::Pos(Atom::vars("T1", &["p", "c"])));
+                avail.push("c");
+            }
+            _ => {
+                body.push(Literal::Pos(Atom::vars("T1", &["q", "c"])));
+                avail.extend(["q", "c"]);
+            }
+        }
+    }
+    if let Some(n) = &spec.neg {
+        match n % 3 {
+            0 => body.push(Literal::Neg(Atom::new(
+                "T1",
+                vec![Term::var("p"), Term::Anon],
+            ))),
+            1 => body.push(Literal::Neg(Atom::new(
+                "T0",
+                vec![Term::Anon, Term::var("a"), Term::Anon],
+            ))),
+            _ => body.push(Literal::Neg(Atom::new("T1", vec![Term::Anon, Term::Anon]))),
+        }
+    }
+    if let Some((op, t)) = &spec.cond {
+        let col = Expr::col("a");
+        let lit = Expr::lit(*t);
+        body.push(Literal::Cond(match op % 3 {
+            0 => col.lt(lit),
+            1 => col.ge(lit),
+            _ => col.ne(lit),
+        }));
+    }
+    match spec.assign {
+        1 => {
+            body.push(Literal::Assign {
+                var: "d".into(),
+                expr: Expr::Binary(
+                    Box::new(Expr::col("a")),
+                    BinaryOp::Add,
+                    Box::new(Expr::lit(1)),
+                ),
+            });
+            avail.push("d");
+        }
+        2 => body.push(Literal::Assign {
+            var: "a".into(),
+            expr: Expr::Binary(
+                Box::new(Expr::col("a")),
+                BinaryOp::Add,
+                Box::new(Expr::lit(0)),
+            ),
+        }),
+        _ => {}
+    }
+    let payload_var = avail[spec.payload as usize % avail.len()];
+    Rule::new(Atom::vars(head, &["p", payload_var]), body)
+}
+
+type T0Rows = BTreeMap<u64, (i64, i64)>;
+type T1Rows = BTreeMap<u64, i64>;
+
+fn arb_edb() -> impl Strategy<Value = (T0Rows, T1Rows)> {
+    (
+        prop::collection::btree_map(0u64..12, (0i64..6, 0i64..6), 0..10),
+        prop::collection::btree_map(0u64..12, 0i64..6, 0..8),
+    )
+}
+
+fn build_edb(t0: &T0Rows, t1: &T1Rows) -> MapEdb {
+    let mut rel0 = Relation::with_columns("T0", ["a", "b"]);
+    for (k, (a, b)) in t0 {
+        rel0.insert(Key(*k), vec![Value::Int(*a), Value::Int(*b)])
+            .unwrap();
+    }
+    let mut rel1 = Relation::with_columns("T1", ["a"]);
+    for (k, a) in t1 {
+        rel1.insert(Key(*k), vec![Value::Int(*a)]).unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(rel0).add(rel1);
+    edb
+}
+
+fn eval(
+    rules: &RuleSet,
+    edb: &MapEdb,
+) -> Result<BTreeMap<String, Relation>, inverda_datalog::DatalogError> {
+    let ids = registry();
+    CompiledRuleSet::compile(rules)
+        .and_then(|crs| evaluate_compiled(&crs, edb, &ids, &BTreeMap::new()))
+}
+
+proptest! {
+    /// Batch on ≡ batch off ≡ naive on random mint-free rule sets at
+    /// widths {1, 2, 4}: identical relations on success, identical error
+    /// (Debug form, byte for byte) on failure.
+    #[test]
+    fn batch_equals_frame_machine_and_naive(
+        specs in prop::collection::vec(arb_spec(), 1..4),
+        (t0, t1) in arb_edb(),
+        tsel in 0usize..3,
+    ) {
+        let _serial = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        inverda_datalog::parallel::set_threads(Some([1usize, 2, 4][tsel]));
+        // The generated EDBs are tiny; drop the size gate so the batch
+        // executor actually runs (thresholds never change computed bytes).
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
+        let rules = RuleSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| build_rule(s, if i % 2 == 0 { "H0" } else { "H1" }))
+                .collect(),
+        );
+        let edb = build_edb(&t0, &t1);
+        let off = with_batch(false, || eval(&rules, &edb));
+        let on = with_batch(true, || eval(&rules, &edb));
+        match (&off, &on) {
+            (Ok(off), Ok(on)) => prop_assert_eq!(off, on, "diverged on:\n{}", rules),
+            (Err(eo), Err(en)) => prop_assert_eq!(
+                format!("{eo:?}"),
+                format!("{en:?}"),
+                "error precedence diverged on:\n{}",
+                rules
+            ),
+            _ => prop_assert!(
+                false,
+                "one engine failed on:\n{}\noff: {:?}\non: {:?}",
+                rules, off.as_ref().err(), on.as_ref().err()
+            ),
+        }
+        if let Ok(on) = &on {
+            let ids = registry();
+            let n = naive::evaluate(&rules, &edb, &ids, &BTreeMap::new());
+            if let Ok(n) = n {
+                prop_assert_eq!(&n, on, "batch diverged from naive on:\n{}", rules);
+            }
+        }
+        inverda_datalog::tuning::set_batch_min_keys(None);
+        inverda_datalog::parallel::set_threads(None);
+    }
+}
+
+/// Large-fan-out shapes at widths {1, 2, 4}: batch on must agree with
+/// batch off byte for byte *and* the executor must actually engage
+/// (chunks executed) — otherwise the differential tests prove nothing.
+#[test]
+fn batch_engages_and_agrees_on_large_fanout() {
+    let _serial = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut a = Relation::with_columns("A", ["n"]);
+    let mut b = Relation::with_columns("B", ["n"]);
+    for i in 0..3_000u64 {
+        a.insert(Key(i), vec![Value::Int((i % 97) as i64)]).unwrap();
+        b.insert(Key(10_000 + i), vec![Value::Int((i % 89) as i64)])
+            .unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(a).add(b);
+    let rules = RuleSet::new(vec![
+        // Hash join on the payload column + filter + map.
+        Rule::new(
+            Atom::vars("H0", &["q", "d"]),
+            vec![
+                Literal::Pos(Atom::vars("B", &["q", "n"])),
+                Literal::Pos(Atom::new("A", vec![Term::Anon, Term::var("n")])),
+                Literal::Cond(Expr::col("n").ge(Expr::lit(10))),
+                Literal::Assign {
+                    var: "d".into(),
+                    expr: Expr::Binary(
+                        Box::new(Expr::col("n")),
+                        BinaryOp::Add,
+                        Box::new(Expr::lit(1)),
+                    ),
+                },
+            ],
+        ),
+        // Point join on the bound key + anti probe.
+        Rule::new(
+            Atom::vars("H1", &["p", "n"]),
+            vec![
+                Literal::Pos(Atom::vars("A", &["p", "n"])),
+                Literal::Neg(Atom::new("B", vec![Term::Anon, Term::var("n")])),
+            ],
+        ),
+    ]);
+    for width in [1usize, 2, 4] {
+        inverda_datalog::parallel::set_threads(Some(width));
+        let off = with_batch(false, || eval(&rules, &edb)).unwrap();
+        let before = batch::execs();
+        let on = with_batch(true, || eval(&rules, &edb)).unwrap();
+        assert!(
+            batch::execs() > before,
+            "batch executor did not engage at width {width}"
+        );
+        assert_eq!(on, off, "batch diverged at width {width}");
+    }
+    inverda_datalog::parallel::set_threads(None);
+}
+
+/// Error canonicalization by replay: a rule whose assignment fails on
+/// *some* rows of a large scan must report the byte-identical error with
+/// batch on and off at every width — a failing batch chunk is re-run on
+/// the frame machine, so the first error in canonical order wins
+/// regardless of chunking.
+#[test]
+fn batch_error_precedence_is_canonical() {
+    let _serial = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut a = Relation::with_columns("A", ["n"]);
+    for i in 0..2_000u64 {
+        // Every 7th row holds text: `n + 1` fails there, first at Key(0).
+        let v = if i % 7 == 0 {
+            Value::text(format!("x{i}"))
+        } else {
+            Value::Int(i as i64)
+        };
+        a.insert(Key(i), vec![v]).unwrap();
+    }
+    let mut edb = MapEdb::new();
+    edb.add(a);
+    let rules = RuleSet::new(vec![Rule::new(
+        Atom::vars("H", &["p", "d"]),
+        vec![
+            Literal::Pos(Atom::vars("A", &["p", "n"])),
+            Literal::Assign {
+                var: "d".into(),
+                expr: Expr::Binary(
+                    Box::new(Expr::col("n")),
+                    BinaryOp::Add,
+                    Box::new(Expr::lit(1)),
+                ),
+            },
+        ],
+    )]);
+    for width in [1usize, 2, 4, 8] {
+        inverda_datalog::parallel::set_threads(Some(width));
+        let off = with_batch(false, || eval(&rules, &edb)).unwrap_err();
+        let on = with_batch(true, || eval(&rules, &edb)).unwrap_err();
+        assert_eq!(
+            format!("{off:?}"),
+            format!("{on:?}"),
+            "error diverged at width {width}"
+        );
+    }
+    inverda_datalog::parallel::set_threads(None);
+}

@@ -235,12 +235,16 @@ proptest! {
         specs in prop::collection::vec(arb_rule_spec(), 1..4),
         (t0, t1) in arb_edb(),
         tsel in 0usize..4,
+        batch in any::<bool>(),
     ) {
         // Parallel ≡ sequential ≡ naive: the compiled engine must produce
         // byte-identical output (including skolem id order) at any width —
         // staged and id-minting rule sets included, now that minting goes
-        // through the reserve-then-commit cycle.
+        // through the reserve-then-commit cycle. The batch (vectorized)
+        // executor is randomized on top: any knob combination must agree.
         inverda_datalog::parallel::set_threads(Some([1usize, 2, 4, 8][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let rules = build_rule_set(&specs);
         let edb = build_edb(&t0, &t1);
         let naive_ids = registry();
@@ -309,8 +313,11 @@ proptest! {
         deletes in prop::collection::vec(0u64..12, 0..3),
         updates in prop::collection::btree_map(0u64..12, 0i64..6, 0..3),
         tsel in 0usize..4,
+        batch in any::<bool>(),
     ) {
         inverda_datalog::parallel::set_threads(Some([1usize, 2, 4, 8][tsel]));
+        inverda_datalog::batch::set_enabled(Some(batch));
+        inverda_datalog::tuning::set_batch_min_keys(Some(1));
         let specs: Vec<RuleSpec> = specs
             .into_iter()
             .map(|mut s| {
@@ -440,13 +447,17 @@ fn parallel_widths_agree_on_large_inputs() {
     let mut eval_outputs = Vec::new();
     let mut prop_outputs = Vec::new();
     for width in [1usize, 2, 4, 8] {
-        inverda_datalog::parallel::set_threads(Some(width));
-        let ids = registry();
-        eval_outputs.push(evaluate_compiled(&crs, &edb, &ids, &BTreeMap::new()).unwrap());
-        let ids2 = registry();
-        prop_outputs.push(propagate(&rules, &edb, &input, &ids2, &BTreeMap::new()).unwrap());
+        for batch in [false, true] {
+            inverda_datalog::parallel::set_threads(Some(width));
+            inverda_datalog::batch::set_enabled(Some(batch));
+            let ids = registry();
+            eval_outputs.push(evaluate_compiled(&crs, &edb, &ids, &BTreeMap::new()).unwrap());
+            let ids2 = registry();
+            prop_outputs.push(propagate(&rules, &edb, &input, &ids2, &BTreeMap::new()).unwrap());
+        }
     }
     inverda_datalog::parallel::set_threads(None);
+    inverda_datalog::batch::set_enabled(None);
     let naive_ids = registry();
     let oracle = naive::evaluate(&rules, &edb, &naive_ids, &BTreeMap::new()).unwrap();
     for (out, prop_out) in eval_outputs.iter().zip(&prop_outputs) {

@@ -129,6 +129,38 @@ impl Relation {
         self.rows.keys().copied()
     }
 
+    /// Visit `(key, row)` for each of `keys` present in the relation, in the
+    /// given order; absent keys are skipped. A *dense* key list — strictly
+    /// ascending and covering at least half the relation — is served by one
+    /// in-order merge against the row tree instead of a tree probe per key;
+    /// the visit order is identical either way. This is the fetch primitive
+    /// behind chunked scans (datalog) and multi-key query reads (core).
+    pub fn select_rows(&self, keys: &[Key], mut f: impl FnMut(Key, &Row)) {
+        let dense = keys.len() >= self.rows.len() / 2 && keys.windows(2).all(|w| w[0] < w[1]);
+        if dense {
+            let mut wanted = keys.iter().copied().peekable();
+            for (&k, row) in &self.rows {
+                while let Some(&w) = wanted.peek() {
+                    if w < k {
+                        wanted.next();
+                    } else {
+                        break;
+                    }
+                }
+                if wanted.peek() == Some(&k) {
+                    wanted.next();
+                    f(k, row);
+                }
+            }
+        } else {
+            for &k in keys {
+                if let Some(row) = self.rows.get(&k) {
+                    f(k, row);
+                }
+            }
+        }
+    }
+
     /// Value of `column` in the row under `key`.
     pub fn value(&self, key: Key, column: &str) -> Option<&Value> {
         let idx = self.schema.column_index(column)?;
@@ -185,20 +217,42 @@ impl Relation {
     /// * deletes: keys in `from` missing from `self`
     /// * inserts: keys in `self` missing from `from`
     /// * updates: keys in both with differing payload (new row reported)
+    ///
+    /// Computed as a single two-pointer merge over both key-ordered trees —
+    /// O(n + m) with no per-key probes — so each output vector is in
+    /// ascending key order.
     pub fn diff(&self, from: &Relation) -> RelationDelta {
         let mut delta = RelationDelta::default();
-        for (k, row) in &from.rows {
-            match self.rows.get(k) {
-                None => delta.deletes.push((*k, row.clone())),
-                Some(new_row) if new_row != row => {
-                    delta.updates.push((*k, row.clone(), new_row.clone()))
+        let mut new_it = self.rows.iter().peekable();
+        let mut old_it = from.rows.iter().peekable();
+        loop {
+            match (new_it.peek(), old_it.peek()) {
+                (Some(&(nk, _)), Some(&(ok, _))) => match nk.cmp(ok) {
+                    std::cmp::Ordering::Less => {
+                        let (k, row) = new_it.next().expect("peeked");
+                        delta.inserts.push((*k, row.clone()));
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let (k, row) = old_it.next().expect("peeked");
+                        delta.deletes.push((*k, row.clone()));
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (k, new_row) = new_it.next().expect("peeked");
+                        let (_, old_row) = old_it.next().expect("peeked");
+                        if new_row != old_row {
+                            delta.updates.push((*k, old_row.clone(), new_row.clone()));
+                        }
+                    }
+                },
+                (Some(_), None) => {
+                    let (k, row) = new_it.next().expect("peeked");
+                    delta.inserts.push((*k, row.clone()));
                 }
-                _ => {}
-            }
-        }
-        for (k, row) in &self.rows {
-            if !from.rows.contains_key(k) {
-                delta.inserts.push((*k, row.clone()));
+                (None, Some(_)) => {
+                    let (k, row) = old_it.next().expect("peeked");
+                    delta.deletes.push((*k, row.clone()));
+                }
+                (None, None) => break,
             }
         }
         delta
