@@ -661,6 +661,140 @@ fn bench_wiki_materialize(scale: f64) -> WikiMaterialize {
     }
 }
 
+/// The branching layer: branch-create latency over a loaded trunk (the
+/// O(1) copy-on-write fork of storage, snapshot store, compiled caches,
+/// and skolem registry), warm reads on a fresh fork vs the trunk (the
+/// fork inherits the parent's warm snapshots), and a merge of N disjoint
+/// writes back into `main`.
+///
+/// Before anything is timed, the whole fork/write/merge scenario runs
+/// once and the merged trunk is asserted byte-identical — rows, registry
+/// dump, key sequence — to a fresh single-branch engine replaying the
+/// trunk's linear operation history; broken merge semantics would make
+/// every number below meaningless.
+struct BranchBench {
+    create_us: f64,
+    warm_read_main_ms: f64,
+    warm_read_fork_ms: f64,
+    merge_ops: usize,
+    merge_ms: f64,
+    merge_applied: usize,
+}
+
+fn branching_state(db: &inverda_core::Inverda) -> String {
+    let mut out = String::new();
+    for v in db.versions() {
+        let mut tables = db.tables_of(&v).expect("tables");
+        tables.sort();
+        for t in tables {
+            out.push_str(&format!("{v}.{t}:\n{}", db.scan(&v, &t).expect("scan")));
+        }
+    }
+    out.push_str(&db.debug_registry());
+    out.push_str(&format!("key_seq={}", db.debug_key_seq()));
+    out
+}
+
+fn bench_branching(tasks: usize, writes: usize, reps: usize) -> BranchBench {
+    use inverda_core::{BranchOp, BranchingInverda, LogicalWrite, MAIN_BRANCH};
+
+    let build = || {
+        let manager = BranchingInverda::new_in_memory();
+        let main = manager.main();
+        main.execute(tasky::SCRIPT_TASKY).expect("TasKy");
+        main.execute(tasky::SCRIPT_DO).expect("Do!");
+        let rows: Vec<LogicalWrite> = (0..tasks)
+            .map(|i| LogicalWrite::Insert(tasky::task_row(i)))
+            .collect();
+        main.apply_many("TasKy", "Task", rows).expect("bulk load");
+        main.scan("Do!", "Todo").expect("prime the Do! snapshot");
+        (manager, main)
+    };
+    // N disjoint writes on the staging fork: each is its own logical op,
+    // so the merge rebases N operations.
+    let stage = |staging: &inverda_core::Branch| {
+        for i in 0..writes {
+            staging
+                .insert("TasKy", "Task", tasky::task_row(tasks + i))
+                .expect("staging insert");
+        }
+    };
+
+    // Correctness pass (byte-equality before timing).
+    {
+        let (manager, main) = build();
+        let staging = manager.branch("staging").expect("fork");
+        stage(&staging);
+        manager.merge("staging", MAIN_BRANCH).expect("merge");
+        let replayed = inverda_core::Inverda::new_in_memory();
+        for e in main.history().expect("history") {
+            match &e.op {
+                BranchOp::Execute(script) => {
+                    replayed.execute(script).expect("replay");
+                }
+                BranchOp::ApplyMany {
+                    version,
+                    table,
+                    writes,
+                } => {
+                    replayed
+                        .apply_many(version, table, writes.clone())
+                        .expect("replay");
+                }
+            }
+        }
+        assert_eq!(
+            branching_state(&main.engine().expect("engine")),
+            branching_state(&replayed),
+            "merged trunk diverged from its linear replay"
+        );
+    }
+
+    // Timing passes.
+    let (manager, main) = build();
+    let mut n = 0usize;
+    let create = median_time(reps.max(10), || {
+        n += 1;
+        manager
+            .branch_from(MAIN_BRANCH, &format!("bench-{n}"))
+            .expect("fork")
+    });
+    for i in 1..=n {
+        manager.drop_branch(&format!("bench-{i}")).ok();
+    }
+
+    let fork = manager.branch("reader").expect("fork");
+    let trunk_rel = main.scan("Do!", "Todo").expect("scan");
+    let fork_rel = fork.scan("Do!", "Todo").expect("scan");
+    assert_eq!(
+        trunk_rel.to_string(),
+        fork_rel.to_string(),
+        "a fresh fork must read exactly the trunk's bytes"
+    );
+    let warm_main = median_time(reps, || main.scan("Do!", "Todo").expect("scan"));
+    let warm_fork = median_time(reps, || fork.scan("Do!", "Todo").expect("scan"));
+    manager.drop_branch("reader").expect("drop reader");
+
+    let staging = manager.branch("staging").expect("fork");
+    stage(&staging);
+    let mut applied = 0usize;
+    let merge = median_time(1, || {
+        applied = manager
+            .merge("staging", MAIN_BRANCH)
+            .expect("merge")
+            .applied;
+    });
+
+    BranchBench {
+        create_us: ms(create) * 1000.0,
+        warm_read_main_ms: ms(warm_main),
+        warm_read_fork_ms: ms(warm_fork),
+        merge_ops: writes,
+        merge_ms: ms(merge),
+        merge_applied: applied,
+    }
+}
+
 /// One query-pushdown measurement: the same filtered read answered by the
 /// query layer (pushdown) and by scan + client-side filter, byte-equality
 /// asserted before timing.
@@ -1255,6 +1389,18 @@ fn main() {
     );
     println!("   back:     {:10.2} ms", wiki_mat.back_ms);
 
+    println!("-- branching ({tasks}-task trunk; merge of {writes} disjoint writes)");
+    let branching = bench_branching(tasks, writes, reps);
+    println!("   branch create:     {:10.3} us", branching.create_us);
+    println!(
+        "   warm read, trunk:  {:10.3} ms | fork: {:10.3} ms",
+        branching.warm_read_main_ms, branching.warm_read_fork_ms
+    );
+    println!(
+        "   merge of {} ops:   {:10.2} ms ({} replayed)",
+        branching.merge_ops, branching.merge_ms, branching.merge_applied
+    );
+
     println!("-- thread scaling (available_parallelism = {avail})");
     let scaling = bench_thread_scaling(rows, tasks, writes, reps);
     for (i, w) in scaling.workers.iter().enumerate() {
@@ -1355,6 +1501,14 @@ fn main() {
         to_head_ms,
         back_ms,
     } = wiki_mat;
+    let BranchBench {
+        create_us,
+        warm_read_main_ms,
+        warm_read_fork_ms,
+        merge_ops,
+        merge_ms,
+        merge_applied,
+    } = branching;
     let json = format!(
         r#"{{
   "bench": "eval",
@@ -1447,6 +1601,14 @@ fn main() {
     "rows_links": {rows_links},
     "to_head_ms": {to_head_ms:.3},
     "back_ms": {back_ms:.3}
+  }},
+  "branching": {{
+    "create_us": {create_us:.3},
+    "warm_read_main_ms": {warm_read_main_ms:.3},
+    "warm_read_fork_ms": {warm_read_fork_ms:.3},
+    "merge_ops": {merge_ops},
+    "merge_applied": {merge_applied},
+    "merge_ms": {merge_ms:.3}
   }},
   "thread_scaling": {{
     "available_parallelism": {avail},

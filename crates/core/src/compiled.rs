@@ -126,8 +126,28 @@ impl CompiledStore {
     /// `MATERIALIZE`: moving the data changes which mapping defines each
     /// version — and therefore every chain's hop structure — while the
     /// SMO rule sets themselves are untouched).
+    ///
+    /// Invalidation scope is **this store**, i.e. one branch: every branch
+    /// engine owns a private `CompiledStore` (see
+    /// [`CompiledStore::fork`]), so a `MATERIALIZE` on one branch can
+    /// never cold-start a sibling's fused chains.
     pub fn clear_fused(&self) {
         self.fused.lock().clear();
+    }
+
+    /// An independent copy sharing every cached compilation and fused
+    /// chain by `Arc` — the warm start of a branch fork. Compiled rule
+    /// sets are pure functions of the genealogy's rules (which the fork
+    /// clones id-stably), and fused chains revalidate their emptiness
+    /// assumptions against the *probing branch's* storage on every hit, so
+    /// sharing at fork time is sound; afterwards each store invalidates
+    /// independently (a branch-scoped `MATERIALIZE` clears only its own
+    /// chains).
+    pub fn fork(&self) -> CompiledStore {
+        CompiledStore {
+            map: Mutex::new(self.map.lock().clone()),
+            fused: Mutex::new(self.fused.lock().clone()),
+        }
     }
 
     /// Drop every cached compilation and fused chain (called on genealogy

@@ -180,8 +180,14 @@ impl Inverda {
     /// Fresh, empty, purely in-memory database — [`Inverda::new`] without
     /// the `INVERDA_DURABILITY` environment gate.
     pub fn new_in_memory() -> Self {
+        let storage = Storage::new();
+        let snapshots = SnapshotStore::new();
+        // The store's footprint stamps live in this storage's epoch
+        // namespace; binding refuses cross-branch probes (see
+        // `SnapshotStore::bind_owner`).
+        snapshots.bind_owner(storage.branch_tag());
         Inverda {
-            storage: Storage::new(),
+            storage,
             state: RwLock::new(State {
                 genealogy: Genealogy::new(),
                 materialization: MaterializationSchema::initial(),
@@ -191,9 +197,46 @@ impl Inverda {
             ids: SharedIds(Mutex::new(SkolemRegistry::new())),
             write_lock: Mutex::new(()),
             compiled: CompiledStore::new(),
-            snapshots: SnapshotStore::new(),
+            snapshots,
             snapshot_reuse: AtomicBool::new(true),
             durability: None,
+        }
+    }
+
+    /// An independent in-memory fork of the current committed state — the
+    /// O(metadata) branch primitive. Tables are shared copy-on-write at
+    /// their current epochs ([`Storage::fork`]), the snapshot store and
+    /// compiled-rule caches fork warm (entries `Arc`-shared, then fully
+    /// isolated), the skolem registry and key-sequence floor are cloned,
+    /// and the genealogy / materialization / DDL history are copied.
+    /// Taken under the write lock, so no batch is in flight. The fork is
+    /// always purely in-memory (branch-layer durability logs *logical*
+    /// ops; see [`crate::branch`]) and starts with registry journaling
+    /// off.
+    pub fn fork_detached(&self) -> Inverda {
+        let _guard = self.write_lock.lock();
+        let state = self.state.read();
+        let storage = self.storage.fork();
+        let snapshots = self.snapshots.fork_for_branch(storage.branch_tag());
+        let registry = {
+            let mut reg = self.ids.0.lock().clone();
+            reg.set_journaling(false);
+            reg
+        };
+        Inverda {
+            snapshots,
+            state: RwLock::new(State {
+                genealogy: state.genealogy.clone(),
+                materialization: state.materialization.clone(),
+                write_path: state.write_path,
+                ddl_history: state.ddl_history.clone(),
+            }),
+            ids: SharedIds(Mutex::new(registry)),
+            write_lock: Mutex::new(()),
+            compiled: self.compiled.fork(),
+            snapshot_reuse: AtomicBool::new(self.snapshot_reuse.load(Ordering::Relaxed)),
+            durability: None,
+            storage,
         }
     }
 

@@ -100,9 +100,9 @@ impl Codec for Record {
     }
 }
 
-fn header_payload(generation: u64) -> Vec<u8> {
+fn header_payload(magic: &[u8; 8], generation: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
-    out.extend_from_slice(WAL_MAGIC);
+    out.extend_from_slice(magic);
     generation.encode(&mut out);
     out
 }
@@ -112,27 +112,36 @@ pub fn wal_file_name(generation: u64) -> String {
     format!("wal-{generation}.log")
 }
 
-/// Result of scanning a WAL file: the decodable record prefix plus where
-/// the valid bytes end (the torn-tail truncation point).
+/// Result of scanning one framed log file: the decodable record prefix
+/// plus where the valid bytes end (the torn-tail truncation point). The
+/// record type is whatever [`Codec`] the log stores — [`Record`] for the
+/// database WAL, the branch layer's record for its own log.
 #[derive(Debug)]
-pub struct WalScan {
+pub struct LogScan<T> {
     /// Complete, checksum-valid records in append order.
-    pub records: Vec<Record>,
+    pub records: Vec<T>,
     /// Byte length of the valid prefix (header + complete records); the
     /// file is truncated to this length on recovery.
     pub valid_len: u64,
-    /// Whether the header frame was intact and of the expected generation.
-    /// When false the whole file is discarded (`valid_len` is 0 and the
-    /// header is rewritten).
+    /// Whether the header frame was intact, of the expected magic, and of
+    /// the expected generation. When false the whole file is discarded
+    /// (`valid_len` is 0 and the header is rewritten).
     pub header_ok: bool,
 }
 
-/// Scan the log file of `generation`, stopping at the first torn or corrupt
-/// frame (the torn-tail rule: a record is committed iff its full frame made
-/// it to disk with a matching checksum). A missing file scans as empty with
-/// `header_ok: false`.
-pub fn scan_wal(path: &Path, generation: u64) -> inverda_storage::Result<WalScan> {
-    let empty = WalScan {
+/// A scan of the database WAL proper.
+pub type WalScan = LogScan<Record>;
+
+/// Scan a framed log file under `magic` / `generation`, stopping at the
+/// first torn or corrupt frame (the torn-tail rule: a record is committed
+/// iff its full frame made it to disk with a matching checksum). A missing
+/// file scans as empty with `header_ok: false`.
+pub fn scan_log<T: Codec>(
+    path: &Path,
+    magic: &[u8; 8],
+    generation: u64,
+) -> inverda_storage::Result<LogScan<T>> {
+    let empty = LogScan {
         records: Vec::new(),
         valid_len: 0,
         header_ok: false,
@@ -140,18 +149,20 @@ pub fn scan_wal(path: &Path, generation: u64) -> inverda_storage::Result<WalScan
     let buf = match std::fs::read(path) {
         Ok(buf) => buf,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty),
-        Err(e) => return Err(StorageError::io(format!("read wal {}", path.display()), e)),
+        Err(e) => return Err(StorageError::io(format!("read log {}", path.display()), e)),
     };
     // Header frame first; a torn or mismatched header discards the file.
     let mut offset = match read_frame(&buf) {
-        FrameScan::Ok { payload, consumed } if payload == header_payload(generation).as_slice() => {
+        FrameScan::Ok { payload, consumed }
+            if payload == header_payload(magic, generation).as_slice() =>
+        {
             consumed
         }
         _ => return Ok(empty),
     };
     let mut records = Vec::new();
     while let FrameScan::Ok { payload, consumed } = read_frame(&buf[offset..]) {
-        match Record::from_bytes(payload) {
+        match T::from_bytes(payload) {
             Ok(record) => records.push(record),
             // A checksum-valid frame that does not decode is treated like a
             // corrupt tail: stop and truncate here.
@@ -159,11 +170,17 @@ pub fn scan_wal(path: &Path, generation: u64) -> inverda_storage::Result<WalScan
         }
         offset += consumed;
     }
-    Ok(WalScan {
+    Ok(LogScan {
         records,
         valid_len: offset as u64,
         header_ok: true,
     })
+}
+
+/// Scan the database WAL file of `generation` ([`scan_log`] under
+/// [`WAL_MAGIC`]).
+pub fn scan_wal(path: &Path, generation: u64) -> inverda_storage::Result<WalScan> {
+    scan_log(path, WAL_MAGIC, generation)
 }
 
 /// Appends records to one WAL file with per-commit or group fsync.
@@ -194,11 +211,29 @@ impl WalWriter {
         mode: DurabilityMode,
         group_size: u64,
     ) -> inverda_storage::Result<Self> {
-        let path = dir.join(wal_file_name(generation));
-        let io = |e| StorageError::io(format!("create wal {}", path.display()), e);
+        Self::create_at(
+            dir.join(wal_file_name(generation)),
+            WAL_MAGIC,
+            generation,
+            mode,
+            group_size,
+        )
+    }
+
+    /// Create (truncate) a framed log at an explicit path under an explicit
+    /// magic — the branch layer's entry point ([`create`](Self::create)
+    /// delegates here with [`WAL_MAGIC`]).
+    pub fn create_at(
+        path: PathBuf,
+        magic: &[u8; 8],
+        generation: u64,
+        mode: DurabilityMode,
+        group_size: u64,
+    ) -> inverda_storage::Result<Self> {
+        let io = |e| StorageError::io(format!("create log {}", path.display()), e);
         let mut file = File::create(&path).map_err(io)?;
         let mut bytes = Vec::new();
-        write_frame(&mut bytes, &header_payload(generation));
+        write_frame(&mut bytes, &header_payload(magic, generation));
         file.write_all(&bytes).map_err(io)?;
         file.sync_all().map_err(io)?;
         let len = bytes.len() as u64;
@@ -224,8 +259,26 @@ impl WalWriter {
         mode: DurabilityMode,
         group_size: u64,
     ) -> inverda_storage::Result<Self> {
-        let path = dir.join(wal_file_name(generation));
-        let io = |e| StorageError::io(format!("attach wal {}", path.display()), e);
+        Self::attach_at(
+            dir.join(wal_file_name(generation)),
+            valid_len,
+            recovered_records,
+            mode,
+            group_size,
+        )
+    }
+
+    /// Attach to a framed log at an explicit path (the header is already on
+    /// disk and is not rewritten, so no magic is needed;
+    /// [`attach`](Self::attach) delegates here).
+    pub fn attach_at(
+        path: PathBuf,
+        valid_len: u64,
+        recovered_records: u64,
+        mode: DurabilityMode,
+        group_size: u64,
+    ) -> inverda_storage::Result<Self> {
+        let io = |e| StorageError::io(format!("attach log {}", path.display()), e);
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -245,7 +298,7 @@ impl WalWriter {
     }
 
     /// Append one record frame; fsyncs per the commit mode.
-    pub fn append(&mut self, record: &Record) -> inverda_storage::Result<()> {
+    pub fn append<T: Codec>(&mut self, record: &T) -> inverda_storage::Result<()> {
         let mut bytes = Vec::new();
         write_frame(&mut bytes, &record.to_bytes());
         self.write_at_end(&bytes)?;

@@ -31,6 +31,32 @@ pub enum CoreError {
         /// The offending target string.
         target: String,
     },
+    /// A branch name that does not exist was addressed.
+    UnknownBranch {
+        /// The missing branch name.
+        name: String,
+    },
+    /// Branch creation addressed a name already in use.
+    BranchExists {
+        /// The duplicate branch name.
+        name: String,
+    },
+    /// `fast_forward(src, dst)` found `dst` diverged: it has operations of
+    /// its own since the branches' merge base, so advancing it is a merge,
+    /// not a fast-forward.
+    CannotFastForward {
+        /// The diverged destination branch.
+        dst: String,
+        /// Number of `dst` operations since the merge base.
+        dst_ops: usize,
+    },
+    /// The trunk branch (`main`) cannot be dropped.
+    ProtectedBranch {
+        /// The protected branch name.
+        name: String,
+    },
+    /// `merge(src, dst)` found conflicting changes; nothing was applied.
+    MergeConflicts(crate::branch::MergeConflicts),
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +77,19 @@ impl fmt::Display for CoreError {
                     "bad MATERIALIZE target '{target}' (expected 'Version' or 'Version.table')"
                 )
             }
+            CoreError::UnknownBranch { name } => write!(f, "no branch named '{name}'"),
+            CoreError::BranchExists { name } => {
+                write!(f, "a branch named '{name}' already exists")
+            }
+            CoreError::CannotFastForward { dst, dst_ops } => write!(
+                f,
+                "cannot fast-forward: branch '{dst}' has {dst_ops} operation(s) of its own \
+                 since the merge base (use merge)"
+            ),
+            CoreError::ProtectedBranch { name } => {
+                write!(f, "branch '{name}' is protected and cannot be dropped")
+            }
+            CoreError::MergeConflicts(report) => write!(f, "{report}"),
         }
     }
 }

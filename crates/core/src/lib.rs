@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod branch;
 pub mod compiled;
 pub mod database;
 pub mod durability;
@@ -52,6 +53,10 @@ pub mod serving;
 pub mod snapshot;
 pub mod write;
 
+pub use branch::{
+    Branch, BranchDiff, BranchOp, BranchingInverda, HistoryEntry, MergeConflict, MergeConflicts,
+    MergeOutcome, NetChange, SideChange, TableDiff, MAIN_BRANCH,
+};
 pub use database::{ExecutionOutcome, Inverda, WritePath};
 pub use durability::{DurabilityMode, DurabilityOptions};
 pub use error::CoreError;

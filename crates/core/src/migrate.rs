@@ -232,7 +232,11 @@ impl Inverda {
         // wholesale (mirroring the compiled-rule cache on genealogy change),
         // and so is every fused γ-chain — its hop structure follows the
         // storage cases. The per-SMO compilations stay valid: MATERIALIZE
-        // does not touch the rule sets themselves.
+        // does not touch the rule sets themselves. Both invalidations are
+        // branch-scoped: `self.snapshots` and `self.compiled` belong to
+        // this engine alone (branch forks get independent copies, see
+        // `Inverda::fork_detached`), so a MATERIALIZE here cannot
+        // cold-start a sibling branch's caches.
         self.snapshots.clear();
         self.compiled.clear_fused();
         Ok(())

@@ -111,7 +111,13 @@ impl PinnedView {
         epoch: u64,
     ) -> PinnedView {
         let store = origin.snapshots.fork_for_pin();
-        let storage = Arc::new(Storage::from_pinned(tables, key_seq));
+        // The pinned view reproduces the origin's epochs, so it inherits
+        // the origin's branch tag — the forked store keeps serving it.
+        let storage = Arc::new(Storage::from_pinned_tagged(
+            tables,
+            key_seq,
+            origin.storage.branch_tag(),
+        ));
         PinnedView {
             genealogy,
             materialization,

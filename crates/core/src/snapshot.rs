@@ -177,6 +177,14 @@ pub struct SnapshotStore {
     /// snapshot versions are retired (kept servable at their old stamps)
     /// instead of dropped.
     pins: AtomicU64,
+    /// The [`Storage::branch_tag`] this store's footprint stamps belong
+    /// to; 0 = unbound (serve any storage — standalone stores in tests).
+    /// Epoch numbers are only comparable within one branch's epoch
+    /// namespace: two branches forked from a common prefix resume the same
+    /// epoch counter, so after divergence an entry stamped on one branch
+    /// could *falsely* validate against the other branch's storage. A
+    /// bound store refuses to serve a storage with a different tag.
+    owner_tag: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     patches: AtomicU64,
@@ -187,6 +195,25 @@ impl SnapshotStore {
     /// Empty store.
     pub fn new() -> Self {
         SnapshotStore::default()
+    }
+
+    /// Bind this store to one storage's epoch namespace (see the
+    /// `owner_tag` field docs). Serve paths then treat a storage with a
+    /// different [`Storage::branch_tag`] as a guaranteed miss.
+    pub fn bind_owner(&self, branch_tag: u64) {
+        self.owner_tag.store(branch_tag, Ordering::Relaxed);
+    }
+
+    /// The bound owner tag (0 = unbound; diagnostics and tests).
+    pub fn owner_tag(&self) -> u64 {
+        self.owner_tag.load(Ordering::Relaxed)
+    }
+
+    /// Whether `storage` belongs to the epoch namespace this store stamps
+    /// in — the cross-branch footprint-validation guard.
+    fn serves(&self, storage: &Storage) -> bool {
+        let owner = self.owner_tag.load(Ordering::Relaxed);
+        owner == 0 || owner == storage.branch_tag()
     }
 
     /// The static footprint of `relation`, computing it with `compute` on
@@ -214,6 +241,13 @@ impl SnapshotStore {
     /// epoch-pinned readers are outstanding, in which case the versions are
     /// retired in place so an in-flight fork can still copy them.
     pub fn get(&self, relation: &str, storage: &Storage) -> Option<Arc<Relation>> {
+        if !self.serves(storage) {
+            // A foreign branch's storage: its epochs live in a different
+            // namespace, so an exact stamp match would be coincidence, not
+            // validity. Count a miss and touch nothing.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let mut inner = self.inner.lock();
         match inner.entries.get(relation) {
             Some(versions) => {
@@ -378,6 +412,9 @@ impl SnapshotStore {
     /// must not perturb the hit/miss statistics or evict state a later
     /// read would have served.
     pub fn peek_valid(&self, relation: &str, storage: &Storage) -> Option<Arc<Relation>> {
+        if !self.serves(storage) {
+            return None;
+        }
         let inner = self.inner.lock();
         inner
             .first_valid(relation, storage)?
@@ -390,6 +427,9 @@ impl SnapshotStore {
     /// path immediately before applying a batch, so commit-time patching can
     /// tell pre-write-valid entries (patchable) from already-stale ones.
     pub fn valid_rels(&self, storage: &Storage) -> BTreeSet<String> {
+        if !self.serves(storage) {
+            return BTreeSet::new();
+        }
         self.inner
             .lock()
             .entries
@@ -571,6 +611,22 @@ impl SnapshotStore {
     /// history) never flow back, and later live-store maintenance never
     /// touches the fork. The fork starts with zero pins and zero counters.
     pub fn fork_for_pin(&self) -> SnapshotStore {
+        // A pinned view's storage reproduces the origin's epochs and
+        // inherits its branch tag, so the fork keeps the owner binding.
+        self.fork_owned_by(self.owner_tag.load(Ordering::Relaxed))
+    }
+
+    /// A private copy of this store for a **branch** fork: shares entries
+    /// and footprints like [`fork_for_pin`](SnapshotStore::fork_for_pin)
+    /// (the branch storage reproduces the fork-point epochs exactly, so
+    /// every warm entry stays servable), but bound to the branch storage's
+    /// fresh tag — after divergence, neither branch's entries can be
+    /// mistaken for the other's.
+    pub fn fork_for_branch(&self, branch_tag: u64) -> SnapshotStore {
+        self.fork_owned_by(branch_tag)
+    }
+
+    fn fork_owned_by(&self, owner_tag: u64) -> SnapshotStore {
         let inner = self.inner.lock();
         SnapshotStore {
             inner: Mutex::new(Inner {
@@ -578,6 +634,7 @@ impl SnapshotStore {
                 footprints: inner.footprints.clone(),
             }),
             pins: AtomicU64::new(0),
+            owner_tag: AtomicU64::new(owner_tag),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             patches: AtomicU64::new(0),
@@ -911,6 +968,46 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.stats().invalidations, 1);
         store.release_pin();
+    }
+
+    #[test]
+    fn bound_store_refuses_foreign_branch_storage() {
+        let storage = storage_with("T");
+        let store = SnapshotStore::new();
+        store.bind_owner(storage.branch_tag());
+        store.store_entry(
+            "V",
+            rel_with("V", &[(1, 10)]),
+            BTreeMap::from([("T".to_string(), storage.epoch_of("T"))]),
+        );
+        assert!(store.get("V", &storage).is_some());
+
+        // A fork reproduces the same epochs under a different tag — the
+        // exact stamps match, but the store must refuse to serve it.
+        let foreign = storage.fork();
+        assert_eq!(foreign.epoch_of("T"), storage.epoch_of("T"));
+        assert!(store.peek_valid("V", &foreign).is_none());
+        assert!(store.valid_rels(&foreign).is_empty());
+        let misses_before = store.stats().misses;
+        assert!(store.get("V", &foreign).is_none());
+        assert_eq!(store.stats().misses, misses_before + 1);
+        // The refusal must not evict the entry the owner still wants.
+        assert!(store.get("V", &storage).is_some());
+
+        // A branch fork of the store serves the branch storage warm.
+        let branch_store = store.fork_for_branch(foreign.branch_tag());
+        assert!(branch_store.get("V", &foreign).is_some());
+        assert!(branch_store.get("V", &storage).is_none());
+
+        // A pin fork keeps the owner binding, serving a tag-inheriting
+        // pinned view.
+        let pin_fork = store.fork_for_pin();
+        let pinned = Storage::from_pinned_tagged(
+            storage.snapshot_all(),
+            storage.sequences().current_key(),
+            storage.branch_tag(),
+        );
+        assert!(pin_fork.get("V", &pinned).is_some());
     }
 
     #[test]

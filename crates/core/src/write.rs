@@ -48,13 +48,14 @@ use inverda_datalog::delta::{
 };
 use inverda_datalog::eval::{evaluate_compiled, EdbView as _, ReservingIds, NO_MINT_IDS};
 use inverda_datalog::skolem;
+use inverda_storage::codec::{Codec, Reader};
 use inverda_storage::{Key, Relation, Row, TableSchema, Value, WriteBatch};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// One logical write against a schema version's table, for batched
 /// [`Inverda::apply_many`] application.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogicalWrite {
     /// Insert a new row (a fresh InVerDa identifier is minted).
     Insert(Row),
@@ -62,6 +63,44 @@ pub enum LogicalWrite {
     Update(Key, Row),
     /// Delete the row under the key.
     Delete(Key),
+}
+
+const LW_INSERT: u8 = 0;
+const LW_UPDATE: u8 = 1;
+const LW_DELETE: u8 = 2;
+
+// Wire form for the branch layer's operation log.
+impl Codec for LogicalWrite {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LogicalWrite::Insert(row) => {
+                out.push(LW_INSERT);
+                row.encode(out);
+            }
+            LogicalWrite::Update(key, row) => {
+                out.push(LW_UPDATE);
+                key.encode(out);
+                row.encode(out);
+            }
+            LogicalWrite::Delete(key) => {
+                out.push(LW_DELETE);
+                key.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> inverda_storage::Result<Self> {
+        Ok(match r.u8()? {
+            LW_INSERT => LogicalWrite::Insert(Row::decode(r)?),
+            LW_UPDATE => LogicalWrite::Update(Key::decode(r)?, Row::decode(r)?),
+            LW_DELETE => LogicalWrite::Delete(Key::decode(r)?),
+            t => {
+                return Err(inverda_storage::StorageError::codec(format!(
+                    "invalid logical-write tag {t}"
+                )))
+            }
+        })
+    }
 }
 
 /// One SMO hop a drain traversed, recorded so snapshot maintenance can walk

@@ -55,7 +55,7 @@ pub use ast::{Atom, Literal, Rule, RuleSet, Term};
 pub use delta::{Delta, DeltaMap, PatchedEdb};
 pub use error::DatalogError;
 pub use eval::{evaluate, evaluate_compiled, CompiledRuleSet, EdbView, MapEdb, ReservingIds};
-pub use skolem::{RegOp, SkolemRegistry};
+pub use skolem::{RegOp, RegistryDivergence, SkolemRegistry};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DatalogError>;

@@ -38,7 +38,7 @@ use std::collections::BTreeMap;
 /// [`SkolemRegistry`] method appends its effect here when journaling is on.
 /// Replaying a `RegOp` with [`SkolemRegistry::apply_op`] reproduces the
 /// original mutation without re-minting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegOp {
     /// `get_or_create_with` minted `id` (from the engine key sequence) for
     /// the pair — memo only, counters untouched.
@@ -135,6 +135,27 @@ impl Codec for RegOp {
             REGOP_PURGE => Ok(RegOp::Purge { generator }),
             t => Err(StorageError::codec(format!("invalid RegOp tag {t}"))),
         }
+    }
+}
+
+/// Payload-level difference between two [`SkolemRegistry`] instances, as
+/// reported by [`SkolemRegistry::divergence`]. Entries are in the
+/// registries' own deterministic (BTreeMap) order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RegistryDivergence {
+    /// `(generator, args, id)` memoized only in the left registry.
+    pub only_left: Vec<(String, Vec<Value>, u64)>,
+    /// `(generator, args, id)` memoized only in the right registry.
+    pub only_right: Vec<(String, Vec<Value>, u64)>,
+    /// `(generator, args, left_id, right_id)` memoized on both sides with
+    /// differing ids.
+    pub remapped: Vec<(String, Vec<Value>, u64, u64)>,
+}
+
+impl RegistryDivergence {
+    /// True iff the registries agree on every memoized assignment.
+    pub fn is_empty(&self) -> bool {
+        self.only_left.is_empty() && self.only_right.is_empty() && self.remapped.is_empty()
     }
 }
 
@@ -271,6 +292,40 @@ impl SkolemRegistry {
             for (args, id) in inner {
                 let cells: Vec<String> = args.iter().map(|v| v.to_string()).collect();
                 out.push_str(&format!("{generator}({}) -> {id}\n", cells.join(", ")));
+            }
+        }
+        out
+    }
+
+    /// Per-assignment difference against `other` (the branch layer's
+    /// genealogy-divergence report). Assignments are compared by payload
+    /// `(generator, args)`: a payload memoized on only one side lands in
+    /// `only_left` / `only_right`; a payload both sides memoized but bound
+    /// to *different* ids lands in `remapped` — the expected shape when two
+    /// branches independently minted the same skolem payload, and the case
+    /// merge resolves by keeping the destination's id (payload-keyed
+    /// identity, never re-minting).
+    pub fn divergence(&self, other: &SkolemRegistry) -> RegistryDivergence {
+        let mut out = RegistryDivergence::default();
+        for (generator, inner) in &self.memo {
+            let other_inner = other.memo.get(generator);
+            for (args, id) in inner {
+                match other_inner.and_then(|m| m.get(args)) {
+                    None => out.only_left.push((generator.clone(), args.clone(), *id)),
+                    Some(other_id) if other_id != id => {
+                        out.remapped
+                            .push((generator.clone(), args.clone(), *id, *other_id));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for (generator, inner) in &other.memo {
+            let self_inner = self.memo.get(generator);
+            for (args, id) in inner {
+                if self_inner.and_then(|m| m.get(args)).is_none() {
+                    out.only_right.push((generator.clone(), args.clone(), *id));
+                }
             }
         }
         out

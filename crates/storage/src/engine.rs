@@ -71,6 +71,18 @@ impl SequenceSet {
     pub fn current_key(&self) -> u64 {
         self.key_seq.load(Ordering::Relaxed)
     }
+
+    /// An independent copy resuming every sequence — the global key
+    /// sequence and all named sequences — at its current value. The fork
+    /// primitive of branching: a branch mints from its own floor, so
+    /// sibling branches never hand out each other's future values, while
+    /// both continue deterministically from the shared prefix.
+    pub fn fork(&self) -> SequenceSet {
+        SequenceSet {
+            key_seq: AtomicU64::new(self.key_seq.load(Ordering::Relaxed)),
+            named: Mutex::new(self.named.lock().clone()),
+        }
+    }
 }
 
 /// One stored table: shared contents plus its current epoch.
@@ -80,14 +92,35 @@ struct TableEntry {
     epoch: u64,
 }
 
+/// Process-wide source of unique branch tags (see [`Storage::branch_tag`]).
+/// Starts at 1 so tag 0 can mean "unbound" in consumers.
+static BRANCH_TAG_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn next_branch_tag() -> u64 {
+    BRANCH_TAG_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A namespace of physical tables.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Storage {
     tables: RwLock<BTreeMap<String, TableEntry>>,
     sequences: SequenceSet,
     /// Engine-wide epoch source; see the module docs. Starts at 1 so a live
     /// table's epoch is never 0 — `epoch_of` returns 0 for missing tables.
     epoch_seq: AtomicU64,
+    /// The epoch *namespace* this storage stamps in. Two forked branches
+    /// resume the same epoch counter, so after divergence the same epoch
+    /// number can describe different table states on each side; the tag
+    /// disambiguates. A fresh or [`fork`](Storage::fork)ed storage gets a
+    /// process-unique tag; a [`from_pinned`](Storage::from_pinned_tagged)
+    /// view inherits its origin's tag (its epochs *are* the origin's).
+    branch_tag: u64,
+}
+
+impl Default for Storage {
+    fn default() -> Self {
+        Storage::new()
+    }
 }
 
 impl Storage {
@@ -97,6 +130,43 @@ impl Storage {
             tables: RwLock::new(BTreeMap::new()),
             sequences: SequenceSet::new(),
             epoch_seq: AtomicU64::new(1),
+            branch_tag: next_branch_tag(),
+        }
+    }
+
+    /// The branch tag of this storage's epoch namespace (see the field
+    /// docs). Footprint-stamped caches record the tag of the storage they
+    /// were resolved against and refuse to serve a storage with a
+    /// different tag — epochs are only comparable within one namespace.
+    pub fn branch_tag(&self) -> u64 {
+        self.branch_tag
+    }
+
+    /// An independent copy-on-write fork: every table is shared by `Arc`
+    /// at its current epoch (O(tables) reference bumps, no row copies),
+    /// the sequences resume at their current values, and the epoch counter
+    /// continues from the same point — but under a **fresh** branch tag,
+    /// because the fork and the origin will stamp overlapping epoch
+    /// numbers onto diverging states from here on.
+    pub fn fork(&self) -> Storage {
+        let tables = self.tables.read();
+        let forked = tables
+            .iter()
+            .map(|(name, entry)| {
+                (
+                    name.clone(),
+                    TableEntry {
+                        rel: Arc::clone(&entry.rel),
+                        epoch: entry.epoch,
+                    },
+                )
+            })
+            .collect();
+        Storage {
+            tables: RwLock::new(forked),
+            sequences: self.sequences.fork(),
+            epoch_seq: AtomicU64::new(self.epoch_seq.load(Ordering::Relaxed)),
+            branch_tag: next_branch_tag(),
         }
     }
 
@@ -229,6 +299,17 @@ impl Storage {
     /// pinned epoch (pinned views are never written, so this only keeps the
     /// invariant that live epochs are unique).
     pub fn from_pinned(tables: BTreeMap<String, (Arc<Relation>, u64)>, key_seq: u64) -> Self {
+        Storage::from_pinned_tagged(tables, key_seq, next_branch_tag())
+    }
+
+    /// [`Storage::from_pinned`] inheriting the origin storage's branch
+    /// tag: the pinned view reproduces the origin's epochs, so tag-guarded
+    /// caches forked from the origin must keep serving it.
+    pub fn from_pinned_tagged(
+        tables: BTreeMap<String, (Arc<Relation>, u64)>,
+        key_seq: u64,
+        branch_tag: u64,
+    ) -> Self {
         let max_epoch = tables.values().map(|(_, e)| *e).max().unwrap_or(0);
         let tables = tables
             .into_iter()
@@ -240,6 +321,7 @@ impl Storage {
             tables: RwLock::new(tables),
             sequences,
             epoch_seq: AtomicU64::new(max_epoch + 1),
+            branch_tag,
         }
     }
 
@@ -593,6 +675,50 @@ mod tests {
         s.apply(&b2).unwrap();
         assert_eq!(pin.row_count("T").unwrap(), 1);
         assert_ne!(pin.epoch_of("T"), s.epoch_of("T"));
+    }
+
+    #[test]
+    fn fork_is_isolated_and_freshly_tagged() {
+        let s = storage_with_t();
+        let mut b = WriteBatch::new();
+        b.insert(
+            "T",
+            s.sequences().next_key(),
+            vec![Value::Int(1), Value::Int(2)],
+        );
+        s.apply(&b).unwrap();
+        assert_eq!(s.sequences().next("id_X"), 1);
+
+        let f = s.fork();
+        assert_ne!(f.branch_tag(), s.branch_tag(), "forks get fresh tags");
+        assert_eq!(f.table_names(), s.table_names());
+        assert_eq!(f.epoch_of("T"), s.epoch_of("T"));
+        assert_eq!(f.sequences().current_key(), s.sequences().current_key());
+        // Named sequences resume from the shared prefix, independently.
+        assert_eq!(f.sequences().next("id_X"), 2);
+        assert_eq!(s.sequences().next("id_X"), 2);
+
+        // Divergent writes stamp overlapping epoch numbers — exactly the
+        // aliasing hazard branch tags exist to disambiguate.
+        let mut bs = WriteBatch::new();
+        bs.insert("T", Key(100), vec![Value::Int(9), Value::Int(9)]);
+        s.apply(&bs).unwrap();
+        let mut bf = WriteBatch::new();
+        bf.insert("T", Key(200), vec![Value::Int(8), Value::Int(8)]);
+        f.apply(&bf).unwrap();
+        assert_eq!(s.epoch_of("T"), f.epoch_of("T"));
+        assert!(s.with_table("T", |r| r.get(Key(200)).is_none()).unwrap());
+        assert!(f.with_table("T", |r| r.get(Key(100)).is_none()).unwrap());
+
+        // A pinned view inherits the origin's tag; a plain pin does not.
+        let pin = Storage::from_pinned_tagged(
+            s.snapshot_all(),
+            s.sequences().current_key(),
+            s.branch_tag(),
+        );
+        assert_eq!(pin.branch_tag(), s.branch_tag());
+        let other = Storage::from_pinned(f.snapshot_all(), f.sequences().current_key());
+        assert_ne!(other.branch_tag(), f.branch_tag());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Branching genealogies: a staging branch forks the whole database —
+//! schema versions, data, and skolem-minting state — in O(1), diverges
+//! freely, and merges back with deterministic conflict semantics.
+//!
+//! Run with: `cargo run --release --example branching_demo`
+
+use inverda::{BranchingInverda, CoreError, Value, MAIN_BRANCH};
+use inverda_workloads::tasky;
+
+fn main() {
+    // A branch manager owns a family of engines; `main` is the trunk.
+    let manager = BranchingInverda::new();
+    let main = manager.main();
+    main.execute(tasky::SCRIPT_TASKY).unwrap();
+    main.execute(tasky::SCRIPT_DO).unwrap();
+    let key = main
+        .insert(
+            "TasKy",
+            "Task",
+            vec!["Ann".into(), "Write paper".into(), 1.into()],
+        )
+        .unwrap();
+    println!(
+        "trunk has versions {:?} and {} task(s)",
+        main.versions().unwrap(),
+        main.scan("TasKy", "Task").unwrap().len()
+    );
+
+    // Fork a staging branch: copy-on-write storage, snapshot store, and
+    // compiled caches — no rows are copied, and the trunk keeps serving.
+    let staging = manager.branch("staging").unwrap();
+    staging
+        .execute(
+            "CREATE SCHEMA VERSION TasKy3 FROM TasKy WITH \
+               ADD COLUMN deadline AS 0 INTO Task;",
+        )
+        .unwrap();
+    staging
+        .insert(
+            "TasKy3",
+            "Task",
+            vec!["Ben".into(), "Review PR".into(), 2.into(), 7.into()],
+        )
+        .unwrap();
+    // The trunk moves on independently in the meantime.
+    main.insert(
+        "TasKy",
+        "Task",
+        vec!["Cyn".into(), "Ship release".into(), 1.into()],
+    )
+    .unwrap();
+
+    // Diff: schema divergence (versions only on one side) plus per-table
+    // row deltas for every version both sides share.
+    let diff = manager.diff("staging", MAIN_BRANCH).unwrap();
+    println!(
+        "diff staging..main: versions only in staging {:?}, {} table delta(s), \
+         staging {} op(s) ahead, main {} ahead",
+        diff.only_in_a,
+        diff.tables.len(),
+        diff.a_ahead,
+        diff.b_ahead
+    );
+
+    // Merge: staging's operations rebase onto the trunk. Disjoint writes
+    // union; the new TasKy3 version (and its skolem-minted rows) come
+    // along, re-minted under the trunk's key sequence.
+    let outcome = manager.merge("staging", MAIN_BRANCH).unwrap();
+    println!(
+        "merged staging into main: {} op(s) applied, {} key(s) remapped",
+        outcome.applied, outcome.remapped_keys
+    );
+    println!(
+        "trunk now has versions {:?}, {} TasKy task(s), Ben's row visible in \
+         the old TasKy version: {}",
+        main.versions().unwrap(),
+        main.scan("TasKy", "Task").unwrap().len(),
+        main.scan("TasKy", "Task")
+            .unwrap()
+            .iter()
+            .any(|(_, row)| row[0] == Value::text("Ben"))
+    );
+
+    // Conflicts are detected, typed, and leave the destination untouched.
+    let risky = manager.branch("risky").unwrap();
+    risky
+        .update(
+            "TasKy",
+            "Task",
+            key,
+            vec!["Ann".into(), "Rewrite paper".into(), 1.into()],
+        )
+        .unwrap();
+    main.update(
+        "TasKy",
+        "Task",
+        key,
+        vec!["Ann".into(), "Submit paper".into(), 3.into()],
+    )
+    .unwrap();
+    match manager.merge("risky", MAIN_BRANCH) {
+        Err(CoreError::MergeConflicts(report)) => {
+            println!("merge refused with {} conflict(s):", report.conflicts.len());
+            println!("{report}");
+        }
+        other => panic!("expected a conflict report, got {other:?}"),
+    }
+    // The trunk still reads what it wrote.
+    let row = main.get("TasKy", "Task", key).unwrap().unwrap();
+    assert_eq!(row[1], Value::text("Submit paper"));
+    println!("trunk untouched after the refused merge: {:?}", row[1]);
+}

@@ -40,8 +40,9 @@ pub use inverda_storage as storage;
 pub use inverda_workloads as workloads;
 
 pub use inverda_core::{
-    AccessPath, Client, CoreError, DurabilityMode, DurabilityOptions, ExecutionOutcome, Inverda,
-    PinnedView, Query, QueryPlan, Reader, RowIter, ServingInverda, ServingOp, ServingOutcome,
-    ServingReply, WritePath,
+    AccessPath, Branch, BranchDiff, BranchingInverda, Client, CoreError, DurabilityMode,
+    DurabilityOptions, ExecutionOutcome, Inverda, MergeConflict, MergeConflicts, PinnedView, Query,
+    QueryPlan, Reader, RowIter, ServingInverda, ServingOp, ServingOutcome, ServingReply, WritePath,
+    MAIN_BRANCH,
 };
 pub use inverda_storage::{Expr, Key, Relation, Value};
